@@ -1,0 +1,85 @@
+"""Benchmarks for the ablation experiments (DESIGN.md §4, beyond the
+paper's headline figures)."""
+
+from __future__ import annotations
+
+from repro.core.theory import polar_op_ratio, polar_ratio
+from repro.experiments.ablations import (
+    run_batch_window,
+    run_competitive_ratio,
+    run_guide_solvers,
+    run_movement_audit,
+    run_prediction_noise,
+)
+from repro.experiments.report import render_table
+from repro.streams.synthetic import SyntheticConfig
+
+
+def test_competitive_ratio(benchmark):
+    """Empirical ALG/OPT vs the 0.40 / 0.47 theory constants."""
+    config = SyntheticConfig(
+        n_workers=800, n_tasks=800, grid_side=8, n_slots=8,
+        task_duration_slots=2.0, worker_duration_slots=3.0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_competitive_ratio(n_draws=4, config=config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result))
+    print(f"theory: POLAR {polar_ratio():.4f}, POLAR-OP {polar_op_ratio():.4f}")
+    assert result.get("POLAR", "mean ALG/OPT") > 0
+    assert result.get("POLAR-OP", "theory bound") > result.get("POLAR", "theory bound")
+
+
+def test_prediction_noise(benchmark, bench_scale):
+    """Guide quality degrades gracefully; greedy eventually crosses over."""
+    result = benchmark.pedantic(
+        lambda: run_prediction_noise(scale=max(bench_scale, 0.02)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result))
+    clean = result.get("noise=0", "guide size")
+    noisy = result.get("noise=2", "guide size")
+    assert clean is not None and noisy is not None
+
+
+def test_guide_solvers(benchmark, bench_scale):
+    """Algorithm 1 backends agree on |E*|; costs/times differ."""
+    result = benchmark.pedantic(
+        lambda: run_guide_solvers(scale=max(bench_scale, 0.02)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result))
+    sizes = {result.get(m, "guide size") for m in ("dinic", "edmonds_karp", "mincost", "scipy")}
+    assert len(sizes) == 1
+
+
+def test_batch_window(benchmark, bench_scale):
+    """GR's window-length sensitivity."""
+    result = benchmark.pedantic(
+        lambda: run_batch_window(scale=max(bench_scale, 0.02)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result))
+    assert result.get("0.5 min", "batches") >= result.get("30 min", "batches")
+
+
+def test_movement_audit(benchmark, bench_scale):
+    """Section 5.1's realisability assumption, quantified."""
+    result = benchmark.pedantic(
+        lambda: run_movement_audit(scale=max(bench_scale, 0.02)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result))
+    assert result.get("SimpleGreedy", "violation rate") == 0.0
+    assert result.get("GR", "violation rate") == 0.0

@@ -1,0 +1,65 @@
+"""Benchmarks regenerating Figure 4 (synthetic |W|, |R|, Dr, grid sweeps).
+
+Each benchmark runs the full sweep once (rounds=1 — a sweep is minutes at
+paper scale, so statistical repetition happens across sweep points, not
+rounds), asserts the figure's qualitative shape where it is
+scale-invariant, and prints the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    run_fig4_deadline,
+    run_fig4_grids,
+    run_fig4_tasks,
+    run_fig4_workers,
+)
+from repro.experiments.report import render_sweep
+
+ALGOS = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
+
+
+def _run_once(benchmark, fn, scale):
+    return benchmark.pedantic(
+        lambda: fn(scale=scale, measure_memory=False, algorithms=ALGOS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig4_workers(benchmark, bench_scale):
+    """Figure 4(a,e): matching size and time while |W| grows."""
+    result = _run_once(benchmark, run_fig4_workers, bench_scale)
+    print()
+    print(render_sweep(result))
+    sizes = result.series("OPT", "size")
+    # More workers -> more feasible edges -> larger optimum.
+    assert sizes[-1] >= sizes[0]
+    assert len(result.x_values) == 5
+
+
+def test_fig4_tasks(benchmark, bench_scale):
+    """Figure 4(b,f): matching size and time while |R| grows."""
+    result = _run_once(benchmark, run_fig4_tasks, bench_scale)
+    print()
+    print(render_sweep(result))
+    sizes = result.series("OPT", "size")
+    assert sizes[-1] >= sizes[0]
+
+
+def test_fig4_deadline(benchmark, bench_scale):
+    """Figure 4(c,g): every algorithm gains from looser deadlines."""
+    result = _run_once(benchmark, run_fig4_deadline, bench_scale)
+    print()
+    print(render_sweep(result))
+    for algorithm in ("SimpleGreedy", "OPT"):
+        series = result.series(algorithm, "size")
+        assert series[-1] >= series[0]
+
+
+def test_fig4_grids(benchmark, bench_scale):
+    """Figure 4(d,h): finer grids shrink per-area overlap."""
+    result = _run_once(benchmark, run_fig4_grids, bench_scale)
+    print()
+    print(render_sweep(result))
+    assert result.x_values == [20.0, 30.0, 50.0, 100.0, 200.0]

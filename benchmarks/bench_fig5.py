@@ -1,0 +1,72 @@
+"""Benchmarks regenerating Figure 5 (slots, scalability, the two cities)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_fig5_city, run_fig5_scalability, run_fig5_slots
+from repro.experiments.report import render_sweep
+
+ALGOS = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
+
+
+def test_fig5_slots(benchmark, bench_scale):
+    """Figure 5(a,e): more slots -> thinner types -> smaller matchings."""
+    result = benchmark.pedantic(
+        lambda: run_fig5_slots(scale=bench_scale, measure_memory=False, algorithms=ALGOS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep(result))
+    assert result.x_values == [12.0, 24.0, 48.0, 96.0, 144.0]
+
+
+def test_fig5_scalability(benchmark, bench_scale):
+    """Figure 5(b,f): POLAR's per-arrival O(1) keeps its time near-flat."""
+    scale = min(bench_scale, 0.005)  # 1k .. 5k objects in the default bench
+    result = benchmark.pedantic(
+        lambda: run_fig5_scalability(
+            scale=scale, measure_memory=False,
+            algorithms=("SimpleGreedy", "POLAR", "POLAR-OP", "OPT"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep(result))
+    polar_times = result.series("POLAR", "seconds")
+    greedy_times = result.series("SimpleGreedy", "seconds")
+    # POLAR scales linearly with arrivals while greedy grows
+    # super-linearly: at 5x the load POLAR must not have grown faster
+    # than greedy did.
+    polar_growth = polar_times[-1] / max(polar_times[0], 1e-9)
+    greedy_growth = greedy_times[-1] / max(greedy_times[0], 1e-9)
+    assert polar_growth <= greedy_growth * 2.0
+
+
+def test_fig5_beijing(benchmark, bench_scale):
+    """Figure 5(c,g): Dr sweep on the Beijing stand-in, HP-MSI-fed guide."""
+    result = benchmark.pedantic(
+        lambda: run_fig5_city(
+            "beijing", scale=bench_scale, measure_memory=False, history_days=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep(result))
+    opt = result.series("OPT", "size")
+    assert opt[-1] >= opt[0]  # looser deadlines help
+
+
+def test_fig5_hangzhou(benchmark, bench_scale):
+    """Figure 5(d,h): the Hangzhou stand-in."""
+    result = benchmark.pedantic(
+        lambda: run_fig5_city(
+            "hangzhou", scale=bench_scale, measure_memory=False, history_days=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep(result))
+    assert result.notes["predictor"] == "HP-MSI"

@@ -1,0 +1,51 @@
+"""Benchmarks regenerating Figure 6 (task distribution sweeps)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    run_fig6_spatial_cov,
+    run_fig6_spatial_mean,
+    run_fig6_temporal_mu,
+    run_fig6_temporal_sigma,
+)
+from repro.experiments.report import render_sweep
+
+ALGOS = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
+X_VALUES = [0.25, 0.375, 0.5, 0.625, 0.75]
+
+
+def _run(benchmark, fn, scale):
+    result = benchmark.pedantic(
+        lambda: fn(scale=scale, measure_memory=False, algorithms=ALGOS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep(result))
+    assert result.x_values == X_VALUES
+    return result
+
+
+def test_fig6_mu(benchmark, bench_scale):
+    """Figure 6(a,e): matching size is insensitive to the temporal mean."""
+    _run(benchmark, run_fig6_temporal_mu, bench_scale)
+
+
+def test_fig6_sigma(benchmark, bench_scale):
+    """Figure 6(b,f): temporal spread sweep."""
+    _run(benchmark, run_fig6_temporal_sigma, bench_scale)
+
+
+def test_fig6_mean(benchmark, bench_scale):
+    """Figure 6(c,g): the farther the task centre, the smaller the
+    wait-in-place matching."""
+    result = _run(benchmark, run_fig6_spatial_mean, bench_scale)
+    greedy = result.series("SimpleGreedy", "size")
+    # At mean=0.25 tasks sit on top of the workers (no dispatch needed);
+    # at 0.75 they are far away: greedy must lose ground.
+    assert greedy[0] >= greedy[-1]
+
+
+def test_fig6_cov(benchmark, bench_scale):
+    """Figure 6(d,h): spatial covariance sweep."""
+    _run(benchmark, run_fig6_spatial_cov, bench_scale)

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Table 5 (the seven-predictor shoot-out)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import run_table5
+from repro.prediction import ALL_PREDICTORS
+
+
+def test_table5(benchmark, bench_scale):
+    """Seven predictors x 2 cities x {task, worker} x {RMSLE, ER}.
+
+    The benchmark runs at a reduced volume scale and short history; the
+    EXPERIMENTS.md numbers use longer histories.  The structural check —
+    HP-MSI at or near the top — holds across scales because the weather
+    and weekday structure it exploits is scale-free.
+    """
+    scale = max(bench_scale * 10, 0.1)  # prediction needs non-trivial counts
+    result = benchmark.pedantic(
+        lambda: run_table5(scale=scale, history_days=14, n_eval_days=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(result))
+    assert set(result.row_labels) == set(ALL_PREDICTORS)
+    assert len(result.column_labels) == 8  # 2 metrics x 2 sides x 2 cities
+    # HP-MSI should be at or near the best ER on the task side.
+    er_column = "ER task beijing"
+    scores = {row: result.get(row, er_column) for row in result.row_labels}
+    best = min(scores.values())
+    assert scores["HP-MSI"] <= best * 1.35

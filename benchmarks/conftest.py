@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at a small
+scale through the same registry the CLI uses, asserts the result's
+shape, and prints the rows.  ``BENCH_SCALE`` can be raised via the
+``REPRO_BENCH_SCALE`` environment variable to approach paper scale.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The population scale benchmarks run at (default 0.02)."""
+    return BENCH_SCALE

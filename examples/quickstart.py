@@ -1,0 +1,77 @@
+"""Quickstart: the two-step FTOA framework in thirty lines.
+
+Generates a synthetic day (Table 4's distributions at 1/10 scale), uses
+the generator's exact expectations as the offline prediction, builds the
+offline guide (Algorithm 1) and compares every algorithm the paper
+evaluates.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    SyntheticConfig,
+    SyntheticGenerator,
+    build_guide,
+    exact_oracle,
+    run_batch,
+    run_opt,
+    run_polar,
+    run_polar_op,
+    run_simple_greedy,
+)
+
+
+def main() -> None:
+    # Step 0 — a workload: 2 000 workers and tasks drawn from Table 4's
+    # default normal distributions.  The grid/slot resolution is scaled
+    # down with the population so the predicted count per (slot, area)
+    # stays near one — the regime POLAR's analysis assumes (the paper's
+    # full-scale setting is 20 000 objects on a 50×50 grid × 48 slots).
+    config = SyntheticConfig(
+        n_workers=8_000, n_tasks=8_000, grid_side=30, n_slots=24, seed=42
+    )
+    generator = SyntheticGenerator(config)
+    instance = generator.generate()
+    print(f"workload: {instance}")
+
+    # Step 1 — offline prediction.  On synthetic data the platform knows
+    # the arrival distributions (the i.i.d. model), so the prediction is
+    # the exact expected count per (slot, area), rounded to integers.
+    predicted_workers, predicted_tasks = exact_oracle(generator)
+
+    # Step 2 — offline guide generation (Algorithm 1).
+    slot_minutes = generator.timeline.slot_minutes
+    guide = build_guide(
+        predicted_workers,
+        predicted_tasks,
+        generator.grid,
+        generator.timeline,
+        generator.travel,
+        worker_duration=config.worker_duration_slots * slot_minutes,
+        task_duration=config.task_duration_slots * slot_minutes,
+    )
+    print(f"offline guide: {guide.matched_pairs} pre-computed pairs")
+
+    # Step 3 — online assignment, one pass over the arrival stream each.
+    print()
+    for outcome in (
+        run_simple_greedy(instance),
+        run_batch(instance),
+        run_polar(instance, guide),
+        run_polar_op(instance, guide),
+        run_opt(instance),
+    ):
+        print(f"  {outcome.summary()}")
+    print()
+    print(
+        "POLAR-OP recovers most of POLAR's prediction losses (far fewer\n"
+        "ignored objects) and OPT bounds everything.  At the paper's full\n"
+        "scale the prediction-guided algorithms overtake the wait-in-place\n"
+        "baselines -- run `python -m repro run fig4_workers` to see it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Substitute archived experiment results into EXPERIMENTS.md.
+
+Replaces each ``<!-- RESULTS:<id> -->`` placeholder with the rendered rows
+of ``results/<id>.json`` (falling back to ``results/<alias>.json`` for the
+named variants).  Placeholders without an archived result are annotated
+with the regeneration command instead of silently dropped.
+
+Run after `scripts/run_experiments.sh`:
+
+    python scripts/fill_experiments.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.experiments.report import render  # noqa: E402
+from repro.experiments.results import SweepResult, TableResult  # noqa: E402
+
+# Placeholder id -> result file stem when they differ (none currently;
+# kept for forward compatibility with derived archives).
+ALIASES = {}
+
+PLACEHOLDER = re.compile(r"<!-- RESULTS:([a-z0-9_]+) -->")
+
+
+def _load(path: Path):
+    text = path.read_text()
+    try:
+        return SweepResult.from_json(text)
+    except ReproError:
+        return TableResult.from_json(text)
+
+
+def fill(markdown: str, results_dir: Path) -> str:
+    def replace(match: re.Match) -> str:
+        placeholder_id = match.group(1)
+        stem = ALIASES.get(placeholder_id, placeholder_id)
+        path = results_dir / f"{stem}.json"
+        if not path.exists():
+            # Keep the placeholder so a later fill pass can still land.
+            return (
+                f"{match.group(0)}\n*(not archived in this run — regenerate "
+                f"with `python -m repro run {stem} --out results/`)*"
+            )
+        rendered = render(_load(path))
+        return "```\n" + rendered + "\n```"
+
+    # Drop stale "not archived" notices from earlier passes, then fill.
+    markdown = re.sub(
+        r"\*\(not archived in this run[^)]*\)\*\n?", "", markdown
+    )
+    return PLACEHOLDER.sub(replace, markdown)
+
+
+def main() -> int:
+    experiments_md = REPO / "EXPERIMENTS.md"
+    results_dir = REPO / "results"
+    experiments_md.write_text(fill(experiments_md.read_text(), results_dir))
+    print(f"filled {experiments_md} from {results_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""FTOA reproduction: Flexible Online Task Assignment in Real-Time
+Spatial Data (Tong et al., PVLDB 10(11), 2017).
+
+The public API re-exports the pieces a user needs to run the two-step
+framework end to end::
+
+    from repro import (
+        SyntheticConfig, SyntheticGenerator, build_guide,
+        run_polar, run_polar_op, run_simple_greedy, run_batch, run_opt,
+    )
+
+    generator = SyntheticGenerator(SyntheticConfig(n_workers=2000, n_tasks=2000))
+    instance = generator.generate()
+    a, b = exact_oracle(generator)
+    guide = build_guide(a, b, generator.grid, generator.timeline,
+                        generator.travel, worker_duration=..., task_duration=...)
+    print(run_polar_op(instance, guide).summary())
+
+See README.md for the guided tour and DESIGN.md for the system map.
+"""
+
+from repro.core import (
+    AssignmentOutcome,
+    Decision,
+    OfflineGuide,
+    build_guide,
+    polar_op_ratio,
+    polar_ratio,
+    run_batch,
+    run_opt,
+    run_polar,
+    run_polar_op,
+    run_simple_greedy,
+)
+from repro.model import Instance, Matching, Task, Worker
+from repro.spatial import BoundingBox, Grid, Point, Timeline, TravelModel
+from repro.streams import (
+    CityConfig,
+    SyntheticConfig,
+    SyntheticGenerator,
+    TaxiCity,
+    beijing_config,
+    exact_oracle,
+    hangzhou_config,
+    perturbed_oracle,
+    rounded_counts,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Worker",
+    "Task",
+    "Instance",
+    "Matching",
+    "Point",
+    "BoundingBox",
+    "Grid",
+    "Timeline",
+    "TravelModel",
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "CityConfig",
+    "TaxiCity",
+    "beijing_config",
+    "hangzhou_config",
+    "exact_oracle",
+    "perturbed_oracle",
+    "rounded_counts",
+    "OfflineGuide",
+    "build_guide",
+    "run_polar",
+    "run_polar_op",
+    "run_simple_greedy",
+    "run_batch",
+    "run_opt",
+    "AssignmentOutcome",
+    "Decision",
+    "polar_ratio",
+    "polar_op_ratio",
+    "__version__",
+]

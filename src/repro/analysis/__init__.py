@@ -1,0 +1,24 @@
+"""Analysis tooling: audits and empirical competitive ratios.
+
+* :mod:`repro.analysis.audit` — verifies assignments under explicit
+  movement semantics (Section 5.1's "each pair matched based on the
+  offline guide can be matched in reality" assumption, quantified).
+* :mod:`repro.analysis.competitive` — empirical competitive-ratio
+  estimation over resampled i.i.d. arrival orders (Definition 5).
+* :mod:`repro.analysis.bounds` — Lemma 2's cut-based OPT upper bound,
+  extracted from the guide's residual network.
+"""
+
+from repro.analysis.audit import MovementAudit, audit_outcome
+from repro.analysis.bounds import GuideCutBound, empirical_opt_gap, guide_cut_bound
+from repro.analysis.competitive import CompetitiveRatioEstimate, estimate_competitive_ratio
+
+__all__ = [
+    "MovementAudit",
+    "audit_outcome",
+    "GuideCutBound",
+    "guide_cut_bound",
+    "empirical_opt_gap",
+    "CompetitiveRatioEstimate",
+    "estimate_competitive_ratio",
+]

@@ -1,0 +1,122 @@
+"""Command-line interface: run and render the paper's experiments.
+
+::
+
+    python -m repro list
+    python -m repro run fig4_workers --scale 0.1 --out results/
+    python -m repro run table5_prediction --scale 0.5
+    python -m repro report results/fig4_workers.json
+
+``run`` prints the same rows/series the paper's figure or table reports
+and optionally archives the JSON; ``report`` re-renders archived JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.report import render
+from repro.experiments.results import SweepResult, TableResult
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FTOA reproduction (Tong et al., VLDB 2017) experiment harness",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list all registered experiments")
+
+    run = commands.add_parser("run", help="run one experiment and print its rows")
+    run.add_argument("experiment_id", help="registry id, e.g. fig4_workers")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="population scale (default: the experiment's default)",
+    )
+    run.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip the tracemalloc pass (halves runtime)",
+    )
+    run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to archive the JSON result into",
+    )
+
+    report = commands.add_parser("report", help="render archived JSON results")
+    report.add_argument("paths", nargs="+", type=Path, help="result JSON files")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(spec.experiment_id) for spec in list_experiments())
+    for spec in list_experiments():
+        print(
+            f"{spec.experiment_id.ljust(width)}  {spec.paper_ref:<22}  "
+            f"(scale={spec.default_scale:g})  {spec.description}"
+        )
+    return 0
+
+
+def _cmd_run(experiment_id: str, scale: Optional[float], no_memory: bool, out) -> int:
+    spec = get_experiment(experiment_id)
+    effective_scale = spec.default_scale if scale is None else scale
+    started = time.perf_counter()
+    result = spec.run(scale=effective_scale, measure_memory=not no_memory)
+    elapsed = time.perf_counter() - started
+    print(render(result))
+    print(f"\n[{experiment_id} finished in {elapsed:.1f}s at scale {effective_scale:g}]")
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{experiment_id}.json"
+        result.save(path)
+        print(f"[archived to {path}]")
+    return 0
+
+
+def _cmd_report(paths) -> int:
+    status = 0
+    for path in paths:
+        text = Path(path).read_text()
+        try:
+            result = SweepResult.from_json(text)
+        except ReproError:
+            result = TableResult.from_json(text)
+        print(render(result))
+        print()
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment_id, args.scale, args.no_memory, args.out)
+        if args.command == "report":
+            return _cmd_report(args.paths)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

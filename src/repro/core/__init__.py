@@ -1,0 +1,47 @@
+"""The paper's contribution: the two-step FTOA framework.
+
+* :mod:`repro.core.guide` — Algorithm 1, offline guide generation.
+* :mod:`repro.core.polar` — Algorithm 2, POLAR (occupy, CR ≈ 0.40).
+* :mod:`repro.core.polar_op` — Algorithm 3, POLAR-OP (associate,
+  CR ≈ 0.47).
+* :mod:`repro.core.greedy` — the SimpleGreedy baseline (Section 2.2).
+* :mod:`repro.core.batch` — the GR batched baseline (To et al. 2015).
+* :mod:`repro.core.opt` — the offline optimum OPT.
+* :mod:`repro.core.tgoa` — the TGOA baseline from the paper's related
+  work [26] (extension; not evaluated in the paper itself).
+* :mod:`repro.core.outcome` — the shared assignment-outcome record.
+* :mod:`repro.core.theory` — the competitive-ratio constants and bounds
+  of Lemmas 1–3 / Theorems 1–2.
+"""
+
+from repro.core.batch import run_batch
+from repro.core.greedy import run_simple_greedy
+from repro.core.guide import OfflineGuide, build_guide
+from repro.core.opt import run_opt
+from repro.core.outcome import AssignmentOutcome, Decision
+from repro.core.polar import run_polar
+from repro.core.polar_op import run_polar_op
+from repro.core.tgoa import run_tgoa
+from repro.core.theory import (
+    azuma_deviation_bound,
+    expected_min_poisson,
+    polar_op_ratio,
+    polar_ratio,
+)
+
+__all__ = [
+    "OfflineGuide",
+    "build_guide",
+    "run_polar",
+    "run_polar_op",
+    "run_simple_greedy",
+    "run_batch",
+    "run_opt",
+    "run_tgoa",
+    "AssignmentOutcome",
+    "Decision",
+    "polar_ratio",
+    "polar_op_ratio",
+    "expected_min_poisson",
+    "azuma_deviation_bound",
+]

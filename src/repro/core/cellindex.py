@@ -1,0 +1,146 @@
+"""A per-area bucket index over waiting objects.
+
+SimpleGreedy needs "the nearest feasible partner" per arrival and GR/OPT
+need "all partners within a travel radius".  A dense scan is the paper's
+SimpleGreedy cost model (and is kept as the reference implementation),
+but at experiment scale the harness uses this index: objects are
+bucketed by grid area and queried by expanding Chebyshev rings of cells,
+with the ring lower bound making nearest-neighbour search exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+
+__all__ = ["CellIndex"]
+
+
+class CellIndex:
+    """Buckets of object ids keyed by grid area.
+
+    The index stores ids only; the caller owns id → entity resolution and
+    feasibility checks (the index never guesses about deadlines).
+    """
+
+    __slots__ = ("grid", "_buckets", "_locations", "_count")
+
+    def __init__(self, grid: Grid) -> None:
+        self.grid = grid
+        self._buckets: Dict[int, Set[int]] = {}
+        self._locations: Dict[int, Point] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, object_id: int, location: Point) -> None:
+        """Insert an object (replacing any previous entry for the id)."""
+        if object_id in self._locations:
+            self.remove(object_id)
+        area = self.grid.area_of(location)
+        self._buckets.setdefault(area, set()).add(object_id)
+        self._locations[object_id] = location
+        self._count += 1
+
+    def remove(self, object_id: int) -> None:
+        """Delete an object; missing ids are ignored (lazy expiry)."""
+        location = self._locations.pop(object_id, None)
+        if location is None:
+            return
+        area = self.grid.area_of(location)
+        bucket = self._buckets.get(area)
+        if bucket is not None:
+            bucket.discard(object_id)
+            if not bucket:
+                del self._buckets[area]
+        self._count -= 1
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._locations
+
+    def ids(self) -> Iterator[int]:
+        """Iterate all stored ids (no particular order)."""
+        return iter(self._locations)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def _rings(self, origin: Point) -> Iterator[Tuple[float, List[int]]]:
+        """Yield ``(lower_bound_distance, ids)`` per Chebyshev ring.
+
+        The lower bound is the minimum possible distance from ``origin``
+        to any point of a cell in the ring, so a search may stop once the
+        bound exceeds its current best (exactness of nearest search).
+        """
+        col, row = self.grid.cell_of(origin)
+        cell = min(self.grid.cell_width, self.grid.cell_height)
+        max_ring = max(self.grid.nx, self.grid.ny)
+        for ring in range(max_ring + 1):
+            lower_bound = max(0.0, (ring - 1)) * cell if ring > 0 else 0.0
+            ids: List[int] = []
+            if ring == 0:
+                bucket = self._buckets.get(row * self.grid.nx + col)
+                if bucket:
+                    ids.extend(bucket)
+            else:
+                for c in range(col - ring, col + ring + 1):
+                    if not 0 <= c < self.grid.nx:
+                        continue
+                    for r in (row - ring, row + ring):
+                        if 0 <= r < self.grid.ny:
+                            bucket = self._buckets.get(r * self.grid.nx + c)
+                            if bucket:
+                                ids.extend(bucket)
+                for r in range(row - ring + 1, row + ring):
+                    if not 0 <= r < self.grid.ny:
+                        continue
+                    for c in (col - ring, col + ring):
+                        if 0 <= c < self.grid.nx:
+                            bucket = self._buckets.get(r * self.grid.nx + c)
+                            if bucket:
+                                ids.extend(bucket)
+            yield lower_bound, ids
+
+    def nearest_feasible(
+        self,
+        origin: Point,
+        feasible: Callable[[int, float], bool],
+        max_distance: float,
+    ) -> Optional[int]:
+        """The closest stored id within ``max_distance`` accepted by
+        ``feasible(object_id, distance)``.
+
+        Rings are expanded until their lower bound passes the current
+        best distance (or ``max_distance``), which makes the result exact
+        for Euclidean distance despite the Chebyshev ring shape.
+        """
+        best_id: Optional[int] = None
+        best_distance = max_distance
+        for lower_bound, ids in self._rings(origin):
+            if lower_bound > best_distance:
+                break
+            for object_id in ids:
+                distance = origin.distance_to(self._locations[object_id])
+                if distance <= best_distance and feasible(object_id, distance):
+                    if best_id is None or distance < best_distance or (
+                        distance == best_distance and object_id < best_id
+                    ):
+                        best_id = object_id
+                        best_distance = distance
+        return best_id
+
+    def within(self, origin: Point, radius: float) -> List[Tuple[int, float]]:
+        """All ``(id, distance)`` pairs within ``radius`` of ``origin``."""
+        found: List[Tuple[int, float]] = []
+        for lower_bound, ids in self._rings(origin):
+            if lower_bound > radius:
+                break
+            for object_id in ids:
+                distance = origin.distance_to(self._locations[object_id])
+                if distance <= radius:
+                    found.append((object_id, distance))
+        return found

@@ -1,0 +1,497 @@
+"""Algorithm 1 — offline guide generation.
+
+The guide turns predicted counts ``a_ij`` (workers) and ``b_ij`` (tasks)
+per (slot, area) *type* into a maximum bipartite matching of predicted
+objects.  Each predicted object of type ``(i, j)`` is represented at the
+centre of area ``j`` with arrival time at the midpoint of slot ``i``; an
+edge connects a predicted worker and predicted task iff the pair meets
+Definition 4's deadline constraints.
+
+Two equivalent constructions are provided:
+
+* :func:`build_guide` (default) — the type-compressed transportation form
+  (DESIGN.md §5): supplies ``a``, demands ``b``, lanes between feasible
+  type pairs, one max-flow.  The per-lane flows are then *decomposed*
+  into per-node pairings so POLAR's occupy semantics has concrete nodes.
+* :func:`expanded_guide_size` — the literal Algorithm 1 with one unit
+  node per predicted object and Ford–Fulkerson; used by tests to certify
+  the compression and available for small instances.
+
+Backends: our own Dinic / Edmonds–Karp / min-cost (from scratch in
+:mod:`repro.graph`), plus an optional scipy accelerated path for large
+guides (``method="scipy"`` or ``"auto"``); equivalence is covered by
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.maxflow import edmonds_karp
+from repro.graph.network import FlowNetwork
+from repro.graph.transportation import TransportationProblem, TransportationSolution
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+__all__ = ["OfflineGuide", "build_guide", "enumerate_lanes", "expanded_guide_size"]
+
+_AUTO_SCIPY_THRESHOLD = 20_000  # lanes beyond which "auto" prefers scipy
+
+
+@dataclass(frozen=True)
+class _NodeRef:
+    """A concrete guide node: the ``k``-th node of a type on one side."""
+
+    type_index: int
+    offset: int
+
+
+class OfflineGuide:
+    """The solved guide ``Ĝf``: node counts, per-node partners, lanes.
+
+    Node identity follows the paper: type ``(i, j)`` on the worker side
+    owns ``a_ij`` nodes, on the task side ``b_ij`` nodes.  Flow
+    decomposition pairs individual nodes across each lane in offset
+    order, so partner lookup is O(1) — the key to POLAR's O(1) per
+    arrival.
+
+    Attributes:
+        grid / timeline / travel: the discretisation the guide was built
+            for (used by consumers to type real arrivals).
+        worker_capacity / task_capacity: per-type node counts (the
+            rounded predictions), shape ``(n_types,)``.
+        matched_pairs: ``|E*|`` — the guide's matching size.
+        lane_flow: ``(worker_type, task_type) → pairs`` for positive lanes.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        timeline: Timeline,
+        travel: TravelModel,
+        worker_capacity: np.ndarray,
+        task_capacity: np.ndarray,
+        lane_flow: Dict[Tuple[int, int], int],
+        total_cost: Optional[float] = None,
+    ) -> None:
+        self.grid = grid
+        self.timeline = timeline
+        self.travel = travel
+        self.worker_capacity = worker_capacity
+        self.task_capacity = task_capacity
+        self.lane_flow = dict(lane_flow)
+        self.total_cost = total_cost
+        self.matched_pairs = int(sum(lane_flow.values()))
+        self._worker_partner: Dict[int, List[Optional[_NodeRef]]] = {}
+        self._task_partner: Dict[int, List[Optional[_NodeRef]]] = {}
+        self._decompose()
+
+    # ------------------------------------------------------------------ #
+    # Types
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_types(self) -> int:
+        """Number of (slot, area) types ``α × β``."""
+        return self.timeline.n_slots * self.grid.n_areas
+
+    def type_index(self, slot: int, area: int) -> int:
+        """Flatten (slot, area) → type index."""
+        return slot * self.grid.n_areas + area
+
+    def type_coords(self, type_index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`type_index`."""
+        return divmod(type_index, self.grid.n_areas)
+
+    def area_of_type(self, type_index: int) -> int:
+        """The area component of a type (dispatch destination)."""
+        return type_index % self.grid.n_areas
+
+    # ------------------------------------------------------------------ #
+    # Flow decomposition into node pairings
+    # ------------------------------------------------------------------ #
+
+    def _decompose(self) -> None:
+        next_worker_offset: Dict[int, int] = {}
+        next_task_offset: Dict[int, int] = {}
+        for (wtype, ttype) in sorted(self.lane_flow):
+            units = self.lane_flow[(wtype, ttype)]
+            if units < 0:
+                raise GraphError(f"negative lane flow on ({wtype}, {ttype})")
+            w_list = self._worker_partner.setdefault(
+                wtype, [None] * int(self.worker_capacity[wtype])
+            )
+            t_list = self._task_partner.setdefault(
+                ttype, [None] * int(self.task_capacity[ttype])
+            )
+            w_at = next_worker_offset.get(wtype, 0)
+            t_at = next_task_offset.get(ttype, 0)
+            if w_at + units > len(w_list) or t_at + units > len(t_list):
+                raise GraphError(
+                    f"lane ({wtype}, {ttype}) ships {units} units but only "
+                    f"{len(w_list) - w_at} worker / {len(t_list) - t_at} task "
+                    f"nodes remain — flow exceeds capacity"
+                )
+            for u in range(units):
+                w_list[w_at + u] = _NodeRef(ttype, t_at + u)
+                t_list[t_at + u] = _NodeRef(wtype, w_at + u)
+            next_worker_offset[wtype] = w_at + units
+            next_task_offset[ttype] = t_at + units
+
+    # ------------------------------------------------------------------ #
+    # Node queries (used by POLAR / POLAR-OP)
+    # ------------------------------------------------------------------ #
+
+    def worker_nodes(self, type_index: int) -> int:
+        """Number of worker nodes of a type (``a_ij``)."""
+        return int(self.worker_capacity[type_index])
+
+    def task_nodes(self, type_index: int) -> int:
+        """Number of task nodes of a type (``b_ij``)."""
+        return int(self.task_capacity[type_index])
+
+    def worker_partner(self, type_index: int, offset: int) -> Optional[Tuple[int, int]]:
+        """Guide partner of worker node ``(type, offset)`` as
+        ``(task_type, task_offset)``, or None if unmatched in ``Ĝf``."""
+        partners = self._worker_partner.get(type_index)
+        if partners is None:
+            return None
+        ref = partners[offset]
+        return (ref.type_index, ref.offset) if ref is not None else None
+
+    def task_partner(self, type_index: int, offset: int) -> Optional[Tuple[int, int]]:
+        """Guide partner of task node ``(type, offset)`` as
+        ``(worker_type, worker_offset)``, or None."""
+        partners = self._task_partner.get(type_index)
+        if partners is None:
+            return None
+        ref = partners[offset]
+        return (ref.type_index, ref.offset) if ref is not None else None
+
+    def matched_worker_nodes(self, type_index: int) -> int:
+        """How many of a type's worker nodes carry guide flow."""
+        partners = self._worker_partner.get(type_index)
+        if partners is None:
+            return 0
+        return sum(1 for ref in partners if ref is not None)
+
+    def matched_task_nodes(self, type_index: int) -> int:
+        """How many of a type's task nodes carry guide flow."""
+        partners = self._task_partner.get(type_index)
+        if partners is None:
+            return 0
+        return sum(1 for ref in partners if ref is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OfflineGuide(|E*|={self.matched_pairs}, "
+            f"workers={int(self.worker_capacity.sum())}, "
+            f"tasks={int(self.task_capacity.sum())})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Lane enumeration
+# ---------------------------------------------------------------------- #
+
+
+class LaneSet:
+    """Feasible (worker-type, task-type) lanes as parallel arrays.
+
+    Attributes:
+        worker_types / task_types: int64 arrays of type indices.
+        distances: float64 centre distances per lane.
+    """
+
+    __slots__ = ("worker_types", "task_types", "distances")
+
+    def __init__(
+        self, worker_types: np.ndarray, task_types: np.ndarray, distances: np.ndarray
+    ) -> None:
+        self.worker_types = worker_types
+        self.task_types = task_types
+        self.distances = distances
+
+    def __len__(self) -> int:
+        return int(self.worker_types.shape[0])
+
+    def __iter__(self):
+        """Iterate ``(worker_type, task_type, distance)`` triples."""
+        return zip(
+            self.worker_types.tolist(), self.task_types.tolist(), self.distances.tolist()
+        )
+
+
+def enumerate_lanes(
+    worker_counts: np.ndarray,
+    task_counts: np.ndarray,
+    grid: Grid,
+    timeline: Timeline,
+    travel: TravelModel,
+    worker_duration: float,
+    task_duration: float,
+) -> LaneSet:
+    """All feasible (worker-type, task-type) lanes with centre distances.
+
+    Feasibility follows Algorithm 1 line 8 with type representatives:
+    ``Sw = mid(slot_w)``, ``Sr = mid(slot_r)``, locations at area centres.
+    Only types with positive counts on both sides generate lanes; the
+    per-slot-pair distance filter is vectorised over areas and the result
+    is held in numpy arrays (paper-scale guides produce millions of
+    lanes).
+    """
+    n_slots = timeline.n_slots
+    n_areas = grid.n_areas
+    worker_counts = np.asarray(worker_counts).reshape(n_slots, n_areas)
+    task_counts = np.asarray(task_counts).reshape(n_slots, n_areas)
+
+    centers = np.asarray(
+        [[grid.center_of(a).x, grid.center_of(a).y] for a in range(n_areas)]
+    )
+    worker_areas_by_slot = [np.nonzero(worker_counts[s] > 0)[0] for s in range(n_slots)]
+    task_areas_by_slot = [np.nonzero(task_counts[s] > 0)[0] for s in range(n_slots)]
+
+    chunks_w: List[np.ndarray] = []
+    chunks_t: List[np.ndarray] = []
+    chunks_d: List[np.ndarray] = []
+    for slot_w in range(n_slots):
+        w_areas = worker_areas_by_slot[slot_w]
+        if w_areas.size == 0:
+            continue
+        sw = timeline.slot_mid(slot_w)
+        w_centers = centers[w_areas]
+        base_w = slot_w * n_areas
+        for slot_r in range(n_slots):
+            t_areas = task_areas_by_slot[slot_r]
+            if t_areas.size == 0:
+                continue
+            sr = timeline.slot_mid(slot_r)
+            if not sr < sw + worker_duration:
+                continue
+            budget = task_duration - (sw - sr)
+            if budget < 0:
+                continue
+            radius = travel.reachable_distance(budget)
+            t_centers = centers[t_areas]
+            diff = w_centers[:, None, :] - t_centers[None, :, :]
+            dist = np.sqrt((diff**2).sum(axis=2))
+            w_idx, t_idx = np.nonzero(dist <= radius + 1e-9)
+            if w_idx.size == 0:
+                continue
+            base_r = slot_r * n_areas
+            chunks_w.append(base_w + w_areas[w_idx])
+            chunks_t.append(base_r + t_areas[t_idx])
+            chunks_d.append(dist[w_idx, t_idx])
+    if chunks_w:
+        return LaneSet(
+            np.concatenate(chunks_w).astype(np.int64),
+            np.concatenate(chunks_t).astype(np.int64),
+            np.concatenate(chunks_d),
+        )
+    return LaneSet(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Guide construction
+# ---------------------------------------------------------------------- #
+
+
+def _solve_with_scipy(
+    supplies: np.ndarray,
+    demands: np.ndarray,
+    lanes: "LaneSet",
+) -> Dict[Tuple[int, int], int]:
+    """Max-flow via scipy.sparse.csgraph (C implementation of Dinic).
+
+    Used for large guides; produces the same lane flows as our own
+    solvers up to alternative-optima (tests compare the flow *value* and
+    validity, not the identical decomposition).
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import maximum_flow
+
+    supplies = np.asarray(supplies, dtype=np.int64)
+    demands = np.asarray(demands, dtype=np.int64)
+    n_left = supplies.shape[0]
+    n_right = demands.shape[0]
+    source = 0
+    sink = n_left + n_right + 1
+    n_nodes = sink + 1
+
+    left_used = np.nonzero(supplies > 0)[0]
+    right_used = np.nonzero(demands > 0)[0]
+    lane_caps = np.minimum(
+        supplies[lanes.worker_types], demands[lanes.task_types]
+    )
+    keep = lane_caps > 0
+    lane_w = lanes.worker_types[keep]
+    lane_t = lanes.task_types[keep]
+    lane_caps = lane_caps[keep]
+
+    rows = np.concatenate(
+        [np.zeros(left_used.size, dtype=np.int64), 1 + n_left + right_used, 1 + lane_w]
+    )
+    cols = np.concatenate(
+        [1 + left_used, np.full(right_used.size, sink, dtype=np.int64), 1 + n_left + lane_t]
+    )
+    caps = np.concatenate([supplies[left_used], demands[right_used], lane_caps])
+    # scipy's maximum_flow requires a signed integer capacity dtype.
+    graph = csr_matrix((caps.astype(np.int32), (rows, cols)), shape=(n_nodes, n_nodes))
+    # csr_matrix summed duplicate lanes, which only widens capacities of
+    # identical (u, v) pairs — harmless for a max-flow whose lanes are
+    # already capacity-clamped per side.
+    result = maximum_flow(graph, source, sink)
+    coo = result.flow.tocoo()
+    units = coo.data
+    tails = coo.row
+    heads = coo.col
+    mask = (units > 0) & (tails >= 1) & (tails <= n_left) & (heads > n_left) & (heads < sink)
+    lane_flow: Dict[Tuple[int, int], int] = {}
+    for tail, head, amount in zip(tails[mask], heads[mask], units[mask]):
+        key = (int(tail) - 1, int(head) - 1 - n_left)
+        lane_flow[key] = lane_flow.get(key, 0) + int(amount)
+    return lane_flow
+
+
+def build_guide(
+    worker_counts: np.ndarray,
+    task_counts: np.ndarray,
+    grid: Grid,
+    timeline: Timeline,
+    travel: TravelModel,
+    worker_duration: float,
+    task_duration: float,
+    method: str = "auto",
+) -> OfflineGuide:
+    """Algorithm 1: predicted counts → the offline guide ``Ĝf``.
+
+    Args:
+        worker_counts / task_counts: integer ``a_ij`` / ``b_ij``, shape
+            ``(n_slots, n_areas)`` (or flat).
+        grid / timeline / travel: the problem discretisation.
+        worker_duration / task_duration: global ``Dw`` / ``Dr`` in
+            minutes, applied to every predicted node.
+        method: ``"auto"`` (scipy for big guides when available, else
+            Dinic), ``"dinic"``, ``"edmonds_karp"``, ``"mincost"``
+            (Section 4 note 2: maximum matching of minimum total travel),
+            or ``"scipy"``.
+
+    Raises:
+        ConfigurationError: for negative counts, bad durations or an
+            unknown method.
+    """
+    if worker_duration <= 0 or task_duration <= 0:
+        raise ConfigurationError("durations must be positive")
+    n_types = timeline.n_slots * grid.n_areas
+    supplies = np.asarray(worker_counts, dtype=np.int64).reshape(-1)
+    demands = np.asarray(task_counts, dtype=np.int64).reshape(-1)
+    if supplies.shape != (n_types,) or demands.shape != (n_types,):
+        raise ConfigurationError(
+            f"counts must have {n_types} types, got {supplies.shape} / {demands.shape}"
+        )
+    if (supplies < 0).any() or (demands < 0).any():
+        raise ConfigurationError("counts must be non-negative")
+
+    lanes = enumerate_lanes(
+        supplies, demands, grid, timeline, travel, worker_duration, task_duration
+    )
+
+    if method == "auto":
+        if len(lanes) >= _AUTO_SCIPY_THRESHOLD and _scipy_available():
+            method = "scipy"
+        else:
+            method = "dinic"
+
+    total_cost: Optional[float] = None
+    if method == "scipy":
+        lane_flow = _solve_with_scipy(supplies, demands, lanes)
+    elif method in ("dinic", "edmonds_karp", "mincost"):
+        problem = TransportationProblem(supplies.tolist(), demands.tolist())
+        for u, v, distance in lanes:
+            problem.add_lane(u, v, cost=travel.travel_time_for_distance(distance))
+        solution: TransportationSolution = problem.solve(method=method)
+        lane_flow = solution.lane_flow
+        total_cost = solution.cost
+    else:
+        raise ConfigurationError(f"unknown guide method {method!r}")
+
+    return OfflineGuide(
+        grid=grid,
+        timeline=timeline,
+        travel=travel,
+        worker_capacity=supplies,
+        task_capacity=demands,
+        lane_flow=lane_flow,
+        total_cost=total_cost,
+    )
+
+
+def _scipy_available() -> bool:
+    try:
+        import scipy.sparse.csgraph  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# Literal expanded construction (Algorithm 1 verbatim, for certification)
+# ---------------------------------------------------------------------- #
+
+
+def expanded_guide_size(
+    worker_counts: np.ndarray,
+    task_counts: np.ndarray,
+    grid: Grid,
+    timeline: Timeline,
+    travel: TravelModel,
+    worker_duration: float,
+    task_duration: float,
+) -> int:
+    """Algorithm 1 with one node per predicted object, Ford–Fulkerson.
+
+    Exponentially more nodes than the compressed form (one per predicted
+    object), so only suitable for small instances; tests assert its
+    matching size equals :func:`build_guide`'s ``matched_pairs``.
+    """
+    supplies = np.asarray(worker_counts, dtype=np.int64).reshape(-1)
+    demands = np.asarray(task_counts, dtype=np.int64).reshape(-1)
+    lanes = enumerate_lanes(
+        supplies, demands, grid, timeline, travel, worker_duration, task_duration
+    )
+    lane_set = {(u, v) for u, v, _d in lanes}
+
+    worker_nodes: List[int] = []  # type of each expanded worker node
+    for type_index, count in enumerate(supplies):
+        worker_nodes.extend([type_index] * int(count))
+    task_nodes: List[int] = []
+    task_nodes_by_type: Dict[int, List[int]] = {}
+    for type_index, count in enumerate(demands):
+        for _ in range(int(count)):
+            task_nodes_by_type.setdefault(type_index, []).append(len(task_nodes))
+            task_nodes.append(type_index)
+
+    m = len(worker_nodes)
+    n = len(task_nodes)
+    source = 0
+    sink = m + n + 1
+    network = FlowNetwork(m + n + 2)
+    for w in range(m):
+        network.add_edge(source, 1 + w, 1)
+    for r in range(n):
+        network.add_edge(1 + m + r, sink, 1)
+    task_types_by_worker_type: Dict[int, List[int]] = {}
+    for u, v in lane_set:
+        task_types_by_worker_type.setdefault(u, []).append(v)
+    for w, wtype in enumerate(worker_nodes):
+        for ttype in task_types_by_worker_type.get(wtype, ()):
+            for r in task_nodes_by_type.get(ttype, ()):
+                network.add_edge(1 + w, 1 + m + r, 1)
+    return edmonds_karp(network, source, sink)

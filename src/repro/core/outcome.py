@@ -1,0 +1,95 @@
+"""The shared result record of every online/offline assignment algorithm.
+
+All algorithms — POLAR, POLAR-OP, the baselines and OPT — return an
+:class:`AssignmentOutcome`: the matching itself plus the per-object
+decisions (assigned / dispatched / stay / wait / ignored) that the
+movement audit and the examples inspect, and bookkeeping counters used by
+the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.model.matching import Matching
+
+__all__ = ["Decision", "AssignmentOutcome"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What the platform did with one arriving object.
+
+    Attributes:
+        action: one of ``"assigned"`` (matched immediately or eventually),
+            ``"dispatched"`` (worker sent toward another area per the
+            guide), ``"stay"`` (worker waits at its own location),
+            ``"wait"`` (task waits for a future worker), ``"ignored"``
+            (no guide node of this type — Algorithm 2 line 3 failure).
+        target_area: the destination area for ``"dispatched"`` workers
+            (Algorithm 2 line 11: "dispatch o to go to the area of r"),
+            else None.
+        partner_id: the matched counterpart for objects that end up
+            assigned, else None.
+    """
+
+    action: str
+    target_area: Optional[int] = None
+    partner_id: Optional[int] = None
+
+    ASSIGNED = "assigned"
+    DISPATCHED = "dispatched"
+    STAY = "stay"
+    WAIT = "wait"
+    IGNORED = "ignored"
+
+
+@dataclass
+class AssignmentOutcome:
+    """An algorithm run's full result.
+
+    Attributes:
+        algorithm: display name (``"POLAR-OP"``, ``"SimpleGreedy"``, …).
+        matching: the committed worker–task pairs.
+        worker_decisions: worker id → final :class:`Decision`.
+        task_decisions: task id → final :class:`Decision`.
+        ignored_workers / ignored_tasks: objects with no guide node.
+        extras: free-form counters (guide size, batch count, …).
+    """
+
+    algorithm: str
+    matching: Matching
+    worker_decisions: Dict[int, Decision] = field(default_factory=dict)
+    task_decisions: Dict[int, Decision] = field(default_factory=dict)
+    ignored_workers: int = 0
+    ignored_tasks: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """``MaxSum(M)`` of the run.
+
+        Normally the matching's cardinality; algorithms that compute only
+        the *value* of the optimum (the type-compressed OPT at scale)
+        report it through ``extras["matching_size"]`` instead, which then
+        takes precedence.
+        """
+        if "matching_size" in self.extras:
+            return int(self.extras["matching_size"])
+        return self.matching.size
+
+    def dispatched_worker_ids(self):
+        """Ids of workers the platform moved in advance (sorted)."""
+        return sorted(
+            worker_id
+            for worker_id, decision in self.worker_decisions.items()
+            if decision.action == Decision.DISPATCHED
+        )
+
+    def summary(self) -> str:
+        """One human-readable line for logs and examples."""
+        return (
+            f"{self.algorithm}: matched={self.size} "
+            f"(ignored workers={self.ignored_workers}, tasks={self.ignored_tasks})"
+        )

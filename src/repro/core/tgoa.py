@@ -1,0 +1,207 @@
+"""TGOA-style baseline (Tong et al., ICDE 2016 — the paper's reference [26]).
+
+The paper positions FTOA against TGOA, the state-of-the-art *two-sided*
+online assignment under the random-order model (competitive ratio 0.25,
+workers wait in place).  TGOA's idea: treat the first half of arrivals
+greedily; from the halfway point on, serve each new object according to a
+*maximum matching* over everything currently waiting — the optimal choice
+given what has been revealed, which random-order analysis shows is close
+to optimal overall.
+
+This implementation adapts TGOA to the FTOA setting for use as an extra
+baseline (the paper itself does not evaluate it, noting "their algorithms
+cannot solve our problem" because FTOA adds worker movement):
+
+* phase 1 (first half of the stream): nearest-feasible greedy, exactly
+  like SimpleGreedy;
+* phase 2: on each arrival, build the wait-in-place feasibility graph
+  over the waiting sets plus the newcomer, compute a maximum matching
+  that is forced to include the newcomer if possible (by augmenting from
+  it), and commit **only** the newcomer's edge (the invariable constraint
+  forbids revoking earlier choices; uncommitted pairs stay open).
+
+Note a structural consequence of irrevocable commitments in the FTOA
+setting: objects wait only when nothing feasible is available, so the
+tentative matching over the waiting sets is usually empty and phase 2
+reduces to "serve the newcomer whenever the revealed graph can cover it"
+— slightly more permissive than SimpleGreedy's nearest-only rule, but
+without TGOA's random-order hindsight (which needs deferred commitment
+the FTOA model forbids).  This is exactly the paper's point that "their
+algorithms cannot solve our problem"; the baseline is included for
+completeness.
+
+Workers remain stationary throughout — TGOA has no dispatch concept,
+which is precisely the gap POLAR fills.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.outcome import AssignmentOutcome, Decision
+from repro.model.entities import Task, Worker
+from repro.model.events import Arrival
+from repro.model.instance import Instance
+from repro.model.matching import Matching
+
+__all__ = ["run_tgoa"]
+
+
+def _nearest_feasible(entity, candidates, travel, now, task_side):
+    """Nearest wait-in-place-feasible partner id, or None."""
+    best_id = None
+    best_distance = None
+    for other_id, other in candidates.items():
+        if task_side:
+            worker, task = entity, other
+        else:
+            worker, task = other, entity
+        if task.deadline < now or worker.deadline <= now:
+            continue
+        distance = worker.location.distance_to(task.location)
+        if now + travel.travel_time_for_distance(distance) > task.deadline:
+            continue
+        if (
+            best_distance is None
+            or distance < best_distance
+            or (distance == best_distance and other_id < best_id)
+        ):
+            best_id = other_id
+            best_distance = distance
+    return best_id
+
+
+def _augment_from(newcomer_id, adjacency, matched_partner):
+    """One augmenting-path search rooted at the newcomer (Kuhn step).
+
+    ``adjacency`` maps left ids to candidate right ids; ``matched_partner``
+    is the current right → left tentative matching.  Returns the right id
+    the newcomer ends up matched to, or None.
+    """
+    visited = set()
+
+    def try_match(left_id) -> Optional[int]:
+        for right_id in adjacency.get(left_id, ()):
+            if right_id in visited:
+                continue
+            visited.add(right_id)
+            current = matched_partner.get(right_id)
+            if current is None or try_match(current) is not None:
+                matched_partner[right_id] = left_id
+                return right_id
+        return None
+
+    return try_match(newcomer_id)
+
+
+def run_tgoa(
+    instance: Instance,
+    stream: Optional[Sequence[Arrival]] = None,
+) -> AssignmentOutcome:
+    """Run the TGOA-style baseline over an instance's arrival stream.
+
+    Returns the committed matching; per-object decisions mirror the other
+    baselines (``stay`` / ``wait`` for objects that never match).
+    """
+    outcome = AssignmentOutcome(algorithm="TGOA", matching=Matching())
+    travel = instance.travel
+    events = list(instance.arrival_stream() if stream is None else stream)
+    halfway = len(events) // 2
+
+    waiting_workers: Dict[int, Worker] = {}
+    waiting_tasks: Dict[int, Task] = {}
+
+    def commit(worker_id: int, task_id: int) -> None:
+        outcome.matching.assign(worker_id, task_id)
+        outcome.worker_decisions[worker_id] = Decision(
+            Decision.ASSIGNED, partner_id=task_id
+        )
+        outcome.task_decisions[task_id] = Decision(
+            Decision.ASSIGNED, partner_id=worker_id
+        )
+        waiting_workers.pop(worker_id, None)
+        waiting_tasks.pop(task_id, None)
+
+    def purge(now: float) -> None:
+        for worker_id in [w for w, worker in waiting_workers.items() if worker.deadline <= now]:
+            del waiting_workers[worker_id]
+        for task_id in [t for t, task in waiting_tasks.items() if task.deadline < now]:
+            del waiting_tasks[task_id]
+
+    def optimal_partner(event: Arrival, now: float) -> Optional[int]:
+        """The newcomer's partner in a maximum matching of the waiting
+        graph, found by building a tentative Hungarian matching with the
+        newcomer inserted last (so it only claims a partner when an
+        augmenting path exists)."""
+        if event.is_worker:
+            left_pool = dict(waiting_workers)
+            left_pool[event.entity.id] = event.entity
+            right_pool = waiting_tasks
+        else:
+            left_pool = dict(waiting_tasks)
+            left_pool[event.entity.id] = event.entity
+            right_pool = waiting_workers
+
+        adjacency: Dict[int, list] = {}
+        for left_id, left in left_pool.items():
+            edges = []
+            for right_id, right in right_pool.items():
+                worker, task = (left, right) if event.is_worker else (right, left)
+                if task.deadline < now or worker.deadline <= now:
+                    continue
+                distance = worker.location.distance_to(task.location)
+                if now + travel.travel_time_for_distance(distance) <= task.deadline:
+                    edges.append(right_id)
+            adjacency[left_id] = edges
+
+        matched_partner: Dict[int, int] = {}
+        for left_id in left_pool:
+            if left_id != event.entity.id:
+                _augment_from(left_id, adjacency, matched_partner)
+        return _augment_from(event.entity.id, adjacency, matched_partner)
+
+    for index, event in enumerate(events):
+        now = event.time
+        purge(now)
+        if index < halfway:
+            # Phase 1: plain nearest-feasible greedy.
+            if event.is_worker:
+                partner = _nearest_feasible(
+                    event.entity, waiting_tasks, travel, now, task_side=True
+                )
+                if partner is not None:
+                    commit(event.entity.id, partner)
+                else:
+                    waiting_workers[event.entity.id] = event.entity
+            else:
+                partner = _nearest_feasible(
+                    event.entity, waiting_workers, travel, now, task_side=False
+                )
+                if partner is not None:
+                    commit(partner, event.entity.id)
+                else:
+                    waiting_tasks[event.entity.id] = event.entity
+        else:
+            # Phase 2: match the newcomer per a maximum matching of the
+            # revealed graph.
+            partner = optimal_partner(event, now)
+            if event.is_worker:
+                if partner is not None:
+                    commit(event.entity.id, partner)
+                else:
+                    waiting_workers[event.entity.id] = event.entity
+            else:
+                if partner is not None:
+                    commit(partner, event.entity.id)
+                else:
+                    waiting_tasks[event.entity.id] = event.entity
+
+    for worker_id in waiting_workers:
+        outcome.worker_decisions.setdefault(worker_id, Decision(Decision.STAY))
+    for task_id in waiting_tasks:
+        outcome.task_decisions.setdefault(task_id, Decision(Decision.WAIT))
+    for worker in instance.workers:
+        outcome.worker_decisions.setdefault(worker.id, Decision(Decision.STAY))
+    for task in instance.tasks:
+        outcome.task_decisions.setdefault(task.id, Decision(Decision.WAIT))
+    return outcome

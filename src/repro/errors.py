@@ -1,0 +1,68 @@
+"""Exception hierarchy for the FTOA reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers embedding the library can catch one base class.  Subclasses are
+deliberately fine-grained: configuration mistakes, infeasible model
+constructions and algorithmic misuse are different failure modes and
+deserve different handling upstream.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InvalidEntityError",
+    "GridError",
+    "TimelineError",
+    "GraphError",
+    "FlowError",
+    "MatchingError",
+    "PredictionError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object or experiment configuration is invalid."""
+
+
+class InvalidEntityError(ReproError):
+    """A worker or task was constructed with inconsistent attributes."""
+
+
+class GridError(ReproError):
+    """A spatial grid operation received an out-of-range location or index."""
+
+
+class TimelineError(ReproError):
+    """A time-slot operation received an out-of-range instant or slot index."""
+
+
+class GraphError(ReproError):
+    """A flow network or bipartite graph was built or queried incorrectly."""
+
+
+class FlowError(GraphError):
+    """A max-flow / min-cost flow computation was asked for something invalid."""
+
+
+class MatchingError(ReproError):
+    """A matching violates its one-to-one or feasibility invariants."""
+
+
+class PredictionError(ReproError):
+    """A predictor was fit or queried with inconsistent data."""
+
+
+class SimulationError(ReproError):
+    """The online simulation engine detected an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment run failed."""

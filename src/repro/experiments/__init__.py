@@ -1,0 +1,31 @@
+"""Experiment harness: every table and figure of Section 6.
+
+The registry maps experiment ids (see DESIGN.md §4) to driver functions;
+the CLI (`python -m repro`) and the benchmark suite both go through it.
+
+* :mod:`repro.experiments.measurement` — wall time + tracemalloc peaks.
+* :mod:`repro.experiments.runner` — run all algorithms on one instance.
+* :mod:`repro.experiments.figures` — the Figure 4/5/6 sweep drivers.
+* :mod:`repro.experiments.tables` — the Table 5 prediction shoot-out.
+* :mod:`repro.experiments.ablations` — CR validation, prediction-noise
+  and guide-solver ablations.
+* :mod:`repro.experiments.report` — plain-text rendering and JSON I/O.
+"""
+
+from repro.experiments.measurement import MeasuredRun, measure
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.results import AlgoCell, SweepResult, TableResult
+from repro.experiments.runner import DEFAULT_ALGORITHMS, run_algorithms_on_instance
+
+__all__ = [
+    "measure",
+    "MeasuredRun",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "SweepResult",
+    "TableResult",
+    "AlgoCell",
+    "DEFAULT_ALGORITHMS",
+    "run_algorithms_on_instance",
+]

@@ -1,0 +1,243 @@
+"""Ablations beyond the paper's headline figures.
+
+* :func:`run_competitive_ratio` — Monte-Carlo validation of the 0.40 /
+  0.47 competitive ratios of Theorems 1–2 (the *analysed* random node
+  choices, compared against OPT on fresh i.i.d. draws).
+* :func:`run_prediction_noise` — degrade the oracle with multiplicative
+  error and watch POLAR fall below SimpleGreedy, the effect the paper
+  observes on real data (Figure 5(c–d) discussion).
+* :func:`run_guide_solvers` — Algorithm 1's solver choices (Ford–
+  Fulkerson, Dinic, min-cost, scipy): equal matching sizes, different
+  costs/times; the min-cost variant additionally minimises travel
+  (Section 4, note 2).
+* :func:`run_batch_window` — GR's window-length sensitivity.
+* :func:`run_movement_audit` — quantifies Section 5.1's "guide pairs are
+  realisable" assumption under explicit movement semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.analysis.audit import audit_outcome
+from repro.analysis.competitive import estimate_competitive_ratio
+from repro.core.batch import run_batch
+from repro.core.greedy import run_simple_greedy
+from repro.core.guide import build_guide
+from repro.core.polar import run_polar
+from repro.core.polar_op import run_polar_op
+from repro.core.theory import polar_op_ratio, polar_ratio
+from repro.errors import ExperimentError
+from repro.experiments.results import TableResult
+from repro.seeding import derive_random
+from repro.streams.oracle import exact_oracle, perturbed_oracle
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+__all__ = [
+    "run_competitive_ratio",
+    "run_prediction_noise",
+    "run_guide_solvers",
+    "run_batch_window",
+    "run_movement_audit",
+]
+
+# A dense small configuration: enough arrivals per type that the i.i.d.
+# trial model (every arrival lands on a predicted type) approximately
+# holds, which is the regime the theorems speak about.
+_CR_CONFIG = SyntheticConfig(
+    n_workers=3_000,
+    n_tasks=3_000,
+    grid_side=12,
+    n_slots=12,
+    task_duration_slots=2.0,
+    worker_duration_slots=4.0,
+)
+
+
+def _build_default_guide(generator: SyntheticGenerator):
+    config = generator.config
+    slot_minutes = generator.timeline.slot_minutes
+    worker_counts, task_counts = exact_oracle(generator)
+    return build_guide(
+        worker_counts,
+        task_counts,
+        generator.grid,
+        generator.timeline,
+        generator.travel,
+        worker_duration=config.worker_duration_slots * slot_minutes,
+        task_duration=config.task_duration_slots * slot_minutes,
+    )
+
+
+def run_competitive_ratio(
+    scale: float = 1.0,
+    n_draws: int = 8,
+    config: SyntheticConfig = _CR_CONFIG,
+) -> TableResult:
+    """Estimate empirical CRs for POLAR/POLAR-OP against theory."""
+    if n_draws < 1:
+        raise ExperimentError("n_draws must be >= 1")
+    config = config.scaled(
+        n_workers=max(1, int(config.n_workers * scale)),
+        n_tasks=max(1, int(config.n_tasks * scale)),
+    )
+    generator = SyntheticGenerator(config)
+    guide = _build_default_guide(generator)
+
+    result = TableResult(experiment_id="ablation_cr")
+    result.notes["n_draws"] = str(n_draws)
+    result.notes["config"] = repr(config)
+
+    for name, runner, bound in (
+        (
+            "POLAR",
+            lambda inst: run_polar(inst, guide, node_choice="random"),
+            polar_ratio(),
+        ),
+        (
+            "POLAR-OP",
+            lambda inst: run_polar_op(inst, guide, node_choice="random"),
+            polar_op_ratio(),
+        ),
+        (
+            "POLAR-OP (round robin)",
+            lambda inst: run_polar_op(inst, guide, node_choice="round_robin"),
+            polar_op_ratio(),
+        ),
+    ):
+        estimate = estimate_competitive_ratio(
+            runner,
+            lambda draw: generator.generate(seed=1_000 + draw),
+            n_draws=n_draws,
+            name=name,
+        )
+        result.set(name, "mean ALG/OPT", estimate.mean)
+        result.set(name, "min ALG/OPT", estimate.minimum)
+        result.set(name, "theory bound", bound)
+    return result
+
+
+def run_prediction_noise(
+    scale: float = 0.25,
+    noise_levels: Iterable[float] = (0.0, 0.25, 0.5, 1.0, 2.0),
+) -> TableResult:
+    """Matching size vs oracle noise — when does greedy overtake POLAR?"""
+    config = SyntheticConfig().scaled(
+        n_workers=max(1, int(20_000 * scale)),
+        n_tasks=max(1, int(20_000 * scale)),
+    )
+    generator = SyntheticGenerator(config)
+    instance = generator.generate()
+    slot_minutes = generator.timeline.slot_minutes
+    expected_workers = generator.expected_worker_counts()
+    expected_tasks = generator.expected_task_counts()
+
+    result = TableResult(experiment_id="ablation_prediction_noise")
+    result.notes["scale"] = f"{scale:g}"
+    greedy_size = run_simple_greedy(instance, indexed=True).size
+
+    for noise in noise_levels:
+        rng = derive_random("noise", noise)
+        worker_counts = perturbed_oracle(expected_workers, noise, rng)
+        task_counts = perturbed_oracle(expected_tasks, noise, rng)
+        guide = build_guide(
+            worker_counts,
+            task_counts,
+            generator.grid,
+            generator.timeline,
+            generator.travel,
+            worker_duration=config.worker_duration_slots * slot_minutes,
+            task_duration=config.task_duration_slots * slot_minutes,
+        )
+        label = f"noise={noise:g}"
+        result.set(label, "POLAR", run_polar(instance, guide).size)
+        result.set(label, "POLAR-OP", run_polar_op(instance, guide).size)
+        result.set(label, "SimpleGreedy", greedy_size)
+        result.set(label, "guide size", guide.matched_pairs)
+    return result
+
+
+def run_guide_solvers(scale: float = 0.1) -> TableResult:
+    """Compare Algorithm 1 solver back-ends on one prediction."""
+    import time
+
+    config = SyntheticConfig().scaled(
+        n_workers=max(1, int(20_000 * scale)),
+        n_tasks=max(1, int(20_000 * scale)),
+    )
+    generator = SyntheticGenerator(config)
+    worker_counts, task_counts = exact_oracle(generator)
+    slot_minutes = generator.timeline.slot_minutes
+
+    result = TableResult(experiment_id="ablation_guide_solvers")
+    result.notes["scale"] = f"{scale:g}"
+    for method in ("edmonds_karp", "dinic", "mincost", "scipy"):
+        start = time.perf_counter()
+        guide = build_guide(
+            worker_counts,
+            task_counts,
+            generator.grid,
+            generator.timeline,
+            generator.travel,
+            worker_duration=config.worker_duration_slots * slot_minutes,
+            task_duration=config.task_duration_slots * slot_minutes,
+            method=method,
+        )
+        seconds = time.perf_counter() - start
+        result.set(method, "guide size", guide.matched_pairs)
+        result.set(method, "seconds", seconds)
+        if guide.total_cost is not None:
+            result.set(method, "travel cost (min)", guide.total_cost)
+    return result
+
+
+def run_batch_window(
+    scale: float = 0.1,
+    windows: Iterable[float] = (0.5, 1.0, 3.0, 7.5, 15.0, 30.0),
+) -> TableResult:
+    """GR matching size / time as a function of the batching window."""
+    import time
+
+    config = SyntheticConfig().scaled(
+        n_workers=max(1, int(20_000 * scale)),
+        n_tasks=max(1, int(20_000 * scale)),
+    )
+    instance = SyntheticGenerator(config).generate()
+    result = TableResult(experiment_id="ablation_batch_window")
+    result.notes["scale"] = f"{scale:g}"
+    for window in windows:
+        start = time.perf_counter()
+        outcome = run_batch(instance, window_minutes=window)
+        seconds = time.perf_counter() - start
+        label = f"{window:g} min"
+        result.set(label, "size", outcome.size)
+        result.set(label, "seconds", seconds)
+        result.set(label, "batches", outcome.extras.get("batches", 0))
+    return result
+
+
+def run_movement_audit(scale: float = 0.25) -> TableResult:
+    """Violation rates of matched pairs under movement semantics."""
+    config = SyntheticConfig().scaled(
+        n_workers=max(1, int(20_000 * scale)),
+        n_tasks=max(1, int(20_000 * scale)),
+    )
+    generator = SyntheticGenerator(config)
+    instance = generator.generate()
+    guide = _build_default_guide(generator)
+
+    result = TableResult(experiment_id="ablation_movement_audit")
+    result.notes["scale"] = f"{scale:g}"
+    for name, outcome in (
+        ("POLAR", run_polar(instance, guide)),
+        ("POLAR-OP", run_polar_op(instance, guide)),
+        ("SimpleGreedy", run_simple_greedy(instance, indexed=True)),
+        ("GR", run_batch(instance)),
+    ):
+        audit = audit_outcome(instance, outcome)
+        result.set(name, "matched", audit.total_pairs)
+        result.set(name, "violations", len(audit.violations))
+        result.set(name, "violation rate", audit.violation_rate)
+        result.set(name, "max lateness (min)", audit.max_lateness)
+    return result

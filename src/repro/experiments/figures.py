@@ -1,0 +1,381 @@
+"""Sweep drivers for Figures 4, 5 and 6.
+
+Each driver reproduces one figure column: it sweeps the paper's factor
+(Table 4 values for synthetic data, Table 3 for the taxi stand-ins),
+runs the five compared algorithms at every point and returns a
+:class:`~repro.experiments.results.SweepResult` whose three metrics map
+to the paper's matching-size / time / memory panel rows.
+
+``scale`` multiplies population sizes so the sweeps fit any time budget:
+``scale=1.0`` is the paper's configuration; benchmarks run tiny scales.
+All deviations (scale, seeds, OPT mode) are recorded in the result's
+``notes``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.results import SweepResult
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHMS,
+    build_guide_for_instance,
+    run_algorithms_on_instance,
+)
+from repro.prediction.hpmsi import HpMsiPredictor
+from repro.streams.oracle import exact_oracle, rounded_counts
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+from repro.streams.taxi import CityConfig, TaxiCity, beijing_config, hangzhou_config
+
+__all__ = [
+    "run_fig4_workers",
+    "run_fig4_tasks",
+    "run_fig4_deadline",
+    "run_fig4_grids",
+    "run_fig5_slots",
+    "run_fig5_scalability",
+    "run_fig5_city",
+    "run_fig6_temporal_mu",
+    "run_fig6_temporal_sigma",
+    "run_fig6_spatial_mean",
+    "run_fig6_spatial_cov",
+]
+
+_BASE = SyntheticConfig()  # Table 4 bold defaults
+
+
+def _scaled_count(value: int, scale: float) -> int:
+    if scale <= 0:
+        raise ExperimentError(f"scale must be positive, got {scale}")
+    return max(1, int(round(value * scale)))
+
+
+def _sweep_synthetic(
+    experiment_id: str,
+    x_label: str,
+    points: Sequence[Tuple[float, SyntheticConfig]],
+    scale: float,
+    measure_memory: bool,
+    algorithms: Iterable[str],
+    opt_method: str = "auto",
+) -> SweepResult:
+    """Shared machinery: one synthetic config per sweep point."""
+    result = SweepResult(experiment_id=experiment_id, x_label=x_label)
+    result.notes["scale"] = f"{scale:g}"
+    result.notes["algorithms"] = ",".join(algorithms)
+    for x_value, config in points:
+        generator = SyntheticGenerator(config)
+        instance = generator.generate()
+        worker_counts, task_counts = exact_oracle(generator)
+        slot_minutes = generator.timeline.slot_minutes
+        guide, guide_seconds = build_guide_for_instance(
+            instance,
+            worker_counts,
+            task_counts,
+            worker_duration=config.worker_duration_slots * slot_minutes,
+            task_duration=config.task_duration_slots * slot_minutes,
+        )
+        cells = run_algorithms_on_instance(
+            instance,
+            guide,
+            algorithms=algorithms,
+            measure_memory=measure_memory,
+            opt_method=opt_method,
+        )
+        result.add_point(x_value, cells)
+        result.notes[f"guide_seconds@{x_value:g}"] = f"{guide_seconds:.3f}"
+        result.notes[f"guide_size@{x_value:g}"] = str(guide.matched_pairs)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4 — synthetic: |W|, |R|, Dr, grids
+# ---------------------------------------------------------------------- #
+
+
+def run_fig4_workers(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 4(a, e, i): vary ``|W|`` in {5k, 10k, 20k, 30k, 40k}."""
+    points = [
+        (
+            float(n),
+            _BASE.scaled(
+                n_workers=_scaled_count(n, scale),
+                n_tasks=_scaled_count(20_000, scale),
+            ),
+        )
+        for n in (5_000, 10_000, 20_000, 30_000, 40_000)
+    ]
+    return _sweep_synthetic(
+        "fig4_workers", "|W|", points, scale, measure_memory, algorithms
+    )
+
+
+def run_fig4_tasks(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 4(b, f, j): vary ``|R|`` in {5k, 10k, 20k, 30k, 40k}."""
+    points = [
+        (
+            float(n),
+            _BASE.scaled(
+                n_workers=_scaled_count(20_000, scale),
+                n_tasks=_scaled_count(n, scale),
+            ),
+        )
+        for n in (5_000, 10_000, 20_000, 30_000, 40_000)
+    ]
+    return _sweep_synthetic(
+        "fig4_tasks", "|R|", points, scale, measure_memory, algorithms
+    )
+
+
+def run_fig4_deadline(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 4(c, g, k): vary ``Dr`` in {1.0, 1.5, 2.0, 2.5, 3.0} slots."""
+    points = [
+        (
+            dr,
+            _BASE.scaled(
+                n_workers=_scaled_count(20_000, scale),
+                n_tasks=_scaled_count(20_000, scale),
+                task_duration_slots=dr,
+            ),
+        )
+        for dr in (1.0, 1.5, 2.0, 2.5, 3.0)
+    ]
+    return _sweep_synthetic(
+        "fig4_deadline", "Dr", points, scale, measure_memory, algorithms
+    )
+
+
+def run_fig4_grids(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 4(d, h, l): vary the grid side in {20, 30, 50, 100, 200}."""
+    points = [
+        (
+            float(side),
+            _BASE.scaled(
+                n_workers=_scaled_count(20_000, scale),
+                n_tasks=_scaled_count(20_000, scale),
+                grid_side=side,
+            ),
+        )
+        for side in (20, 30, 50, 100, 200)
+    ]
+    return _sweep_synthetic(
+        "fig4_grids", "grid side", points, scale, measure_memory, algorithms
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 — time slots, scalability, and the two cities
+# ---------------------------------------------------------------------- #
+
+
+def run_fig5_slots(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 5(a, e, i): vary the slot count in {12, 24, 48, 96, 144}."""
+    points = [
+        (
+            float(t),
+            _BASE.scaled(
+                n_workers=_scaled_count(20_000, scale),
+                n_tasks=_scaled_count(20_000, scale),
+                n_slots=t,
+            ),
+        )
+        for t in (12, 24, 48, 96, 144)
+    ]
+    return _sweep_synthetic(
+        "fig5_slots", "time slots", points, scale, measure_memory, algorithms
+    )
+
+
+def run_fig5_scalability(
+    scale: float = 0.1,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT"),
+) -> SweepResult:
+    """Figure 5(b, f, j): ``|W| = |R|`` in {200k … 1M} (scaled).
+
+    The paper omits OPT's time/memory here; we run OPT in compressed mode
+    (its matching size is still reported, like the paper's 5(b)).  The
+    default ``scale=0.1`` keeps pure-Python runtimes sane — the claim
+    under test is the *flatness* of POLAR's per-arrival cost, which is
+    scale-invariant.
+    """
+    points = [
+        (
+            float(n),
+            _BASE.scaled(
+                n_workers=_scaled_count(n, scale),
+                n_tasks=_scaled_count(n, scale),
+            ),
+        )
+        for n in (200_000, 400_000, 600_000, 800_000, 1_000_000)
+    ]
+    return _sweep_synthetic(
+        "fig5_scalability",
+        "|W|=|R|",
+        points,
+        scale,
+        measure_memory,
+        algorithms,
+        opt_method="compressed",
+    )
+
+
+def run_fig5_city(
+    city: str,
+    scale: float = 0.2,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    history_days: int = 28,
+    eval_day_offset: int = 1,
+) -> SweepResult:
+    """Figure 5(c/d, g/h, k/l): vary ``Dr`` on a taxi-city day.
+
+    The offline prediction is the full Table 5 winner: HP-MSI trained on
+    ``history_days`` of the city's history forecasts the evaluation day,
+    and the forecast (not the ground truth) feeds the guide — this is the
+    end-to-end two-step framework.
+
+    Args:
+        city: ``"beijing"`` or ``"hangzhou"``.
+        scale: volume scale on the city's daily counts.
+        history_days: training window for HP-MSI.
+        eval_day_offset: evaluation day = history end + offset.
+    """
+    if city == "beijing":
+        config = beijing_config()
+    elif city == "hangzhou":
+        config = hangzhou_config()
+    else:
+        raise ExperimentError(f"unknown city {city!r}")
+    config = config.scaled(scale)
+    taxi = TaxiCity(config)
+
+    task_history, worker_history = taxi.generate_history(history_days)
+    eval_day = history_days - 1 + eval_day_offset
+    context = taxi.day_context(eval_day)
+
+    task_predictor = HpMsiPredictor(seed=1)
+    task_predictor.fit(task_history)
+    predicted_tasks = rounded_counts(task_predictor.predict(context))
+    worker_predictor = HpMsiPredictor(seed=2)
+    worker_predictor.fit(worker_history)
+    predicted_workers = rounded_counts(worker_predictor.predict(context))
+
+    result = SweepResult(experiment_id=f"fig5_{city}", x_label="Dr")
+    result.notes["scale"] = f"{scale:g}"
+    result.notes["predictor"] = "HP-MSI"
+    result.notes["history_days"] = str(history_days)
+    slot_minutes = taxi.timeline.slot_minutes
+    for dr in (0.5, 0.75, 1.0, 1.25, 1.5):
+        instance = taxi.generate_day(eval_day, task_duration_slots=dr)
+        guide, guide_seconds = build_guide_for_instance(
+            instance,
+            predicted_workers,
+            predicted_tasks,
+            worker_duration=config.worker_duration_slots * slot_minutes,
+            task_duration=dr * slot_minutes,
+        )
+        cells = run_algorithms_on_instance(
+            instance, guide, algorithms=algorithms, measure_memory=measure_memory
+        )
+        result.add_point(dr, cells)
+        result.notes[f"guide_seconds@{dr:g}"] = f"{guide_seconds:.3f}"
+        result.notes[f"guide_size@{dr:g}"] = str(guide.matched_pairs)
+        result.notes[f"objects@{dr:g}"] = str(instance.n_workers + instance.n_tasks)
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6 — task temporal/spatial distribution sweeps
+# ---------------------------------------------------------------------- #
+
+
+def _fig6_sweep(
+    experiment_id: str,
+    x_label: str,
+    field: str,
+    scale: float,
+    measure_memory: bool,
+    algorithms: Iterable[str],
+) -> SweepResult:
+    points = [
+        (
+            value,
+            _BASE.scaled(
+                n_workers=_scaled_count(20_000, scale),
+                n_tasks=_scaled_count(20_000, scale),
+                **{field: value},
+            ),
+        )
+        for value in (0.25, 0.375, 0.5, 0.625, 0.75)
+    ]
+    return _sweep_synthetic(
+        experiment_id, x_label, points, scale, measure_memory, algorithms
+    )
+
+
+def run_fig6_temporal_mu(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 6(a, e, i): vary the tasks' temporal μ fraction."""
+    return _fig6_sweep(
+        "fig6_mu", "mu", "task_temporal_mu", scale, measure_memory, algorithms
+    )
+
+
+def run_fig6_temporal_sigma(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 6(b, f, j): vary the tasks' temporal σ fraction."""
+    return _fig6_sweep(
+        "fig6_sigma", "sigma", "task_temporal_sigma", scale, measure_memory, algorithms
+    )
+
+
+def run_fig6_spatial_mean(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 6(c, g, k): vary the tasks' spatial mean fraction."""
+    return _fig6_sweep(
+        "fig6_mean", "mean", "task_spatial_mean", scale, measure_memory, algorithms
+    )
+
+
+def run_fig6_spatial_cov(
+    scale: float = 1.0,
+    measure_memory: bool = True,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+) -> SweepResult:
+    """Figure 6(d, h, l): vary the tasks' spatial covariance fraction."""
+    return _fig6_sweep(
+        "fig6_cov", "cov", "task_spatial_cov", scale, measure_memory, algorithms
+    )

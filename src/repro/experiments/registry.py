@@ -1,0 +1,211 @@
+"""The experiment registry: DESIGN.md §4's index, executable.
+
+Every entry maps an experiment id to a driver with the uniform signature
+``fn(scale, measure_memory) -> SweepResult | TableResult``.  The CLI and
+the benchmark suite both resolve experiments here, so the index in
+DESIGN.md, the benches and the CLI can never drift apart (a test walks
+this registry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
+
+from repro.errors import ExperimentError
+from repro.experiments import ablations, figures, tables
+from repro.experiments.results import SweepResult, TableResult
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+Result = Union[SweepResult, TableResult]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment.
+
+    Attributes:
+        experiment_id: registry key (also the DESIGN.md id).
+        paper_ref: which figure/table of the paper this regenerates.
+        description: one line for ``repro list``.
+        default_scale: the scale the EXPERIMENTS.md runs used.
+        run: the driver.
+    """
+
+    experiment_id: str
+    paper_ref: str
+    description: str
+    default_scale: float
+    run: Callable[..., Result]
+
+
+def _spec(experiment_id, paper_ref, description, default_scale, run) -> ExperimentSpec:
+    return ExperimentSpec(experiment_id, paper_ref, description, default_scale, run)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        _spec(
+            "fig4_workers",
+            "Figure 4(a,e,i)",
+            "synthetic sweep over |W| in {5k..40k}",
+            1.0,
+            figures.run_fig4_workers,
+        ),
+        _spec(
+            "fig4_tasks",
+            "Figure 4(b,f,j)",
+            "synthetic sweep over |R| in {5k..40k}",
+            1.0,
+            figures.run_fig4_tasks,
+        ),
+        _spec(
+            "fig4_deadline",
+            "Figure 4(c,g,k)",
+            "synthetic sweep over Dr in {1.0..3.0} slots",
+            1.0,
+            figures.run_fig4_deadline,
+        ),
+        _spec(
+            "fig4_grids",
+            "Figure 4(d,h,l)",
+            "synthetic sweep over grid side in {20..200}",
+            1.0,
+            figures.run_fig4_grids,
+        ),
+        _spec(
+            "fig5_slots",
+            "Figure 5(a,e,i)",
+            "synthetic sweep over slot count in {12..144}",
+            1.0,
+            figures.run_fig5_slots,
+        ),
+        _spec(
+            "fig5_scalability",
+            "Figure 5(b,f,j)",
+            "scalability sweep |W|=|R| in {200k..1M} (scaled)",
+            0.1,
+            figures.run_fig5_scalability,
+        ),
+        _spec(
+            "fig5_beijing",
+            "Figure 5(c,g,k)",
+            "Beijing stand-in: Dr sweep with HP-MSI-fed guide",
+            0.2,
+            lambda scale=0.2, measure_memory=True: figures.run_fig5_city(
+                "beijing", scale=scale, measure_memory=measure_memory
+            ),
+        ),
+        _spec(
+            "fig5_hangzhou",
+            "Figure 5(d,h,l)",
+            "Hangzhou stand-in: Dr sweep with HP-MSI-fed guide",
+            0.2,
+            lambda scale=0.2, measure_memory=True: figures.run_fig5_city(
+                "hangzhou", scale=scale, measure_memory=measure_memory
+            ),
+        ),
+        _spec(
+            "fig6_mu",
+            "Figure 6(a,e,i)",
+            "task temporal mu sweep",
+            1.0,
+            figures.run_fig6_temporal_mu,
+        ),
+        _spec(
+            "fig6_sigma",
+            "Figure 6(b,f,j)",
+            "task temporal sigma sweep",
+            1.0,
+            figures.run_fig6_temporal_sigma,
+        ),
+        _spec(
+            "fig6_mean",
+            "Figure 6(c,g,k)",
+            "task spatial mean sweep",
+            1.0,
+            figures.run_fig6_spatial_mean,
+        ),
+        _spec(
+            "fig6_cov",
+            "Figure 6(d,h,l)",
+            "task spatial covariance sweep",
+            1.0,
+            figures.run_fig6_spatial_cov,
+        ),
+        _spec(
+            "table5_prediction",
+            "Table 5",
+            "7 predictors x 2 cities x {task,worker}, RMSLE and ER",
+            1.0,
+            lambda scale=1.0, measure_memory=True: tables.run_table5(scale=scale),
+        ),
+        _spec(
+            "ablation_cr",
+            "Theorems 1-2",
+            "Monte-Carlo competitive ratios vs 0.40/0.47",
+            1.0,
+            lambda scale=1.0, measure_memory=True: ablations.run_competitive_ratio(
+                scale=scale
+            ),
+        ),
+        _spec(
+            "ablation_prediction_noise",
+            "Sec. 6.3.2 discussion",
+            "guide quality vs oracle noise (greedy crossover)",
+            0.25,
+            lambda scale=0.25, measure_memory=True: ablations.run_prediction_noise(
+                scale=scale
+            ),
+        ),
+        _spec(
+            "ablation_guide_solvers",
+            "Sec. 4 notes (1)-(2)",
+            "Algorithm 1 backends: FF/Dinic/min-cost/scipy",
+            0.1,
+            lambda scale=0.1, measure_memory=True: ablations.run_guide_solvers(
+                scale=scale
+            ),
+        ),
+        _spec(
+            "ablation_batch_window",
+            "Sec. 6.1 (GR)",
+            "GR window-length sensitivity",
+            0.1,
+            lambda scale=0.1, measure_memory=True: ablations.run_batch_window(
+                scale=scale
+            ),
+        ),
+        _spec(
+            "ablation_movement_audit",
+            "Sec. 5.1 assumption",
+            "deadline feasibility of matched pairs under movement",
+            0.25,
+            lambda scale=0.25, measure_memory=True: ablations.run_movement_audit(
+                scale=scale
+            ),
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Resolve an experiment id.
+
+    Raises:
+        ExperimentError: for unknown ids (message lists valid ones).
+    """
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """All registered experiments, in registry order."""
+    return list(EXPERIMENTS.values())

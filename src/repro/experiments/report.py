@@ -1,0 +1,92 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints "the same rows/series the paper reports": one text
+table per metric for sweeps (matching size / time / memory — the three
+panel rows of Figures 4–6) and one labelled grid for tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.experiments.results import SweepResult, TableResult
+
+__all__ = ["render_sweep", "render_table", "render"]
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:,.2f}".rstrip("0").rstrip(".")
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _render_grid(title: str, headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_sweep(result: SweepResult) -> str:
+    """Three text tables (size, time, memory) for one figure column."""
+    sections = []
+    metric_titles = (
+        ("size", "Matching size"),
+        ("seconds", "Time (secs)"),
+        ("peak_mb", "Memory (MB)"),
+    )
+    algorithms = list(result.cells)
+    for metric, title in metric_titles:
+        series = {alg: result.series(alg, metric) for alg in algorithms}
+        if metric == "peak_mb" and all(
+            all(v is None for v in values) for values in series.values()
+        ):
+            continue
+        headers = [result.x_label] + algorithms
+        rows = []
+        for index, x_value in enumerate(result.x_values):
+            row = [_format_value(x_value)]
+            for alg in algorithms:
+                row.append(_format_value(series[alg][index]))
+            rows.append(row)
+        sections.append(
+            _render_grid(f"== {result.experiment_id}: {title} ==", headers, rows)
+        )
+    if result.notes:
+        notes = ", ".join(f"{k}={v}" for k, v in sorted(result.notes.items()))
+        sections.append(f"notes: {notes}")
+    return "\n\n".join(sections)
+
+
+def render_table(result: TableResult) -> str:
+    """One labelled grid for a table-style experiment."""
+    headers = [result.experiment_id] + result.column_labels
+    rows = []
+    for label, values in zip(result.row_labels, result.values):
+        rows.append([label] + [_format_value(v) for v in values])
+    text = _render_grid(f"== {result.experiment_id} ==", headers, rows)
+    if result.notes:
+        notes = ", ".join(f"{k}={v}" for k, v in sorted(result.notes.items()))
+        text += f"\nnotes: {notes}"
+    return text
+
+
+def render(result: Union[SweepResult, TableResult]) -> str:
+    """Dispatch on result kind."""
+    if isinstance(result, SweepResult):
+        return render_sweep(result)
+    return render_table(result)

@@ -1,0 +1,199 @@
+"""Result containers for sweeps (figures) and grids (tables).
+
+Figures in the paper are one varied factor × five algorithms × three
+metrics; :class:`SweepResult` holds exactly that.  Table 5 is a metric
+grid over predictors × datasets; :class:`TableResult` is a generic
+labelled 2-D grid of floats.  Both serialise to/from JSON so experiment
+runs can be archived and re-rendered.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ExperimentError
+
+__all__ = ["AlgoCell", "SweepResult", "TableResult"]
+
+
+@dataclass
+class AlgoCell:
+    """One algorithm's measurements at one sweep point.
+
+    Attributes:
+        size: matching size.
+        seconds: running time (the paper's time panel).
+        peak_mb: peak traced memory (the paper's memory panel), if
+            measured.
+    """
+
+    size: int
+    seconds: float
+    peak_mb: Optional[float] = None
+
+
+@dataclass
+class SweepResult:
+    """A full sweep: one Figure 4/5/6 column (all three panels).
+
+    Attributes:
+        experiment_id: registry id, e.g. ``"fig4_workers"``.
+        x_label: the varied factor (``"|W|"``, ``"Dr"``, …).
+        x_values: sweep points, in order.
+        cells: ``algorithm → list of AlgoCell``, aligned with
+            ``x_values``.
+        notes: free-form provenance (scale factor, seeds, deviations).
+    """
+
+    experiment_id: str
+    x_label: str
+    x_values: List[float] = field(default_factory=list)
+    cells: Dict[str, List[AlgoCell]] = field(default_factory=dict)
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def add_point(self, x_value: float, per_algorithm: Dict[str, AlgoCell]) -> None:
+        """Append one sweep point (all algorithms at once).
+
+        Raises:
+            ExperimentError: if algorithms diverge from earlier points.
+        """
+        if self.cells and set(per_algorithm) != set(self.cells):
+            raise ExperimentError(
+                f"sweep point algorithms {sorted(per_algorithm)} do not match "
+                f"earlier points {sorted(self.cells)}"
+            )
+        self.x_values.append(float(x_value))
+        for algorithm, cell in per_algorithm.items():
+            self.cells.setdefault(algorithm, []).append(cell)
+
+    def series(self, algorithm: str, metric: str) -> List[Optional[float]]:
+        """One curve: ``metric`` in {"size", "seconds", "peak_mb"}.
+
+        Raises:
+            ExperimentError: for unknown algorithm or metric names.
+        """
+        if algorithm not in self.cells:
+            raise ExperimentError(f"unknown algorithm {algorithm!r} in sweep")
+        if metric not in ("size", "seconds", "peak_mb"):
+            raise ExperimentError(f"unknown metric {metric!r}")
+        return [getattr(cell, metric) for cell in self.cells[algorithm]]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """JSON dump of the full sweep."""
+        payload = {
+            "kind": "sweep",
+            "experiment_id": self.experiment_id,
+            "x_label": self.x_label,
+            "x_values": self.x_values,
+            "cells": {
+                algorithm: [asdict(cell) for cell in cells]
+                for algorithm, cells in self.cells.items()
+            },
+            "notes": self.notes,
+        }
+        return json.dumps(payload, indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "SweepResult":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        if payload.get("kind") != "sweep":
+            raise ExperimentError("not a sweep result payload")
+        result = SweepResult(
+            experiment_id=payload["experiment_id"],
+            x_label=payload["x_label"],
+            x_values=list(payload["x_values"]),
+            notes=dict(payload.get("notes", {})),
+        )
+        result.cells = {
+            algorithm: [AlgoCell(**cell) for cell in cells]
+            for algorithm, cells in payload["cells"].items()
+        }
+        return result
+
+    def save(self, path: Path) -> None:
+        """Write the JSON dump to ``path``."""
+        Path(path).write_text(self.to_json())
+
+
+@dataclass
+class TableResult:
+    """A labelled grid of floats (Table 5 and the ablation tables).
+
+    Attributes:
+        experiment_id: registry id.
+        row_labels / column_labels: grid axes.
+        values: ``values[row][column]`` floats (None = not measured).
+        notes: provenance.
+    """
+
+    experiment_id: str
+    row_labels: List[str] = field(default_factory=list)
+    column_labels: List[str] = field(default_factory=list)
+    values: List[List[Optional[float]]] = field(default_factory=list)
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def set(self, row: str, column: str, value: float) -> None:
+        """Set a cell, growing the grid as labels appear."""
+        if row not in self.row_labels:
+            self.row_labels.append(row)
+            self.values.append([None] * len(self.column_labels))
+        if column not in self.column_labels:
+            self.column_labels.append(column)
+            for existing in self.values:
+                existing.append(None)
+        r = self.row_labels.index(row)
+        c = self.column_labels.index(column)
+        self.values[r][c] = float(value)
+
+    def get(self, row: str, column: str) -> Optional[float]:
+        """Read a cell.
+
+        Raises:
+            ExperimentError: for unknown labels.
+        """
+        try:
+            r = self.row_labels.index(row)
+            c = self.column_labels.index(column)
+        except ValueError as exc:
+            raise ExperimentError(f"unknown table cell ({row!r}, {column!r})") from exc
+        return self.values[r][c]
+
+    def to_json(self) -> str:
+        """JSON dump of the grid."""
+        return json.dumps(
+            {
+                "kind": "table",
+                "experiment_id": self.experiment_id,
+                "row_labels": self.row_labels,
+                "column_labels": self.column_labels,
+                "values": self.values,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "TableResult":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        if payload.get("kind") != "table":
+            raise ExperimentError("not a table result payload")
+        return TableResult(
+            experiment_id=payload["experiment_id"],
+            row_labels=list(payload["row_labels"]),
+            column_labels=list(payload["column_labels"]),
+            values=[list(row) for row in payload["values"]],
+            notes=dict(payload.get("notes", {})),
+        )
+
+    def save(self, path: Path) -> None:
+        """Write the JSON dump to ``path``."""
+        Path(path).write_text(self.to_json())

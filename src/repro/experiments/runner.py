@@ -1,0 +1,109 @@
+"""Run the compared algorithms on one instance, measured.
+
+One sweep point of any figure = one instance + one guide + the five
+algorithms of Section 6.1 (SimpleGreedy, GR, POLAR, POLAR-OP, OPT).  Per
+the paper, "we omit the running time of the offline preprocessing": the
+guide build is measured separately and reported as provenance, not as
+POLAR's running time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch import run_batch
+from repro.core.greedy import run_simple_greedy
+from repro.core.guide import OfflineGuide, build_guide
+from repro.core.opt import run_opt
+from repro.core.polar import run_polar
+from repro.core.polar_op import run_polar_op
+from repro.errors import ExperimentError
+from repro.experiments.measurement import measure
+from repro.experiments.results import AlgoCell
+from repro.model.instance import Instance
+
+__all__ = ["DEFAULT_ALGORITHMS", "run_algorithms_on_instance", "build_guide_for_instance"]
+
+DEFAULT_ALGORITHMS = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
+
+# Above this many objects the literal linear-scan greedy becomes the
+# bottleneck of a whole sweep; the indexed variant is exact and fast.
+# The threshold sits above every Figure 4/6 sweep point (max 60k objects)
+# so a sweep never switches implementations mid-curve — only the
+# scalability experiment crosses it.
+_GREEDY_INDEX_THRESHOLD = 150_000
+
+
+def build_guide_for_instance(
+    instance: Instance,
+    worker_counts: np.ndarray,
+    task_counts: np.ndarray,
+    worker_duration: float,
+    task_duration: float,
+    method: str = "auto",
+) -> Tuple[OfflineGuide, float]:
+    """Build the offline guide for an instance; returns (guide, seconds)."""
+    run = measure(
+        lambda: build_guide(
+            worker_counts,
+            task_counts,
+            instance.grid,
+            instance.timeline,
+            instance.travel,
+            worker_duration,
+            task_duration,
+            method=method,
+        ),
+        measure_memory=False,
+    )
+    return run.value, run.seconds
+
+
+def run_algorithms_on_instance(
+    instance: Instance,
+    guide: Optional[OfflineGuide],
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    measure_memory: bool = True,
+    opt_method: str = "auto",
+    seed: int = 0,
+) -> Dict[str, AlgoCell]:
+    """Measured runs of the requested algorithms on one instance.
+
+    Args:
+        instance: the problem instance.
+        guide: the offline guide (required iff POLAR/POLAR-OP are among
+            ``algorithms``).
+        algorithms: subset of :data:`DEFAULT_ALGORITHMS`.
+        measure_memory: also run each algorithm under tracemalloc.
+        opt_method: forwarded to OPT.
+        seed: node-choice seed for POLAR.
+
+    Raises:
+        ExperimentError: for unknown algorithm names or a missing guide.
+    """
+    total_objects = instance.n_workers + instance.n_tasks
+    greedy_indexed = total_objects > _GREEDY_INDEX_THRESHOLD
+
+    cells: Dict[str, AlgoCell] = {}
+    for name in algorithms:
+        if name in ("POLAR", "POLAR-OP") and guide is None:
+            raise ExperimentError(f"{name} requires an offline guide")
+        if name == "SimpleGreedy":
+            fn = lambda: run_simple_greedy(instance, indexed=greedy_indexed)
+        elif name == "GR":
+            fn = lambda: run_batch(instance)
+        elif name == "POLAR":
+            fn = lambda: run_polar(instance, guide, seed=seed)
+        elif name == "POLAR-OP":
+            fn = lambda: run_polar_op(instance, guide, seed=seed)
+        elif name == "OPT":
+            fn = lambda: run_opt(instance, method=opt_method)
+        else:
+            raise ExperimentError(f"unknown algorithm {name!r}")
+        run = measure(fn, measure_memory=measure_memory)
+        cells[name] = AlgoCell(
+            size=run.value.size, seconds=run.seconds, peak_mb=run.peak_mb
+        )
+    return cells

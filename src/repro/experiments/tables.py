@@ -1,0 +1,102 @@
+"""Table 5 — the offline-prediction shoot-out.
+
+Seven predictors × two cities × two sides (tasks = "Customer", workers =
+"Taxi") × two metrics (RMSLE and ER).  Each predictor trains on the
+city's history and forecasts the held-out evaluation days; metrics are
+averaged over those days.  Smaller is better; the paper's finding is
+HA/LR/ARIMA < GBRT/PAQ/NN < HP-MSI, driven by the nonlinear weather and
+rush-hour structure the richer models can express.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.results import TableResult
+from repro.prediction import ALL_PREDICTORS, make_predictor
+from repro.prediction.base import DemandHistory
+from repro.prediction.metrics import error_rate, rmsle
+from repro.streams.taxi import TaxiCity, beijing_config, hangzhou_config
+
+__all__ = ["run_table5"]
+
+
+def _evaluate_predictor(
+    name: str,
+    taxi: TaxiCity,
+    history: DemandHistory,
+    eval_days: Sequence[int],
+    actual_by_day,
+    seed: int,
+):
+    """Mean (rmsle, er) of one predictor over the evaluation days."""
+    predictor = make_predictor(name, seed=seed)
+    predictor.fit(history)
+    rmsle_scores = []
+    er_scores = []
+    for day in eval_days:
+        context = taxi.day_context(day)
+        forecast = predictor.predict(context)
+        actual = actual_by_day[day]
+        rmsle_scores.append(rmsle(actual, forecast))
+        er_scores.append(error_rate(actual, forecast))
+    return float(np.mean(rmsle_scores)), float(np.mean(er_scores))
+
+
+def run_table5(
+    scale: float = 1.0,
+    history_days: int = 42,
+    n_eval_days: int = 5,
+    predictors: Iterable[str] = ALL_PREDICTORS,
+    cities: Iterable[str] = ("beijing", "hangzhou"),
+    seed: int = 0,
+) -> TableResult:
+    """Reproduce Table 5.
+
+    Rows are predictors; columns are ``{metric} {side} {city}`` (e.g.
+    ``"ER task beijing"``), mirroring the paper's Customer/Taxi split.
+
+    Args:
+        scale: volume scale on daily counts (1.0 = Table 3 volumes; the
+            counts tensors are cheap, so full scale is the default).
+        history_days: training window length.
+        n_eval_days: held-out days immediately after the history.
+        predictors: subset of the seven names.
+        cities: subset of {"beijing", "hangzhou"}.
+        seed: base seed for the stochastic predictors.
+    """
+    if history_days < 8:
+        raise ExperimentError("history_days must be >= 8 for the lag features")
+    if n_eval_days < 1:
+        raise ExperimentError("n_eval_days must be >= 1")
+    result = TableResult(experiment_id="table5_prediction")
+    result.notes["scale"] = f"{scale:g}"
+    result.notes["history_days"] = str(history_days)
+    result.notes["n_eval_days"] = str(n_eval_days)
+
+    configs = {"beijing": beijing_config, "hangzhou": hangzhou_config}
+    for city_name in cities:
+        if city_name not in configs:
+            raise ExperimentError(f"unknown city {city_name!r}")
+        taxi = TaxiCity(configs[city_name]().scaled(scale))
+        total_days = history_days + n_eval_days
+        task_all, worker_all = taxi.generate_history(total_days)
+        eval_days = list(range(history_days, total_days))
+
+        for side, full in (("task", task_all), ("worker", worker_all)):
+            history = DemandHistory(
+                counts=full.counts[:history_days],
+                day_of_week=full.day_of_week[:history_days],
+                weather=full.weather[:history_days],
+            )
+            actual_by_day = {day: full.counts[day] for day in eval_days}
+            for index, name in enumerate(predictors):
+                mean_rmsle, mean_er = _evaluate_predictor(
+                    name, taxi, history, eval_days, actual_by_day, seed + index
+                )
+                result.set(name, f"RMSLE {side} {city_name}", mean_rmsle)
+                result.set(name, f"ER {side} {city_name}", mean_er)
+    return result

@@ -1,0 +1,39 @@
+"""Flow and matching substrate.
+
+Algorithm 1 of the paper builds a source/sink flow network over predicted
+workers and tasks and runs Ford–Fulkerson; its Lemma 2 argues through the
+residual-reachability min-cut; a footnote notes that any max-flow — or a
+min-cost max-flow, to also minimise travel — would do.  This package
+implements all of those pieces from scratch:
+
+* :mod:`repro.graph.network` — residual flow network with paired edges.
+* :mod:`repro.graph.maxflow` — Edmonds–Karp (the BFS Ford–Fulkerson the
+  paper cites) and Dinic.
+* :mod:`repro.graph.bipartite` — bipartite graphs and Hopcroft–Karp.
+* :mod:`repro.graph.mincost` — successive-shortest-path min-cost max-flow.
+* :mod:`repro.graph.mincut` — the canonical reachability min-cut of
+  Lemma 2.
+* :mod:`repro.graph.transportation` — the type-compressed transportation
+  form of the guide network (see DESIGN.md §5).
+"""
+
+from repro.graph.bipartite import BipartiteGraph, greedy_matching, hopcroft_karp
+from repro.graph.maxflow import dinic, edmonds_karp
+from repro.graph.mincost import min_cost_max_flow
+from repro.graph.mincut import residual_min_cut
+from repro.graph.network import Edge, FlowNetwork
+from repro.graph.transportation import TransportationProblem, TransportationSolution
+
+__all__ = [
+    "FlowNetwork",
+    "Edge",
+    "edmonds_karp",
+    "dinic",
+    "BipartiteGraph",
+    "hopcroft_karp",
+    "greedy_matching",
+    "min_cost_max_flow",
+    "residual_min_cut",
+    "TransportationProblem",
+    "TransportationSolution",
+]

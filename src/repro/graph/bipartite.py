@@ -1,0 +1,184 @@
+"""Bipartite graphs and maximum-cardinality matching.
+
+OPT and the GR batch baseline both reduce to maximum bipartite matching
+over feasibility edges.  :func:`hopcroft_karp` is the workhorse
+(``O(E·√V)``); :func:`greedy_matching` provides the cheap first-fit bound
+used to warm-start and to cross-check (greedy is a maximal matching, so
+its size is at least half the maximum — a property test relies on this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+
+__all__ = ["BipartiteGraph", "hopcroft_karp", "greedy_matching", "MatchResult"]
+
+_FREE = -1
+_INF = 1 << 60
+
+
+class BipartiteGraph:
+    """Adjacency lists from ``n_left`` left nodes to ``n_right`` right nodes."""
+
+    __slots__ = ("n_left", "n_right", "adj")
+
+    def __init__(self, n_left: int, n_right: int) -> None:
+        if n_left < 0 or n_right < 0:
+            raise GraphError(f"negative side sizes ({n_left}, {n_right})")
+        self.n_left = int(n_left)
+        self.n_right = int(n_right)
+        self.adj: List[List[int]] = [[] for _ in range(self.n_left)]
+
+    def add_edge(self, left: int, right: int) -> None:
+        """Add an edge; duplicate edges are permitted and harmless.
+
+        Raises:
+            GraphError: for out-of-range endpoints.
+        """
+        if not 0 <= left < self.n_left:
+            raise GraphError(f"left node {left} out of range [0, {self.n_left})")
+        if not 0 <= right < self.n_right:
+            raise GraphError(f"right node {right} out of range [0, {self.n_right})")
+        self.adj[left].append(right)
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of stored edges (duplicates included)."""
+        return sum(len(neighbours) for neighbours in self.adj)
+
+    @staticmethod
+    def from_edges(
+        n_left: int, n_right: int, edges: Iterable[Tuple[int, int]]
+    ) -> "BipartiteGraph":
+        """Build a graph from an iterable of ``(left, right)`` pairs."""
+        graph = BipartiteGraph(n_left, n_right)
+        for left, right in edges:
+            graph.add_edge(left, right)
+        return graph
+
+
+class MatchResult:
+    """The outcome of a bipartite matching computation.
+
+    Attributes:
+        size: number of matched pairs.
+        left_match: per-left-node partner (right index) or -1.
+        right_match: per-right-node partner (left index) or -1.
+    """
+
+    __slots__ = ("size", "left_match", "right_match")
+
+    def __init__(self, size: int, left_match: List[int], right_match: List[int]) -> None:
+        self.size = size
+        self.left_match = left_match
+        self.right_match = right_match
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """Matched ``(left, right)`` pairs in left-index order."""
+        return [
+            (left, right)
+            for left, right in enumerate(self.left_match)
+            if right != _FREE
+        ]
+
+    def validate(self, graph: BipartiteGraph) -> None:
+        """Check mutual consistency and edge membership.
+
+        Raises:
+            GraphError: if the two partner arrays disagree or a matched
+                pair is not an edge of ``graph``.
+        """
+        count = 0
+        for left, right in enumerate(self.left_match):
+            if right == _FREE:
+                continue
+            count += 1
+            if self.right_match[right] != left:
+                raise GraphError(
+                    f"asymmetric matching: left {left}->{right} but right "
+                    f"{right}->{self.right_match[right]}"
+                )
+            if right not in graph.adj[left]:
+                raise GraphError(f"matched pair ({left}, {right}) is not an edge")
+        if count != self.size:
+            raise GraphError(f"declared size {self.size} but found {count} pairs")
+
+
+def greedy_matching(graph: BipartiteGraph) -> MatchResult:
+    """First-fit maximal matching (each left node takes its first free
+    neighbour).  At least half the maximum size; linear time."""
+    left_match = [_FREE] * graph.n_left
+    right_match = [_FREE] * graph.n_right
+    size = 0
+    for left in range(graph.n_left):
+        for right in graph.adj[left]:
+            if right_match[right] == _FREE:
+                left_match[left] = right
+                right_match[right] = left
+                size += 1
+                break
+    return MatchResult(size, left_match, right_match)
+
+
+def hopcroft_karp(graph: BipartiteGraph) -> MatchResult:
+    """Maximum-cardinality bipartite matching in ``O(E·√V)``.
+
+    Alternates BFS phases that layer the free left nodes with DFS phases
+    that harvest a maximal set of shortest vertex-disjoint augmenting
+    paths.  Deterministic for a fixed graph.
+    """
+    n_left = graph.n_left
+    adj = graph.adj
+    left_match = [_FREE] * n_left
+    right_match = [_FREE] * graph.n_right
+    dist = [0] * n_left
+    size = 0
+
+    def bfs() -> bool:
+        queue = deque()
+        for left in range(n_left):
+            if left_match[left] == _FREE:
+                dist[left] = 0
+                queue.append(left)
+            else:
+                dist[left] = _INF
+        found_free = False
+        while queue:
+            left = queue.popleft()
+            for right in adj[left]:
+                nxt = right_match[right]
+                if nxt == _FREE:
+                    found_free = True
+                elif dist[nxt] == _INF:
+                    dist[nxt] = dist[left] + 1
+                    queue.append(nxt)
+        return found_free
+
+    def dfs(left: int) -> bool:
+        for right in adj[left]:
+            nxt = right_match[right]
+            if nxt == _FREE or (dist[nxt] == dist[left] + 1 and dfs(nxt)):
+                left_match[left] = right
+                right_match[right] = left
+                return True
+        dist[left] = _INF
+        return False
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    needed = n_left + graph.n_right + 100
+    if needed > old_limit:
+        sys.setrecursionlimit(needed)
+    try:
+        while bfs():
+            for left in range(n_left):
+                if left_match[left] == _FREE and dfs(left):
+                    size += 1
+    finally:
+        if needed > old_limit:
+            sys.setrecursionlimit(old_limit)
+    return MatchResult(size, left_match, right_match)

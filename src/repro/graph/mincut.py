@@ -1,0 +1,75 @@
+"""Minimum-cut extraction from a residual network (Lemma 2's construction).
+
+After a max-flow computation, the nodes reachable from the source in the
+residual graph form the source side ``S`` of a minimum cut; the paper's
+Lemma 2 builds exactly this "canonical reachability" cut on the guide's
+residual network to upper-bound OPT.  :func:`residual_min_cut` returns
+the partition and the saturated cut edges, and asserts the max-flow =
+min-cut identity the proof relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, NamedTuple, Set, Tuple
+
+from repro.errors import FlowError
+from repro.graph.network import FlowNetwork
+
+__all__ = ["MinCut", "residual_min_cut"]
+
+
+class MinCut(NamedTuple):
+    """A source/sink partition with its crossing edges.
+
+    Attributes:
+        source_side: node set ``S`` (contains the source).
+        sink_side: node set ``T`` (contains the sink).
+        cut_edges: forward edge ids crossing from ``S`` to ``T``.
+        capacity: total capacity of the crossing edges.
+    """
+
+    source_side: Set[int]
+    sink_side: Set[int]
+    cut_edges: List[int]
+    capacity: int
+
+
+def residual_min_cut(network: FlowNetwork, source: int, sink: int) -> MinCut:
+    """Extract the reachability min-cut from a maxed-out network.
+
+    Must be called after a max-flow algorithm has saturated the network;
+    if the sink is still reachable in the residual graph the flow was not
+    maximum and a :class:`FlowError` is raised.
+
+    Raises:
+        FlowError: if the residual graph still has an augmenting path, or
+            if the cut capacity disagrees with the flow value (both would
+            indicate a broken solver).
+    """
+    reachable: Set[int] = {source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for e in network.adj[u]:
+            v = network.to[e]
+            if network.residual[e] > 0 and v not in reachable:
+                reachable.add(v)
+                queue.append(v)
+    if sink in reachable:
+        raise FlowError("sink reachable in residual graph: flow is not maximum")
+
+    cut_edges: List[int] = []
+    capacity = 0
+    for edge in network.edges():
+        if edge.tail in reachable and edge.head not in reachable:
+            cut_edges.append(edge.index)
+            capacity += edge.capacity
+
+    flow_value = network.total_flow(source)
+    if capacity != flow_value:
+        raise FlowError(
+            f"max-flow/min-cut mismatch: cut capacity {capacity} != flow {flow_value}"
+        )
+    sink_side = set(range(network.n)) - reachable
+    return MinCut(reachable, sink_side, cut_edges, capacity)

@@ -1,0 +1,185 @@
+"""A residual flow network with integer capacities.
+
+Edges are stored in xor-paired arrays (edge ``e`` and its reverse
+``e ^ 1``), the classic representation that makes residual updates O(1)
+and works for every augmenting-path algorithm in this package.  Costs are
+optional and only consulted by the min-cost solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import FlowError, GraphError
+
+__all__ = ["FlowNetwork", "Edge"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A read-only view of one directed edge for callers inspecting flow.
+
+    Attributes:
+        index: the edge id inside the network (its reverse is ``index^1``).
+        tail: source endpoint.
+        head: target endpoint.
+        capacity: original capacity.
+        flow: current flow (capacity minus residual).
+        cost: per-unit cost (0 unless set).
+    """
+
+    index: int
+    tail: int
+    head: int
+    capacity: int
+    flow: int
+    cost: float
+
+
+class FlowNetwork:
+    """A directed graph supporting residual flow operations.
+
+    Nodes are dense integers ``0..n-1``.  ``add_edge`` creates the forward
+    edge and its zero-capacity reverse twin; algorithms push flow by
+    decrementing ``residual[e]`` and incrementing ``residual[e^1]``.
+    """
+
+    __slots__ = ("n", "adj", "to", "residual", "capacity", "cost")
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise GraphError(f"network needs at least one node, got {n_nodes}")
+        self.n = int(n_nodes)
+        self.adj: List[List[int]] = [[] for _ in range(self.n)]
+        self.to: List[int] = []
+        self.residual: List[int] = []
+        self.capacity: List[int] = []
+        self.cost: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_edge(self, tail: int, head: int, capacity: int, cost: float = 0.0) -> int:
+        """Add a directed edge and its residual twin; return the edge id.
+
+        Raises:
+            GraphError: for out-of-range endpoints, self-loops, or negative
+                capacity.
+        """
+        self._check_node(tail)
+        self._check_node(head)
+        if tail == head:
+            raise GraphError(f"self-loop at node {tail} not allowed")
+        if capacity < 0:
+            raise GraphError(f"negative capacity {capacity} on edge {tail}->{head}")
+        edge_id = len(self.to)
+        self.to.append(head)
+        self.residual.append(int(capacity))
+        self.capacity.append(int(capacity))
+        self.cost.append(float(cost))
+        self.adj[tail].append(edge_id)
+        self.to.append(tail)
+        self.residual.append(0)
+        self.capacity.append(0)
+        self.cost.append(-float(cost))
+        self.adj[head].append(edge_id + 1)
+        return edge_id
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise GraphError(f"node {node} out of range [0, {self.n})")
+
+    # ------------------------------------------------------------------ #
+    # Flow bookkeeping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_edges(self) -> int:
+        """Number of forward edges (reverse twins are not counted)."""
+        return len(self.to) // 2
+
+    def flow_on(self, edge_id: int) -> int:
+        """Current flow on forward edge ``edge_id``.
+
+        Raises:
+            FlowError: if ``edge_id`` names a reverse twin.
+        """
+        if edge_id % 2 != 0:
+            raise FlowError(f"edge id {edge_id} is a residual twin, not a forward edge")
+        return self.capacity[edge_id] - self.residual[edge_id]
+
+    def push(self, edge_id: int, amount: int) -> None:
+        """Push ``amount`` units along edge ``edge_id`` (either direction).
+
+        Raises:
+            FlowError: if the residual capacity is insufficient.
+        """
+        if amount < 0:
+            raise FlowError(f"cannot push negative amount {amount}")
+        if self.residual[edge_id] < amount:
+            raise FlowError(
+                f"edge {edge_id} has residual {self.residual[edge_id]} < {amount}"
+            )
+        self.residual[edge_id] -= amount
+        self.residual[edge_id ^ 1] += amount
+
+    def reset_flow(self) -> None:
+        """Zero all flow, restoring original capacities."""
+        for e in range(len(self.residual)):
+            self.residual[e] = self.capacity[e]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate read-only views of the forward edges."""
+        for e in range(0, len(self.to), 2):
+            yield Edge(
+                index=e,
+                tail=self.to[e ^ 1],
+                head=self.to[e],
+                capacity=self.capacity[e],
+                flow=self.capacity[e] - self.residual[e],
+                cost=self.cost[e],
+            )
+
+    def outflow(self, node: int) -> int:
+        """Net flow leaving ``node`` (flow out minus flow in on forward edges)."""
+        self._check_node(node)
+        net = 0
+        for e in self.adj[node]:
+            if e % 2 == 0:
+                net += self.capacity[e] - self.residual[e]
+            else:
+                net -= self.capacity[e ^ 1] - self.residual[e ^ 1]
+        return net
+
+    def check_conservation(self, source: int, sink: int) -> None:
+        """Assert flow conservation at every node except source and sink.
+
+        Raises:
+            FlowError: if any interior node creates or destroys flow.
+        """
+        for node in range(self.n):
+            if node in (source, sink):
+                continue
+            net = self.outflow(node)
+            if net != 0:
+                raise FlowError(f"conservation violated at node {node}: net outflow {net}")
+
+    def total_flow(self, source: int) -> int:
+        """The value of the current flow, measured at the source."""
+        self._check_node(source)
+        return self.outflow(source)
+
+    def flow_by_pair(self) -> Dict[Tuple[int, int], int]:
+        """Aggregate positive flow per (tail, head) pair — the guide's
+        per-type-pair counts come from this on the compressed network."""
+        flows: Dict[Tuple[int, int], int] = {}
+        for edge in self.edges():
+            if edge.flow > 0:
+                key = (edge.tail, edge.head)
+                flows[key] = flows.get(key, 0) + edge.flow
+        return flows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowNetwork(n={self.n}, edges={self.n_edges})"

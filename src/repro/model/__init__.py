@@ -1,0 +1,36 @@
+"""Problem model for FTOA (Definition 4).
+
+* :mod:`repro.model.entities` — :class:`Worker` and :class:`Task` records.
+* :mod:`repro.model.feasibility` — the deadline-constraint predicates, in
+  both the paper's pre-dispatch form and the wait-in-place form used by
+  the greedy baselines.
+* :mod:`repro.model.matching` — the one-to-one assignment container with
+  its validity audit.
+* :mod:`repro.model.instance` — a full problem instance (workers + tasks +
+  grid + timeline + travel model) and its event stream.
+"""
+
+from repro.model.entities import Task, Worker
+from repro.model.events import TASK, WORKER, Arrival, build_stream, resample_order
+from repro.model.feasibility import (
+    deadline_feasible,
+    latest_departure,
+    wait_in_place_feasible,
+)
+from repro.model.instance import Instance
+from repro.model.matching import Matching
+
+__all__ = [
+    "Worker",
+    "Task",
+    "Arrival",
+    "WORKER",
+    "TASK",
+    "build_stream",
+    "resample_order",
+    "deadline_feasible",
+    "wait_in_place_feasible",
+    "latest_departure",
+    "Matching",
+    "Instance",
+]

@@ -1,0 +1,105 @@
+"""Workers and tasks (Definitions 1 and 2).
+
+A worker ``w = <Lw, Sw, Dw>`` appears at location ``Lw`` at time ``Sw``
+and leaves the platform at ``Sw + Dw``.  A task ``r = <Lr, Sr, Dr>`` is
+released at ``Lr`` at time ``Sr`` and must be *reached* by its assigned
+worker no later than ``Sr + Dr``.
+
+Both are frozen dataclasses: the online model never mutates an entity
+(worker movement is state owned by the simulator, not by the record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.errors import InvalidEntityError
+from repro.spatial.geometry import Point
+
+__all__ = ["Worker", "Task"]
+
+
+def _validate_common(kind: str, ident: int, start: float, duration: float) -> None:
+    if ident < 0:
+        raise InvalidEntityError(f"{kind} id must be non-negative, got {ident}")
+    if duration <= 0:
+        raise InvalidEntityError(
+            f"{kind} {ident}: duration must be positive, got {duration}"
+        )
+    if start < 0:
+        raise InvalidEntityError(f"{kind} {ident}: start must be non-negative, got {start}")
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A worker ``<Lw, Sw, Dw>``.
+
+    Attributes:
+        id: unique non-negative identifier within an instance.
+        location: initial location ``Lw`` on arrival.
+        start: arrival instant ``Sw`` (minutes).
+        duration: waiting budget ``Dw``; the worker leaves at
+            ``start + duration``.
+        tags: optional free-form metadata (e.g. the generator's ground
+            truth (slot, area) type) — never read by the algorithms.
+    """
+
+    id: int
+    location: Point
+    start: float
+    duration: float
+    tags: Optional[Mapping[str, Any]] = field(default=None, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        _validate_common("worker", self.id, self.start, self.duration)
+
+    @property
+    def deadline(self) -> float:
+        """The instant ``Sw + Dw`` after which the worker is gone."""
+        return self.start + self.duration
+
+    def available_at(self, t: float) -> bool:
+        """Whether the worker is on the platform at instant ``t``.
+
+        Per Definition 4's deadline constraint (1), a task must *appear*
+        strictly before the worker's deadline, so availability is the
+        half-open interval ``[start, deadline)``.
+        """
+        return self.start <= t < self.deadline
+
+
+@dataclass(frozen=True)
+class Task:
+    """A task ``<Lr, Sr, Dr>``.
+
+    Attributes:
+        id: unique non-negative identifier within an instance.
+        location: release location ``Lr`` (fixed once released).
+        start: release instant ``Sr`` (minutes).
+        duration: service window ``Dr``; the assigned worker must arrive
+            at ``location`` by ``start + duration``.
+        tags: optional free-form metadata, never read by the algorithms.
+    """
+
+    id: int
+    location: Point
+    start: float
+    duration: float
+    tags: Optional[Mapping[str, Any]] = field(default=None, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        _validate_common("task", self.id, self.start, self.duration)
+
+    @property
+    def deadline(self) -> float:
+        """The instant ``Sr + Dr`` by which a worker must arrive."""
+        return self.start + self.duration
+
+    def expired_at(self, t: float) -> bool:
+        """Whether the task can no longer be served starting at instant ``t``.
+
+        A worker departing at ``t`` needs strictly positive travel budget
+        unless already co-located, so expiry is ``t > deadline``.
+        """
+        return t > self.deadline

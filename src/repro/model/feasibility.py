@@ -1,0 +1,88 @@
+"""Deadline-constraint predicates of Definition 4.
+
+The paper's feasibility for a pair ``(w, r)`` has two conditions:
+
+1. ``Sr < Sw + Dw`` — the task appears before the worker leaves.
+2. ``Dr − (Sw − Sr) − d(Lw, Lr) ≥ 0`` — the worker reaches ``Lr`` by the
+   task's deadline.
+
+Condition 2 is the **pre-dispatch** (flexible) semantics: a worker who
+appears *after* the task pays the elapsed wait ``Sw − Sr``; a worker who
+appears *before* the task gets extra budget ``Sr − Sw`` because FTOA lets
+the platform move them toward ``Lr`` from the moment they arrive.  This is
+the edge rule of the offline guide (Algorithm 1 line 8) and of OPT.
+
+The baselines that keep workers stationary (SimpleGreedy, GR) use the
+**wait-in-place** semantics: the worker departs from their fixed location
+no earlier than both arrivals, so the travel time must fit in the task's
+*remaining* window.
+"""
+
+from __future__ import annotations
+
+from repro.model.entities import Task, Worker
+from repro.spatial.travel import TravelModel
+
+__all__ = [
+    "deadline_feasible",
+    "wait_in_place_feasible",
+    "latest_departure",
+    "slack",
+]
+
+
+def deadline_feasible(worker: Worker, task: Task, travel: TravelModel) -> bool:
+    """Definition 4 feasibility (pre-dispatch semantics).
+
+    Returns True iff the pair ``(worker, task)`` satisfies both deadline
+    conditions, with the worker free to start moving toward the task the
+    moment both the worker exists and the platform knows the target.
+    """
+    if not task.start < worker.deadline:
+        return False
+    travel_minutes = travel.travel_time(worker.location, task.location)
+    return task.duration - (worker.start - task.start) - travel_minutes >= 0.0
+
+
+def slack(worker: Worker, task: Task, travel: TravelModel) -> float:
+    """The slack ``Dr − (Sw − Sr) − d(Lw, Lr)`` of condition 2.
+
+    Non-negative iff the travel condition holds; useful for ranking
+    candidate pairs (larger slack = safer assignment).
+    """
+    return (
+        task.duration
+        - (worker.start - task.start)
+        - travel.travel_time(worker.location, task.location)
+    )
+
+
+def wait_in_place_feasible(
+    worker: Worker,
+    task: Task,
+    travel: TravelModel,
+    now: float,
+) -> bool:
+    """Feasibility for stationary workers assigned at instant ``now``.
+
+    The worker sits at their initial location until the platform assigns
+    them at ``now`` (no earlier than both arrivals); they then need
+    ``d(Lw, Lr)`` minutes and must arrive by ``Sr + Dr``.  The task must
+    also have appeared before the worker's deadline (condition 1) and the
+    assignment instant must not pre-date either party.
+    """
+    if now < worker.start or now < task.start:
+        return False
+    if not task.start < worker.deadline:
+        return False
+    travel_minutes = travel.travel_time(worker.location, task.location)
+    return now + travel_minutes <= task.deadline
+
+
+def latest_departure(worker: Worker, task: Task, travel: TravelModel) -> float:
+    """The latest instant a stationary worker can leave for ``task`` and
+    still arrive by its deadline.
+
+    Can be in the past (infeasible) — callers compare against *now*.
+    """
+    return task.deadline - travel.travel_time(worker.location, task.location)

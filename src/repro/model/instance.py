@@ -1,0 +1,152 @@
+"""A complete FTOA problem instance.
+
+An :class:`Instance` bundles everything an algorithm run needs: the
+worker and task populations, the spatial grid, the timeline, and the
+travel model.  It owns id → entity lookup, the canonical arrival stream,
+and the empirical (slot, area) count tensors that the offline-prediction
+step estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidEntityError
+from repro.model.entities import Task, Worker
+from repro.model.events import Arrival, build_stream
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+__all__ = ["Instance"]
+
+
+@dataclass
+class Instance:
+    """Workers + tasks + space/time discretisation + travel model.
+
+    Attributes:
+        workers: the worker population ``W`` (ids must be unique).
+        tasks: the task population ``R`` (ids must be unique).
+        grid: the spatial partition into areas.
+        timeline: the temporal partition into slots.
+        travel: the constant-velocity travel model.
+        name: optional label for reports.
+    """
+
+    workers: List[Worker]
+    tasks: List[Task]
+    grid: Grid
+    timeline: Timeline
+    travel: TravelModel
+    name: str = "instance"
+    _worker_by_id: Dict[int, Worker] = field(init=False, repr=False)
+    _task_by_id: Dict[int, Task] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._worker_by_id = {w.id: w for w in self.workers}
+        if len(self._worker_by_id) != len(self.workers):
+            raise InvalidEntityError("duplicate worker ids in instance")
+        self._task_by_id = {t.id: t for t in self.tasks}
+        if len(self._task_by_id) != len(self.tasks):
+            raise InvalidEntityError("duplicate task ids in instance")
+        for w in self.workers:
+            if not self.grid.bounds.contains(w.location):
+                raise InvalidEntityError(f"worker {w.id} located outside the grid")
+            if not self.timeline.contains(w.start):
+                raise InvalidEntityError(f"worker {w.id} starts outside the timeline")
+        for t in self.tasks:
+            if not self.grid.bounds.contains(t.location):
+                raise InvalidEntityError(f"task {t.id} located outside the grid")
+            if not self.timeline.contains(t.start):
+                raise InvalidEntityError(f"task {t.id} starts outside the timeline")
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_workers(self) -> int:
+        """``|W|``."""
+        return len(self.workers)
+
+    @property
+    def n_tasks(self) -> int:
+        """``|R|``."""
+        return len(self.tasks)
+
+    def worker(self, worker_id: int) -> Worker:
+        """Resolve a worker id.
+
+        Raises:
+            InvalidEntityError: for unknown ids.
+        """
+        try:
+            return self._worker_by_id[worker_id]
+        except KeyError:
+            raise InvalidEntityError(f"unknown worker id {worker_id}") from None
+
+    def task(self, task_id: int) -> Task:
+        """Resolve a task id.
+
+        Raises:
+            InvalidEntityError: for unknown ids.
+        """
+        try:
+            return self._task_by_id[task_id]
+        except KeyError:
+            raise InvalidEntityError(f"unknown task id {task_id}") from None
+
+    def worker_map(self) -> Dict[int, Worker]:
+        """A copy of the id → worker mapping (for audits)."""
+        return dict(self._worker_by_id)
+
+    def task_map(self) -> Dict[int, Task]:
+        """A copy of the id → task mapping (for audits)."""
+        return dict(self._task_by_id)
+
+    # ------------------------------------------------------------------ #
+    # Discretisation
+    # ------------------------------------------------------------------ #
+
+    def type_of_worker(self, worker: Worker) -> Tuple[int, int]:
+        """The (slot, area) type of a worker's arrival."""
+        return self.timeline.slot_of(worker.start), self.grid.area_of(worker.location)
+
+    def type_of_task(self, task: Task) -> Tuple[int, int]:
+        """The (slot, area) type of a task's release."""
+        return self.timeline.slot_of(task.start), self.grid.area_of(task.location)
+
+    def worker_counts(self) -> np.ndarray:
+        """Empirical ``a_ij`` tensor: workers per (slot, area), shape
+        ``(n_slots, n_areas)``."""
+        counts = np.zeros((self.timeline.n_slots, self.grid.n_areas), dtype=np.int64)
+        for w in self.workers:
+            slot, area = self.type_of_worker(w)
+            counts[slot, area] += 1
+        return counts
+
+    def task_counts(self) -> np.ndarray:
+        """Empirical ``b_ij`` tensor: tasks per (slot, area)."""
+        counts = np.zeros((self.timeline.n_slots, self.grid.n_areas), dtype=np.int64)
+        for t in self.tasks:
+            slot, area = self.type_of_task(t)
+            counts[slot, area] += 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Online view
+    # ------------------------------------------------------------------ #
+
+    def arrival_stream(self) -> List[Arrival]:
+        """The canonical time-ordered arrival stream of this instance."""
+        return build_stream(self.workers, self.tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Instance({self.name!r}: |W|={self.n_workers}, |R|={self.n_tasks}, "
+            f"{self.grid.nx}x{self.grid.ny} areas, {self.timeline.n_slots} slots)"
+        )

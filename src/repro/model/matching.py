@@ -1,0 +1,132 @@
+"""The assignment container ``M`` and its invariants.
+
+FTOA maximises ``MaxSum(M) = Σ I(w, r)`` over one-to-one worker–task
+pairs (Definition 4).  :class:`Matching` enforces the one-to-one and
+*invariable* constraints at insertion time: once ``(w, r)`` enters the
+matching it cannot be revoked, and neither endpoint can be reused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import MatchingError
+from repro.model.entities import Task, Worker
+from repro.model.feasibility import deadline_feasible
+from repro.spatial.travel import TravelModel
+
+__all__ = ["Matching"]
+
+
+class Matching:
+    """A growing one-to-one assignment between worker ids and task ids.
+
+    The container stores ids, not entities, because the online algorithms
+    identify objects by id; resolve entities through the owning
+    :class:`repro.model.instance.Instance` when needed.
+    """
+
+    __slots__ = ("_worker_to_task", "_task_to_worker", "_order")
+
+    def __init__(self) -> None:
+        self._worker_to_task: Dict[int, int] = {}
+        self._task_to_worker: Dict[int, int] = {}
+        self._order: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def assign(self, worker_id: int, task_id: int) -> None:
+        """Record the pair ``(worker_id, task_id)``.
+
+        Raises:
+            MatchingError: if either endpoint is already matched (the
+                invariable constraint makes reassignment illegal).
+        """
+        if worker_id in self._worker_to_task:
+            raise MatchingError(
+                f"worker {worker_id} already matched to task "
+                f"{self._worker_to_task[worker_id]}"
+            )
+        if task_id in self._task_to_worker:
+            raise MatchingError(
+                f"task {task_id} already matched to worker "
+                f"{self._task_to_worker[task_id]}"
+            )
+        self._worker_to_task[worker_id] = task_id
+        self._task_to_worker[task_id] = worker_id
+        self._order.append((worker_id, task_id))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        """``MaxSum(M)`` — the number of assigned pairs."""
+        return len(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        """Iterate pairs in assignment order."""
+        return iter(self._order)
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        worker_id, task_id = pair
+        return self._worker_to_task.get(worker_id) == task_id
+
+    def task_of(self, worker_id: int) -> Optional[int]:
+        """The task matched to ``worker_id``, or None."""
+        return self._worker_to_task.get(worker_id)
+
+    def worker_of(self, task_id: int) -> Optional[int]:
+        """The worker matched to ``task_id``, or None."""
+        return self._task_to_worker.get(task_id)
+
+    def worker_is_matched(self, worker_id: int) -> bool:
+        """Whether the worker already holds an assignment."""
+        return worker_id in self._worker_to_task
+
+    def task_is_matched(self, task_id: int) -> bool:
+        """Whether the task already holds an assignment."""
+        return task_id in self._task_to_worker
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """A copy of the pairs in assignment order."""
+        return list(self._order)
+
+    # ------------------------------------------------------------------ #
+    # Audit
+    # ------------------------------------------------------------------ #
+
+    def validate_feasibility(
+        self,
+        workers: Dict[int, Worker],
+        tasks: Dict[int, Task],
+        travel: TravelModel,
+    ) -> List[Tuple[int, int]]:
+        """Return the pairs violating Definition 4's deadline constraints.
+
+        An empty list means the matching is feasible under the flexible
+        (pre-dispatch) semantics.  Unknown ids raise — a matching that
+        references entities outside the instance is a bug, not a
+        feasibility question.
+
+        Raises:
+            MatchingError: if a pair references an unknown worker or task.
+        """
+        violations: List[Tuple[int, int]] = []
+        for worker_id, task_id in self._order:
+            if worker_id not in workers:
+                raise MatchingError(f"matching references unknown worker {worker_id}")
+            if task_id not in tasks:
+                raise MatchingError(f"matching references unknown task {task_id}")
+            if not deadline_feasible(workers[worker_id], tasks[task_id], travel):
+                violations.append((worker_id, task_id))
+        return violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Matching(size={self.size})"

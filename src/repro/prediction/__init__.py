@@ -1,0 +1,83 @@
+"""Offline prediction substrate (Section 6.3.1).
+
+The two-step framework needs the number of workers/tasks per (slot, area).
+The paper compares seven representative predictors on real data and picks
+the best (HP-MSI) to drive the guide.  All seven are implemented here
+from scratch on numpy:
+
+* :class:`~repro.prediction.historical.HistoricalAverage` (HA)
+* :class:`~repro.prediction.arima.ArimaPredictor` (ARIMA)
+* :class:`~repro.prediction.gbrt.GradientBoostedTrees` (GBRT)
+* :class:`~repro.prediction.paq.PredictiveAggregation` (PAQ)
+* :class:`~repro.prediction.regression.LaggedLinearRegression` (LR)
+* :class:`~repro.prediction.neural.NeuralNetworkPredictor` (NN)
+* :class:`~repro.prediction.hpmsi.HpMsiPredictor` (HP-MSI)
+
+plus the shared containers (:mod:`~repro.prediction.base`), feature
+engineering (:mod:`~repro.prediction.features`), k-means clustering
+(:mod:`~repro.prediction.clustering`), decision trees
+(:mod:`~repro.prediction.trees`) and the paper's two evaluation metrics
+(:mod:`~repro.prediction.metrics`).
+"""
+
+from repro.prediction.arima import ArimaPredictor
+from repro.prediction.base import DayContext, DemandHistory, Predictor
+from repro.prediction.clustering import KMeans
+from repro.prediction.gbrt import GradientBoostedTrees
+from repro.prediction.historical import HistoricalAverage
+from repro.prediction.hpmsi import HpMsiPredictor
+from repro.prediction.metrics import error_rate, rmsle
+from repro.prediction.neural import NeuralNetworkPredictor
+from repro.prediction.paq import PredictiveAggregation
+from repro.prediction.regression import LaggedLinearRegression
+from repro.prediction.trees import DecisionTreeRegressor
+
+__all__ = [
+    "DemandHistory",
+    "DayContext",
+    "Predictor",
+    "HistoricalAverage",
+    "ArimaPredictor",
+    "LaggedLinearRegression",
+    "PredictiveAggregation",
+    "DecisionTreeRegressor",
+    "GradientBoostedTrees",
+    "NeuralNetworkPredictor",
+    "HpMsiPredictor",
+    "KMeans",
+    "error_rate",
+    "rmsle",
+    "ALL_PREDICTORS",
+    "make_predictor",
+]
+
+ALL_PREDICTORS = ("HA", "ARIMA", "GBRT", "PAQ", "LR", "NN", "HP-MSI")
+
+
+def make_predictor(name: str, seed: int = 0):
+    """Factory mapping the paper's predictor names to instances.
+
+    Args:
+        name: one of :data:`ALL_PREDICTORS` (case-insensitive).
+        seed: RNG seed for the stochastic predictors (GBRT row sampling,
+            NN initialisation, HP-MSI clustering).
+
+    Raises:
+        ValueError: for an unknown name.
+    """
+    key = name.upper()
+    if key == "HA":
+        return HistoricalAverage()
+    if key == "ARIMA":
+        return ArimaPredictor()
+    if key == "GBRT":
+        return GradientBoostedTrees(seed=seed)
+    if key == "PAQ":
+        return PredictiveAggregation()
+    if key == "LR":
+        return LaggedLinearRegression()
+    if key == "NN":
+        return NeuralNetworkPredictor(seed=seed)
+    if key in ("HP-MSI", "HPMSI", "HP_MSI"):
+        return HpMsiPredictor(seed=seed)
+    raise ValueError(f"unknown predictor {name!r}; expected one of {ALL_PREDICTORS}")

@@ -1,0 +1,182 @@
+"""ARIMA — autoregressive integrated moving average (Section 6.3.1).
+
+A from-scratch seasonal ARIMA for count series, fit independently per
+grid area on the flattened (day × slot) series:
+
+1. optional seasonal differencing at the daily lag (removes the diurnal
+   cycle — the dominant non-stationarity in taxi demand);
+2. optional first differencing (``d``);
+3. AR(p) + MA(q) estimation by the Hannan–Rissanen two-stage method —
+   a long AR fit by least squares produces residual estimates, then the
+   ARMA coefficients are fit by regressing on lagged values *and* lagged
+   residuals.  Pure least squares, no iterative likelihood — adequate
+   for point forecasts and fully deterministic.
+
+Forecasting rolls the recursion forward ``n_slots`` steps with future
+shocks at their mean (zero), then integrates the differencing back.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import DayContext, DemandHistory, Predictor
+
+__all__ = ["ArimaPredictor", "fit_arma", "forecast_arma"]
+
+
+def fit_arma(series: np.ndarray, p: int, q: int, ridge: float = 1e-6):
+    """Hannan–Rissanen ARMA(p, q) fit; returns ``(phi, theta, intercept,
+    residuals)``.
+
+    Raises:
+        PredictionError: if the series is too short for the requested
+            orders.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    n = series.shape[0]
+    long_order = min(max(2 * (p + q), p + q + 1, 4), max(1, n // 4))
+    if n <= long_order + max(p, q) + 2:
+        raise PredictionError(
+            f"series of length {n} too short for ARMA({p}, {q}) estimation"
+        )
+
+    def lagged_design(values: np.ndarray, order: int, offset: int, rows: int):
+        columns = [values[offset - k : offset - k + rows] for k in range(1, order + 1)]
+        if not columns:
+            return np.empty((rows, 0))
+        return np.stack(columns, axis=1)
+
+    # Stage 1: long AR for residual estimates.
+    rows1 = n - long_order
+    design1 = np.hstack(
+        [lagged_design(series, long_order, long_order, rows1), np.ones((rows1, 1))]
+    )
+    target1 = series[long_order:]
+    gram1 = design1.T @ design1 + ridge * np.eye(design1.shape[1])
+    coef1 = np.linalg.solve(gram1, design1.T @ target1)
+    residuals = np.zeros(n)
+    residuals[long_order:] = target1 - design1 @ coef1
+
+    # Stage 2: regress on p value lags and q residual lags.
+    start = long_order + max(p, q)
+    rows2 = n - start
+    blocks = [
+        lagged_design(series, p, start, rows2),
+        lagged_design(residuals, q, start, rows2),
+        np.ones((rows2, 1)),
+    ]
+    design2 = np.hstack([b for b in blocks if b.shape[1] > 0])
+    target2 = series[start:]
+    gram2 = design2.T @ design2 + ridge * np.eye(design2.shape[1])
+    coef2 = np.linalg.solve(gram2, design2.T @ target2)
+    phi = coef2[:p]
+    theta = coef2[p : p + q]
+    intercept = coef2[-1]
+    fitted_resid = np.zeros(n)
+    fitted_resid[start:] = target2 - design2 @ coef2
+    return phi, theta, float(intercept), fitted_resid
+
+
+def forecast_arma(
+    series: np.ndarray,
+    residuals: np.ndarray,
+    phi: np.ndarray,
+    theta: np.ndarray,
+    intercept: float,
+    steps: int,
+) -> np.ndarray:
+    """Roll the ARMA recursion ``steps`` ahead with zero future shocks."""
+    history: List[float] = list(np.asarray(series, dtype=np.float64))
+    shocks: List[float] = list(np.asarray(residuals, dtype=np.float64))
+    out = np.empty(steps)
+    for step in range(steps):
+        value = intercept
+        for k, coefficient in enumerate(phi, start=1):
+            value += coefficient * history[-k]
+        for k, coefficient in enumerate(theta, start=1):
+            value += coefficient * shocks[-k] if k <= len(shocks) else 0.0
+        history.append(value)
+        shocks.append(0.0)
+        out[step] = value
+    return out
+
+
+class ArimaPredictor(Predictor):
+    """Per-area seasonal ARIMA(p, d, q) with daily seasonal differencing.
+
+    Args:
+        p / d / q: the non-seasonal orders.
+        seasonal: apply one round of differencing at the daily lag before
+            the ARMA stage (recommended for diurnal series).
+    """
+
+    name = "ARIMA"
+
+    def __init__(self, p: int = 3, d: int = 0, q: int = 1, seasonal: bool = True) -> None:
+        super().__init__()
+        if p < 0 or d < 0 or q < 0 or p + q == 0:
+            raise PredictionError(f"invalid ARIMA orders ({p}, {d}, {q})")
+        self.p = p
+        self.d = d
+        self.q = q
+        self.seasonal = seasonal
+        self._forecast: Optional[np.ndarray] = None
+
+    def fit(self, history: DemandHistory) -> None:
+        """Fit one model per area and precompute the next-day forecast.
+
+        The forecast is context-free (pure time series), so computing it
+        at fit time keeps ``predict`` cheap; areas whose series defeat the
+        estimator (all-zero or too short) fall back to their historical
+        slot means.
+        """
+        super().fit(history)
+        n_slots = history.n_slots
+        n_areas = history.n_areas
+        season = n_slots if self.seasonal else 0
+        series_all = history.flattened_series().astype(np.float64)
+        fallback = np.asarray(history.counts, dtype=np.float64).mean(axis=0)
+        forecast = np.empty((n_slots, n_areas))
+        for area in range(n_areas):
+            series = series_all[:, area]
+            try:
+                forecast[:, area] = self._forecast_area(series, season, n_slots)
+            except (PredictionError, np.linalg.LinAlgError):
+                forecast[:, area] = fallback[:, area]
+        self._forecast = np.maximum(forecast, 0.0)
+
+    def _forecast_area(self, series: np.ndarray, season: int, steps: int) -> np.ndarray:
+        work = series.copy()
+        seasonal_base = None
+        if season and work.shape[0] > season:
+            seasonal_base = work.copy()
+            work = work[season:] - work[:-season]
+        diff_heads = []
+        for _ in range(self.d):
+            if work.shape[0] < 2:
+                raise PredictionError("series exhausted by differencing")
+            diff_heads.append(work[-1])
+            work = np.diff(work)
+        if np.allclose(work, work[0] if work.size else 0.0):
+            # Constant (often all-zero) series: forecast the constant.
+            flat = np.full(steps, work[-1] if work.size else 0.0)
+        else:
+            phi, theta, intercept, residuals = fit_arma(work, self.p, self.q)
+            flat = forecast_arma(work, residuals, phi, theta, intercept, steps)
+        # Undo first differencing.
+        for head in reversed(diff_heads):
+            flat = head + np.cumsum(flat)
+        # Undo seasonal differencing: x[t] = diff[t] + x[t - season].
+        if seasonal_base is not None:
+            last_season = seasonal_base[-season:]
+            flat = flat + last_season[: len(flat)]
+        return flat
+
+    def _predict(self, context: DayContext) -> np.ndarray:
+        if self._forecast is None:
+            raise PredictionError("ARIMA: internal state missing")
+        return self._forecast

@@ -1,0 +1,181 @@
+"""Shared containers and the predictor protocol.
+
+Prediction is *offline* (Section 3.1.1): before the evaluation day starts
+the platform forecasts the whole day's counts per (slot, area) from
+historical observations plus exogenous day features (day of week, weather
+forecast).  All predictors implement :class:`Predictor`:
+``fit(DemandHistory)`` then ``predict(DayContext) → (slots, areas)``.
+
+Counts are non-negative floats at the prediction layer; the guide rounds
+them to integers (:func:`repro.streams.oracle.rounded_counts`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+
+__all__ = ["DemandHistory", "DayContext", "Predictor", "clip_counts"]
+
+
+@dataclass(frozen=True)
+class DemandHistory:
+    """Historical per-(day, slot, area) counts with day-level features.
+
+    Attributes:
+        counts: integer tensor, shape ``(n_days, n_slots, n_areas)``.
+        day_of_week: per-day weekday index 0–6 (0 = Monday), shape
+            ``(n_days,)``.
+        weather: per-(day, slot) categorical weather state (0 = clear,
+            1 = overcast, 2 = rain), shape ``(n_days, n_slots)``.
+    """
+
+    counts: np.ndarray
+    day_of_week: np.ndarray
+    weather: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts)
+        if counts.ndim != 3:
+            raise PredictionError(
+                f"counts must be (days, slots, areas), got shape {counts.shape}"
+            )
+        if (counts < 0).any():
+            raise PredictionError("counts must be non-negative")
+        n_days, n_slots, _ = counts.shape
+        dow = np.asarray(self.day_of_week)
+        if dow.shape != (n_days,):
+            raise PredictionError(
+                f"day_of_week shape {dow.shape} inconsistent with {n_days} days"
+            )
+        weather = np.asarray(self.weather)
+        if weather.shape != (n_days, n_slots):
+            raise PredictionError(
+                f"weather shape {weather.shape} inconsistent with "
+                f"({n_days}, {n_slots})"
+            )
+
+    @property
+    def n_days(self) -> int:
+        """Number of history days."""
+        return self.counts.shape[0]
+
+    @property
+    def n_slots(self) -> int:
+        """Slots per day."""
+        return self.counts.shape[1]
+
+    @property
+    def n_areas(self) -> int:
+        """Grid areas."""
+        return self.counts.shape[2]
+
+    def tail(self, n_days: int) -> "DemandHistory":
+        """The most recent ``n_days`` of history (for recency predictors)."""
+        if n_days <= 0:
+            raise PredictionError(f"n_days must be positive, got {n_days}")
+        n_days = min(n_days, self.n_days)
+        return DemandHistory(
+            counts=self.counts[-n_days:],
+            day_of_week=self.day_of_week[-n_days:],
+            weather=self.weather[-n_days:],
+        )
+
+    def flattened_series(self) -> np.ndarray:
+        """Counts as one time series per area: shape
+        ``(n_days * n_slots, n_areas)`` in chronological order."""
+        return self.counts.reshape(self.n_days * self.n_slots, self.n_areas)
+
+
+@dataclass(frozen=True)
+class DayContext:
+    """Exogenous information about the target day.
+
+    Attributes:
+        day_of_week: weekday index 0–6 of the day being forecast.
+        weather: forecast weather state per slot, shape ``(n_slots,)``.
+        day_index: absolute day index (``history.n_days`` for the day
+            right after the history window).
+    """
+
+    day_of_week: int
+    weather: np.ndarray
+    day_index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.day_of_week <= 6:
+            raise PredictionError(f"day_of_week must be in 0..6, got {self.day_of_week}")
+        if np.asarray(self.weather).ndim != 1:
+            raise PredictionError("weather must be a 1-D per-slot array")
+
+    @property
+    def is_weekend(self) -> bool:
+        """Saturday (5) or Sunday (6)."""
+        return self.day_of_week >= 5
+
+
+class Predictor(abc.ABC):
+    """Forecast per-(slot, area) counts for a future day.
+
+    Subclasses set :attr:`name` (the paper's label) and implement
+    :meth:`fit` / :meth:`_predict`.  ``predict`` wraps ``_predict`` with
+    the shared fitted-state and shape checks so every predictor enforces
+    the same contract.
+    """
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._fitted_shape: Optional[tuple] = None
+
+    @abc.abstractmethod
+    def fit(self, history: DemandHistory) -> None:
+        """Estimate model state from history.
+
+        Implementations must call ``super().fit(history)`` (or set
+        ``_fitted_shape``) so :meth:`predict` can validate.
+        """
+        self._fitted_shape = (history.n_slots, history.n_areas)
+
+    @abc.abstractmethod
+    def _predict(self, context: DayContext) -> np.ndarray:
+        """Produce the raw forecast; shape checking happens in
+        :meth:`predict`."""
+
+    def predict(self, context: DayContext) -> np.ndarray:
+        """Forecast the target day: non-negative floats, shape
+        ``(n_slots, n_areas)``.
+
+        Raises:
+            PredictionError: if called before :meth:`fit` or if the
+                implementation returns a mis-shaped forecast.
+        """
+        if self._fitted_shape is None:
+            raise PredictionError(f"{self.name}: predict() called before fit()")
+        forecast = np.asarray(self._predict(context), dtype=np.float64)
+        if forecast.shape != self._fitted_shape:
+            raise PredictionError(
+                f"{self.name}: forecast shape {forecast.shape} != fitted "
+                f"shape {self._fitted_shape}"
+            )
+        return clip_counts(forecast)
+
+
+def clip_counts(forecast: np.ndarray) -> np.ndarray:
+    """Clamp a forecast to non-negative finite values.
+
+    Predictors built on unconstrained regressors (LR, ARIMA, NN) can emit
+    small negative counts; the guide interprets counts as capacities so
+    negatives are clamped to zero and non-finite values rejected.
+
+    Raises:
+        PredictionError: if the forecast contains NaN or infinity.
+    """
+    if not np.isfinite(forecast).all():
+        raise PredictionError("forecast contains non-finite values")
+    return np.maximum(forecast, 0.0)

@@ -1,0 +1,104 @@
+"""K-means clustering from scratch (HP-MSI's station-grouping stage).
+
+Lloyd's algorithm with k-means++ seeding, multiple restarts and empty-
+cluster reseeding.  Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PredictionError
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """K-means on rows of a feature matrix.
+
+    Args:
+        n_clusters: number of clusters ``k``.
+        n_init: restarts (best inertia wins).
+        max_iter: Lloyd iterations per restart.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self, n_clusters: int, n_init: int = 4, max_iter: int = 100, seed: int = 0
+    ) -> None:
+        if n_clusters < 1:
+            raise PredictionError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_init < 1 or max_iter < 1:
+            raise PredictionError("n_init and max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.seed = seed
+        self.centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = float("inf")
+
+    # ------------------------------------------------------------------ #
+
+    def _plusplus_init(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = data.shape[0]
+        centers = [data[rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            distances = np.min(
+                ((data[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = distances.sum()
+            if total <= 0:
+                centers.append(data[rng.integers(n)])
+                continue
+            probabilities = distances / total
+            centers.append(data[rng.choice(n, p=probabilities)])
+        return np.asarray(centers)
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Cluster ``data`` (n, f); ``k`` is clamped to ``n`` rows."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise PredictionError(f"data must be a non-empty 2-D matrix, got {data.shape}")
+        k = min(self.n_clusters, data.shape[0])
+        rng = np.random.default_rng(self.seed)
+        best: Tuple[float, Optional[np.ndarray], Optional[np.ndarray]] = (
+            float("inf"),
+            None,
+            None,
+        )
+        for _restart in range(self.n_init):
+            centers = self._plusplus_init(data, rng)[:k]
+            labels = np.zeros(data.shape[0], dtype=np.int64)
+            for _iteration in range(self.max_iter):
+                distances = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+                new_labels = distances.argmin(axis=1)
+                if (new_labels == labels).all() and _iteration > 0:
+                    break
+                labels = new_labels
+                for cluster in range(k):
+                    members = data[labels == cluster]
+                    if members.shape[0] == 0:
+                        # Reseed an empty cluster at the farthest point.
+                        farthest = distances.min(axis=1).argmax()
+                        centers[cluster] = data[farthest]
+                    else:
+                        centers[cluster] = members.mean(axis=0)
+            inertia = float(
+                ((data - centers[labels]) ** 2).sum()
+            )
+            if inertia < best[0]:
+                best = (inertia, centers.copy(), labels.copy())
+        self.inertia_, self.centers_, self.labels_ = best
+        return self
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Assign rows of ``data`` to the fitted centres."""
+        if self.centers_ is None:
+            raise PredictionError("KMeans not fitted")
+        data = np.asarray(data, dtype=np.float64)
+        distances = ((data[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)

@@ -1,0 +1,162 @@
+"""Per-cell feature engineering shared by the GBRT and NN predictors.
+
+The paper's strong predictors consume "the numbers of tasks and workers
+of the 15 most recent corresponding periods and other features e.g. the
+weather condition" (NN description, Section 6.3.1).  For a target cell
+(day ``d``, slot ``i``, area ``j``) we build:
+
+* day lags — the same (slot, area) cell on days ``d−1 … d−L``;
+* the area's historical mean at that slot and overall;
+* slot-of-day harmonics (sin/cos of one and two cycles per day);
+* weekday indicators (weekend flag plus the raw index);
+* weather one-hot for the target slot.
+
+The featureizer is fit once on history (it memorises the lag window and
+per-cell climatology) and can then emit both the training matrix over
+all history days with enough lag context and the matrix for the target
+day.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import DayContext, DemandHistory
+
+__all__ = ["CellFeatureizer", "N_WEATHER_STATES"]
+
+N_WEATHER_STATES = 3
+
+
+class CellFeatureizer:
+    """Builds (rows × features) matrices for per-cell count regression.
+
+    Args:
+        n_day_lags: number of same-slot day lags (default 7 — a full
+            week, which both captures weekly cycles and keeps the matrix
+            compact; the paper's 15 is supported by passing 15).
+    """
+
+    def __init__(self, n_day_lags: int = 7) -> None:
+        if n_day_lags < 1:
+            raise PredictionError(f"n_day_lags must be >= 1, got {n_day_lags}")
+        self.n_day_lags = n_day_lags
+        self._history: Optional[DemandHistory] = None
+        self._slot_mean: Optional[np.ndarray] = None
+        self._area_mean: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    def fit(self, history: DemandHistory) -> "CellFeatureizer":
+        """Memorise history and per-cell climatology."""
+        counts = np.asarray(history.counts, dtype=np.float64)
+        self._history = history
+        self._slot_mean = counts.mean(axis=0)  # (slots, areas)
+        self._area_mean = counts.mean(axis=(0, 1))  # (areas,)
+        return self
+
+    @property
+    def n_features(self) -> int:
+        """Width of the emitted matrices."""
+        return self.n_day_lags + 2 + 4 + 2 + N_WEATHER_STATES
+
+    # ------------------------------------------------------------------ #
+    # Matrix construction
+    # ------------------------------------------------------------------ #
+
+    def _rows_for_day(
+        self,
+        counts: np.ndarray,
+        day: int,
+        day_of_week: int,
+        weather_row: np.ndarray,
+    ) -> np.ndarray:
+        """Feature rows for every (slot, area) of one day.
+
+        ``counts`` must contain at least ``day`` days; lags index
+        backwards from ``day``.
+        """
+        n_slots, n_areas = counts.shape[1], counts.shape[2]
+        usable = min(self.n_day_lags, day)
+        blocks = []
+        for lag in range(1, self.n_day_lags + 1):
+            if lag <= usable:
+                block = counts[day - lag]
+            else:
+                block = self._slot_mean  # pad with climatology
+            blocks.append(block.reshape(-1))
+        lag_block = np.stack(blocks, axis=1)  # (slots*areas, n_day_lags)
+
+        slot_mean = self._slot_mean.reshape(-1)
+        area_mean = np.tile(self._area_mean, n_slots)
+
+        slot_index = np.repeat(np.arange(n_slots), n_areas)
+        angle = 2.0 * np.pi * slot_index / n_slots
+        harmonics = np.stack(
+            [np.sin(angle), np.cos(angle), np.sin(2 * angle), np.cos(2 * angle)],
+            axis=1,
+        )
+
+        weekend = 1.0 if day_of_week >= 5 else 0.0
+        calendar = np.stack(
+            [
+                np.full(n_slots * n_areas, weekend),
+                np.full(n_slots * n_areas, float(day_of_week)),
+            ],
+            axis=1,
+        )
+
+        weather_states = np.repeat(np.asarray(weather_row), n_areas)
+        weather_onehot = np.zeros((n_slots * n_areas, N_WEATHER_STATES))
+        valid = (weather_states >= 0) & (weather_states < N_WEATHER_STATES)
+        weather_onehot[np.arange(n_slots * n_areas)[valid], weather_states[valid]] = 1.0
+
+        return np.hstack(
+            [
+                lag_block,
+                slot_mean[:, None],
+                area_mean[:, None],
+                harmonics,
+                calendar,
+                weather_onehot,
+            ]
+        )
+
+    def training_matrix(self, history: DemandHistory) -> Tuple[np.ndarray, np.ndarray]:
+        """Design matrix and targets over all history days with ≥1 lag.
+
+        Raises:
+            PredictionError: if called before :meth:`fit` or on a
+                single-day history (no lag context at all).
+        """
+        if self._history is None:
+            raise PredictionError("featureizer not fitted")
+        counts = np.asarray(history.counts, dtype=np.float64)
+        n_days = counts.shape[0]
+        if n_days < 2:
+            raise PredictionError("need at least two history days for lags")
+        designs = []
+        targets = []
+        for day in range(1, n_days):
+            designs.append(
+                self._rows_for_day(
+                    counts, day, int(history.day_of_week[day]), history.weather[day]
+                )
+            )
+            targets.append(counts[day].reshape(-1))
+        return np.concatenate(designs, axis=0), np.concatenate(targets, axis=0)
+
+    def target_matrix(self, context: DayContext) -> np.ndarray:
+        """Design matrix for the forecast day (lags come from the full
+        history tail)."""
+        if self._history is None:
+            raise PredictionError("featureizer not fitted")
+        counts = np.asarray(self._history.counts, dtype=np.float64)
+        return self._rows_for_day(
+            counts, counts.shape[0], context.day_of_week, np.asarray(context.weather)
+        )

@@ -1,0 +1,47 @@
+"""HA — Historical Average (Section 6.3.1).
+
+"Using the average of the history in the same time slot and the same
+grid area in the same day of week."  The simplest baseline: it captures
+the weekly/diurnal cycle but is blind to weather and recent trends,
+which is why it trails the feature-based models in Table 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import DayContext, DemandHistory, Predictor
+
+__all__ = ["HistoricalAverage"]
+
+
+class HistoricalAverage(Predictor):
+    """Per-(slot, area) mean over history days with the same weekday.
+
+    Falls back to the all-days mean for weekdays absent from the history
+    (e.g. a training window shorter than one week).
+    """
+
+    name = "HA"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._by_weekday: dict = {}
+        self._overall: np.ndarray | None = None
+
+    def fit(self, history: DemandHistory) -> None:
+        """Average the history per weekday."""
+        super().fit(history)
+        counts = np.asarray(history.counts, dtype=np.float64)
+        self._overall = counts.mean(axis=0)
+        self._by_weekday = {}
+        for weekday in range(7):
+            mask = history.day_of_week == weekday
+            if mask.any():
+                self._by_weekday[weekday] = counts[mask].mean(axis=0)
+
+    def _predict(self, context: DayContext) -> np.ndarray:
+        if self._overall is None:
+            raise PredictionError("HA: internal state missing")
+        return self._by_weekday.get(context.day_of_week, self._overall)

@@ -1,0 +1,246 @@
+"""HP-MSI — hierarchical prediction with multi-similarity inference
+(Li et al., GIS 2015; the paper's winning predictor, Section 6.3.1).
+
+The original system forecasts bike-share rents per station cluster:
+(1) stations are grouped by behaviour, (2) a city-level model predicts
+the total, (3) the total is distributed across clusters by inferring the
+proportion from *similar historical contexts* (weather, time, weekday —
+the "multi-similarity" part), then within clusters by station shares.
+
+Our from-scratch adaptation to grid areas:
+
+1. **Cluster areas** with k-means on their normalised diurnal profiles
+   (weekday and weekend profiles concatenated).
+2. **City-level GBRT** forecasts the total count per slot from lags,
+   harmonics, weekday and weather features.
+3. **Cluster shares** per slot are similarity-weighted averages of
+   historical shares, where a history observation's weight combines
+   weekend-match, weather-match and slot proximity.
+4. **Area shares** within a cluster come from per-slot historical
+   averages.
+
+HP-MSI layers the nonlinear city model *and* context-aware allocation,
+which is why it wins Table 5 on data with weather-driven demand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import DayContext, DemandHistory, Predictor
+from repro.prediction.clustering import KMeans
+from repro.prediction.features import N_WEATHER_STATES
+from repro.prediction.gbrt import GradientBoostingRegressor
+
+__all__ = ["HpMsiPredictor"]
+
+_SHARE_SMOOTHING = 1e-3
+
+
+class HpMsiPredictor(Predictor):
+    """Hierarchical cluster-share predictor.
+
+    Args:
+        n_clusters: number of area clusters (clamped to the area count).
+        n_day_lags: lag features for the city-level model.
+        n_estimators / learning_rate / max_depth: city-level GBRT knobs.
+        seed: RNG seed for clustering and boosting.
+    """
+
+    name = "HP-MSI"
+
+    def __init__(
+        self,
+        n_clusters: int = 12,
+        n_day_lags: int = 7,
+        n_estimators: int = 60,
+        learning_rate: float = 0.12,
+        max_depth: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_clusters < 1 or n_day_lags < 1:
+            raise PredictionError("n_clusters and n_day_lags must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_day_lags = n_day_lags
+        self.seed = seed
+        self._city_model = GradientBoostingRegressor(
+            n_estimators=n_estimators,
+            learning_rate=learning_rate,
+            max_depth=max_depth,
+            seed=seed,
+        )
+        self._labels: Optional[np.ndarray] = None
+        self._history: Optional[DemandHistory] = None
+        self._cluster_share_obs: Optional[np.ndarray] = None
+        self._area_share: Optional[np.ndarray] = None
+        self._k: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    def fit(self, history: DemandHistory) -> None:
+        """Cluster areas, fit the city model, collect share observations."""
+        super().fit(history)
+        self._history = history
+        counts = np.asarray(history.counts, dtype=np.float64)
+        n_days, n_slots, n_areas = counts.shape
+
+        # 1. Cluster areas on weekday/weekend diurnal shape.
+        weekend_mask = history.day_of_week >= 5
+        weekday_profile = counts[~weekend_mask].mean(axis=0) if (~weekend_mask).any() else counts.mean(axis=0)
+        weekend_profile = counts[weekend_mask].mean(axis=0) if weekend_mask.any() else counts.mean(axis=0)
+
+        def normalise(profile: np.ndarray) -> np.ndarray:
+            totals = profile.sum(axis=0, keepdims=True)
+            totals[totals == 0] = 1.0
+            return profile / totals
+
+        signature = np.vstack([normalise(weekday_profile), normalise(weekend_profile)]).T
+        kmeans = KMeans(n_clusters=self.n_clusters, seed=self.seed)
+        kmeans.fit(signature)
+        self._labels = kmeans.labels_
+        self._k = int(self._labels.max()) + 1
+
+        # 2. City-level GBRT on per-slot totals.
+        totals = counts.sum(axis=2)  # (days, slots)
+        design, target = self._city_rows(history, totals)
+        self._city_model.fit(design, target)
+
+        # 3. Historical cluster shares per (day, slot).
+        cluster_counts = np.zeros((n_days, n_slots, self._k))
+        for cluster in range(self._k):
+            cluster_counts[:, :, cluster] = counts[:, :, self._labels == cluster].sum(axis=2)
+        slot_totals = totals.copy()
+        slot_totals[slot_totals == 0] = 1.0
+        self._cluster_share_obs = cluster_counts / slot_totals[:, :, None]
+
+        # 4. Area shares within clusters, per slot (smoothed).
+        area_share = np.zeros((n_slots, n_areas))
+        cluster_slot_totals = cluster_counts.sum(axis=0)  # (slots, k)
+        area_slot_totals = counts.sum(axis=0)  # (slots, areas)
+        for cluster in range(self._k):
+            members = np.nonzero(self._labels == cluster)[0]
+            denom = cluster_slot_totals[:, cluster] + _SHARE_SMOOTHING * members.size
+            for area in members:
+                area_share[:, area] = (
+                    area_slot_totals[:, area] + _SHARE_SMOOTHING
+                ) / denom
+        self._area_share = area_share
+
+    def _city_rows(self, history: DemandHistory, totals: np.ndarray):
+        """City-level design matrix: one row per (day, slot)."""
+        n_days, n_slots = totals.shape
+        designs = []
+        targets = []
+        for day in range(1, n_days):
+            designs.append(
+                self._city_rows_for_day(
+                    totals, day, int(history.day_of_week[day]), history.weather[day]
+                )
+            )
+            targets.append(totals[day])
+        return np.concatenate(designs, axis=0), np.concatenate(targets)
+
+    def _city_rows_for_day(
+        self, totals: np.ndarray, day: int, day_of_week: int, weather_row: np.ndarray
+    ) -> np.ndarray:
+        n_slots = totals.shape[1]
+        usable = min(self.n_day_lags, day)
+        mean_profile = totals[:day].mean(axis=0) if day > 0 else totals.mean(axis=0)
+        lags = []
+        for lag in range(1, self.n_day_lags + 1):
+            lags.append(totals[day - lag] if lag <= usable else mean_profile)
+        lag_block = np.stack(lags, axis=1)
+        angle = 2.0 * np.pi * np.arange(n_slots) / n_slots
+        harmonics = np.stack(
+            [np.sin(angle), np.cos(angle), np.sin(2 * angle), np.cos(2 * angle)], axis=1
+        )
+        weekend = np.full(n_slots, 1.0 if day_of_week >= 5 else 0.0)
+        dow = np.full(n_slots, float(day_of_week))
+        weather_onehot = np.zeros((n_slots, N_WEATHER_STATES))
+        states = np.asarray(weather_row)
+        valid = (states >= 0) & (states < N_WEATHER_STATES)
+        weather_onehot[np.arange(n_slots)[valid], states[valid]] = 1.0
+        return np.hstack(
+            [lag_block, harmonics, weekend[:, None], dow[:, None], weather_onehot]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    def _predict(self, context: DayContext) -> np.ndarray:
+        if (
+            self._history is None
+            or self._labels is None
+            or self._cluster_share_obs is None
+            or self._area_share is None
+        ):
+            raise PredictionError("HP-MSI: internal state missing")
+        history = self._history
+        counts_totals = np.asarray(history.counts, dtype=np.float64).sum(axis=2)
+        n_slots = history.n_slots
+
+        design = self._city_rows_for_day(
+            np.vstack([counts_totals, np.zeros((1, n_slots))]),
+            counts_totals.shape[0],
+            context.day_of_week,
+            np.asarray(context.weather),
+        )
+        city_forecast = np.maximum(self._city_model.predict(design), 0.0)
+
+        cluster_share = self._infer_cluster_shares(context)
+        forecast = np.zeros(self._fitted_shape)
+        for cluster in range(self._k):
+            members = self._labels == cluster
+            per_slot_cluster = city_forecast * cluster_share[:, cluster]
+            forecast[:, members] = (
+                per_slot_cluster[:, None] * self._area_share[:, members]
+            )
+        return forecast
+
+    def _infer_cluster_shares(self, context: DayContext) -> np.ndarray:
+        """Multi-similarity inference of per-slot cluster proportions.
+
+        Every historical (day, slot) observation votes with weight
+        ``w = weekend_match · weather_match · slot_kernel``; the target
+        slot's share vector is the weighted mean, renormalised.
+        """
+        history = self._history
+        observations = self._cluster_share_obs  # (days, slots, k)
+        n_days, n_slots, k = observations.shape
+        target_weekend = context.day_of_week >= 5
+        weather = np.asarray(context.weather)
+
+        weekend_hist = (history.day_of_week >= 5).astype(np.float64)
+        weekend_weight = np.where(
+            weekend_hist == float(target_weekend), 1.0, 0.25
+        )  # (days,)
+
+        shares = np.empty((n_slots, k))
+        slot_index = np.arange(n_slots)
+        for slot in range(n_slots):
+            weather_weight = np.where(
+                history.weather[:, slot] == weather[slot], 1.0, 0.35
+            )  # (days,)
+            # Slot kernel: the same slot counts fully; neighbours decay.
+            offsets = np.abs(slot_index - slot)
+            offsets = np.minimum(offsets, n_slots - offsets)
+            slot_kernel = np.exp(-(offsets**2) / 2.0)  # (slots,)
+            weights = (
+                (weekend_weight * weather_weight)[:, None] * slot_kernel[None, :]
+            )  # (days, slots)
+            weighted = (observations * weights[:, :, None]).sum(axis=(0, 1))
+            total_weight = weights.sum()
+            if total_weight <= 0:
+                shares[slot] = observations.mean(axis=(0, 1))
+            else:
+                shares[slot] = weighted / total_weight
+        row_sums = shares.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0] = 1.0
+        return shares / row_sums

@@ -1,0 +1,63 @@
+"""The paper's two prediction-accuracy metrics (Section 6.3.1).
+
+Error Rate::
+
+    ER = (1/t) Σ_i  [ Σ_j |a_ij − ã_ij| ]  /  [ Σ_j a_ij ]
+
+Root Mean Squared Logarithmic Error (the paper writes "RMLSE")::
+
+    RMSLE = (1/t) Σ_i sqrt( (1/g) Σ_j (log(a_ij + 1) − log(ã_ij + 1))² )
+
+Both average per-slot scores over the ``t`` slots; smaller is better.
+Slots with zero actual demand would divide by zero in ER — the paper does
+not define that case, so we skip empty slots and average over the rest
+(documented deviation; it only matters for overnight slots in the taxi
+stand-in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+
+__all__ = ["error_rate", "rmsle", "rmlse"]
+
+
+def _validate(actual: np.ndarray, predicted: np.ndarray) -> tuple:
+    a = np.asarray(actual, dtype=np.float64)
+    p = np.asarray(predicted, dtype=np.float64)
+    if a.shape != p.shape:
+        raise PredictionError(f"shape mismatch: actual {a.shape} vs predicted {p.shape}")
+    if a.ndim != 2:
+        raise PredictionError(f"metrics expect (slots, areas) matrices, got {a.ndim}-D")
+    if (a < 0).any() or (p < 0).any():
+        raise PredictionError("counts must be non-negative")
+    return a, p
+
+
+def error_rate(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """The paper's ER metric; lower is better.
+
+    Raises:
+        PredictionError: on shape mismatch, negative counts, or if every
+            slot has zero actual demand.
+    """
+    a, p = _validate(actual, predicted)
+    per_slot_actual = a.sum(axis=1)
+    mask = per_slot_actual > 0
+    if not mask.any():
+        raise PredictionError("all slots empty: ER undefined")
+    per_slot_abs = np.abs(a - p).sum(axis=1)
+    return float((per_slot_abs[mask] / per_slot_actual[mask]).mean())
+
+
+def rmsle(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """The paper's RMLSE metric; lower is better."""
+    a, p = _validate(actual, predicted)
+    squared = (np.log1p(a) - np.log1p(p)) ** 2
+    return float(np.sqrt(squared.mean(axis=1)).mean())
+
+
+# The paper spells the metric "RMLSE"; keep that name as an alias.
+rmlse = rmsle

@@ -1,0 +1,163 @@
+"""NN — a feed-forward neural network predictor (Section 6.3.1).
+
+"Using a neural network with the numbers of tasks and workers of the 15
+most recent corresponding periods and other features e.g. the weather
+condition."  A from-scratch numpy MLP: one hidden ReLU layer, squared
+loss, Adam, mini-batches, standardised inputs.  Deterministic given the
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import DayContext, DemandHistory, Predictor
+from repro.prediction.features import CellFeatureizer
+
+__all__ = ["NeuralNetworkPredictor", "MlpRegressor"]
+
+
+class MlpRegressor:
+    """A single-hidden-layer ReLU MLP trained with Adam on squared loss.
+
+    Args:
+        hidden: hidden-layer width.
+        epochs: training epochs over the (possibly capped) training set.
+        batch_size: mini-batch size.
+        learning_rate: Adam step size.
+        max_rows: training-row cap (uniform subsample) for tractability.
+        seed: initialisation and shuffling seed.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 48,
+        epochs: int = 25,
+        batch_size: int = 256,
+        learning_rate: float = 1e-3,
+        max_rows: int = 60_000,
+        seed: int = 0,
+    ) -> None:
+        if hidden < 1 or epochs < 1 or batch_size < 1:
+            raise PredictionError("invalid MLP hyper-parameters")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.max_rows = max_rows
+        self.seed = seed
+        self._w1: Optional[np.ndarray] = None
+        self._b1: Optional[np.ndarray] = None
+        self._w2: Optional[np.ndarray] = None
+        self._b2: float = 0.0
+        self._mu: Optional[np.ndarray] = None
+        self._sigma: Optional[np.ndarray] = None
+        self._y_mu: float = 0.0
+        self._y_sigma: float = 1.0
+
+    def fit(self, features: np.ndarray, target: np.ndarray) -> "MlpRegressor":
+        """Train the network (inputs and targets are standardised)."""
+        features = np.asarray(features, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        if features.shape[0] > self.max_rows:
+            keep = rng.choice(features.shape[0], self.max_rows, replace=False)
+            features = features[keep]
+            target = target[keep]
+        self._mu = features.mean(axis=0)
+        self._sigma = features.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        x = (features - self._mu) / self._sigma
+        self._y_mu = float(target.mean())
+        self._y_sigma = float(target.std()) or 1.0
+        y = (target - self._y_mu) / self._y_sigma
+
+        n, f = x.shape
+        h = self.hidden
+        self._w1 = rng.normal(0.0, np.sqrt(2.0 / f), size=(f, h))
+        self._b1 = np.zeros(h)
+        self._w2 = rng.normal(0.0, np.sqrt(2.0 / h), size=(h, 1))
+        self._b2 = 0.0
+
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        moments = {
+            key: (np.zeros_like(value), np.zeros_like(value))
+            for key, value in (("w1", self._w1), ("b1", self._b1), ("w2", self._w2))
+        }
+        m_b2 = v_b2 = 0.0
+        step = 0
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                xb = x[rows]
+                yb = y[rows]
+                step += 1
+                # Forward.
+                pre = xb @ self._w1 + self._b1
+                act = np.maximum(pre, 0.0)
+                out = (act @ self._w2).ravel() + self._b2
+                # Backward (MSE).
+                grad_out = 2.0 * (out - yb) / rows.size
+                grad_w2 = act.T @ grad_out[:, None]
+                grad_b2 = float(grad_out.sum())
+                grad_act = grad_out[:, None] @ self._w2.T
+                grad_pre = grad_act * (pre > 0.0)
+                grad_w1 = xb.T @ grad_pre
+                grad_b1 = grad_pre.sum(axis=0)
+                # Adam updates.
+                for key, param, grad in (
+                    ("w1", self._w1, grad_w1),
+                    ("b1", self._b1, grad_b1),
+                    ("w2", self._w2, grad_w2),
+                ):
+                    m, v = moments[key]
+                    m *= beta1
+                    m += (1 - beta1) * grad
+                    v *= beta2
+                    v += (1 - beta2) * grad**2
+                    m_hat = m / (1 - beta1**step)
+                    v_hat = v / (1 - beta2**step)
+                    param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+                m_b2 = beta1 * m_b2 + (1 - beta1) * grad_b2
+                v_b2 = beta2 * v_b2 + (1 - beta2) * grad_b2**2
+                self._b2 -= self.learning_rate * (
+                    (m_b2 / (1 - beta1**step)) / (np.sqrt(v_b2 / (1 - beta2**step)) + eps)
+                )
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Network output, de-standardised."""
+        if self._w1 is None:
+            raise PredictionError("MLP not fitted")
+        x = (np.asarray(features, dtype=np.float64) - self._mu) / self._sigma
+        act = np.maximum(x @ self._w1 + self._b1, 0.0)
+        out = (act @ self._w2).ravel() + self._b2
+        return out * self._y_sigma + self._y_mu
+
+
+class NeuralNetworkPredictor(Predictor):
+    """The paper's NN predictor: the MLP over per-cell features."""
+
+    name = "NN"
+
+    def __init__(self, hidden: int = 48, epochs: int = 25, seed: int = 0) -> None:
+        super().__init__()
+        self._features = CellFeatureizer()
+        self._model = MlpRegressor(hidden=hidden, epochs=epochs, seed=seed)
+
+    def fit(self, history: DemandHistory) -> None:
+        """Featureise the history and train the MLP."""
+        super().fit(history)
+        self._features.fit(history)
+        design, target = self._features.training_matrix(history)
+        self._model.fit(design, target)
+
+    def _predict(self, context: DayContext) -> np.ndarray:
+        design = self._features.target_matrix(context)
+        flat = self._model.predict(design)
+        slots, areas = self._fitted_shape
+        return flat.reshape(slots, areas)

@@ -1,0 +1,82 @@
+"""PAQ — predictive aggregation queries (Section 6.3.1).
+
+"Using aggregation queries with moving object trajectories in the 6
+latest hours."  PAQ estimates each area's *current level* from the most
+recent six hours of observations and projects it through the historical
+slot-of-day profile.  Because prediction is offline (the guide is built
+before the day starts), "the 6 latest hours" are the last six hours of
+the training history — the adaptation is documented in DESIGN.md.
+
+Concretely, with per-area recent level ``L_j`` (mean count over the last
+``6h`` of history) and historical temporal profile ``p_i`` (share of a
+day's demand falling in slot ``i``)::
+
+    forecast[i, j] = L_j · n_slots · p_i · dow_factor
+
+The day-of-week factor rescales for weekday/weekend volume differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import DayContext, DemandHistory, Predictor
+
+__all__ = ["PredictiveAggregation"]
+
+
+class PredictiveAggregation(Predictor):
+    """Recency level × historical diurnal profile.
+
+    Args:
+        window_hours: the aggregation window (paper: 6 hours).
+    """
+
+    name = "PAQ"
+
+    def __init__(self, window_hours: float = 6.0) -> None:
+        super().__init__()
+        if window_hours <= 0:
+            raise PredictionError(f"window_hours must be positive, got {window_hours}")
+        self.window_hours = window_hours
+        self._level: np.ndarray | None = None
+        self._profile: np.ndarray | None = None
+        self._dow_factor: dict = {}
+
+    def fit(self, history: DemandHistory) -> None:
+        """Estimate recent levels, the diurnal profile and dow factors."""
+        super().fit(history)
+        counts = np.asarray(history.counts, dtype=np.float64)
+        n_days, n_slots, _ = counts.shape
+
+        window_slots = max(1, int(round(self.window_hours / 24.0 * n_slots)))
+        series = counts.reshape(n_days * n_slots, -1)
+        recent = series[-window_slots:]
+        self._level = recent.mean(axis=0)  # per-area mean count per slot
+
+        per_slot = counts.mean(axis=(0, 2))  # mean count per slot over days/areas
+        total = per_slot.sum()
+        if total <= 0:
+            # Degenerate all-zero history: fall back to a flat profile.
+            self._profile = np.full(n_slots, 1.0 / n_slots)
+        else:
+            self._profile = per_slot / total
+
+        overall_daily = counts.sum(axis=(1, 2)).mean()
+        self._dow_factor = {}
+        for weekday in range(7):
+            mask = history.day_of_week == weekday
+            if mask.any() and overall_daily > 0:
+                self._dow_factor[weekday] = (
+                    counts[mask].sum(axis=(1, 2)).mean() / overall_daily
+                )
+
+    def _predict(self, context: DayContext) -> np.ndarray:
+        if self._level is None or self._profile is None:
+            raise PredictionError("PAQ: internal state missing")
+        n_slots = self._profile.shape[0]
+        factor = self._dow_factor.get(context.day_of_week, 1.0)
+        # level is a per-slot rate; profile redistributes a day of it.
+        daily_per_area = self._level * n_slots
+        return factor * np.outer(self._profile, daily_per_area)

@@ -1,0 +1,81 @@
+"""LR — lagged linear regression (Section 6.3.1).
+
+"Using a linear regression model with the numbers of tasks and workers
+of the 15 most recent corresponding periods."  For every (slot, area)
+cell the features are that cell's counts on the 15 most recent days
+(same slot — the "corresponding period"), and one global linear model is
+fit across all cells by least squares.  Linear pooling captures level
+and trend but cannot express the nonlinear weather response, which keeps
+LR behind GBRT/NN/HP-MSI in Table 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import DayContext, DemandHistory, Predictor
+
+__all__ = ["LaggedLinearRegression"]
+
+
+class LaggedLinearRegression(Predictor):
+    """One global least-squares model over per-cell day lags.
+
+    Args:
+        n_lags: number of most recent corresponding periods (paper: 15).
+        ridge: small L2 regulariser keeping the normal equations well
+            conditioned when history days are collinear.
+    """
+
+    name = "LR"
+
+    def __init__(self, n_lags: int = 15, ridge: float = 1e-6) -> None:
+        super().__init__()
+        if n_lags < 1:
+            raise PredictionError(f"n_lags must be >= 1, got {n_lags}")
+        if ridge < 0:
+            raise PredictionError(f"ridge must be non-negative, got {ridge}")
+        self.n_lags = n_lags
+        self.ridge = ridge
+        self._weights: np.ndarray | None = None
+        self._recent: np.ndarray | None = None
+
+    def fit(self, history: DemandHistory) -> None:
+        """Fit the pooled lag model.
+
+        Training rows are every day ``d >= usable_lags`` and every
+        (slot, area): features = the cell's counts on days
+        ``d-1 .. d-usable_lags``, target = the cell's count on day ``d``.
+        When the history is shorter than ``n_lags + 1`` days the lag
+        window shrinks to what is available.
+        """
+        super().fit(history)
+        counts = np.asarray(history.counts, dtype=np.float64)
+        n_days = counts.shape[0]
+        usable_lags = min(self.n_lags, max(1, n_days - 1))
+        rows = []
+        targets = []
+        for day in range(usable_lags, n_days):
+            lagged = counts[day - usable_lags : day]  # (lags, slots, areas)
+            # Most recent lag first, flattened over cells.
+            features = lagged[::-1].reshape(usable_lags, -1).T
+            rows.append(features)
+            targets.append(counts[day].reshape(-1))
+        if not rows:
+            raise PredictionError("LR: history too short to build any training row")
+        design = np.concatenate(rows, axis=0)
+        design = np.hstack([design, np.ones((design.shape[0], 1))])
+        target = np.concatenate(targets, axis=0)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ target)
+        recent = counts[-usable_lags:]  # most recent `usable_lags` days
+        self._recent = recent[::-1].reshape(usable_lags, -1).T
+
+    def _predict(self, context: DayContext) -> np.ndarray:
+        if self._weights is None or self._recent is None:
+            raise PredictionError("LR: internal state missing")
+        design = np.hstack([self._recent, np.ones((self._recent.shape[0], 1))])
+        flat = design @ self._weights
+        slots, areas = self._fitted_shape
+        return flat.reshape(slots, areas)

@@ -1,0 +1,207 @@
+"""CART regression trees from scratch (the GBRT base learner).
+
+A histogram-style regressor: at each node the best split per feature is
+found by sorting once and evaluating sum-of-squared-error reduction at up
+to ``max_candidates`` boundaries with vectorised prefix sums.  Trees are
+stored as flat arrays and predict iteratively, so there is no recursion
+limit concern and prediction is a tight loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+
+__all__ = ["DecisionTreeRegressor"]
+
+_LEAF = -1
+
+
+class DecisionTreeRegressor:
+    """A least-squares regression tree.
+
+    Args:
+        max_depth: maximum depth (root = 0).
+        min_samples_split: minimum rows to attempt a split.
+        min_samples_leaf: minimum rows on each side of a split.
+        max_candidates: maximum split positions evaluated per feature
+            (evenly spaced through the sorted order).
+        rng: optional numpy Generator used only to subsample candidate
+            features (when ``max_features`` is set).
+        max_features: number of features examined per split (None = all).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_split: int = 8,
+        min_samples_leaf: int = 4,
+        max_candidates: int = 32,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_depth < 0:
+            raise PredictionError(f"max_depth must be >= 0, got {max_depth}")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise PredictionError("invalid minimum sample parameters")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_candidates = max_candidates
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._feature: List[int] = []
+        self._threshold: List[float] = []
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._value: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+
+    def fit(self, features: np.ndarray, target: np.ndarray) -> "DecisionTreeRegressor":
+        """Grow the tree on ``features`` (n, f) against ``target`` (n,)."""
+        features = np.asarray(features, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if features.ndim != 2 or target.ndim != 1 or features.shape[0] != target.shape[0]:
+            raise PredictionError(
+                f"bad shapes: features {features.shape}, target {target.shape}"
+            )
+        if features.shape[0] == 0:
+            raise PredictionError("cannot fit a tree on zero rows")
+        self._feature = []
+        self._threshold = []
+        self._left = []
+        self._right = []
+        self._value = []
+        root_index = self._new_node(float(target.mean()))
+        stack = [(root_index, np.arange(features.shape[0]), 0)]
+        while stack:
+            node, rows, depth = stack.pop()
+            split = self._best_split(features, target, rows, depth)
+            if split is None:
+                continue
+            feature, threshold, left_rows, right_rows = split
+            left_node = self._new_node(float(target[left_rows].mean()))
+            right_node = self._new_node(float(target[right_rows].mean()))
+            self._feature[node] = feature
+            self._threshold[node] = threshold
+            self._left[node] = left_node
+            self._right[node] = right_node
+            stack.append((left_node, left_rows, depth + 1))
+            stack.append((right_node, right_rows, depth + 1))
+        return self
+
+    def _new_node(self, value: float) -> int:
+        self._feature.append(_LEAF)
+        self._threshold.append(0.0)
+        self._left.append(_LEAF)
+        self._right.append(_LEAF)
+        self._value.append(value)
+        return len(self._value) - 1
+
+    def _best_split(self, features, target, rows, depth):
+        n = rows.shape[0]
+        if depth >= self.max_depth or n < self.min_samples_split:
+            return None
+        y = target[rows]
+        total_sum = y.sum()
+        total_sq = (y**2).sum()
+        base_sse = total_sq - total_sum**2 / n
+        if base_sse <= 1e-12:
+            return None
+
+        n_features = features.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            feature_ids = self.rng.choice(n_features, self.max_features, replace=False)
+        else:
+            feature_ids = range(n_features)
+
+        best = None
+        best_gain = 1e-12
+        for feature in feature_ids:
+            column = features[rows, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_y = y[order]
+            prefix_sum = np.cumsum(sorted_y)
+            prefix_sq = np.cumsum(sorted_y**2)
+            # Valid split positions: between distinct neighbour values,
+            # honouring the leaf minimum on both sides.
+            lo = self.min_samples_leaf
+            hi = n - self.min_samples_leaf
+            if lo >= hi:
+                continue
+            positions = np.nonzero(sorted_vals[lo:hi] < sorted_vals[lo + 1 : hi + 1])[0] + lo
+            if positions.size == 0:
+                continue
+            if positions.size > self.max_candidates:
+                pick = np.linspace(0, positions.size - 1, self.max_candidates).astype(int)
+                positions = positions[pick]
+            left_n = positions + 1
+            left_sum = prefix_sum[positions]
+            left_sq = prefix_sq[positions]
+            right_n = n - left_n
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+            sse = (
+                left_sq
+                - left_sum**2 / left_n
+                + right_sq
+                - right_sum**2 / right_n
+            )
+            gain = base_sse - sse
+            arg = int(np.argmax(gain))
+            if gain[arg] > best_gain:
+                best_gain = float(gain[arg])
+                position = positions[arg]
+                threshold = 0.5 * (sorted_vals[position] + sorted_vals[position + 1])
+                mask = column <= threshold
+                best = (int(feature), float(threshold), rows[mask], rows[~mask])
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the fitted tree (0 before fitting)."""
+        return len(self._value)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n, f)."""
+        if not self._value:
+            raise PredictionError("tree not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise PredictionError(f"features must be 2-D, got shape {features.shape}")
+        n = features.shape[0]
+        out = np.empty(n)
+        # Vectorised level-order descent: all rows walk down together.
+        node_of_row = np.zeros(n, dtype=np.int64)
+        feature = np.asarray(self._feature)
+        threshold = np.asarray(self._threshold)
+        left = np.asarray(self._left)
+        right = np.asarray(self._right)
+        value = np.asarray(self._value)
+        active = np.arange(n)
+        while active.size:
+            nodes = node_of_row[active]
+            is_leaf = feature[nodes] == _LEAF
+            done = active[is_leaf]
+            out[done] = value[nodes[is_leaf]]
+            moving = active[~is_leaf]
+            if moving.size == 0:
+                break
+            nodes = node_of_row[moving]
+            go_left = (
+                features[moving, feature[nodes]] <= threshold[nodes]
+            )
+            node_of_row[moving] = np.where(go_left, left[nodes], right[nodes])
+            active = moving
+        return out

@@ -1,0 +1,28 @@
+"""Spatial substrate: geometry, grid areas, time slots and travel costs.
+
+The paper partitions the plane into uniform *grid areas* and the timeline
+into *time slots* (Section 3.1.1); every prediction and both POLAR
+algorithms operate on (slot, area) *types*.  This package provides those
+primitives:
+
+* :mod:`repro.spatial.geometry` — points and Euclidean distance.
+* :mod:`repro.spatial.grid` — uniform grid partitioning of a rectangle.
+* :mod:`repro.spatial.timeslots` — uniform partitioning of a time horizon.
+* :mod:`repro.spatial.travel` — the constant-velocity travel-time model
+  of Definition 3.
+"""
+
+from repro.spatial.geometry import BoundingBox, Point, euclidean_distance, midpoint
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "euclidean_distance",
+    "midpoint",
+    "Grid",
+    "Timeline",
+    "TravelModel",
+]

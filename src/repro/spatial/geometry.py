@@ -1,0 +1,144 @@
+"""Planar geometry primitives.
+
+The paper works in a 2-D Euclidean space (Definition 1–3); locations are
+points and the travel cost between a worker and a task is the Euclidean
+distance divided by a common velocity.  Only the distance machinery lives
+here; the velocity scaling is in :mod:`repro.spatial.travel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, NamedTuple
+
+__all__ = ["Point", "BoundingBox", "euclidean_distance", "midpoint", "centroid"]
+
+
+class Point(NamedTuple):
+    """A location in the 2-D plane.
+
+    ``Point`` is a ``NamedTuple`` so instances are immutable, hashable,
+    cheap, and unpack naturally (``x, y = p``).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance from this point to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def toward(self, target: "Point", distance: float) -> "Point":
+        """The point reached by moving ``distance`` from here toward ``target``.
+
+        If ``distance`` meets or exceeds the separation, returns ``target``
+        (movement never overshoots).  A non-positive ``distance`` returns
+        this point unchanged.
+        """
+        if distance <= 0.0:
+            return self
+        gap = self.distance_to(target)
+        if gap <= distance or gap == 0.0:
+            return target
+        ratio = distance / gap
+        return Point(self.x + (target.x - self.x) * ratio, self.y + (target.y - self.y) * ratio)
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (module-level convenience)."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The midpoint of the segment ``ab``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    xs = 0.0
+    ys = 0.0
+    count = 0
+    for p in points:
+        xs += p.x
+        ys += p.y
+        count += 1
+    if count == 0:
+        raise ValueError("centroid() requires at least one point")
+    return Point(xs / count, ys / count)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[x_min, x_max] × [y_min, y_max]``.
+
+    Used as the spatial extent of a :class:`repro.spatial.grid.Grid` and as
+    the sampling region of the workload generators.  Degenerate (zero-area)
+    boxes are rejected because the grid partitioning divides by the side
+    lengths.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if not (self.x_max > self.x_min and self.y_max > self.y_min):
+            raise ValueError(
+                f"degenerate bounding box: [{self.x_min}, {self.x_max}] x "
+                f"[{self.y_min}, {self.y_max}]"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.y_max - self.y_min
+
+    @property
+    def center(self) -> Point:
+        """The geometric centre of the box."""
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    @property
+    def area(self) -> float:
+        """Area of the box."""
+        return self.width * self.height
+
+    def contains(self, p: Point) -> bool:
+        """Whether ``p`` lies inside the box (closed on all sides)."""
+        return self.x_min <= p.x <= self.x_max and self.y_min <= p.y <= self.y_max
+
+    def clamp(self, p: Point) -> Point:
+        """The nearest point to ``p`` inside the box."""
+        x = min(max(p.x, self.x_min), self.x_max)
+        y = min(max(p.y, self.y_min), self.y_max)
+        return Point(x, y)
+
+    def corners(self) -> Iterator[Point]:
+        """Yield the four corners counter-clockwise from ``(x_min, y_min)``."""
+        yield Point(self.x_min, self.y_min)
+        yield Point(self.x_max, self.y_min)
+        yield Point(self.x_max, self.y_max)
+        yield Point(self.x_min, self.y_max)
+
+    @staticmethod
+    def unit_square(side: float) -> "BoundingBox":
+        """A square ``[0, side] × [0, side]`` — the synthetic-data region."""
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        return BoundingBox(0.0, 0.0, side, side)

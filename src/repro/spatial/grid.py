@@ -1,0 +1,208 @@
+"""Uniform grid partitioning of a rectangular region into *areas*.
+
+The paper divides the 2-D space into ``x × y`` grid areas (Example 3,
+Table 4) indexed by a single integer ``j``; the predicted counts ``a_ij``
+and ``b_ij`` are per (slot ``i``, area ``j``).  :class:`Grid` owns the
+location → area mapping, area centres (used when dispatching a worker "to
+the area of r", Algorithm 2 line 11), and neighbourhood enumeration used
+to build feasibility edges without scanning all area pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import GridError
+from repro.spatial.geometry import BoundingBox, Point
+
+__all__ = ["Grid"]
+
+
+class Grid:
+    """A uniform ``nx × ny`` partition of a bounding box into areas.
+
+    Areas are indexed row-major: area ``j`` has column ``j % nx`` and row
+    ``j // nx``, matching the paper's flat ``Area j`` notation.
+
+    Args:
+        bounds: the rectangle being partitioned.
+        nx: number of columns (cells along x).
+        ny: number of rows (cells along y).
+
+    Raises:
+        GridError: if either dimension is not a positive integer.
+    """
+
+    __slots__ = ("bounds", "nx", "ny", "cell_width", "cell_height")
+
+    def __init__(self, bounds: BoundingBox, nx: int, ny: int) -> None:
+        if nx <= 0 or ny <= 0:
+            raise GridError(f"grid dimensions must be positive, got {nx}x{ny}")
+        self.bounds = bounds
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.cell_width = bounds.width / self.nx
+        self.cell_height = bounds.height / self.ny
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def square(side_cells: int, cell_size: float = 1.0) -> "Grid":
+        """A ``side × side`` grid of square cells anchored at the origin.
+
+        This is the synthetic-experiment layout (``g = x × y`` in Table 4,
+        e.g. ``50×50`` cells of ``0.01° × 0.01°``); ``cell_size`` defaults
+        to one spatial unit per cell so distances are measured in cells.
+        """
+        if side_cells <= 0:
+            raise GridError(f"side_cells must be positive, got {side_cells}")
+        extent = side_cells * cell_size
+        return Grid(BoundingBox(0.0, 0.0, extent, extent), side_cells, side_cells)
+
+    # ------------------------------------------------------------------ #
+    # Indexing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_areas(self) -> int:
+        """Total number of areas ``β = nx · ny``."""
+        return self.nx * self.ny
+
+    def cell_of(self, p: Point) -> Tuple[int, int]:
+        """The ``(col, row)`` cell containing ``p``.
+
+        Points on the far edges are assigned to the last cell so the grid
+        covers the closed bounding box.
+
+        Raises:
+            GridError: if ``p`` lies outside the bounds (the paper drops
+                data points beyond the covered rectangle; callers that want
+                that behaviour should filter with ``bounds.contains``
+                first — the grid itself refuses silently mis-binned data).
+        """
+        if not self.bounds.contains(p):
+            raise GridError(f"point {p} outside grid bounds {self.bounds}")
+        col = int((p.x - self.bounds.x_min) / self.cell_width)
+        row = int((p.y - self.bounds.y_min) / self.cell_height)
+        if col == self.nx:
+            col -= 1
+        if row == self.ny:
+            row -= 1
+        return col, row
+
+    def area_of(self, p: Point) -> int:
+        """The flat area index ``j`` of the cell containing ``p``."""
+        col, row = self.cell_of(p)
+        return row * self.nx + col
+
+    def area_index(self, col: int, row: int) -> int:
+        """Flat index of the cell at ``(col, row)``."""
+        self._check_cell(col, row)
+        return row * self.nx + col
+
+    def cell_coords(self, area: int) -> Tuple[int, int]:
+        """Inverse of :meth:`area_index`: flat index → ``(col, row)``."""
+        self._check_area(area)
+        return area % self.nx, area // self.nx
+
+    def _check_area(self, area: int) -> None:
+        if not 0 <= area < self.n_areas:
+            raise GridError(f"area index {area} out of range [0, {self.n_areas})")
+
+    def _check_cell(self, col: int, row: int) -> None:
+        if not (0 <= col < self.nx and 0 <= row < self.ny):
+            raise GridError(f"cell ({col}, {row}) out of range for {self.nx}x{self.ny} grid")
+
+    # ------------------------------------------------------------------ #
+    # Geometry of areas
+    # ------------------------------------------------------------------ #
+
+    def center_of(self, area: int) -> Point:
+        """Centre point of area ``j`` — the dispatch target for that area."""
+        col, row = self.cell_coords(area)
+        return Point(
+            self.bounds.x_min + (col + 0.5) * self.cell_width,
+            self.bounds.y_min + (row + 0.5) * self.cell_height,
+        )
+
+    def cell_box(self, area: int) -> BoundingBox:
+        """The bounding box of area ``j``."""
+        col, row = self.cell_coords(area)
+        return BoundingBox(
+            self.bounds.x_min + col * self.cell_width,
+            self.bounds.y_min + row * self.cell_height,
+            self.bounds.x_min + (col + 1) * self.cell_width,
+            self.bounds.y_min + (row + 1) * self.cell_height,
+        )
+
+    def center_distance(self, area_a: int, area_b: int) -> float:
+        """Euclidean distance between the centres of two areas.
+
+        This is the distance the guide generator uses between (slot, area)
+        types: all predicted objects of a type are located at the centre of
+        the type's area.
+        """
+        return self.center_of(area_a).distance_to(self.center_of(area_b))
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood enumeration
+    # ------------------------------------------------------------------ #
+
+    def areas_within(self, area: int, radius: float) -> List[int]:
+        """Areas whose *centre* is within ``radius`` of ``area``'s centre.
+
+        Used to enumerate feasible (worker-type, task-type) edges without
+        the quadratic scan over all area pairs: a worker type can only
+        reach task types whose centres lie within the travel radius.
+
+        The origin area is always included (radius ``>= 0`` covers the zero
+        self-distance).
+        """
+        self._check_area(area)
+        if radius < 0:
+            return []
+        col, row = self.cell_coords(area)
+        reach_cols = int(math.floor(radius / self.cell_width)) + 1
+        reach_rows = int(math.floor(radius / self.cell_height)) + 1
+        origin = self.center_of(area)
+        found: List[int] = []
+        for r in range(max(0, row - reach_rows), min(self.ny, row + reach_rows + 1)):
+            for c in range(max(0, col - reach_cols), min(self.nx, col + reach_cols + 1)):
+                candidate = r * self.nx + c
+                if origin.distance_to(self.center_of(candidate)) <= radius:
+                    found.append(candidate)
+        return found
+
+    def iter_areas(self) -> Iterator[int]:
+        """Iterate over all flat area indices in order."""
+        return iter(range(self.n_areas))
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+
+    def histogram(self, points: Sequence[Point]) -> List[int]:
+        """Count points per area (dropping points outside the bounds).
+
+        Matches the paper's preprocessing: "we ignore the data points
+        beyond the scope of the rectangle" (Section 6.1).
+        """
+        counts = [0] * self.n_areas
+        for p in points:
+            if self.bounds.contains(p):
+                counts[self.area_of(p)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Grid({self.nx}x{self.ny} over {self.bounds})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Grid):
+            return NotImplemented
+        return self.bounds == other.bounds and self.nx == other.nx and self.ny == other.ny
+
+    def __hash__(self) -> int:
+        return hash((self.bounds, self.nx, self.ny))

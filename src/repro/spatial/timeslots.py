@@ -1,0 +1,149 @@
+"""Uniform partitioning of a time horizon into *slots*.
+
+The paper partitions the timeline into ``t`` equal slots (Table 3/4:
+``t ∈ {12, 24, 48, 96, 144}`` per day, one slot typically 15 minutes).
+Predicted counts, the offline guide and the POLAR algorithms address time
+exclusively through slot indices ``i``; :class:`Timeline` owns the
+instant ↔ slot mapping.
+
+All times in the library are minutes from the start of the horizon unless
+stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import TimelineError
+
+__all__ = ["Timeline"]
+
+MINUTES_PER_DAY = 24 * 60
+
+
+class Timeline:
+    """A horizon ``[t0, t0 + n_slots * slot_minutes)`` split into slots.
+
+    Args:
+        n_slots: number of slots ``α``.
+        slot_minutes: duration of one slot in minutes.
+        t0: start of the horizon (minutes), default 0.
+
+    Raises:
+        TimelineError: for non-positive slot counts or durations.
+    """
+
+    __slots__ = ("n_slots", "slot_minutes", "t0")
+
+    def __init__(self, n_slots: int, slot_minutes: float, t0: float = 0.0) -> None:
+        if n_slots <= 0:
+            raise TimelineError(f"n_slots must be positive, got {n_slots}")
+        if slot_minutes <= 0:
+            raise TimelineError(f"slot_minutes must be positive, got {slot_minutes}")
+        self.n_slots = int(n_slots)
+        self.slot_minutes = float(slot_minutes)
+        self.t0 = float(t0)
+
+    @staticmethod
+    def day(n_slots: int) -> "Timeline":
+        """A 24-hour horizon split into ``n_slots`` equal slots.
+
+        This is the paper's configuration: ``Timeline.day(96)`` gives
+        15-minute slots, ``Timeline.day(48)`` 30-minute slots, etc.
+        """
+        if n_slots <= 0:
+            raise TimelineError(f"n_slots must be positive, got {n_slots}")
+        return Timeline(n_slots, MINUTES_PER_DAY / n_slots)
+
+    # ------------------------------------------------------------------ #
+    # Mapping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def horizon_end(self) -> float:
+        """The exclusive end of the horizon in minutes."""
+        return self.t0 + self.n_slots * self.slot_minutes
+
+    @property
+    def duration(self) -> float:
+        """Total horizon length in minutes."""
+        return self.n_slots * self.slot_minutes
+
+    def contains(self, t: float) -> bool:
+        """Whether instant ``t`` falls inside the horizon.
+
+        The horizon is half-open ``[t0, end)`` except that the exact end
+        instant is accepted and binned into the last slot, mirroring the
+        closed-edge convention of :class:`repro.spatial.grid.Grid`.
+        """
+        return self.t0 <= t <= self.horizon_end
+
+    def slot_of(self, t: float) -> int:
+        """The slot index ``i`` containing instant ``t``.
+
+        Raises:
+            TimelineError: if ``t`` is outside the horizon.
+        """
+        if not self.contains(t):
+            raise TimelineError(
+                f"instant {t} outside horizon [{self.t0}, {self.horizon_end}]"
+            )
+        slot = int((t - self.t0) / self.slot_minutes)
+        if slot == self.n_slots:
+            slot -= 1
+        return slot
+
+    def slot_start(self, slot: int) -> float:
+        """Start instant of slot ``i``."""
+        self._check_slot(slot)
+        return self.t0 + slot * self.slot_minutes
+
+    def slot_end(self, slot: int) -> float:
+        """End instant of slot ``i`` (equals the next slot's start)."""
+        self._check_slot(slot)
+        return self.t0 + (slot + 1) * self.slot_minutes
+
+    def slot_mid(self, slot: int) -> float:
+        """Midpoint instant of slot ``i`` — the representative arrival time
+        assigned to predicted objects of that slot by the guide generator."""
+        self._check_slot(slot)
+        return self.t0 + (slot + 0.5) * self.slot_minutes
+
+    def slot_bounds(self, slot: int) -> Tuple[float, float]:
+        """``(start, end)`` of slot ``i``."""
+        return self.slot_start(slot), self.slot_end(slot)
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.n_slots:
+            raise TimelineError(f"slot index {slot} out of range [0, {self.n_slots})")
+
+    def iter_slots(self) -> Iterator[int]:
+        """Iterate over all slot indices in order."""
+        return iter(range(self.n_slots))
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+
+    def histogram(self, instants: Sequence[float]) -> List[int]:
+        """Count instants per slot, dropping out-of-horizon instants."""
+        counts = [0] * self.n_slots
+        for t in instants:
+            if self.contains(t):
+                counts[self.slot_of(t)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeline({self.n_slots} slots x {self.slot_minutes:g} min from t0={self.t0:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timeline):
+            return NotImplemented
+        return (
+            self.n_slots == other.n_slots
+            and self.slot_minutes == other.slot_minutes
+            and self.t0 == other.t0
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_slots, self.slot_minutes, self.t0))

@@ -1,0 +1,84 @@
+"""The constant-velocity travel model of Definition 3.
+
+Travel cost ``d(w, r)`` is the time to move from the worker's location to
+the task's location: Euclidean distance divided by a global velocity.  The
+paper assumes one shared velocity for all workers ("different velocities
+can be transformed into the same velocity by adjusting the travel costs"),
+so a single :class:`TravelModel` is attached to a problem instance.
+
+The synthetic experiments use 5 grid cells per slot; :meth:`TravelModel.
+cells_per_slot` builds that configuration directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.spatial.geometry import Point, euclidean_distance
+
+__all__ = ["TravelModel"]
+
+
+@dataclass(frozen=True)
+class TravelModel:
+    """Travel-time model with one global velocity.
+
+    Attributes:
+        velocity: distance units per minute.  Must be positive.
+    """
+
+    velocity: float
+
+    def __post_init__(self) -> None:
+        if self.velocity <= 0:
+            raise ConfigurationError(f"velocity must be positive, got {self.velocity}")
+
+    @staticmethod
+    def cells_per_slot(cells: float, slot_minutes: float, cell_size: float = 1.0) -> "TravelModel":
+        """The paper's synthetic setting: a worker covers ``cells`` grid
+        cells per time slot (Section 6.1 uses 5 cells per slot).
+
+        Args:
+            cells: cells traversed per slot.
+            slot_minutes: slot duration in minutes.
+            cell_size: spatial extent of one cell (defaults to 1 unit).
+        """
+        if cells <= 0 or slot_minutes <= 0:
+            raise ConfigurationError(
+                f"cells and slot_minutes must be positive, got {cells}, {slot_minutes}"
+            )
+        return TravelModel(velocity=cells * cell_size / slot_minutes)
+
+    def travel_time(self, origin: Point, destination: Point) -> float:
+        """Minutes needed to move from ``origin`` to ``destination``."""
+        return euclidean_distance(origin, destination) / self.velocity
+
+    def travel_time_for_distance(self, distance: float) -> float:
+        """Minutes needed to cover a raw distance."""
+        if distance < 0:
+            raise ConfigurationError(f"distance must be non-negative, got {distance}")
+        return distance / self.velocity
+
+    def reachable_distance(self, minutes: float) -> float:
+        """Maximum distance coverable in ``minutes`` (0 for negative input).
+
+        Used to bound neighbourhood searches when building feasibility
+        edges: a partner farther than ``reachable_distance(budget)`` can
+        never satisfy the deadline constraint.
+        """
+        if minutes <= 0:
+            return 0.0
+        return minutes * self.velocity
+
+    def position_at(self, origin: Point, destination: Point, depart: float, now: float) -> Point:
+        """Where a worker is at instant ``now`` after departing ``origin``
+        at ``depart`` heading straight for ``destination``.
+
+        Before departure the worker is at ``origin``; after arrival they
+        remain at ``destination`` (the platform's dispatch sends workers to
+        an area where they wait for the predicted task).
+        """
+        if now <= depart:
+            return origin
+        return origin.toward(destination, self.velocity * (now - depart))

@@ -1,0 +1,32 @@
+"""Workload generation: synthetic sweeps and the taxi-platform stand-in.
+
+* :mod:`repro.streams.distributions` — truncated normal sampling and cell
+  probabilities (the paper generates temporal and spatial positions from
+  normal distributions, Section 6.1).
+* :mod:`repro.streams.synthetic` — the Table 4 parameter space generator
+  used by Figures 4 and 6 and the scalability test.
+* :mod:`repro.streams.taxi` — a synthetic taxi-calling city (hotspots,
+  rush hours, weekday/weekend, weather) standing in for the proprietary
+  Beijing/Hangzhou datasets; produces both training history for the
+  predictors and evaluation-day instances.
+* :mod:`repro.streams.oracle` — prediction oracles: exact expected counts
+  and perturbed variants for the prediction-noise ablation.
+"""
+
+from repro.streams.distributions import TruncatedNormal
+from repro.streams.oracle import exact_oracle, perturbed_oracle, rounded_counts
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+from repro.streams.taxi import CityConfig, TaxiCity, beijing_config, hangzhou_config
+
+__all__ = [
+    "TruncatedNormal",
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "CityConfig",
+    "TaxiCity",
+    "beijing_config",
+    "hangzhou_config",
+    "exact_oracle",
+    "perturbed_oracle",
+    "rounded_counts",
+]

@@ -1,0 +1,66 @@
+"""Shared fixtures: small instances, the Example 1 workload, generators."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+if str(EXAMPLES_DIR) not in sys.path:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def example1():
+    """The paper's Example 1 instance plus its Figure 1(d) predictions."""
+    import example1_walkthrough as module
+
+    instance = module.build_example_instance()
+    a, b = module.figure_1d_predictions(instance)
+    return instance, a, b, module
+
+
+@pytest.fixture(scope="session")
+def small_generator():
+    """A dense small synthetic generator (fast, POLAR-friendly density)."""
+    config = SyntheticConfig(
+        n_workers=600,
+        n_tasks=600,
+        grid_side=10,
+        n_slots=8,
+        task_duration_slots=2.0,
+        worker_duration_slots=3.0,
+        seed=11,
+    )
+    return SyntheticGenerator(config)
+
+
+@pytest.fixture(scope="session")
+def small_instance(small_generator):
+    """One materialised instance of :func:`small_generator`."""
+    return small_generator.generate()
+
+
+@pytest.fixture(scope="session")
+def small_guide(small_generator):
+    """The oracle-fed guide for :func:`small_generator`."""
+    from repro.core.guide import build_guide
+    from repro.streams.oracle import exact_oracle
+
+    generator = small_generator
+    config = generator.config
+    slot_minutes = generator.timeline.slot_minutes
+    worker_counts, task_counts = exact_oracle(generator)
+    return build_guide(
+        worker_counts,
+        task_counts,
+        generator.grid,
+        generator.timeline,
+        generator.travel,
+        worker_duration=config.worker_duration_slots * slot_minutes,
+        task_duration=config.task_duration_slots * slot_minutes,
+    )

@@ -1,0 +1,88 @@
+"""Tests for repro.analysis.audit (movement-semantics replay)."""
+
+import pytest
+
+from repro.analysis.audit import audit_outcome
+from repro.core.outcome import AssignmentOutcome, Decision
+from repro.errors import SimulationError
+from repro.model.entities import Task, Worker
+from repro.model.instance import Instance
+from repro.model.matching import Matching
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+
+def _instance(workers, tasks):
+    return Instance(
+        workers=workers,
+        tasks=tasks,
+        grid=Grid.square(2, cell_size=10.0),
+        timeline=Timeline(2, 50.0),
+        travel=TravelModel(1.0),
+    )
+
+
+def _outcome(pairs, worker_decisions=None):
+    outcome = AssignmentOutcome(algorithm="test", matching=Matching())
+    for worker_id, task_id in pairs:
+        outcome.matching.assign(worker_id, task_id)
+    if worker_decisions:
+        outcome.worker_decisions.update(worker_decisions)
+    return outcome
+
+
+class TestStationaryPairs:
+    def test_feasible_pair_passes(self):
+        workers = [Worker(id=0, location=Point(1, 1), start=0.0, duration=50.0)]
+        tasks = [Task(id=0, location=Point(3, 1), start=5.0, duration=5.0)]
+        audit = audit_outcome(_instance(workers, tasks), _outcome([(0, 0)]))
+        assert audit.feasible_pairs == 1
+        assert audit.violation_rate == 0.0
+        assert audit.max_lateness == 0.0
+
+    def test_infeasible_pair_flagged(self):
+        workers = [Worker(id=0, location=Point(1, 1), start=0.0, duration=50.0)]
+        tasks = [Task(id=0, location=Point(15, 1), start=5.0, duration=5.0)]
+        audit = audit_outcome(_instance(workers, tasks), _outcome([(0, 0)]))
+        assert audit.feasible_pairs == 0
+        assert audit.violations[0][0] == 0
+        assert audit.max_lateness == pytest.approx(14.0 - 5.0)
+
+
+class TestDispatchedPairs:
+    def test_pre_positioning_makes_pair_feasible(self):
+        """The worker is dispatched at arrival toward the task's area; by
+        assignment time it is close enough — staying put would miss."""
+        workers = [Worker(id=0, location=Point(1, 1), start=0.0, duration=60.0)]
+        tasks = [Task(id=0, location=Point(15, 15), start=16.0, duration=6.0)]
+        instance = _instance(workers, tasks)
+        target_area = instance.grid.area_of(Point(15, 15))
+
+        stationary = audit_outcome(instance, _outcome([(0, 0)]))
+        assert stationary.violation_rate == 1.0
+
+        dispatched = audit_outcome(
+            instance,
+            _outcome(
+                [(0, 0)],
+                {0: Decision(Decision.DISPATCHED, target_area=target_area)},
+            ),
+        )
+        assert dispatched.violation_rate == 0.0
+
+
+class TestErrors:
+    def test_unknown_entity(self):
+        workers = [Worker(id=0, location=Point(1, 1), start=0.0, duration=50.0)]
+        tasks = [Task(id=0, location=Point(3, 1), start=5.0, duration=5.0)]
+        with pytest.raises(SimulationError):
+            audit_outcome(_instance(workers, tasks), _outcome([(9, 0)]))
+
+    def test_empty_outcome(self):
+        workers = [Worker(id=0, location=Point(1, 1), start=0.0, duration=50.0)]
+        tasks = [Task(id=0, location=Point(3, 1), start=5.0, duration=5.0)]
+        audit = audit_outcome(_instance(workers, tasks), _outcome([]))
+        assert audit.total_pairs == 0
+        assert audit.violation_rate == 0.0

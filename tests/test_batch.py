@@ -1,0 +1,78 @@
+"""Tests for repro.core.batch (the GR baseline)."""
+
+import pytest
+
+from repro.analysis.audit import audit_outcome
+from repro.core.batch import run_batch
+from repro.core.greedy import run_simple_greedy
+from repro.errors import ConfigurationError
+from repro.model.entities import Task, Worker
+from repro.model.instance import Instance
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+
+class TestBasics:
+    def test_invalid_window(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            run_batch(small_instance, window_minutes=0)
+
+    def test_extras_recorded(self, small_instance):
+        outcome = run_batch(small_instance)
+        assert outcome.extras["batches"] >= 1
+        assert outcome.extras["window_minutes"] > 0
+
+    def test_empty_instance(self):
+        instance = Instance(
+            workers=[], tasks=[], grid=Grid.square(2), timeline=Timeline(2, 10.0),
+            travel=TravelModel(1.0),
+        )
+        assert run_batch(instance).size == 0
+
+
+class TestBatchOptimality:
+    def test_beats_greedy_on_crossing_pairs(self):
+        """Two workers and two tasks arriving together: greedy's nearest
+        choice strands one pair; the batch matching pairs both."""
+        grid = Grid.square(10, cell_size=1.0)
+        timeline = Timeline(1, 100.0)
+        travel = TravelModel(1.0)
+        # Worker A can serve both tasks; worker B only the near one.
+        workers = [
+            Worker(id=0, location=Point(5.0, 5.0), start=0.0, duration=90.0),  # A
+            Worker(id=1, location=Point(3.0, 5.0), start=0.0, duration=90.0),  # B
+        ]
+        tasks = [
+            Task(id=0, location=Point(5.5, 5.0), start=0.5, duration=3.0),  # near both
+            Task(id=1, location=Point(8.0, 5.0), start=0.5, duration=4.0),  # only A reaches
+        ]
+        instance = Instance(workers=workers, tasks=tasks, grid=grid, timeline=timeline, travel=travel)
+        greedy = run_simple_greedy(instance)
+        batch = run_batch(instance, window_minutes=1.0)
+        assert greedy.size == 1  # r0 grabs A (nearest), r1 unreachable for B
+        assert batch.size == 2
+
+    def test_all_matches_meet_deadlines(self, small_instance):
+        outcome = run_batch(small_instance)
+        audit = audit_outcome(small_instance, outcome)
+        assert audit.violation_rate == 0.0
+
+
+class TestWindowSensitivity:
+    def test_monotone_batches(self, small_instance):
+        short = run_batch(small_instance, window_minutes=2.0)
+        long = run_batch(small_instance, window_minutes=30.0)
+        assert short.extras["batches"] >= long.extras["batches"]
+
+    def test_huge_window_expires_everything(self):
+        grid = Grid.square(4)
+        timeline = Timeline(2, 10.0)
+        travel = TravelModel(1.0)
+        workers = [Worker(id=0, location=Point(1, 1), start=0.0, duration=1.0)]
+        tasks = [Task(id=0, location=Point(1, 1), start=0.0, duration=1.0)]
+        instance = Instance(workers=workers, tasks=tasks, grid=grid, timeline=timeline, travel=travel)
+        # Window far beyond both deadlines: nothing can ever be matched.
+        outcome = run_batch(instance, window_minutes=500.0)
+        assert outcome.size == 0

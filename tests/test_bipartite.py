@@ -1,0 +1,118 @@
+"""Tests for repro.graph.bipartite (Hopcroft–Karp and greedy)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph, greedy_matching, hopcroft_karp
+from repro.graph.maxflow import dinic
+from repro.graph.network import FlowNetwork
+
+
+def _random_bipartite(rng: random.Random):
+    n_left = rng.randint(0, 10)
+    n_right = rng.randint(0, 10)
+    graph = BipartiteGraph(n_left, n_right)
+    if n_left and n_right:
+        for _ in range(rng.randint(0, 30)):
+            graph.add_edge(rng.randrange(n_left), rng.randrange(n_right))
+    return graph
+
+
+def _matching_via_maxflow(graph: BipartiteGraph) -> int:
+    n = graph.n_left + graph.n_right + 2
+    source, sink = n - 2, n - 1
+    network = FlowNetwork(n)
+    for left in range(graph.n_left):
+        network.add_edge(source, left, 1)
+    for right in range(graph.n_right):
+        network.add_edge(graph.n_left + right, sink, 1)
+    for left in range(graph.n_left):
+        for right in set(graph.adj[left]):
+            network.add_edge(left, graph.n_left + right, 1)
+    return dinic(network, source, sink)
+
+
+class TestConstruction:
+    def test_negative_sizes(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(-1, 2)
+
+    def test_edge_bounds(self):
+        graph = BipartiteGraph(2, 2)
+        with pytest.raises(GraphError):
+            graph.add_edge(2, 0)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 2)
+
+    def test_from_edges(self):
+        graph = BipartiteGraph.from_edges(2, 2, [(0, 0), (1, 1)])
+        assert graph.n_edges == 2
+
+
+class TestKnownGraphs:
+    def test_perfect_matching(self):
+        graph = BipartiteGraph.from_edges(3, 3, [(0, 0), (1, 1), (2, 2)])
+        result = hopcroft_karp(graph)
+        assert result.size == 3
+        result.validate(graph)
+
+    def test_augmenting_path_needed(self):
+        # Greedy gets 1 by pairing (0,0); the maximum is 2 via augmenting.
+        graph = BipartiteGraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0)])
+        assert greedy_matching(graph).size >= 1
+        assert hopcroft_karp(graph).size == 2
+
+    def test_star(self):
+        graph = BipartiteGraph.from_edges(3, 1, [(0, 0), (1, 0), (2, 0)])
+        assert hopcroft_karp(graph).size == 1
+
+    def test_empty(self):
+        assert hopcroft_karp(BipartiteGraph(0, 0)).size == 0
+        assert hopcroft_karp(BipartiteGraph(3, 3)).size == 0
+
+    def test_pairs(self):
+        graph = BipartiteGraph.from_edges(2, 2, [(0, 1), (1, 0)])
+        result = hopcroft_karp(graph)
+        assert sorted(result.pairs()) == [(0, 1), (1, 0)]
+
+
+class TestValidation:
+    def test_validate_catches_asymmetry(self):
+        graph = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        result = hopcroft_karp(graph)
+        result.right_match[0] = 1  # corrupt
+        with pytest.raises(GraphError):
+            result.validate(graph)
+
+    def test_validate_catches_non_edge(self):
+        graph = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        result = hopcroft_karp(graph)
+        result.left_match[0] = 1
+        result.right_match[1] = 0
+        result.right_match[0] = -1
+        with pytest.raises(GraphError):
+            result.validate(graph)
+
+
+class TestProperties:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_hopcroft_karp_equals_maxflow(self, seed):
+        graph = _random_bipartite(random.Random(seed))
+        result = hopcroft_karp(graph)
+        result.validate(graph)
+        assert result.size == _matching_via_maxflow(graph)
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_greedy_is_valid_and_half_optimal(self, seed):
+        graph = _random_bipartite(random.Random(seed))
+        greedy = greedy_matching(graph)
+        greedy.validate(graph)
+        maximum = hopcroft_karp(graph).size
+        assert greedy.size <= maximum
+        assert 2 * greedy.size >= maximum

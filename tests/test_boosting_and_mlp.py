@@ -1,0 +1,87 @@
+"""Tests for the GBRT regressor and the numpy MLP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.gbrt import GradientBoostingRegressor
+from repro.prediction.neural import MlpRegressor
+
+
+def _learnable_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 4))
+    y = 3 * x[:, 0] - 2 * x[:, 1] ** 2 + 0.5 * x[:, 2] * x[:, 3]
+    return x, y
+
+
+class TestGradientBoosting:
+    def test_beats_mean_baseline(self):
+        x, y = _learnable_data()
+        model = GradientBoostingRegressor(n_estimators=40, seed=1)
+        model.fit(x, y)
+        residual = ((model.predict(x) - y) ** 2).mean()
+        baseline = ((y.mean() - y) ** 2).mean()
+        assert residual < 0.3 * baseline
+
+    def test_more_stages_fit_train_better(self):
+        x, y = _learnable_data()
+        few = GradientBoostingRegressor(n_estimators=5, subsample=1.0, seed=1).fit(x, y)
+        many = GradientBoostingRegressor(n_estimators=60, subsample=1.0, seed=1).fit(x, y)
+        assert ((many.predict(x) - y) ** 2).mean() < ((few.predict(x) - y) ** 2).mean()
+
+    def test_deterministic_by_seed(self):
+        x, y = _learnable_data(n=200)
+        a = GradientBoostingRegressor(seed=5).fit(x, y).predict(x[:10])
+        b = GradientBoostingRegressor(seed=5).fit(x, y).predict(x[:10])
+        assert (a == b).all()
+
+    def test_row_cap_applies(self):
+        x, y = _learnable_data(n=500)
+        model = GradientBoostingRegressor(n_estimators=3, max_rows=100, seed=0)
+        model.fit(x, y)  # must not blow up; implicitly subsamples
+        assert model.predict(x).shape == (500,)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(PredictionError):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(PredictionError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(PredictionError):
+            GradientBoostingRegressor(learning_rate=0)
+        with pytest.raises(PredictionError):
+            GradientBoostingRegressor(subsample=1.5)
+
+
+class TestMlp:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(500, 3))
+        y = 2 * x[:, 0] - x[:, 1] + 0.5
+        model = MlpRegressor(hidden=16, epochs=40, seed=2)
+        model.fit(x, y)
+        residual = ((model.predict(x) - y) ** 2).mean()
+        baseline = ((y.mean() - y) ** 2).mean()
+        assert residual < 0.1 * baseline
+
+    def test_deterministic_by_seed(self):
+        x, y = _learnable_data(n=150)
+        a = MlpRegressor(epochs=3, seed=9).fit(x, y).predict(x[:5])
+        b = MlpRegressor(epochs=3, seed=9).fit(x, y).predict(x[:5])
+        assert np.allclose(a, b)
+
+    def test_constant_feature_no_nan(self):
+        x = np.ones((100, 2))
+        y = np.full(100, 3.0)
+        model = MlpRegressor(epochs=2, seed=0).fit(x, y)
+        assert np.isfinite(model.predict(x)).all()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(PredictionError):
+            MlpRegressor().predict(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(PredictionError):
+            MlpRegressor(hidden=0)

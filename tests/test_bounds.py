@@ -1,0 +1,60 @@
+"""Tests for repro.analysis.bounds (Lemma 2's cut bound)."""
+
+import pytest
+
+from repro.analysis.bounds import empirical_opt_gap, guide_cut_bound
+from repro.core.opt import run_opt
+from repro.errors import ConfigurationError
+
+
+class TestGuideCutBound:
+    def test_cut_capacity_equals_guide_size(self, small_guide):
+        bound = guide_cut_bound(small_guide)
+        assert bound.cut_capacity == small_guide.matched_pairs
+        assert bound.guide_size == small_guide.matched_pairs
+
+    def test_partition_structure(self, small_guide):
+        bound = guide_cut_bound(small_guide)
+        # Source- and sink-side worker types never overlap.
+        assert not bound.source_side_worker_types & bound.sink_side_worker_types
+        # Every positive-supply type lands on one side.
+        positive = {
+            t
+            for t in range(small_guide.n_types)
+            if small_guide.worker_nodes(t) > 0
+        }
+        assert positive == bound.source_side_worker_types | bound.sink_side_worker_types
+
+    def test_bound_formula(self, small_guide):
+        bound = guide_cut_bound(small_guide)
+        assert bound.bound(0.0, 100, 100) == bound.guide_size
+        assert bound.bound(0.1, 100, 100) == bound.guide_size + 20.0
+        with pytest.raises(ConfigurationError):
+            bound.bound(-0.1, 1, 1)
+
+    def test_example1_bound(self, example1):
+        from repro.core.guide import build_guide
+
+        instance, a, b, module = example1
+        guide = build_guide(
+            a, b, instance.grid, instance.timeline, instance.travel,
+            module.WORKER_DEADLINE, module.TASK_DEADLINE,
+        )
+        bound = guide_cut_bound(guide)
+        assert bound.guide_size == 5
+
+
+class TestEmpiricalGap:
+    def test_gap_matches_direct_computation(self, small_instance, small_guide):
+        gap = empirical_opt_gap(small_instance, small_guide, opt_method="exact")
+        optimum = run_opt(small_instance, method="exact").size
+        expected = (optimum - small_guide.matched_pairs) / max(optimum, 1)
+        assert gap == pytest.approx(expected)
+
+    def test_gap_reasonably_small_with_oracle_prediction(
+        self, small_instance, small_guide
+    ):
+        """With the exact oracle the guide should capture most of OPT —
+        Lemma 2's deviation term is the discretisation residue only."""
+        gap = empirical_opt_gap(small_instance, small_guide, opt_method="exact")
+        assert abs(gap) < 0.5

@@ -1,0 +1,94 @@
+"""Tests for repro.core.cellindex (exactness against brute force)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cellindex import CellIndex
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+
+
+def _index_with_points(rng: random.Random, n: int):
+    grid = Grid.square(8)
+    index = CellIndex(grid)
+    locations = {}
+    for ident in range(n):
+        p = Point(rng.uniform(0, 8), rng.uniform(0, 8))
+        index.add(ident, p)
+        locations[ident] = p
+    return grid, index, locations
+
+
+class TestBookkeeping:
+    def test_add_remove_contains(self):
+        grid = Grid.square(4)
+        index = CellIndex(grid)
+        index.add(1, Point(0.5, 0.5))
+        assert 1 in index and len(index) == 1
+        index.remove(1)
+        assert 1 not in index and len(index) == 0
+
+    def test_remove_missing_is_noop(self):
+        index = CellIndex(Grid.square(4))
+        index.remove(42)
+        assert len(index) == 0
+
+    def test_re_add_replaces(self):
+        index = CellIndex(Grid.square(4))
+        index.add(1, Point(0.5, 0.5))
+        index.add(1, Point(3.5, 3.5))
+        assert len(index) == 1
+        assert index.within(Point(3.5, 3.5), 0.1) == [(1, 0.0)]
+
+    def test_ids(self):
+        index = CellIndex(Grid.square(4))
+        index.add(1, Point(0.5, 0.5))
+        index.add(2, Point(1.5, 0.5))
+        assert sorted(index.ids()) == [1, 2]
+
+
+class TestQueriesAgainstBruteForce:
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_within_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        _grid, index, locations = _index_with_points(rng, rng.randint(0, 25))
+        origin = Point(rng.uniform(0, 8), rng.uniform(0, 8))
+        radius = rng.uniform(0, 9)
+        found = dict(index.within(origin, radius))
+        expected = {
+            ident: origin.distance_to(p)
+            for ident, p in locations.items()
+            if origin.distance_to(p) <= radius
+        }
+        assert set(found) == set(expected)
+
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        _grid, index, locations = _index_with_points(rng, rng.randint(0, 25))
+        origin = Point(rng.uniform(0, 8), rng.uniform(0, 8))
+        max_distance = rng.uniform(0, 9)
+        found = index.nearest_feasible(origin, lambda _i, _d: True, max_distance)
+        candidates = {
+            ident: origin.distance_to(p)
+            for ident, p in locations.items()
+            if origin.distance_to(p) <= max_distance
+        }
+        if not candidates:
+            assert found is None
+        else:
+            best = min(candidates.values())
+            assert found is not None
+            assert origin.distance_to(locations[found]) <= best + 1e-9
+
+    def test_feasibility_filter_applied(self):
+        index = CellIndex(Grid.square(4))
+        index.add(1, Point(1.0, 1.0))
+        index.add(2, Point(2.0, 1.0))
+        origin = Point(0.0, 1.0)
+        found = index.nearest_feasible(origin, lambda i, _d: i != 1, 10.0)
+        assert found == 2

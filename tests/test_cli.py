@@ -1,0 +1,62 @@
+"""Tests for the CLI (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.results import TableResult
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "fig4_workers", "--scale", "0.5", "--no-memory"]
+        )
+        assert args.experiment_id == "fig4_workers"
+        assert args.scale == 0.5
+        assert args.no_memory
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4_workers" in out
+        assert "table5_prediction" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_tiny_and_archive(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "ablation_batch_window",
+                "--scale",
+                "0.005",
+                "--no-memory",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ablation_batch_window" in out
+        archived = tmp_path / "ablation_batch_window.json"
+        assert archived.exists()
+        payload = json.loads(archived.read_text())
+        assert payload["kind"] == "table"
+
+    def test_report_roundtrip(self, tmp_path, capsys):
+        table = TableResult(experiment_id="demo")
+        table.set("row", "col", 1.0)
+        path = tmp_path / "demo.json"
+        table.save(path)
+        assert main(["report", str(path)]) == 0
+        assert "demo" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Tests for repro.analysis.competitive."""
+
+import pytest
+
+from repro.analysis.competitive import estimate_competitive_ratio
+from repro.core.guide import build_guide
+from repro.core.polar_op import run_polar_op
+from repro.errors import ConfigurationError
+from repro.streams.oracle import exact_oracle
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SyntheticConfig(
+        n_workers=250, n_tasks=250, grid_side=6, n_slots=6,
+        task_duration_slots=2.0, worker_duration_slots=3.0, seed=2,
+    )
+    generator = SyntheticGenerator(config)
+    a, b = exact_oracle(generator)
+    slot_minutes = generator.timeline.slot_minutes
+    guide = build_guide(
+        a, b, generator.grid, generator.timeline, generator.travel,
+        worker_duration=config.worker_duration_slots * slot_minutes,
+        task_duration=config.task_duration_slots * slot_minutes,
+    )
+    return generator, guide
+
+
+class TestEstimator:
+    def test_ratios_in_unit_interval(self, setup):
+        generator, guide = setup
+        estimate = estimate_competitive_ratio(
+            lambda inst: run_polar_op(inst, guide),
+            lambda draw: generator.generate(seed=100 + draw),
+            n_draws=3,
+        )
+        assert estimate.algorithm == "POLAR-OP"
+        assert estimate.n_draws == 3
+        assert 0.0 < estimate.minimum <= estimate.mean <= 1.0
+        assert len(estimate.alg_sizes) == len(estimate.opt_sizes) == 3
+
+    def test_min_le_mean(self, setup):
+        generator, guide = setup
+        estimate = estimate_competitive_ratio(
+            lambda inst: run_polar_op(inst, guide),
+            lambda draw: generator.generate(seed=200 + draw),
+            n_draws=4,
+        )
+        assert estimate.minimum <= estimate.mean
+
+    def test_invalid_draws(self, setup):
+        generator, guide = setup
+        with pytest.raises(ConfigurationError):
+            estimate_competitive_ratio(
+                lambda inst: run_polar_op(inst, guide),
+                lambda draw: generator.generate(seed=draw),
+                n_draws=0,
+            )
+
+    def test_name_override(self, setup):
+        generator, guide = setup
+        estimate = estimate_competitive_ratio(
+            lambda inst: run_polar_op(inst, guide),
+            lambda draw: generator.generate(seed=draw),
+            n_draws=1,
+            name="custom",
+        )
+        assert estimate.algorithm == "custom"
+
+    def test_empty_estimate_defaults(self):
+        from repro.analysis.competitive import CompetitiveRatioEstimate
+
+        empty = CompetitiveRatioEstimate(algorithm="x")
+        assert empty.mean == 0.0
+        assert empty.minimum == 0.0
+        assert empty.n_draws == 0

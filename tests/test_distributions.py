@@ -1,0 +1,101 @@
+"""Tests for repro.streams.distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.streams.distributions import TruncatedNormal
+
+
+class TestConstruction:
+    def test_invalid_sigma(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedNormal(0, 0, 0, 1)
+
+    def test_empty_interval(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedNormal(0, 1, 2, 2)
+
+    def test_zero_mass_interval(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedNormal(0, 0.1, 1e6, 1e6 + 1)
+
+
+class TestSampling:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_within_bounds(self, seed):
+        dist = TruncatedNormal(mu=5, sigma=4, low=0, high=10)
+        rng = random.Random(seed)
+        for value in dist.sample_many(50, rng):
+            assert 0 <= value <= 10
+
+    def test_sample_many_negative(self):
+        dist = TruncatedNormal(0, 1, -1, 1)
+        with pytest.raises(ConfigurationError):
+            dist.sample_many(-1, random.Random(0))
+
+    def test_deterministic_given_rng(self):
+        dist = TruncatedNormal(0, 1, -1, 1)
+        a = dist.sample_many(10, random.Random(42))
+        b = dist.sample_many(10, random.Random(42))
+        assert a == b
+
+    def test_mean_roughly_centred(self):
+        dist = TruncatedNormal(mu=5, sigma=1, low=0, high=10)
+        values = dist.sample_many(2000, random.Random(1))
+        mean = sum(values) / len(values)
+        assert abs(mean - 5) < 0.15
+
+
+class TestProbabilities:
+    def test_full_interval_is_one(self):
+        dist = TruncatedNormal(mu=3, sigma=2, low=0, high=10)
+        assert dist.interval_probability(0, 10) == pytest.approx(1.0)
+
+    def test_outside_is_zero(self):
+        dist = TruncatedNormal(mu=3, sigma=2, low=0, high=10)
+        assert dist.interval_probability(11, 12) == 0.0
+        assert dist.interval_probability(5, 5) == 0.0
+
+    def test_additivity(self):
+        dist = TruncatedNormal(mu=3, sigma=2, low=0, high=10)
+        whole = dist.interval_probability(1, 7)
+        parts = dist.interval_probability(1, 4) + dist.interval_probability(4, 7)
+        assert whole == pytest.approx(parts)
+
+    def test_bin_probabilities_sum_to_one(self):
+        dist = TruncatedNormal(mu=3, sigma=2, low=0, high=10)
+        edges = [0, 1, 2.5, 5, 7.5, 10]
+        probs = dist.bin_probabilities(edges)
+        assert sum(probs) == pytest.approx(1.0)
+        assert all(p >= 0 for p in probs)
+
+    def test_bin_edges_validation(self):
+        dist = TruncatedNormal(0, 1, -1, 1)
+        with pytest.raises(ConfigurationError):
+            dist.bin_probabilities([0])
+        with pytest.raises(ConfigurationError):
+            dist.bin_probabilities([0, 0])
+
+    @given(
+        st.floats(-5, 5),
+        st.floats(0.1, 5),
+        st.integers(2, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bins_always_normalised(self, mu, sigma, n_bins):
+        dist = TruncatedNormal(mu=mu, sigma=sigma, low=-10, high=10)
+        edges = [-10 + 20 * i / n_bins for i in range(n_bins + 1)]
+        assert sum(dist.bin_probabilities(edges)) == pytest.approx(1.0)
+
+    def test_empirical_matches_analytic(self):
+        dist = TruncatedNormal(mu=2, sigma=3, low=0, high=8)
+        rng = random.Random(9)
+        samples = dist.sample_many(4000, rng)
+        empirical = sum(1 for v in samples if v < 2) / len(samples)
+        analytic = dist.interval_probability(0, 2)
+        assert abs(empirical - analytic) < 0.03

@@ -1,0 +1,57 @@
+"""Tests for repro.model.entities."""
+
+import pytest
+
+from repro.errors import InvalidEntityError
+from repro.model.entities import Task, Worker
+from repro.spatial.geometry import Point
+
+
+class TestWorker:
+    def test_deadline(self):
+        worker = Worker(id=1, location=Point(0, 0), start=10.0, duration=5.0)
+        assert worker.deadline == 15.0
+
+    def test_availability_half_open(self):
+        worker = Worker(id=1, location=Point(0, 0), start=10.0, duration=5.0)
+        assert not worker.available_at(9.999)
+        assert worker.available_at(10.0)
+        assert worker.available_at(14.999)
+        assert not worker.available_at(15.0)
+
+    def test_invalid_id(self):
+        with pytest.raises(InvalidEntityError):
+            Worker(id=-1, location=Point(0, 0), start=0.0, duration=1.0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(InvalidEntityError):
+            Worker(id=0, location=Point(0, 0), start=0.0, duration=0.0)
+
+    def test_invalid_start(self):
+        with pytest.raises(InvalidEntityError):
+            Worker(id=0, location=Point(0, 0), start=-1.0, duration=1.0)
+
+    def test_frozen(self):
+        worker = Worker(id=0, location=Point(0, 0), start=0.0, duration=1.0)
+        with pytest.raises(AttributeError):
+            worker.start = 5.0
+
+    def test_tags_do_not_affect_equality(self):
+        a = Worker(id=0, location=Point(0, 0), start=0.0, duration=1.0, tags={"x": 1})
+        b = Worker(id=0, location=Point(0, 0), start=0.0, duration=1.0, tags={"x": 2})
+        assert a == b
+
+
+class TestTask:
+    def test_deadline(self):
+        task = Task(id=2, location=Point(1, 1), start=3.0, duration=2.0)
+        assert task.deadline == 5.0
+
+    def test_expired_at(self):
+        task = Task(id=2, location=Point(1, 1), start=3.0, duration=2.0)
+        assert not task.expired_at(5.0)
+        assert task.expired_at(5.001)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidEntityError):
+            Task(id=0, location=Point(0, 0), start=0.0, duration=-2.0)

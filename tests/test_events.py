@@ -1,0 +1,83 @@
+"""Tests for repro.model.events."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.model.entities import Task, Worker
+from repro.model.events import TASK, WORKER, Arrival, build_stream, resample_order
+from repro.spatial.geometry import Point
+
+
+def _worker(ident, start):
+    return Worker(id=ident, location=Point(0, 0), start=start, duration=1.0)
+
+
+def _task(ident, start):
+    return Task(id=ident, location=Point(1, 1), start=start, duration=1.0)
+
+
+class TestArrival:
+    def test_kind_flags(self):
+        event = Arrival(time=1.0, seq=0, kind=WORKER, entity=_worker(0, 1.0))
+        assert event.is_worker and not event.is_task
+
+    def test_bad_kind_raises(self):
+        with pytest.raises(SimulationError):
+            Arrival(time=1.0, seq=0, kind="driver", entity=_worker(0, 1.0))
+
+    def test_time_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            Arrival(time=2.0, seq=0, kind=WORKER, entity=_worker(0, 1.0))
+
+
+class TestBuildStream:
+    def test_sorted_by_time(self):
+        stream = build_stream([_worker(0, 5.0), _worker(1, 1.0)], [_task(0, 3.0)])
+        assert [e.time for e in stream] == [1.0, 3.0, 5.0]
+        assert [e.seq for e in stream] == [0, 1, 2]
+
+    def test_worker_before_task_on_tie(self):
+        stream = build_stream([_worker(0, 2.0)], [_task(0, 2.0)])
+        assert stream[0].is_worker and stream[1].is_task
+
+    def test_id_breaks_ties_within_kind(self):
+        stream = build_stream([_worker(3, 2.0), _worker(1, 2.0)], [])
+        assert [e.entity.id for e in stream] == [1, 3]
+
+    def test_empty(self):
+        assert build_stream([], []) == []
+
+
+class TestResampleOrder:
+    def _stream(self):
+        workers = [_worker(i, float(i // 2)) for i in range(6)]
+        tasks = [_task(i, float(i // 3)) for i in range(6)]
+        return build_stream(workers, tasks)
+
+    def test_preserves_multiset(self):
+        stream = self._stream()
+        shuffled = resample_order(stream, random.Random(5))
+        assert sorted(e.entity.id for e in shuffled if e.is_worker) == sorted(
+            e.entity.id for e in stream if e.is_worker
+        )
+        assert len(shuffled) == len(stream)
+
+    def test_preserves_times_and_order(self):
+        shuffled = resample_order(self._stream(), random.Random(5))
+        times = [e.time for e in shuffled]
+        assert times == sorted(times)
+        assert [e.seq for e in shuffled] == list(range(len(shuffled)))
+
+    def test_entity_times_untouched(self):
+        shuffled = resample_order(self._stream(), random.Random(5))
+        for event in shuffled:
+            assert event.time == event.entity.start
+
+    @given(st.integers(0, 2**30))
+    def test_any_seed_valid(self, seed):
+        shuffled = resample_order(self._stream(), random.Random(seed))
+        assert len(shuffled) == 12

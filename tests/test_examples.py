@@ -1,0 +1,37 @@
+"""The example scripts are part of the public surface: they must run.
+
+The fast walkthrough is executed end to end and its paper-matching
+numbers asserted; the longer examples are imported and their helpers
+exercised at reduced size.
+"""
+
+import importlib
+
+import pytest
+
+
+class TestExample1:
+    def test_paper_numbers(self, example1, capsys):
+        _instance, _a, _b, module = example1
+        module.main()
+        out = capsys.readouterr().out
+        assert "SimpleGreedy: matched=2" in out
+        assert "POLAR: matched=4" in out
+        assert "OPT: matched=6" in out
+        assert "|E*| = 5" in out
+
+    def test_instance_is_consistent(self, example1):
+        instance, a, b, _module = example1
+        assert instance.n_workers == 7
+        assert instance.n_tasks == 6
+        assert a.sum() == 5 and b.sum() == 5
+
+
+class TestOtherExamplesImportable:
+    @pytest.mark.parametrize(
+        "module_name",
+        ["quickstart", "taxi_day_dispatch", "prediction_comparison"],
+    )
+    def test_importable_with_main(self, module_name):
+        module = importlib.import_module(module_name)
+        assert callable(module.main)

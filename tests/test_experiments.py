@@ -1,0 +1,129 @@
+"""Integration tests for the figure/table/ablation drivers (tiny scales)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_batch_window,
+    run_guide_solvers,
+    run_movement_audit,
+    run_prediction_noise,
+)
+from repro.experiments.figures import run_fig4_deadline, run_fig5_city
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.results import SweepResult, TableResult
+from repro.experiments.tables import run_table5
+from repro.errors import ExperimentError
+
+TINY = 0.01
+FAST = ("SimpleGreedy", "POLAR", "POLAR-OP")
+
+
+class TestFigureDrivers:
+    def test_fig4_deadline_shape(self):
+        result = run_fig4_deadline(scale=TINY, measure_memory=False, algorithms=FAST)
+        assert isinstance(result, SweepResult)
+        assert result.x_values == [1.0, 1.5, 2.0, 2.5, 3.0]
+        assert set(result.cells) == set(FAST)
+        assert all(len(cells) == 5 for cells in result.cells.values())
+        assert result.notes["scale"] == f"{TINY:g}"
+
+    def test_fig5_city_runs_full_two_step_pipeline(self):
+        result = run_fig5_city(
+            "beijing",
+            scale=0.01,
+            measure_memory=False,
+            algorithms=("POLAR-OP",),
+            history_days=10,
+        )
+        assert result.experiment_id == "fig5_beijing"
+        assert result.notes["predictor"] == "HP-MSI"
+        assert len(result.x_values) == 5
+
+    def test_unknown_city(self):
+        with pytest.raises(ExperimentError):
+            run_fig5_city("gotham", scale=TINY)
+
+
+class TestTable5:
+    def test_structure(self):
+        result = run_table5(
+            scale=0.05,
+            history_days=10,
+            n_eval_days=1,
+            predictors=("HA", "PAQ"),
+            cities=("hangzhou",),
+        )
+        assert isinstance(result, TableResult)
+        assert set(result.row_labels) == {"HA", "PAQ"}
+        assert "ER task hangzhou" in result.column_labels
+        assert "RMSLE worker hangzhou" in result.column_labels
+        for row in result.row_labels:
+            for column in result.column_labels:
+                value = result.get(row, column)
+                assert value is not None and value >= 0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_table5(history_days=2)
+        with pytest.raises(ExperimentError):
+            run_table5(n_eval_days=0)
+        with pytest.raises(ExperimentError):
+            run_table5(history_days=10, cities=("gotham",))
+
+
+class TestAblations:
+    def test_prediction_noise_monotone_guide_quality(self):
+        result = run_prediction_noise(scale=0.02, noise_levels=(0.0, 2.0))
+        clean = result.get("noise=0", "POLAR")
+        assert clean is not None
+        assert result.get("noise=2", "guide size") is not None
+
+    def test_guide_solvers_agree(self):
+        result = run_guide_solvers(scale=0.01)
+        sizes = {
+            result.get(method, "guide size")
+            for method in ("edmonds_karp", "dinic", "mincost", "scipy")
+        }
+        assert len(sizes) == 1
+        assert result.get("mincost", "travel cost (min)") is not None
+
+    def test_batch_window(self):
+        result = run_batch_window(scale=0.01, windows=(1.0, 10.0))
+        assert result.get("1 min", "size") is not None
+        assert result.get("10 min", "batches") is not None
+
+    def test_movement_audit(self):
+        result = run_movement_audit(scale=0.02)
+        # Wait-in-place algorithms are physically feasible by construction.
+        assert result.get("SimpleGreedy", "violation rate") == 0.0
+        assert result.get("GR", "violation rate") == 0.0
+        assert result.get("POLAR-OP", "matched") is not None
+
+
+class TestRegistry:
+    def test_contains_every_design_md_experiment(self):
+        expected = {
+            "fig4_workers", "fig4_tasks", "fig4_deadline", "fig4_grids",
+            "fig5_slots", "fig5_scalability", "fig5_beijing", "fig5_hangzhou",
+            "fig6_mu", "fig6_sigma", "fig6_mean", "fig6_cov",
+            "table5_prediction", "ablation_cr", "ablation_prediction_noise",
+            "ablation_guide_solvers",
+        }
+        assert expected.issubset(set(EXPERIMENTS))
+
+    def test_get_experiment(self):
+        spec = get_experiment("fig4_workers")
+        assert spec.paper_ref.startswith("Figure 4")
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_list_experiments_order(self):
+        specs = list_experiments()
+        assert specs[0].experiment_id == "fig4_workers"
+        assert len(specs) == len(EXPERIMENTS)
+
+    def test_every_spec_has_description_and_ref(self):
+        for spec in list_experiments():
+            assert spec.description
+            assert spec.paper_ref
+            assert spec.default_scale > 0

@@ -1,0 +1,111 @@
+"""Tests for repro.model.feasibility (Definition 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.entities import Task, Worker
+from repro.model.feasibility import (
+    deadline_feasible,
+    latest_departure,
+    slack,
+    wait_in_place_feasible,
+)
+from repro.spatial.geometry import Point
+from repro.spatial.travel import TravelModel
+
+TRAVEL = TravelModel(1.0)  # one unit per minute
+
+
+def _worker(x=0.0, y=0.0, start=0.0, duration=10.0):
+    return Worker(id=0, location=Point(x, y), start=start, duration=duration)
+
+
+def _task(x=0.0, y=0.0, start=0.0, duration=5.0):
+    return Task(id=0, location=Point(x, y), start=start, duration=duration)
+
+
+class TestDeadlineFeasible:
+    def test_colocated_simultaneous(self):
+        assert deadline_feasible(_worker(), _task(), TRAVEL)
+
+    def test_condition1_task_after_worker_leaves(self):
+        worker = _worker(start=0.0, duration=5.0)
+        task = _task(start=5.0)  # Sr < Sw + Dw must be strict
+        assert not deadline_feasible(worker, task, TRAVEL)
+        assert deadline_feasible(worker, _task(start=4.999), TRAVEL)
+
+    def test_condition2_travel_budget(self):
+        # Worker appears 2 after the task: remaining budget = 5 - 2 = 3.
+        worker = _worker(x=0, start=2.0)
+        assert deadline_feasible(worker, _task(x=3.0, start=0.0), TRAVEL)
+        assert not deadline_feasible(worker, _task(x=3.01, start=0.0), TRAVEL)
+
+    def test_pre_dispatch_bonus_for_future_tasks(self):
+        # The task appears 4 after the worker: budget = 5 + 4 = 9.
+        worker = _worker(x=0.0, start=0.0, duration=10.0)
+        task = _task(x=9.0, start=4.0, duration=5.0)
+        assert deadline_feasible(worker, task, TRAVEL)
+        # Stationary semantics cannot do this: from the assignment instant
+        # (task arrival) the distance exceeds the task window.
+        assert not wait_in_place_feasible(worker, task, TRAVEL, now=4.0)
+
+    def test_slack_sign_matches_feasibility(self):
+        worker = _worker(x=0, start=2.0)
+        task = _task(x=3.0, start=0.0)
+        assert slack(worker, task, TRAVEL) == pytest.approx(0.0)
+
+    @given(
+        st.floats(0, 50),
+        st.floats(0, 50),
+        st.floats(0.1, 20),
+        st.floats(0.1, 20),
+        st.floats(0, 30),
+    )
+    def test_feasible_iff_slack_nonnegative(self, sw, sr, dw, dr, x):
+        worker = _worker(x=0.0, start=sw, duration=dw)
+        task = _task(x=x, start=sr, duration=dr)
+        feasible = deadline_feasible(worker, task, TRAVEL)
+        if feasible:
+            assert task.start < worker.deadline
+            assert slack(worker, task, TRAVEL) >= 0
+        else:
+            assert task.start >= worker.deadline or slack(worker, task, TRAVEL) < 0
+
+
+class TestWaitInPlace:
+    def test_now_before_arrivals_is_infeasible(self):
+        assert not wait_in_place_feasible(_worker(start=5.0), _task(start=0.0), TRAVEL, now=4.0)
+
+    def test_travel_from_now(self):
+        worker = _worker(x=0.0, start=0.0, duration=100.0)
+        task = _task(x=3.0, start=0.0, duration=5.0)
+        assert wait_in_place_feasible(worker, task, TRAVEL, now=2.0)
+        assert not wait_in_place_feasible(worker, task, TRAVEL, now=2.01)
+
+    def test_worker_gone(self):
+        worker = _worker(start=0.0, duration=5.0)
+        task = _task(start=6.0, duration=5.0)
+        assert not wait_in_place_feasible(worker, task, TRAVEL, now=6.0)
+
+    def test_wait_in_place_implies_pre_dispatch(self):
+        # Wait-in-place feasibility at the later arrival implies the
+        # flexible (pre-dispatch) feasibility: moving early only helps.
+        for x in (0.0, 2.0, 4.0, 6.0):
+            worker = _worker(x=0.0, start=3.0, duration=10.0)
+            task = _task(x=x, start=1.0, duration=6.0)
+            now = max(worker.start, task.start)
+            if wait_in_place_feasible(worker, task, TRAVEL, now):
+                assert deadline_feasible(worker, task, TRAVEL)
+
+
+class TestLatestDeparture:
+    def test_value(self):
+        worker = _worker(x=0.0)
+        task = _task(x=3.0, start=0.0, duration=5.0)
+        assert latest_departure(worker, task, TRAVEL) == pytest.approx(2.0)
+
+    def test_can_be_past(self):
+        worker = _worker(x=100.0)
+        task = _task(x=0.0, start=0.0, duration=5.0)
+        assert latest_departure(worker, task, TRAVEL) < 0

@@ -1,0 +1,119 @@
+"""Tests for repro.spatial.geometry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import BoundingBox, Point, centroid, euclidean_distance, midpoint
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance_simple(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_matches_module_function(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert a.distance_to(b) == euclidean_distance(a, b)
+
+    def test_unpacking(self):
+        x, y = Point(1.5, 2.5)
+        assert (x, y) == (1.5, 2.5)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_toward_partial(self):
+        moved = Point(0, 0).toward(Point(10, 0), 4)
+        assert moved == Point(4, 0)
+
+    def test_toward_overshoot_clamps_to_target(self):
+        assert Point(0, 0).toward(Point(1, 0), 5) == Point(1, 0)
+
+    def test_toward_zero_distance_is_identity(self):
+        p = Point(2, 3)
+        assert p.toward(Point(9, 9), 0) == p
+        assert p.toward(Point(9, 9), -1) == p
+
+    def test_toward_same_point(self):
+        p = Point(2, 3)
+        assert p.toward(p, 1.0) == p
+
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points, points, st.floats(0, 100, allow_nan=False))
+    def test_toward_never_overshoots(self, a, b, d):
+        moved = a.toward(b, d)
+        assert moved.distance_to(b) <= a.distance_to(b) + 1e-9
+
+
+class TestHelpers:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_centroid(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestBoundingBox:
+    def test_basic_properties(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.width == 4
+        assert box.height == 2
+        assert box.area == 8
+        assert box.center == Point(2, 1)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 5, 1, 5)
+        with pytest.raises(ValueError):
+            BoundingBox(3, 0, 1, 1)
+
+    def test_contains_boundary(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(1, 1))
+        assert not box.contains(Point(1.0001, 0.5))
+
+    def test_clamp(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.clamp(Point(2, -1)) == Point(1, 0)
+        assert box.clamp(Point(0.5, 0.5)) == Point(0.5, 0.5)
+
+    def test_corners(self):
+        box = BoundingBox(0, 0, 1, 2)
+        corners = list(box.corners())
+        assert len(corners) == 4
+        assert Point(0, 0) in corners and Point(1, 2) in corners
+
+    def test_unit_square(self):
+        box = BoundingBox.unit_square(5)
+        assert box.width == 5 and box.height == 5
+
+    def test_unit_square_invalid(self):
+        with pytest.raises(ValueError):
+            BoundingBox.unit_square(0)
+
+    @given(points)
+    def test_clamp_idempotent(self, p):
+        box = BoundingBox(-10, -10, 10, 10)
+        clamped = box.clamp(p)
+        assert box.contains(clamped)
+        assert box.clamp(clamped) == clamped

@@ -1,0 +1,86 @@
+"""Tests for repro.core.greedy (SimpleGreedy)."""
+
+import pytest
+
+from repro.analysis.audit import audit_outcome
+from repro.core.greedy import run_simple_greedy
+from repro.model.entities import Task, Worker
+from repro.model.instance import Instance
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+class TestExample1:
+    def test_matches_example2(self, example1):
+        instance, _a, _b, _module = example1
+        outcome = run_simple_greedy(instance)
+        assert outcome.size == 2
+        # Exactly r1 and r2 are served (the paper's Example 2).
+        matched_tasks = sorted(task for _w, task in outcome.matching)
+        assert matched_tasks == [0, 1]
+
+
+class TestNearestSelection:
+    def _instance(self, tasks):
+        grid = Grid.square(4, cell_size=5.0)
+        timeline = Timeline(2, 50.0)
+        travel = TravelModel(1.0)
+        workers = [Worker(id=0, location=Point(10, 10), start=5.0, duration=50.0)]
+        return Instance(workers=workers, tasks=tasks, grid=grid, timeline=timeline, travel=travel)
+
+    def test_picks_nearest_feasible_task(self):
+        tasks = [
+            Task(id=0, location=Point(18, 10), start=0.0, duration=30.0),
+            Task(id=1, location=Point(13, 10), start=0.0, duration=30.0),
+        ]
+        outcome = run_simple_greedy(self._instance(tasks))
+        assert outcome.matching.task_of(0) == 1  # the closer task wins
+
+    def test_skips_expired_tasks(self):
+        tasks = [
+            Task(id=0, location=Point(10.5, 10), start=0.0, duration=2.0),  # dead by t=5
+            Task(id=1, location=Point(14, 10), start=0.0, duration=30.0),
+        ]
+        outcome = run_simple_greedy(self._instance(tasks))
+        assert outcome.matching.task_of(0) == 1
+
+    def test_worker_deadline_respected(self):
+        grid = Grid.square(4, cell_size=5.0)
+        timeline = Timeline(2, 50.0)
+        travel = TravelModel(1.0)
+        workers = [Worker(id=0, location=Point(10, 10), start=0.0, duration=5.0)]
+        tasks = [Task(id=0, location=Point(10, 10), start=6.0, duration=30.0)]
+        instance = Instance(workers=workers, tasks=tasks, grid=grid, timeline=timeline, travel=travel)
+        assert run_simple_greedy(instance).size == 0
+
+
+class TestIndexedEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_matching_size(self, seed):
+        generator = SyntheticGenerator(
+            SyntheticConfig(
+                n_workers=250, n_tasks=250, grid_side=8, n_slots=6, seed=seed
+            )
+        )
+        instance = generator.generate()
+        naive = run_simple_greedy(instance, indexed=False)
+        indexed = run_simple_greedy(instance, indexed=True)
+        assert naive.size == indexed.size
+        assert sorted(naive.matching.pairs()) == sorted(indexed.matching.pairs())
+
+
+class TestPhysicalFeasibility:
+    def test_all_matches_meet_deadlines(self, small_instance):
+        """Wait-in-place matches are feasible by construction: the audit
+        must report zero violations."""
+        outcome = run_simple_greedy(small_instance)
+        audit = audit_outcome(small_instance, outcome)
+        assert audit.violation_rate == 0.0
+
+    def test_decisions_cover_everyone(self, small_instance):
+        outcome = run_simple_greedy(small_instance)
+        assert len(outcome.worker_decisions) == small_instance.n_workers
+        assert len(outcome.task_decisions) == small_instance.n_tasks

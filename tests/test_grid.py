@@ -1,0 +1,133 @@
+"""Tests for repro.spatial.grid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GridError
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+
+
+@pytest.fixture
+def grid():
+    return Grid(BoundingBox(0, 0, 8, 4), nx=4, ny=2)
+
+
+class TestIndexing:
+    def test_n_areas(self, grid):
+        assert grid.n_areas == 8
+
+    def test_area_of_row_major(self, grid):
+        assert grid.area_of(Point(0.5, 0.5)) == 0
+        assert grid.area_of(Point(2.5, 0.5)) == 1
+        assert grid.area_of(Point(0.5, 2.5)) == 4
+        assert grid.area_of(Point(7.5, 3.5)) == 7
+
+    def test_far_edges_bind_to_last_cell(self, grid):
+        assert grid.area_of(Point(8.0, 4.0)) == 7
+
+    def test_out_of_bounds_raises(self, grid):
+        with pytest.raises(GridError):
+            grid.area_of(Point(8.1, 1))
+
+    def test_cell_coords_roundtrip(self, grid):
+        for area in grid.iter_areas():
+            col, row = grid.cell_coords(area)
+            assert grid.area_index(col, row) == area
+
+    def test_cell_coords_out_of_range(self, grid):
+        with pytest.raises(GridError):
+            grid.cell_coords(8)
+        with pytest.raises(GridError):
+            grid.area_index(4, 0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(GridError):
+            Grid(BoundingBox(0, 0, 1, 1), 0, 3)
+
+    def test_square_constructor(self):
+        grid = Grid.square(5, cell_size=2.0)
+        assert grid.n_areas == 25
+        assert grid.bounds.width == 10
+
+    def test_square_invalid(self):
+        with pytest.raises(GridError):
+            Grid.square(0)
+
+    @given(st.floats(0, 8), st.floats(0, 4))
+    def test_area_of_always_in_range(self, x, y):
+        grid = Grid(BoundingBox(0, 0, 8, 4), nx=4, ny=2)
+        area = grid.area_of(Point(x, y))
+        assert 0 <= area < grid.n_areas
+
+    @given(st.floats(0.01, 7.99), st.floats(0.01, 3.99))
+    def test_point_inside_its_cell_box(self, x, y):
+        grid = Grid(BoundingBox(0, 0, 8, 4), nx=4, ny=2)
+        area = grid.area_of(Point(x, y))
+        assert grid.cell_box(area).contains(Point(x, y))
+
+
+class TestGeometry:
+    def test_center_of(self, grid):
+        assert grid.center_of(0) == Point(1.0, 1.0)
+        assert grid.center_of(7) == Point(7.0, 3.0)
+
+    def test_center_distance_symmetric(self, grid):
+        assert grid.center_distance(0, 7) == grid.center_distance(7, 0)
+        assert grid.center_distance(3, 3) == 0.0
+
+    def test_cell_box(self, grid):
+        box = grid.cell_box(5)
+        assert (box.x_min, box.y_min, box.x_max, box.y_max) == (2, 2, 4, 4)
+
+
+class TestNeighbourhood:
+    def test_zero_radius_is_self(self, grid):
+        assert grid.areas_within(0, 0.0) == [0]
+
+    def test_negative_radius_empty(self, grid):
+        assert grid.areas_within(0, -1.0) == []
+
+    def test_radius_covers_neighbours(self, grid):
+        # Cell width 2: the horizontal neighbour's centre is 2 away.
+        areas = grid.areas_within(0, 2.0)
+        assert 1 in areas and 4 in areas and 0 in areas
+        assert 5 not in areas  # diagonal centre is 2*sqrt(2) away
+
+    def test_huge_radius_covers_all(self, grid):
+        assert sorted(grid.areas_within(3, 100.0)) == list(range(8))
+
+    def test_matches_brute_force(self, grid):
+        for area in grid.iter_areas():
+            for radius in (0.5, 2.0, 3.5, 5.0):
+                expected = [
+                    other
+                    for other in grid.iter_areas()
+                    if grid.center_distance(area, other) <= radius
+                ]
+                assert sorted(grid.areas_within(area, radius)) == expected
+
+
+class TestHistogram:
+    def test_counts_and_drops(self, grid):
+        points = [Point(0.5, 0.5), Point(0.6, 0.4), Point(7.5, 3.5), Point(9, 9)]
+        counts = grid.histogram(points)
+        assert counts[0] == 2
+        assert counts[7] == 1
+        assert sum(counts) == 3  # the out-of-bounds point is dropped
+
+    def test_empty(self, grid):
+        assert sum(grid.histogram([])) == 0
+
+
+class TestEquality:
+    def test_equal_and_hash(self):
+        a = Grid(BoundingBox(0, 0, 4, 4), 2, 2)
+        b = Grid(BoundingBox(0, 0, 4, 4), 2, 2)
+        c = Grid(BoundingBox(0, 0, 4, 4), 4, 4)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_not_equal_other_type(self):
+        assert Grid.square(2) != "grid"

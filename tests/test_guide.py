@@ -1,0 +1,191 @@
+"""Tests for repro.core.guide (Algorithm 1)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.guide import OfflineGuide, build_guide, enumerate_lanes, expanded_guide_size
+from repro.errors import ConfigurationError
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+
+def _small_setup():
+    grid = Grid.square(3, cell_size=2.0)
+    timeline = Timeline(3, 10.0)
+    travel = TravelModel(1.0)
+    return grid, timeline, travel
+
+
+def _random_counts(rng, n_slots, n_areas, total):
+    counts = np.zeros((n_slots, n_areas), dtype=np.int64)
+    for _ in range(total):
+        counts[rng.randrange(n_slots), rng.randrange(n_areas)] += 1
+    return counts
+
+
+class TestExample1Guide:
+    def test_matches_figure_2(self, example1):
+        instance, a, b, module = example1
+        guide = build_guide(
+            a, b, instance.grid, instance.timeline, instance.travel,
+            worker_duration=module.WORKER_DEADLINE,
+            task_duration=module.TASK_DEADLINE,
+        )
+        assert guide.matched_pairs == 5
+
+    def test_expanded_agrees(self, example1):
+        instance, a, b, module = example1
+        assert (
+            expanded_guide_size(
+                a, b, instance.grid, instance.timeline, instance.travel,
+                module.WORKER_DEADLINE, module.TASK_DEADLINE,
+            )
+            == 5
+        )
+
+
+class TestLaneEnumeration:
+    def test_same_type_always_feasible(self):
+        grid, timeline, travel = _small_setup()
+        a = np.zeros((3, 9), dtype=np.int64)
+        b = np.zeros((3, 9), dtype=np.int64)
+        a[1, 4] = 2
+        b[1, 4] = 3
+        lanes = enumerate_lanes(a, b, grid, timeline, travel, 20.0, 5.0)
+        assert len(lanes) == 1
+        w, t, d = next(iter(lanes))
+        assert w == t == 1 * 9 + 4
+        assert d == 0.0
+
+    def test_condition1_filters_late_tasks(self):
+        grid, timeline, travel = _small_setup()
+        a = np.zeros((3, 9), dtype=np.int64)
+        b = np.zeros((3, 9), dtype=np.int64)
+        a[0, 0] = 1
+        b[2, 0] = 1  # task slot mid = 25; worker deadline = 5 + Dw
+        lanes = enumerate_lanes(a, b, grid, timeline, travel, 10.0, 100.0)
+        assert len(lanes) == 0  # 25 >= 5 + 10
+        lanes = enumerate_lanes(a, b, grid, timeline, travel, 30.0, 100.0)
+        assert len(lanes) == 1
+
+    def test_condition2_filters_far_areas(self):
+        grid, timeline, travel = _small_setup()
+        a = np.zeros((3, 9), dtype=np.int64)
+        b = np.zeros((3, 9), dtype=np.int64)
+        a[0, 0] = 1  # centre (1, 1)
+        b[0, 8] = 1  # centre (5, 5): distance = 4*sqrt(2) ~ 5.66
+        lanes = enumerate_lanes(a, b, grid, timeline, travel, 30.0, 5.0)
+        assert len(lanes) == 0
+        lanes = enumerate_lanes(a, b, grid, timeline, travel, 30.0, 6.0)
+        assert len(lanes) == 1
+
+    def test_empty_counts(self):
+        grid, timeline, travel = _small_setup()
+        zeros = np.zeros((3, 9), dtype=np.int64)
+        lanes = enumerate_lanes(zeros, zeros, grid, timeline, travel, 10.0, 10.0)
+        assert len(lanes) == 0
+
+
+class TestBuildGuide:
+    def test_methods_agree(self):
+        grid, timeline, travel = _small_setup()
+        rng = random.Random(3)
+        a = _random_counts(rng, 3, 9, 12)
+        b = _random_counts(rng, 3, 9, 12)
+        sizes = {
+            method: build_guide(
+                a, b, grid, timeline, travel, 20.0, 8.0, method=method
+            ).matched_pairs
+            for method in ("dinic", "edmonds_karp", "mincost", "scipy", "auto")
+        }
+        assert len(set(sizes.values())) == 1
+
+    def test_compressed_equals_expanded(self):
+        grid, timeline, travel = _small_setup()
+        for seed in range(8):
+            rng = random.Random(seed)
+            a = _random_counts(rng, 3, 9, rng.randint(0, 15))
+            b = _random_counts(rng, 3, 9, rng.randint(0, 15))
+            compressed = build_guide(a, b, grid, timeline, travel, 20.0, 8.0)
+            expanded = expanded_guide_size(a, b, grid, timeline, travel, 20.0, 8.0)
+            assert compressed.matched_pairs == expanded, f"seed {seed}"
+
+    def test_mincost_minimises_travel(self):
+        grid, timeline, travel = _small_setup()
+        a = np.zeros((3, 9), dtype=np.int64)
+        b = np.zeros((3, 9), dtype=np.int64)
+        a[0, 0] = 1
+        b[0, 1] = 1  # near: distance 2
+        b[0, 2] = 1  # far: distance 4
+        guide = build_guide(a, b, grid, timeline, travel, 30.0, 10.0, method="mincost")
+        assert guide.matched_pairs == 1
+        assert guide.total_cost == pytest.approx(2.0)
+        assert (0, 1) in guide.lane_flow
+
+    def test_validation(self):
+        grid, timeline, travel = _small_setup()
+        zeros = np.zeros((3, 9), dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            build_guide(zeros, zeros, grid, timeline, travel, 0.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            build_guide(zeros[:2], zeros, grid, timeline, travel, 5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            build_guide(-zeros - 1, zeros, grid, timeline, travel, 5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            build_guide(zeros, zeros, grid, timeline, travel, 5.0, 5.0, method="magic")
+
+
+class TestDecomposition:
+    def _guide(self):
+        grid, timeline, travel = _small_setup()
+        rng = random.Random(11)
+        a = _random_counts(rng, 3, 9, 20)
+        b = _random_counts(rng, 3, 9, 20)
+        return build_guide(a, b, grid, timeline, travel, 20.0, 8.0)
+
+    def test_partners_are_mutual(self):
+        guide = self._guide()
+        for type_index in range(guide.n_types):
+            for offset in range(guide.worker_nodes(type_index)):
+                partner = guide.worker_partner(type_index, offset)
+                if partner is not None:
+                    back = guide.task_partner(*partner)
+                    assert back == (type_index, offset)
+
+    def test_matched_node_counts_sum_to_guide_size(self):
+        guide = self._guide()
+        total_w = sum(guide.matched_worker_nodes(t) for t in range(guide.n_types))
+        total_t = sum(guide.matched_task_nodes(t) for t in range(guide.n_types))
+        assert total_w == total_t == guide.matched_pairs
+
+    def test_type_index_roundtrip(self):
+        guide = self._guide()
+        for slot in range(3):
+            for area in range(9):
+                type_index = guide.type_index(slot, area)
+                assert guide.type_coords(type_index) == (slot, area)
+                assert guide.area_of_type(type_index) == area
+
+    def test_lane_flow_respects_capacities(self):
+        guide = self._guide()
+        for (wtype, ttype), units in guide.lane_flow.items():
+            assert units <= guide.worker_nodes(wtype)
+            assert units <= guide.task_nodes(ttype)
+
+
+class TestScipyBackendAgreement:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_scipy_equals_dinic(self, seed):
+        grid, timeline, travel = _small_setup()
+        rng = random.Random(seed)
+        a = _random_counts(rng, 3, 9, rng.randint(0, 25))
+        b = _random_counts(rng, 3, 9, rng.randint(0, 25))
+        via_scipy = build_guide(a, b, grid, timeline, travel, 20.0, 8.0, method="scipy")
+        via_dinic = build_guide(a, b, grid, timeline, travel, 20.0, 8.0, method="dinic")
+        assert via_scipy.matched_pairs == via_dinic.matched_pairs

@@ -1,0 +1,96 @@
+"""Tests for repro.model.instance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidEntityError
+from repro.model.entities import Task, Worker
+from repro.model.instance import Instance
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+
+def _instance(workers=None, tasks=None):
+    return Instance(
+        workers=workers if workers is not None else [
+            Worker(id=0, location=Point(1, 1), start=0.0, duration=5.0),
+            Worker(id=1, location=Point(9, 9), start=12.0, duration=5.0),
+        ],
+        tasks=tasks if tasks is not None else [
+            Task(id=0, location=Point(2, 2), start=1.0, duration=5.0),
+        ],
+        grid=Grid.square(2, cell_size=5.0),
+        timeline=Timeline(2, 10.0),
+        travel=TravelModel(1.0),
+    )
+
+
+class TestValidation:
+    def test_duplicate_worker_ids(self):
+        workers = [
+            Worker(id=0, location=Point(1, 1), start=0.0, duration=5.0),
+            Worker(id=0, location=Point(2, 2), start=0.0, duration=5.0),
+        ]
+        with pytest.raises(InvalidEntityError):
+            _instance(workers=workers)
+
+    def test_out_of_grid_entity(self):
+        workers = [Worker(id=0, location=Point(99, 1), start=0.0, duration=5.0)]
+        with pytest.raises(InvalidEntityError):
+            _instance(workers=workers)
+
+    def test_out_of_timeline_entity(self):
+        tasks = [Task(id=0, location=Point(1, 1), start=50.0, duration=5.0)]
+        with pytest.raises(InvalidEntityError):
+            _instance(tasks=tasks)
+
+
+class TestLookup:
+    def test_sizes(self):
+        instance = _instance()
+        assert instance.n_workers == 2
+        assert instance.n_tasks == 1
+
+    def test_resolution(self):
+        instance = _instance()
+        assert instance.worker(1).start == 12.0
+        assert instance.task(0).duration == 5.0
+
+    def test_unknown_raises(self):
+        instance = _instance()
+        with pytest.raises(InvalidEntityError):
+            instance.worker(99)
+        with pytest.raises(InvalidEntityError):
+            instance.task(99)
+
+    def test_maps_are_copies(self):
+        instance = _instance()
+        mapping = instance.worker_map()
+        mapping.clear()
+        assert instance.n_workers == 2
+
+
+class TestDiscretisation:
+    def test_types(self):
+        instance = _instance()
+        # worker 0: slot 0, area 0; worker 1: slot 1, area 3.
+        assert instance.type_of_worker(instance.worker(0)) == (0, 0)
+        assert instance.type_of_worker(instance.worker(1)) == (1, 3)
+
+    def test_count_tensors(self):
+        instance = _instance()
+        workers = instance.worker_counts()
+        tasks = instance.task_counts()
+        assert workers.shape == (2, 4)
+        assert workers[0, 0] == 1 and workers[1, 3] == 1
+        assert workers.sum() == 2
+        assert tasks[0, 0] == 1 and tasks.sum() == 1
+
+
+class TestStream:
+    def test_arrival_stream_order(self):
+        stream = _instance().arrival_stream()
+        assert [event.time for event in stream] == [0.0, 1.0, 12.0]
+        assert stream[0].is_worker and stream[1].is_task

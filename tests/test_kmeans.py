@@ -1,0 +1,74 @@
+"""Tests for repro.prediction.clustering (k-means)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.clustering import KMeans
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal((0, 0), 0.2, size=(30, 2))
+    b = rng.normal((5, 5), 0.2, size=(30, 2))
+    c = rng.normal((0, 5), 0.2, size=(30, 2))
+    return np.vstack([a, b, c])
+
+
+class TestFit:
+    def test_recovers_separated_blobs(self):
+        data = _blobs()
+        model = KMeans(n_clusters=3, seed=1).fit(data)
+        labels = model.labels_
+        # Each true blob maps to exactly one cluster label.
+        for start in (0, 30, 60):
+            block = labels[start : start + 30]
+            assert len(set(block.tolist())) == 1
+        assert len(set(labels.tolist())) == 3
+
+    def test_k_clamped_to_rows(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]])
+        model = KMeans(n_clusters=5, seed=0).fit(data)
+        assert model.centers_.shape[0] <= 2
+
+    def test_inertia_decreases_with_k(self):
+        data = _blobs()
+        inertia_1 = KMeans(n_clusters=1, seed=0).fit(data).inertia_
+        inertia_3 = KMeans(n_clusters=3, seed=0).fit(data).inertia_
+        assert inertia_3 < inertia_1
+
+    def test_deterministic_by_seed(self):
+        data = _blobs()
+        a = KMeans(n_clusters=3, seed=7).fit(data).labels_
+        b = KMeans(n_clusters=3, seed=7).fit(data).labels_
+        assert (a == b).all()
+
+    def test_duplicate_points(self):
+        data = np.zeros((10, 2))
+        model = KMeans(n_clusters=3, seed=0).fit(data)
+        assert model.inertia_ == pytest.approx(0.0)
+
+
+class TestPredict:
+    def test_predict_matches_fit_labels(self):
+        data = _blobs()
+        model = KMeans(n_clusters=3, seed=1).fit(data)
+        assert (model.predict(data) == model.labels_).all()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(PredictionError):
+            KMeans(n_clusters=2).predict(np.zeros((2, 2)))
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(PredictionError):
+            KMeans(n_clusters=0)
+        with pytest.raises(PredictionError):
+            KMeans(n_clusters=1, n_init=0)
+
+    def test_bad_data(self):
+        with pytest.raises(PredictionError):
+            KMeans(n_clusters=1).fit(np.zeros((0, 2)))
+        with pytest.raises(PredictionError):
+            KMeans(n_clusters=1).fit(np.zeros(5))

@@ -1,0 +1,76 @@
+"""Tests for repro.model.matching."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.model.entities import Task, Worker
+from repro.model.matching import Matching
+from repro.spatial.geometry import Point
+from repro.spatial.travel import TravelModel
+
+
+class TestAssign:
+    def test_basic(self):
+        matching = Matching()
+        matching.assign(1, 2)
+        assert matching.size == 1
+        assert matching.task_of(1) == 2
+        assert matching.worker_of(2) == 1
+        assert (1, 2) in matching
+
+    def test_reassigning_worker_raises(self):
+        matching = Matching()
+        matching.assign(1, 2)
+        with pytest.raises(MatchingError):
+            matching.assign(1, 3)
+
+    def test_reassigning_task_raises(self):
+        matching = Matching()
+        matching.assign(1, 2)
+        with pytest.raises(MatchingError):
+            matching.assign(4, 2)
+
+    def test_iteration_order(self):
+        matching = Matching()
+        matching.assign(5, 6)
+        matching.assign(1, 2)
+        assert list(matching) == [(5, 6), (1, 2)]
+        assert matching.pairs() == [(5, 6), (1, 2)]
+        assert len(matching) == 2
+
+    def test_lookups_absent(self):
+        matching = Matching()
+        assert matching.task_of(9) is None
+        assert matching.worker_of(9) is None
+        assert not matching.worker_is_matched(9)
+        assert not matching.task_is_matched(9)
+
+
+class TestValidation:
+    def _setup(self):
+        travel = TravelModel(1.0)
+        workers = {0: Worker(id=0, location=Point(0, 0), start=0.0, duration=10.0)}
+        tasks = {
+            0: Task(id=0, location=Point(1, 0), start=0.0, duration=5.0),
+            1: Task(id=1, location=Point(100, 0), start=0.0, duration=5.0),
+        }
+        return workers, tasks, travel
+
+    def test_feasible_pair_passes(self):
+        workers, tasks, travel = self._setup()
+        matching = Matching()
+        matching.assign(0, 0)
+        assert matching.validate_feasibility(workers, tasks, travel) == []
+
+    def test_infeasible_pair_reported(self):
+        workers, tasks, travel = self._setup()
+        matching = Matching()
+        matching.assign(0, 1)
+        assert matching.validate_feasibility(workers, tasks, travel) == [(0, 1)]
+
+    def test_unknown_entity_raises(self):
+        workers, tasks, travel = self._setup()
+        matching = Matching()
+        matching.assign(7, 0)
+        with pytest.raises(MatchingError):
+            matching.validate_feasibility(workers, tasks, travel)

@@ -1,0 +1,102 @@
+"""Tests for repro.graph.maxflow (Edmonds–Karp and Dinic)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlowError
+from repro.graph.maxflow import dinic, edmonds_karp
+from repro.graph.mincut import residual_min_cut
+from repro.graph.network import FlowNetwork
+
+
+def _diamond():
+    """The classic 4-node diamond with max flow 2000 + 1 bottleneck."""
+    network = FlowNetwork(4)
+    network.add_edge(0, 1, 1000)
+    network.add_edge(0, 2, 1000)
+    network.add_edge(1, 3, 1000)
+    network.add_edge(2, 3, 1000)
+    network.add_edge(1, 2, 1)
+    return network
+
+
+def _random_network(rng: random.Random, n_nodes: int, n_edges: int) -> FlowNetwork:
+    network = FlowNetwork(n_nodes)
+    for _ in range(n_edges):
+        tail = rng.randrange(n_nodes)
+        head = rng.randrange(n_nodes)
+        if tail == head:
+            continue
+        network.add_edge(tail, head, rng.randint(1, 10))
+    return network
+
+
+@pytest.mark.parametrize("solver", [edmonds_karp, dinic])
+class TestKnownInstances:
+    def test_diamond(self, solver):
+        assert solver(_diamond(), 0, 3) == 2000
+
+    def test_single_edge(self, solver):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 7)
+        assert solver(network, 0, 1) == 7
+
+    def test_disconnected(self, solver):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 5)
+        network.add_edge(2, 3, 5)
+        assert solver(network, 0, 3) == 0
+
+    def test_serial_bottleneck(self, solver):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 9)
+        network.add_edge(1, 2, 2)
+        network.add_edge(2, 3, 9)
+        assert solver(network, 0, 3) == 2
+
+    def test_parallel_edges(self, solver):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 3)
+        network.add_edge(0, 1, 4)
+        assert solver(network, 0, 1) == 7
+
+    def test_conservation_after_solve(self, solver):
+        network = _diamond()
+        solver(network, 0, 3)
+        network.check_conservation(0, 3)
+
+    def test_bad_endpoints(self, solver):
+        network = FlowNetwork(3)
+        with pytest.raises(FlowError):
+            solver(network, 0, 0)
+        with pytest.raises(FlowError):
+            solver(network, 0, 5)
+
+
+class TestAgreement:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_edmonds_karp_equals_dinic(self, seed):
+        rng = random.Random(seed)
+        n_nodes = rng.randint(2, 12)
+        n_edges = rng.randint(0, 30)
+        a = _random_network(random.Random(seed), n_nodes, n_edges)
+        b = _random_network(random.Random(seed), n_nodes, n_edges)
+        source, sink = 0, n_nodes - 1
+        if source == sink:
+            return
+        assert edmonds_karp(a, source, sink) == dinic(b, source, sink)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_flow_value_equals_min_cut(self, seed):
+        rng = random.Random(seed)
+        n_nodes = rng.randint(2, 10)
+        network = _random_network(rng, n_nodes, rng.randint(0, 25))
+        source, sink = 0, n_nodes - 1
+        value = dinic(network, source, sink)
+        cut = residual_min_cut(network, source, sink)
+        assert cut.capacity == value

@@ -1,0 +1,88 @@
+"""Tests for repro.experiments.measurement and .results."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.measurement import measure
+from repro.experiments.results import AlgoCell, SweepResult, TableResult
+
+
+class TestMeasure:
+    def test_returns_value_and_time(self):
+        run = measure(lambda: sum(range(1000)), measure_memory=False)
+        assert run.value == sum(range(1000))
+        assert run.seconds >= 0
+        assert run.peak_mb is None
+
+    def test_memory_probe(self):
+        run = measure(lambda: [0] * 100_000, measure_memory=True)
+        assert run.peak_mb is not None
+        assert run.peak_mb > 0.1
+
+
+class TestSweepResult:
+    def _sweep(self):
+        sweep = SweepResult(experiment_id="fig_test", x_label="x")
+        sweep.add_point(1.0, {"A": AlgoCell(10, 0.5, 1.0), "B": AlgoCell(5, 0.2, None)})
+        sweep.add_point(2.0, {"A": AlgoCell(20, 0.6, 1.1), "B": AlgoCell(9, 0.3, None)})
+        return sweep
+
+    def test_series(self):
+        sweep = self._sweep()
+        assert sweep.series("A", "size") == [10, 20]
+        assert sweep.series("B", "seconds") == [0.2, 0.3]
+        assert sweep.series("B", "peak_mb") == [None, None]
+
+    def test_unknown_lookup(self):
+        sweep = self._sweep()
+        with pytest.raises(ExperimentError):
+            sweep.series("C", "size")
+        with pytest.raises(ExperimentError):
+            sweep.series("A", "latency")
+
+    def test_algorithm_mismatch_rejected(self):
+        sweep = self._sweep()
+        with pytest.raises(ExperimentError):
+            sweep.add_point(3.0, {"A": AlgoCell(1, 0.1, None)})
+
+    def test_json_roundtrip(self):
+        sweep = self._sweep()
+        sweep.notes["scale"] = "0.5"
+        restored = SweepResult.from_json(sweep.to_json())
+        assert restored.experiment_id == "fig_test"
+        assert restored.x_values == [1.0, 2.0]
+        assert restored.series("A", "size") == [10, 20]
+        assert restored.notes["scale"] == "0.5"
+
+    def test_from_json_rejects_table(self):
+        table = TableResult(experiment_id="t")
+        with pytest.raises(ExperimentError):
+            SweepResult.from_json(table.to_json())
+
+
+class TestTableResult:
+    def test_set_get_grows_grid(self):
+        table = TableResult(experiment_id="t")
+        table.set("row1", "col1", 1.5)
+        table.set("row2", "col2", 2.5)
+        assert table.get("row1", "col1") == 1.5
+        assert table.get("row1", "col2") is None
+        assert table.get("row2", "col2") == 2.5
+
+    def test_unknown_cell(self):
+        table = TableResult(experiment_id="t")
+        with pytest.raises(ExperimentError):
+            table.get("nope", "nope")
+
+    def test_json_roundtrip(self):
+        table = TableResult(experiment_id="t")
+        table.set("r", "c", 3.0)
+        table.notes["k"] = "v"
+        restored = TableResult.from_json(table.to_json())
+        assert restored.get("r", "c") == 3.0
+        assert restored.notes["k"] == "v"
+
+    def test_from_json_rejects_sweep(self):
+        sweep = SweepResult(experiment_id="s", x_label="x")
+        with pytest.raises(ExperimentError):
+            TableResult.from_json(sweep.to_json())

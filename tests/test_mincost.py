@@ -1,0 +1,69 @@
+"""Tests for repro.graph.mincost."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlowError
+from repro.graph.maxflow import dinic
+from repro.graph.mincost import min_cost_max_flow
+from repro.graph.network import FlowNetwork
+
+
+class TestKnownInstances:
+    def test_prefers_cheap_path(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1, cost=1.0)
+        network.add_edge(0, 2, 1, cost=10.0)
+        network.add_edge(1, 3, 1, cost=1.0)
+        network.add_edge(2, 3, 1, cost=10.0)
+        result = min_cost_max_flow(network, 0, 3)
+        assert result.flow == 2
+        assert result.cost == pytest.approx(22.0)  # both paths needed
+
+    def test_cost_zero_when_free(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 5)
+        result = min_cost_max_flow(network, 0, 1)
+        assert result == (5, 0.0)
+
+    def test_chooses_min_cost_among_max_flows(self):
+        # Two parallel unit paths into a shared unit bottleneck: only one
+        # unit can flow overall and the cheaper path must carry it.
+        bottleneck = FlowNetwork(5)
+        bottleneck.add_edge(0, 1, 1, cost=5.0)
+        bottleneck.add_edge(0, 2, 1, cost=1.0)
+        bottleneck.add_edge(1, 3, 1, cost=0.0)
+        bottleneck.add_edge(2, 3, 1, cost=0.0)
+        bottleneck.add_edge(3, 4, 1, cost=0.0)
+        result = min_cost_max_flow(bottleneck, 0, 4)
+        assert result.flow == 1
+        assert result.cost == pytest.approx(1.0)
+
+    def test_bad_endpoints(self):
+        network = FlowNetwork(2)
+        with pytest.raises(FlowError):
+            min_cost_max_flow(network, 0, 0)
+
+
+class TestAgainstDinic:
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_flow_value_matches_dinic(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 9)
+        edges = []
+        for _ in range(rng.randint(0, 20)):
+            tail, head = rng.randrange(n), rng.randrange(n)
+            if tail != head:
+                edges.append((tail, head, rng.randint(1, 8), float(rng.randint(0, 9))))
+        a = FlowNetwork(n)
+        b = FlowNetwork(n)
+        for tail, head, cap, cost in edges:
+            a.add_edge(tail, head, cap, cost)
+            b.add_edge(tail, head, cap, cost)
+        result = min_cost_max_flow(a, 0, n - 1)
+        assert result.flow == dinic(b, 0, n - 1)
+        a.check_conservation(0, n - 1)

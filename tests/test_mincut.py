@@ -1,0 +1,48 @@
+"""Tests for repro.graph.mincut (the Lemma 2 construction)."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.graph.maxflow import dinic
+from repro.graph.mincut import residual_min_cut
+from repro.graph.network import FlowNetwork
+
+
+def _bottleneck_network():
+    network = FlowNetwork(4)
+    network.add_edge(0, 1, 10)
+    network.add_edge(1, 2, 3)  # the bottleneck
+    network.add_edge(2, 3, 10)
+    return network
+
+
+class TestResidualMinCut:
+    def test_requires_max_flow_first(self):
+        network = _bottleneck_network()
+        with pytest.raises(FlowError):
+            residual_min_cut(network, 0, 3)
+
+    def test_cut_matches_bottleneck(self):
+        network = _bottleneck_network()
+        value = dinic(network, 0, 3)
+        cut = residual_min_cut(network, 0, 3)
+        assert value == 3
+        assert cut.capacity == 3
+        assert cut.source_side == {0, 1}
+        assert cut.sink_side == {2, 3}
+        assert len(cut.cut_edges) == 1
+
+    def test_zero_flow_cut(self):
+        network = FlowNetwork(3)
+        network.add_edge(1, 2, 5)  # source disconnected
+        assert dinic(network, 0, 2) == 0
+        cut = residual_min_cut(network, 0, 2)
+        assert cut.capacity == 0
+        assert cut.source_side == {0}
+
+    def test_partition_is_complete(self):
+        network = _bottleneck_network()
+        dinic(network, 0, 3)
+        cut = residual_min_cut(network, 0, 3)
+        assert cut.source_side | cut.sink_side == set(range(network.n))
+        assert not cut.source_side & cut.sink_side

@@ -1,0 +1,93 @@
+"""Tests for repro.graph.network."""
+
+import pytest
+
+from repro.errors import FlowError, GraphError
+from repro.graph.network import FlowNetwork
+
+
+class TestConstruction:
+    def test_invalid_node_count(self):
+        with pytest.raises(GraphError):
+            FlowNetwork(0)
+
+    def test_add_edge_bounds(self):
+        network = FlowNetwork(3)
+        with pytest.raises(GraphError):
+            network.add_edge(0, 3, 1)
+        with pytest.raises(GraphError):
+            network.add_edge(-1, 0, 1)
+
+    def test_self_loop_rejected(self):
+        network = FlowNetwork(3)
+        with pytest.raises(GraphError):
+            network.add_edge(1, 1, 1)
+
+    def test_negative_capacity_rejected(self):
+        network = FlowNetwork(3)
+        with pytest.raises(GraphError):
+            network.add_edge(0, 1, -2)
+
+    def test_edge_ids_and_twins(self):
+        network = FlowNetwork(3)
+        e0 = network.add_edge(0, 1, 5)
+        e1 = network.add_edge(1, 2, 3)
+        assert (e0, e1) == (0, 2)
+        assert network.n_edges == 2
+        assert network.to[e0] == 1 and network.to[e0 ^ 1] == 0
+
+
+class TestFlowOps:
+    def test_push_and_residuals(self):
+        network = FlowNetwork(2)
+        e = network.add_edge(0, 1, 5)
+        network.push(e, 3)
+        assert network.flow_on(e) == 3
+        assert network.residual[e] == 2
+        assert network.residual[e ^ 1] == 3
+
+    def test_push_too_much_raises(self):
+        network = FlowNetwork(2)
+        e = network.add_edge(0, 1, 5)
+        with pytest.raises(FlowError):
+            network.push(e, 6)
+
+    def test_push_negative_raises(self):
+        network = FlowNetwork(2)
+        e = network.add_edge(0, 1, 5)
+        with pytest.raises(FlowError):
+            network.push(e, -1)
+
+    def test_flow_on_reverse_twin_raises(self):
+        network = FlowNetwork(2)
+        e = network.add_edge(0, 1, 5)
+        with pytest.raises(FlowError):
+            network.flow_on(e ^ 1)
+
+    def test_reset_flow(self):
+        network = FlowNetwork(2)
+        e = network.add_edge(0, 1, 5)
+        network.push(e, 4)
+        network.reset_flow()
+        assert network.flow_on(e) == 0
+
+    def test_conservation_check(self):
+        network = FlowNetwork(3)
+        e01 = network.add_edge(0, 1, 5)
+        e12 = network.add_edge(1, 2, 5)
+        network.push(e01, 2)
+        with pytest.raises(FlowError):
+            network.check_conservation(0, 2)
+        network.push(e12, 2)
+        network.check_conservation(0, 2)
+        assert network.total_flow(0) == 2
+
+    def test_edges_view_and_pairs(self):
+        network = FlowNetwork(3)
+        e = network.add_edge(0, 1, 5, cost=2.5)
+        network.add_edge(1, 2, 1)
+        network.push(e, 2)
+        views = list(network.edges())
+        assert len(views) == 2
+        assert views[0].flow == 2 and views[0].cost == 2.5
+        assert network.flow_by_pair() == {(0, 1): 2}

@@ -1,0 +1,76 @@
+"""Tests for repro.core.opt."""
+
+import pytest
+
+from repro.core.batch import run_batch
+from repro.core.greedy import run_simple_greedy
+from repro.core.opt import run_opt
+from repro.core.polar import run_polar
+from repro.core.polar_op import run_polar_op
+from repro.errors import ConfigurationError
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+class TestExample1:
+    def test_opt_is_six(self, example1):
+        instance, _a, _b, _module = example1
+        assert run_opt(instance, method="exact").size == 6
+
+    def test_opt_matching_is_feasible(self, example1):
+        instance, _a, _b, _module = example1
+        outcome = run_opt(instance, method="exact")
+        violations = outcome.matching.validate_feasibility(
+            instance.worker_map(), instance.task_map(), instance.travel
+        )
+        assert violations == []
+
+    def test_compressed_close_to_exact(self, example1):
+        instance, _a, _b, _module = example1
+        exact = run_opt(instance, method="exact").size
+        compressed = run_opt(instance, method="compressed").size
+        assert abs(exact - compressed) <= 2
+
+
+class TestDominance:
+    def test_opt_bounds_every_online_algorithm(self, small_instance, small_guide):
+        optimum = run_opt(small_instance, method="exact").size
+        for outcome in (
+            run_simple_greedy(small_instance),
+            run_batch(small_instance),
+            run_polar(small_instance, small_guide),
+            run_polar_op(small_instance, small_guide),
+        ):
+            assert outcome.size <= optimum, outcome.algorithm
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dominance_across_seeds(self, seed):
+        generator = SyntheticGenerator(
+            SyntheticConfig(n_workers=200, n_tasks=200, grid_side=8, n_slots=6, seed=seed)
+        )
+        instance = generator.generate()
+        optimum = run_opt(instance, method="exact").size
+        assert run_simple_greedy(instance).size <= optimum
+        assert run_batch(instance).size <= optimum
+
+
+class TestModes:
+    def test_auto_uses_exact_for_small(self, small_instance):
+        outcome = run_opt(small_instance, method="auto")
+        assert outcome.extras["mode"] == 0.0
+
+    def test_compressed_reports_size_via_extras(self, small_instance):
+        outcome = run_opt(small_instance, method="compressed")
+        assert outcome.extras["mode"] == 1.0
+        assert outcome.size == outcome.extras["matching_size"]
+        assert outcome.matching.size == 0  # value only, no pairs
+
+    def test_compressed_tracks_exact(self, small_instance):
+        exact = run_opt(small_instance, method="exact").size
+        compressed = run_opt(small_instance, method="compressed").size
+        assert compressed >= 0
+        # The discretisation error stays small on a dense instance.
+        assert abs(exact - compressed) / max(exact, 1) < 0.15
+
+    def test_unknown_method(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            run_opt(small_instance, method="oracle")

@@ -1,0 +1,77 @@
+"""Tests for repro.streams.oracle."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.errors import PredictionError
+from repro.streams.oracle import exact_oracle, perturbed_oracle, rounded_counts
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+class TestRoundedCounts:
+    def test_preserves_total(self):
+        values = np.array([[0.4, 0.4], [0.4, 0.8]])
+        rounded = rounded_counts(values)
+        assert rounded.sum() == 2  # round(2.0)
+        assert rounded.shape == values.shape
+
+    def test_integer_input_unchanged(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert (rounded_counts(values) == [1, 2, 3]).all()
+
+    def test_largest_remainders_win(self):
+        rounded = rounded_counts(np.array([0.9, 0.1, 1.0]))
+        assert rounded.tolist() == [1, 0, 1]
+
+    def test_rejects_negative(self):
+        with pytest.raises(PredictionError):
+            rounded_counts(np.array([-0.1, 1.0]))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(PredictionError):
+            rounded_counts(np.array([np.nan]))
+
+    @given(
+        npst.arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=st.floats(0, 50, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_always_preserved(self, values):
+        rounded = rounded_counts(values)
+        assert rounded.sum() == int(round(float(values.sum())))
+        assert (rounded >= 0).all()
+        # Each cell moves by less than 1 from its floor/ceil neighbourhood.
+        assert (np.abs(rounded - values) < 1.0 + 1e-9).all()
+
+
+class TestOracles:
+    def test_exact_oracle_totals(self):
+        generator = SyntheticGenerator(
+            SyntheticConfig(n_workers=50, n_tasks=70, grid_side=5, n_slots=4)
+        )
+        a, b = exact_oracle(generator)
+        assert a.sum() == 50 and b.sum() == 70
+
+    def test_zero_noise_is_exact(self):
+        expected = np.array([[1.2, 3.4], [0.0, 5.4]])
+        rng = random.Random(0)
+        assert (perturbed_oracle(expected, 0.0, rng) == rounded_counts(expected)).all()
+
+    def test_noise_changes_counts(self):
+        expected = np.full((4, 4), 10.0)
+        noisy = perturbed_oracle(expected, 0.5, random.Random(3))
+        assert noisy.shape == expected.shape
+        assert (noisy >= 0).all()
+        assert not (noisy == rounded_counts(expected)).all()
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(PredictionError):
+            perturbed_oracle(np.ones((2, 2)), -0.1, random.Random(0))

@@ -1,0 +1,41 @@
+"""Tests for repro.core.outcome."""
+
+from repro.core.outcome import AssignmentOutcome, Decision
+from repro.model.matching import Matching
+
+
+class TestDecision:
+    def test_constants(self):
+        assert Decision.ASSIGNED == "assigned"
+        assert Decision.DISPATCHED == "dispatched"
+
+    def test_fields(self):
+        decision = Decision(Decision.DISPATCHED, target_area=7)
+        assert decision.target_area == 7
+        assert decision.partner_id is None
+
+
+class TestOutcome:
+    def test_size_from_matching(self):
+        outcome = AssignmentOutcome(algorithm="x", matching=Matching())
+        outcome.matching.assign(1, 2)
+        assert outcome.size == 1
+
+    def test_size_extras_override(self):
+        outcome = AssignmentOutcome(algorithm="x", matching=Matching())
+        outcome.extras["matching_size"] = 42.0
+        assert outcome.size == 42
+
+    def test_dispatched_ids_sorted(self):
+        outcome = AssignmentOutcome(algorithm="x", matching=Matching())
+        outcome.worker_decisions[5] = Decision(Decision.DISPATCHED, target_area=1)
+        outcome.worker_decisions[2] = Decision(Decision.DISPATCHED, target_area=3)
+        outcome.worker_decisions[9] = Decision(Decision.STAY)
+        assert outcome.dispatched_worker_ids() == [2, 5]
+
+    def test_summary_mentions_counts(self):
+        outcome = AssignmentOutcome(algorithm="POLAR", matching=Matching())
+        outcome.matching.assign(0, 0)
+        outcome.ignored_workers = 3
+        text = outcome.summary()
+        assert "POLAR" in text and "matched=1" in text and "3" in text

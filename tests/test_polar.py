@@ -1,0 +1,102 @@
+"""Tests for repro.core.polar (Algorithm 2)."""
+
+import pytest
+
+from repro.core.guide import build_guide
+from repro.core.outcome import Decision
+from repro.core.polar import run_polar
+from repro.errors import ConfigurationError
+from repro.model.events import resample_order
+from repro.seeding import derive_random
+
+
+def _example_guide(example1):
+    instance, a, b, module = example1
+    guide = build_guide(
+        a, b, instance.grid, instance.timeline, instance.travel,
+        worker_duration=module.WORKER_DEADLINE,
+        task_duration=module.TASK_DEADLINE,
+    )
+    return instance, guide
+
+
+class TestExample1:
+    def test_matching_size_matches_example5(self, example1):
+        instance, guide = _example_guide(example1)
+        outcome = run_polar(instance, guide, node_choice="first")
+        assert outcome.size == 4
+
+    def test_overflow_objects_ignored(self, example1):
+        instance, guide = _example_guide(example1)
+        outcome = run_polar(instance, guide, node_choice="first")
+        # w3 and w7 exceed their types' predicted counts; r2 and r6 too.
+        assert outcome.ignored_workers == 2
+        assert outcome.ignored_tasks == 2
+        assert outcome.worker_decisions[2].action == Decision.IGNORED
+        assert outcome.worker_decisions[6].action == Decision.IGNORED
+
+    def test_w1_stays_and_matches_r1(self, example1):
+        instance, guide = _example_guide(example1)
+        outcome = run_polar(instance, guide, node_choice="first")
+        assert outcome.matching.task_of(0) == 0  # w1 <-> r1
+        assert outcome.worker_decisions[0].action == Decision.ASSIGNED
+
+    def test_some_worker_is_dispatched_or_matched_across_areas(self, example1):
+        instance, guide = _example_guide(example1)
+        outcome = run_polar(instance, guide, node_choice="first")
+        actions = {d.action for d in outcome.worker_decisions.values()}
+        assert Decision.ASSIGNED in actions
+        # The mis-predicted Area 2 task leaves one worker dispatched forever.
+        assert Decision.DISPATCHED in actions
+
+
+class TestInvariants:
+    def test_matching_within_population(self, small_instance, small_guide):
+        outcome = run_polar(small_instance, small_guide)
+        worker_ids = {w.id for w in small_instance.workers}
+        task_ids = {t.id for t in small_instance.tasks}
+        for worker_id, task_id in outcome.matching:
+            assert worker_id in worker_ids
+            assert task_id in task_ids
+
+    def test_matched_pairs_follow_guide_lanes(self, small_instance, small_guide):
+        outcome = run_polar(small_instance, small_guide)
+        for worker_id, task_id in outcome.matching:
+            worker = small_instance.worker(worker_id)
+            task = small_instance.task(task_id)
+            wtype = small_guide.type_index(
+                small_guide.timeline.slot_of(worker.start),
+                small_guide.grid.area_of(worker.location),
+            )
+            ttype = small_guide.type_index(
+                small_guide.timeline.slot_of(task.start),
+                small_guide.grid.area_of(task.location),
+            )
+            assert small_guide.lane_flow.get((wtype, ttype), 0) > 0
+
+    def test_size_bounded_by_guide(self, small_instance, small_guide):
+        outcome = run_polar(small_instance, small_guide)
+        assert outcome.size <= small_guide.matched_pairs
+
+    def test_every_object_gets_a_decision(self, small_instance, small_guide):
+        outcome = run_polar(small_instance, small_guide)
+        assert len(outcome.worker_decisions) == small_instance.n_workers
+        assert len(outcome.task_decisions) == small_instance.n_tasks
+
+    def test_deterministic_given_seed(self, small_instance, small_guide):
+        a = run_polar(small_instance, small_guide, seed=5)
+        b = run_polar(small_instance, small_guide, seed=5)
+        assert a.matching.pairs() == b.matching.pairs()
+
+    def test_stream_override(self, small_instance, small_guide):
+        stream = resample_order(small_instance.arrival_stream(), derive_random("t", 1))
+        outcome = run_polar(small_instance, small_guide, stream=stream)
+        assert outcome.size > 0
+
+    def test_unknown_node_choice(self, small_instance, small_guide):
+        with pytest.raises(ConfigurationError):
+            run_polar(small_instance, small_guide, node_choice="mystery")
+
+    def test_extras_report_guide_size(self, small_instance, small_guide):
+        outcome = run_polar(small_instance, small_guide)
+        assert outcome.extras["guide_size"] == float(small_guide.matched_pairs)

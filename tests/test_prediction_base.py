@@ -1,0 +1,154 @@
+"""Tests for repro.prediction.base and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.base import DayContext, DemandHistory, Predictor, clip_counts
+from repro.prediction.metrics import error_rate, rmlse, rmsle
+
+
+def _history(n_days=4, n_slots=3, n_areas=2, fill=1):
+    return DemandHistory(
+        counts=np.full((n_days, n_slots, n_areas), fill, dtype=np.int64),
+        day_of_week=np.arange(n_days) % 7,
+        weather=np.zeros((n_days, n_slots), dtype=np.int64),
+    )
+
+
+class TestDemandHistory:
+    def test_shapes(self):
+        history = _history()
+        assert (history.n_days, history.n_slots, history.n_areas) == (4, 3, 2)
+
+    def test_bad_dims(self):
+        with pytest.raises(PredictionError):
+            DemandHistory(
+                counts=np.zeros((3, 2)),
+                day_of_week=np.zeros(3),
+                weather=np.zeros((3, 2)),
+            )
+
+    def test_negative_counts(self):
+        with pytest.raises(PredictionError):
+            DemandHistory(
+                counts=-np.ones((2, 2, 2)),
+                day_of_week=np.zeros(2),
+                weather=np.zeros((2, 2)),
+            )
+
+    def test_mismatched_features(self):
+        with pytest.raises(PredictionError):
+            DemandHistory(
+                counts=np.zeros((2, 2, 2)),
+                day_of_week=np.zeros(3),
+                weather=np.zeros((2, 2)),
+            )
+
+    def test_tail(self):
+        history = _history(n_days=5)
+        tail = history.tail(2)
+        assert tail.n_days == 2
+        assert (tail.day_of_week == history.day_of_week[-2:]).all()
+        assert history.tail(99).n_days == 5
+        with pytest.raises(PredictionError):
+            history.tail(0)
+
+    def test_flattened_series(self):
+        history = _history()
+        flat = history.flattened_series()
+        assert flat.shape == (12, 2)
+
+
+class TestDayContext:
+    def test_weekend_flag(self):
+        weekday = DayContext(day_of_week=2, weather=np.zeros(3), day_index=10)
+        weekend = DayContext(day_of_week=6, weather=np.zeros(3), day_index=10)
+        assert not weekday.is_weekend
+        assert weekend.is_weekend
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            DayContext(day_of_week=7, weather=np.zeros(3), day_index=0)
+        with pytest.raises(PredictionError):
+            DayContext(day_of_week=0, weather=np.zeros((2, 2)), day_index=0)
+
+
+class _ConstantPredictor(Predictor):
+    name = "const"
+
+    def __init__(self, value, shape_override=None):
+        super().__init__()
+        self.value = value
+        self.shape_override = shape_override
+
+    def fit(self, history):
+        super().fit(history)
+
+    def _predict(self, context):
+        shape = self.shape_override or self._fitted_shape
+        return np.full(shape, self.value)
+
+
+class TestPredictorContract:
+    def test_predict_before_fit_raises(self):
+        predictor = _ConstantPredictor(1.0)
+        with pytest.raises(PredictionError):
+            predictor.predict(DayContext(day_of_week=0, weather=np.zeros(3), day_index=0))
+
+    def test_shape_enforced(self):
+        predictor = _ConstantPredictor(1.0, shape_override=(2, 2))
+        predictor.fit(_history())
+        with pytest.raises(PredictionError):
+            predictor.predict(DayContext(day_of_week=0, weather=np.zeros(3), day_index=4))
+
+    def test_negative_forecast_clamped(self):
+        predictor = _ConstantPredictor(-3.0)
+        predictor.fit(_history())
+        forecast = predictor.predict(
+            DayContext(day_of_week=0, weather=np.zeros(3), day_index=4)
+        )
+        assert (forecast == 0).all()
+
+    def test_clip_counts_rejects_nan(self):
+        with pytest.raises(PredictionError):
+            clip_counts(np.array([np.nan]))
+
+
+class TestMetrics:
+    def test_perfect_prediction_is_zero(self):
+        actual = np.array([[3.0, 2.0], [1.0, 4.0]])
+        assert error_rate(actual, actual) == 0.0
+        assert rmsle(actual, actual) == 0.0
+
+    def test_error_rate_hand_computed(self):
+        actual = np.array([[4.0, 0.0], [2.0, 2.0]])
+        predicted = np.array([[2.0, 2.0], [2.0, 2.0]])
+        # slot 0: |4-2| + |0-2| = 4 over 4 -> 1.0; slot 1: 0 over 4 -> 0.
+        assert error_rate(actual, predicted) == pytest.approx(0.5)
+
+    def test_rmsle_hand_computed(self):
+        actual = np.array([[np.e - 1]])
+        predicted = np.array([[0.0]])
+        assert rmsle(actual, predicted) == pytest.approx(1.0)
+
+    def test_empty_slots_skipped_in_er(self):
+        actual = np.array([[0.0, 0.0], [2.0, 2.0]])
+        predicted = np.array([[5.0, 5.0], [2.0, 2.0]])
+        assert error_rate(actual, predicted) == pytest.approx(0.0)
+
+    def test_all_empty_raises(self):
+        zeros = np.zeros((2, 2))
+        with pytest.raises(PredictionError):
+            error_rate(zeros, zeros)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PredictionError):
+            error_rate(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(PredictionError):
+            rmsle(np.array([[-1.0]]), np.array([[1.0]]))
+
+    def test_rmlse_alias(self):
+        assert rmlse is rmsle

@@ -1,0 +1,238 @@
+"""Tests for the seven offline predictors (Section 6.3.1).
+
+Each predictor runs on a small weather-driven city history; beyond the
+shared contract (shapes, non-negativity, determinism) the suite checks
+predictor-specific behaviours: HA's weekday averaging, LR's trend
+tracking, PAQ's recency scaling, ARIMA's seasonal forecasting, and that
+the feature-based models actually use their features.
+"""
+
+import numpy as np
+import pytest
+
+from repro.prediction import ALL_PREDICTORS, make_predictor
+from repro.prediction.arima import ArimaPredictor, fit_arma, forecast_arma
+from repro.prediction.base import DayContext, DemandHistory
+from repro.prediction.features import CellFeatureizer
+from repro.prediction.historical import HistoricalAverage
+from repro.prediction.metrics import error_rate
+from repro.prediction.paq import PredictiveAggregation
+from repro.prediction.regression import LaggedLinearRegression
+from repro.streams.taxi import TaxiCity, beijing_config
+
+
+@pytest.fixture(scope="module")
+def city_history():
+    city = TaxiCity(beijing_config().scaled(0.05))
+    tasks, _workers = city.generate_history(21)
+    context = city.day_context(21)
+    actual = city.generate_day(21).task_counts()
+    return city, tasks, context, actual
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("name", ALL_PREDICTORS)
+    def test_fit_predict_shape_and_range(self, name, city_history):
+        _city, history, context, _actual = city_history
+        predictor = make_predictor(name, seed=3)
+        predictor.fit(history)
+        forecast = predictor.predict(context)
+        assert forecast.shape == (history.n_slots, history.n_areas)
+        assert (forecast >= 0).all()
+        assert np.isfinite(forecast).all()
+
+    @pytest.mark.parametrize("name", ["HA", "PAQ", "LR"])
+    def test_deterministic(self, name, city_history):
+        _city, history, context, _actual = city_history
+        a = make_predictor(name, seed=1)
+        a.fit(history)
+        b = make_predictor(name, seed=1)
+        b.fit(history)
+        assert (a.predict(context) == b.predict(context)).all()
+
+    def test_make_predictor_unknown(self):
+        with pytest.raises(ValueError):
+            make_predictor("ORACLE")
+
+    def test_all_beat_trivial_zero_on_volume(self, city_history):
+        """Every predictor's total forecast lands near the actual total."""
+        _city, history, context, actual = city_history
+        actual_total = actual.sum()
+        for name in ALL_PREDICTORS:
+            predictor = make_predictor(name, seed=0)
+            predictor.fit(history)
+            total = predictor.predict(context).sum()
+            assert 0.4 * actual_total < total < 2.2 * actual_total, name
+
+
+class TestHistoricalAverage:
+    def test_exact_on_pure_weekly_pattern(self):
+        counts = np.zeros((14, 2, 2), dtype=np.int64)
+        for day in range(14):
+            counts[day] = (day % 7) + 1  # value equals its weekday + 1
+        history = DemandHistory(
+            counts=counts,
+            day_of_week=np.arange(14) % 7,
+            weather=np.zeros((14, 2), dtype=np.int64),
+        )
+        predictor = HistoricalAverage()
+        predictor.fit(history)
+        forecast = predictor.predict(
+            DayContext(day_of_week=3, weather=np.zeros(2), day_index=14)
+        )
+        assert (forecast == 4.0).all()
+
+    def test_unseen_weekday_falls_back_to_overall_mean(self):
+        counts = np.full((2, 2, 2), 6, dtype=np.int64)
+        history = DemandHistory(
+            counts=counts,
+            day_of_week=np.array([0, 1]),
+            weather=np.zeros((2, 2), dtype=np.int64),
+        )
+        predictor = HistoricalAverage()
+        predictor.fit(history)
+        forecast = predictor.predict(
+            DayContext(day_of_week=6, weather=np.zeros(2), day_index=2)
+        )
+        assert (forecast == 6.0).all()
+
+
+class TestLaggedLinearRegression:
+    def test_tracks_linear_trend(self):
+        # Counts grow by exactly 1 per day: y(d) = d + 5.
+        n_days = 20
+        counts = np.empty((n_days, 2, 2), dtype=np.int64)
+        for day in range(n_days):
+            counts[day] = day + 5
+        history = DemandHistory(
+            counts=counts,
+            day_of_week=np.arange(n_days) % 7,
+            weather=np.zeros((n_days, 2), dtype=np.int64),
+        )
+        predictor = LaggedLinearRegression(n_lags=5)
+        predictor.fit(history)
+        forecast = predictor.predict(
+            DayContext(day_of_week=0, weather=np.zeros(2), day_index=n_days)
+        )
+        assert forecast == pytest.approx(np.full((2, 2), n_days + 5), rel=0.05)
+
+    def test_too_short_history_raises(self):
+        history = DemandHistory(
+            counts=np.ones((1, 2, 2), dtype=np.int64),
+            day_of_week=np.zeros(1, dtype=np.int64),
+            weather=np.zeros((1, 2), dtype=np.int64),
+        )
+        with pytest.raises(Exception):
+            LaggedLinearRegression().fit(history)
+
+
+class TestPaq:
+    def test_recent_level_scales_forecast(self):
+        # Flat history at level 2, but the last 6 hours jump to 8.
+        counts = np.full((4, 8, 2), 2, dtype=np.int64)
+        counts[-1, -2:, :] = 8  # last 2 slots of 8 (= 6 h of a 24 h day)
+        history = DemandHistory(
+            counts=counts,
+            day_of_week=np.arange(4) % 7,
+            weather=np.zeros((4, 8), dtype=np.int64),
+        )
+        predictor = PredictiveAggregation(window_hours=6.0)
+        predictor.fit(history)
+        forecast = predictor.predict(
+            DayContext(day_of_week=4, weather=np.zeros(8), day_index=4)
+        )
+        # The recent surge lifts the whole forecast above the flat level.
+        assert forecast.mean() > 2.5
+
+    def test_invalid_window(self):
+        with pytest.raises(Exception):
+            PredictiveAggregation(window_hours=0)
+
+
+class TestArima:
+    def test_arma_recovers_ar_coefficient(self):
+        rng = np.random.default_rng(0)
+        n = 600
+        series = np.zeros(n)
+        for t in range(1, n):
+            series[t] = 0.7 * series[t - 1] + rng.normal(0, 0.5)
+        phi, _theta, _intercept, _resid = fit_arma(series, p=1, q=0)
+        assert phi[0] == pytest.approx(0.7, abs=0.12)
+
+    def test_forecast_constant_series(self):
+        series = np.full(100, 5.0)
+        predictor = ArimaPredictor(p=2, q=1, seasonal=False)
+        flat = predictor._forecast_area(series, season=0, steps=4)
+        assert flat == pytest.approx(np.full(4, 5.0))
+
+    def test_seasonal_pattern_carried_forward(self):
+        # Period-4 sawtooth over 25 "days" of 4 slots.
+        base = np.array([1.0, 5.0, 9.0, 3.0])
+        counts = np.tile(base, 25).reshape(25, 4, 1).astype(np.int64)
+        history = DemandHistory(
+            counts=counts,
+            day_of_week=np.arange(25) % 7,
+            weather=np.zeros((25, 4), dtype=np.int64),
+        )
+        predictor = ArimaPredictor()
+        predictor.fit(history)
+        forecast = predictor.predict(
+            DayContext(day_of_week=4, weather=np.zeros(4), day_index=25)
+        )
+        assert forecast[:, 0] == pytest.approx(base, abs=0.5)
+
+    def test_invalid_orders(self):
+        with pytest.raises(Exception):
+            ArimaPredictor(p=0, q=0)
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(Exception):
+            fit_arma(np.arange(5.0), p=3, q=2)
+
+    def test_forecast_arma_steps(self):
+        out = forecast_arma(
+            np.array([1.0, 2.0]), np.zeros(2), np.array([1.0]), np.array([]), 0.0, 3
+        )
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(2.0)
+
+
+class TestFeatureizer:
+    def test_matrix_shapes(self, city_history):
+        _city, history, context, _actual = city_history
+        featureizer = CellFeatureizer(n_day_lags=3)
+        featureizer.fit(history)
+        design, target = featureizer.training_matrix(history)
+        rows = (history.n_days - 1) * history.n_slots * history.n_areas
+        assert design.shape == (rows, featureizer.n_features)
+        assert target.shape == (rows,)
+        target_design = featureizer.target_matrix(context)
+        assert target_design.shape == (history.n_slots * history.n_areas, featureizer.n_features)
+
+    def test_unfitted_raises(self, city_history):
+        _city, history, context, _actual = city_history
+        with pytest.raises(Exception):
+            CellFeatureizer().training_matrix(history)
+        with pytest.raises(Exception):
+            CellFeatureizer().target_matrix(context)
+
+    def test_invalid_lags(self):
+        with pytest.raises(Exception):
+            CellFeatureizer(n_day_lags=0)
+
+
+class TestRelativeAccuracy:
+    def test_feature_models_beat_ha_on_weather_city(self, city_history):
+        """On weather-driven demand the nonlinear feature models should
+        beat the weather-blind historical average (the Table 5 story).
+        GBRT and HP-MSI are checked; NN is excluded (too few epochs on a
+        tiny history to be reliable in unit tests)."""
+        _city, history, context, actual = city_history
+        ha = make_predictor("HA")
+        ha.fit(history)
+        ha_score = error_rate(actual, ha.predict(context))
+        for name in ("GBRT", "HP-MSI"):
+            predictor = make_predictor(name, seed=1)
+            predictor.fit(history)
+            score = error_rate(actual, predictor.predict(context))
+            assert score <= ha_score * 1.25, (name, score, ha_score)

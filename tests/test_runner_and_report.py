@@ -1,0 +1,79 @@
+"""Tests for repro.experiments.runner and .report."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import render, render_sweep, render_table
+from repro.experiments.results import AlgoCell, SweepResult, TableResult
+from repro.experiments.runner import run_algorithms_on_instance
+
+
+class TestRunner:
+    def test_all_algorithms(self, small_instance, small_guide):
+        cells = run_algorithms_on_instance(
+            small_instance, small_guide, measure_memory=False
+        )
+        assert set(cells) == {"SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT"}
+        for cell in cells.values():
+            assert cell.size >= 0
+            assert cell.seconds >= 0
+            assert cell.peak_mb is None
+
+    def test_memory_measured_when_requested(self, small_instance, small_guide):
+        cells = run_algorithms_on_instance(
+            small_instance,
+            small_guide,
+            algorithms=("POLAR",),
+            measure_memory=True,
+        )
+        assert cells["POLAR"].peak_mb is not None
+
+    def test_polar_requires_guide(self, small_instance):
+        with pytest.raises(ExperimentError):
+            run_algorithms_on_instance(small_instance, None, algorithms=("POLAR",))
+
+    def test_unknown_algorithm(self, small_instance, small_guide):
+        with pytest.raises(ExperimentError):
+            run_algorithms_on_instance(
+                small_instance, small_guide, algorithms=("Magic",)
+            )
+
+    def test_subset_without_guide(self, small_instance):
+        cells = run_algorithms_on_instance(
+            small_instance, None, algorithms=("SimpleGreedy",), measure_memory=False
+        )
+        assert "SimpleGreedy" in cells
+
+
+class TestReport:
+    def _sweep(self):
+        sweep = SweepResult(experiment_id="fig_demo", x_label="|W|")
+        sweep.add_point(5.0, {"POLAR": AlgoCell(100, 0.5, 2.0)})
+        sweep.add_point(10.0, {"POLAR": AlgoCell(180, 0.6, 2.1)})
+        sweep.notes["scale"] = "1"
+        return sweep
+
+    def test_render_sweep_contains_metrics(self):
+        text = render_sweep(self._sweep())
+        assert "Matching size" in text
+        assert "Time (secs)" in text
+        assert "Memory (MB)" in text
+        assert "POLAR" in text and "180" in text
+        assert "notes:" in text
+
+    def test_render_sweep_skips_absent_memory(self):
+        sweep = SweepResult(experiment_id="x", x_label="x")
+        sweep.add_point(1.0, {"A": AlgoCell(1, 0.1, None)})
+        assert "Memory" not in render_sweep(sweep)
+
+    def test_render_table(self):
+        table = TableResult(experiment_id="table_demo")
+        table.set("HA", "ER beijing", 0.27)
+        table.set("HP-MSI", "ER beijing", 0.239)
+        text = render_table(table)
+        assert "HP-MSI" in text and "0.239" in text and "table_demo" in text
+
+    def test_render_dispatch(self):
+        assert "fig_demo" in render(self._sweep())
+        table = TableResult(experiment_id="t")
+        assert "== t ==" in render(table)

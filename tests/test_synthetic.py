@@ -1,0 +1,109 @@
+"""Tests for repro.streams.synthetic (the Table 4 generator)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+class TestConfig:
+    def test_defaults_match_table4_bold(self):
+        config = SyntheticConfig()
+        assert config.n_workers == 20_000
+        assert config.n_tasks == 20_000
+        assert config.grid_side == 50
+        assert config.n_slots == 48
+        assert config.task_duration_slots == 2.0
+        assert config.task_temporal_mu == 0.5
+        assert config.task_spatial_mean == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(n_workers=-1)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(grid_side=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(task_duration_slots=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(task_temporal_sigma=0)
+
+    def test_scaled_override(self):
+        config = SyntheticConfig().scaled(n_workers=5, task_duration_slots=1.0)
+        assert config.n_workers == 5
+        assert config.task_duration_slots == 1.0
+        assert config.n_tasks == 20_000  # untouched
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return SyntheticGenerator(
+        SyntheticConfig(n_workers=400, n_tasks=300, grid_side=10, n_slots=8, seed=5)
+    )
+
+
+class TestGeneration:
+    def test_population_sizes(self, generator):
+        instance = generator.generate()
+        assert instance.n_workers == 400
+        assert instance.n_tasks == 300
+
+    def test_determinism(self, generator):
+        a = generator.generate()
+        b = generator.generate()
+        assert [w.location for w in a.workers] == [w.location for w in b.workers]
+        assert [t.start for t in a.tasks] == [t.start for t in b.tasks]
+
+    def test_seed_override_changes_draw(self, generator):
+        a = generator.generate(seed=1)
+        b = generator.generate(seed=2)
+        assert [w.location for w in a.workers] != [w.location for w in b.workers]
+
+    def test_entities_within_domain(self, generator):
+        instance = generator.generate()
+        for worker in instance.workers:
+            assert generator.grid.bounds.contains(worker.location)
+            assert generator.timeline.contains(worker.start)
+
+    def test_durations_in_minutes(self, generator):
+        instance = generator.generate()
+        slot_minutes = generator.timeline.slot_minutes
+        config = generator.config
+        assert instance.workers[0].duration == config.worker_duration_slots * slot_minutes
+        assert instance.tasks[0].duration == config.task_duration_slots * slot_minutes
+
+
+class TestExpectations:
+    def test_shapes_and_totals(self, generator):
+        a = generator.expected_worker_counts()
+        b = generator.expected_task_counts()
+        assert a.shape == (8, 100)
+        assert b.shape == (8, 100)
+        assert a.sum() == pytest.approx(400)
+        assert b.sum() == pytest.approx(300)
+        assert (a >= 0).all() and (b >= 0).all()
+
+    def test_expectations_match_empirical(self, generator):
+        """Aggregate counts from many draws track the analytic expectation."""
+        expected = generator.expected_task_counts()
+        totals = np.zeros_like(expected)
+        n_draws = 20
+        for seed in range(n_draws):
+            totals += SyntheticGenerator(generator.config).generate(seed=seed).task_counts()
+        empirical = totals / n_draws
+        # Compare slot marginals (cell-level comparison is too noisy).
+        expected_slots = expected.sum(axis=1)
+        empirical_slots = empirical.sum(axis=1)
+        assert np.abs(expected_slots - empirical_slots).max() < 12.0
+
+    def test_spatial_variance_interpretation(self):
+        """Table 4's cov fraction scales the *variance*: sigma = sqrt(f*side)."""
+        config = SyntheticConfig(
+            n_workers=10, n_tasks=10, grid_side=16, n_slots=4, task_spatial_cov=0.25
+        )
+        generator = SyntheticGenerator(config)
+        assert generator._task_x.sigma == pytest.approx(np.sqrt(0.25 * 16))
+        # Temporal sigma, by contrast, is the fraction times the horizon.
+        assert generator._task_time.sigma == pytest.approx(
+            config.task_temporal_sigma * generator.timeline.duration
+        )

@@ -1,0 +1,131 @@
+"""Tests for repro.streams.taxi (the Beijing/Hangzhou stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.taxi import CityConfig, Hotspot, TaxiCity, beijing_config, hangzhou_config
+
+
+@pytest.fixture(scope="module")
+def city():
+    return TaxiCity(beijing_config().scaled(0.02))
+
+
+class TestConfig:
+    def test_named_configs(self):
+        beijing = beijing_config()
+        hangzhou = hangzhou_config()
+        assert beijing.daily_tasks == 54_129
+        assert hangzhou.daily_workers == 49_324
+        assert beijing.nx * beijing.ny == 600
+        assert beijing.n_slots == 12  # Table 3's t = 12
+
+    def test_scaled(self):
+        config = beijing_config().scaled(0.1)
+        assert config.daily_tasks == pytest.approx(5413, abs=1)
+        with pytest.raises(ConfigurationError):
+            beijing_config().scaled(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CityConfig(name="x", task_hotspots=(), worker_hotspots=())
+        with pytest.raises(ConfigurationError):
+            Hotspot(col=0, row=0, weight=1.0, spread=0.0)
+
+    def test_hotspot_weekend_weight(self):
+        spot = Hotspot(col=0, row=0, weight=0.5, spread=1.0, weekend_weight=0.1)
+        assert spot.weight_for(False) == 0.5
+        assert spot.weight_for(True) == 0.1
+        plain = Hotspot(col=0, row=0, weight=0.5, spread=1.0)
+        assert plain.weight_for(True) == 0.5
+
+
+class TestWeather:
+    def test_shape_and_values(self, city):
+        weather = city.weather_for_days(3)
+        assert weather.shape == (3, city.config.n_slots)
+        assert set(np.unique(weather)).issubset({0, 1, 2})
+
+    def test_deterministic_per_absolute_day(self, city):
+        a = city.weather_for_days(5)
+        b = city.weather_for_days(3, start_day=2)
+        assert (a[2:5] == b).all()
+
+    def test_invalid_days(self, city):
+        with pytest.raises(ConfigurationError):
+            city.weather_for_days(0)
+
+    def test_day_of_week(self):
+        assert TaxiCity.day_of_week(0) == 0
+        assert TaxiCity.day_of_week(6) == 6
+        assert TaxiCity.day_of_week(7) == 0
+
+
+class TestIntensity:
+    def test_shapes(self, city):
+        intensity = city.task_intensity(0)
+        assert intensity.shape == (city.config.n_slots, city.grid.n_areas)
+        assert (intensity >= 0).all()
+
+    def test_daily_volume_close_to_config(self, city):
+        clear = np.zeros(city.config.n_slots, dtype=np.int64)
+        weekday_total = city.task_intensity(0, weather=clear).sum()
+        assert weekday_total == pytest.approx(city.config.daily_tasks, rel=0.01)
+
+    def test_weekend_damping(self, city):
+        clear = np.zeros(city.config.n_slots, dtype=np.int64)
+        weekday = city.task_intensity(0, weather=clear).sum()
+        weekend = city.task_intensity(5, weather=clear).sum()
+        assert weekend < weekday
+
+    def test_rain_boosts_demand_dampens_supply(self, city):
+        clear = np.zeros(city.config.n_slots, dtype=np.int64)
+        rain = np.full(city.config.n_slots, 2, dtype=np.int64)
+        assert city.task_intensity(0, rain).sum() > city.task_intensity(0, clear).sum()
+        assert city.worker_intensity(0, rain).sum() < city.worker_intensity(0, clear).sum()
+
+    def test_rush_hours_dominate(self, city):
+        clear = np.zeros(city.config.n_slots, dtype=np.int64)
+        per_slot = city.task_intensity(0, clear).sum(axis=1)
+        slot_hours = 24 / city.config.n_slots
+        morning = int(city.config.morning_peak_hour / slot_hours)
+        night = 1  # deep night slot
+        assert per_slot[morning] > 2 * per_slot[night]
+
+
+class TestHistoryAndDays:
+    def test_history_shapes(self, city):
+        tasks, workers = city.generate_history(4)
+        assert tasks.counts.shape == (4, city.config.n_slots, city.grid.n_areas)
+        assert workers.counts.shape == tasks.counts.shape
+        assert (tasks.day_of_week == np.array([0, 1, 2, 3])).all()
+
+    def test_history_deterministic(self, city):
+        a, _ = city.generate_history(3)
+        b, _ = city.generate_history(3)
+        assert (a.counts == b.counts).all()
+
+    def test_generate_day_matches_history_counts(self, city):
+        tasks, workers = city.generate_history(2)
+        instance = city.generate_day(1)
+        assert (instance.task_counts() == tasks.counts[1]).all()
+        assert (instance.worker_counts() == workers.counts[1]).all()
+
+    def test_generate_day_entity_validity(self, city):
+        instance = city.generate_day(0)
+        assert instance.n_tasks > 0 and instance.n_workers > 0
+        slot_minutes = city.timeline.slot_minutes
+        assert instance.tasks[0].duration == city.config.task_duration_slots * slot_minutes
+
+    def test_task_duration_override(self, city):
+        instance = city.generate_day(0, task_duration_slots=0.5)
+        assert instance.tasks[0].duration == 0.5 * city.timeline.slot_minutes
+        with pytest.raises(ConfigurationError):
+            city.generate_day(0, task_duration_slots=0)
+
+    def test_day_context(self, city):
+        context = city.day_context(5)
+        assert context.day_of_week == 5
+        assert context.is_weekend
+        assert context.weather.shape == (city.config.n_slots,)

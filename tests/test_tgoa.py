@@ -1,0 +1,65 @@
+"""Tests for repro.core.tgoa (the ICDE'16-style extension baseline)."""
+
+import pytest
+
+from repro.core.opt import run_opt
+from repro.core.tgoa import run_tgoa
+from repro.model.entities import Task, Worker
+from repro.model.instance import Instance
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+
+class TestPhase2Optimality:
+    def test_second_half_serves_feasible_newcomers(self):
+        """Phase 2 guarantees a newcomer is served whenever the revealed
+        feasibility graph admits a matching that covers it — here every
+        late task has a free feasible worker and all must be served."""
+        grid = Grid.square(10, cell_size=1.0)
+        timeline = Timeline(1, 200.0)
+        travel = TravelModel(1.0)
+        # Two early dummy pairs fill the greedy half; the interesting
+        # objects arrive after the halfway point (8 events -> half = 4).
+        workers = [
+            Worker(id=0, location=Point(0.5, 0.5), start=0.0, duration=5.0),
+            Worker(id=1, location=Point(9.5, 9.5), start=1.0, duration=5.0),
+            Worker(id=2, location=Point(5.0, 5.0), start=10.0, duration=90.0),  # A
+            Worker(id=3, location=Point(3.0, 5.0), start=10.0, duration=90.0),  # B
+        ]
+        tasks = [
+            Task(id=0, location=Point(0.6, 0.5), start=0.5, duration=2.0),
+            Task(id=1, location=Point(9.4, 9.5), start=1.5, duration=2.0),
+            Task(id=2, location=Point(5.5, 5.0), start=11.0, duration=3.0),
+            Task(id=3, location=Point(6.0, 5.0), start=11.5, duration=4.0),
+        ]
+        instance = Instance(
+            workers=workers, tasks=tasks, grid=grid, timeline=timeline, travel=travel
+        )
+        outcome = run_tgoa(instance)
+        assert outcome.matching.task_is_matched(2)
+        assert outcome.matching.task_is_matched(3)
+        assert outcome.size == 4
+
+    def test_bounded_by_opt(self, small_instance):
+        tgoa = run_tgoa(small_instance)
+        optimum = run_opt(small_instance, method="exact")
+        assert 0 < tgoa.size <= optimum.size
+
+    def test_all_matches_feasible_wait_in_place(self, small_instance):
+        from repro.analysis.audit import audit_outcome
+
+        outcome = run_tgoa(small_instance)
+        audit = audit_outcome(small_instance, outcome)
+        assert audit.violation_rate == 0.0
+
+    def test_every_object_decided(self, small_instance):
+        outcome = run_tgoa(small_instance)
+        assert len(outcome.worker_decisions) == small_instance.n_workers
+        assert len(outcome.task_decisions) == small_instance.n_tasks
+
+    def test_example1_between_greedy_and_opt(self, example1):
+        instance, _a, _b, _module = example1
+        outcome = run_tgoa(instance)
+        assert 2 <= outcome.size <= 6

@@ -1,0 +1,99 @@
+"""Tests for repro.core.theory (Theorems 1–2, Lemma 3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    azuma_deviation_bound,
+    expected_min_poisson,
+    poisson_pmf,
+    polar_op_ratio,
+    polar_ratio,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstants:
+    def test_polar_ratio_value(self):
+        assert polar_ratio() == pytest.approx((1 - 1 / math.e) ** 2)
+        assert polar_ratio() == pytest.approx(0.3996, abs=1e-4)
+
+    def test_polar_op_ratio_value(self):
+        # Full-precision series value is ~0.4762; the paper takes "the
+        # first three terms" and quotes 0.47 (a lower bound).
+        assert polar_op_ratio() == pytest.approx(0.4762, abs=1e-3)
+
+    def test_truncations_undershoot_and_converge(self):
+        # Truncating the series always undershoots (every term is
+        # positive), which is why the paper can quote the truncated 0.47
+        # as a valid lower bound of the true constant.
+        values = [polar_op_ratio(terms=t) for t in (2, 3, 5, 10, 64)]
+        assert values == sorted(values)
+        assert values[2] >= 0.47  # five i-terms already clear the paper's bound
+        assert values[-1] == pytest.approx(polar_op_ratio(), abs=1e-12)
+
+    def test_polar_op_beats_polar(self):
+        assert polar_op_ratio() > polar_ratio()
+
+    def test_invalid_terms(self):
+        with pytest.raises(ConfigurationError):
+            polar_op_ratio(terms=0)
+        with pytest.raises(ConfigurationError):
+            expected_min_poisson(terms=0)
+
+
+class TestPoissonPmf:
+    def test_values(self):
+        assert poisson_pmf(0, 1.0) == pytest.approx(math.exp(-1))
+        assert poisson_pmf(1, 1.0) == pytest.approx(math.exp(-1))
+        assert poisson_pmf(2, 1.0) == pytest.approx(math.exp(-1) / 2)
+
+    def test_sums_to_one(self):
+        total = sum(poisson_pmf(k, 2.5) for k in range(80))
+        assert total == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            poisson_pmf(-1)
+        with pytest.raises(ConfigurationError):
+            poisson_pmf(1, 0.0)
+
+
+class TestSeriesIdentity:
+    @given(st.floats(0.2, 4.0))
+    @settings(max_examples=20, deadline=None)
+    def test_lemma3_series_equals_expected_min(self, mu):
+        """Lemma 3's rearranged series is exactly E[min(W, R)] for
+        identically distributed Poissons — the identity behind the 0.47."""
+        assert polar_op_ratio(mu=mu, terms=80) == pytest.approx(
+            expected_min_poisson(mu_w=mu, mu_r=mu, terms=80), abs=1e-9
+        )
+
+    def test_expected_min_monotone_in_mu(self):
+        values = [expected_min_poisson(mu_w=mu, mu_r=mu) for mu in (0.5, 1.0, 2.0)]
+        assert values[0] < values[1] < values[2]
+
+
+class TestAzuma:
+    def test_bound_decreases_with_epsilon(self):
+        assert azuma_deviation_bound(0.2, 100, 100) < azuma_deviation_bound(0.1, 100, 100)
+
+    def test_bound_decreases_with_population(self):
+        assert azuma_deviation_bound(0.1, 1000, 1000) < azuma_deviation_bound(0.1, 10, 10)
+
+    def test_capped_at_one(self):
+        assert azuma_deviation_bound(0.0, 5, 5) == 1.0
+
+    def test_matches_formula(self):
+        assert azuma_deviation_bound(0.3, 50, 50) == pytest.approx(
+            2 * math.exp(-(0.3**2) * 100 / 2)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            azuma_deviation_bound(-0.1, 10, 10)
+        with pytest.raises(ConfigurationError):
+            azuma_deviation_bound(0.1, 0, 0)

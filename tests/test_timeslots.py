@@ -1,0 +1,97 @@
+"""Tests for repro.spatial.timeslots."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TimelineError
+from repro.spatial.timeslots import Timeline
+
+
+class TestConstruction:
+    def test_day_helper(self):
+        timeline = Timeline.day(96)
+        assert timeline.slot_minutes == 15.0
+        assert timeline.duration == 24 * 60
+
+    def test_day_invalid(self):
+        with pytest.raises(TimelineError):
+            Timeline.day(0)
+
+    def test_invalid_params(self):
+        with pytest.raises(TimelineError):
+            Timeline(0, 10)
+        with pytest.raises(TimelineError):
+            Timeline(10, 0)
+
+
+class TestMapping:
+    def test_slot_of_basics(self):
+        timeline = Timeline(4, 15.0)
+        assert timeline.slot_of(0.0) == 0
+        assert timeline.slot_of(14.999) == 0
+        assert timeline.slot_of(15.0) == 1
+        assert timeline.slot_of(59.999) == 3
+
+    def test_horizon_end_binds_last_slot(self):
+        timeline = Timeline(4, 15.0)
+        assert timeline.slot_of(60.0) == 3
+
+    def test_out_of_horizon_raises(self):
+        timeline = Timeline(4, 15.0)
+        with pytest.raises(TimelineError):
+            timeline.slot_of(-0.1)
+        with pytest.raises(TimelineError):
+            timeline.slot_of(60.1)
+
+    def test_nonzero_origin(self):
+        timeline = Timeline(2, 5.0, t0=100.0)
+        assert timeline.slot_of(102.0) == 0
+        assert timeline.slot_of(107.0) == 1
+        assert timeline.horizon_end == 110.0
+
+    def test_slot_bounds(self):
+        timeline = Timeline(3, 10.0)
+        assert timeline.slot_bounds(1) == (10.0, 20.0)
+        assert timeline.slot_start(2) == 20.0
+        assert timeline.slot_end(2) == 30.0
+
+    def test_slot_mid(self):
+        timeline = Timeline(3, 10.0)
+        assert timeline.slot_mid(0) == 5.0
+
+    def test_slot_index_out_of_range(self):
+        timeline = Timeline(3, 10.0)
+        with pytest.raises(TimelineError):
+            timeline.slot_start(3)
+        with pytest.raises(TimelineError):
+            timeline.slot_mid(-1)
+
+    @given(st.integers(1, 50), st.floats(0.5, 120), st.floats(0, 1))
+    def test_mid_maps_back_to_slot(self, n_slots, slot_minutes, fraction):
+        timeline = Timeline(n_slots, slot_minutes)
+        slot = int(fraction * (n_slots - 1))
+        assert timeline.slot_of(timeline.slot_mid(slot)) == slot
+
+    @given(st.floats(0, 239.9))
+    def test_slot_of_within_range(self, t):
+        timeline = Timeline(16, 15.0)
+        assert 0 <= timeline.slot_of(t) < 16
+
+
+class TestHistogram:
+    def test_counts_and_drops(self):
+        timeline = Timeline(2, 10.0)
+        counts = timeline.histogram([0.0, 5.0, 15.0, 25.0])
+        assert counts == [2, 1]
+
+    def test_iter_slots(self):
+        assert list(Timeline(3, 1.0).iter_slots()) == [0, 1, 2]
+
+
+class TestEquality:
+    def test_equality_and_hash(self):
+        assert Timeline(4, 15.0) == Timeline(4, 15.0)
+        assert hash(Timeline(4, 15.0)) == hash(Timeline(4, 15.0))
+        assert Timeline(4, 15.0) != Timeline(4, 10.0)
+        assert Timeline(4, 15.0) != "timeline"

@@ -1,0 +1,109 @@
+"""Tests for repro.graph.transportation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlowError, GraphError
+from repro.graph.transportation import TransportationProblem
+
+
+class TestConstruction:
+    def test_negative_supply_rejected(self):
+        with pytest.raises(GraphError):
+            TransportationProblem([-1], [1])
+
+    def test_lane_bounds(self):
+        problem = TransportationProblem([1, 2], [3])
+        with pytest.raises(GraphError):
+            problem.add_lane(2, 0)
+        with pytest.raises(GraphError):
+            problem.add_lane(0, 1)
+        with pytest.raises(GraphError):
+            problem.add_lane(0, 0, cost=-1.0)
+
+    def test_counts(self):
+        problem = TransportationProblem([1, 2], [3])
+        problem.add_lane(0, 0)
+        assert problem.n_left == 2 and problem.n_right == 1 and problem.n_lanes == 1
+
+
+class TestSolve:
+    def test_simple_shipment(self):
+        problem = TransportationProblem([3, 2], [4, 5])
+        problem.add_lane(0, 0)
+        problem.add_lane(1, 1)
+        solution = problem.solve()
+        assert solution.total == 5
+        assert solution.lane_flow == {(0, 0): 3, (1, 1): 2}
+        assert solution.left_served(0) == 3
+        assert solution.right_served(1) == 2
+        assert solution.lanes_from(0) == [(0, 3)]
+        assert solution.lanes_into(1) == [(1, 2)]
+
+    def test_demand_limited(self):
+        problem = TransportationProblem([10], [4])
+        problem.add_lane(0, 0)
+        assert problem.solve().total == 4
+
+    def test_no_lanes(self):
+        problem = TransportationProblem([5], [5])
+        assert problem.solve().total == 0
+
+    def test_zero_capacity_types(self):
+        problem = TransportationProblem([0, 3], [3, 0])
+        problem.add_lane(0, 0)
+        problem.add_lane(1, 1)
+        problem.add_lane(1, 0)
+        assert problem.solve().total == 3
+
+    def test_unknown_method(self):
+        problem = TransportationProblem([1], [1])
+        with pytest.raises(FlowError):
+            problem.solve(method="simplex")
+
+    def test_mincost_reports_cost(self):
+        problem = TransportationProblem([2], [1, 1])
+        problem.add_lane(0, 0, cost=1.0)
+        problem.add_lane(0, 1, cost=3.0)
+        solution = problem.solve(method="mincost")
+        assert solution.total == 2
+        assert solution.cost == pytest.approx(4.0)
+
+    def test_mincost_picks_cheap_lane(self):
+        problem = TransportationProblem([1], [1, 1])
+        problem.add_lane(0, 0, cost=9.0)
+        problem.add_lane(0, 1, cost=1.0)
+        solution = problem.solve(method="mincost")
+        assert solution.total == 1
+        assert solution.lane_flow == {(0, 1): 1}
+
+
+class TestMethodAgreement:
+    @given(st.integers(0, 20_000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_methods_same_total(self, seed):
+        rng = random.Random(seed)
+        n_left = rng.randint(1, 6)
+        n_right = rng.randint(1, 6)
+        supplies = [rng.randint(0, 5) for _ in range(n_left)]
+        demands = [rng.randint(0, 5) for _ in range(n_right)]
+        lanes = set()
+        for _ in range(rng.randint(0, 12)):
+            lanes.add((rng.randrange(n_left), rng.randrange(n_right)))
+
+        totals = []
+        for method in ("dinic", "edmonds_karp", "mincost"):
+            problem = TransportationProblem(supplies, demands)
+            for u, v in lanes:
+                problem.add_lane(u, v, cost=float(u + v))
+            solution = problem.solve(method=method)
+            # Shipments never exceed either endpoint capacity.
+            for u in range(n_left):
+                assert solution.left_served(u) <= supplies[u]
+            for v in range(n_right):
+                assert solution.right_served(v) <= demands[v]
+            totals.append(solution.total)
+        assert len(set(totals)) == 1

@@ -1,0 +1,66 @@
+"""Tests for repro.spatial.travel."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spatial.geometry import Point
+from repro.spatial.travel import TravelModel
+
+
+class TestConstruction:
+    def test_invalid_velocity(self):
+        with pytest.raises(ConfigurationError):
+            TravelModel(0.0)
+        with pytest.raises(ConfigurationError):
+            TravelModel(-1.0)
+
+    def test_cells_per_slot(self):
+        # 5 cells per 15-minute slot = 1/3 cell per minute.
+        model = TravelModel.cells_per_slot(5, 15.0)
+        assert model.velocity == pytest.approx(1 / 3)
+
+    def test_cells_per_slot_with_cell_size(self):
+        model = TravelModel.cells_per_slot(5, 15.0, cell_size=2.0)
+        assert model.velocity == pytest.approx(2 / 3)
+
+    def test_cells_per_slot_invalid(self):
+        with pytest.raises(ConfigurationError):
+            TravelModel.cells_per_slot(0, 15)
+        with pytest.raises(ConfigurationError):
+            TravelModel.cells_per_slot(5, 0)
+
+
+class TestTravelTimes:
+    def test_travel_time(self):
+        model = TravelModel(2.0)
+        assert model.travel_time(Point(0, 0), Point(6, 8)) == pytest.approx(5.0)
+
+    def test_travel_time_for_distance(self):
+        assert TravelModel(2.0).travel_time_for_distance(10) == 5.0
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ConfigurationError):
+            TravelModel(1.0).travel_time_for_distance(-1)
+
+    def test_reachable_distance(self):
+        model = TravelModel(3.0)
+        assert model.reachable_distance(2.0) == 6.0
+        assert model.reachable_distance(0.0) == 0.0
+        assert model.reachable_distance(-5.0) == 0.0
+
+
+class TestPositionAt:
+    def test_before_departure(self):
+        model = TravelModel(1.0)
+        origin, destination = Point(0, 0), Point(10, 0)
+        assert model.position_at(origin, destination, depart=5.0, now=3.0) == origin
+
+    def test_mid_flight(self):
+        model = TravelModel(1.0)
+        position = model.position_at(Point(0, 0), Point(10, 0), depart=0.0, now=4.0)
+        assert position == Point(4.0, 0.0)
+
+    def test_after_arrival_stays_at_destination(self):
+        model = TravelModel(1.0)
+        position = model.position_at(Point(0, 0), Point(10, 0), depart=0.0, now=99.0)
+        assert position == Point(10.0, 0.0)

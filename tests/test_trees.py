@@ -1,0 +1,95 @@
+"""Tests for repro.prediction.trees (the CART regressor)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.trees import DecisionTreeRegressor
+
+
+class TestFitting:
+    def test_step_function_recovered(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        # Exact recovery needs the boundary split to be admissible: allow
+        # single-row leaves and evaluate every candidate position.
+        tree = DecisionTreeRegressor(
+            max_depth=2, min_samples_split=2, min_samples_leaf=1, max_candidates=200
+        ).fit(x, y)
+        predictions = tree.predict(x)
+        assert np.abs(predictions - y).max() < 1e-9
+
+    def test_step_function_approximated_with_default_regularisation(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        # Default min_samples_leaf=4 cannot isolate the boundary row, but
+        # the error should be confined to a handful of boundary points.
+        assert (np.abs(tree.predict(x) - y) > 1e-9).sum() <= 6
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).normal(size=(50, 3))
+        y = np.full(50, 7.0)
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert tree.n_nodes == 1
+        assert (tree.predict(x) == 7.0).all()
+
+    def test_max_depth_zero_is_mean(self):
+        x = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.arange(10, dtype=float)
+        tree = DecisionTreeRegressor(max_depth=0).fit(x, y)
+        assert tree.n_nodes == 1
+        assert tree.predict(x[:1])[0] == pytest.approx(y.mean())
+
+    def test_two_feature_interaction(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(size=(400, 2))
+        y = np.where((x[:, 0] > 0.5) & (x[:, 1] > 0.5), 5.0, 0.0)
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=2).fit(x, y)
+        error = np.abs(tree.predict(x) - y).mean()
+        assert error < 0.35
+
+    def test_min_samples_leaf_respected(self):
+        x = np.arange(6, dtype=float).reshape(-1, 1)
+        y = np.array([0, 0, 0, 10, 10, 10], dtype=float)
+        tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=4).fit(x, y)
+        # A split would create a side with < 4 rows, so none happens.
+        assert tree.n_nodes == 1
+
+    def test_deeper_tree_fits_better(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(size=(300, 1))
+        y = np.sin(6 * x[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=5).fit(x, y)
+        err_shallow = ((shallow.predict(x) - y) ** 2).mean()
+        err_deep = ((deep.predict(x) - y) ** 2).mean()
+        assert err_deep < err_shallow
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(PredictionError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+    def test_bad_shapes(self):
+        tree = DecisionTreeRegressor()
+        with pytest.raises(PredictionError):
+            tree.fit(np.zeros((3,)), np.zeros(3))
+        with pytest.raises(PredictionError):
+            tree.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(PredictionError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_bad_params(self):
+        with pytest.raises(PredictionError):
+            DecisionTreeRegressor(max_depth=-1)
+        with pytest.raises(PredictionError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_predict_needs_2d(self):
+        tree = DecisionTreeRegressor(max_depth=1).fit(
+            np.arange(4, dtype=float).reshape(-1, 1), np.arange(4, dtype=float)
+        )
+        with pytest.raises(PredictionError):
+            tree.predict(np.zeros(3))
