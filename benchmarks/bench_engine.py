@@ -1,0 +1,138 @@
+"""Engine microbenchmarks: the POLAR event loop, CellIndex queries, and
+serial-vs-parallel sweep execution.
+
+These benchmark the *harness* rather than a paper figure: the vectorized
+typing pass + tight event loop against the per-event legacy path, the
+occupied-bbox ring search against a sparse worst case, and the
+``SweepExecutor`` fan-out against its own serial mode.  Parity (identical
+matchings) is asserted inside every benchmark, so a speedup can never be
+bought with a wrong answer.  ``scripts/bench_snapshot.py`` runs the same
+probes at acceptance scale and archives them in ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.core.cellindex import CellIndex
+from repro.core.guide import build_guide
+from repro.core.polar import run_polar
+from repro.core.tgoa import run_tgoa
+from repro.experiments.figures import run_fig4_workers
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+from repro.streams.oracle import exact_oracle
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(min(4, os.cpu_count() or 1))))
+
+
+def _polar_setup(n_per_side: int):
+    config = SyntheticConfig(n_workers=n_per_side, n_tasks=n_per_side)
+    generator = SyntheticGenerator(config)
+    instance = generator.generate()
+    worker_counts, task_counts = exact_oracle(generator)
+    slot_minutes = generator.timeline.slot_minutes
+    guide = build_guide(
+        worker_counts,
+        task_counts,
+        generator.grid,
+        generator.timeline,
+        generator.travel,
+        config.worker_duration_slots * slot_minutes,
+        config.task_duration_slots * slot_minutes,
+    )
+    return instance, guide
+
+
+def test_polar_event_loop(benchmark, bench_scale):
+    """The optimized POLAR loop (cached typing, inline occupancy)."""
+    n = max(2_000, int(50_000 * bench_scale))
+    instance, guide = _polar_setup(n)
+    instance.typed_arrivals()  # warm the shared cache once
+    fast = benchmark.pedantic(
+        lambda: run_polar(instance, guide), rounds=3, iterations=1
+    )
+    # Parity with the per-event fallback path (explicit stream).
+    slow = run_polar(instance, guide, stream=list(instance.arrival_stream()))
+    assert fast.matching.pairs() == slow.matching.pairs()
+    print(f"\n[polar loop: {2 * n} arrivals, matched {fast.size}]")
+
+
+def test_polar_event_loop_legacy_path(benchmark, bench_scale):
+    """The per-event typing fallback — the seed implementation's cost
+    model (stream rebuilt and typed per run).  Compare against
+    ``test_polar_event_loop`` for the single-core speedup."""
+    n = max(2_000, int(50_000 * bench_scale))
+    instance, guide = _polar_setup(n)
+    stream = list(instance.arrival_stream())
+    benchmark.pedantic(
+        lambda: run_polar(instance, guide, stream=stream), rounds=3, iterations=1
+    )
+
+
+def test_cellindex_sparse_queries(benchmark):
+    """Ring queries on a sparse 200×200 grid — the occupied-bbox cutoff
+    turns the old full-grid ring walk into O(occupied extent)."""
+    rng = random.Random(11)
+    grid = Grid.square(200)
+    index = CellIndex(grid)
+    live = {}
+    for ident in range(64):
+        p = Point(rng.uniform(0, 25), rng.uniform(0, 25))
+        index.add(ident, p)
+        live[ident] = p
+    origins = [Point(rng.uniform(0, 200), rng.uniform(0, 200)) for _ in range(300)]
+
+    def query_all():
+        total = 0
+        for origin in origins:
+            total += len(index.within(origin, 40.0))
+            index.nearest_feasible(origin, lambda _i, _d: True, 40.0)
+        return total
+
+    total = benchmark.pedantic(query_all, rounds=3, iterations=1)
+    brute = sum(
+        1
+        for origin in origins
+        for p in live.values()
+        if origin.distance_to(p) <= 40.0
+    )
+    assert total == brute
+
+
+def test_tgoa_indexed_vs_dense(benchmark):
+    """TGOA with persistent cell indexes; parity with the dense scan."""
+    config = SyntheticConfig(
+        n_workers=400, n_tasks=400, grid_side=50, n_slots=12, seed=5
+    )
+    instance = SyntheticGenerator(config).generate()
+    indexed = benchmark.pedantic(
+        lambda: run_tgoa(instance, indexed=True), rounds=3, iterations=1
+    )
+    dense = run_tgoa(instance, indexed=False)
+    assert indexed.matching.pairs() == dense.matching.pairs()
+
+
+def test_sweep_serial_vs_parallel(benchmark, bench_scale):
+    """One fig4 sweep through the SweepExecutor pool; asserts parity with
+    the serial run.  Wall-clock gains need real cores — the snapshot
+    records the host's count."""
+    algorithms = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
+    parallel = benchmark.pedantic(
+        lambda: run_fig4_workers(
+            scale=bench_scale,
+            measure_memory=False,
+            algorithms=algorithms,
+            jobs=BENCH_JOBS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    serial = run_fig4_workers(
+        scale=bench_scale, measure_memory=False, algorithms=algorithms, jobs=1
+    )
+    for algorithm in algorithms:
+        assert parallel.series(algorithm, "size") == serial.series(algorithm, "size")
+    print(f"\n[sweep parity ok at jobs={BENCH_JOBS}]")

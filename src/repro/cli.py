@@ -51,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the tracemalloc pass (halves runtime)",
     )
     run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep cells (default 1 = serial; "
+        "matching sizes are identical either way)",
+    )
+    run.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -72,11 +79,22 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, scale: Optional[float], no_memory: bool, out) -> int:
+def _cmd_run(
+    experiment_id: str,
+    scale: Optional[float],
+    no_memory: bool,
+    out,
+    jobs: int = 1,
+) -> int:
     spec = get_experiment(experiment_id)
     effective_scale = spec.default_scale if scale is None else scale
+    kwargs = {"scale": effective_scale, "measure_memory": not no_memory}
+    if spec.supports_jobs:
+        kwargs["jobs"] = jobs
+    elif jobs != 1:
+        print(f"[{experiment_id} does not support --jobs; running serially]")
     started = time.perf_counter()
-    result = spec.run(scale=effective_scale, measure_memory=not no_memory)
+    result = spec.run(**kwargs)
     elapsed = time.perf_counter() - started
     print(render(result))
     print(f"\n[{experiment_id} finished in {elapsed:.1f}s at scale {effective_scale:g}]")
@@ -109,7 +127,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            return _cmd_run(args.experiment_id, args.scale, args.no_memory, args.out)
+            return _cmd_run(
+                args.experiment_id, args.scale, args.no_memory, args.out, args.jobs
+            )
         if args.command == "report":
             return _cmd_report(args.paths)
     except ReproError as exc:

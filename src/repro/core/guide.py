@@ -90,6 +90,10 @@ class OfflineGuide:
         self._worker_partner: Dict[int, List[Optional[_NodeRef]]] = {}
         self._task_partner: Dict[int, List[Optional[_NodeRef]]] = {}
         self._decompose()
+        self._worker_partner_table: Optional[Dict[int, List[Optional[Tuple[int, int]]]]] = None
+        self._task_partner_table: Optional[Dict[int, List[Optional[Tuple[int, int]]]]] = None
+        self._worker_capacity_list: Optional[List[int]] = None
+        self._task_capacity_list: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ #
     # Types
@@ -172,6 +176,52 @@ class OfflineGuide:
             return None
         ref = partners[offset]
         return (ref.type_index, ref.offset) if ref is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Hot-path tables (cached; used by the POLAR event loops)
+    # ------------------------------------------------------------------ #
+
+    def worker_capacity_list(self) -> List[int]:
+        """``worker_capacity`` as a plain int list (cached) — indexing a
+        Python list in the event loop beats per-event numpy scalar casts."""
+        if self._worker_capacity_list is None:
+            self._worker_capacity_list = self.worker_capacity.tolist()
+        return self._worker_capacity_list
+
+    def task_capacity_list(self) -> List[int]:
+        """``task_capacity`` as a plain int list (cached)."""
+        if self._task_capacity_list is None:
+            self._task_capacity_list = self.task_capacity.tolist()
+        return self._task_capacity_list
+
+    def worker_partner_table(self) -> Dict[int, List[Optional[Tuple[int, int]]]]:
+        """Per-type worker-node partners as plain tuples (cached).
+
+        ``table[type][offset]`` is ``(task_type, task_offset)`` or None —
+        the same answers as :meth:`worker_partner` without the per-call
+        dict lookup and tuple construction.
+        """
+        if self._worker_partner_table is None:
+            self._worker_partner_table = {
+                type_index: [
+                    (ref.type_index, ref.offset) if ref is not None else None
+                    for ref in refs
+                ]
+                for type_index, refs in self._worker_partner.items()
+            }
+        return self._worker_partner_table
+
+    def task_partner_table(self) -> Dict[int, List[Optional[Tuple[int, int]]]]:
+        """Per-type task-node partners as plain tuples (cached)."""
+        if self._task_partner_table is None:
+            self._task_partner_table = {
+                type_index: [
+                    (ref.type_index, ref.offset) if ref is not None else None
+                    for ref in refs
+                ]
+                for type_index, refs in self._task_partner.items()
+            }
+        return self._task_partner_table
 
     def matched_worker_nodes(self, type_index: int) -> int:
         """How many of a type's worker nodes carry guide flow."""

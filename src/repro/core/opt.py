@@ -144,14 +144,14 @@ def _run_compressed(instance: Instance) -> AssignmentOutcome:
         worker_duration,
         task_duration,
     )
-    supplies = worker_counts.reshape(-1).tolist()
-    demands = task_counts.reshape(-1).tolist()
     try:
         from repro.core.guide import _solve_with_scipy
 
         lane_flow = _solve_with_scipy(worker_counts.reshape(-1), task_counts.reshape(-1), lanes)
         total = sum(lane_flow.values())
     except ImportError:  # pragma: no cover - scipy installed in CI
+        supplies = worker_counts.reshape(-1).tolist()
+        demands = task_counts.reshape(-1).tolist()
         problem = TransportationProblem(supplies, demands)
         for u, v, _distance in lanes:
             problem.add_lane(u, v)

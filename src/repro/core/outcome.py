@@ -17,7 +17,7 @@ from repro.model.matching import Matching
 __all__ = ["Decision", "AssignmentOutcome"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """What the platform did with one arriving object.
 

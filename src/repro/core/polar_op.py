@@ -21,9 +21,9 @@ from typing import Deque, Dict, Optional, Sequence, Tuple
 
 from repro.core.guide import OfflineGuide
 from repro.core.outcome import AssignmentOutcome, Decision
+from repro.core.polar import _typed_events
 from repro.errors import ConfigurationError
-from repro.model.entities import Task, Worker
-from repro.model.events import Arrival
+from repro.model.events import WORKER, Arrival
 from repro.model.instance import Instance
 from repro.model.matching import Matching
 from repro.seeding import derive_random
@@ -31,6 +31,9 @@ from repro.seeding import derive_random
 __all__ = ["run_polar_op"]
 
 _NodeKey = Tuple[int, int]
+
+_WAIT = Decision(Decision.WAIT)
+_IGNORED = Decision(Decision.IGNORED)
 
 
 class _AssociationSide:
@@ -89,80 +92,92 @@ def run_polar_op(
     if node_choice not in ("random", "round_robin"):
         raise ConfigurationError(f"unknown node_choice {node_choice!r}")
     rng = derive_random(seed, "polar-op")
+    randrange = rng.randrange
+    random_choice = node_choice == "random"
     cursor: Dict[Tuple[str, int], int] = {}
-
-    def pick_node(side: str, type_index: int, capacity: int) -> int:
-        if node_choice == "random":
-            return rng.randrange(capacity)
-        key = (side, type_index)
-        offset = cursor.get(key, 0)
-        cursor[key] = (offset + 1) % capacity
-        return offset
 
     worker_parked = _AssociationSide()
     task_parked = _AssociationSide()
     outcome = AssignmentOutcome(algorithm="POLAR-OP", matching=Matching())
     outcome.extras["guide_size"] = float(guide.matched_pairs)
 
-    events = instance.arrival_stream() if stream is None else stream
-    for event in events:
-        if event.is_worker:
-            worker: Worker = event.entity
-            type_index = guide.type_index(
-                guide.timeline.slot_of(worker.start), guide.grid.area_of(worker.location)
-            )
-            capacity = guide.worker_nodes(type_index)
+    worker_capacity = guide.worker_capacity_list()
+    task_capacity = guide.task_capacity_list()
+    worker_partners = guide.worker_partner_table()
+    task_partners = guide.task_partner_table()
+    n_areas = guide.grid.n_areas
+
+    assign = outcome.matching.assign
+    worker_decisions = outcome.worker_decisions
+    task_decisions = outcome.task_decisions
+    pop_waiting_task = task_parked.pop_waiting
+    pop_waiting_worker = worker_parked.pop_waiting
+    park_worker = worker_parked.park
+    park_task = task_parked.park
+
+    for event, type_index in _typed_events(instance, guide, stream):
+        object_id = event.entity.id
+        if event.kind == WORKER:
+            capacity = worker_capacity[type_index]
             if capacity == 0:
                 outcome.ignored_workers += 1
-                outcome.worker_decisions[worker.id] = Decision(Decision.IGNORED)
+                worker_decisions[object_id] = _IGNORED
                 continue
-            offset = pick_node("w", type_index, capacity)
-            partner = guide.worker_partner(type_index, offset)
+            if random_choice:
+                offset = randrange(capacity)
+            else:
+                key = ("w", type_index)
+                offset = cursor.get(key, 0)
+                cursor[key] = (offset + 1) % capacity
+            partners = worker_partners.get(type_index)
+            partner = partners[offset] if partners is not None else None
             if partner is None:
-                outcome.worker_decisions[worker.id] = Decision(Decision.STAY)
+                worker_decisions[object_id] = Decision(Decision.STAY)
                 continue
-            waiting_task = task_parked.pop_waiting(partner)
+            waiting_task = pop_waiting_task(partner)
             if waiting_task is not None:
-                outcome.matching.assign(worker.id, waiting_task)
-                outcome.worker_decisions[worker.id] = Decision(
+                assign(object_id, waiting_task)
+                worker_decisions[object_id] = Decision(
                     Decision.ASSIGNED, partner_id=waiting_task
                 )
-                outcome.task_decisions[waiting_task] = Decision(
-                    Decision.ASSIGNED, partner_id=worker.id
+                task_decisions[waiting_task] = Decision(
+                    Decision.ASSIGNED, partner_id=object_id
                 )
             else:
-                worker_parked.park((type_index, offset), worker.id)
-                outcome.worker_decisions[worker.id] = Decision(
-                    Decision.DISPATCHED, target_area=guide.area_of_type(partner[0])
+                park_worker((type_index, offset), object_id)
+                worker_decisions[object_id] = Decision(
+                    Decision.DISPATCHED, target_area=partner[0] % n_areas
                 )
         else:
-            task: Task = event.entity
-            type_index = guide.type_index(
-                guide.timeline.slot_of(task.start), guide.grid.area_of(task.location)
-            )
-            capacity = guide.task_nodes(type_index)
+            capacity = task_capacity[type_index]
             if capacity == 0:
                 outcome.ignored_tasks += 1
-                outcome.task_decisions[task.id] = Decision(Decision.IGNORED)
+                task_decisions[object_id] = _IGNORED
                 continue
-            offset = pick_node("r", type_index, capacity)
-            partner = guide.task_partner(type_index, offset)
+            if random_choice:
+                offset = randrange(capacity)
+            else:
+                key = ("r", type_index)
+                offset = cursor.get(key, 0)
+                cursor[key] = (offset + 1) % capacity
+            partners = task_partners.get(type_index)
+            partner = partners[offset] if partners is not None else None
             if partner is None:
-                outcome.task_decisions[task.id] = Decision(Decision.WAIT)
+                task_decisions[object_id] = _WAIT
                 continue
-            waiting_worker = worker_parked.pop_waiting(partner)
+            waiting_worker = pop_waiting_worker(partner)
             if waiting_worker is not None:
-                outcome.matching.assign(waiting_worker, task.id)
-                outcome.task_decisions[task.id] = Decision(
+                assign(waiting_worker, object_id)
+                task_decisions[object_id] = Decision(
                     Decision.ASSIGNED, partner_id=waiting_worker
                 )
                 # Preserve the dispatch destination for the movement audit.
-                previous = outcome.worker_decisions.get(waiting_worker)
+                previous = worker_decisions.get(waiting_worker)
                 target = previous.target_area if previous is not None else None
-                outcome.worker_decisions[waiting_worker] = Decision(
-                    Decision.ASSIGNED, target_area=target, partner_id=task.id
+                worker_decisions[waiting_worker] = Decision(
+                    Decision.ASSIGNED, target_area=target, partner_id=object_id
                 )
             else:
-                task_parked.park((type_index, offset), task.id)
-                outcome.task_decisions[task.id] = Decision(Decision.WAIT)
+                park_task((type_index, offset), object_id)
+                task_decisions[object_id] = _WAIT
     return outcome

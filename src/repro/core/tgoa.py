@@ -20,6 +20,17 @@ cannot solve our problem" because FTOA adds worker movement):
   it), and commit **only** the newcomer's edge (the invariable constraint
   forbids revoking earlier choices; uncommitted pairs stay open).
 
+Two candidate-enumeration strategies share these semantics:
+
+* ``indexed=True`` (default) — each side's waiting set is mirrored in a
+  persistent :class:`~repro.core.cellindex.CellIndex`, so phase 1 runs a
+  ring nearest-search and phase 2 enumerates only spatially reachable
+  pairs instead of rebuilding the full ``O(n²)`` adjacency per arrival.
+  Candidate lists are replayed in waiting-set insertion order, so the
+  augmenting-path search visits edges exactly as the dense scan would —
+  matchings are identical (a parity test asserts it).
+* ``indexed=False`` — the literal dense scan, kept as the reference.
+
 Note a structural consequence of irrevocable commitments in the FTOA
 setting: objects wait only when nothing feasible is available, so the
 tentative matching over the waiting sets is usually empty and phase 2
@@ -36,8 +47,9 @@ which is precisely the gap POLAR fills.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.core.cellindex import CellIndex
 from repro.core.outcome import AssignmentOutcome, Decision
 from repro.model.entities import Task, Worker
 from repro.model.events import Arrival
@@ -46,9 +58,14 @@ from repro.model.matching import Matching
 
 __all__ = ["run_tgoa"]
 
+# Below this many waiting candidates a direct dict scan beats the ring
+# machinery; the scan visits the waiting dict in insertion order, which
+# is exactly the dense reference order, so parity is unaffected.
+_DENSE_POOL_CUTOFF = 32
+
 
 def _nearest_feasible(entity, candidates, travel, now, task_side):
-    """Nearest wait-in-place-feasible partner id, or None."""
+    """Nearest wait-in-place-feasible partner id, or None (dense scan)."""
     best_id = None
     best_distance = None
     for other_id, other in candidates.items():
@@ -97,8 +114,16 @@ def _augment_from(newcomer_id, adjacency, matched_partner):
 def run_tgoa(
     instance: Instance,
     stream: Optional[Sequence[Arrival]] = None,
+    indexed: bool = True,
 ) -> AssignmentOutcome:
     """Run the TGOA-style baseline over an instance's arrival stream.
+
+    Args:
+        instance: the problem instance.
+        stream: arrival-order override.
+        indexed: enumerate candidates through persistent per-side cell
+            indexes (identical matching, much faster at scale) instead of
+            dense scans over the waiting sets.
 
     Returns the committed matching; per-object decisions mirror the other
     baselines (``stay`` / ``wait`` for objects that never match).
@@ -110,6 +135,27 @@ def run_tgoa(
 
     waiting_workers: Dict[int, Worker] = {}
     waiting_tasks: Dict[int, Task] = {}
+    worker_index = CellIndex(instance.grid) if indexed else None
+    task_index = CellIndex(instance.grid) if indexed else None
+    # Insertion ranks replay the dense scan's dict order when sorting
+    # ring-query candidates — the augmenting-path search then visits
+    # edges identically, keeping indexed matchings bit-identical.
+    worker_rank: Dict[int, int] = {}
+    task_rank: Dict[int, int] = {}
+    max_task_duration = max((t.duration for t in instance.tasks), default=0.0)
+
+    def park(event: Arrival) -> None:
+        entity = event.entity
+        if event.is_worker:
+            waiting_workers[entity.id] = entity
+            worker_rank[entity.id] = len(worker_rank)
+            if indexed:
+                worker_index.add(entity.id, entity.location)
+        else:
+            waiting_tasks[entity.id] = entity
+            task_rank[entity.id] = len(task_rank)
+            if indexed:
+                task_index.add(entity.id, entity.location)
 
     def commit(worker_id: int, task_id: int) -> None:
         outcome.matching.assign(worker_id, task_id)
@@ -121,80 +167,170 @@ def run_tgoa(
         )
         waiting_workers.pop(worker_id, None)
         waiting_tasks.pop(task_id, None)
+        if indexed:
+            worker_index.remove(worker_id)  # missing ids are ignored
+            task_index.remove(task_id)
 
     def purge(now: float) -> None:
         for worker_id in [w for w, worker in waiting_workers.items() if worker.deadline <= now]:
             del waiting_workers[worker_id]
+            if indexed:
+                worker_index.remove(worker_id)
         for task_id in [t for t, task in waiting_tasks.items() if task.deadline < now]:
             del waiting_tasks[task_id]
+            if indexed:
+                task_index.remove(task_id)
+
+    def nearest_indexed(event: Arrival, now: float) -> Optional[int]:
+        """Phase 1 via the ring search (same tie-breaks as the scan)."""
+        entity = event.entity
+        if event.is_worker:
+            if len(waiting_tasks) <= _DENSE_POOL_CUTOFF:
+                return _nearest_feasible(
+                    entity, waiting_tasks, travel, now, task_side=True
+                )
+
+            def feasible(task_id: int, distance: float) -> bool:
+                deadline = waiting_tasks[task_id].deadline
+                return now + travel.travel_time_for_distance(distance) <= deadline
+
+            return task_index.nearest_feasible(
+                entity.location,
+                feasible,
+                max_distance=travel.reachable_distance(max_task_duration),
+            )
+
+        if len(waiting_workers) <= _DENSE_POOL_CUTOFF:
+            return _nearest_feasible(
+                entity, waiting_workers, travel, now, task_side=False
+            )
+
+        def feasible(worker_id: int, distance: float) -> bool:
+            return now + travel.travel_time_for_distance(distance) <= entity.deadline
+
+        return worker_index.nearest_feasible(
+            entity.location,
+            feasible,
+            max_distance=travel.reachable_distance(entity.deadline - now),
+        )
+
+    def candidate_edges(left, now: float, left_is_worker: bool) -> List[int]:
+        """Feasible right ids for one left object, in insertion order."""
+        if left_is_worker:
+            if len(waiting_tasks) <= _DENSE_POOL_CUTOFF:
+                # Dict scan in insertion order — already the dense order.
+                return [
+                    task_id
+                    for task_id, task in waiting_tasks.items()
+                    if now
+                    + travel.travel_time_for_distance(
+                        left.location.distance_to(task.location)
+                    )
+                    <= task.deadline
+                ]
+            pairs = task_index.within(
+                left.location, travel.reachable_distance(max_task_duration)
+            )
+            rank = task_rank
+            edges = [
+                task_id
+                for task_id, distance in pairs
+                if now + travel.travel_time_for_distance(distance)
+                <= waiting_tasks[task_id].deadline
+            ]
+        else:
+            if len(waiting_workers) <= _DENSE_POOL_CUTOFF:
+                return [
+                    worker_id
+                    for worker_id, worker in waiting_workers.items()
+                    if now
+                    + travel.travel_time_for_distance(
+                        worker.location.distance_to(left.location)
+                    )
+                    <= left.deadline
+                ]
+            pairs = worker_index.within(
+                left.location, travel.reachable_distance(left.deadline - now)
+            )
+            rank = worker_rank
+            edges = [
+                worker_id
+                for worker_id, distance in pairs
+                if now + travel.travel_time_for_distance(distance) <= left.deadline
+            ]
+        edges.sort(key=rank.__getitem__)
+        return edges
 
     def optimal_partner(event: Arrival, now: float) -> Optional[int]:
         """The newcomer's partner in a maximum matching of the waiting
         graph, found by building a tentative Hungarian matching with the
         newcomer inserted last (so it only claims a partner when an
         augmenting path exists)."""
-        if event.is_worker:
-            left_pool = dict(waiting_workers)
-            left_pool[event.entity.id] = event.entity
-            right_pool = waiting_tasks
+        newcomer = event.entity
+        if indexed:
+            left_ids = list(waiting_workers if event.is_worker else waiting_tasks)
+            left_pool = waiting_workers if event.is_worker else waiting_tasks
+            adjacency: Dict[int, List[int]] = {}
+            for left_id in left_ids:
+                adjacency[left_id] = candidate_edges(
+                    left_pool[left_id], now, event.is_worker
+                )
+            adjacency[newcomer.id] = candidate_edges(newcomer, now, event.is_worker)
         else:
-            left_pool = dict(waiting_tasks)
-            left_pool[event.entity.id] = event.entity
-            right_pool = waiting_workers
-
-        adjacency: Dict[int, list] = {}
-        for left_id, left in left_pool.items():
-            edges = []
-            for right_id, right in right_pool.items():
-                worker, task = (left, right) if event.is_worker else (right, left)
-                if task.deadline < now or worker.deadline <= now:
-                    continue
-                distance = worker.location.distance_to(task.location)
-                if now + travel.travel_time_for_distance(distance) <= task.deadline:
-                    edges.append(right_id)
-            adjacency[left_id] = edges
+            if event.is_worker:
+                dense_pool = dict(waiting_workers)
+                dense_pool[newcomer.id] = newcomer
+                right_pool = waiting_tasks
+            else:
+                dense_pool = dict(waiting_tasks)
+                dense_pool[newcomer.id] = newcomer
+                right_pool = waiting_workers
+            left_ids = [i for i in dense_pool if i != newcomer.id]
+            adjacency = {}
+            for left_id, left in dense_pool.items():
+                edges = []
+                for right_id, right in right_pool.items():
+                    worker, task = (
+                        (left, right) if event.is_worker else (right, left)
+                    )
+                    if task.deadline < now or worker.deadline <= now:
+                        continue
+                    distance = worker.location.distance_to(task.location)
+                    if now + travel.travel_time_for_distance(distance) <= task.deadline:
+                        edges.append(right_id)
+                adjacency[left_id] = edges
 
         matched_partner: Dict[int, int] = {}
-        for left_id in left_pool:
-            if left_id != event.entity.id:
-                _augment_from(left_id, adjacency, matched_partner)
-        return _augment_from(event.entity.id, adjacency, matched_partner)
+        for left_id in left_ids:
+            _augment_from(left_id, adjacency, matched_partner)
+        return _augment_from(newcomer.id, adjacency, matched_partner)
 
     for index, event in enumerate(events):
         now = event.time
         purge(now)
         if index < halfway:
             # Phase 1: plain nearest-feasible greedy.
-            if event.is_worker:
+            if indexed:
+                partner = nearest_indexed(event, now)
+            elif event.is_worker:
                 partner = _nearest_feasible(
                     event.entity, waiting_tasks, travel, now, task_side=True
                 )
-                if partner is not None:
-                    commit(event.entity.id, partner)
-                else:
-                    waiting_workers[event.entity.id] = event.entity
             else:
                 partner = _nearest_feasible(
                     event.entity, waiting_workers, travel, now, task_side=False
                 )
-                if partner is not None:
-                    commit(partner, event.entity.id)
-                else:
-                    waiting_tasks[event.entity.id] = event.entity
         else:
             # Phase 2: match the newcomer per a maximum matching of the
             # revealed graph.
             partner = optimal_partner(event, now)
+        if partner is not None:
             if event.is_worker:
-                if partner is not None:
-                    commit(event.entity.id, partner)
-                else:
-                    waiting_workers[event.entity.id] = event.entity
+                commit(event.entity.id, partner)
             else:
-                if partner is not None:
-                    commit(partner, event.entity.id)
-                else:
-                    waiting_tasks[event.entity.id] = event.entity
+                commit(partner, event.entity.id)
+        else:
+            park(event)
 
     for worker_id in waiting_workers:
         outcome.worker_decisions.setdefault(worker_id, Decision(Decision.STAY))

@@ -3,8 +3,11 @@
 The registry maps experiment ids (see DESIGN.md §4) to driver functions;
 the CLI (`python -m repro`) and the benchmark suite both go through it.
 
-* :mod:`repro.experiments.measurement` — wall time + tracemalloc peaks.
+* :mod:`repro.experiments.measurement` — wall/CPU time + tracemalloc
+  peaks.
 * :mod:`repro.experiments.runner` — run all algorithms on one instance.
+* :mod:`repro.experiments.parallel` — the process-parallel sweep engine
+  (``SweepExecutor``; cells regenerate instances locally).
 * :mod:`repro.experiments.figures` — the Figure 4/5/6 sweep drivers.
 * :mod:`repro.experiments.tables` — the Table 5 prediction shoot-out.
 * :mod:`repro.experiments.ablations` — CR validation, prediction-noise
@@ -13,9 +16,14 @@ the CLI (`python -m repro`) and the benchmark suite both go through it.
 """
 
 from repro.experiments.measurement import MeasuredRun, measure
+from repro.experiments.parallel import CellSpec, CityPoint, SweepExecutor, SyntheticPoint
 from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
 from repro.experiments.results import AlgoCell, SweepResult, TableResult
-from repro.experiments.runner import DEFAULT_ALGORITHMS, run_algorithms_on_instance
+from repro.experiments.runner import (
+    DEFAULT_ALGORITHMS,
+    run_algorithm_cell,
+    run_algorithms_on_instance,
+)
 
 __all__ = [
     "measure",
@@ -27,5 +35,10 @@ __all__ = [
     "TableResult",
     "AlgoCell",
     "DEFAULT_ALGORITHMS",
+    "run_algorithm_cell",
     "run_algorithms_on_instance",
+    "SweepExecutor",
+    "SyntheticPoint",
+    "CityPoint",
+    "CellSpec",
 ]

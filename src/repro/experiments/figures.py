@@ -8,27 +8,21 @@ to the paper's matching-size / time / memory panel rows.
 
 ``scale`` multiplies population sizes so the sweeps fit any time budget:
 ``scale=1.0`` is the paper's configuration; benchmarks run tiny scales.
-All deviations (scale, seeds, OPT mode) are recorded in the result's
-``notes``.
+``jobs`` fans the sweep's (point × algorithm) cells out over a process
+pool through :class:`~repro.experiments.parallel.SweepExecutor` —
+matching sizes are bit-identical to the serial default.  All deviations
+(scale, seeds, OPT mode) are recorded in the result's ``notes``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Iterable, Sequence, Tuple
 
 from repro.errors import ExperimentError
+from repro.experiments.parallel import CityPoint, SweepExecutor, SyntheticPoint
 from repro.experiments.results import SweepResult
-from repro.experiments.runner import (
-    DEFAULT_ALGORITHMS,
-    build_guide_for_instance,
-    run_algorithms_on_instance,
-)
-from repro.prediction.hpmsi import HpMsiPredictor
-from repro.streams.oracle import exact_oracle, rounded_counts
-from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
-from repro.streams.taxi import CityConfig, TaxiCity, beijing_config, hangzhou_config
+from repro.experiments.runner import DEFAULT_ALGORITHMS
+from repro.streams.synthetic import SyntheticConfig
 
 __all__ = [
     "run_fig4_workers",
@@ -61,34 +55,18 @@ def _sweep_synthetic(
     measure_memory: bool,
     algorithms: Iterable[str],
     opt_method: str = "auto",
+    jobs: int = 1,
 ) -> SweepResult:
     """Shared machinery: one synthetic config per sweep point."""
-    result = SweepResult(experiment_id=experiment_id, x_label=x_label)
-    result.notes["scale"] = f"{scale:g}"
-    result.notes["algorithms"] = ",".join(algorithms)
-    for x_value, config in points:
-        generator = SyntheticGenerator(config)
-        instance = generator.generate()
-        worker_counts, task_counts = exact_oracle(generator)
-        slot_minutes = generator.timeline.slot_minutes
-        guide, guide_seconds = build_guide_for_instance(
-            instance,
-            worker_counts,
-            task_counts,
-            worker_duration=config.worker_duration_slots * slot_minutes,
-            task_duration=config.task_duration_slots * slot_minutes,
-        )
-        cells = run_algorithms_on_instance(
-            instance,
-            guide,
-            algorithms=algorithms,
-            measure_memory=measure_memory,
-            opt_method=opt_method,
-        )
-        result.add_point(x_value, cells)
-        result.notes[f"guide_seconds@{x_value:g}"] = f"{guide_seconds:.3f}"
-        result.notes[f"guide_size@{x_value:g}"] = str(guide.matched_pairs)
-    return result
+    return SweepExecutor(jobs=jobs).run(
+        experiment_id,
+        x_label,
+        [SyntheticPoint(x_value, config) for x_value, config in points],
+        algorithms,
+        measure_memory=measure_memory,
+        opt_method=opt_method,
+        notes={"scale": f"{scale:g}"},
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -100,6 +78,7 @@ def run_fig4_workers(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 4(a, e, i): vary ``|W|`` in {5k, 10k, 20k, 30k, 40k}."""
     points = [
@@ -113,7 +92,7 @@ def run_fig4_workers(
         for n in (5_000, 10_000, 20_000, 30_000, 40_000)
     ]
     return _sweep_synthetic(
-        "fig4_workers", "|W|", points, scale, measure_memory, algorithms
+        "fig4_workers", "|W|", points, scale, measure_memory, algorithms, jobs=jobs
     )
 
 
@@ -121,6 +100,7 @@ def run_fig4_tasks(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 4(b, f, j): vary ``|R|`` in {5k, 10k, 20k, 30k, 40k}."""
     points = [
@@ -134,7 +114,7 @@ def run_fig4_tasks(
         for n in (5_000, 10_000, 20_000, 30_000, 40_000)
     ]
     return _sweep_synthetic(
-        "fig4_tasks", "|R|", points, scale, measure_memory, algorithms
+        "fig4_tasks", "|R|", points, scale, measure_memory, algorithms, jobs=jobs
     )
 
 
@@ -142,6 +122,7 @@ def run_fig4_deadline(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 4(c, g, k): vary ``Dr`` in {1.0, 1.5, 2.0, 2.5, 3.0} slots."""
     points = [
@@ -156,7 +137,7 @@ def run_fig4_deadline(
         for dr in (1.0, 1.5, 2.0, 2.5, 3.0)
     ]
     return _sweep_synthetic(
-        "fig4_deadline", "Dr", points, scale, measure_memory, algorithms
+        "fig4_deadline", "Dr", points, scale, measure_memory, algorithms, jobs=jobs
     )
 
 
@@ -164,6 +145,7 @@ def run_fig4_grids(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 4(d, h, l): vary the grid side in {20, 30, 50, 100, 200}."""
     points = [
@@ -178,7 +160,7 @@ def run_fig4_grids(
         for side in (20, 30, 50, 100, 200)
     ]
     return _sweep_synthetic(
-        "fig4_grids", "grid side", points, scale, measure_memory, algorithms
+        "fig4_grids", "grid side", points, scale, measure_memory, algorithms, jobs=jobs
     )
 
 
@@ -191,6 +173,7 @@ def run_fig5_slots(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 5(a, e, i): vary the slot count in {12, 24, 48, 96, 144}."""
     points = [
@@ -205,7 +188,7 @@ def run_fig5_slots(
         for t in (12, 24, 48, 96, 144)
     ]
     return _sweep_synthetic(
-        "fig5_slots", "time slots", points, scale, measure_memory, algorithms
+        "fig5_slots", "time slots", points, scale, measure_memory, algorithms, jobs=jobs
     )
 
 
@@ -213,6 +196,7 @@ def run_fig5_scalability(
     scale: float = 0.1,
     measure_memory: bool = True,
     algorithms: Iterable[str] = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT"),
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 5(b, f, j): ``|W| = |R|`` in {200k … 1M} (scaled).
 
@@ -240,6 +224,7 @@ def run_fig5_scalability(
         measure_memory,
         algorithms,
         opt_method="compressed",
+        jobs=jobs,
     )
 
 
@@ -250,62 +235,47 @@ def run_fig5_city(
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
     history_days: int = 28,
     eval_day_offset: int = 1,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 5(c/d, g/h, k/l): vary ``Dr`` on a taxi-city day.
 
     The offline prediction is the full Table 5 winner: HP-MSI trained on
     ``history_days`` of the city's history forecasts the evaluation day,
     and the forecast (not the ground truth) feeds the guide — this is the
-    end-to-end two-step framework.
+    end-to-end two-step framework.  (Each worker process fits the
+    predictor once and shares it across its Dr points.)
 
     Args:
         city: ``"beijing"`` or ``"hangzhou"``.
         scale: volume scale on the city's daily counts.
         history_days: training window for HP-MSI.
         eval_day_offset: evaluation day = history end + offset.
+        jobs: process count for the sweep cells.
     """
-    if city == "beijing":
-        config = beijing_config()
-    elif city == "hangzhou":
-        config = hangzhou_config()
-    else:
+    if city not in ("beijing", "hangzhou"):
         raise ExperimentError(f"unknown city {city!r}")
-    config = config.scaled(scale)
-    taxi = TaxiCity(config)
-
-    task_history, worker_history = taxi.generate_history(history_days)
-    eval_day = history_days - 1 + eval_day_offset
-    context = taxi.day_context(eval_day)
-
-    task_predictor = HpMsiPredictor(seed=1)
-    task_predictor.fit(task_history)
-    predicted_tasks = rounded_counts(task_predictor.predict(context))
-    worker_predictor = HpMsiPredictor(seed=2)
-    worker_predictor.fit(worker_history)
-    predicted_workers = rounded_counts(worker_predictor.predict(context))
-
-    result = SweepResult(experiment_id=f"fig5_{city}", x_label="Dr")
-    result.notes["scale"] = f"{scale:g}"
-    result.notes["predictor"] = "HP-MSI"
-    result.notes["history_days"] = str(history_days)
-    slot_minutes = taxi.timeline.slot_minutes
-    for dr in (0.5, 0.75, 1.0, 1.25, 1.5):
-        instance = taxi.generate_day(eval_day, task_duration_slots=dr)
-        guide, guide_seconds = build_guide_for_instance(
-            instance,
-            predicted_workers,
-            predicted_tasks,
-            worker_duration=config.worker_duration_slots * slot_minutes,
-            task_duration=dr * slot_minutes,
+    points = [
+        CityPoint(
+            x_value=dr,
+            city=city,
+            scale=scale,
+            history_days=history_days,
+            eval_day_offset=eval_day_offset,
         )
-        cells = run_algorithms_on_instance(
-            instance, guide, algorithms=algorithms, measure_memory=measure_memory
-        )
-        result.add_point(dr, cells)
-        result.notes[f"guide_seconds@{dr:g}"] = f"{guide_seconds:.3f}"
-        result.notes[f"guide_size@{dr:g}"] = str(guide.matched_pairs)
-        result.notes[f"objects@{dr:g}"] = str(instance.n_workers + instance.n_tasks)
-    return result
+        for dr in (0.5, 0.75, 1.0, 1.25, 1.5)
+    ]
+    return SweepExecutor(jobs=jobs).run(
+        f"fig5_{city}",
+        "Dr",
+        points,
+        algorithms,
+        measure_memory=measure_memory,
+        notes={
+            "scale": f"{scale:g}",
+            "predictor": "HP-MSI",
+            "history_days": str(history_days),
+        },
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -320,6 +290,7 @@ def _fig6_sweep(
     scale: float,
     measure_memory: bool,
     algorithms: Iterable[str],
+    jobs: int = 1,
 ) -> SweepResult:
     points = [
         (
@@ -333,7 +304,7 @@ def _fig6_sweep(
         for value in (0.25, 0.375, 0.5, 0.625, 0.75)
     ]
     return _sweep_synthetic(
-        experiment_id, x_label, points, scale, measure_memory, algorithms
+        experiment_id, x_label, points, scale, measure_memory, algorithms, jobs=jobs
     )
 
 
@@ -341,10 +312,11 @@ def run_fig6_temporal_mu(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 6(a, e, i): vary the tasks' temporal μ fraction."""
     return _fig6_sweep(
-        "fig6_mu", "mu", "task_temporal_mu", scale, measure_memory, algorithms
+        "fig6_mu", "mu", "task_temporal_mu", scale, measure_memory, algorithms, jobs
     )
 
 
@@ -352,10 +324,17 @@ def run_fig6_temporal_sigma(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 6(b, f, j): vary the tasks' temporal σ fraction."""
     return _fig6_sweep(
-        "fig6_sigma", "sigma", "task_temporal_sigma", scale, measure_memory, algorithms
+        "fig6_sigma",
+        "sigma",
+        "task_temporal_sigma",
+        scale,
+        measure_memory,
+        algorithms,
+        jobs,
     )
 
 
@@ -363,10 +342,11 @@ def run_fig6_spatial_mean(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 6(c, g, k): vary the tasks' spatial mean fraction."""
     return _fig6_sweep(
-        "fig6_mean", "mean", "task_spatial_mean", scale, measure_memory, algorithms
+        "fig6_mean", "mean", "task_spatial_mean", scale, measure_memory, algorithms, jobs
     )
 
 
@@ -374,8 +354,9 @@ def run_fig6_spatial_cov(
     scale: float = 1.0,
     measure_memory: bool = True,
     algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    jobs: int = 1,
 ) -> SweepResult:
     """Figure 6(d, h, l): vary the tasks' spatial covariance fraction."""
     return _fig6_sweep(
-        "fig6_cov", "cov", "task_spatial_cov", scale, measure_memory, algorithms
+        "fig6_cov", "cov", "task_spatial_cov", scale, measure_memory, algorithms, jobs
     )

@@ -1,11 +1,13 @@
-"""Wall-clock and peak-memory measurement of algorithm runs.
+"""Wall-clock, CPU-time and peak-memory measurement of algorithm runs.
 
 The paper reports three panels per experiment: matching size, running
 time and memory.  Time is measured with ``perf_counter`` around the bare
-call.  Memory is the ``tracemalloc`` peak of a *second* run — tracing
-roughly doubles allocation cost, so folding both into one run would
-distort the time panel (the relative shapes are what we reproduce).
-Callers who only need sizes can disable either probe.
+call; ``process_time`` is captured alongside it so parallel sweeps can
+report per-cell CPU cost (wall clock alone under-reports work when many
+worker processes share cores).  Memory is the ``tracemalloc`` peak of a
+*second* run — tracing roughly doubles allocation cost, so folding both
+into one run would distort the time panel (the relative shapes are what
+we reproduce).  Callers who only need sizes can disable either probe.
 """
 
 from __future__ import annotations
@@ -25,12 +27,16 @@ class MeasuredRun:
     Attributes:
         value: the call's return value (from the timing run).
         seconds: wall-clock duration of the untraced run.
+        cpu_seconds: ``process_time`` duration of the same run (user +
+            system CPU of this process; excludes sleeps and other
+            processes' work).
         peak_mb: tracemalloc peak of the traced run, in MiB (None when
             memory measurement was disabled).
     """
 
     value: Any
     seconds: float
+    cpu_seconds: float
     peak_mb: Optional[float]
 
 
@@ -46,9 +52,11 @@ def measure(
             callables return identical values on both passes; the value
             from the *timing* pass is returned.
     """
+    cpu_start = time.process_time()
     start = time.perf_counter()
     value = fn()
     seconds = time.perf_counter() - start
+    cpu_seconds = time.process_time() - cpu_start
 
     peak_mb: Optional[float] = None
     if measure_memory:
@@ -59,4 +67,6 @@ def measure(
             peak_mb = peak / (1024.0 * 1024.0)
         finally:
             tracemalloc.stop()
-    return MeasuredRun(value=value, seconds=seconds, peak_mb=peak_mb)
+    return MeasuredRun(
+        value=value, seconds=seconds, cpu_seconds=cpu_seconds, peak_mb=peak_mb
+    )

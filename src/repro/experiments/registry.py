@@ -31,6 +31,9 @@ class ExperimentSpec:
         description: one line for ``repro list``.
         default_scale: the scale the EXPERIMENTS.md runs used.
         run: the driver.
+        supports_jobs: whether ``run`` accepts ``jobs=`` (the figure
+            sweeps routed through the parallel engine do; tables and
+            ablations run serially).
     """
 
     experiment_id: str
@@ -38,10 +41,15 @@ class ExperimentSpec:
     description: str
     default_scale: float
     run: Callable[..., Result]
+    supports_jobs: bool = False
 
 
-def _spec(experiment_id, paper_ref, description, default_scale, run) -> ExperimentSpec:
-    return ExperimentSpec(experiment_id, paper_ref, description, default_scale, run)
+def _spec(
+    experiment_id, paper_ref, description, default_scale, run, supports_jobs=False
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id, paper_ref, description, default_scale, run, supports_jobs
+    )
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
@@ -53,6 +61,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "synthetic sweep over |W| in {5k..40k}",
             1.0,
             figures.run_fig4_workers,
+            supports_jobs=True,
         ),
         _spec(
             "fig4_tasks",
@@ -60,6 +69,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "synthetic sweep over |R| in {5k..40k}",
             1.0,
             figures.run_fig4_tasks,
+            supports_jobs=True,
         ),
         _spec(
             "fig4_deadline",
@@ -67,6 +77,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "synthetic sweep over Dr in {1.0..3.0} slots",
             1.0,
             figures.run_fig4_deadline,
+            supports_jobs=True,
         ),
         _spec(
             "fig4_grids",
@@ -74,6 +85,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "synthetic sweep over grid side in {20..200}",
             1.0,
             figures.run_fig4_grids,
+            supports_jobs=True,
         ),
         _spec(
             "fig5_slots",
@@ -81,6 +93,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "synthetic sweep over slot count in {12..144}",
             1.0,
             figures.run_fig5_slots,
+            supports_jobs=True,
         ),
         _spec(
             "fig5_scalability",
@@ -88,24 +101,27 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "scalability sweep |W|=|R| in {200k..1M} (scaled)",
             0.1,
             figures.run_fig5_scalability,
+            supports_jobs=True,
         ),
         _spec(
             "fig5_beijing",
             "Figure 5(c,g,k)",
             "Beijing stand-in: Dr sweep with HP-MSI-fed guide",
             0.2,
-            lambda scale=0.2, measure_memory=True: figures.run_fig5_city(
-                "beijing", scale=scale, measure_memory=measure_memory
+            lambda scale=0.2, measure_memory=True, jobs=1: figures.run_fig5_city(
+                "beijing", scale=scale, measure_memory=measure_memory, jobs=jobs
             ),
+            supports_jobs=True,
         ),
         _spec(
             "fig5_hangzhou",
             "Figure 5(d,h,l)",
             "Hangzhou stand-in: Dr sweep with HP-MSI-fed guide",
             0.2,
-            lambda scale=0.2, measure_memory=True: figures.run_fig5_city(
-                "hangzhou", scale=scale, measure_memory=measure_memory
+            lambda scale=0.2, measure_memory=True, jobs=1: figures.run_fig5_city(
+                "hangzhou", scale=scale, measure_memory=measure_memory, jobs=jobs
             ),
+            supports_jobs=True,
         ),
         _spec(
             "fig6_mu",
@@ -113,6 +129,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "task temporal mu sweep",
             1.0,
             figures.run_fig6_temporal_mu,
+            supports_jobs=True,
         ),
         _spec(
             "fig6_sigma",
@@ -120,6 +137,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "task temporal sigma sweep",
             1.0,
             figures.run_fig6_temporal_sigma,
+            supports_jobs=True,
         ),
         _spec(
             "fig6_mean",
@@ -127,6 +145,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "task spatial mean sweep",
             1.0,
             figures.run_fig6_spatial_mean,
+            supports_jobs=True,
         ),
         _spec(
             "fig6_cov",
@@ -134,6 +153,7 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "task spatial covariance sweep",
             1.0,
             figures.run_fig6_spatial_cov,
+            supports_jobs=True,
         ),
         _spec(
             "table5_prediction",

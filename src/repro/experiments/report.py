@@ -47,12 +47,13 @@ def render_sweep(result: SweepResult) -> str:
     metric_titles = (
         ("size", "Matching size"),
         ("seconds", "Time (secs)"),
+        ("cpu_seconds", "CPU (secs)"),
         ("peak_mb", "Memory (MB)"),
     )
     algorithms = list(result.cells)
     for metric, title in metric_titles:
         series = {alg: result.series(alg, metric) for alg in algorithms}
-        if metric == "peak_mb" and all(
+        if metric in ("peak_mb", "cpu_seconds") and all(
             all(v is None for v in values) for values in series.values()
         ):
             continue

@@ -28,11 +28,14 @@ class AlgoCell:
         seconds: running time (the paper's time panel).
         peak_mb: peak traced memory (the paper's memory panel), if
             measured.
+        cpu_seconds: ``process_time`` of the run, if measured — lets
+            parallel sweeps report per-cell CPU cost next to wall clock.
     """
 
     size: int
     seconds: float
     peak_mb: Optional[float] = None
+    cpu_seconds: Optional[float] = None
 
 
 @dataclass
@@ -70,14 +73,15 @@ class SweepResult:
             self.cells.setdefault(algorithm, []).append(cell)
 
     def series(self, algorithm: str, metric: str) -> List[Optional[float]]:
-        """One curve: ``metric`` in {"size", "seconds", "peak_mb"}.
+        """One curve: ``metric`` in {"size", "seconds", "peak_mb",
+        "cpu_seconds"}.
 
         Raises:
             ExperimentError: for unknown algorithm or metric names.
         """
         if algorithm not in self.cells:
             raise ExperimentError(f"unknown algorithm {algorithm!r} in sweep")
-        if metric not in ("size", "seconds", "peak_mb"):
+        if metric not in ("size", "seconds", "peak_mb", "cpu_seconds"):
             raise ExperimentError(f"unknown metric {metric!r}")
         return [getattr(cell, metric) for cell in self.cells[algorithm]]
 

@@ -24,7 +24,12 @@ from repro.experiments.measurement import measure
 from repro.experiments.results import AlgoCell
 from repro.model.instance import Instance
 
-__all__ = ["DEFAULT_ALGORITHMS", "run_algorithms_on_instance", "build_guide_for_instance"]
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "run_algorithm_cell",
+    "run_algorithms_on_instance",
+    "build_guide_for_instance",
+]
 
 DEFAULT_ALGORITHMS = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
 
@@ -61,6 +66,58 @@ def build_guide_for_instance(
     return run.value, run.seconds
 
 
+def run_algorithm_cell(
+    instance: Instance,
+    guide: Optional[OfflineGuide],
+    algorithm: str,
+    measure_memory: bool = True,
+    opt_method: str = "auto",
+    seed: int = 0,
+) -> AlgoCell:
+    """One measured (instance × algorithm) cell.
+
+    This is the unit of work the parallel sweep engine fans out: the
+    algorithm's matching depends only on ``(instance, guide, algorithm,
+    seed)``, so running a cell in a worker process yields bit-identical
+    sizes to running it serially.
+
+    Args:
+        instance: the problem instance.
+        guide: the offline guide (required iff ``algorithm`` is POLAR or
+            POLAR-OP).
+        algorithm: one of :data:`DEFAULT_ALGORITHMS`.
+        measure_memory: also run the algorithm under tracemalloc.
+        opt_method: forwarded to OPT.
+        seed: node-choice seed for POLAR / POLAR-OP.
+
+    Raises:
+        ExperimentError: for an unknown algorithm name or a missing guide.
+    """
+    if algorithm in ("POLAR", "POLAR-OP") and guide is None:
+        raise ExperimentError(f"{algorithm} requires an offline guide")
+    if algorithm == "SimpleGreedy":
+        total_objects = instance.n_workers + instance.n_tasks
+        greedy_indexed = total_objects > _GREEDY_INDEX_THRESHOLD
+        fn = lambda: run_simple_greedy(instance, indexed=greedy_indexed)
+    elif algorithm == "GR":
+        fn = lambda: run_batch(instance)
+    elif algorithm == "POLAR":
+        fn = lambda: run_polar(instance, guide, seed=seed)
+    elif algorithm == "POLAR-OP":
+        fn = lambda: run_polar_op(instance, guide, seed=seed)
+    elif algorithm == "OPT":
+        fn = lambda: run_opt(instance, method=opt_method)
+    else:
+        raise ExperimentError(f"unknown algorithm {algorithm!r}")
+    run = measure(fn, measure_memory=measure_memory)
+    return AlgoCell(
+        size=run.value.size,
+        seconds=run.seconds,
+        peak_mb=run.peak_mb,
+        cpu_seconds=run.cpu_seconds,
+    )
+
+
 def run_algorithms_on_instance(
     instance: Instance,
     guide: Optional[OfflineGuide],
@@ -83,27 +140,14 @@ def run_algorithms_on_instance(
     Raises:
         ExperimentError: for unknown algorithm names or a missing guide.
     """
-    total_objects = instance.n_workers + instance.n_tasks
-    greedy_indexed = total_objects > _GREEDY_INDEX_THRESHOLD
-
-    cells: Dict[str, AlgoCell] = {}
-    for name in algorithms:
-        if name in ("POLAR", "POLAR-OP") and guide is None:
-            raise ExperimentError(f"{name} requires an offline guide")
-        if name == "SimpleGreedy":
-            fn = lambda: run_simple_greedy(instance, indexed=greedy_indexed)
-        elif name == "GR":
-            fn = lambda: run_batch(instance)
-        elif name == "POLAR":
-            fn = lambda: run_polar(instance, guide, seed=seed)
-        elif name == "POLAR-OP":
-            fn = lambda: run_polar_op(instance, guide, seed=seed)
-        elif name == "OPT":
-            fn = lambda: run_opt(instance, method=opt_method)
-        else:
-            raise ExperimentError(f"unknown algorithm {name!r}")
-        run = measure(fn, measure_memory=measure_memory)
-        cells[name] = AlgoCell(
-            size=run.value.size, seconds=run.seconds, peak_mb=run.peak_mb
+    return {
+        name: run_algorithm_cell(
+            instance,
+            guide,
+            name,
+            measure_memory=measure_memory,
+            opt_method=opt_method,
+            seed=seed,
         )
-    return cells
+        for name in algorithms
+    }

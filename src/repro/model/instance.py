@@ -10,11 +10,11 @@ step estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidEntityError
+from repro.errors import GridError, InvalidEntityError, TimelineError
 from repro.model.entities import Task, Worker
 from repro.model.events import Arrival, build_stream
 from repro.spatial.grid import Grid
@@ -45,6 +45,12 @@ class Instance:
     name: str = "instance"
     _worker_by_id: Dict[int, Worker] = field(init=False, repr=False)
     _task_by_id: Dict[int, Task] = field(init=False, repr=False)
+    _stream: Optional[List[Arrival]] = field(
+        init=False, repr=False, default=None, compare=False
+    )
+    _typed_stream: Optional[Tuple[List[Arrival], List[int]]] = field(
+        init=False, repr=False, default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         self._worker_by_id = {w.id: w for w in self.workers}
@@ -142,8 +148,67 @@ class Instance:
     # ------------------------------------------------------------------ #
 
     def arrival_stream(self) -> List[Arrival]:
-        """The canonical time-ordered arrival stream of this instance."""
-        return build_stream(self.workers, self.tasks)
+        """The canonical time-ordered arrival stream of this instance.
+
+        The stream is built (sorted) once and cached — every algorithm
+        run on the same instance shares it.  Callers must not mutate the
+        returned list; order-perturbing experiments go through
+        :func:`repro.model.events.resample_order`, which copies.
+        """
+        if self._stream is None:
+            self._stream = build_stream(self.workers, self.tasks)
+        return self._stream
+
+    def typed_arrivals(self) -> Tuple[List[Arrival], List[int]]:
+        """The canonical stream plus each event's flat (slot, area) type.
+
+        Types are computed for the whole stream in one vectorized numpy
+        pass (``type = slot * n_areas + area``, the same flattening as
+        :meth:`repro.core.guide.OfflineGuide.type_index`) and cached, so
+        the per-arrival ``slot_of``/``area_of`` Python calls disappear
+        from the POLAR/POLAR-OP event loops.  Both returned sequences are
+        shared caches — callers must not mutate them.
+        """
+        if self._typed_stream is None:
+            events = self.arrival_stream()
+            n = len(events)
+            starts = np.empty(n, dtype=np.float64)
+            xs = np.empty(n, dtype=np.float64)
+            ys = np.empty(n, dtype=np.float64)
+            for k, event in enumerate(events):
+                entity = event.entity
+                starts[k] = entity.start
+                location = entity.location
+                xs[k] = location.x
+                ys[k] = location.y
+            timeline = self.timeline
+            grid = self.grid
+            # Mirror the scalar paths' refusal to mis-bin out-of-range
+            # data (entities are validated at construction, but the
+            # lists are mutable) before the branch-free clamp below.
+            if n:
+                if starts.min() < timeline.t0 or starts.max() > timeline.horizon_end:
+                    raise TimelineError("arrival outside the instance timeline")
+                bounds = grid.bounds
+                if (
+                    xs.min() < bounds.x_min
+                    or xs.max() > bounds.x_max
+                    or ys.min() < bounds.y_min
+                    or ys.max() > bounds.y_max
+                ):
+                    raise GridError("arrival located outside the instance grid")
+            # Same arithmetic as Timeline.slot_of / Grid.cell_of, applied
+            # to arrays: truncation == floor for the non-negative offsets
+            # below, and the far-edge clamp mirrors the scalar branches.
+            slots = ((starts - timeline.t0) / timeline.slot_minutes).astype(np.int64)
+            np.minimum(slots, timeline.n_slots - 1, out=slots)
+            cols = ((xs - grid.bounds.x_min) / grid.cell_width).astype(np.int64)
+            np.minimum(cols, grid.nx - 1, out=cols)
+            rows = ((ys - grid.bounds.y_min) / grid.cell_height).astype(np.int64)
+            np.minimum(rows, grid.ny - 1, out=rows)
+            types = slots * grid.n_areas + rows * grid.nx + cols
+            self._typed_stream = (events, types.tolist())
+        return self._typed_stream
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

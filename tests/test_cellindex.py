@@ -2,6 +2,7 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -92,3 +93,105 @@ class TestQueriesAgainstBruteForce:
         origin = Point(0.0, 1.0)
         found = index.nearest_feasible(origin, lambda i, _d: i != 1, 10.0)
         assert found == 2
+
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_inserts_and_removes_match_brute_force(self, seed):
+        """Interleaved add/remove churn (the online algorithms' usage
+        pattern) keeps both queries exact, including the occupied-bbox
+        early-termination bookkeeping that removals can invalidate."""
+        rng = random.Random(seed)
+        grid = Grid.square(12)
+        index = CellIndex(grid)
+        live = {}
+        next_id = 0
+        for _step in range(rng.randint(1, 60)):
+            if live and rng.random() < 0.4:
+                victim = rng.choice(sorted(live))
+                index.remove(victim)
+                del live[victim]
+            else:
+                p = Point(rng.uniform(0, 12), rng.uniform(0, 12))
+                index.add(next_id, p)
+                live[next_id] = p
+                next_id += 1
+        assert len(index) == len(live)
+        origin = Point(rng.uniform(0, 12), rng.uniform(0, 12))
+        radius = rng.uniform(0, 14)
+        found = dict(index.within(origin, radius))
+        expected = {
+            ident: origin.distance_to(p)
+            for ident, p in live.items()
+            if origin.distance_to(p) <= radius
+        }
+        assert set(found) == set(expected)
+        nearest = index.nearest_feasible(origin, lambda _i, _d: True, radius)
+        if expected:
+            best = min(expected.values())
+            assert nearest is not None
+            assert origin.distance_to(live[nearest]) <= best + 1e-9
+        else:
+            assert nearest is None
+
+
+class TestSparseEarlyTermination:
+    """The occupied-bbox cutoff must not change results on sparse grids."""
+
+    def test_sparse_large_grid_queries_are_exact(self):
+        rng = random.Random(3)
+        grid = Grid.square(200)
+        index = CellIndex(grid)
+        live = {}
+        # A handful of objects clustered in one corner of a huge grid —
+        # the worst case for the old O(max(nx, ny)) ring walk.
+        for ident in range(8):
+            p = Point(rng.uniform(0, 10), rng.uniform(0, 10))
+            index.add(ident, p)
+            live[ident] = p
+        origin = Point(190.0, 190.0)
+        found = dict(index.within(origin, 300.0))
+        assert set(found) == set(live)
+        nearest = index.nearest_feasible(origin, lambda _i, _d: True, 300.0)
+        best = min(live, key=lambda i: (origin.distance_to(live[i]), i))
+        assert nearest == best
+
+    def test_queries_on_empty_index(self):
+        index = CellIndex(Grid.square(50))
+        assert index.within(Point(25.0, 25.0), 100.0) == []
+        assert index.nearest_feasible(Point(25.0, 25.0), lambda _i, _d: True, 100.0) is None
+
+    def test_bbox_recomputed_after_boundary_removal(self):
+        grid = Grid.square(100)
+        index = CellIndex(grid)
+        index.add(1, Point(0.5, 0.5))
+        index.add(2, Point(99.5, 99.5))  # stretches the bbox corner-to-corner
+        index.remove(2)  # boundary cell empties -> bbox must shrink back
+        assert dict(index.within(Point(50.0, 50.0), 1000.0)).keys() == {1}
+        assert index.nearest_feasible(Point(99.0, 99.0), lambda _i, _d: True, 1000.0) == 1
+        index.add(3, Point(99.5, 0.5))
+        found = dict(index.within(Point(50.0, 50.0), 1000.0))
+        assert set(found) == {1, 3}
+
+    def test_batched_ring_path_matches_brute_force(self):
+        """More than _BATCH_MIN candidates in one ring takes the numpy
+        path; results must equal the scalar brute force."""
+        rng = random.Random(7)
+        grid = Grid.square(4)
+        index = CellIndex(grid)
+        live = {}
+        for ident in range(60):  # all in one cell -> one big ring
+            p = Point(rng.uniform(1.0, 1.9), rng.uniform(1.0, 1.9))
+            index.add(ident, p)
+            live[ident] = p
+        origin = Point(1.5, 1.5)
+        radius = 0.4
+        found = dict(index.within(origin, radius))
+        expected = {
+            ident: origin.distance_to(p)
+            for ident, p in live.items()
+            if origin.distance_to(p) <= radius
+        }
+        assert found == pytest.approx(expected)
+        nearest = index.nearest_feasible(origin, lambda _i, _d: True, 2.0)
+        best = min(live, key=lambda i: (origin.distance_to(live[i]), i))
+        assert nearest == best

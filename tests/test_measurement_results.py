@@ -19,6 +19,12 @@ class TestMeasure:
         assert run.peak_mb is not None
         assert run.peak_mb > 0.1
 
+    def test_cpu_time_recorded(self):
+        run = measure(lambda: sum(range(200_000)), measure_memory=False)
+        assert run.cpu_seconds >= 0
+        # A pure-compute call's CPU time tracks its wall time loosely.
+        assert run.cpu_seconds <= run.seconds * 10 + 0.1
+
 
 class TestSweepResult:
     def _sweep(self):
@@ -58,6 +64,19 @@ class TestSweepResult:
         table = TableResult(experiment_id="t")
         with pytest.raises(ExperimentError):
             SweepResult.from_json(table.to_json())
+
+    def test_cpu_seconds_roundtrip_and_legacy_payloads(self):
+        sweep = SweepResult(experiment_id="cpu", x_label="x")
+        sweep.add_point(1.0, {"A": AlgoCell(10, 0.5, None, cpu_seconds=0.4)})
+        restored = SweepResult.from_json(sweep.to_json())
+        assert restored.series("A", "cpu_seconds") == [0.4]
+        # Archives written before cpu_seconds existed still load.
+        import json
+
+        payload = json.loads(sweep.to_json())
+        del payload["cells"]["A"][0]["cpu_seconds"]
+        legacy = SweepResult.from_json(json.dumps(payload))
+        assert legacy.series("A", "cpu_seconds") == [None]
 
 
 class TestTableResult:

@@ -1,0 +1,241 @@
+"""Tests for the parallel sweep engine (parity, determinism, specs)."""
+
+import pickle
+
+import pytest
+
+from repro.core.polar import run_polar
+from repro.core.polar_op import run_polar_op
+from repro.errors import ExperimentError
+from repro.experiments.figures import run_fig4_workers, run_fig5_city
+from repro.experiments.parallel import (
+    CellSpec,
+    CityPoint,
+    SweepExecutor,
+    SyntheticPoint,
+    _execute_cell,
+)
+from repro.streams.synthetic import SyntheticConfig
+
+TINY = 0.01
+ALGOS = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
+
+
+class TestExecutor:
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ExperimentError):
+            SweepExecutor(jobs=0)
+
+    def test_cell_specs_are_picklable(self):
+        spec = CellSpec(
+            experiment_id="fig4_workers",
+            point=SyntheticPoint(5000.0, SyntheticConfig(n_workers=50, n_tasks=50)),
+            algorithm="POLAR",
+            measure_memory=False,
+            opt_method="auto",
+            seed=0,
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        city = CellSpec(
+            experiment_id="fig5_beijing",
+            point=CityPoint(1.0, "beijing", 0.01, 10, 1),
+            algorithm="OPT",
+            measure_memory=True,
+            opt_method="compressed",
+            seed=3,
+        )
+        assert pickle.loads(pickle.dumps(city)) == city
+
+    def test_execute_cell_matches_direct_run(self, small_generator):
+        """A cell regenerated from its spec reproduces the direct run."""
+        from repro.core.guide import build_guide
+        from repro.streams.oracle import exact_oracle
+
+        config = small_generator.config
+        spec = CellSpec(
+            experiment_id="unit",
+            point=SyntheticPoint(1.0, config),
+            algorithm="POLAR",
+            measure_memory=False,
+            opt_method="auto",
+            seed=0,
+        )
+        output = _execute_cell(spec)
+
+        instance = small_generator.generate()
+        worker_counts, task_counts = exact_oracle(small_generator)
+        slot_minutes = small_generator.timeline.slot_minutes
+        guide = build_guide(
+            worker_counts,
+            task_counts,
+            small_generator.grid,
+            small_generator.timeline,
+            small_generator.travel,
+            config.worker_duration_slots * slot_minutes,
+            config.task_duration_slots * slot_minutes,
+        )
+        direct = run_polar(instance, guide, seed=0)
+        assert output.cell.size == direct.size
+        assert output.point_notes["guide_size@1"] == str(guide.matched_pairs)
+
+
+class TestParallelParity:
+    def test_fig4_sweep_parallel_matches_serial(self):
+        """--jobs 4 and --jobs 1 produce bit-identical matching sizes."""
+        serial = run_fig4_workers(
+            scale=TINY, measure_memory=False, algorithms=ALGOS, jobs=1
+        )
+        parallel = run_fig4_workers(
+            scale=TINY, measure_memory=False, algorithms=ALGOS, jobs=4
+        )
+        assert serial.x_values == parallel.x_values
+        for algorithm in ALGOS:
+            assert serial.series(algorithm, "size") == parallel.series(
+                algorithm, "size"
+            ), f"{algorithm} diverged between serial and parallel runs"
+        # Sizes in provenance notes (guide sizes) must agree too.
+        for key, value in serial.notes.items():
+            if key.startswith("guide_size@"):
+                assert parallel.notes[key] == value
+
+    def test_city_sweep_parallel_matches_serial(self):
+        serial = run_fig5_city(
+            "hangzhou",
+            scale=0.01,
+            measure_memory=False,
+            algorithms=("POLAR", "POLAR-OP"),
+            history_days=10,
+            jobs=1,
+        )
+        parallel = run_fig5_city(
+            "hangzhou",
+            scale=0.01,
+            measure_memory=False,
+            algorithms=("POLAR", "POLAR-OP"),
+            history_days=10,
+            jobs=2,
+        )
+        for algorithm in ("POLAR", "POLAR-OP"):
+            assert serial.series(algorithm, "size") == parallel.series(
+                algorithm, "size"
+            )
+
+    def test_serial_reruns_are_deterministic(self):
+        first = run_fig4_workers(
+            scale=TINY, measure_memory=False, algorithms=("POLAR",), jobs=1
+        )
+        second = run_fig4_workers(
+            scale=TINY, measure_memory=False, algorithms=("POLAR",), jobs=1
+        )
+        assert first.series("POLAR", "size") == second.series("POLAR", "size")
+
+    def test_cpu_seconds_recorded(self):
+        result = run_fig4_workers(
+            scale=TINY, measure_memory=False, algorithms=("POLAR",), jobs=1
+        )
+        cpu = result.series("POLAR", "cpu_seconds")
+        assert all(value is not None and value >= 0 for value in cpu)
+
+
+class TestTypedArrivals:
+    def test_matches_per_event_typing(self, small_instance):
+        events, types = small_instance.typed_arrivals()
+        n_areas = small_instance.grid.n_areas
+        assert len(events) == len(types)
+        for event, type_index in zip(events, types):
+            slot = small_instance.timeline.slot_of(event.entity.start)
+            area = small_instance.grid.area_of(event.entity.location)
+            assert type_index == slot * n_areas + area
+
+    def test_cached(self, small_instance):
+        assert small_instance.typed_arrivals() is small_instance.typed_arrivals()
+        assert small_instance.arrival_stream() is small_instance.arrival_stream()
+
+    def test_polar_fast_path_matches_explicit_stream(
+        self, small_instance, small_guide
+    ):
+        """The cached-typing fast path and the per-event fallback agree."""
+        fast = run_polar(small_instance, small_guide, seed=5)
+        slow = run_polar(
+            small_instance,
+            small_guide,
+            stream=list(small_instance.arrival_stream()),
+            seed=5,
+        )
+        assert fast.matching.pairs() == slow.matching.pairs()
+
+    def test_polar_op_fast_path_matches_explicit_stream(
+        self, small_instance, small_guide
+    ):
+        fast = run_polar_op(small_instance, small_guide, seed=5)
+        slow = run_polar_op(
+            small_instance,
+            small_guide,
+            stream=list(small_instance.arrival_stream()),
+            seed=5,
+        )
+        assert fast.matching.pairs() == slow.matching.pairs()
+
+
+class TestCliJobs:
+    def test_parser_accepts_jobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "fig4_workers", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_jobs_default_serial(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "fig4_workers"])
+        assert args.jobs == 1
+
+    def test_registry_declares_jobs_support(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        sweeps = {
+            experiment_id
+            for experiment_id, spec in EXPERIMENTS.items()
+            if spec.supports_jobs
+        }
+        assert sweeps == {
+            "fig4_workers", "fig4_tasks", "fig4_deadline", "fig4_grids",
+            "fig5_slots", "fig5_scalability", "fig5_beijing", "fig5_hangzhou",
+            "fig6_mu", "fig6_sigma", "fig6_mean", "fig6_cov",
+        }
+
+
+class TestTypedArrivalsValidation:
+    def test_mutated_out_of_bounds_entity_still_raises(self):
+        """The vectorized pass keeps the scalar paths' refusal to
+        mis-bin data appended after construction-time validation."""
+        from repro.errors import GridError, TimelineError
+        from repro.model.entities import Worker
+        from repro.model.instance import Instance
+        from repro.spatial.geometry import Point
+        from repro.spatial.grid import Grid
+        from repro.spatial.timeslots import Timeline
+        from repro.spatial.travel import TravelModel
+
+        def fresh():
+            return Instance(
+                workers=[Worker(id=0, location=Point(1.0, 1.0), start=5.0, duration=10.0)],
+                tasks=[],
+                grid=Grid.square(4),
+                timeline=Timeline(4, 30.0),
+                travel=TravelModel(1.0),
+            )
+
+        outside_grid = fresh()
+        outside_grid.workers.append(
+            Worker(id=1, location=Point(9.0, 1.0), start=5.0, duration=10.0)
+        )
+        with pytest.raises(GridError):
+            outside_grid.typed_arrivals()
+
+        outside_timeline = fresh()
+        outside_timeline.workers.append(
+            Worker(id=1, location=Point(1.0, 1.0), start=500.0, duration=10.0)
+        )
+        with pytest.raises(TimelineError):
+            outside_timeline.typed_arrivals()

@@ -63,3 +63,39 @@ class TestPhase2Optimality:
         instance, _a, _b, _module = example1
         outcome = run_tgoa(instance)
         assert 2 <= outcome.size <= 6
+
+
+class TestIndexedParity:
+    """The persistent-CellIndex candidate enumeration must reproduce the
+    dense scan exactly — same committed pairs, not just the same size."""
+
+    def test_small_instance_pairs_identical(self, small_instance):
+        indexed = run_tgoa(small_instance, indexed=True)
+        dense = run_tgoa(small_instance, indexed=False)
+        assert indexed.matching.pairs() == dense.matching.pairs()
+
+    def test_random_instances_pairs_identical(self):
+        from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+        for seed in (1, 2, 3):
+            config = SyntheticConfig(
+                n_workers=150,
+                n_tasks=150,
+                grid_side=8,
+                n_slots=6,
+                task_duration_slots=1.5,
+                worker_duration_slots=2.5,
+                seed=seed,
+            )
+            instance = SyntheticGenerator(config).generate()
+            indexed = run_tgoa(instance, indexed=True)
+            dense = run_tgoa(instance, indexed=False)
+            assert indexed.matching.pairs() == dense.matching.pairs(), (
+                f"TGOA indexed/dense divergence at seed {seed}"
+            )
+
+    def test_example1_pairs_identical(self, example1):
+        instance, _a, _b, _module = example1
+        indexed = run_tgoa(instance, indexed=True)
+        dense = run_tgoa(instance, indexed=False)
+        assert indexed.matching.pairs() == dense.matching.pairs()
