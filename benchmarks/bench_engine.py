@@ -1,5 +1,5 @@
-"""Engine microbenchmarks: the POLAR event loop, CellIndex queries, and
-serial-vs-parallel sweep execution.
+"""Engine microbenchmarks: the POLAR event loop, CellIndex queries, the
+session layer, and serial-vs-parallel sweep execution.
 
 These benchmark the *harness* rather than a paper figure: the vectorized
 typing pass + tight event loop against the per-event legacy path, the
@@ -113,6 +113,38 @@ def test_tgoa_indexed_vs_dense(benchmark):
     )
     dense = run_tgoa(instance, indexed=False)
     assert indexed.matching.pairs() == dense.matching.pairs()
+
+
+def test_session_bulk_fast_path(benchmark, bench_scale):
+    """MatchingSession over an InstanceSource — the routed harness path.
+    Must track the bare adapter (same hot loop, one extra call)."""
+    from repro.core.engine import PolarMatcher
+    from repro.serving.session import InstanceSource, MatchingSession
+
+    n = max(2_000, int(50_000 * bench_scale))
+    instance, guide = _polar_setup(n)
+    instance.typed_arrivals()  # warm the shared cache once
+    session = MatchingSession(PolarMatcher(guide), InstanceSource(instance))
+    outcome = benchmark.pedantic(session.run, rounds=3, iterations=1)
+    reference = run_polar(instance, guide)
+    assert outcome.matching.pairs() == reference.matching.pairs()
+
+
+def test_session_stepwise_serving(benchmark, bench_scale):
+    """Per-arrival observe() — what a live serving loop pays per event.
+    Parity with the bulk path is asserted; compare the time against
+    ``test_session_bulk_fast_path`` for the stepwise overhead."""
+    from repro.core.engine import PolarMatcher
+    from repro.serving.session import IteratorSource, MatchingSession
+
+    n = max(2_000, int(20_000 * bench_scale))
+    instance, guide = _polar_setup(n)
+    session = MatchingSession(
+        PolarMatcher(guide), IteratorSource(instance.arrival_stream())
+    )
+    outcome = benchmark.pedantic(session.run, rounds=3, iterations=1)
+    reference = run_polar(instance, guide)
+    assert outcome.matching.pairs() == reference.matching.pairs()
 
 
 def test_sweep_serial_vs_parallel(benchmark, bench_scale):

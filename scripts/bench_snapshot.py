@@ -15,7 +15,10 @@ shrinks everything ~10× for smoke runs):
   cutoff against a reimplementation of the old full-grid ring walk;
 * TGOA — persistent-index candidate enumeration against the dense scan;
 * a fig4 sweep through ``SweepExecutor`` — ``--jobs N`` against serial,
-  with bit-identical matching sizes asserted.
+  with bit-identical matching sizes asserted;
+* the session layer — the bulk ``MatchingSession`` fast path and the
+  stepwise per-arrival ``observe()`` serving mode against the bare
+  ``run_polar`` adapter, with parity.
 
 Wall-clock parallel gains require real cores; the snapshot records the
 host's ``cpu_count`` so numbers are interpretable (on a single-core
@@ -56,7 +59,9 @@ def _best_of(fn, rounds=3):
     return best, value
 
 
-def _bench_polar_loop(n_per_side: int):
+def _polar_setup(n_per_side: int):
+    """One synthetic instance + oracle-fed guide (shared by the POLAR
+    and session probes, so both measure the identical setup)."""
     config = SyntheticConfig(n_workers=n_per_side, n_tasks=n_per_side)
     generator = SyntheticGenerator(config)
     instance = generator.generate()
@@ -71,6 +76,11 @@ def _bench_polar_loop(n_per_side: int):
         config.worker_duration_slots * slot_minutes,
         config.task_duration_slots * slot_minutes,
     )
+    return instance, guide
+
+
+def _bench_polar_loop(n_per_side: int):
+    instance, guide = _polar_setup(n_per_side)
     # Legacy cost model (the seed implementation): every invocation
     # rebuilt + sorted the stream and typed each event through
     # slot_of/area_of.  Passing a freshly built stream forces that path.
@@ -177,6 +187,42 @@ def _bench_tgoa(n_per_side: int):
     }
 
 
+def _bench_session(n_per_side: int):
+    """Session-layer overhead on the POLAR event loop.
+
+    Three drivers over the same instance+guide: the bare adapter
+    (``run_polar``), the session's bulk fast path (what the experiment
+    harness pays after routing cells through sessions), and the stepwise
+    per-arrival ``observe()`` path (what live serving pays).
+    """
+    from repro.core.engine import PolarMatcher
+    from repro.serving.session import InstanceSource, IteratorSource, MatchingSession
+
+    instance, guide = _polar_setup(n_per_side)
+    instance.typed_arrivals()  # warm the shared cache once
+
+    adapter_seconds, adapter = _best_of(lambda: run_polar(instance, guide))
+    bulk_session = MatchingSession(PolarMatcher(guide), InstanceSource(instance))
+    bulk_seconds, bulk = _best_of(bulk_session.run)
+    stepwise_session = MatchingSession(
+        PolarMatcher(guide), IteratorSource(instance.arrival_stream())
+    )
+    stepwise_seconds, stepwise = _best_of(stepwise_session.run)
+
+    assert bulk.matching.pairs() == adapter.matching.pairs(), "parity violated"
+    assert stepwise.matching.pairs() == adapter.matching.pairs(), "parity violated"
+    return {
+        "arrivals": 2 * n_per_side,
+        "matched": adapter.size,
+        "adapter_seconds": round(adapter_seconds, 4),
+        "session_bulk_seconds": round(bulk_seconds, 4),
+        "session_stepwise_seconds": round(stepwise_seconds, 4),
+        "bulk_overhead": round(bulk_seconds / adapter_seconds, 3),
+        "stepwise_overhead": round(stepwise_seconds / adapter_seconds, 3),
+        "parity": True,
+    }
+
+
 def _bench_sweep(scale: float, jobs: int):
     algorithms = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
     start = time.perf_counter()
@@ -238,6 +284,13 @@ def main(argv=None) -> int:
     tgoa = _bench_tgoa(tgoa_n)
     print(f"  dense {tgoa['dense_seconds']}s -> indexed "
           f"{tgoa['indexed_seconds']}s ({tgoa['speedup']}x)")
+    print(f"[session layer: {2 * polar_n} arrivals]")
+    session = _bench_session(polar_n)
+    print(f"  adapter {session['adapter_seconds']}s, bulk session "
+          f"{session['session_bulk_seconds']}s "
+          f"({session['bulk_overhead']}x), stepwise "
+          f"{session['session_stepwise_seconds']}s "
+          f"({session['stepwise_overhead']}x)")
     print(f"[fig4 sweep at scale {sweep_scale}, jobs={args.jobs}]")
     sweep = _bench_sweep(sweep_scale, args.jobs)
     print(f"  serial {sweep['serial_seconds']}s -> parallel "
@@ -256,10 +309,12 @@ def main(argv=None) -> int:
         "targets": {
             "polar_event_loop_speedup_min": 1.5,
             "sweep_speedup_min_on_4_cores": 3.0,
+            "session_bulk_overhead_max": 1.1,
         },
         "polar_event_loop": polar,
         "cellindex_sparse_queries": cellindex,
         "tgoa_indexed": tgoa,
+        "session_layer": session,
         "parallel_sweep": sweep,
     }
     if args.jobs > cpu_count:

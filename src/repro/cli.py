@@ -1,4 +1,5 @@
-"""Command-line interface: run and render the paper's experiments.
+"""Command-line interface: run and render the paper's experiments, and
+drive the streaming session layer.
 
 ::
 
@@ -6,9 +7,16 @@
     python -m repro run fig4_workers --scale 0.1 --out results/
     python -m repro run table5_prediction --scale 0.5
     python -m repro report results/fig4_workers.json
+    python -m repro dump --workers 2000 --tasks 2000 --out events.jsonl
+    python -m repro replay events.jsonl --algorithm polar --snapshot-every 500
 
 ``run`` prints the same rows/series the paper's figure or table reports
 and optionally archives the JSON; ``report`` re-renders archived JSON.
+``dump`` writes a synthetic arrival stream as JSONL (with a config
+header recording its discretisation) and ``replay`` feeds a JSONL
+stream — from a file or stdin (``-``) — arrival-by-arrival through a
+:class:`~repro.serving.session.MatchingSession`, printing mid-stream
+snapshots and the final outcome.
 """
 
 from __future__ import annotations
@@ -19,12 +27,21 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.report import render
 from repro.experiments.results import SweepResult, TableResult
 
 __all__ = ["main", "build_parser"]
+
+_REPLAY_ALGORITHMS = (
+    "greedy",
+    "greedy-indexed",
+    "gr",
+    "tgoa",
+    "polar",
+    "polar-op",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +83,67 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = commands.add_parser("report", help="render archived JSON results")
     report.add_argument("paths", nargs="+", type=Path, help="result JSON files")
+
+    dump = commands.add_parser(
+        "dump", help="write a synthetic arrival stream as JSONL"
+    )
+    dump.add_argument("--workers", type=int, default=2_000, help="|W| (default 2000)")
+    dump.add_argument("--tasks", type=int, default=2_000, help="|R| (default 2000)")
+    dump.add_argument(
+        "--grid-side", type=int, default=50, help="grid cells per side (default 50)"
+    )
+    dump.add_argument(
+        "--n-slots", type=int, default=48, help="time slots per day (default 48)"
+    )
+    dump.add_argument("--seed", type=int, default=0, help="generator seed")
+    dump.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSONL path (default: stdout)",
+    )
+
+    replay = commands.add_parser(
+        "replay",
+        help="feed a JSONL arrival stream through a matching session",
+    )
+    replay.add_argument(
+        "path", help="JSONL stream path, or '-' to read from stdin"
+    )
+    replay.add_argument(
+        "--algorithm",
+        choices=_REPLAY_ALGORITHMS,
+        default="greedy",
+        help="matcher to drive (default: greedy)",
+    )
+    replay.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help="print a session snapshot every N arrivals",
+    )
+    replay.add_argument(
+        "--window-minutes",
+        type=float,
+        default=None,
+        help="GR batching window (default: a tenth of a slot)",
+    )
+    replay.add_argument(
+        "--halfway",
+        type=int,
+        default=None,
+        help="TGOA phase boundary (default: half the stream)",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=0, help="POLAR node-choice seed"
+    )
+    replay.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        help="worker velocity override in distance units per minute "
+        "(default: the stream config record's velocity)",
+    )
     return parser
 
 
@@ -119,6 +197,112 @@ def _cmd_report(paths) -> int:
     return status
 
 
+def _cmd_dump(args) -> int:
+    from repro.serving.replay import dump_stream, stream_config
+    from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+    config = SyntheticConfig(
+        n_workers=args.workers,
+        n_tasks=args.tasks,
+        grid_side=args.grid_side,
+        n_slots=args.n_slots,
+        seed=args.seed,
+    )
+    generator = SyntheticGenerator(config)
+    instance = generator.generate()
+    header = stream_config(instance.grid, instance.timeline, instance.travel)
+    if args.out is None:
+        count = dump_stream(instance.arrival_stream(), sys.stdout, config=header)
+    else:
+        with open(args.out, "w") as fp:
+            count = dump_stream(instance.arrival_stream(), fp, config=header)
+        print(f"[{count} arrivals written to {args.out}]")
+    return 0
+
+
+def _replay_context(config: Optional[dict], speed: Optional[float]):
+    """(grid, timeline, travel) for a replay, from the stream's config
+    record with CLI overrides."""
+    from repro.spatial.geometry import BoundingBox
+    from repro.spatial.grid import Grid
+    from repro.spatial.timeslots import Timeline
+    from repro.spatial.travel import TravelModel
+
+    if config is None:
+        raise ConfigurationError(
+            "stream has no config record; generate streams with 'repro dump' "
+            "or prepend a {'kind': 'config', ...} line"
+        )
+    try:
+        x_min, y_min, x_max, y_max = config["bounds"]
+        grid = Grid(
+            BoundingBox(x_min, y_min, x_max, y_max),
+            int(config["nx"]),
+            int(config["ny"]),
+        )
+        timeline = Timeline(
+            int(config["n_slots"]),
+            float(config["slot_minutes"]),
+            float(config.get("t0", 0.0)),
+        )
+        velocity = float(config["velocity"]) if speed is None else speed
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed stream config record: {exc}") from exc
+    return grid, timeline, TravelModel(velocity=velocity)
+
+
+def _cmd_replay(args) -> int:
+    from repro.core.engine import (
+        BatchMatcher,
+        GreedyMatcher,
+        PolarMatcher,
+        PolarOpMatcher,
+        TgoaMatcher,
+    )
+    from repro.serving.replay import build_self_guide, load_stream
+    from repro.serving.session import IteratorSource, MatchingSession
+
+    if args.path == "-":
+        config, events = load_stream(sys.stdin)
+    else:
+        with open(args.path) as fp:
+            config, events = load_stream(fp)
+    grid, timeline, travel = _replay_context(config, args.speed)
+
+    algorithm = args.algorithm
+    if algorithm == "greedy":
+        matcher = GreedyMatcher(travel, indexed=False)
+    elif algorithm == "greedy-indexed":
+        matcher = GreedyMatcher(travel, grid=grid, indexed=True)
+    elif algorithm == "gr":
+        window = (
+            timeline.slot_minutes / 10.0
+            if args.window_minutes is None
+            else args.window_minutes
+        )
+        matcher = BatchMatcher(travel, grid, window)
+    elif algorithm == "tgoa":
+        halfway = len(events) // 2 if args.halfway is None else args.halfway
+        matcher = TgoaMatcher(travel, grid=grid, halfway=halfway)
+    else:
+        guide = build_self_guide(events, grid, timeline, travel)
+        print(f"[self-guide built: {guide.matched_pairs} matched node pairs]")
+        if algorithm == "polar":
+            matcher = PolarMatcher(guide, seed=args.seed)
+        else:
+            matcher = PolarOpMatcher(guide, seed=args.seed)
+
+    session = MatchingSession(
+        matcher,
+        IteratorSource(events),
+        snapshot_every=args.snapshot_every,
+        on_snapshot=lambda snap: print(snap.summary()),
+    )
+    outcome = session.run()
+    print(outcome.summary())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -132,6 +316,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.command == "report":
             return _cmd_report(args.paths)
+        if args.command == "dump":
+            return _cmd_dump(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,6 +1,9 @@
 """The paper's contribution: the two-step FTOA framework.
 
 * :mod:`repro.core.guide` — Algorithm 1, offline guide generation.
+* :mod:`repro.core.engine` — the incremental matcher protocol
+  (``begin → observe → finish``) and the five stateful matchers all
+  online algorithms are implemented as.
 * :mod:`repro.core.polar` — Algorithm 2, POLAR (occupy, CR ≈ 0.40).
 * :mod:`repro.core.polar_op` — Algorithm 3, POLAR-OP (associate,
   CR ≈ 0.47).
@@ -12,13 +15,27 @@
 * :mod:`repro.core.outcome` — the shared assignment-outcome record.
 * :mod:`repro.core.theory` — the competitive-ratio constants and bounds
   of Lemmas 1–3 / Theorems 1–2.
+
+The ``run_*`` entry points are thin batch adapters over the matchers;
+stream-driven callers (the serving layer, live replays) use the matchers
+directly through :class:`repro.serving.session.MatchingSession`.
 """
 
 from repro.core.batch import run_batch
+from repro.core.engine import (
+    BatchMatcher,
+    GreedyMatcher,
+    Matcher,
+    PolarMatcher,
+    PolarOpMatcher,
+    STREAM_ALGORITHMS,
+    TgoaMatcher,
+    create_matcher,
+)
 from repro.core.greedy import run_simple_greedy
 from repro.core.guide import OfflineGuide, build_guide
 from repro.core.opt import run_opt
-from repro.core.outcome import AssignmentOutcome, Decision
+from repro.core.outcome import IGNORED, STAY, WAIT, AssignmentOutcome, Decision
 from repro.core.polar import run_polar
 from repro.core.polar_op import run_polar_op
 from repro.core.tgoa import run_tgoa
@@ -38,8 +55,19 @@ __all__ = [
     "run_batch",
     "run_opt",
     "run_tgoa",
+    "Matcher",
+    "PolarMatcher",
+    "PolarOpMatcher",
+    "GreedyMatcher",
+    "BatchMatcher",
+    "TgoaMatcher",
+    "STREAM_ALGORITHMS",
+    "create_matcher",
     "AssignmentOutcome",
     "Decision",
+    "STAY",
+    "WAIT",
+    "IGNORED",
     "polar_ratio",
     "polar_op_ratio",
     "expected_min_poisson",

@@ -13,24 +13,20 @@ slot-scale deadlines survive to their first boundary, long enough to
 amortise the matching.  The window length is a parameter; ablations
 sweep it.
 
-Implementation notes: both pools keep persistent cell indexes (updated
-on arrival / match / expiry rather than rebuilt per window) and each
-flush enumerates candidate pairs from the smaller pool side, querying
-the other side's index within the deadline-derived radius.
+The algorithm lives in :class:`repro.core.engine.BatchMatcher` — window
+boundaries are crossed as arrivals are observed, and :meth:`finish`
+drains the surviving pools — and this module keeps :func:`run_batch` as
+the batch adapter.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.core.cellindex import CellIndex
-from repro.core.outcome import AssignmentOutcome, Decision
-from repro.errors import ConfigurationError
-from repro.graph.bipartite import BipartiteGraph, hopcroft_karp
-from repro.model.entities import Task, Worker
+from repro.core.engine import BatchMatcher
+from repro.core.outcome import AssignmentOutcome
 from repro.model.events import Arrival
 from repro.model.instance import Instance
-from repro.model.matching import Matching
 
 __all__ = ["run_batch"]
 
@@ -56,102 +52,9 @@ def run_batch(
     """
     if window_minutes is None:
         window_minutes = instance.timeline.slot_minutes / 10.0
-    if window_minutes <= 0:
-        raise ConfigurationError(f"window must be positive, got {window_minutes}")
-
-    outcome = AssignmentOutcome(algorithm="GR", matching=Matching())
-    travel = instance.travel
-    events = list(instance.arrival_stream() if stream is None else stream)
-
-    pool_workers: Dict[int, Worker] = {}
-    pool_tasks: Dict[int, Task] = {}
-    worker_index = CellIndex(instance.grid)
-    task_index = CellIndex(instance.grid)
-    batches = 0
-
-    def expire(now: float) -> None:
-        for worker_id in [w for w, worker in pool_workers.items() if worker.deadline <= now]:
-            outcome.worker_decisions[worker_id] = Decision(Decision.STAY)
-            del pool_workers[worker_id]
-            worker_index.remove(worker_id)
-        for task_id in [t for t, task in pool_tasks.items() if task.deadline < now]:
-            outcome.task_decisions[task_id] = Decision(Decision.WAIT)
-            del pool_tasks[task_id]
-            task_index.remove(task_id)
-
-    def candidate_edges(now: float) -> List[Tuple[int, int]]:
-        """(worker_id, task_id) pairs feasible at ``now``, found by
-        querying the larger pool's index from the smaller pool."""
-        edges: List[Tuple[int, int]] = []
-        if len(pool_tasks) <= len(pool_workers):
-            for task_id, task in pool_tasks.items():
-                radius = travel.reachable_distance(task.deadline - now)
-                for worker_id, _distance in worker_index.within(task.location, radius):
-                    edges.append((worker_id, task_id))
-        else:
-            max_budget = max(task.deadline - now for task in pool_tasks.values())
-            max_radius = travel.reachable_distance(max_budget)
-            for worker_id, worker in pool_workers.items():
-                for task_id, distance in task_index.within(worker.location, max_radius):
-                    task = pool_tasks[task_id]
-                    if now + travel.travel_time_for_distance(distance) <= task.deadline:
-                        edges.append((worker_id, task_id))
-        return edges
-
-    def flush(now: float) -> None:
-        nonlocal batches
-        expire(now)
-        if not pool_workers or not pool_tasks:
-            return
-        edges = candidate_edges(now)
-        if not edges:
-            return
-        batches += 1
-        worker_ids = sorted({w for w, _t in edges})
-        task_ids = sorted({t for _w, t in edges})
-        w_pos = {worker_id: i for i, worker_id in enumerate(worker_ids)}
-        t_pos = {task_id: i for i, task_id in enumerate(task_ids)}
-        graph = BipartiteGraph(len(worker_ids), len(task_ids))
-        for worker_id, task_id in edges:
-            graph.add_edge(w_pos[worker_id], t_pos[task_id])
-        result = hopcroft_karp(graph)
-        for w_index, t_index in result.pairs():
-            worker_id = worker_ids[w_index]
-            task_id = task_ids[t_index]
-            outcome.matching.assign(worker_id, task_id)
-            outcome.worker_decisions[worker_id] = Decision(
-                Decision.ASSIGNED, partner_id=task_id
-            )
-            outcome.task_decisions[task_id] = Decision(
-                Decision.ASSIGNED, partner_id=worker_id
-            )
-            del pool_workers[worker_id]
-            worker_index.remove(worker_id)
-            del pool_tasks[task_id]
-            task_index.remove(task_id)
-
-    if events:
-        boundary = events[0].time + window_minutes
-        for event in events:
-            while event.time >= boundary:
-                flush(boundary)
-                boundary += window_minutes
-            if event.is_worker:
-                pool_workers[event.entity.id] = event.entity
-                worker_index.add(event.entity.id, event.entity.location)
-            else:
-                pool_tasks[event.entity.id] = event.entity
-                task_index.add(event.entity.id, event.entity.location)
-        # Keep flushing until every surviving object has expired or no
-        # matches remain possible.
-        while pool_workers and pool_tasks:
-            flush(boundary)
-            boundary += window_minutes
-        for worker_id in pool_workers:
-            outcome.worker_decisions[worker_id] = Decision(Decision.STAY)
-        for task_id in pool_tasks:
-            outcome.task_decisions[task_id] = Decision(Decision.WAIT)
-
-    outcome.extras["batches"] = float(batches)
-    outcome.extras["window_minutes"] = float(window_minutes)
-    return outcome
+    matcher = BatchMatcher(instance.travel, instance.grid, window_minutes)
+    matcher.begin()
+    observe = matcher.observe
+    for event in instance.arrival_stream() if stream is None else stream:
+        observe(event)
+    return matcher.finish()

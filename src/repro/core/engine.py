@@ -1,0 +1,1307 @@
+"""The incremental matcher engine: one observe/decide protocol for every
+online algorithm.
+
+FTOA's online algorithms consume "a single totally-ordered stream of
+arrivals" (Definition 4), so the engine models each of them as a stateful
+:class:`Matcher` with a stepwise lifecycle::
+
+    matcher.begin()                      # start a run (matchers are reusable)
+    decision = matcher.observe(arrival)  # one Decision per arrival, O(arrival)
+    outcome = matcher.finish()           # the final AssignmentOutcome
+
+Five matchers implement the protocol — :class:`PolarMatcher` (Algorithm
+2), :class:`PolarOpMatcher` (Algorithm 3), :class:`GreedyMatcher`
+(SimpleGreedy), :class:`BatchMatcher` (GR) and :class:`TgoaMatcher` — and
+each legacy ``run_*`` entry point in :mod:`repro.core` is now a thin
+adapter over its matcher, with parity tests asserting bit-identical
+matchings and decisions.
+
+Performance notes (preserving PR 1's hot paths):
+
+* POLAR and POLAR-OP additionally expose :meth:`TypedMatcher.consume_typed`,
+  a bulk entry point that binds all loop state into locals once and
+  consumes ``(arrival, flat type)`` pairs — exactly the former inlined
+  ``run_polar`` / ``run_polar_op`` event loops.  ``observe`` funnels a
+  single pair through the same loop, so the stepwise and bulk paths can
+  never diverge.  The adapters and
+  :class:`repro.serving.session.MatchingSession` feed ``consume_typed``
+  from the instance's cached vectorized typing pass
+  (:meth:`repro.model.instance.Instance.typed_arrivals`); stepwise
+  serving falls back to scalar ``slot_of``/``area_of`` per arrival, which
+  computes identical types (the vectorized pass mirrors the scalar
+  arithmetic by construction).
+* :class:`GreedyMatcher` and :class:`TgoaMatcher` replace the batch
+  implementations' look-ahead ``max(task durations)`` ring-search cutoff
+  with a *running* maximum over arrived tasks.  The cutoff only bounds
+  the candidate search radius — every waiting task's budget is at most
+  its own duration, which the running maximum dominates — so matchings
+  are unchanged (parity tests assert it) while the matcher needs no
+  future knowledge.
+* :class:`TgoaMatcher` genuinely needs one piece of stream metadata up
+  front: the halfway index where TGOA switches from greedy to
+  maximum-matching service.  The adapter derives it from ``len(stream)``;
+  streaming deployments pass an estimate explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cellindex import CellIndex
+from repro.core.guide import OfflineGuide
+from repro.core.outcome import IGNORED, STAY, WAIT, AssignmentOutcome, Decision
+from repro.errors import ConfigurationError
+from repro.graph.bipartite import BipartiteGraph, hopcroft_karp
+from repro.model.entities import Task, Worker
+from repro.model.events import WORKER, Arrival
+from repro.model.instance import Instance
+from repro.model.matching import Matching
+from repro.seeding import derive_random
+
+__all__ = [
+    "Matcher",
+    "TypedMatcher",
+    "PolarMatcher",
+    "PolarOpMatcher",
+    "GreedyMatcher",
+    "BatchMatcher",
+    "TgoaMatcher",
+    "STREAM_ALGORITHMS",
+    "create_matcher",
+    "typed_events",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Typed-event iteration (shared by the POLAR adapters and the session)
+# ---------------------------------------------------------------------- #
+
+
+def typed_events(
+    instance: Instance,
+    guide: OfflineGuide,
+    stream: Optional[Sequence[Arrival]],
+) -> Iterable[Tuple[Arrival, int]]:
+    """Yield ``(arrival, flat type)`` pairs for a guide-driven run.
+
+    The canonical stream reuses the instance's cached vectorized typing
+    pass when the guide shares the instance's discretisation (the normal
+    case); overridden streams and mismatched discretisations fall back to
+    per-event ``slot_of``/``area_of`` — the same arithmetic, applied one
+    arrival at a time.
+    """
+    if (
+        stream is None
+        and guide.grid == instance.grid
+        and guide.timeline == instance.timeline
+    ):
+        events, types = instance.typed_arrivals()
+        return zip(events, types)
+    events = instance.arrival_stream() if stream is None else stream
+    timeline = guide.timeline
+    grid = guide.grid
+    n_areas = grid.n_areas
+    return (
+        (
+            event,
+            timeline.slot_of(event.entity.start) * n_areas
+            + grid.area_of(event.entity.location),
+        )
+        for event in events
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The protocol
+# ---------------------------------------------------------------------- #
+
+
+class Matcher:
+    """A stateful incremental assignment algorithm.
+
+    Lifecycle: :meth:`begin` starts (or restarts) a run, :meth:`observe`
+    consumes one arrival and returns the platform's immediate
+    :class:`~repro.core.outcome.Decision` for it, :meth:`finish` closes
+    the stream (flushing any end-of-stream work, e.g. GR's final windows)
+    and returns the :class:`~repro.core.outcome.AssignmentOutcome`.
+
+    Matchers are reusable: configuration lives on the instance, per-run
+    state is rebuilt by :meth:`begin` (including RNG re-derivation, so a
+    seeded matcher replays the identical random stream each run).
+
+    Live counters (:attr:`matched`, :attr:`workers_seen`, …) are readable
+    mid-stream; the session layer samples them for snapshots.
+    """
+
+    algorithm: str = "matcher"
+
+    def __init__(self) -> None:
+        self._outcome: Optional[AssignmentOutcome] = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def begin(self) -> None:
+        """Start a fresh run, discarding any previous per-run state."""
+        self._outcome = AssignmentOutcome(
+            algorithm=self.algorithm, matching=Matching()
+        )
+        self._reset(self._outcome)
+
+    def observe(self, arrival: Arrival) -> Decision:
+        """Process one arrival; returns the immediate decision for it.
+
+        Decisions may be superseded later in the stream (a parked worker
+        that eventually matches reports ``stay`` now and ``assigned`` in
+        the final outcome).
+        """
+        raise NotImplementedError
+
+    def finish(self) -> AssignmentOutcome:
+        """Close the stream and return the run's outcome.
+
+        After ``finish`` the matcher must be :meth:`begin`-ed again
+        before observing further arrivals.
+        """
+        outcome = self._require_run()
+        self._finalize(outcome)
+        self._outcome = None
+        return outcome
+
+    # -- subclass hooks ------------------------------------------------ #
+
+    def _reset(self, outcome: AssignmentOutcome) -> None:
+        """Rebuild per-run state (called by :meth:`begin`)."""
+        raise NotImplementedError
+
+    def _finalize(self, outcome: AssignmentOutcome) -> None:
+        """End-of-stream work (default: none)."""
+
+    def _require_run(self) -> AssignmentOutcome:
+        if self._outcome is None:
+            raise ConfigurationError(
+                f"{self.algorithm}: call begin() before observe()/finish()"
+            )
+        return self._outcome
+
+    # -- live metrics -------------------------------------------------- #
+
+    @property
+    def matched(self) -> int:
+        """Committed pairs so far in the active run."""
+        return self._require_run().matching.size
+
+    @property
+    def workers_seen(self) -> int:
+        """Distinct workers observed so far (every arrival is decided)."""
+        return len(self._require_run().worker_decisions)
+
+    @property
+    def tasks_seen(self) -> int:
+        """Distinct tasks observed so far."""
+        return len(self._require_run().task_decisions)
+
+    @property
+    def ignored_workers(self) -> int:
+        """Workers ignored so far (no guide node of their type)."""
+        return self._require_run().ignored_workers
+
+    @property
+    def ignored_tasks(self) -> int:
+        """Tasks ignored so far."""
+        return self._require_run().ignored_tasks
+
+
+# ---------------------------------------------------------------------- #
+# POLAR / POLAR-OP (guide-driven, typed arrivals)
+# ---------------------------------------------------------------------- #
+
+
+class TypedMatcher(Matcher):
+    """Base for the guide-driven matchers that consume typed arrivals.
+
+    Subclasses implement :meth:`consume_typed`, the single tight loop
+    over ``(arrival, flat type)`` pairs; :meth:`observe` computes one
+    arrival's type with the scalar ``slot_of``/``area_of`` path and
+    funnels it through the same loop, so stepwise serving and bulk
+    replays share one implementation.
+    """
+
+    def __init__(self, guide: OfflineGuide) -> None:
+        super().__init__()
+        self.guide = guide
+        self.grid = guide.grid
+        self.timeline = guide.timeline
+        self._n_areas = guide.grid.n_areas
+        self._worker_capacity = guide.worker_capacity_list()
+        self._task_capacity = guide.task_capacity_list()
+        self._worker_partners = guide.worker_partner_table()
+        self._task_partners = guide.task_partner_table()
+
+    def type_of(self, arrival: Arrival) -> int:
+        """The flat (slot, area) type of one arrival under the guide."""
+        entity = arrival.entity
+        return (
+            self.timeline.slot_of(entity.start) * self._n_areas
+            + self.grid.area_of(entity.location)
+        )
+
+    def consume_typed(self, pairs: Iterable[Tuple[Arrival, int]]) -> None:
+        """Consume ``(arrival, flat type)`` pairs through the event loop."""
+        raise NotImplementedError
+
+    def observe(self, arrival: Arrival) -> Decision:
+        self._require_run()
+        self.consume_typed(((arrival, self.type_of(arrival)),))
+        outcome = self._outcome
+        if arrival.kind == WORKER:
+            return outcome.worker_decisions[arrival.entity.id]
+        return outcome.task_decisions[arrival.entity.id]
+
+    def _reset(self, outcome: AssignmentOutcome) -> None:
+        outcome.extras["guide_size"] = float(self.guide.matched_pairs)
+
+
+class PolarMatcher(TypedMatcher):
+    """Algorithm 2 — POLAR as an incremental matcher.
+
+    Every arriving object *occupies* an unoccupied guide node of its own
+    (slot, area) type; objects finding no free node are ignored.  The
+    object follows its node's guide edge: an occupied partner node means
+    a match, otherwise a worker is dispatched toward the partner's area
+    and a task waits in place.  O(1) state per arrival (Section 5.1).
+
+    Args:
+        guide: the offline guide ``Ĝf`` from Algorithm 1.
+        node_choice: ``"random"`` (Lemma 1's assumption) or ``"first"``.
+        seed: RNG seed for the random node choice.
+
+    Raises:
+        ConfigurationError: for an unknown ``node_choice``.
+    """
+
+    algorithm = "POLAR"
+
+    def __init__(
+        self, guide: OfflineGuide, node_choice: str = "random", seed: int = 0
+    ) -> None:
+        if node_choice not in ("random", "first"):
+            raise ConfigurationError(f"unknown node_choice {node_choice!r}")
+        super().__init__(guide)
+        self.node_choice = node_choice
+        self.seed = seed
+
+    def _reset(self, outcome: AssignmentOutcome) -> None:
+        super()._reset(outcome)
+        self._rng = derive_random(self.seed, "polar")
+        # Occupancy state per side: free-node pools are created lazily per
+        # type (shuffled once under random choice — O(1) amortised per
+        # arrival), occupants are type -> {offset: object id}.
+        self._worker_free: Dict[int, List[int]] = {}
+        self._task_free: Dict[int, List[int]] = {}
+        self._worker_occupant: Dict[int, Dict[int, int]] = {}
+        self._task_occupant: Dict[int, Dict[int, int]] = {}
+
+    def consume_typed(self, pairs: Iterable[Tuple[Arrival, int]]) -> None:
+        outcome = self._require_run()
+        shuffle = self._rng.shuffle
+        random_choice = self.node_choice == "random"
+        worker_capacity = self._worker_capacity
+        task_capacity = self._task_capacity
+        worker_partners = self._worker_partners
+        task_partners = self._task_partners
+        n_areas = self._n_areas
+        worker_free = self._worker_free
+        task_free = self._task_free
+        worker_occupant = self._worker_occupant
+        task_occupant = self._task_occupant
+        assign = outcome.matching.assign
+        worker_decisions = outcome.worker_decisions
+        task_decisions = outcome.task_decisions
+
+        for event, type_index in pairs:
+            object_id = event.entity.id
+            if event.kind == WORKER:
+                pool = worker_free.get(type_index)
+                if pool is None:
+                    pool = list(range(worker_capacity[type_index]))
+                    if random_choice:
+                        shuffle(pool)
+                    else:
+                        pool.reverse()  # pop() then yields offsets 0, 1, 2, …
+                    worker_free[type_index] = pool
+                if not pool:
+                    outcome.ignored_workers += 1
+                    worker_decisions[object_id] = IGNORED
+                    continue
+                offset = pool.pop()
+                occupants = worker_occupant.get(type_index)
+                if occupants is None:
+                    occupants = worker_occupant[type_index] = {}
+                occupants[offset] = object_id
+                partners = worker_partners.get(type_index)
+                partner = partners[offset] if partners is not None else None
+                if partner is None:
+                    worker_decisions[object_id] = STAY
+                    continue
+                task_type, task_offset = partner
+                paired = task_occupant.get(task_type)
+                occupant = paired.get(task_offset) if paired is not None else None
+                if occupant is not None:
+                    assign(object_id, occupant)
+                    worker_decisions[object_id] = Decision(
+                        Decision.ASSIGNED, partner_id=occupant
+                    )
+                    task_decisions[occupant] = Decision(
+                        Decision.ASSIGNED, partner_id=object_id
+                    )
+                else:
+                    worker_decisions[object_id] = Decision(
+                        Decision.DISPATCHED, target_area=task_type % n_areas
+                    )
+            else:
+                pool = task_free.get(type_index)
+                if pool is None:
+                    pool = list(range(task_capacity[type_index]))
+                    if random_choice:
+                        shuffle(pool)
+                    else:
+                        pool.reverse()
+                    task_free[type_index] = pool
+                if not pool:
+                    outcome.ignored_tasks += 1
+                    task_decisions[object_id] = IGNORED
+                    continue
+                offset = pool.pop()
+                occupants = task_occupant.get(type_index)
+                if occupants is None:
+                    occupants = task_occupant[type_index] = {}
+                occupants[offset] = object_id
+                partners = task_partners.get(type_index)
+                partner = partners[offset] if partners is not None else None
+                if partner is None:
+                    task_decisions[object_id] = WAIT
+                    continue
+                worker_type, worker_offset = partner
+                paired = worker_occupant.get(worker_type)
+                occupant = paired.get(worker_offset) if paired is not None else None
+                # Each node is occupied at most once and matched only
+                # through its unique guide partner, so an occupied partner
+                # is necessarily unmatched; Matching.assign would raise if
+                # that invariant broke.
+                if occupant is not None:
+                    assign(occupant, object_id)
+                    task_decisions[object_id] = Decision(
+                        Decision.ASSIGNED, partner_id=occupant
+                    )
+                    # Preserve the worker's dispatch destination: the
+                    # movement audit needs to know the worker was
+                    # pre-positioned, not stationary.
+                    previous = worker_decisions.get(occupant)
+                    target = previous.target_area if previous is not None else None
+                    worker_decisions[occupant] = Decision(
+                        Decision.ASSIGNED, target_area=target, partner_id=object_id
+                    )
+                else:
+                    task_decisions[object_id] = WAIT
+
+
+_NodeKey = Tuple[int, int]
+
+
+class _AssociationSide:
+    """Association bookkeeping for one side of the guide (POLAR-OP).
+
+    Each node keeps a FIFO of associated-but-unmatched object ids; nodes
+    are reusable so there is no free pool, just the queues.
+    """
+
+    __slots__ = ("_queues",)
+
+    def __init__(self) -> None:
+        self._queues: Dict[_NodeKey, Deque[int]] = {}
+
+    def park(self, node: _NodeKey, object_id: int) -> None:
+        """Record ``object_id`` as waiting on ``node``."""
+        self._queues.setdefault(node, deque()).append(object_id)
+
+    def pop_waiting(self, node: _NodeKey) -> Optional[int]:
+        """Pop the oldest unmatched object on ``node``, or None."""
+        queue = self._queues.get(node)
+        if queue:
+            return queue.popleft()
+        return None
+
+
+class PolarOpMatcher(TypedMatcher):
+    """Algorithm 3 — POLAR-OP (node re-use, "associate") incrementally.
+
+    An arrival picks a node of its type, follows the node's guide edge,
+    and matches the oldest unmatched object associated with the paired
+    node if one exists; otherwise it parks itself on its own node.
+    Objects are only ignored when their type has zero predicted nodes.
+
+    Args:
+        guide: the offline guide ``Ĝf``.
+        node_choice: ``"round_robin"`` (default, POLAR's discipline for
+            the first ``a_ij`` arrivals, even re-use after) or
+            ``"random"`` (Lemma 3's uniform choice).
+        seed: RNG seed for the random choice.
+
+    Raises:
+        ConfigurationError: for an unknown ``node_choice``.
+    """
+
+    algorithm = "POLAR-OP"
+
+    def __init__(
+        self, guide: OfflineGuide, node_choice: str = "round_robin", seed: int = 0
+    ) -> None:
+        if node_choice not in ("random", "round_robin"):
+            raise ConfigurationError(f"unknown node_choice {node_choice!r}")
+        super().__init__(guide)
+        self.node_choice = node_choice
+        self.seed = seed
+
+    def _reset(self, outcome: AssignmentOutcome) -> None:
+        super()._reset(outcome)
+        self._rng = derive_random(self.seed, "polar-op")
+        self._cursor: Dict[Tuple[str, int], int] = {}
+        self._worker_parked = _AssociationSide()
+        self._task_parked = _AssociationSide()
+
+    def consume_typed(self, pairs: Iterable[Tuple[Arrival, int]]) -> None:
+        outcome = self._require_run()
+        randrange = self._rng.randrange
+        random_choice = self.node_choice == "random"
+        cursor = self._cursor
+        worker_capacity = self._worker_capacity
+        task_capacity = self._task_capacity
+        worker_partners = self._worker_partners
+        task_partners = self._task_partners
+        n_areas = self._n_areas
+        assign = outcome.matching.assign
+        worker_decisions = outcome.worker_decisions
+        task_decisions = outcome.task_decisions
+        pop_waiting_task = self._task_parked.pop_waiting
+        pop_waiting_worker = self._worker_parked.pop_waiting
+        park_worker = self._worker_parked.park
+        park_task = self._task_parked.park
+
+        for event, type_index in pairs:
+            object_id = event.entity.id
+            if event.kind == WORKER:
+                capacity = worker_capacity[type_index]
+                if capacity == 0:
+                    outcome.ignored_workers += 1
+                    worker_decisions[object_id] = IGNORED
+                    continue
+                if random_choice:
+                    offset = randrange(capacity)
+                else:
+                    key = ("w", type_index)
+                    offset = cursor.get(key, 0)
+                    cursor[key] = (offset + 1) % capacity
+                partners = worker_partners.get(type_index)
+                partner = partners[offset] if partners is not None else None
+                if partner is None:
+                    worker_decisions[object_id] = STAY
+                    continue
+                waiting_task = pop_waiting_task(partner)
+                if waiting_task is not None:
+                    assign(object_id, waiting_task)
+                    worker_decisions[object_id] = Decision(
+                        Decision.ASSIGNED, partner_id=waiting_task
+                    )
+                    task_decisions[waiting_task] = Decision(
+                        Decision.ASSIGNED, partner_id=object_id
+                    )
+                else:
+                    park_worker((type_index, offset), object_id)
+                    worker_decisions[object_id] = Decision(
+                        Decision.DISPATCHED, target_area=partner[0] % n_areas
+                    )
+            else:
+                capacity = task_capacity[type_index]
+                if capacity == 0:
+                    outcome.ignored_tasks += 1
+                    task_decisions[object_id] = IGNORED
+                    continue
+                if random_choice:
+                    offset = randrange(capacity)
+                else:
+                    key = ("r", type_index)
+                    offset = cursor.get(key, 0)
+                    cursor[key] = (offset + 1) % capacity
+                partners = task_partners.get(type_index)
+                partner = partners[offset] if partners is not None else None
+                if partner is None:
+                    task_decisions[object_id] = WAIT
+                    continue
+                waiting_worker = pop_waiting_worker(partner)
+                if waiting_worker is not None:
+                    assign(waiting_worker, object_id)
+                    task_decisions[object_id] = Decision(
+                        Decision.ASSIGNED, partner_id=waiting_worker
+                    )
+                    # Preserve the dispatch destination for the movement
+                    # audit.
+                    previous = worker_decisions.get(waiting_worker)
+                    target = previous.target_area if previous is not None else None
+                    worker_decisions[waiting_worker] = Decision(
+                        Decision.ASSIGNED, target_area=target, partner_id=object_id
+                    )
+                else:
+                    park_task((type_index, offset), object_id)
+                    task_decisions[object_id] = WAIT
+
+
+# ---------------------------------------------------------------------- #
+# SimpleGreedy
+# ---------------------------------------------------------------------- #
+
+
+def _nearest_feasible(entity, candidates, travel, now, task_side):
+    """Nearest wait-in-place-feasible partner id, or None (dense scan)."""
+    best_id = None
+    best_distance = None
+    for other_id, other in candidates.items():
+        if task_side:
+            worker, task = entity, other
+        else:
+            worker, task = other, entity
+        if task.deadline < now or worker.deadline <= now:
+            continue
+        distance = worker.location.distance_to(task.location)
+        if now + travel.travel_time_for_distance(distance) > task.deadline:
+            continue
+        if (
+            best_distance is None
+            or distance < best_distance
+            or (distance == best_distance and other_id < best_id)
+        ):
+            best_id = other_id
+            best_distance = distance
+    return best_id
+
+
+class GreedyMatcher(Matcher):
+    """The SimpleGreedy baseline (Section 2.2) as an incremental matcher.
+
+    For every new object the platform scans the opposite waiting set for
+    deadline-feasible partners and picks the one at the shortest
+    distance; workers always wait in place.
+
+    Args:
+        travel: the constant-velocity travel model.
+        grid: spatial grid (required iff ``indexed``).
+        indexed: use a cell-index ring search instead of the literal
+            linear scan (identical matchings, faster at scale).
+        max_task_duration: optional lower bound for the indexed search's
+            radius cutoff; the matcher also maintains a running maximum
+            over arrived tasks, so the bound only matters for replaying
+            the batch implementation's exact cutoff.
+
+    Raises:
+        ConfigurationError: if ``indexed`` without a ``grid``.
+    """
+
+    algorithm = "SimpleGreedy"
+
+    def __init__(
+        self,
+        travel,
+        grid=None,
+        indexed: bool = False,
+        max_task_duration: float = 0.0,
+    ) -> None:
+        if indexed and grid is None:
+            raise ConfigurationError("indexed SimpleGreedy needs a grid")
+        super().__init__()
+        self.travel = travel
+        self.grid = grid
+        self.indexed = indexed
+        self._initial_max_task_duration = float(max_task_duration)
+
+    def _reset(self, outcome: AssignmentOutcome) -> None:
+        self._waiting_workers: Dict[int, Worker] = {}
+        self._waiting_tasks: Dict[int, Task] = {}
+        self._max_task_duration = self._initial_max_task_duration
+        if self.indexed:
+            self._worker_index = CellIndex(self.grid)
+            self._task_index = CellIndex(self.grid)
+
+    def _assign(self, outcome, worker_id: int, task_id: int) -> Decision:
+        outcome.matching.assign(worker_id, task_id)
+        outcome.worker_decisions[worker_id] = Decision(
+            Decision.ASSIGNED, partner_id=task_id
+        )
+        outcome.task_decisions[task_id] = Decision(
+            Decision.ASSIGNED, partner_id=worker_id
+        )
+        return outcome.worker_decisions[worker_id]
+
+    def observe(self, arrival: Arrival) -> Decision:
+        outcome = self._require_run()
+        if arrival.is_task:
+            duration = arrival.entity.duration
+            if duration > self._max_task_duration:
+                self._max_task_duration = duration
+        if self.indexed:
+            return self._observe_indexed(arrival, outcome)
+        return self._observe_naive(arrival, outcome)
+
+    def _observe_naive(self, arrival: Arrival, outcome) -> Decision:
+        travel = self.travel
+        now = arrival.time
+        waiting_workers = self._waiting_workers
+        waiting_tasks = self._waiting_tasks
+        if arrival.is_worker:
+            worker: Worker = arrival.entity
+            best_id = None
+            best_distance = None
+            expired = []
+            for task_id, task in waiting_tasks.items():
+                if task.deadline < now:
+                    expired.append(task_id)
+                    continue
+                distance = worker.location.distance_to(task.location)
+                if now + travel.travel_time_for_distance(distance) > task.deadline:
+                    continue
+                if (
+                    best_distance is None
+                    or distance < best_distance
+                    or (distance == best_distance and task_id < best_id)
+                ):
+                    best_id = task_id
+                    best_distance = distance
+            for task_id in expired:
+                del waiting_tasks[task_id]
+            if best_id is not None:
+                del waiting_tasks[best_id]
+                return self._assign(outcome, worker.id, best_id)
+            waiting_workers[worker.id] = worker
+            outcome.worker_decisions[worker.id] = STAY
+            return STAY
+        task: Task = arrival.entity
+        best_id = None
+        best_distance = None
+        expired = []
+        for worker_id, worker in waiting_workers.items():
+            if worker.deadline <= now:
+                expired.append(worker_id)
+                continue
+            distance = worker.location.distance_to(task.location)
+            if now + travel.travel_time_for_distance(distance) > task.deadline:
+                continue
+            if (
+                best_distance is None
+                or distance < best_distance
+                or (distance == best_distance and worker_id < best_id)
+            ):
+                best_id = worker_id
+                best_distance = distance
+        for worker_id in expired:
+            del waiting_workers[worker_id]
+        if best_id is not None:
+            del waiting_workers[best_id]
+            self._assign(outcome, best_id, task.id)
+            return outcome.task_decisions[task.id]
+        waiting_tasks[task.id] = task
+        outcome.task_decisions[task.id] = WAIT
+        return WAIT
+
+    def _observe_indexed(self, arrival: Arrival, outcome) -> Decision:
+        travel = self.travel
+        now = arrival.time
+        workers = self._waiting_workers
+        tasks = self._waiting_tasks
+        worker_index = self._worker_index
+        task_index = self._task_index
+        if arrival.is_worker:
+            worker: Worker = arrival.entity
+
+            def task_feasible(task_id: int, distance: float) -> bool:
+                task = tasks[task_id]
+                if task.deadline < now:
+                    task_index.remove(task_id)  # lazy expiry
+                    return False
+                return now + travel.travel_time_for_distance(distance) <= task.deadline
+
+            best = task_index.nearest_feasible(
+                worker.location,
+                task_feasible,
+                max_distance=travel.reachable_distance(self._max_task_duration),
+            )
+            if best is not None:
+                task_index.remove(best)
+                return self._assign(outcome, worker.id, best)
+            workers[worker.id] = worker
+            worker_index.add(worker.id, worker.location)
+            outcome.worker_decisions[worker.id] = STAY
+            return STAY
+        task: Task = arrival.entity
+        budget = task.deadline - now
+
+        def worker_feasible(worker_id: int, distance: float) -> bool:
+            candidate = workers[worker_id]
+            if candidate.deadline <= now:
+                worker_index.remove(worker_id)  # lazy expiry
+                return False
+            return now + travel.travel_time_for_distance(distance) <= task.deadline
+
+        best = worker_index.nearest_feasible(
+            task.location,
+            worker_feasible,
+            max_distance=travel.reachable_distance(budget),
+        )
+        if best is not None:
+            worker_index.remove(best)
+            self._assign(outcome, best, task.id)
+            return outcome.task_decisions[task.id]
+        tasks[task.id] = task
+        task_index.add(task.id, task.location)
+        outcome.task_decisions[task.id] = WAIT
+        return WAIT
+
+
+# ---------------------------------------------------------------------- #
+# GR (batched windows)
+# ---------------------------------------------------------------------- #
+
+
+class BatchMatcher(Matcher):
+    """The GR baseline (To et al., TSAS 2015) as an incremental matcher.
+
+    Arrivals accumulate in per-side pools; at every window boundary the
+    matcher solves a maximum bipartite matching between the pooled
+    workers and still-serviceable tasks and commits the pairs.
+    :meth:`finish` keeps flushing windows until every surviving object
+    has expired or no matches remain possible.
+
+    Args:
+        travel: the constant-velocity travel model.
+        grid: spatial grid for the persistent cell indexes.
+        window_minutes: the batching window length.
+
+    Raises:
+        ConfigurationError: for a non-positive window.
+    """
+
+    algorithm = "GR"
+
+    def __init__(self, travel, grid, window_minutes: float) -> None:
+        if window_minutes <= 0:
+            raise ConfigurationError(
+                f"window must be positive, got {window_minutes}"
+            )
+        super().__init__()
+        self.travel = travel
+        self.grid = grid
+        self.window_minutes = float(window_minutes)
+
+    def _reset(self, outcome: AssignmentOutcome) -> None:
+        self._pool_workers: Dict[int, Worker] = {}
+        self._pool_tasks: Dict[int, Task] = {}
+        self._worker_index = CellIndex(self.grid)
+        self._task_index = CellIndex(self.grid)
+        self._batches = 0
+        self._boundary: Optional[float] = None
+
+    def observe(self, arrival: Arrival) -> Decision:
+        outcome = self._require_run()
+        window = self.window_minutes
+        if self._boundary is None:
+            self._boundary = arrival.time + window
+        while arrival.time >= self._boundary:
+            self._flush(self._boundary, outcome)
+            self._boundary += window
+        entity = arrival.entity
+        if arrival.is_worker:
+            self._pool_workers[entity.id] = entity
+            self._worker_index.add(entity.id, entity.location)
+            outcome.worker_decisions[entity.id] = STAY
+            return STAY
+        self._pool_tasks[entity.id] = entity
+        self._task_index.add(entity.id, entity.location)
+        outcome.task_decisions[entity.id] = WAIT
+        return WAIT
+
+    def _finalize(self, outcome: AssignmentOutcome) -> None:
+        # Keep flushing until every surviving object has expired or no
+        # matches remain possible.
+        if self._boundary is not None:
+            while self._pool_workers and self._pool_tasks:
+                self._flush(self._boundary, outcome)
+                self._boundary += self.window_minutes
+            for worker_id in self._pool_workers:
+                outcome.worker_decisions[worker_id] = STAY
+            for task_id in self._pool_tasks:
+                outcome.task_decisions[task_id] = WAIT
+        outcome.extras["batches"] = float(self._batches)
+        outcome.extras["window_minutes"] = float(self.window_minutes)
+
+    def _expire(self, now: float, outcome) -> None:
+        pool_workers = self._pool_workers
+        pool_tasks = self._pool_tasks
+        for worker_id in [
+            w for w, worker in pool_workers.items() if worker.deadline <= now
+        ]:
+            outcome.worker_decisions[worker_id] = STAY
+            del pool_workers[worker_id]
+            self._worker_index.remove(worker_id)
+        for task_id in [t for t, task in pool_tasks.items() if task.deadline < now]:
+            outcome.task_decisions[task_id] = WAIT
+            del pool_tasks[task_id]
+            self._task_index.remove(task_id)
+
+    def _candidate_edges(self, now: float) -> List[Tuple[int, int]]:
+        """(worker_id, task_id) pairs feasible at ``now``, found by
+        querying the larger pool's index from the smaller pool."""
+        travel = self.travel
+        pool_workers = self._pool_workers
+        pool_tasks = self._pool_tasks
+        edges: List[Tuple[int, int]] = []
+        if len(pool_tasks) <= len(pool_workers):
+            for task_id, task in pool_tasks.items():
+                radius = travel.reachable_distance(task.deadline - now)
+                for worker_id, _distance in self._worker_index.within(
+                    task.location, radius
+                ):
+                    edges.append((worker_id, task_id))
+        else:
+            max_budget = max(task.deadline - now for task in pool_tasks.values())
+            max_radius = travel.reachable_distance(max_budget)
+            for worker_id, worker in pool_workers.items():
+                for task_id, distance in self._task_index.within(
+                    worker.location, max_radius
+                ):
+                    task = pool_tasks[task_id]
+                    if now + travel.travel_time_for_distance(distance) <= task.deadline:
+                        edges.append((worker_id, task_id))
+        return edges
+
+    def _flush(self, now: float, outcome) -> None:
+        self._expire(now, outcome)
+        pool_workers = self._pool_workers
+        pool_tasks = self._pool_tasks
+        if not pool_workers or not pool_tasks:
+            return
+        edges = self._candidate_edges(now)
+        if not edges:
+            return
+        self._batches += 1
+        worker_ids = sorted({w for w, _t in edges})
+        task_ids = sorted({t for _w, t in edges})
+        w_pos = {worker_id: i for i, worker_id in enumerate(worker_ids)}
+        t_pos = {task_id: i for i, task_id in enumerate(task_ids)}
+        graph = BipartiteGraph(len(worker_ids), len(task_ids))
+        for worker_id, task_id in edges:
+            graph.add_edge(w_pos[worker_id], t_pos[task_id])
+        result = hopcroft_karp(graph)
+        for w_index, t_index in result.pairs():
+            worker_id = worker_ids[w_index]
+            task_id = task_ids[t_index]
+            outcome.matching.assign(worker_id, task_id)
+            outcome.worker_decisions[worker_id] = Decision(
+                Decision.ASSIGNED, partner_id=task_id
+            )
+            outcome.task_decisions[task_id] = Decision(
+                Decision.ASSIGNED, partner_id=worker_id
+            )
+            del pool_workers[worker_id]
+            self._worker_index.remove(worker_id)
+            del pool_tasks[task_id]
+            self._task_index.remove(task_id)
+
+
+# ---------------------------------------------------------------------- #
+# TGOA
+# ---------------------------------------------------------------------- #
+
+# Below this many waiting candidates a direct dict scan beats the ring
+# machinery; the scan visits the waiting dict in insertion order, which
+# is exactly the dense reference order, so parity is unaffected.
+_DENSE_POOL_CUTOFF = 32
+
+
+def _augment_from(newcomer_id, adjacency, matched_partner):
+    """One augmenting-path search rooted at the newcomer (Kuhn step).
+
+    ``adjacency`` maps left ids to candidate right ids; ``matched_partner``
+    is the current right → left tentative matching.  Returns the right id
+    the newcomer ends up matched to, or None.
+    """
+    visited = set()
+
+    def try_match(left_id) -> Optional[int]:
+        for right_id in adjacency.get(left_id, ()):
+            if right_id in visited:
+                continue
+            visited.add(right_id)
+            current = matched_partner.get(right_id)
+            if current is None or try_match(current) is not None:
+                matched_partner[right_id] = left_id
+                return right_id
+        return None
+
+    return try_match(newcomer_id)
+
+
+class TgoaMatcher(Matcher):
+    """The TGOA-style baseline (Tong et al., ICDE 2016) incrementally.
+
+    Phase 1 (the first ``halfway`` arrivals): nearest-feasible greedy.
+    Phase 2: serve each newcomer according to a maximum matching over
+    everything currently waiting, committing only the newcomer's edge.
+
+    TGOA is the one algorithm whose definition references the stream
+    length — the phase boundary sits at the halfway point — so the
+    matcher takes ``halfway`` up front; the ``run_tgoa`` adapter derives
+    it from the materialized stream and streaming deployments pass an
+    estimate (e.g. from a volume forecast).
+
+    Args:
+        travel: the constant-velocity travel model.
+        grid: spatial grid (required iff ``indexed``).
+        halfway: arrival index at which phase 2 starts.
+        indexed: enumerate candidates through persistent per-side cell
+            indexes (identical matchings, faster at scale).
+        max_task_duration: optional lower bound for the ring-search
+            radius cutoff (a running maximum over arrived tasks is
+            maintained regardless).
+
+    Raises:
+        ConfigurationError: for a negative ``halfway`` or ``indexed``
+            without a ``grid``.
+    """
+
+    algorithm = "TGOA"
+
+    def __init__(
+        self,
+        travel,
+        grid=None,
+        halfway: int = 0,
+        indexed: bool = True,
+        max_task_duration: float = 0.0,
+    ) -> None:
+        if indexed and grid is None:
+            raise ConfigurationError("indexed TGOA needs a grid")
+        if halfway < 0:
+            raise ConfigurationError(f"halfway must be >= 0, got {halfway}")
+        super().__init__()
+        self.travel = travel
+        self.grid = grid
+        self.halfway = int(halfway)
+        self.indexed = indexed
+        self._initial_max_task_duration = float(max_task_duration)
+
+    def _reset(self, outcome: AssignmentOutcome) -> None:
+        self._waiting_workers: Dict[int, Worker] = {}
+        self._waiting_tasks: Dict[int, Task] = {}
+        self._worker_index = CellIndex(self.grid) if self.indexed else None
+        self._task_index = CellIndex(self.grid) if self.indexed else None
+        # Insertion ranks replay the dense scan's dict order when sorting
+        # ring-query candidates — the augmenting-path search then visits
+        # edges identically, keeping indexed matchings bit-identical.
+        self._worker_rank: Dict[int, int] = {}
+        self._task_rank: Dict[int, int] = {}
+        self._max_task_duration = self._initial_max_task_duration
+        self._arrival_index = 0
+
+    def observe(self, arrival: Arrival) -> Decision:
+        outcome = self._require_run()
+        if arrival.is_task:
+            duration = arrival.entity.duration
+            if duration > self._max_task_duration:
+                self._max_task_duration = duration
+        now = arrival.time
+        self._purge(now)
+        index = self._arrival_index
+        self._arrival_index = index + 1
+        if index < self.halfway:
+            # Phase 1: plain nearest-feasible greedy.
+            if self.indexed:
+                partner = self._nearest_indexed(arrival, now)
+            elif arrival.is_worker:
+                partner = _nearest_feasible(
+                    arrival.entity, self._waiting_tasks, self.travel, now,
+                    task_side=True,
+                )
+            else:
+                partner = _nearest_feasible(
+                    arrival.entity, self._waiting_workers, self.travel, now,
+                    task_side=False,
+                )
+        else:
+            # Phase 2: match the newcomer per a maximum matching of the
+            # revealed graph.
+            partner = self._optimal_partner(arrival, now)
+        if partner is not None:
+            if arrival.is_worker:
+                self._commit(arrival.entity.id, partner, outcome)
+                return outcome.worker_decisions[arrival.entity.id]
+            self._commit(partner, arrival.entity.id, outcome)
+            return outcome.task_decisions[arrival.entity.id]
+        self._park(arrival)
+        if arrival.is_worker:
+            outcome.worker_decisions[arrival.entity.id] = STAY
+            return STAY
+        outcome.task_decisions[arrival.entity.id] = WAIT
+        return WAIT
+
+    # -- pool maintenance ---------------------------------------------- #
+
+    def _park(self, arrival: Arrival) -> None:
+        entity = arrival.entity
+        if arrival.is_worker:
+            self._waiting_workers[entity.id] = entity
+            self._worker_rank[entity.id] = len(self._worker_rank)
+            if self.indexed:
+                self._worker_index.add(entity.id, entity.location)
+        else:
+            self._waiting_tasks[entity.id] = entity
+            self._task_rank[entity.id] = len(self._task_rank)
+            if self.indexed:
+                self._task_index.add(entity.id, entity.location)
+
+    def _commit(self, worker_id: int, task_id: int, outcome) -> None:
+        outcome.matching.assign(worker_id, task_id)
+        outcome.worker_decisions[worker_id] = Decision(
+            Decision.ASSIGNED, partner_id=task_id
+        )
+        outcome.task_decisions[task_id] = Decision(
+            Decision.ASSIGNED, partner_id=worker_id
+        )
+        self._waiting_workers.pop(worker_id, None)
+        self._waiting_tasks.pop(task_id, None)
+        if self.indexed:
+            self._worker_index.remove(worker_id)  # missing ids are ignored
+            self._task_index.remove(task_id)
+
+    def _purge(self, now: float) -> None:
+        waiting_workers = self._waiting_workers
+        waiting_tasks = self._waiting_tasks
+        for worker_id in [
+            w for w, worker in waiting_workers.items() if worker.deadline <= now
+        ]:
+            del waiting_workers[worker_id]
+            if self.indexed:
+                self._worker_index.remove(worker_id)
+        for task_id in [
+            t for t, task in waiting_tasks.items() if task.deadline < now
+        ]:
+            del waiting_tasks[task_id]
+            if self.indexed:
+                self._task_index.remove(task_id)
+
+    # -- candidate enumeration ----------------------------------------- #
+
+    def _nearest_indexed(self, arrival: Arrival, now: float) -> Optional[int]:
+        """Phase 1 via the ring search (same tie-breaks as the scan)."""
+        travel = self.travel
+        entity = arrival.entity
+        if arrival.is_worker:
+            waiting_tasks = self._waiting_tasks
+            if len(waiting_tasks) <= _DENSE_POOL_CUTOFF:
+                return _nearest_feasible(
+                    entity, waiting_tasks, travel, now, task_side=True
+                )
+
+            def feasible(task_id: int, distance: float) -> bool:
+                deadline = waiting_tasks[task_id].deadline
+                return now + travel.travel_time_for_distance(distance) <= deadline
+
+            return self._task_index.nearest_feasible(
+                entity.location,
+                feasible,
+                max_distance=travel.reachable_distance(self._max_task_duration),
+            )
+
+        waiting_workers = self._waiting_workers
+        if len(waiting_workers) <= _DENSE_POOL_CUTOFF:
+            return _nearest_feasible(
+                entity, waiting_workers, travel, now, task_side=False
+            )
+
+        def feasible(worker_id: int, distance: float) -> bool:
+            return now + travel.travel_time_for_distance(distance) <= entity.deadline
+
+        return self._worker_index.nearest_feasible(
+            entity.location,
+            feasible,
+            max_distance=travel.reachable_distance(entity.deadline - now),
+        )
+
+    def _candidate_edges(self, left, now: float, left_is_worker: bool) -> List[int]:
+        """Feasible right ids for one left object, in insertion order."""
+        travel = self.travel
+        if left_is_worker:
+            waiting_tasks = self._waiting_tasks
+            if len(waiting_tasks) <= _DENSE_POOL_CUTOFF:
+                # Dict scan in insertion order — already the dense order.
+                return [
+                    task_id
+                    for task_id, task in waiting_tasks.items()
+                    if now
+                    + travel.travel_time_for_distance(
+                        left.location.distance_to(task.location)
+                    )
+                    <= task.deadline
+                ]
+            pairs = self._task_index.within(
+                left.location, travel.reachable_distance(self._max_task_duration)
+            )
+            rank = self._task_rank
+            edges = [
+                task_id
+                for task_id, distance in pairs
+                if now + travel.travel_time_for_distance(distance)
+                <= waiting_tasks[task_id].deadline
+            ]
+        else:
+            waiting_workers = self._waiting_workers
+            if len(waiting_workers) <= _DENSE_POOL_CUTOFF:
+                return [
+                    worker_id
+                    for worker_id, worker in waiting_workers.items()
+                    if now
+                    + travel.travel_time_for_distance(
+                        worker.location.distance_to(left.location)
+                    )
+                    <= left.deadline
+                ]
+            pairs = self._worker_index.within(
+                left.location, travel.reachable_distance(left.deadline - now)
+            )
+            rank = self._worker_rank
+            edges = [
+                worker_id
+                for worker_id, distance in pairs
+                if now + travel.travel_time_for_distance(distance) <= left.deadline
+            ]
+        edges.sort(key=rank.__getitem__)
+        return edges
+
+    def _optimal_partner(self, arrival: Arrival, now: float) -> Optional[int]:
+        """The newcomer's partner in a maximum matching of the waiting
+        graph, found by building a tentative Hungarian matching with the
+        newcomer inserted last (so it only claims a partner when an
+        augmenting path exists)."""
+        travel = self.travel
+        newcomer = arrival.entity
+        if self.indexed:
+            left_pool = (
+                self._waiting_workers if arrival.is_worker else self._waiting_tasks
+            )
+            left_ids = list(left_pool)
+            adjacency: Dict[int, List[int]] = {}
+            for left_id in left_ids:
+                adjacency[left_id] = self._candidate_edges(
+                    left_pool[left_id], now, arrival.is_worker
+                )
+            adjacency[newcomer.id] = self._candidate_edges(
+                newcomer, now, arrival.is_worker
+            )
+        else:
+            if arrival.is_worker:
+                dense_pool = dict(self._waiting_workers)
+                dense_pool[newcomer.id] = newcomer
+                right_pool = self._waiting_tasks
+            else:
+                dense_pool = dict(self._waiting_tasks)
+                dense_pool[newcomer.id] = newcomer
+                right_pool = self._waiting_workers
+            left_ids = [i for i in dense_pool if i != newcomer.id]
+            adjacency = {}
+            for left_id, left in dense_pool.items():
+                edges = []
+                for right_id, right in right_pool.items():
+                    worker, task = (
+                        (left, right) if arrival.is_worker else (right, left)
+                    )
+                    if task.deadline < now or worker.deadline <= now:
+                        continue
+                    distance = worker.location.distance_to(task.location)
+                    if now + travel.travel_time_for_distance(distance) <= task.deadline:
+                        edges.append(right_id)
+                adjacency[left_id] = edges
+
+        matched_partner: Dict[int, int] = {}
+        for left_id in left_ids:
+            _augment_from(left_id, adjacency, matched_partner)
+        return _augment_from(newcomer.id, adjacency, matched_partner)
+
+
+# ---------------------------------------------------------------------- #
+# Factory
+# ---------------------------------------------------------------------- #
+
+STREAM_ALGORITHMS = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "TGOA")
+
+
+def _max_task_duration(instance: Instance) -> float:
+    return max((t.duration for t in instance.tasks), default=0.0)
+
+
+def create_matcher(
+    algorithm: str,
+    instance: Instance,
+    guide: Optional[OfflineGuide] = None,
+    seed: int = 0,
+    *,
+    greedy_indexed: bool = False,
+    window_minutes: Optional[float] = None,
+    tgoa_indexed: bool = True,
+    node_choice: Optional[str] = None,
+) -> Matcher:
+    """Build the matcher the corresponding ``run_*`` would use.
+
+    Args:
+        algorithm: one of :data:`STREAM_ALGORITHMS`.
+        instance: the instance supplying travel/grid/timeline context
+            (and, for TGOA, the stream length).
+        guide: the offline guide (required iff POLAR / POLAR-OP).
+        seed: node-choice seed for POLAR / POLAR-OP.
+        greedy_indexed: use the cell-index SimpleGreedy variant.
+        window_minutes: GR window (default: a tenth of a slot).
+        tgoa_indexed: use TGOA's persistent-index candidate enumeration.
+        node_choice: POLAR / POLAR-OP node-choice policy override.
+
+    Raises:
+        ConfigurationError: for an unknown algorithm or a missing guide.
+    """
+    if algorithm == "SimpleGreedy":
+        return GreedyMatcher(
+            instance.travel,
+            grid=instance.grid,
+            indexed=greedy_indexed,
+            max_task_duration=_max_task_duration(instance),
+        )
+    if algorithm == "GR":
+        if window_minutes is None:
+            window_minutes = instance.timeline.slot_minutes / 10.0
+        return BatchMatcher(instance.travel, instance.grid, window_minutes)
+    if algorithm == "POLAR":
+        if guide is None:
+            raise ConfigurationError("POLAR requires an offline guide")
+        return PolarMatcher(guide, node_choice=node_choice or "random", seed=seed)
+    if algorithm == "POLAR-OP":
+        if guide is None:
+            raise ConfigurationError("POLAR-OP requires an offline guide")
+        return PolarOpMatcher(
+            guide, node_choice=node_choice or "round_robin", seed=seed
+        )
+    if algorithm == "TGOA":
+        return TgoaMatcher(
+            instance.travel,
+            grid=instance.grid,
+            halfway=len(instance.arrival_stream()) // 2,
+            indexed=tgoa_indexed,
+            max_task_duration=_max_task_duration(instance),
+        )
+    known = ", ".join(STREAM_ALGORITHMS)
+    raise ConfigurationError(
+        f"unknown stream algorithm {algorithm!r}; known: {known}"
+    )

@@ -13,18 +13,20 @@ Two implementations share the same semantics:
 * ``indexed=True`` — a cell-index ring search, used at large scale so the
   experiment harness can still afford the baseline.  Matching sizes are
   identical; only running time differs (a test asserts this).
+
+The algorithm lives in :class:`repro.core.engine.GreedyMatcher` (a
+per-arrival incremental matcher — SimpleGreedy is naturally online);
+this module keeps :func:`run_simple_greedy` as the batch adapter.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.core.cellindex import CellIndex
-from repro.core.outcome import AssignmentOutcome, Decision
-from repro.model.entities import Task, Worker
+from repro.core.engine import GreedyMatcher
+from repro.core.outcome import AssignmentOutcome
 from repro.model.events import Arrival
 from repro.model.instance import Instance
-from repro.model.matching import Matching
 
 __all__ = ["run_simple_greedy"]
 
@@ -46,135 +48,20 @@ def run_simple_greedy(
         The committed matching plus per-object decisions (workers that
         never match are ``stay``; tasks are ``wait``).
     """
-    outcome = AssignmentOutcome(algorithm="SimpleGreedy", matching=Matching())
-    events = instance.arrival_stream() if stream is None else stream
-    if indexed:
-        _run_indexed(instance, events, outcome)
-    else:
-        _run_naive(instance, events, outcome)
-    return outcome
-
-
-def _assign(outcome: AssignmentOutcome, worker_id: int, task_id: int) -> None:
-    outcome.matching.assign(worker_id, task_id)
-    outcome.worker_decisions[worker_id] = Decision(Decision.ASSIGNED, partner_id=task_id)
-    outcome.task_decisions[task_id] = Decision(Decision.ASSIGNED, partner_id=worker_id)
-
-
-def _run_naive(instance: Instance, events, outcome: AssignmentOutcome) -> None:
-    travel = instance.travel
-    waiting_workers: Dict[int, Worker] = {}
-    waiting_tasks: Dict[int, Task] = {}
-    for event in events:
-        now = event.time
-        if event.is_worker:
-            worker: Worker = event.entity
-            best_id = None
-            best_distance = None
-            expired = []
-            for task_id, task in waiting_tasks.items():
-                if task.deadline < now:
-                    expired.append(task_id)
-                    continue
-                distance = worker.location.distance_to(task.location)
-                if now + travel.travel_time_for_distance(distance) > task.deadline:
-                    continue
-                if (
-                    best_distance is None
-                    or distance < best_distance
-                    or (distance == best_distance and task_id < best_id)
-                ):
-                    best_id = task_id
-                    best_distance = distance
-            for task_id in expired:
-                del waiting_tasks[task_id]
-            if best_id is not None:
-                del waiting_tasks[best_id]
-                _assign(outcome, worker.id, best_id)
-            else:
-                waiting_workers[worker.id] = worker
-                outcome.worker_decisions[worker.id] = Decision(Decision.STAY)
-        else:
-            task: Task = event.entity
-            best_id = None
-            best_distance = None
-            expired = []
-            for worker_id, worker in waiting_workers.items():
-                if worker.deadline <= now:
-                    expired.append(worker_id)
-                    continue
-                distance = worker.location.distance_to(task.location)
-                if now + travel.travel_time_for_distance(distance) > task.deadline:
-                    continue
-                if (
-                    best_distance is None
-                    or distance < best_distance
-                    or (distance == best_distance and worker_id < best_id)
-                ):
-                    best_id = worker_id
-                    best_distance = distance
-            for worker_id in expired:
-                del waiting_workers[worker_id]
-            if best_id is not None:
-                del waiting_workers[best_id]
-                _assign(outcome, best_id, task.id)
-            else:
-                waiting_tasks[task.id] = task
-                outcome.task_decisions[task.id] = Decision(Decision.WAIT)
-
-
-def _run_indexed(instance: Instance, events, outcome: AssignmentOutcome) -> None:
-    travel = instance.travel
-    worker_index = CellIndex(instance.grid)
-    task_index = CellIndex(instance.grid)
-    workers: Dict[int, Worker] = {}
-    tasks: Dict[int, Task] = {}
-    max_task_duration = max((t.duration for t in instance.tasks), default=0.0)
-
-    for event in events:
-        now = event.time
-        if event.is_worker:
-            worker: Worker = event.entity
-
-            def task_feasible(task_id: int, distance: float) -> bool:
-                task = tasks[task_id]
-                if task.deadline < now:
-                    task_index.remove(task_id)  # lazy expiry
-                    return False
-                return now + travel.travel_time_for_distance(distance) <= task.deadline
-
-            best = task_index.nearest_feasible(
-                worker.location,
-                task_feasible,
-                max_distance=travel.reachable_distance(max_task_duration),
-            )
-            if best is not None:
-                task_index.remove(best)
-                _assign(outcome, worker.id, best)
-            else:
-                workers[worker.id] = worker
-                worker_index.add(worker.id, worker.location)
-                outcome.worker_decisions[worker.id] = Decision(Decision.STAY)
-        else:
-            task: Task = event.entity
-            budget = task.deadline - now
-
-            def worker_feasible(worker_id: int, distance: float) -> bool:
-                candidate = workers[worker_id]
-                if candidate.deadline <= now:
-                    worker_index.remove(worker_id)  # lazy expiry
-                    return False
-                return now + travel.travel_time_for_distance(distance) <= task.deadline
-
-            best = worker_index.nearest_feasible(
-                task.location,
-                worker_feasible,
-                max_distance=travel.reachable_distance(budget),
-            )
-            if best is not None:
-                worker_index.remove(best)
-                _assign(outcome, best, task.id)
-            else:
-                tasks[task.id] = task
-                task_index.add(task.id, task.location)
-                outcome.task_decisions[task.id] = Decision(Decision.WAIT)
+    # Only the indexed ring search reads the radius cutoff; the matcher
+    # maintains a running maximum regardless, so the hint just replays
+    # the batch implementation's exact global-max cutoff.
+    max_task_duration = (
+        max((t.duration for t in instance.tasks), default=0.0) if indexed else 0.0
+    )
+    matcher = GreedyMatcher(
+        instance.travel,
+        grid=instance.grid,
+        indexed=indexed,
+        max_task_duration=max_task_duration,
+    )
+    matcher.begin()
+    observe = matcher.observe
+    for event in instance.arrival_stream() if stream is None else stream:
+        observe(event)
+    return matcher.finish()

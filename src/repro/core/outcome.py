@@ -14,7 +14,7 @@ from typing import Dict, Optional
 
 from repro.model.matching import Matching
 
-__all__ = ["Decision", "AssignmentOutcome"]
+__all__ = ["Decision", "AssignmentOutcome", "STAY", "WAIT", "IGNORED"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +43,16 @@ class Decision:
     STAY = "stay"
     WAIT = "wait"
     IGNORED = "ignored"
+
+
+# Shared immutable decisions for the pathways that carry no payload.
+# ``Decision`` is frozen, so the hot loops reuse these three singletons
+# instead of allocating a fresh object per arrival; ``assigned`` and
+# ``dispatched`` decisions carry partner/area payloads and are still
+# constructed individually.
+STAY = Decision(Decision.STAY)
+WAIT = Decision(Decision.WAIT)
+IGNORED = Decision(Decision.IGNORED)
 
 
 @dataclass

@@ -14,65 +14,28 @@ among free nodes of a type is uniformly random by default — the
 assumption under which Lemma 1 derives the ``(1 − 1/e)² ≈ 0.40``
 competitive ratio — with a deterministic first-free option.
 
-The event loop is the harness's hottest path (100k+ arrivals per sweep
-point), so it runs over the instance's cached vectorized typing pass
-(:meth:`repro.model.instance.Instance.typed_arrivals`), reads the
-guide's cached plain-tuple partner tables, and keeps all occupancy state
-in locally-bound dicts.  The RNG call sequence is identical to the
-naive formulation, so seeded results are unchanged.
+The algorithm itself lives in
+:class:`repro.core.engine.PolarMatcher` — a stateful incremental matcher
+with the ``begin → observe → finish`` protocol — and this module keeps
+:func:`run_polar` as the batch adapter: it feeds the matcher's bulk
+``consume_typed`` loop from the instance's cached vectorized typing pass
+(:meth:`repro.model.instance.Instance.typed_arrivals`), preserving the
+inlined hot path and the RNG call sequence, so seeded results are
+bit-identical to the pre-refactor implementation (parity tests assert
+it).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro.core.engine import PolarMatcher, typed_events as _typed_events
 from repro.core.guide import OfflineGuide
-from repro.core.outcome import AssignmentOutcome, Decision
-from repro.errors import ConfigurationError
-from repro.model.events import WORKER, Arrival
+from repro.core.outcome import AssignmentOutcome
+from repro.model.events import Arrival
 from repro.model.instance import Instance
-from repro.model.matching import Matching
-from repro.seeding import derive_random
 
 __all__ = ["run_polar"]
-
-# Shared immutable decisions for the pathways that carry no payload.
-_STAY = Decision(Decision.STAY)
-_WAIT = Decision(Decision.WAIT)
-_IGNORED = Decision(Decision.IGNORED)
-
-
-def _typed_events(
-    instance: Instance,
-    guide: OfflineGuide,
-    stream: Optional[Sequence[Arrival]],
-):
-    """Yield ``(event, type_index)`` pairs for the run.
-
-    The canonical stream reuses the instance's cached vectorized typing
-    pass when the guide shares the instance's discretisation (the normal
-    case); overridden streams and mismatched discretisations fall back to
-    per-event ``slot_of``/``area_of``.
-    """
-    if (
-        stream is None
-        and guide.grid == instance.grid
-        and guide.timeline == instance.timeline
-    ):
-        events, types = instance.typed_arrivals()
-        return zip(events, types)
-    events = instance.arrival_stream() if stream is None else stream
-    timeline = guide.timeline
-    grid = guide.grid
-    n_areas = grid.n_areas
-    return (
-        (
-            event,
-            timeline.slot_of(event.entity.start) * n_areas
-            + grid.area_of(event.entity.location),
-        )
-        for event in events
-    )
 
 
 def run_polar(
@@ -100,115 +63,7 @@ def run_polar(
     Raises:
         ConfigurationError: for an unknown ``node_choice``.
     """
-    if node_choice not in ("random", "first"):
-        raise ConfigurationError(f"unknown node_choice {node_choice!r}")
-    rng = derive_random(seed, "polar")
-    shuffle = rng.shuffle
-    random_choice = node_choice == "random"
-    outcome = AssignmentOutcome(algorithm="POLAR", matching=Matching())
-    outcome.extras["guide_size"] = float(guide.matched_pairs)
-
-    worker_capacity = guide.worker_capacity_list()
-    task_capacity = guide.task_capacity_list()
-    worker_partners = guide.worker_partner_table()
-    task_partners = guide.task_partner_table()
-    n_areas = guide.grid.n_areas
-
-    # Occupancy state per side: free-node pools are created lazily per
-    # type (shuffled once under random choice — O(1) amortised per
-    # arrival), occupants are type -> {offset: object id}.
-    worker_free: Dict[int, List[int]] = {}
-    task_free: Dict[int, List[int]] = {}
-    worker_occupant: Dict[int, Dict[int, int]] = {}
-    task_occupant: Dict[int, Dict[int, int]] = {}
-
-    assign = outcome.matching.assign
-    worker_decisions = outcome.worker_decisions
-    task_decisions = outcome.task_decisions
-
-    for event, type_index in _typed_events(instance, guide, stream):
-        object_id = event.entity.id
-        if event.kind == WORKER:
-            pool = worker_free.get(type_index)
-            if pool is None:
-                pool = list(range(worker_capacity[type_index]))
-                if random_choice:
-                    shuffle(pool)
-                else:
-                    pool.reverse()  # pop() then yields offsets 0, 1, 2, …
-                worker_free[type_index] = pool
-            if not pool:
-                outcome.ignored_workers += 1
-                worker_decisions[object_id] = _IGNORED
-                continue
-            offset = pool.pop()
-            occupants = worker_occupant.get(type_index)
-            if occupants is None:
-                occupants = worker_occupant[type_index] = {}
-            occupants[offset] = object_id
-            partners = worker_partners.get(type_index)
-            partner = partners[offset] if partners is not None else None
-            if partner is None:
-                worker_decisions[object_id] = _STAY
-                continue
-            task_type, task_offset = partner
-            paired = task_occupant.get(task_type)
-            occupant = paired.get(task_offset) if paired is not None else None
-            if occupant is not None:
-                assign(object_id, occupant)
-                worker_decisions[object_id] = Decision(
-                    Decision.ASSIGNED, partner_id=occupant
-                )
-                task_decisions[occupant] = Decision(
-                    Decision.ASSIGNED, partner_id=object_id
-                )
-            else:
-                worker_decisions[object_id] = Decision(
-                    Decision.DISPATCHED, target_area=task_type % n_areas
-                )
-        else:
-            pool = task_free.get(type_index)
-            if pool is None:
-                pool = list(range(task_capacity[type_index]))
-                if random_choice:
-                    shuffle(pool)
-                else:
-                    pool.reverse()
-                task_free[type_index] = pool
-            if not pool:
-                outcome.ignored_tasks += 1
-                task_decisions[object_id] = _IGNORED
-                continue
-            offset = pool.pop()
-            occupants = task_occupant.get(type_index)
-            if occupants is None:
-                occupants = task_occupant[type_index] = {}
-            occupants[offset] = object_id
-            partners = task_partners.get(type_index)
-            partner = partners[offset] if partners is not None else None
-            if partner is None:
-                task_decisions[object_id] = _WAIT
-                continue
-            worker_type, worker_offset = partner
-            paired = worker_occupant.get(worker_type)
-            occupant = paired.get(worker_offset) if paired is not None else None
-            # Each node is occupied at most once and matched only through
-            # its unique guide partner, so an occupied partner is
-            # necessarily unmatched; Matching.assign would raise if that
-            # invariant broke.
-            if occupant is not None:
-                assign(occupant, object_id)
-                task_decisions[object_id] = Decision(
-                    Decision.ASSIGNED, partner_id=occupant
-                )
-                # Preserve the worker's dispatch destination: the movement
-                # audit needs to know the worker was pre-positioned, not
-                # stationary.
-                previous = worker_decisions.get(occupant)
-                target = previous.target_area if previous is not None else None
-                worker_decisions[occupant] = Decision(
-                    Decision.ASSIGNED, target_area=target, partner_id=object_id
-                )
-            else:
-                task_decisions[object_id] = _WAIT
-    return outcome
+    matcher = PolarMatcher(guide, node_choice=node_choice, seed=seed)
+    matcher.begin()
+    matcher.consume_typed(_typed_events(instance, guide, stream))
+    return matcher.finish()

@@ -12,52 +12,24 @@ nodes.
 Per guide edge ``e`` the number of matches is ``min(We, Re)`` — the
 balls-into-bins quantity behind Lemma 3's ``≈ 0.47`` competitive ratio.
 Processing stays O(1) per arrival.
+
+The algorithm lives in :class:`repro.core.engine.PolarOpMatcher`; this
+module keeps :func:`run_polar_op` as the batch adapter over the
+matcher's bulk typed-event loop (bit-identical to the pre-refactor
+implementation — parity tests assert it).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
+from repro.core.engine import PolarOpMatcher, typed_events as _typed_events
 from repro.core.guide import OfflineGuide
-from repro.core.outcome import AssignmentOutcome, Decision
-from repro.core.polar import _typed_events
-from repro.errors import ConfigurationError
-from repro.model.events import WORKER, Arrival
+from repro.core.outcome import AssignmentOutcome
+from repro.model.events import Arrival
 from repro.model.instance import Instance
-from repro.model.matching import Matching
-from repro.seeding import derive_random
 
 __all__ = ["run_polar_op"]
-
-_NodeKey = Tuple[int, int]
-
-_WAIT = Decision(Decision.WAIT)
-_IGNORED = Decision(Decision.IGNORED)
-
-
-class _AssociationSide:
-    """Association bookkeeping for one side of the guide.
-
-    Each node keeps a FIFO of associated-but-unmatched object ids; nodes
-    are reusable so there is no free pool, just the queues.
-    """
-
-    __slots__ = ("_queues",)
-
-    def __init__(self) -> None:
-        self._queues: Dict[_NodeKey, Deque[int]] = {}
-
-    def park(self, node: _NodeKey, object_id: int) -> None:
-        """Record ``object_id`` as waiting on ``node``."""
-        self._queues.setdefault(node, deque()).append(object_id)
-
-    def pop_waiting(self, node: _NodeKey) -> Optional[int]:
-        """Pop the oldest unmatched object on ``node``, or None."""
-        queue = self._queues.get(node)
-        if queue:
-            return queue.popleft()
-        return None
 
 
 def run_polar_op(
@@ -89,95 +61,7 @@ def run_polar_op(
     Raises:
         ConfigurationError: for an unknown ``node_choice``.
     """
-    if node_choice not in ("random", "round_robin"):
-        raise ConfigurationError(f"unknown node_choice {node_choice!r}")
-    rng = derive_random(seed, "polar-op")
-    randrange = rng.randrange
-    random_choice = node_choice == "random"
-    cursor: Dict[Tuple[str, int], int] = {}
-
-    worker_parked = _AssociationSide()
-    task_parked = _AssociationSide()
-    outcome = AssignmentOutcome(algorithm="POLAR-OP", matching=Matching())
-    outcome.extras["guide_size"] = float(guide.matched_pairs)
-
-    worker_capacity = guide.worker_capacity_list()
-    task_capacity = guide.task_capacity_list()
-    worker_partners = guide.worker_partner_table()
-    task_partners = guide.task_partner_table()
-    n_areas = guide.grid.n_areas
-
-    assign = outcome.matching.assign
-    worker_decisions = outcome.worker_decisions
-    task_decisions = outcome.task_decisions
-    pop_waiting_task = task_parked.pop_waiting
-    pop_waiting_worker = worker_parked.pop_waiting
-    park_worker = worker_parked.park
-    park_task = task_parked.park
-
-    for event, type_index in _typed_events(instance, guide, stream):
-        object_id = event.entity.id
-        if event.kind == WORKER:
-            capacity = worker_capacity[type_index]
-            if capacity == 0:
-                outcome.ignored_workers += 1
-                worker_decisions[object_id] = _IGNORED
-                continue
-            if random_choice:
-                offset = randrange(capacity)
-            else:
-                key = ("w", type_index)
-                offset = cursor.get(key, 0)
-                cursor[key] = (offset + 1) % capacity
-            partners = worker_partners.get(type_index)
-            partner = partners[offset] if partners is not None else None
-            if partner is None:
-                worker_decisions[object_id] = Decision(Decision.STAY)
-                continue
-            waiting_task = pop_waiting_task(partner)
-            if waiting_task is not None:
-                assign(object_id, waiting_task)
-                worker_decisions[object_id] = Decision(
-                    Decision.ASSIGNED, partner_id=waiting_task
-                )
-                task_decisions[waiting_task] = Decision(
-                    Decision.ASSIGNED, partner_id=object_id
-                )
-            else:
-                park_worker((type_index, offset), object_id)
-                worker_decisions[object_id] = Decision(
-                    Decision.DISPATCHED, target_area=partner[0] % n_areas
-                )
-        else:
-            capacity = task_capacity[type_index]
-            if capacity == 0:
-                outcome.ignored_tasks += 1
-                task_decisions[object_id] = _IGNORED
-                continue
-            if random_choice:
-                offset = randrange(capacity)
-            else:
-                key = ("r", type_index)
-                offset = cursor.get(key, 0)
-                cursor[key] = (offset + 1) % capacity
-            partners = task_partners.get(type_index)
-            partner = partners[offset] if partners is not None else None
-            if partner is None:
-                task_decisions[object_id] = _WAIT
-                continue
-            waiting_worker = pop_waiting_worker(partner)
-            if waiting_worker is not None:
-                assign(waiting_worker, object_id)
-                task_decisions[object_id] = Decision(
-                    Decision.ASSIGNED, partner_id=waiting_worker
-                )
-                # Preserve the dispatch destination for the movement audit.
-                previous = worker_decisions.get(waiting_worker)
-                target = previous.target_area if previous is not None else None
-                worker_decisions[waiting_worker] = Decision(
-                    Decision.ASSIGNED, target_area=target, partner_id=object_id
-                )
-            else:
-                park_task((type_index, offset), object_id)
-                task_decisions[object_id] = _WAIT
-    return outcome
+    matcher = PolarOpMatcher(guide, node_choice=node_choice, seed=seed)
+    matcher.begin()
+    matcher.consume_typed(_typed_events(instance, guide, stream))
+    return matcher.finish()

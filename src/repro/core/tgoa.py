@@ -20,16 +20,13 @@ cannot solve our problem" because FTOA adds worker movement):
   it), and commit **only** the newcomer's edge (the invariable constraint
   forbids revoking earlier choices; uncommitted pairs stay open).
 
-Two candidate-enumeration strategies share these semantics:
-
-* ``indexed=True`` (default) — each side's waiting set is mirrored in a
-  persistent :class:`~repro.core.cellindex.CellIndex`, so phase 1 runs a
-  ring nearest-search and phase 2 enumerates only spatially reachable
-  pairs instead of rebuilding the full ``O(n²)`` adjacency per arrival.
-  Candidate lists are replayed in waiting-set insertion order, so the
-  augmenting-path search visits edges exactly as the dense scan would —
-  matchings are identical (a parity test asserts it).
-* ``indexed=False`` — the literal dense scan, kept as the reference.
+Two candidate-enumeration strategies share these semantics (``indexed=
+True`` rings vs the ``indexed=False`` dense reference scan) — see
+:class:`repro.core.engine.TgoaMatcher`, where the algorithm now lives as
+an incremental matcher.  TGOA is the one baseline whose definition
+references the stream length (the halfway phase switch), so the matcher
+takes that boundary up front and this adapter derives it from the
+materialized stream.
 
 Note a structural consequence of irrevocable commitments in the FTOA
 setting: objects wait only when nothing feasible is available, so the
@@ -47,68 +44,14 @@ which is precisely the gap POLAR fills.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.core.cellindex import CellIndex
-from repro.core.outcome import AssignmentOutcome, Decision
-from repro.model.entities import Task, Worker
+from repro.core.engine import TgoaMatcher
+from repro.core.outcome import STAY, WAIT, AssignmentOutcome
 from repro.model.events import Arrival
 from repro.model.instance import Instance
-from repro.model.matching import Matching
 
 __all__ = ["run_tgoa"]
-
-# Below this many waiting candidates a direct dict scan beats the ring
-# machinery; the scan visits the waiting dict in insertion order, which
-# is exactly the dense reference order, so parity is unaffected.
-_DENSE_POOL_CUTOFF = 32
-
-
-def _nearest_feasible(entity, candidates, travel, now, task_side):
-    """Nearest wait-in-place-feasible partner id, or None (dense scan)."""
-    best_id = None
-    best_distance = None
-    for other_id, other in candidates.items():
-        if task_side:
-            worker, task = entity, other
-        else:
-            worker, task = other, entity
-        if task.deadline < now or worker.deadline <= now:
-            continue
-        distance = worker.location.distance_to(task.location)
-        if now + travel.travel_time_for_distance(distance) > task.deadline:
-            continue
-        if (
-            best_distance is None
-            or distance < best_distance
-            or (distance == best_distance and other_id < best_id)
-        ):
-            best_id = other_id
-            best_distance = distance
-    return best_id
-
-
-def _augment_from(newcomer_id, adjacency, matched_partner):
-    """One augmenting-path search rooted at the newcomer (Kuhn step).
-
-    ``adjacency`` maps left ids to candidate right ids; ``matched_partner``
-    is the current right → left tentative matching.  Returns the right id
-    the newcomer ends up matched to, or None.
-    """
-    visited = set()
-
-    def try_match(left_id) -> Optional[int]:
-        for right_id in adjacency.get(left_id, ()):
-            if right_id in visited:
-                continue
-            visited.add(right_id)
-            current = matched_partner.get(right_id)
-            if current is None or try_match(current) is not None:
-                matched_partner[right_id] = left_id
-                return right_id
-        return None
-
-    return try_match(newcomer_id)
 
 
 def run_tgoa(
@@ -128,216 +71,23 @@ def run_tgoa(
     Returns the committed matching; per-object decisions mirror the other
     baselines (``stay`` / ``wait`` for objects that never match).
     """
-    outcome = AssignmentOutcome(algorithm="TGOA", matching=Matching())
-    travel = instance.travel
     events = list(instance.arrival_stream() if stream is None else stream)
-    halfway = len(events) // 2
-
-    waiting_workers: Dict[int, Worker] = {}
-    waiting_tasks: Dict[int, Task] = {}
-    worker_index = CellIndex(instance.grid) if indexed else None
-    task_index = CellIndex(instance.grid) if indexed else None
-    # Insertion ranks replay the dense scan's dict order when sorting
-    # ring-query candidates — the augmenting-path search then visits
-    # edges identically, keeping indexed matchings bit-identical.
-    worker_rank: Dict[int, int] = {}
-    task_rank: Dict[int, int] = {}
-    max_task_duration = max((t.duration for t in instance.tasks), default=0.0)
-
-    def park(event: Arrival) -> None:
-        entity = event.entity
-        if event.is_worker:
-            waiting_workers[entity.id] = entity
-            worker_rank[entity.id] = len(worker_rank)
-            if indexed:
-                worker_index.add(entity.id, entity.location)
-        else:
-            waiting_tasks[entity.id] = entity
-            task_rank[entity.id] = len(task_rank)
-            if indexed:
-                task_index.add(entity.id, entity.location)
-
-    def commit(worker_id: int, task_id: int) -> None:
-        outcome.matching.assign(worker_id, task_id)
-        outcome.worker_decisions[worker_id] = Decision(
-            Decision.ASSIGNED, partner_id=task_id
-        )
-        outcome.task_decisions[task_id] = Decision(
-            Decision.ASSIGNED, partner_id=worker_id
-        )
-        waiting_workers.pop(worker_id, None)
-        waiting_tasks.pop(task_id, None)
-        if indexed:
-            worker_index.remove(worker_id)  # missing ids are ignored
-            task_index.remove(task_id)
-
-    def purge(now: float) -> None:
-        for worker_id in [w for w, worker in waiting_workers.items() if worker.deadline <= now]:
-            del waiting_workers[worker_id]
-            if indexed:
-                worker_index.remove(worker_id)
-        for task_id in [t for t, task in waiting_tasks.items() if task.deadline < now]:
-            del waiting_tasks[task_id]
-            if indexed:
-                task_index.remove(task_id)
-
-    def nearest_indexed(event: Arrival, now: float) -> Optional[int]:
-        """Phase 1 via the ring search (same tie-breaks as the scan)."""
-        entity = event.entity
-        if event.is_worker:
-            if len(waiting_tasks) <= _DENSE_POOL_CUTOFF:
-                return _nearest_feasible(
-                    entity, waiting_tasks, travel, now, task_side=True
-                )
-
-            def feasible(task_id: int, distance: float) -> bool:
-                deadline = waiting_tasks[task_id].deadline
-                return now + travel.travel_time_for_distance(distance) <= deadline
-
-            return task_index.nearest_feasible(
-                entity.location,
-                feasible,
-                max_distance=travel.reachable_distance(max_task_duration),
-            )
-
-        if len(waiting_workers) <= _DENSE_POOL_CUTOFF:
-            return _nearest_feasible(
-                entity, waiting_workers, travel, now, task_side=False
-            )
-
-        def feasible(worker_id: int, distance: float) -> bool:
-            return now + travel.travel_time_for_distance(distance) <= entity.deadline
-
-        return worker_index.nearest_feasible(
-            entity.location,
-            feasible,
-            max_distance=travel.reachable_distance(entity.deadline - now),
-        )
-
-    def candidate_edges(left, now: float, left_is_worker: bool) -> List[int]:
-        """Feasible right ids for one left object, in insertion order."""
-        if left_is_worker:
-            if len(waiting_tasks) <= _DENSE_POOL_CUTOFF:
-                # Dict scan in insertion order — already the dense order.
-                return [
-                    task_id
-                    for task_id, task in waiting_tasks.items()
-                    if now
-                    + travel.travel_time_for_distance(
-                        left.location.distance_to(task.location)
-                    )
-                    <= task.deadline
-                ]
-            pairs = task_index.within(
-                left.location, travel.reachable_distance(max_task_duration)
-            )
-            rank = task_rank
-            edges = [
-                task_id
-                for task_id, distance in pairs
-                if now + travel.travel_time_for_distance(distance)
-                <= waiting_tasks[task_id].deadline
-            ]
-        else:
-            if len(waiting_workers) <= _DENSE_POOL_CUTOFF:
-                return [
-                    worker_id
-                    for worker_id, worker in waiting_workers.items()
-                    if now
-                    + travel.travel_time_for_distance(
-                        worker.location.distance_to(left.location)
-                    )
-                    <= left.deadline
-                ]
-            pairs = worker_index.within(
-                left.location, travel.reachable_distance(left.deadline - now)
-            )
-            rank = worker_rank
-            edges = [
-                worker_id
-                for worker_id, distance in pairs
-                if now + travel.travel_time_for_distance(distance) <= left.deadline
-            ]
-        edges.sort(key=rank.__getitem__)
-        return edges
-
-    def optimal_partner(event: Arrival, now: float) -> Optional[int]:
-        """The newcomer's partner in a maximum matching of the waiting
-        graph, found by building a tentative Hungarian matching with the
-        newcomer inserted last (so it only claims a partner when an
-        augmenting path exists)."""
-        newcomer = event.entity
-        if indexed:
-            left_ids = list(waiting_workers if event.is_worker else waiting_tasks)
-            left_pool = waiting_workers if event.is_worker else waiting_tasks
-            adjacency: Dict[int, List[int]] = {}
-            for left_id in left_ids:
-                adjacency[left_id] = candidate_edges(
-                    left_pool[left_id], now, event.is_worker
-                )
-            adjacency[newcomer.id] = candidate_edges(newcomer, now, event.is_worker)
-        else:
-            if event.is_worker:
-                dense_pool = dict(waiting_workers)
-                dense_pool[newcomer.id] = newcomer
-                right_pool = waiting_tasks
-            else:
-                dense_pool = dict(waiting_tasks)
-                dense_pool[newcomer.id] = newcomer
-                right_pool = waiting_workers
-            left_ids = [i for i in dense_pool if i != newcomer.id]
-            adjacency = {}
-            for left_id, left in dense_pool.items():
-                edges = []
-                for right_id, right in right_pool.items():
-                    worker, task = (
-                        (left, right) if event.is_worker else (right, left)
-                    )
-                    if task.deadline < now or worker.deadline <= now:
-                        continue
-                    distance = worker.location.distance_to(task.location)
-                    if now + travel.travel_time_for_distance(distance) <= task.deadline:
-                        edges.append(right_id)
-                adjacency[left_id] = edges
-
-        matched_partner: Dict[int, int] = {}
-        for left_id in left_ids:
-            _augment_from(left_id, adjacency, matched_partner)
-        return _augment_from(newcomer.id, adjacency, matched_partner)
-
-    for index, event in enumerate(events):
-        now = event.time
-        purge(now)
-        if index < halfway:
-            # Phase 1: plain nearest-feasible greedy.
-            if indexed:
-                partner = nearest_indexed(event, now)
-            elif event.is_worker:
-                partner = _nearest_feasible(
-                    event.entity, waiting_tasks, travel, now, task_side=True
-                )
-            else:
-                partner = _nearest_feasible(
-                    event.entity, waiting_workers, travel, now, task_side=False
-                )
-        else:
-            # Phase 2: match the newcomer per a maximum matching of the
-            # revealed graph.
-            partner = optimal_partner(event, now)
-        if partner is not None:
-            if event.is_worker:
-                commit(event.entity.id, partner)
-            else:
-                commit(partner, event.entity.id)
-        else:
-            park(event)
-
-    for worker_id in waiting_workers:
-        outcome.worker_decisions.setdefault(worker_id, Decision(Decision.STAY))
-    for task_id in waiting_tasks:
-        outcome.task_decisions.setdefault(task_id, Decision(Decision.WAIT))
+    matcher = TgoaMatcher(
+        instance.travel,
+        grid=instance.grid,
+        halfway=len(events) // 2,
+        indexed=indexed,
+        max_task_duration=max((t.duration for t in instance.tasks), default=0.0),
+    )
+    matcher.begin()
+    observe = matcher.observe
+    for event in events:
+        observe(event)
+    outcome = matcher.finish()
+    # Entities absent from an overridden stream still get a decision,
+    # mirroring the batch implementation's instance-wide backfill.
     for worker in instance.workers:
-        outcome.worker_decisions.setdefault(worker.id, Decision(Decision.STAY))
+        outcome.worker_decisions.setdefault(worker.id, STAY)
     for task in instance.tasks:
-        outcome.task_decisions.setdefault(task.id, Decision(Decision.WAIT))
+        outcome.task_decisions.setdefault(task.id, WAIT)
     return outcome

@@ -15,6 +15,13 @@ Each worker keeps a small LRU of recently built points (instance +
 guide) and, for the taxi cities, the fitted HP-MSI forecast, so the five
 algorithm cells of one sweep point amortise a single rebuild per
 process.
+
+Cell execution itself goes through the serving layer: ``_execute_cell``
+delegates to :func:`repro.experiments.runner.run_algorithm_cell`, which
+drives each stream algorithm's incremental matcher through a
+:class:`~repro.serving.session.MatchingSession` — the identical engine
+(and hot loops) in every worker process, the main process, and a live
+replay.
 """
 
 from __future__ import annotations

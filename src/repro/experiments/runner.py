@@ -5,6 +5,15 @@ algorithms of Section 6.1 (SimpleGreedy, GR, POLAR, POLAR-OP, OPT).  Per
 the paper, "we omit the running time of the offline preprocessing": the
 guide build is measured separately and reported as provenance, not as
 POLAR's running time.
+
+Every stream algorithm is executed through the serving layer: a
+:class:`~repro.serving.session.MatchingSession` drives the algorithm's
+incremental :class:`~repro.core.engine.Matcher` over the instance's
+arrival stream — the same engine a live deployment or a ``repro
+replay`` uses.  The session's bulk fast path makes this free for the
+harness (bit-identical results, same hot loops); OPT is offline (it sees
+the full future by definition) and runs directly.  The TGOA baseline is
+also available as a cell algorithm beyond the paper's five.
 """
 
 from __future__ import annotations
@@ -13,16 +22,14 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.core.batch import run_batch
-from repro.core.greedy import run_simple_greedy
+from repro.core.engine import STREAM_ALGORITHMS, create_matcher
 from repro.core.guide import OfflineGuide, build_guide
 from repro.core.opt import run_opt
-from repro.core.polar import run_polar
-from repro.core.polar_op import run_polar_op
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReproError
 from repro.experiments.measurement import measure
 from repro.experiments.results import AlgoCell
 from repro.model.instance import Instance
+from repro.serving.session import InstanceSource, MatchingSession
 
 __all__ = [
     "DEFAULT_ALGORITHMS",
@@ -85,7 +92,7 @@ def run_algorithm_cell(
         instance: the problem instance.
         guide: the offline guide (required iff ``algorithm`` is POLAR or
             POLAR-OP).
-        algorithm: one of :data:`DEFAULT_ALGORITHMS`.
+        algorithm: one of :data:`DEFAULT_ALGORITHMS` (or ``"TGOA"``).
         measure_memory: also run the algorithm under tracemalloc.
         opt_method: forwarded to OPT.
         seed: node-choice seed for POLAR / POLAR-OP.
@@ -95,18 +102,22 @@ def run_algorithm_cell(
     """
     if algorithm in ("POLAR", "POLAR-OP") and guide is None:
         raise ExperimentError(f"{algorithm} requires an offline guide")
-    if algorithm == "SimpleGreedy":
-        total_objects = instance.n_workers + instance.n_tasks
-        greedy_indexed = total_objects > _GREEDY_INDEX_THRESHOLD
-        fn = lambda: run_simple_greedy(instance, indexed=greedy_indexed)
-    elif algorithm == "GR":
-        fn = lambda: run_batch(instance)
-    elif algorithm == "POLAR":
-        fn = lambda: run_polar(instance, guide, seed=seed)
-    elif algorithm == "POLAR-OP":
-        fn = lambda: run_polar_op(instance, guide, seed=seed)
-    elif algorithm == "OPT":
+    if algorithm == "OPT":
         fn = lambda: run_opt(instance, method=opt_method)
+    elif algorithm in STREAM_ALGORITHMS:
+        total_objects = instance.n_workers + instance.n_tasks
+        try:
+            matcher = create_matcher(
+                algorithm,
+                instance,
+                guide=guide,
+                seed=seed,
+                greedy_indexed=total_objects > _GREEDY_INDEX_THRESHOLD,
+            )
+        except ReproError as exc:
+            raise ExperimentError(str(exc)) from exc
+        session = MatchingSession(matcher, InstanceSource(instance))
+        fn = session.run
     else:
         raise ExperimentError(f"unknown algorithm {algorithm!r}")
     run = measure(fn, measure_memory=measure_memory)
@@ -132,7 +143,7 @@ def run_algorithms_on_instance(
         instance: the problem instance.
         guide: the offline guide (required iff POLAR/POLAR-OP are among
             ``algorithms``).
-        algorithms: subset of :data:`DEFAULT_ALGORITHMS`.
+        algorithms: subset of :data:`DEFAULT_ALGORITHMS` plus ``"TGOA"``.
         measure_memory: also run each algorithm under tracemalloc.
         opt_method: forwarded to OPT.
         seed: node-choice seed for POLAR.

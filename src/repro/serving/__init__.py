@@ -1,0 +1,36 @@
+"""The streaming session layer: drive matchers from any event source.
+
+* :mod:`repro.serving.session` — :class:`MatchingSession`, the driver
+  that feeds one :class:`repro.core.engine.Matcher` from an event source
+  (a pregenerated :class:`~repro.model.instance.Instance`, a live
+  generator, or any iterator of arrivals) with mid-stream metric
+  snapshots.
+* :mod:`repro.serving.replay` — JSONL arrival-stream codec and the
+  ``repro replay`` / ``repro dump`` CLI drivers.
+
+This is the seam a traffic-serving deployment plugs into: the experiment
+harness (:mod:`repro.experiments.runner`) routes its per-cell algorithm
+executions through the same session the CLI replay uses, so batch
+reproduction and stepwise serving can never drift apart.
+"""
+
+from repro.serving.replay import dump_stream, load_stream
+from repro.serving.session import (
+    EventSource,
+    InstanceSource,
+    IteratorSource,
+    MatchingSession,
+    SessionSnapshot,
+    as_source,
+)
+
+__all__ = [
+    "MatchingSession",
+    "SessionSnapshot",
+    "EventSource",
+    "InstanceSource",
+    "IteratorSource",
+    "as_source",
+    "dump_stream",
+    "load_stream",
+]

@@ -1,0 +1,218 @@
+"""JSONL arrival streams: dump, load, and self-guided replay.
+
+One platform arrival per line::
+
+    {"kind": "worker", "id": 0, "x": 3.2, "y": 1.5, "start": 0.0, "duration": 240.0}
+    {"kind": "task",   "id": 0, "x": 7.0, "y": 2.5, "start": 5.0, "duration": 120.0}
+
+Lines must be time-ordered (FTOA's totally-ordered stream); blank lines
+and ``#`` comments are skipped.  An optional leading ``config`` record
+(the schema :func:`stream_config` emits)::
+
+    {"kind": "config", "bounds": [0.0, 0.0, 50.0, 50.0], "nx": 50, "ny": 50,
+     "n_slots": 48, "slot_minutes": 30.0, "t0": 0.0, "velocity": 0.1667}
+
+carries the discretisation the stream was generated under, so ``repro
+replay`` can rebuild the matching grid/timeline/travel model without the
+caller re-typing them.  ``repro dump`` writes it automatically.
+
+For the guide-driven algorithms (POLAR / POLAR-OP) a replay builds a
+*self-guide*: the empirical (slot, area) counts of the replayed stream
+itself fed to Algorithm 1 — the perfect-prediction oracle, the upper
+bound a real forecast approaches.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.guide import OfflineGuide, build_guide
+from repro.errors import SimulationError
+from repro.model.entities import Task, Worker
+from repro.model.events import TASK, WORKER, Arrival
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+
+__all__ = [
+    "arrival_to_record",
+    "record_to_arrival",
+    "dump_stream",
+    "load_stream",
+    "stream_config",
+    "build_self_guide",
+]
+
+_REQUIRED_FIELDS = ("id", "x", "y", "start", "duration")
+
+
+def arrival_to_record(arrival: Arrival) -> dict:
+    """One arrival as a JSON-serialisable record."""
+    entity = arrival.entity
+    return {
+        "kind": arrival.kind,
+        "id": entity.id,
+        "x": entity.location.x,
+        "y": entity.location.y,
+        "start": entity.start,
+        "duration": entity.duration,
+    }
+
+
+def record_to_arrival(record: dict, seq: int) -> Arrival:
+    """Rebuild one arrival from its JSONL record.
+
+    Raises:
+        SimulationError: for unknown kinds or missing fields.
+    """
+    kind = record.get("kind")
+    if kind not in (WORKER, TASK):
+        raise SimulationError(f"unknown arrival kind {kind!r} in stream record")
+    missing = [field for field in _REQUIRED_FIELDS if field not in record]
+    if missing:
+        raise SimulationError(
+            f"stream record missing fields {missing} (record: {record!r})"
+        )
+    cls = Worker if kind == WORKER else Task
+    entity = cls(
+        id=int(record["id"]),
+        location=Point(float(record["x"]), float(record["y"])),
+        start=float(record["start"]),
+        duration=float(record["duration"]),
+    )
+    return Arrival(time=entity.start, seq=seq, kind=kind, entity=entity)
+
+
+def stream_config(
+    grid: Grid, timeline: Timeline, travel: TravelModel
+) -> dict:
+    """The config record describing a stream's discretisation."""
+    return {
+        "kind": "config",
+        "bounds": [
+            grid.bounds.x_min,
+            grid.bounds.y_min,
+            grid.bounds.x_max,
+            grid.bounds.y_max,
+        ],
+        "nx": grid.nx,
+        "ny": grid.ny,
+        "n_slots": timeline.n_slots,
+        "slot_minutes": timeline.slot_minutes,
+        "t0": timeline.t0,
+        "velocity": travel.velocity,
+    }
+
+
+def dump_stream(
+    events: Iterable[Arrival],
+    fp: IO[str],
+    config: Optional[dict] = None,
+) -> int:
+    """Write a stream (optionally preceded by a config record) as JSONL.
+
+    Returns the number of arrival lines written.
+    """
+    if config is not None:
+        fp.write(json.dumps(config) + "\n")
+    count = 0
+    for arrival in events:
+        fp.write(json.dumps(arrival_to_record(arrival)) + "\n")
+        count += 1
+    return count
+
+
+def load_stream(fp: IO[str]) -> Tuple[Optional[dict], List[Arrival]]:
+    """Read a JSONL stream: ``(config record or None, arrivals)``.
+
+    Arrival order is validated (times must be non-decreasing — a
+    totally-ordered stream is the online model's contract); sequence
+    numbers are assigned in file order.
+
+    Raises:
+        SimulationError: for malformed JSON, unknown kinds, missing
+            fields, out-of-order arrivals, or a config record after the
+            first data line.
+    """
+    config: Optional[dict] = None
+    events: List[Arrival] = []
+    last_time: Optional[float] = None
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(f"line {lineno}: invalid JSON ({exc})") from None
+        if not isinstance(record, dict):
+            raise SimulationError(f"line {lineno}: expected an object")
+        if record.get("kind") == "config":
+            if events:
+                raise SimulationError(
+                    f"line {lineno}: config record must precede all arrivals"
+                )
+            config = record
+            continue
+        arrival = record_to_arrival(record, seq=len(events))
+        if last_time is not None and arrival.time < last_time:
+            raise SimulationError(
+                f"line {lineno}: arrival at t={arrival.time} after t={last_time} "
+                "(streams must be time-ordered)"
+            )
+        last_time = arrival.time
+        events.append(arrival)
+    return config, events
+
+
+def build_self_guide(
+    events: Iterable[Arrival],
+    grid: Grid,
+    timeline: Timeline,
+    travel: TravelModel,
+) -> OfflineGuide:
+    """Algorithm 1 fed with the stream's own empirical counts.
+
+    This is the perfect-prediction oracle for a replayed stream: the
+    (slot, area) tensors are the exact arrival counts, and the guide's
+    representative durations are the per-side means.  Real deployments
+    substitute a forecast; the self-guide is the upper bound it chases.
+
+    Raises:
+        SimulationError: for an empty stream (no counts to build from).
+    """
+    worker_counts = np.zeros((timeline.n_slots, grid.n_areas), dtype=np.int64)
+    task_counts = np.zeros_like(worker_counts)
+    worker_durations: List[float] = []
+    task_durations: List[float] = []
+    for arrival in events:
+        entity = arrival.entity
+        slot = timeline.slot_of(entity.start)
+        area = grid.area_of(entity.location)
+        if arrival.is_worker:
+            worker_counts[slot, area] += 1
+            worker_durations.append(entity.duration)
+        else:
+            task_counts[slot, area] += 1
+            task_durations.append(entity.duration)
+    if not worker_durations and not task_durations:
+        raise SimulationError("cannot build a guide from an empty stream")
+    worker_duration = (
+        sum(worker_durations) / len(worker_durations) if worker_durations else 0.0
+    )
+    task_duration = (
+        sum(task_durations) / len(task_durations) if task_durations else 0.0
+    )
+    return build_guide(
+        worker_counts,
+        task_counts,
+        grid,
+        timeline,
+        travel,
+        worker_duration,
+        task_duration,
+    )

@@ -1,0 +1,333 @@
+"""The matching session: one matcher, one event stream, live metrics.
+
+FTOA's online model is a platform observing "a single totally-ordered
+stream of arrivals" (Definition 4).  :class:`MatchingSession` is that
+platform loop, decoupled from where arrivals come from:
+
+* a pregenerated :class:`~repro.model.instance.Instance` (the experiment
+  harness's case — :class:`InstanceSource`);
+* any iterator of :class:`~repro.model.events.Arrival` objects — a live
+  generator from :mod:`repro.streams`, a JSONL replay
+  (:mod:`repro.serving.replay`), a network feed (:class:`IteratorSource`);
+* or no source at all: the push API (:meth:`MatchingSession.begin` /
+  :meth:`~MatchingSession.push` / :meth:`~MatchingSession.finish`) lets a
+  caller hand arrivals over one by one as they happen.
+
+Sessions sample :class:`SessionSnapshot` metrics mid-stream (every
+``snapshot_every`` arrivals, plus a final end-of-stream sample when it
+adds information), so long replays report progress without waiting for
+the final outcome.
+
+Performance: when the source is an :class:`InstanceSource` whose
+discretisation matches a typed matcher's guide, :meth:`MatchingSession.
+run` feeds the matcher's bulk ``consume_typed`` loop from the instance's
+cached vectorized typing pass — the exact hot path the ``run_*``
+adapters use, so routing the experiment harness through sessions costs
+nothing.  Stepwise feeding (``push`` or a bare iterator) runs the same
+loop one arrival at a time; the snapshot in ``BENCH_engine.json``
+quantifies the per-arrival overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Union
+
+from repro.core.engine import Matcher, TypedMatcher
+from repro.core.outcome import AssignmentOutcome, Decision
+from repro.errors import ConfigurationError
+from repro.model.events import Arrival
+from repro.model.instance import Instance
+
+__all__ = [
+    "SessionSnapshot",
+    "EventSource",
+    "InstanceSource",
+    "IteratorSource",
+    "MatchingSession",
+    "as_source",
+]
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Point-in-time metrics of a running (or finished) session.
+
+    Attributes:
+        arrivals: arrivals observed so far.
+        workers / tasks: per-kind arrival counts.
+        matched: committed pairs so far.
+        ignored_workers / ignored_tasks: objects with no guide node.
+        stream_time: the last observed arrival's platform time (None
+            before the first arrival).
+        wall_seconds: wall-clock seconds since the session began.
+    """
+
+    arrivals: int
+    workers: int
+    tasks: int
+    matched: int
+    ignored_workers: int
+    ignored_tasks: int
+    stream_time: Optional[float]
+    wall_seconds: float
+
+    def summary(self) -> str:
+        """One human-readable progress line."""
+        when = "-" if self.stream_time is None else f"{self.stream_time:g}"
+        return (
+            f"[t={when} arrivals={self.arrivals} "
+            f"(w={self.workers}, r={self.tasks}) matched={self.matched} "
+            f"ignored={self.ignored_workers}/{self.ignored_tasks} "
+            f"wall={self.wall_seconds:.2f}s]"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Event sources
+# ---------------------------------------------------------------------- #
+
+
+class IteratorSource:
+    """Any iterable of arrivals: a live generator, a replay, a feed.
+
+    The iterable is consumed once per :meth:`MatchingSession.run`; pass a
+    re-iterable (list) if the session will be run repeatedly.
+    """
+
+    def __init__(self, events: Iterable[Arrival]) -> None:
+        self._events = events
+
+    def __iter__(self) -> Iterator[Arrival]:
+        return iter(self._events)
+
+
+class InstanceSource(IteratorSource):
+    """The canonical (or overridden) arrival stream of an instance.
+
+    Keeping the instance visible lets the session use its cached
+    vectorized typing pass for typed matchers — bit-identical to the
+    per-arrival path, much faster.
+    """
+
+    def __init__(
+        self, instance: Instance, stream: Optional[Iterable[Arrival]] = None
+    ) -> None:
+        self.instance = instance
+        self.stream = stream
+
+    def __iter__(self) -> Iterator[Arrival]:
+        if self.stream is None:
+            return iter(self.instance.arrival_stream())
+        return iter(self.stream)
+
+
+EventSource = Union[InstanceSource, IteratorSource]
+
+
+def as_source(events) -> EventSource:
+    """Coerce an instance or an iterable of arrivals into a source."""
+    if isinstance(events, (InstanceSource, IteratorSource)):
+        return events
+    if isinstance(events, Instance):
+        return InstanceSource(events)
+    return IteratorSource(events)
+
+
+def _progressed(last: SessionSnapshot, current: SessionSnapshot) -> bool:
+    """Whether ``current`` adds information over ``last`` (wall time
+    alone doesn't count)."""
+    return (
+        current.arrivals != last.arrivals
+        or current.matched != last.matched
+        or current.workers != last.workers
+        or current.tasks != last.tasks
+        or current.ignored_workers != last.ignored_workers
+        or current.ignored_tasks != last.ignored_tasks
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The session
+# ---------------------------------------------------------------------- #
+
+
+class MatchingSession:
+    """Drives one matcher over one arrival stream.
+
+    Two usage styles:
+
+    * **pull** — construct with a source and call :meth:`run`; the
+      session consumes the whole stream and returns the outcome.
+    * **push** — construct with ``source=None``, then call
+      :meth:`begin`, :meth:`push` per arrival, and :meth:`finish`.
+
+    Args:
+        matcher: the algorithm, as an incremental
+            :class:`~repro.core.engine.Matcher`.
+        source: an :class:`~repro.model.instance.Instance`, an iterable
+            of arrivals, or None for push-style use.
+        snapshot_every: sample a :class:`SessionSnapshot` every N
+            arrivals (recorded in :attr:`snapshots`; None disables
+            periodic sampling).  :meth:`finish` records a final snapshot
+            when sampling or a callback is configured, unless it would
+            exactly duplicate the last periodic one.
+        on_snapshot: optional callback invoked with each snapshot.
+
+    Raises:
+        ConfigurationError: for a non-positive ``snapshot_every``.
+    """
+
+    def __init__(
+        self,
+        matcher: Matcher,
+        source=None,
+        snapshot_every: Optional[int] = None,
+        on_snapshot: Optional[Callable[[SessionSnapshot], None]] = None,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every <= 0:
+            raise ConfigurationError(
+                f"snapshot_every must be positive, got {snapshot_every}"
+            )
+        self.matcher = matcher
+        self.source: Optional[EventSource] = (
+            None if source is None else as_source(source)
+        )
+        self.snapshot_every = snapshot_every
+        self.on_snapshot = on_snapshot
+        self.snapshots: List[SessionSnapshot] = []
+        self.outcome: Optional[AssignmentOutcome] = None
+        self._arrivals = 0
+        self._last_time: Optional[float] = None
+        self._started: Optional[float] = None
+
+    # -- push API ------------------------------------------------------ #
+
+    def begin(self) -> None:
+        """Start (or restart) the session and its matcher."""
+        self.matcher.begin()
+        self.snapshots = []
+        self.outcome = None
+        self._arrivals = 0
+        self._last_time = None
+        self._started = time.perf_counter()
+
+    def push(self, arrival: Arrival) -> Decision:
+        """Feed one arrival; returns the matcher's immediate decision."""
+        decision = self.matcher.observe(arrival)
+        self._arrivals += 1
+        self._last_time = arrival.time
+        every = self.snapshot_every
+        if every is not None and self._arrivals % every == 0:
+            self._emit()
+        return decision
+
+    def finish(self) -> AssignmentOutcome:
+        """Close the stream; flushes end-of-stream work, final snapshot.
+
+        The final snapshot is skipped when it would duplicate the last
+        periodic one (a stream whose length is an exact multiple of
+        ``snapshot_every`` and a matcher whose ``finish`` commits
+        nothing new); end-of-stream flushes (GR's window drain) always
+        surface.
+        """
+        self.outcome = self.matcher.finish()
+        if self.snapshot_every is not None or self.on_snapshot is not None:
+            snapshot = self.snapshot()
+            if not self.snapshots or _progressed(self.snapshots[-1], snapshot):
+                self.snapshots.append(snapshot)
+                if self.on_snapshot is not None:
+                    self.on_snapshot(snapshot)
+        return self.outcome
+
+    # -- pull API ------------------------------------------------------ #
+
+    def run(self) -> AssignmentOutcome:
+        """Consume the whole source and return the outcome.
+
+        Sessions are restartable: each ``run`` begins a fresh matcher
+        run, so repeated calls on a re-iterable source (an instance)
+        produce identical outcomes.
+        """
+        if self.source is None:
+            raise ConfigurationError(
+                "session has no event source; use the push API instead"
+            )
+        self.begin()
+        source = self.source
+        matcher = self.matcher
+        instance = getattr(source, "instance", None)
+        if (
+            instance is not None
+            and getattr(source, "stream", None) is None
+            and isinstance(matcher, TypedMatcher)
+            and matcher.grid == instance.grid
+            and matcher.timeline == instance.timeline
+        ):
+            self._run_typed_bulk(instance, matcher)
+        else:
+            push = self.push
+            for arrival in source:
+                push(arrival)
+        return self.finish()
+
+    def _run_typed_bulk(self, instance: Instance, matcher: TypedMatcher) -> None:
+        """The vectorized fast path: cached typing pass + bulk loop.
+
+        Snapshot sampling chunks the bulk loop; matcher state persists
+        across chunks, so chunked and unchunked runs are bit-identical.
+        """
+        events, types = instance.typed_arrivals()
+        n = len(events)
+        every = self.snapshot_every
+        if every is None and self.on_snapshot is None:
+            matcher.consume_typed(zip(events, types))
+            self._arrivals = n
+            if n:
+                self._last_time = events[-1].time
+            return
+        chunk = every if every is not None else max(n, 1)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            matcher.consume_typed(zip(events[start:stop], types[start:stop]))
+            self._arrivals = stop
+            self._last_time = events[stop - 1].time
+            if every is not None and stop % every == 0:
+                self._emit()
+
+    # -- metrics ------------------------------------------------------- #
+
+    def snapshot(self) -> SessionSnapshot:
+        """Sample the session's current metrics."""
+        outcome = self.outcome
+        if outcome is not None:
+            matched = outcome.matching.size
+            workers = len(outcome.worker_decisions)
+            tasks = len(outcome.task_decisions)
+            ignored_workers = outcome.ignored_workers
+            ignored_tasks = outcome.ignored_tasks
+        else:
+            matcher = self.matcher
+            matched = matcher.matched
+            workers = matcher.workers_seen
+            tasks = matcher.tasks_seen
+            ignored_workers = matcher.ignored_workers
+            ignored_tasks = matcher.ignored_tasks
+        wall = 0.0 if self._started is None else time.perf_counter() - self._started
+        return SessionSnapshot(
+            arrivals=self._arrivals,
+            workers=workers,
+            tasks=tasks,
+            matched=matched,
+            ignored_workers=ignored_workers,
+            ignored_tasks=ignored_tasks,
+            stream_time=self._last_time,
+            wall_seconds=wall,
+        )
+
+    def _emit(self) -> None:
+        snapshot = self.snapshot()
+        self.snapshots.append(snapshot)
+        if self.on_snapshot is not None:
+            self.on_snapshot(snapshot)

@@ -31,7 +31,25 @@ class TestCommands:
 
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
-        assert "unknown experiment" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig99" in err
+
+    def test_jobs_on_unsupported_experiment_runs_serially(self, capsys):
+        """Table/ablation experiments reject --jobs with a note, not a
+        crash, and still produce their result."""
+        code = main(
+            ["run", "ablation_batch_window", "--scale", "0.005", "--no-memory",
+             "--jobs", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "does not support --jobs; running serially" in out
+        assert "ablation_batch_window" in out
+
+    def test_jobs_flag_accepted_by_parser(self):
+        args = build_parser().parse_args(["run", "fig4_workers", "--jobs", "3"])
+        assert args.jobs == 3
 
     def test_run_tiny_and_archive(self, tmp_path, capsys):
         code = main(

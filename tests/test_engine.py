@@ -1,0 +1,256 @@
+"""Tests for repro.core.engine — the incremental matcher protocol.
+
+The load-bearing guarantee: driving a matcher arrival-by-arrival (the
+serving path) produces **bit-identical** matchings, decisions and
+counters to the legacy batch ``run_*`` adapters, for all five
+algorithms, on seeded instances.
+"""
+
+import pytest
+
+from repro.core.batch import run_batch
+from repro.core.engine import (
+    BatchMatcher,
+    GreedyMatcher,
+    PolarMatcher,
+    PolarOpMatcher,
+    STREAM_ALGORITHMS,
+    TgoaMatcher,
+    create_matcher,
+)
+from repro.core.greedy import run_simple_greedy
+from repro.core.outcome import Decision
+from repro.core.polar import run_polar
+from repro.core.polar_op import run_polar_op
+from repro.core.tgoa import run_tgoa
+from repro.errors import ConfigurationError
+
+
+def _max_task_duration(instance):
+    return max((t.duration for t in instance.tasks), default=0.0)
+
+
+def _assert_outcomes_identical(a, b):
+    assert a.algorithm == b.algorithm
+    assert a.matching.pairs() == b.matching.pairs()
+    assert a.worker_decisions == b.worker_decisions
+    assert a.task_decisions == b.task_decisions
+    assert a.ignored_workers == b.ignored_workers
+    assert a.ignored_tasks == b.ignored_tasks
+    assert a.extras == b.extras
+
+
+def _drive(matcher, events):
+    matcher.begin()
+    for event in events:
+        matcher.observe(event)
+    return matcher.finish()
+
+
+class TestStepwiseParity:
+    """observe()-per-arrival vs the legacy batch adapters."""
+
+    def test_polar(self, small_instance, small_guide):
+        legacy = run_polar(small_instance, small_guide, seed=3)
+        stepwise = _drive(
+            PolarMatcher(small_guide, seed=3), small_instance.arrival_stream()
+        )
+        _assert_outcomes_identical(stepwise, legacy)
+
+    def test_polar_first_choice(self, small_instance, small_guide):
+        legacy = run_polar(small_instance, small_guide, node_choice="first")
+        stepwise = _drive(
+            PolarMatcher(small_guide, node_choice="first"),
+            small_instance.arrival_stream(),
+        )
+        _assert_outcomes_identical(stepwise, legacy)
+
+    def test_polar_op(self, small_instance, small_guide):
+        legacy = run_polar_op(small_instance, small_guide, seed=3)
+        stepwise = _drive(
+            PolarOpMatcher(small_guide, seed=3), small_instance.arrival_stream()
+        )
+        _assert_outcomes_identical(stepwise, legacy)
+
+    def test_polar_op_random_choice(self, small_instance, small_guide):
+        legacy = run_polar_op(
+            small_instance, small_guide, node_choice="random", seed=5
+        )
+        stepwise = _drive(
+            PolarOpMatcher(small_guide, node_choice="random", seed=5),
+            small_instance.arrival_stream(),
+        )
+        _assert_outcomes_identical(stepwise, legacy)
+
+    @pytest.mark.parametrize("indexed", [False, True])
+    def test_greedy(self, small_instance, indexed):
+        legacy = run_simple_greedy(small_instance, indexed=indexed)
+        matcher = GreedyMatcher(
+            small_instance.travel,
+            grid=small_instance.grid,
+            indexed=indexed,
+            max_task_duration=_max_task_duration(small_instance),
+        )
+        stepwise = _drive(matcher, small_instance.arrival_stream())
+        _assert_outcomes_identical(stepwise, legacy)
+
+    def test_greedy_indexed_running_max_parity(self, small_instance):
+        """The running-max radius cutoff (no look-ahead) matches the
+        batch implementation's global-max cutoff."""
+        legacy = run_simple_greedy(small_instance, indexed=True)
+        matcher = GreedyMatcher(
+            small_instance.travel, grid=small_instance.grid, indexed=True
+        )
+        stepwise = _drive(matcher, small_instance.arrival_stream())
+        assert stepwise.matching.pairs() == legacy.matching.pairs()
+
+    def test_gr(self, small_instance):
+        legacy = run_batch(small_instance)
+        matcher = BatchMatcher(
+            small_instance.travel,
+            small_instance.grid,
+            small_instance.timeline.slot_minutes / 10.0,
+        )
+        stepwise = _drive(matcher, small_instance.arrival_stream())
+        _assert_outcomes_identical(stepwise, legacy)
+
+    @pytest.mark.parametrize("indexed", [False, True])
+    def test_tgoa(self, small_instance, indexed):
+        legacy = run_tgoa(small_instance, indexed=indexed)
+        events = small_instance.arrival_stream()
+        matcher = TgoaMatcher(
+            small_instance.travel,
+            grid=small_instance.grid,
+            halfway=len(events) // 2,
+            indexed=indexed,
+            max_task_duration=_max_task_duration(small_instance),
+        )
+        stepwise = _drive(matcher, events)
+        _assert_outcomes_identical(stepwise, legacy)
+
+    def test_tgoa_running_max_parity(self, small_instance):
+        """TGOA's indexed ring cutoff is safe without the duration hint."""
+        legacy = run_tgoa(small_instance, indexed=True)
+        events = small_instance.arrival_stream()
+        matcher = TgoaMatcher(
+            small_instance.travel,
+            grid=small_instance.grid,
+            halfway=len(events) // 2,
+        )
+        stepwise = _drive(matcher, events)
+        assert stepwise.matching.pairs() == legacy.matching.pairs()
+
+
+class TestLifecycle:
+    def test_observe_before_begin_raises(self, small_instance, small_guide):
+        matcher = PolarMatcher(small_guide)
+        with pytest.raises(ConfigurationError):
+            matcher.observe(small_instance.arrival_stream()[0])
+
+    def test_finish_before_begin_raises(self, small_guide):
+        with pytest.raises(ConfigurationError):
+            PolarMatcher(small_guide).finish()
+
+    def test_matcher_is_reusable(self, small_instance, small_guide):
+        matcher = PolarMatcher(small_guide, seed=7)
+        events = small_instance.arrival_stream()
+        first = _drive(matcher, events)
+        second = _drive(matcher, events)
+        _assert_outcomes_identical(first, second)
+
+    def test_finish_invalidates_run(self, small_instance, small_guide):
+        matcher = PolarMatcher(small_guide)
+        _drive(matcher, small_instance.arrival_stream())
+        with pytest.raises(ConfigurationError):
+            matcher.observe(small_instance.arrival_stream()[0])
+
+    def test_observe_returns_immediate_decision(self, small_instance, small_guide):
+        matcher = PolarMatcher(small_guide, node_choice="first")
+        matcher.begin()
+        decisions = [matcher.observe(e) for e in small_instance.arrival_stream()]
+        assert all(isinstance(d, Decision) for d in decisions)
+        outcome = matcher.finish()
+        assert len(decisions) == len(outcome.worker_decisions) + len(
+            outcome.task_decisions
+        )
+
+    def test_live_metrics_mid_stream(self, small_instance, small_guide):
+        matcher = PolarMatcher(small_guide)
+        matcher.begin()
+        events = small_instance.arrival_stream()
+        for event in events[: len(events) // 2]:
+            matcher.observe(event)
+        assert matcher.workers_seen + matcher.tasks_seen == len(events) // 2
+        assert 0 <= matcher.matched <= len(events) // 2
+        matcher.finish()
+
+    def test_gr_finish_flushes_pending_windows(self, small_instance):
+        """Matches committed only by finish()'s window drain still appear
+        (a window long enough that the last windows never flush
+        mid-stream)."""
+        window = small_instance.timeline.slot_minutes
+        matcher = BatchMatcher(
+            small_instance.travel, small_instance.grid, window_minutes=window
+        )
+        matcher.begin()
+        for event in small_instance.arrival_stream():
+            matcher.observe(event)
+        mid_stream_matches = matcher.matched
+        outcome = matcher.finish()
+        assert outcome.matching.size >= mid_stream_matches
+        assert outcome.matching.size > 0
+        legacy = run_batch(small_instance, window_minutes=window)
+        assert outcome.matching.pairs() == legacy.matching.pairs()
+
+
+class TestConfiguration:
+    def test_polar_unknown_node_choice(self, small_guide):
+        with pytest.raises(ConfigurationError):
+            PolarMatcher(small_guide, node_choice="mystery")
+
+    def test_indexed_greedy_needs_grid(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            GreedyMatcher(small_instance.travel, indexed=True)
+
+    def test_indexed_tgoa_needs_grid(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            TgoaMatcher(small_instance.travel, indexed=True)
+
+    def test_tgoa_negative_halfway(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            TgoaMatcher(small_instance.travel, indexed=False, halfway=-1)
+
+    def test_gr_non_positive_window(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            BatchMatcher(small_instance.travel, small_instance.grid, 0.0)
+
+
+class TestFactory:
+    def test_factory_covers_all_stream_algorithms(
+        self, small_instance, small_guide
+    ):
+        for algorithm in STREAM_ALGORITHMS:
+            matcher = create_matcher(algorithm, small_instance, guide=small_guide)
+            outcome = _drive(matcher, small_instance.arrival_stream())
+            assert outcome.matching.size > 0
+
+    def test_factory_matches_adapters(self, small_instance, small_guide):
+        expectations = {
+            "SimpleGreedy": run_simple_greedy(small_instance),
+            "GR": run_batch(small_instance),
+            "POLAR": run_polar(small_instance, small_guide),
+            "POLAR-OP": run_polar_op(small_instance, small_guide),
+            "TGOA": run_tgoa(small_instance),
+        }
+        for algorithm, legacy in expectations.items():
+            matcher = create_matcher(algorithm, small_instance, guide=small_guide)
+            stepwise = _drive(matcher, small_instance.arrival_stream())
+            assert stepwise.matching.pairs() == legacy.matching.pairs()
+
+    def test_factory_unknown_algorithm(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            create_matcher("Magic", small_instance)
+
+    def test_factory_polar_needs_guide(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            create_matcher("POLAR", small_instance)

@@ -1,6 +1,6 @@
 """Tests for repro.core.outcome."""
 
-from repro.core.outcome import AssignmentOutcome, Decision
+from repro.core.outcome import IGNORED, STAY, WAIT, AssignmentOutcome, Decision
 from repro.model.matching import Matching
 
 
@@ -13,6 +13,15 @@ class TestDecision:
         decision = Decision(Decision.DISPATCHED, target_area=7)
         assert decision.target_area == 7
         assert decision.partner_id is None
+
+    def test_payload_free_singletons(self):
+        """The shared no-payload decisions the hot loops reuse."""
+        assert STAY == Decision(Decision.STAY)
+        assert WAIT == Decision(Decision.WAIT)
+        assert IGNORED == Decision(Decision.IGNORED)
+        for singleton in (STAY, WAIT, IGNORED):
+            assert singleton.target_area is None
+            assert singleton.partner_id is None
 
 
 class TestOutcome:

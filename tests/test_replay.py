@@ -1,0 +1,167 @@
+"""Tests for repro.serving.replay and the dump/replay CLI commands."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SimulationError
+from repro.serving.replay import (
+    arrival_to_record,
+    build_self_guide,
+    dump_stream,
+    load_stream,
+    record_to_arrival,
+    stream_config,
+)
+
+
+class TestCodec:
+    def test_record_roundtrip(self, small_instance):
+        stream = small_instance.arrival_stream()
+        for arrival in stream[:20]:
+            rebuilt = record_to_arrival(arrival_to_record(arrival), seq=arrival.seq)
+            assert rebuilt.kind == arrival.kind
+            assert rebuilt.entity == arrival.entity
+
+    def test_stream_roundtrip(self, small_instance):
+        buffer = io.StringIO()
+        header = stream_config(
+            small_instance.grid, small_instance.timeline, small_instance.travel
+        )
+        count = dump_stream(small_instance.arrival_stream(), buffer, config=header)
+        assert count == len(small_instance.arrival_stream())
+        buffer.seek(0)
+        config, events = load_stream(buffer)
+        assert config["nx"] == small_instance.grid.nx
+        assert config["velocity"] == small_instance.travel.velocity
+        assert len(events) == count
+        original = small_instance.arrival_stream()
+        assert [e.entity for e in events] == [e.entity for e in original]
+        assert [e.kind for e in events] == [e.kind for e in original]
+
+    def test_load_skips_blank_and_comment_lines(self):
+        text = (
+            "# a comment\n"
+            "\n"
+            '{"kind": "worker", "id": 1, "x": 1.0, "y": 1.0, "start": 0.0, "duration": 5.0}\n'
+        )
+        config, events = load_stream(io.StringIO(text))
+        assert config is None
+        assert len(events) == 1
+        assert events[0].is_worker
+
+    def test_load_rejects_bad_json(self):
+        with pytest.raises(SimulationError):
+            load_stream(io.StringIO("{not json\n"))
+
+    def test_load_rejects_unknown_kind(self):
+        line = '{"kind": "drone", "id": 1, "x": 0, "y": 0, "start": 0, "duration": 1}\n'
+        with pytest.raises(SimulationError):
+            load_stream(io.StringIO(line))
+
+    def test_load_rejects_missing_fields(self):
+        line = '{"kind": "task", "id": 1}\n'
+        with pytest.raises(SimulationError):
+            load_stream(io.StringIO(line))
+
+    def test_load_rejects_out_of_order_streams(self):
+        lines = (
+            '{"kind": "worker", "id": 1, "x": 0, "y": 0, "start": 9.0, "duration": 1}\n'
+            '{"kind": "task", "id": 1, "x": 0, "y": 0, "start": 3.0, "duration": 1}\n'
+        )
+        with pytest.raises(SimulationError):
+            load_stream(io.StringIO(lines))
+
+    def test_load_rejects_late_config(self):
+        lines = (
+            '{"kind": "worker", "id": 1, "x": 0, "y": 0, "start": 0.0, "duration": 1}\n'
+            '{"kind": "config", "nx": 5}\n'
+        )
+        with pytest.raises(SimulationError):
+            load_stream(io.StringIO(lines))
+
+
+class TestSelfGuide:
+    def test_self_guide_from_stream(self, small_instance):
+        guide = build_self_guide(
+            small_instance.arrival_stream(),
+            small_instance.grid,
+            small_instance.timeline,
+            small_instance.travel,
+        )
+        assert guide.matched_pairs > 0
+
+    def test_self_guide_rejects_empty_stream(self, small_instance):
+        with pytest.raises(SimulationError):
+            build_self_guide(
+                [],
+                small_instance.grid,
+                small_instance.timeline,
+                small_instance.travel,
+            )
+
+
+class TestCliDumpReplay:
+    def _dump(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "dump",
+                "--workers", "150",
+                "--tasks", "150",
+                "--grid-side", "8",
+                "--n-slots", "6",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return path
+
+    def test_dump_writes_config_and_events(self, tmp_path, capsys):
+        path = self._dump(tmp_path, capsys)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "config"
+        assert len(lines) == 301
+        with open(path) as fp:
+            config, events = load_stream(fp)
+        assert config is not None
+        assert len(events) == 300
+
+    @pytest.mark.parametrize(
+        "algorithm", ["greedy", "greedy-indexed", "gr", "tgoa", "polar", "polar-op"]
+    )
+    def test_replay_all_algorithms(self, tmp_path, capsys, algorithm):
+        path = self._dump(tmp_path, capsys)
+        code = main(
+            ["replay", str(path), "--algorithm", algorithm, "--snapshot-every", "100"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matched=" in out
+        assert "arrivals=100" in out
+
+    def test_replay_greedy_variants_agree(self, tmp_path, capsys):
+        path = self._dump(tmp_path, capsys)
+        sizes = {}
+        for algorithm in ("greedy", "greedy-indexed"):
+            assert main(["replay", str(path), "--algorithm", algorithm]) == 0
+            out = capsys.readouterr().out
+            sizes[algorithm] = out.rsplit("matched=", 1)[1].split()[0]
+        assert sizes["greedy"] == sizes["greedy-indexed"]
+
+    def test_replay_without_config_record_fails(self, tmp_path, capsys):
+        path = tmp_path / "bare.jsonl"
+        path.write_text(
+            '{"kind": "worker", "id": 1, "x": 0.5, "y": 0.5, "start": 0.0, "duration": 5.0}\n'
+        )
+        assert main(["replay", str(path)]) == 2
+        assert "config record" in capsys.readouterr().err
+
+    def test_replay_malformed_stream_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n")
+        assert main(["replay", str(path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err

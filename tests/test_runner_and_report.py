@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ExperimentError
 from repro.experiments.report import render, render_sweep, render_table
 from repro.experiments.results import AlgoCell, SweepResult, TableResult
-from repro.experiments.runner import run_algorithms_on_instance
+from repro.experiments.runner import run_algorithm_cell, run_algorithms_on_instance
 
 
 class TestRunner:
@@ -37,6 +37,20 @@ class TestRunner:
             run_algorithms_on_instance(
                 small_instance, small_guide, algorithms=("Magic",)
             )
+
+    def test_cell_invalid_algorithm_key(self, small_instance, small_guide):
+        with pytest.raises(ExperimentError, match="unknown algorithm"):
+            run_algorithm_cell(small_instance, small_guide, "NotAnAlgorithm")
+
+    def test_cell_polar_op_requires_guide(self, small_instance):
+        with pytest.raises(ExperimentError, match="requires an offline guide"):
+            run_algorithm_cell(small_instance, None, "POLAR-OP")
+
+    def test_cell_supports_tgoa(self, small_instance):
+        cell = run_algorithm_cell(
+            small_instance, None, "TGOA", measure_memory=False
+        )
+        assert cell.size > 0
 
     def test_subset_without_guide(self, small_instance):
         cells = run_algorithms_on_instance(

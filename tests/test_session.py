@@ -1,0 +1,224 @@
+"""Tests for repro.serving.session — the streaming session layer."""
+
+import pytest
+
+from repro.core.engine import (
+    BatchMatcher,
+    GreedyMatcher,
+    PolarMatcher,
+    PolarOpMatcher,
+    TgoaMatcher,
+    create_matcher,
+)
+from repro.core.outcome import Decision
+from repro.core.polar import run_polar
+from repro.errors import ConfigurationError
+from repro.serving.session import (
+    InstanceSource,
+    IteratorSource,
+    MatchingSession,
+    SessionSnapshot,
+    as_source,
+)
+
+
+def _max_task_duration(instance):
+    return max((t.duration for t in instance.tasks), default=0.0)
+
+
+def _assert_outcomes_identical(a, b):
+    assert a.matching.pairs() == b.matching.pairs()
+    assert a.worker_decisions == b.worker_decisions
+    assert a.task_decisions == b.task_decisions
+    assert a.ignored_workers == b.ignored_workers
+    assert a.ignored_tasks == b.ignored_tasks
+    assert a.extras == b.extras
+
+
+class TestSources:
+    def test_as_source_coerces_instance(self, small_instance):
+        source = as_source(small_instance)
+        assert isinstance(source, InstanceSource)
+        assert source.instance is small_instance
+
+    def test_as_source_coerces_iterable(self, small_instance):
+        source = as_source(small_instance.arrival_stream())
+        assert isinstance(source, IteratorSource)
+        assert len(list(source)) == len(small_instance.arrival_stream())
+
+    def test_as_source_passthrough(self, small_instance):
+        source = InstanceSource(small_instance)
+        assert as_source(source) is source
+
+    def test_instance_source_stream_override(self, small_instance):
+        stream = small_instance.arrival_stream()[:10]
+        source = InstanceSource(small_instance, stream=stream)
+        assert len(list(source)) == 10
+
+
+class TestSessionParity:
+    """Acceptance: session-driven == legacy run_* for all five, and the
+    session works from a bare event iterator with no Instance at all."""
+
+    @pytest.mark.parametrize("algorithm", ["SimpleGreedy", "GR", "POLAR", "POLAR-OP", "TGOA"])
+    def test_instance_session_matches_adapter(
+        self, small_instance, small_guide, algorithm
+    ):
+        from repro.core.batch import run_batch
+        from repro.core.greedy import run_simple_greedy
+        from repro.core.polar_op import run_polar_op
+        from repro.core.tgoa import run_tgoa
+
+        legacy = {
+            "SimpleGreedy": lambda: run_simple_greedy(small_instance),
+            "GR": lambda: run_batch(small_instance),
+            "POLAR": lambda: run_polar(small_instance, small_guide),
+            "POLAR-OP": lambda: run_polar_op(small_instance, small_guide),
+            "TGOA": lambda: run_tgoa(small_instance),
+        }[algorithm]()
+        matcher = create_matcher(algorithm, small_instance, guide=small_guide)
+        outcome = MatchingSession(matcher, InstanceSource(small_instance)).run()
+        _assert_outcomes_identical(outcome, legacy)
+
+    @pytest.mark.parametrize("algorithm", ["SimpleGreedy", "GR", "POLAR", "POLAR-OP", "TGOA"])
+    def test_bare_iterator_no_instance(self, small_instance, small_guide, algorithm):
+        """A generator of arrivals — no pregenerated Instance — produces
+        the identical matching."""
+        events = small_instance.arrival_stream()
+        matchers = {
+            "SimpleGreedy": lambda: GreedyMatcher(small_instance.travel),
+            "GR": lambda: BatchMatcher(
+                small_instance.travel,
+                small_instance.grid,
+                small_instance.timeline.slot_minutes / 10.0,
+            ),
+            "POLAR": lambda: PolarMatcher(small_guide),
+            "POLAR-OP": lambda: PolarOpMatcher(small_guide),
+            "TGOA": lambda: TgoaMatcher(
+                small_instance.travel,
+                grid=small_instance.grid,
+                halfway=len(events) // 2,
+            ),
+        }
+        reference = MatchingSession(
+            create_matcher(algorithm, small_instance, guide=small_guide),
+            InstanceSource(small_instance),
+        ).run()
+        live_feed = (event for event in events)  # a one-shot generator
+        outcome = MatchingSession(
+            matchers[algorithm](), IteratorSource(live_feed)
+        ).run()
+        assert outcome.matching.pairs() == reference.matching.pairs()
+
+    def test_chunked_fast_path_parity(self, small_instance, small_guide):
+        """Snapshot chunking of the bulk typed loop changes nothing."""
+        plain = MatchingSession(
+            PolarMatcher(small_guide, seed=2), InstanceSource(small_instance)
+        ).run()
+        chunked = MatchingSession(
+            PolarMatcher(small_guide, seed=2),
+            InstanceSource(small_instance),
+            snapshot_every=97,
+        ).run()
+        _assert_outcomes_identical(plain, chunked)
+
+    def test_session_is_restartable(self, small_instance, small_guide):
+        session = MatchingSession(
+            PolarMatcher(small_guide, seed=4), InstanceSource(small_instance)
+        )
+        first = session.run()
+        second = session.run()
+        _assert_outcomes_identical(first, second)
+
+
+class TestSnapshots:
+    def test_periodic_snapshots(self, small_instance, small_guide):
+        session = MatchingSession(
+            PolarMatcher(small_guide),
+            InstanceSource(small_instance),
+            snapshot_every=100,
+        )
+        session.run()
+        n = len(small_instance.arrival_stream())
+        # n is a multiple of 100 and POLAR's finish() commits nothing
+        # new, so the final snapshot dedupes against the last periodic
+        # one: exactly one snapshot per full chunk.
+        assert n % 100 == 0
+        assert len(session.snapshots) == n // 100
+        assert all(isinstance(s, SessionSnapshot) for s in session.snapshots)
+        arrivals = [s.arrivals for s in session.snapshots]
+        assert arrivals == sorted(arrivals)
+        assert len(set(arrivals)) == len(arrivals)  # no duplicates
+        assert session.snapshots[-1].arrivals == n
+        assert session.snapshots[-1].matched == session.outcome.matching.size
+
+    def test_final_snapshot_on_uneven_streams(self, small_instance, small_guide):
+        """A stream that isn't a multiple of snapshot_every still gets a
+        final end-of-stream snapshot."""
+        n = len(small_instance.arrival_stream())
+        every = 97
+        assert n % every != 0
+        session = MatchingSession(
+            PolarMatcher(small_guide),
+            InstanceSource(small_instance),
+            snapshot_every=every,
+        )
+        session.run()
+        assert session.snapshots[-1].arrivals == n
+        assert len(session.snapshots) == n // every + 1
+
+    def test_snapshot_callback(self, small_instance):
+        seen = []
+        session = MatchingSession(
+            GreedyMatcher(small_instance.travel),
+            IteratorSource(small_instance.arrival_stream()),
+            snapshot_every=200,
+            on_snapshot=seen.append,
+        )
+        session.run()
+        assert seen == session.snapshots
+        assert seen[-1].workers == small_instance.n_workers
+        assert seen[-1].tasks == small_instance.n_tasks
+
+    def test_snapshot_counts_kinds(self, small_instance, small_guide):
+        session = MatchingSession(
+            PolarMatcher(small_guide), InstanceSource(small_instance)
+        )
+        session.run()
+        snap = session.snapshot()
+        assert snap.workers == small_instance.n_workers
+        assert snap.tasks == small_instance.n_tasks
+        assert snap.stream_time == small_instance.arrival_stream()[-1].time
+        assert snap.wall_seconds >= 0.0
+
+    def test_snapshot_summary_renders(self, small_instance, small_guide):
+        session = MatchingSession(
+            PolarMatcher(small_guide), InstanceSource(small_instance)
+        )
+        session.run()
+        text = session.snapshot().summary()
+        assert "arrivals=" in text and "matched=" in text
+
+    def test_invalid_snapshot_every(self, small_instance, small_guide):
+        with pytest.raises(ConfigurationError):
+            MatchingSession(
+                PolarMatcher(small_guide),
+                InstanceSource(small_instance),
+                snapshot_every=0,
+            )
+
+
+class TestPushApi:
+    def test_push_style_session(self, small_instance, small_guide):
+        reference = run_polar(small_instance, small_guide)
+        session = MatchingSession(PolarMatcher(small_guide))
+        session.begin()
+        for event in small_instance.arrival_stream():
+            decision = session.push(event)
+            assert isinstance(decision, Decision)
+        outcome = session.finish()
+        _assert_outcomes_identical(outcome, reference)
+
+    def test_run_without_source_raises(self, small_guide):
+        with pytest.raises(ConfigurationError):
+            MatchingSession(PolarMatcher(small_guide)).run()
