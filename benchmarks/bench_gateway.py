@@ -1,0 +1,97 @@
+"""Serving-gateway benchmarks: sustained socket ingest and latency.
+
+Drives a live :class:`~repro.serving.gateway.Gateway` over a real TCP
+socket with the async load generator — JSON parse, queue hop, shard
+routing, matcher decision and ack line all included — and asserts
+correctness before reporting a time:
+
+* the single-shard run must match the offline ``MatchingSession`` of the
+  same stream bit-identically (same pairs);
+* the sharded run's per-shard rows must sum to the totals.
+
+``scripts/bench_snapshot.py`` runs the same probe at acceptance scale
+(50k arrivals, ≥ 10k sustained arrivals/s) and archives the achieved
+throughput and latency percentiles in ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.engine import GreedyMatcher, PolarMatcher
+from repro.serving.gateway import Gateway
+from repro.serving.loadgen import run_loadgen
+from repro.serving.session import IteratorSource, MatchingSession
+
+from bench_engine import _polar_setup
+
+
+async def _drive_gateway(instance, events, matcher_factory, n_shards):
+    gateway = Gateway(
+        instance.grid,
+        matcher_factory,
+        n_shards=n_shards,
+        queue_size=4096,
+    )
+    await gateway.start(port=0)
+    report = await run_loadgen(events, port=gateway.tcp_port)
+    snapshot = await gateway.close()
+    return gateway, report, snapshot
+
+
+def test_gateway_sustained_ingest(benchmark, bench_scale):
+    """Single-shard TCP ingest; parity with the offline session."""
+    n = max(500, int(25_000 * bench_scale))
+    instance, guide = _polar_setup(n)
+    events = instance.arrival_stream()
+
+    result = benchmark.pedantic(
+        lambda: asyncio.run(
+            _drive_gateway(instance, events, lambda shard: PolarMatcher(guide), 1)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    gateway, report, snapshot = result
+    assert report.acked == len(events)
+    assert snapshot.arrivals == len(events)
+    reference = MatchingSession(PolarMatcher(guide), IteratorSource(events)).run()
+    outcome = gateway.shard_outcomes()[0]
+    assert outcome.matching.pairs() == reference.matching.pairs()
+    print(
+        f"\n[gateway ingest: {report.arrivals_per_sec:.0f} arrivals/s, "
+        f"p50={report.latency_ms['p50']:.2f}ms "
+        f"p99={report.latency_ms['p99']:.2f}ms]"
+    )
+
+
+def test_gateway_sharded_ingest(benchmark, bench_scale):
+    """Four indexed-greedy shards: totals must equal the per-shard sums
+    (greedy matches within each region, so sharding stays meaningful)."""
+    n = max(500, int(25_000 * bench_scale))
+    instance, _guide = _polar_setup(n)
+    events = instance.arrival_stream()
+
+    result = benchmark.pedantic(
+        lambda: asyncio.run(
+            _drive_gateway(
+                instance,
+                events,
+                lambda shard: GreedyMatcher(
+                    instance.travel, grid=instance.grid, indexed=True
+                ),
+                4,
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _gateway, report, snapshot = result
+    assert report.acked == len(events)
+    assert snapshot.n_shards == 4
+    assert sum(row["arrivals"] for row in snapshot.shards) == len(events)
+    assert sum(row["matched"] for row in snapshot.shards) == snapshot.matched
+    print(
+        f"\n[sharded ingest x4: {report.arrivals_per_sec:.0f} arrivals/s, "
+        f"matched {snapshot.matched}]"
+    )

@@ -18,7 +18,12 @@ shrinks everything ~10× for smoke runs):
   with bit-identical matching sizes asserted;
 * the session layer — the bulk ``MatchingSession`` fast path and the
   stepwise per-arrival ``observe()`` serving mode against the bare
-  ``run_polar`` adapter, with parity.
+  ``run_polar`` adapter, with parity;
+* the serving gateway — a live TCP ``Gateway`` driven flat-out by the
+  async load generator (JSON parse, bounded queue, shard routing,
+  matcher decision and ack per arrival), with single-shard parity
+  against the offline session; records sustained arrivals/s and
+  end-to-end latency percentiles.
 
 Wall-clock parallel gains require real cores; the snapshot records the
 host's ``cpu_count`` so numbers are interpretable (on a single-core
@@ -223,6 +228,61 @@ def _bench_session(n_per_side: int):
     }
 
 
+def _bench_gateway(n_per_side: int):
+    """Sustained socket ingest through the serving gateway.
+
+    One POLAR shard (the paper's O(1)-per-arrival algorithm) behind the
+    full network path; parity with the offline session is asserted
+    before any number is reported.
+    """
+    import asyncio
+
+    from repro.core.engine import PolarMatcher
+    from repro.serving.gateway import Gateway
+    from repro.serving.loadgen import run_loadgen
+    from repro.serving.session import IteratorSource, MatchingSession
+
+    instance, guide = _polar_setup(n_per_side)
+    events = instance.arrival_stream()
+    reference = MatchingSession(PolarMatcher(guide), IteratorSource(events)).run()
+
+    async def drive(stream, rate):
+        gateway = Gateway(
+            instance.grid,
+            lambda shard: PolarMatcher(guide),
+            n_shards=1,
+            queue_size=4096,
+        )
+        await gateway.start(port=0)
+        report = await run_loadgen(stream, port=gateway.tcp_port, rate=rate)
+        snapshot = await gateway.close()
+        return gateway, report, snapshot
+
+    # Flat-out run: sustained ingest ceiling (latency here is queueing).
+    gateway, report, snapshot = asyncio.run(drive(events, None))
+    assert report.acked == len(events), "loadgen lost acks"
+    assert snapshot.arrivals == len(events), "gateway lost arrivals"
+    outcome = gateway.shard_outcomes()[0]
+    assert outcome.matching.pairs() == reference.matching.pairs(), "parity violated"
+    # Paced run at 5k arrivals/s: end-to-end latency below saturation.
+    paced_events = events[: min(len(events), 20_000)]
+    _gw, paced, _snap = asyncio.run(drive(paced_events, 5_000.0))
+    assert paced.acked == len(paced_events), "paced loadgen lost acks"
+    return {
+        "arrivals": len(events),
+        "matched": snapshot.matched,
+        "shards": 1,
+        "seconds": round(report.seconds, 4),
+        "arrivals_per_sec": round(report.arrivals_per_sec, 1),
+        "flat_out_latency_ms_p50": round(report.latency_ms["p50"], 3),
+        "flat_out_latency_ms_p99": round(report.latency_ms["p99"], 3),
+        "paced_rate": 5_000,
+        "paced_latency_ms_p50": round(paced.latency_ms["p50"], 3),
+        "paced_latency_ms_p99": round(paced.latency_ms["p99"], 3),
+        "parity": True,
+    }
+
+
 def _bench_sweep(scale: float, jobs: int):
     algorithms = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
     start = time.perf_counter()
@@ -291,6 +351,11 @@ def main(argv=None) -> int:
           f"({session['bulk_overhead']}x), stepwise "
           f"{session['session_stepwise_seconds']}s "
           f"({session['stepwise_overhead']}x)")
+    print(f"[gateway ingest: {2 * polar_n} arrivals over TCP]")
+    gateway = _bench_gateway(polar_n)
+    print(f"  {gateway['arrivals_per_sec']} arrivals/s sustained; paced@5k/s "
+          f"p50 {gateway['paced_latency_ms_p50']}ms, "
+          f"p99 {gateway['paced_latency_ms_p99']}ms")
     print(f"[fig4 sweep at scale {sweep_scale}, jobs={args.jobs}]")
     sweep = _bench_sweep(sweep_scale, args.jobs)
     print(f"  serial {sweep['serial_seconds']}s -> parallel "
@@ -310,11 +375,13 @@ def main(argv=None) -> int:
             "polar_event_loop_speedup_min": 1.5,
             "sweep_speedup_min_on_4_cores": 3.0,
             "session_bulk_overhead_max": 1.1,
+            "gateway_ingest_min_arrivals_per_sec": 10_000,
         },
         "polar_event_loop": polar,
         "cellindex_sparse_queries": cellindex,
         "tgoa_indexed": tgoa,
         "session_layer": session,
+        "gateway": gateway,
         "parallel_sweep": sweep,
     }
     if args.jobs > cpu_count:

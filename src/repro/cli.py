@@ -1,5 +1,5 @@
 """Command-line interface: run and render the paper's experiments, and
-drive the streaming session layer.
+drive the streaming session and serving layers.
 
 ::
 
@@ -9,6 +9,11 @@ drive the streaming session layer.
     python -m repro report results/fig4_workers.json
     python -m repro dump --workers 2000 --tasks 2000 --out events.jsonl
     python -m repro replay events.jsonl --algorithm polar --snapshot-every 500
+    python -m repro replay today.jsonl --algorithm polar \\
+        --guide from-forecast --history yesterday.jsonl --predictor hp-msi
+    python -m repro serve events.jsonl --algorithm greedy --shards 4 \\
+        --port 7654 --metrics-port 7655
+    python -m repro loadgen events.jsonl --port 7654 --rate 5000 --drain
 
 ``run`` prints the same rows/series the paper's figure or table reports
 and optionally archives the JSON; ``report`` re-renders archived JSON.
@@ -16,7 +21,11 @@ and optionally archives the JSON; ``report`` re-renders archived JSON.
 header recording its discretisation) and ``replay`` feeds a JSONL
 stream — from a file or stdin (``-``) — arrival-by-arrival through a
 :class:`~repro.serving.session.MatchingSession`, printing mid-stream
-snapshots and the final outcome.
+snapshots and the final outcome.  ``serve`` runs the asyncio serving
+gateway (sharded sessions, JSONL socket ingest, ``/metrics`` +
+``/snapshot`` HTTP endpoint) and ``loadgen`` replays a dumped or
+synthetic stream against it at a target rate, reporting throughput and
+latency percentiles.
 """
 
 from __future__ import annotations
@@ -144,7 +153,150 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker velocity override in distance units per minute "
         "(default: the stream config record's velocity)",
     )
+    _add_guide_arguments(replay)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the async serving gateway (sharded sessions, JSONL "
+        "socket ingest, /metrics endpoint)",
+    )
+    serve.add_argument(
+        "config",
+        help="JSONL stream whose config record fixes the discretisation "
+        "(its events feed the self-guide and the TGOA halfway default)",
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=_REPLAY_ALGORITHMS,
+        default="greedy",
+        help="matcher driven by every shard (default: greedy)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count for the consistent spatial hash (default 1 — "
+        "bit-identical to an offline session)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7654,
+        help="TCP ingest port (0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--unix", default=None, help="additional unix-socket ingest path"
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=7655,
+        help="HTTP /metrics + /snapshot port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--backpressure",
+        type=int,
+        default=1024,
+        help="ingest queue bound (default 1024)",
+    )
+    serve.add_argument(
+        "--window-minutes",
+        type=float,
+        default=None,
+        help="GR batching window (default: a tenth of a slot)",
+    )
+    serve.add_argument(
+        "--halfway",
+        type=int,
+        default=None,
+        help="TGOA phase boundary (default: half the config stream)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="POLAR node-choice seed"
+    )
+    serve.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        help="worker velocity override (default: the config record's)",
+    )
+    _add_guide_arguments(serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="replay a JSONL or synthetic stream against a serving "
+        "gateway, reporting throughput and latency percentiles",
+    )
+    loadgen.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="JSONL stream to replay ('-' = stdin; omit for a synthetic "
+        "stream from the --workers/--tasks knobs)",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help="gateway host")
+    loadgen.add_argument(
+        "--port", type=int, default=7654, help="gateway TCP ingest port"
+    )
+    loadgen.add_argument(
+        "--unix", default=None, help="gateway unix-socket path (overrides TCP)"
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="target arrivals per second (default: unthrottled)",
+    )
+    loadgen.add_argument(
+        "--drain",
+        action="store_true",
+        help="drain the gateway after the stream and print its final snapshot",
+    )
+    loadgen.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of a summary line",
+    )
+    loadgen.add_argument(
+        "--workers", type=int, default=2_000, help="synthetic |W| (default 2000)"
+    )
+    loadgen.add_argument(
+        "--tasks", type=int, default=2_000, help="synthetic |R| (default 2000)"
+    )
+    loadgen.add_argument(
+        "--grid-side", type=int, default=50, help="synthetic grid side"
+    )
+    loadgen.add_argument(
+        "--n-slots", type=int, default=48, help="synthetic slots per day"
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0, help="synthetic generator seed"
+    )
     return parser
+
+
+def _add_guide_arguments(subparser) -> None:
+    """POLAR / POLAR-OP guide options shared by replay and serve."""
+    subparser.add_argument(
+        "--guide",
+        choices=("self", "from-forecast"),
+        default="self",
+        help="guide source for polar/polar-op: 'self' (the stream's own "
+        "counts — perfect hindsight) or 'from-forecast' (fit a predictor "
+        "on --history)",
+    )
+    subparser.add_argument(
+        "--history",
+        default=None,
+        help="history JSONL the from-forecast guide trains on",
+    )
+    subparser.add_argument(
+        "--predictor",
+        default="HA",
+        help="predictor for --guide from-forecast: HA, ARIMA, GBRT, PAQ, "
+        "LR, NN or HP-MSI (default: HA)",
+    )
 
 
 def _cmd_list() -> int:
@@ -251,7 +403,69 @@ def _replay_context(config: Optional[dict], speed: Optional[float]):
     return grid, timeline, TravelModel(velocity=velocity)
 
 
-def _cmd_replay(args) -> int:
+def _load_jsonl(path):
+    """``(config, events)`` from a JSONL path or '-' (stdin)."""
+    from repro.serving.replay import load_stream
+
+    if path == "-":
+        return load_stream(sys.stdin)
+    try:
+        fp = open(path)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot open stream {path!r}: {exc}") from exc
+    with fp:
+        return load_stream(fp)
+
+
+def _resolve_guide(args, events, grid, timeline, travel):
+    """The POLAR guide a replay/serve run should use.
+
+    ``--guide self`` builds the perfect-hindsight self-guide from the
+    stream's own counts; ``--guide from-forecast`` fits ``--predictor``
+    on the ``--history`` JSONL and forecasts the serving day.
+    """
+    if args.guide == "from-forecast":
+        from repro.prediction import make_predictor
+        from repro.serving.forecast import forecast_guide
+
+        if args.history is None:
+            raise ConfigurationError(
+                "--guide from-forecast requires --history <stream.jsonl>"
+            )
+        try:
+            # Validate the name before the (possibly large) history is
+            # read; predictor-internal errors later stay unwrapped.
+            make_predictor(args.predictor, seed=args.seed)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        _config, history = _load_jsonl(args.history)
+        guide = forecast_guide(
+            history,
+            grid,
+            timeline,
+            travel,
+            predictor=args.predictor,
+            seed=args.seed,
+        )
+        print(
+            f"[{args.predictor} forecast guide built from {len(history)} "
+            f"history arrivals: {guide.matched_pairs} matched node pairs]"
+        )
+        return guide
+    from repro.serving.replay import build_self_guide
+
+    guide = build_self_guide(events, grid, timeline, travel)
+    print(f"[self-guide built: {guide.matched_pairs} matched node pairs]")
+    return guide
+
+
+def _matcher_factory(args, events, grid, timeline, travel):
+    """A per-shard matcher builder for ``--algorithm``.
+
+    Shared by ``replay`` (which builds one matcher: ``factory(0)``) and
+    ``serve`` (one private matcher per shard).  Guide construction
+    happens once, outside the factory.
+    """
     from repro.core.engine import (
         BatchMatcher,
         GreedyMatcher,
@@ -259,39 +473,48 @@ def _cmd_replay(args) -> int:
         PolarOpMatcher,
         TgoaMatcher,
     )
-    from repro.serving.replay import build_self_guide, load_stream
-    from repro.serving.session import IteratorSource, MatchingSession
-
-    if args.path == "-":
-        config, events = load_stream(sys.stdin)
-    else:
-        with open(args.path) as fp:
-            config, events = load_stream(fp)
-    grid, timeline, travel = _replay_context(config, args.speed)
 
     algorithm = args.algorithm
     if algorithm == "greedy":
-        matcher = GreedyMatcher(travel, indexed=False)
-    elif algorithm == "greedy-indexed":
-        matcher = GreedyMatcher(travel, grid=grid, indexed=True)
-    elif algorithm == "gr":
+        return lambda shard: GreedyMatcher(travel, indexed=False)
+    if algorithm == "greedy-indexed":
+        return lambda shard: GreedyMatcher(travel, grid=grid, indexed=True)
+    if algorithm == "gr":
         window = (
             timeline.slot_minutes / 10.0
             if args.window_minutes is None
             else args.window_minutes
         )
-        matcher = BatchMatcher(travel, grid, window)
-    elif algorithm == "tgoa":
-        halfway = len(events) // 2 if args.halfway is None else args.halfway
-        matcher = TgoaMatcher(travel, grid=grid, halfway=halfway)
-    else:
-        guide = build_self_guide(events, grid, timeline, travel)
-        print(f"[self-guide built: {guide.matched_pairs} matched node pairs]")
-        if algorithm == "polar":
-            matcher = PolarMatcher(guide, seed=args.seed)
+        return lambda shard: BatchMatcher(travel, grid, window)
+    if algorithm == "tgoa":
+        if args.halfway is not None:
+            halfway = args.halfway
+        elif events:
+            halfway = len(events) // 2
         else:
-            matcher = PolarOpMatcher(guide, seed=args.seed)
+            raise ConfigurationError(
+                "tgoa needs --halfway when the config stream has no events"
+            )
+        # TGOA's phase boundary is an arrival *count*; a shard only sees
+        # its share of the stream, so a sharded gateway splits the
+        # boundary evenly (consistent hashing spreads cells uniformly).
+        # Without this, every shard would stay in phase 1 forever and
+        # silently serve plain greedy.
+        n_shards = max(1, getattr(args, "shards", 1))
+        per_shard = max(1, halfway // n_shards) if halfway else 0
+        return lambda shard: TgoaMatcher(travel, grid=grid, halfway=per_shard)
+    guide = _resolve_guide(args, events, grid, timeline, travel)
+    if algorithm == "polar":
+        return lambda shard: PolarMatcher(guide, seed=args.seed)
+    return lambda shard: PolarOpMatcher(guide, seed=args.seed)
 
+
+def _cmd_replay(args) -> int:
+    from repro.serving.session import IteratorSource, MatchingSession
+
+    config, events = _load_jsonl(args.path)
+    grid, timeline, travel = _replay_context(config, args.speed)
+    matcher = _matcher_factory(args, events, grid, timeline, travel)(0)
     session = MatchingSession(
         matcher,
         IteratorSource(events),
@@ -300,6 +523,119 @@ def _cmd_replay(args) -> int:
     )
     outcome = session.run()
     print(outcome.summary())
+    return 0
+
+
+def _check_port(value: int, flag: str) -> int:
+    if not 0 <= value <= 65_535:
+        raise ConfigurationError(f"{flag} must be in 0..65535, got {value}")
+    return value
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serving.gateway import Gateway
+
+    _check_port(args.port, "--port")
+    _check_port(args.metrics_port, "--metrics-port")
+    config, events = _load_jsonl(args.config)
+    grid, timeline, travel = _replay_context(config, args.speed)
+    factory = _matcher_factory(args, events, grid, timeline, travel)
+    gateway = Gateway(
+        grid,
+        factory,
+        n_shards=args.shards,
+        queue_size=args.backpressure,
+    )
+    return asyncio.run(_serve_async(gateway, args))
+
+
+async def _serve_async(gateway, args) -> int:
+    import asyncio
+    import signal
+
+    from repro.errors import GatewayError
+
+    try:
+        await gateway.start(
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            metrics_host=args.host,
+            metrics_port=args.metrics_port,
+        )
+    except OSError as exc:
+        raise GatewayError(f"cannot bind gateway sockets: {exc}") from exc
+    print(
+        f"[gateway serving {args.algorithm} x{args.shards} shard(s) on "
+        f"{args.host}:{gateway.tcp_port}"
+        + (f" and {args.unix}" if args.unix else "")
+        + f"; metrics on http://{args.host}:{gateway.metrics_port}/metrics]"
+    )
+    print("[send {\"kind\": \"drain\"} or SIGINT/SIGTERM for a graceful drain]")
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(gateway.drain())
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    snapshot = await gateway.wait_drained()
+    await gateway.close()
+    print(snapshot.summary())
+    for outcome in gateway.shard_outcomes():
+        print(f"  shard: {outcome.summary()}")
+    return 0
+
+
+def _loadgen_events(args):
+    """The arrival stream a loadgen run replays (file or synthetic)."""
+    if args.path is not None:
+        _config, events = _load_jsonl(args.path)
+        return events
+    from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+    config = SyntheticConfig(
+        n_workers=args.workers,
+        n_tasks=args.tasks,
+        grid_side=args.grid_side,
+        n_slots=args.n_slots,
+        seed=args.seed,
+    )
+    return SyntheticGenerator(config).generate().arrival_stream()
+
+
+def _cmd_loadgen(args) -> int:
+    import json as json_module
+
+    from repro.serving.loadgen import loadgen
+
+    _check_port(args.port, "--port")
+    events = _loadgen_events(args)
+    try:
+        report = loadgen(
+            events,
+            host=args.host,
+            port=None if args.unix else args.port,
+            unix_path=args.unix,
+            rate=args.rate,
+            drain=args.drain,
+        )
+    except OSError as exc:
+        from repro.errors import GatewayError
+
+        raise GatewayError(f"cannot reach the gateway: {exc}") from exc
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.summary())
+        if report.snapshot is not None:
+            print(
+                f"[gateway drained: arrivals={report.snapshot['arrivals']} "
+                f"matched={report.snapshot['matched']}]"
+            )
     return 0
 
 
@@ -320,6 +656,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_dump(args)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

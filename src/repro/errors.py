@@ -21,6 +21,7 @@ __all__ = [
     "PredictionError",
     "SimulationError",
     "ExperimentError",
+    "GatewayError",
 ]
 
 
@@ -66,3 +67,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment run failed."""
+
+
+class GatewayError(ReproError):
+    """The serving gateway was misused (push after drain, full queue, …)."""

@@ -7,6 +7,18 @@
   snapshots.
 * :mod:`repro.serving.replay` — JSONL arrival-stream codec and the
   ``repro replay`` / ``repro dump`` CLI drivers.
+* :mod:`repro.serving.forecast` — forecast-driven guides: fit a
+  :mod:`repro.prediction` model on a history JSONL instead of the
+  perfect-hindsight self-guide (``repro replay --guide from-forecast``).
+* :mod:`repro.serving.shard` — consistent spatial hashing of grid cells
+  to per-shard sessions.
+* :mod:`repro.serving.gateway` — the asyncio serving gateway: JSONL
+  ingest over TCP/unix sockets and an in-process queue, sharded
+  sessions, bounded backpressure, graceful drain, and the
+  ``/metrics`` + ``/snapshot`` HTTP endpoint (``repro serve``).
+* :mod:`repro.serving.loadgen` — the async load generator that replays
+  JSONL or synthetic streams against a gateway and reports throughput
+  and latency percentiles (``repro loadgen``).
 
 This is the seam a traffic-serving deployment plugs into: the experiment
 harness (:mod:`repro.experiments.runner`) routes its per-cell algorithm
@@ -14,6 +26,8 @@ executions through the same session the CLI replay uses, so batch
 reproduction and stepwise serving can never drift apart.
 """
 
+from repro.serving.gateway import Gateway, GatewaySnapshot, render_prometheus
+from repro.serving.loadgen import LoadgenReport, loadgen, run_loadgen
 from repro.serving.replay import dump_stream, load_stream
 from repro.serving.session import (
     EventSource,
@@ -23,6 +37,24 @@ from repro.serving.session import (
     SessionSnapshot,
     as_source,
 )
+from repro.serving.shard import Shard, ShardRouter, SpatialHashRing, build_shards
+
+_LAZY_FORECAST = ("forecast_guide", "history_from_stream")
+
+
+def __getattr__(name):
+    """Lazy forecast exports (PEP 562).
+
+    ``repro.serving.forecast`` drags the whole :mod:`repro.prediction`
+    stack along; only ``--guide from-forecast`` needs it, so plain
+    ``import repro.serving`` (every serve/loadgen/replay run) must not
+    pay that import cost.
+    """
+    if name in _LAZY_FORECAST:
+        from repro.serving import forecast
+
+        return getattr(forecast, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "MatchingSession",
@@ -33,4 +65,16 @@ __all__ = [
     "as_source",
     "dump_stream",
     "load_stream",
+    "forecast_guide",
+    "history_from_stream",
+    "Gateway",
+    "GatewaySnapshot",
+    "render_prometheus",
+    "LoadgenReport",
+    "loadgen",
+    "run_loadgen",
+    "Shard",
+    "ShardRouter",
+    "SpatialHashRing",
+    "build_shards",
 ]

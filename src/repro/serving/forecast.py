@@ -1,0 +1,198 @@
+"""Forecast-driven guides: fit a predictor on a history stream.
+
+``repro replay --guide self`` scores POLAR under perfect hindsight (the
+stream's own empirical counts).  A real deployment cannot see the future:
+it fits one of the :mod:`repro.prediction` models on *historical* days
+and feeds the forecast to Algorithm 1.  This module provides that path
+for JSONL streams:
+
+* :func:`history_from_stream` buckets a (possibly multi-day) arrival
+  stream into the per-``(day, slot, area)`` count tensors the predictors
+  train on — day ``d`` of a stream is the ``d``-th repetition of the
+  timeline's horizon, so one dumped day trains a one-day history and a
+  week-long log trains seven.
+* :func:`forecast_guide` fits one predictor per side (workers and tasks
+  are separate demand surfaces), forecasts the next day, rounds the
+  counts mass-preservingly and builds the guide with the history's mean
+  durations.
+
+The forecast's day context assumes the target day directly follows the
+history (``day_index = n_days``) with clear weather — the JSONL schema
+carries no weather channel, so weather-aware predictors see a constant
+feature and degrade gracefully to their time/weekday structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.guide import OfflineGuide, build_guide
+from repro.errors import SimulationError
+from repro.model.events import Arrival
+from repro.prediction import DayContext, DemandHistory, make_predictor
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+from repro.streams.oracle import rounded_counts
+
+__all__ = ["history_from_stream", "forecast_guide"]
+
+
+def _side_predictor(name: str, seed: int, n_days: int):
+    """A predictor instance sized to the history depth.
+
+    HP-MSI's city-level model trains on day lags (default 7); short
+    histories get a shallower lag window so a two-day log is already
+    fittable.  Other predictors take their defaults.
+    """
+    key = name.upper().replace("_", "-")
+    if key in ("HP-MSI", "HPMSI"):
+        from repro.prediction import HpMsiPredictor
+
+        if n_days < 2:
+            raise SimulationError(
+                "HP-MSI needs at least 2 history days; got "
+                f"{n_days} (use --predictor HA for single-day histories)"
+            )
+        return HpMsiPredictor(seed=seed, n_day_lags=min(7, n_days - 1))
+    return make_predictor(name, seed=seed)
+
+
+def history_from_stream(
+    events: Iterable[Arrival],
+    grid: Grid,
+    timeline: Timeline,
+) -> Tuple[DemandHistory, DemandHistory, float, float]:
+    """Bucket a history stream into per-side demand histories.
+
+    Returns ``(worker_history, task_history, worker_duration,
+    task_duration)`` where the durations are the per-side means (the
+    guide's representative ``Dw`` / ``Dr``).  Times past the timeline's
+    horizon end fold into later days: day ``d`` covers
+    ``(t0 + d*H, t0 + (d+1)*H]`` for horizon length ``H`` — exact day
+    boundaries close the earlier day (Timeline's closed-edge
+    convention), so a one-day stream ending exactly at the horizon end
+    stays a one-day history.
+
+    Raises:
+        SimulationError: for an empty stream or pre-horizon times.
+    """
+    horizon = timeline.duration
+    t0 = timeline.t0
+    slot_minutes = timeline.slot_minutes
+    n_slots = timeline.n_slots
+    day_counts: List[Tuple[np.ndarray, np.ndarray]] = []
+    worker_durations: List[float] = []
+    task_durations: List[float] = []
+    n_events = 0
+    for arrival in events:
+        entity = arrival.entity
+        offset = entity.start - t0
+        if offset < 0:
+            raise SimulationError(
+                f"history arrival at t={entity.start} precedes the timeline "
+                f"start t0={t0}"
+            )
+        day, within = divmod(offset, horizon)
+        day = int(day)
+        if within == 0 and day > 0:
+            # An arrival at an exact day boundary bins into the closing
+            # day's last slot, mirroring Timeline's closed-edge
+            # convention (slot_of accepts the horizon end); otherwise a
+            # single event at the horizon end would mint a phantom
+            # near-empty history day and skew every per-day average.
+            day -= 1
+            slot = n_slots - 1
+        else:
+            slot = min(int(within / slot_minutes), n_slots - 1)
+        while len(day_counts) <= day:
+            day_counts.append(
+                (
+                    np.zeros((n_slots, grid.n_areas), dtype=np.int64),
+                    np.zeros((n_slots, grid.n_areas), dtype=np.int64),
+                )
+            )
+        area = grid.area_of(entity.location)
+        if arrival.is_worker:
+            day_counts[day][0][slot, area] += 1
+            worker_durations.append(entity.duration)
+        else:
+            day_counts[day][1][slot, area] += 1
+            task_durations.append(entity.duration)
+        n_events += 1
+    if n_events == 0:
+        raise SimulationError("cannot build a history from an empty stream")
+    n_days = len(day_counts)
+    worker_tensor = np.stack([w for w, _t in day_counts])
+    task_tensor = np.stack([t for _w, t in day_counts])
+    day_of_week = np.arange(n_days, dtype=np.int64) % 7
+    weather = np.zeros((n_days, n_slots), dtype=np.int64)
+    worker_history = DemandHistory(worker_tensor, day_of_week, weather)
+    task_history = DemandHistory(task_tensor, day_of_week, weather)
+    worker_duration = (
+        sum(worker_durations) / len(worker_durations) if worker_durations else 0.0
+    )
+    task_duration = (
+        sum(task_durations) / len(task_durations) if task_durations else 0.0
+    )
+    return worker_history, task_history, worker_duration, task_duration
+
+
+def forecast_guide(
+    history_events: Iterable[Arrival],
+    grid: Grid,
+    timeline: Timeline,
+    travel: TravelModel,
+    predictor: str = "HA",
+    seed: int = 0,
+) -> OfflineGuide:
+    """Algorithm 1 fed with a *forecast* of the serving day.
+
+    One predictor per side is fit on the history stream and asked for
+    the day right after it; the real replayed stream stays unseen, so
+    this measures POLAR under honest prediction error rather than the
+    self-guide's perfect hindsight.
+
+    Args:
+        history_events: the training stream (e.g. a previous day's dump).
+        grid / timeline / travel: the serving discretisation.
+        predictor: a :func:`repro.prediction.make_predictor` name
+            (``HA``, ``HP-MSI``, ``GBRT``, …).
+        seed: seed for the stochastic predictors.
+
+    Raises:
+        SimulationError: for an empty history (via
+            :func:`history_from_stream`) or a side with zero observed
+            durations — the guide needs positive ``Dw`` and ``Dr``.
+        ValueError: for an unknown predictor name.
+    """
+    worker_history, task_history, worker_duration, task_duration = (
+        history_from_stream(history_events, grid, timeline)
+    )
+    if worker_duration <= 0 or task_duration <= 0:
+        raise SimulationError(
+            "history must contain both workers and tasks to estimate durations"
+        )
+    context = DayContext(
+        day_of_week=worker_history.n_days % 7,
+        weather=np.zeros(timeline.n_slots, dtype=np.int64),
+        day_index=worker_history.n_days,
+    )
+    n_days = worker_history.n_days
+    worker_model = _side_predictor(predictor, seed, n_days)
+    worker_model.fit(worker_history)
+    worker_counts = rounded_counts(worker_model.predict(context))
+    task_model = _side_predictor(predictor, seed, n_days)
+    task_model.fit(task_history)
+    task_counts = rounded_counts(task_model.predict(context))
+    return build_guide(
+        worker_counts,
+        task_counts,
+        grid,
+        timeline,
+        travel,
+        worker_duration,
+        task_duration,
+    )

@@ -1,0 +1,777 @@
+"""The async serving gateway: live JSONL ingest over sharded sessions.
+
+This is the I/O shell the ROADMAP called for on top of the PR 2 matcher
+protocol: an asyncio event-loop driver that turns the reproduction into a
+network-facing assignment server.
+
+Data path::
+
+    TCP / unix socket readers ──┐
+                                ├──> bounded asyncio.Queue ──> dispatcher
+    in-process submit()/offer() ┘          (backpressure)         │
+                                                                  ▼
+                                       ShardRouter (consistent spatial
+                                       hashing over grid cells)
+                                                                  │
+                                  ┌───────────────┬───────────────┤
+                                  ▼               ▼               ▼
+                               Shard 0         Shard 1         Shard k
+                          (MatchingSession) (MatchingSession)   ...
+
+* **Ingest protocol** — one JSON object per line, the same arrival
+  schema :mod:`repro.serving.replay` dumps.  Each arrival is acknowledged
+  with a decision line (``{"kind", "id", "shard", "decision",
+  "partner"}``), so clients can measure end-to-end latency.  Control
+  records: ``{"kind": "snapshot"}`` returns the live snapshot,
+  ``{"kind": "drain"}`` triggers the graceful drain and returns the
+  final snapshot; ``config`` records are acknowledged and skipped.
+  Malformed lines get an ``{"error": ...}`` line, a counter bump, and
+  the connection stays open.
+* **Ordering** — a single dispatcher consumes the queue FIFO, so the
+  gateway's ingest order is the stream's total order (Definition 4) and
+  a single-shard gateway is bit-identical to an offline
+  :class:`~repro.serving.session.MatchingSession` over the same events
+  (test-enforced).  Arrivals whose timestamp regresses are processed in
+  ingest order and counted in ``out_of_order``.
+* **Backpressure** — the queue is bounded (``queue_size``).  Socket
+  readers await space (TCP's own flow control propagates the stall to
+  the sender, ``backpressure_waits`` counts the stalls); the
+  non-blocking :meth:`Gateway.offer` refuses instead
+  (``backpressure_rejected``).
+* **Drain semantics** — :meth:`Gateway.drain` stops intake, lets the
+  dispatcher empty the queue, then calls ``finish()`` on every shard
+  (shards that saw no traffic finish cleanly).  Drain is terminal:
+  arrivals after it are refused with an error line, and the final
+  snapshot is frozen for late ``/snapshot`` readers.
+* **Metrics** — a stdlib-only HTTP endpoint serves ``/metrics``
+  (Prometheus text), ``/snapshot`` (JSON) and ``/healthz``, aggregating
+  :class:`~repro.serving.session.SessionSnapshot` counters across
+  shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.engine import Matcher
+from repro.errors import GatewayError, ReproError
+from repro.model.events import Arrival
+from repro.serving.replay import record_to_arrival
+from repro.serving.shard import Shard, ShardRouter, build_shards
+from repro.spatial.grid import Grid
+
+__all__ = ["Gateway", "GatewaySnapshot", "render_prometheus"]
+
+_DRAIN = object()  # queue sentinel: everything before it is processed first
+
+# Per-connection ack backlog (bytes) above which a client that stopped
+# reading is dropped — caps memory per slow client while keeping the
+# happy path free of per-ack drain overhead, and keeps the single
+# dispatcher from ever waiting on one connection.
+_ACK_BUFFER_LIMIT = 64 * 1024
+
+# Gateway lifecycle states.
+_SERVING = "serving"
+_DRAINING = "draining"
+_CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class GatewaySnapshot:
+    """Point-in-time aggregate metrics of the gateway and its shards.
+
+    Attributes:
+        state: ``serving`` / ``draining`` / ``closed``.
+        n_shards: shard count.
+        ingested: arrivals accepted into the queue.
+        processed: arrivals dispatched to a shard so far.
+        malformed: rejected input lines (bad JSON, bad records,
+            out-of-bounds locations).
+        rejected: arrivals refused because the gateway was draining.
+        out_of_order: arrivals whose timestamp regressed (still served,
+            in ingest order).
+        backpressure_waits: times a socket reader stalled on a full queue.
+        backpressure_rejected: times :meth:`Gateway.offer` refused.
+        queue_depth: arrivals queued but not yet dispatched.
+        connections: currently open ingest connections.
+        arrivals / workers / tasks / matched / ignored_workers /
+            ignored_tasks: totals over all shards.
+        shards: per-shard ``(arrivals, workers, tasks, matched)`` rows.
+        wall_seconds: seconds since the gateway was constructed.
+    """
+
+    state: str
+    n_shards: int
+    ingested: int
+    processed: int
+    malformed: int
+    rejected: int
+    out_of_order: int
+    backpressure_waits: int
+    backpressure_rejected: int
+    queue_depth: int
+    connections: int
+    arrivals: int
+    workers: int
+    tasks: int
+    matched: int
+    ignored_workers: int
+    ignored_tasks: int
+    shards: Tuple[Dict[str, int], ...]
+    wall_seconds: float
+
+    def as_dict(self) -> dict:
+        """A JSON-ready dict (the ``/snapshot`` payload)."""
+        payload = {
+            "kind": "snapshot",
+            "state": self.state,
+            "n_shards": self.n_shards,
+            "ingested": self.ingested,
+            "processed": self.processed,
+            "malformed": self.malformed,
+            "rejected": self.rejected,
+            "out_of_order": self.out_of_order,
+            "backpressure_waits": self.backpressure_waits,
+            "backpressure_rejected": self.backpressure_rejected,
+            "queue_depth": self.queue_depth,
+            "connections": self.connections,
+            "arrivals": self.arrivals,
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "matched": self.matched,
+            "ignored_workers": self.ignored_workers,
+            "ignored_tasks": self.ignored_tasks,
+            "shards": list(self.shards),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+        return payload
+
+    def summary(self) -> str:
+        """One human-readable line."""
+        return (
+            f"[gateway {self.state}: shards={self.n_shards} "
+            f"arrivals={self.arrivals} matched={self.matched} "
+            f"malformed={self.malformed} queue={self.queue_depth} "
+            f"wall={self.wall_seconds:.2f}s]"
+        )
+
+
+def render_prometheus(snapshot: GatewaySnapshot) -> str:
+    """The snapshot as Prometheus exposition text (``/metrics``)."""
+    lines: List[str] = []
+
+    def gauge(name: str, value, help_text: str, kind: str = "gauge") -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {value}")
+
+    gauge("ftoa_gateway_up", 1 if snapshot.state != _CLOSED else 0,
+          "1 while the gateway accepts arrivals")
+    gauge("ftoa_gateway_shards", snapshot.n_shards, "configured shard count")
+    gauge("ftoa_gateway_arrivals_total", snapshot.arrivals,
+          "arrivals observed by all shards", "counter")
+    gauge("ftoa_gateway_workers_total", snapshot.workers,
+          "worker arrivals observed", "counter")
+    gauge("ftoa_gateway_tasks_total", snapshot.tasks,
+          "task arrivals observed", "counter")
+    gauge("ftoa_gateway_matched_total", snapshot.matched,
+          "committed worker-task pairs", "counter")
+    gauge("ftoa_gateway_ignored_workers_total", snapshot.ignored_workers,
+          "workers with no guide node", "counter")
+    gauge("ftoa_gateway_ignored_tasks_total", snapshot.ignored_tasks,
+          "tasks with no guide node", "counter")
+    gauge("ftoa_gateway_malformed_total", snapshot.malformed,
+          "rejected input lines", "counter")
+    gauge("ftoa_gateway_rejected_total", snapshot.rejected,
+          "arrivals refused after drain", "counter")
+    gauge("ftoa_gateway_out_of_order_total", snapshot.out_of_order,
+          "arrivals with regressing timestamps", "counter")
+    gauge("ftoa_gateway_backpressure_waits_total", snapshot.backpressure_waits,
+          "socket reader stalls on a full queue", "counter")
+    gauge("ftoa_gateway_backpressure_rejected_total",
+          snapshot.backpressure_rejected,
+          "non-blocking offers refused on a full queue", "counter")
+    gauge("ftoa_gateway_queue_depth", snapshot.queue_depth,
+          "arrivals queued, not yet dispatched")
+    gauge("ftoa_gateway_connections", snapshot.connections,
+          "open ingest connections")
+
+    lines.append("# HELP ftoa_shard_arrivals_total arrivals per shard")
+    lines.append("# TYPE ftoa_shard_arrivals_total counter")
+    for row in snapshot.shards:
+        lines.append(
+            f'ftoa_shard_arrivals_total{{shard="{row["shard"]}"}} '
+            f'{row["arrivals"]}'
+        )
+    lines.append("# HELP ftoa_shard_matched_total committed pairs per shard")
+    lines.append("# TYPE ftoa_shard_matched_total counter")
+    for row in snapshot.shards:
+        lines.append(
+            f'ftoa_shard_matched_total{{shard="{row["shard"]}"}} '
+            f'{row["matched"]}'
+        )
+    return "\n".join(lines) + "\n"
+
+
+class Gateway:
+    """The asyncio serving gateway over sharded matching sessions.
+
+    Args:
+        grid: the matching grid (shard routing keys off its cells).
+        matcher_factory: builds shard ``i``'s private matcher; called
+            once per shard at construction.
+        n_shards: shard count (1 reproduces the offline session exactly).
+        queue_size: bound of the ingest queue (the backpressure limit).
+        replicas: virtual nodes per shard on the consistent-hash ring.
+
+    Usage::
+
+        gateway = Gateway(grid, lambda i: GreedyMatcher(travel), n_shards=4)
+        await gateway.start(port=0, metrics_port=0)
+        await gateway.submit(arrival)          # or sockets / offer()
+        snapshot = await gateway.drain()       # terminal
+        await gateway.close()
+
+    Raises:
+        repro.errors.ConfigurationError: for bad shard/queue parameters.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        matcher_factory: Callable[[int], Matcher],
+        n_shards: int = 1,
+        queue_size: int = 1024,
+        replicas: int = 64,
+    ) -> None:
+        if queue_size <= 0:
+            raise GatewayError(f"queue_size must be positive, got {queue_size}")
+        self.grid = grid
+        self.router = ShardRouter(grid, n_shards, replicas=replicas)
+        self.shards: List[Shard] = build_shards(n_shards, matcher_factory)
+        self.queue_size = int(queue_size)
+        self._queue: Optional[asyncio.Queue] = None
+        self._state = _SERVING
+        self._seq = 0
+        self._last_time: Optional[float] = None
+        self._started = time.perf_counter()
+        # Counters (names match GatewaySnapshot fields).
+        self.ingested = 0
+        self.processed = 0
+        self.malformed = 0
+        self.rejected = 0
+        self.out_of_order = 0
+        self.backpressure_waits = 0
+        self.backpressure_rejected = 0
+        self.connections = 0
+        # Async plumbing, created by start().
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._drained: Optional[asyncio.Event] = None
+        self._drain_requested = False
+        self._final_snapshot: Optional[GatewaySnapshot] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._conn_writers: set = set()
+        self._inflight_replies = 0
+        self._tcp_port: Optional[int] = None
+        self._metrics_port: Optional[int] = None
+        self._unix_path: Optional[str] = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        metrics_host: str = "127.0.0.1",
+        metrics_port: Optional[int] = None,
+    ) -> None:
+        """Start the dispatcher and any configured listeners.
+
+        ``port`` / ``metrics_port`` may be 0 for an ephemeral bind; the
+        bound ports are then readable from :attr:`tcp_port` /
+        :attr:`metrics_port`.  All listeners are optional — a gateway
+        without sockets is driven purely by :meth:`submit` /
+        :meth:`offer`.
+        """
+        if self._dispatcher is not None:
+            raise GatewayError("gateway already started")
+        self._queue = asyncio.Queue(maxsize=self.queue_size)
+        self._drained = asyncio.Event()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        try:
+            if port is not None:
+                server = await asyncio.start_server(
+                    self._handle_ingest, host, port
+                )
+                self._servers.append(server)
+                self._tcp_port = server.sockets[0].getsockname()[1]
+            if unix_path is not None:
+                # Stale socket files from crashed runs are no concern:
+                # asyncio's create_unix_server unlinks any pre-existing
+                # socket path before binding.
+                server = await asyncio.start_unix_server(
+                    self._handle_ingest, path=unix_path
+                )
+                self._servers.append(server)
+                self._unix_path = unix_path
+            if metrics_port is not None:
+                server = await asyncio.start_server(
+                    self._handle_http, metrics_host, metrics_port
+                )
+                self._servers.append(server)
+                self._metrics_port = server.sockets[0].getsockname()[1]
+        except Exception:
+            # Roll back a partial start: no leaked listeners or pending
+            # dispatcher task, and the gateway stays startable.
+            for server in self._servers:
+                server.close()
+            self._servers = []
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+            self._queue = None
+            self._drained = None
+            self._tcp_port = None
+            self._metrics_port = None
+            self._unix_path = None
+            raise
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        """The bound ingest TCP port (after :meth:`start`)."""
+        return self._tcp_port
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound metrics HTTP port (after :meth:`start`)."""
+        return self._metrics_port
+
+    @property
+    def state(self) -> str:
+        """``serving`` / ``draining`` / ``closed``."""
+        return self._state
+
+    async def drain(self) -> GatewaySnapshot:
+        """Graceful drain: flush the queue, ``finish()`` every shard.
+
+        Terminal and idempotent — concurrent and repeated calls all
+        return the same frozen final snapshot.
+        """
+        self._require_started()
+        if self._state == _SERVING:
+            self._state = _DRAINING
+        if not self._drain_requested:
+            self._drain_requested = True
+            await self._queue.put(_DRAIN)
+        await self._drained.wait()
+        return self._final_snapshot
+
+    async def close(self) -> GatewaySnapshot:
+        """Stop the listeners, drain, and return the final snapshot."""
+        snapshot = await self.drain()
+        for server in self._servers:
+            server.close()
+        # Handlers woken by the same drain event may still owe their
+        # client a reply (the drain-record snapshot); give those writes
+        # a moment to land before cutting connections.
+        deadline = time.perf_counter() + 2.0
+        while self._inflight_replies and time.perf_counter() < deadline:
+            await asyncio.sleep(0.01)
+        # Python 3.12's Server.wait_closed() waits for every connection
+        # handler to finish, and idle ingest handlers sit in readline()
+        # until the *client* hangs up — close their transports first or
+        # shutdown would hang behind any lingering connection.
+        for writer in list(self._conn_writers):
+            writer.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers = []
+        if self._unix_path is not None:
+            # asyncio does not unlink unix sockets on close; a stale
+            # path would make the next `repro serve --unix` fail with
+            # EADDRINUSE.
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+            self._unix_path = None
+        return snapshot
+
+    async def wait_drained(self) -> GatewaySnapshot:
+        """Block until some client or caller drains the gateway."""
+        self._require_started()
+        await self._drained.wait()
+        return self._final_snapshot
+
+    def shard_outcomes(self):
+        """Per-shard :class:`AssignmentOutcome`s (after the drain)."""
+        if self._state != _CLOSED:
+            raise GatewayError("shard outcomes are available after drain()")
+        return [shard.outcome for shard in self.shards]
+
+    # -- in-process ingest --------------------------------------------- #
+
+    async def submit(self, arrival: Arrival) -> None:
+        """Enqueue one arrival, waiting for queue space (backpressure)."""
+        self._require_started()
+        if self._state != _SERVING:
+            self.rejected += 1
+            raise GatewayError("gateway is draining; push refused")
+        shard_id = self.router.shard_of(arrival)
+        if self._queue.full():
+            self.backpressure_waits += 1
+        # Count before the (possibly blocking) put: the dispatcher may
+        # process this very arrival while we park, and a metrics scrape
+        # must never observe processed > ingested.
+        self._stamp(arrival)
+        self.ingested += 1
+        await self._queue.put(("event", arrival, shard_id, None))
+
+    def offer(self, arrival: Arrival) -> bool:
+        """Non-blocking enqueue; False when the backpressure limit is hit.
+
+        Raises:
+            GatewayError: when the gateway is draining or closed.
+        """
+        self._require_started()
+        if self._state != _SERVING:
+            self.rejected += 1
+            raise GatewayError("gateway is draining; push refused")
+        shard_id = self.router.shard_of(arrival)
+        try:
+            self._queue.put_nowait(("event", arrival, shard_id, None))
+        except asyncio.QueueFull:
+            self.backpressure_rejected += 1
+            return False
+        # Stamp only accepted arrivals, or refused offers would corrupt
+        # the out_of_order accounting.
+        self._stamp(arrival)
+        self.ingested += 1
+        return True
+
+    # -- metrics ------------------------------------------------------- #
+
+    def snapshot(self) -> GatewaySnapshot:
+        """Aggregate the shard sessions plus the gateway counters."""
+        if self._final_snapshot is not None:
+            return self._final_snapshot
+        return self._snapshot_live()
+
+    def _snapshot_live(self) -> GatewaySnapshot:
+        rows = []
+        arrivals = workers = tasks = matched = 0
+        ignored_workers = ignored_tasks = 0
+        for shard in self.shards:
+            snap = shard.snapshot()
+            arrivals += snap.arrivals
+            workers += snap.workers
+            tasks += snap.tasks
+            matched += snap.matched
+            ignored_workers += snap.ignored_workers
+            ignored_tasks += snap.ignored_tasks
+            rows.append(
+                {
+                    "shard": shard.shard_id,
+                    "arrivals": snap.arrivals,
+                    "workers": snap.workers,
+                    "tasks": snap.tasks,
+                    "matched": snap.matched,
+                }
+            )
+        return GatewaySnapshot(
+            state=self._state,
+            n_shards=len(self.shards),
+            ingested=self.ingested,
+            processed=self.processed,
+            malformed=self.malformed,
+            rejected=self.rejected,
+            out_of_order=self.out_of_order,
+            backpressure_waits=self.backpressure_waits,
+            backpressure_rejected=self.backpressure_rejected,
+            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            connections=self.connections,
+            arrivals=arrivals,
+            workers=workers,
+            tasks=tasks,
+            matched=matched,
+            ignored_workers=ignored_workers,
+            ignored_tasks=ignored_tasks,
+            shards=tuple(rows),
+            wall_seconds=time.perf_counter() - self._started,
+        )
+
+    # -- internals ----------------------------------------------------- #
+
+    def _require_started(self) -> None:
+        if self._dispatcher is None:
+            raise GatewayError("gateway not started; call await start() first")
+
+    def _stamp(self, arrival: Arrival) -> Arrival:
+        """Track stream-order metadata for one accepted arrival."""
+        if self._last_time is not None and arrival.time < self._last_time:
+            self.out_of_order += 1
+        else:
+            self._last_time = arrival.time
+        return arrival
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    async def _dispatch_loop(self) -> None:
+        """The single consumer: queue order is the stream's total order.
+
+        Error replies for rejected lines travel through the same queue
+        ("error" items), so a connection's reply order always equals its
+        send order — clients may pair replies to sends by position.  A
+        matcher that rejects an accepted arrival (e.g. an out-of-horizon
+        timestamp hitting ``Timeline.slot_of``) yields an error reply
+        and a ``malformed`` bump; one poisoned event must never kill the
+        dispatcher and hang every connection.
+        """
+        queue = self._queue
+        shards = self.shards
+        while True:
+            item = await queue.get()
+            if item is _DRAIN:
+                break
+            tag, payload, shard_id, writer = item
+            if tag == "event":
+                try:
+                    decision = shards[shard_id].push(payload)
+                except Exception as exc:  # noqa: BLE001 — serve loop survives
+                    self.malformed += 1
+                    reply = {"error": f"arrival rejected by shard: {exc}"}
+                else:
+                    self.processed += 1
+                    reply = {
+                        "kind": payload.kind,
+                        "id": payload.entity.id,
+                        "shard": shard_id,
+                        "decision": decision.action,
+                        "partner": decision.partner_id,
+                    }
+            else:
+                reply = payload
+            if writer is not None and not writer.is_closing():
+                writer.write(json.dumps(reply).encode() + b"\n")
+                if writer.transport.get_write_buffer_size() > _ACK_BUFFER_LIMIT:
+                    # The client stopped reading its acks.  The single
+                    # dispatcher serves every connection, so it never
+                    # waits on one: the backlogged client is dropped on
+                    # the spot and dispatch continues.
+                    writer.close()
+        for shard in shards:
+            shard.finish()
+        self._state = _CLOSED
+        self._final_snapshot = self._snapshot_live()
+        self._drained.set()
+
+    # -- socket ingest ------------------------------------------------- #
+
+    async def _handle_ingest(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line or line.startswith(b"#"):
+                    continue
+                await self._ingest_line(line, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop shutdown while parked in readline(): finish the
+            # handler cleanly so teardown doesn't log the cancellation.
+            pass
+        finally:
+            self.connections -= 1
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _ingest_line(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """Parse one line; enqueue an event or reply.
+
+        Replies to data lines (decision acks *and* error lines) travel
+        through the dispatcher queue while serving, and wait for the
+        drain to complete afterwards — either way a connection's replies
+        come back in exactly its send order.  Control records
+        (``config`` / ``snapshot`` / ``drain``) are answered out of
+        band: clients pairing replies to sends by position must not
+        interleave them with unacknowledged data lines (the drain
+        record, sent last, is safe — its reply is sequenced after the
+        flushed queue).
+        """
+
+        def reply_now(payload: dict) -> None:
+            writer.write(json.dumps(payload).encode() + b"\n")
+
+        async def reply_in_order(payload: dict) -> None:
+            if self._state != _SERVING:
+                # The dispatcher is draining or gone; items enqueued now
+                # would sit behind the _DRAIN sentinel forever.
+                await self._reply_after_drain(writer, payload)
+                return
+            if self._queue.full():
+                self.backpressure_waits += 1
+            await self._queue.put(("error", payload, None, writer))
+
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.malformed += 1
+            await reply_in_order({"error": f"invalid JSON: {exc}"})
+            return
+        if not isinstance(record, dict):
+            self.malformed += 1
+            await reply_in_order({"error": "expected a JSON object"})
+            return
+        kind = record.get("kind")
+        if kind == "config":
+            # Streams dumped by `repro dump` open with a config record;
+            # the gateway's discretisation is fixed at startup, so the
+            # record is acknowledged and skipped.
+            reply_now({"kind": "config", "ok": True})
+            await writer.drain()
+            return
+        if kind == "snapshot":
+            reply_now(self.snapshot().as_dict())
+            await writer.drain()
+            return
+        if kind == "drain":
+            await self._reply_after_drain(writer, None, trigger=True)
+            return
+        if self._state != _SERVING:
+            self.rejected += 1
+            await self._reply_after_drain(
+                writer, {"error": "gateway is draining; arrival refused"}
+            )
+            return
+        try:
+            arrival = record_to_arrival(record, seq=self._seq)
+            shard_id = self.router.shard_of(arrival)
+        except (ReproError, ValueError, TypeError) as exc:
+            self.malformed += 1
+            await reply_in_order({"error": str(exc)})
+            return
+        self._next_seq()
+        if self._queue.full():
+            self.backpressure_waits += 1
+        # Counters first — see submit(): a scrape during a blocking put
+        # must never observe processed > ingested.
+        self._stamp(arrival)
+        self.ingested += 1
+        await self._queue.put(("event", arrival, shard_id, writer))
+
+    async def _reply_after_drain(
+        self,
+        writer: asyncio.StreamWriter,
+        payload: Optional[dict],
+        trigger: bool = False,
+    ) -> None:
+        """Write a reply sequenced *after* the drained queue's acks.
+
+        Waiting for the drain keeps the per-connection send-order reply
+        contract once the dispatcher is gone.  ``trigger=True`` starts
+        the drain itself and replies with the final snapshot (the
+        ``drain`` control record); the in-flight counter lets
+        :meth:`close` hold connection teardown until these writes land.
+        """
+        self._inflight_replies += 1
+        try:
+            if trigger:
+                snapshot = await self.drain()
+            else:
+                await self._drained.wait()
+                snapshot = self._final_snapshot
+            reply = snapshot.as_dict() if payload is None else payload
+            writer.write(json.dumps(reply).encode() + b"\n")
+            await writer.drain()
+        finally:
+            self._inflight_replies -= 1
+
+    # -- metrics HTTP -------------------------------------------------- #
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request_line = await asyncio.wait_for(reader.readline(), 5.0)
+            except asyncio.TimeoutError:
+                return
+            parts = request_line.decode("latin-1").split()
+            # Consume headers until the blank line ending the request.
+            while True:
+                header = await asyncio.wait_for(reader.readline(), 5.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) < 2 or parts[0] != "GET":
+                self._http_reply(writer, 405, "text/plain", "method not allowed\n")
+            else:
+                path = parts[1].split("?", 1)[0]
+                if path == "/metrics":
+                    self._http_reply(
+                        writer,
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        render_prometheus(self.snapshot()),
+                    )
+                elif path == "/snapshot":
+                    self._http_reply(
+                        writer,
+                        200,
+                        "application/json",
+                        json.dumps(self.snapshot().as_dict()) + "\n",
+                    )
+                elif path == "/healthz":
+                    self._http_reply(writer, 200, "text/plain", self._state + "\n")
+                else:
+                    self._http_reply(writer, 404, "text/plain", "not found\n")
+            await writer.drain()
+        except (ConnectionError, asyncio.TimeoutError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _http_reply(
+        writer: asyncio.StreamWriter, status: int, content_type: str, body: str
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(
+            status, "Error"
+        )
+        payload = body.encode()
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode() + payload)

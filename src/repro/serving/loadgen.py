@@ -1,0 +1,231 @@
+"""Async load generator for the serving gateway.
+
+Replays a JSONL arrival stream (or a synthetic instance) against a
+running :class:`~repro.serving.gateway.Gateway` at a target rate, and
+reports the achieved ingest throughput plus end-to-end latency
+percentiles (send → decision-ack round trip, which includes queueing,
+shard routing and the matcher's decision).
+
+The client speaks the gateway's line protocol: one arrival JSON object
+per line, one reply line back per arrival (a decision ack or an error
+line — the gateway routes both through its FIFO dispatcher, so replies
+come back in exactly the send order), plus an optional trailing
+``{"kind": "drain"}`` control record answered with the final gateway
+snapshot.  The reader therefore matches reply ``k`` to send ``k`` by
+position.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import GatewayError
+from repro.model.events import Arrival
+from repro.serving.replay import arrival_to_record
+
+__all__ = ["LoadgenReport", "run_loadgen", "loadgen"]
+
+# Await the socket drain every this many sends, so the writer coroutine
+# yields to the reader without paying a drain() per line.
+_FLUSH_EVERY = 64
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """What one load-generation run achieved.
+
+    Attributes:
+        sent: arrival lines written.
+        acked: decision acks received.
+        errors: error lines received (malformed/refused arrivals).
+        seconds: wall time from first send to last reply.
+        arrivals_per_sec: replies (acks plus error lines) per second —
+            the rate the gateway actually worked through the stream.
+        target_rate: the requested pacing (None = unthrottled).
+        latency_ms: ``{"p50", "p90", "p99", "mean", "max"}`` of the
+            send → ack round trip, in milliseconds.
+        snapshot: the gateway's final snapshot dict when the run ended
+            with a drain, else None.
+    """
+
+    sent: int
+    acked: int
+    errors: int
+    seconds: float
+    arrivals_per_sec: float
+    target_rate: Optional[float]
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    snapshot: Optional[dict] = None
+
+    def as_dict(self) -> dict:
+        """A JSON-ready dict."""
+        return {
+            "sent": self.sent,
+            "acked": self.acked,
+            "errors": self.errors,
+            "seconds": round(self.seconds, 4),
+            "arrivals_per_sec": round(self.arrivals_per_sec, 1),
+            "target_rate": self.target_rate,
+            "latency_ms": {k: round(v, 3) for k, v in self.latency_ms.items()},
+            "snapshot": self.snapshot,
+        }
+
+    def summary(self) -> str:
+        """One human-readable line."""
+        latency = self.latency_ms
+        return (
+            f"[loadgen: {self.acked}/{self.sent} acked in {self.seconds:.2f}s "
+            f"-> {self.arrivals_per_sec:.0f} arrivals/s; latency p50="
+            f"{latency.get('p50', 0.0):.2f}ms p99={latency.get('p99', 0.0):.2f}ms "
+            f"errors={self.errors}]"
+        )
+
+
+async def run_loadgen(
+    events: Iterable[Arrival],
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+    rate: Optional[float] = None,
+    drain: bool = False,
+) -> LoadgenReport:
+    """Replay ``events`` against a gateway and measure the round trips.
+
+    Args:
+        events: arrivals to send (sent in iteration order).
+        host / port: TCP ingest endpoint (mutually exclusive with
+            ``unix_path``).
+        unix_path: unix-socket ingest endpoint.
+        rate: target arrivals per second (None or 0 = as fast as the
+            socket accepts).
+        drain: send a ``drain`` control record after the stream and wait
+            for the final gateway snapshot.
+
+    Raises:
+        GatewayError: when no endpoint is given or the server closes
+            the connection mid-run.
+    """
+    if (port is None) == (unix_path is None):
+        raise GatewayError("pass exactly one of port= or unix_path=")
+    if unix_path is not None:
+        reader, writer = await asyncio.open_unix_connection(unix_path)
+    else:
+        reader, writer = await asyncio.open_connection(host, port)
+
+    lines = [json.dumps(arrival_to_record(event)).encode() + b"\n" for event in events]
+    send_times: List[float] = []
+    latencies: List[float] = []
+    acked = 0
+    errors = 0
+
+    async def read_acks() -> None:
+        nonlocal acked, errors
+        for index in range(len(lines)):
+            line = await reader.readline()
+            if not line:
+                raise GatewayError(
+                    f"gateway closed the connection after {index} acks"
+                )
+            arrived = time.perf_counter()
+            ack = json.loads(line)
+            if "error" in ack:
+                errors += 1
+            else:
+                acked += 1
+            latencies.append(arrived - send_times[index])
+
+    started = time.perf_counter()
+    reader_task = asyncio.create_task(read_acks())
+    snapshot = None
+    try:
+        interval = 1.0 / rate if rate else 0.0
+        for index, line in enumerate(lines):
+            if interval:
+                target = started + index * interval
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            send_times.append(time.perf_counter())
+            writer.write(line)
+            if index % _FLUSH_EVERY == _FLUSH_EVERY - 1:
+                await writer.drain()
+        await writer.drain()
+        await reader_task
+        elapsed = time.perf_counter() - started
+        if drain:
+            writer.write(b'{"kind": "drain"}\n')
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise GatewayError(
+                    "gateway closed the connection before the drain ack"
+                )
+            snapshot = json.loads(line)
+    finally:
+        # A failed send loop must not abandon the reader (its pending
+        # exception would be logged as never-retrieved) or leak the
+        # connection.
+        if not reader_task.done():
+            reader_task.cancel()
+        try:
+            await reader_task
+        except (asyncio.CancelledError, GatewayError, ConnectionError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    latencies.sort()
+    latency_ms = {
+        "p50": _percentile(latencies, 0.50) * 1e3,
+        "p90": _percentile(latencies, 0.90) * 1e3,
+        "p99": _percentile(latencies, 0.99) * 1e3,
+        "mean": (sum(latencies) / len(latencies) * 1e3) if latencies else 0.0,
+        "max": (latencies[-1] * 1e3) if latencies else 0.0,
+    }
+    return LoadgenReport(
+        sent=len(lines),
+        acked=acked,
+        errors=errors,
+        seconds=elapsed,
+        arrivals_per_sec=(acked + errors) / elapsed if elapsed > 0 else 0.0,
+        target_rate=rate or None,
+        latency_ms=latency_ms,
+        snapshot=snapshot,
+    )
+
+
+def loadgen(
+    events: Iterable[Arrival],
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+    rate: Optional[float] = None,
+    drain: bool = False,
+) -> LoadgenReport:
+    """Synchronous wrapper: ``asyncio.run(run_loadgen(...))``."""
+    return asyncio.run(
+        run_loadgen(
+            events,
+            host=host,
+            port=port,
+            unix_path=unix_path,
+            rate=rate,
+            drain=drain,
+        )
+    )

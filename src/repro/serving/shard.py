@@ -1,0 +1,171 @@
+"""Sharded sessions: consistent spatial hashing of grid cells to shards.
+
+The gateway scales FTOA horizontally the way a spatial platform does in
+practice: the city is partitioned into regions and each region is served
+by its own matcher.  Region identity is the matching grid's *cell* (the
+same (area) discretisation :class:`~repro.core.cellindex.CellIndex`
+buckets by), and cells are mapped to shards with **consistent hashing**
+— a fixed ring of virtual-node tokens per shard — so that
+
+* the cell → shard map is deterministic across processes and runs (the
+  ring hashes with :func:`hashlib.blake2b`, never Python's seeded
+  ``hash``);
+* growing the shard count from ``n`` to ``n+1`` remaps only the cells
+  whose ring arc the new shard's tokens claim, instead of reshuffling
+  the whole city (the classic consistent-hashing property — live
+  resharding only has to migrate a ``~1/(n+1)`` slice).
+
+Each :class:`Shard` owns one push-style
+:class:`~repro.serving.session.MatchingSession`; a single-shard gateway
+therefore degenerates to exactly the offline session and is bit-identical
+to it (test-enforced).  With multiple shards, matching happens *within*
+a shard: cross-region pairs are traded away for parallel ingest, which is
+the standard hyperlocal-serving compromise.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.engine import Matcher
+from repro.core.outcome import AssignmentOutcome, Decision
+from repro.errors import ConfigurationError
+from repro.model.events import Arrival
+from repro.serving.session import MatchingSession, SessionSnapshot
+from repro.spatial.grid import Grid
+
+__all__ = ["SpatialHashRing", "ShardRouter", "Shard", "build_shards"]
+
+# Virtual nodes per shard.  Enough for an even spread over a few dozen
+# shards; cheap to build (shards × replicas blake2b digests, once).
+_DEFAULT_REPLICAS = 64
+
+
+def _stable_hash(key: bytes) -> int:
+    """A 64-bit position on the ring, stable across processes."""
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+class SpatialHashRing:
+    """A consistent-hash ring mapping integer keys to shard ids.
+
+    Args:
+        n_shards: number of shards (ring members).
+        replicas: virtual nodes per shard.
+
+    Raises:
+        ConfigurationError: for non-positive shard or replica counts.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = _DEFAULT_REPLICAS) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
+        if replicas <= 0:
+            raise ConfigurationError(f"replicas must be positive, got {replicas}")
+        self.n_shards = int(n_shards)
+        self.replicas = int(replicas)
+        tokens: List[Tuple[int, int]] = []
+        for shard in range(self.n_shards):
+            for replica in range(self.replicas):
+                token = _stable_hash(b"shard:%d:replica:%d" % (shard, replica))
+                tokens.append((token, shard))
+        tokens.sort()
+        self._tokens = [token for token, _shard in tokens]
+        self._owners = [shard for _token, shard in tokens]
+
+    def shard_of(self, key: int) -> int:
+        """The shard owning ``key``: first token clockwise of its hash."""
+        position = _stable_hash(b"cell:%d" % key)
+        index = bisect.bisect_right(self._tokens, position)
+        if index == len(self._tokens):
+            index = 0  # wrap around the ring
+        return self._owners[index]
+
+
+class ShardRouter:
+    """Routes arrivals to shards by the grid cell of their location.
+
+    The cell → shard map is resolved through the consistent-hash ring and
+    memoised per cell (the cell space is bounded by ``grid.n_areas``).
+
+    Args:
+        grid: the matching grid whose cells partition the city.
+        n_shards: shard count.
+        replicas: virtual nodes per shard on the ring.
+    """
+
+    def __init__(
+        self, grid: Grid, n_shards: int, replicas: int = _DEFAULT_REPLICAS
+    ) -> None:
+        self.grid = grid
+        self.ring = SpatialHashRing(n_shards, replicas=replicas)
+        self._cell_cache: Dict[int, int] = {}
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards routed to."""
+        return self.ring.n_shards
+
+    def shard_of_cell(self, area: int) -> int:
+        """The shard owning one grid cell (memoised ring lookup)."""
+        shard = self._cell_cache.get(area)
+        if shard is None:
+            shard = self.ring.shard_of(area)
+            self._cell_cache[area] = shard
+        return shard
+
+    def shard_of(self, arrival: Arrival) -> int:
+        """The shard owning an arrival's location."""
+        return self.shard_of_cell(self.grid.area_of(arrival.entity.location))
+
+
+class Shard:
+    """One region shard: a push-style session plus live counters.
+
+    The shard is begun on construction and fed via :meth:`push`;
+    :meth:`finish` closes the stream (idempotent — finishing an empty or
+    already-finished shard is safe, so a gateway drain never trips over
+    regions that saw no traffic).
+
+    Args:
+        shard_id: position in the gateway's shard list.
+        matcher: this shard's private matcher instance (matchers are
+            stateful; shards never share one).
+    """
+
+    def __init__(self, shard_id: int, matcher: Matcher) -> None:
+        self.shard_id = shard_id
+        self.session = MatchingSession(matcher)
+        self.session.begin()
+        self.arrivals = 0
+        self.outcome: Optional[AssignmentOutcome] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has run."""
+        return self.outcome is not None
+
+    def push(self, arrival: Arrival) -> Decision:
+        """Feed one arrival to the shard's session."""
+        decision = self.session.push(arrival)
+        self.arrivals += 1
+        return decision
+
+    def finish(self) -> AssignmentOutcome:
+        """Close the shard's stream; repeated calls return the outcome."""
+        if self.outcome is None:
+            self.outcome = self.session.finish()
+        return self.outcome
+
+    def snapshot(self) -> SessionSnapshot:
+        """The shard session's current metrics (live or final)."""
+        return self.session.snapshot()
+
+
+def build_shards(
+    n_shards: int, matcher_factory: Callable[[int], Matcher]
+) -> List[Shard]:
+    """Construct ``n_shards`` shards from a per-shard matcher factory."""
+    return [Shard(i, matcher_factory(i)) for i in range(n_shards)]

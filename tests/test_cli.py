@@ -1,11 +1,17 @@
 """Tests for the CLI (python -m repro)."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
 from repro.experiments.results import TableResult
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestParser:
@@ -78,3 +84,182 @@ class TestCommands:
         table.save(path)
         assert main(["report", str(path)]) == 0
         assert "demo" in capsys.readouterr().out
+
+
+def _config_only_stream(tmp_path) -> str:
+    """A JSONL file holding only a config record (no events)."""
+    path = tmp_path / "config_only.jsonl"
+    path.write_text(
+        json.dumps(
+            {
+                "kind": "config",
+                "bounds": [0.0, 0.0, 10.0, 10.0],
+                "nx": 10,
+                "ny": 10,
+                "n_slots": 8,
+                "slot_minutes": 180.0,
+                "t0": 0.0,
+                "velocity": 0.05,
+            }
+        )
+        + "\n"
+    )
+    return str(path)
+
+
+class TestHelpText:
+    def test_help_lists_every_subcommand(self):
+        """The satellite contract: `python -m repro` help names them all."""
+        help_text = build_parser().format_help()
+        for command in ("list", "run", "report", "dump", "replay", "serve",
+                        "loadgen"):
+            assert command in help_text
+
+
+class TestServeCommand:
+    def test_bad_port_rejected(self, tmp_path, capsys):
+        config = _config_only_stream(tmp_path)
+        assert main(["serve", config, "--port", "70000"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_bad_metrics_port_rejected(self, tmp_path, capsys):
+        config = _config_only_stream(tmp_path)
+        assert main(["serve", config, "--metrics-port", "-4"]) == 2
+        assert "--metrics-port" in capsys.readouterr().err
+
+    def test_unknown_algorithm_rejected(self, tmp_path):
+        config = _config_only_stream(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", config, "--algorithm", "quantum"])
+        assert excinfo.value.code == 2
+
+    def test_tgoa_needs_halfway_without_events(self, tmp_path, capsys):
+        config = _config_only_stream(tmp_path)
+        assert main(["serve", config, "--algorithm", "tgoa",
+                     "--port", "0", "--metrics-port", "0"]) == 2
+        assert "halfway" in capsys.readouterr().err
+
+    def test_polar_needs_events_for_self_guide(self, tmp_path, capsys):
+        config = _config_only_stream(tmp_path)
+        assert main(["serve", config, "--algorithm", "polar",
+                     "--port", "0", "--metrics-port", "0"]) == 2
+        assert "empty stream" in capsys.readouterr().err
+
+    def test_from_forecast_requires_history(self, tmp_path, capsys):
+        config = _config_only_stream(tmp_path)
+        assert main(["serve", config, "--algorithm", "polar",
+                     "--guide", "from-forecast",
+                     "--port", "0", "--metrics-port", "0"]) == 2
+        assert "--history" in capsys.readouterr().err
+
+    def test_missing_config_file(self, capsys):
+        assert main(["serve", "/nonexistent/stream.jsonl"]) == 2
+        assert "cannot open stream" in capsys.readouterr().err
+
+    def test_tgoa_halfway_splits_across_shards(self, small_instance):
+        """Each shard sees only its share of the stream, so the phase
+        boundary (an arrival count) is divided across shards — otherwise
+        sharded TGOA would never leave phase 1."""
+        from repro.cli import _matcher_factory
+
+        args = build_parser().parse_args(
+            ["serve", "x.jsonl", "--algorithm", "tgoa", "--halfway", "100",
+             "--shards", "4"]
+        )
+        factory = _matcher_factory(
+            args, [], small_instance.grid, small_instance.timeline,
+            small_instance.travel,
+        )
+        assert factory(0).halfway == 25
+        replay_args = build_parser().parse_args(
+            ["replay", "x.jsonl", "--algorithm", "tgoa", "--halfway", "100"]
+        )
+        replay_factory = _matcher_factory(
+            replay_args, [], small_instance.grid, small_instance.timeline,
+            small_instance.travel,
+        )
+        assert replay_factory(0).halfway == 100  # replay is unsharded
+
+
+class TestLoadgenCommand:
+    def test_bad_port_rejected(self, capsys):
+        assert main(["loadgen", "--port", "-1", "--workers", "2",
+                     "--tasks", "2"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_connection_refused_is_a_clean_error(self, tmp_path, capsys):
+        """No gateway listening -> exit 2 with a readable message, not a
+        traceback."""
+        stream = tmp_path / "two.jsonl"
+        stream.write_text(
+            '{"kind": "worker", "id": 0, "x": 1.0, "y": 1.0, '
+            '"start": 0.0, "duration": 5.0}\n'
+        )
+        # Port 1 is privileged and unbound: connect() fails immediately.
+        assert main(["loadgen", str(stream), "--port", "1"]) == 2
+        assert "cannot reach the gateway" in capsys.readouterr().err
+
+
+class TestReplayForecastGuide:
+    def test_from_forecast_requires_history(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        code = main(
+            ["dump", "--workers", "80", "--tasks", "80", "--grid-side", "8",
+             "--n-slots", "6", "--out", str(stream)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["replay", str(stream), "--algorithm", "polar",
+                     "--guide", "from-forecast"]) == 2
+        assert "--history" in capsys.readouterr().err
+
+    def test_unknown_predictor_is_a_clean_error(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        code = main(
+            ["dump", "--workers", "60", "--tasks", "60", "--grid-side", "8",
+             "--n-slots", "6", "--out", str(stream)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["replay", str(stream), "--algorithm", "polar",
+                     "--guide", "from-forecast", "--history", str(stream),
+                     "--predictor", "bogus"]) == 2
+        assert "unknown predictor" in capsys.readouterr().err
+
+    def test_replay_with_forecast_guide(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        history = tmp_path / "history.jsonl"
+        for seed, path in ((1, stream), (9, history)):
+            code = main(
+                ["dump", "--workers", "80", "--tasks", "80", "--grid-side",
+                 "8", "--n-slots", "6", "--seed", str(seed), "--out",
+                 str(path)]
+            )
+            assert code == 0
+        capsys.readouterr()
+        code = main(
+            ["replay", str(stream), "--algorithm", "polar",
+             "--guide", "from-forecast", "--history", str(history),
+             "--predictor", "HA"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forecast guide built" in out
+        assert "matched=" in out
+
+
+class TestGatewaySmokeScript:
+    def test_smoke_script_passes(self):
+        """The CI gateway smoke (server + loadgen + /snapshot vs offline
+        session) passes on a tiny stream."""
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "gateway_smoke.py"),
+             "--workers", "120", "--tasks", "120"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "bit-identical" in result.stdout
+        assert "gateway smoke OK" in result.stdout

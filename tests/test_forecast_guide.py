@@ -1,0 +1,175 @@
+"""Tests for repro.serving.forecast — forecast-driven guides."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.events import Arrival
+from repro.serving.forecast import forecast_guide, history_from_stream
+from repro.serving.replay import build_self_guide
+
+
+def _shifted(events, offset, horizon):
+    """The same arrivals replayed ``offset`` horizons later."""
+    shifted = []
+    for event in events:
+        entity = type(event.entity)(
+            id=event.entity.id,
+            location=event.entity.location,
+            start=event.entity.start + offset * horizon,
+            duration=event.entity.duration,
+        )
+        shifted.append(
+            Arrival(
+                time=entity.start, seq=event.seq, kind=event.kind, entity=entity
+            )
+        )
+    return shifted
+
+
+class TestHistoryFromStream:
+    def test_single_day_counts(self, small_instance):
+        events = small_instance.arrival_stream()
+        workers, tasks, worker_duration, task_duration = history_from_stream(
+            events, small_instance.grid, small_instance.timeline
+        )
+        assert workers.n_days == 1
+        assert tasks.n_days == 1
+        assert workers.counts.sum() == small_instance.n_workers
+        assert tasks.counts.sum() == small_instance.n_tasks
+        assert worker_duration > 0 and task_duration > 0
+        expected = np.mean([w.duration for w in small_instance.workers])
+        assert worker_duration == pytest.approx(expected)
+
+    def test_multi_day_folding(self, small_instance):
+        timeline = small_instance.timeline
+        events = small_instance.arrival_stream()
+        three_days = (
+            list(events)
+            + _shifted(events, 1, timeline.duration)
+            + _shifted(events, 2, timeline.duration)
+        )
+        workers, tasks, _wd, _td = history_from_stream(
+            three_days, small_instance.grid, timeline
+        )
+        assert workers.n_days == 3
+        # Each folded day holds the same counts as the original day.
+        assert (workers.counts[0] == workers.counts[1]).all()
+        assert (workers.counts[0] == workers.counts[2]).all()
+        assert list(workers.day_of_week) == [0, 1, 2]
+        assert tasks.n_days == 3
+
+    def test_horizon_end_arrival_stays_in_the_closing_day(self, small_instance):
+        """Timeline bins the exact horizon end into the last slot; the
+        history bucketing must agree, or one closing event would mint a
+        phantom extra day and skew every per-day average."""
+        from repro.model.entities import Worker
+        from repro.spatial.geometry import Point
+
+        timeline = small_instance.timeline
+        boundary = Worker(
+            id=9_999,
+            location=Point(1.0, 1.0),
+            start=timeline.t0 + timeline.duration,
+            duration=60.0,
+        )
+        events = list(small_instance.arrival_stream()) + [
+            Arrival(time=boundary.start, seq=10_000, kind="worker",
+                    entity=boundary)
+        ]
+        workers, _tasks, _wd, _td = history_from_stream(
+            events, small_instance.grid, timeline
+        )
+        assert workers.n_days == 1
+        assert workers.counts.sum() == small_instance.n_workers + 1
+        slot = timeline.n_slots - 1
+        area = small_instance.grid.area_of(boundary.location)
+        assert workers.counts[0, slot, area] >= 1
+
+    def test_empty_stream_rejected(self, small_instance):
+        with pytest.raises(SimulationError):
+            history_from_stream(
+                [], small_instance.grid, small_instance.timeline
+            )
+
+    def test_pre_horizon_times_rejected(self, small_instance):
+        """An arrival before the timeline's t0 cannot be bucketed."""
+        from repro.spatial.timeslots import Timeline
+
+        late_timeline = Timeline(n_slots=4, slot_minutes=60.0, t0=1e6)
+        events = small_instance.arrival_stream()[:1]
+        with pytest.raises(SimulationError):
+            history_from_stream(events, small_instance.grid, late_timeline)
+
+
+class TestForecastGuide:
+    def test_ha_on_own_day_matches_self_guide(self, small_instance):
+        """HA over a one-day history predicts that day's exact counts, so
+        the forecast guide coincides with the perfect-hindsight
+        self-guide — the upper bound a real forecast approaches."""
+        events = small_instance.arrival_stream()
+        from_forecast = forecast_guide(
+            events,
+            small_instance.grid,
+            small_instance.timeline,
+            small_instance.travel,
+            predictor="HA",
+        )
+        self_guide = build_self_guide(
+            events,
+            small_instance.grid,
+            small_instance.timeline,
+            small_instance.travel,
+        )
+        assert from_forecast.matched_pairs == self_guide.matched_pairs
+        assert (
+            from_forecast.worker_capacity == self_guide.worker_capacity
+        ).all()
+        assert (from_forecast.task_capacity == self_guide.task_capacity).all()
+
+    def test_hp_msi_needs_two_days(self, small_instance):
+        with pytest.raises(SimulationError):
+            forecast_guide(
+                small_instance.arrival_stream(),
+                small_instance.grid,
+                small_instance.timeline,
+                small_instance.travel,
+                predictor="HP-MSI",
+            )
+
+    def test_hp_msi_fits_short_multi_day_history(self, small_instance):
+        timeline = small_instance.timeline
+        events = small_instance.arrival_stream()
+        history = (
+            list(events)
+            + _shifted(events, 1, timeline.duration)
+            + _shifted(events, 2, timeline.duration)
+        )
+        guide = forecast_guide(
+            history,
+            small_instance.grid,
+            timeline,
+            small_instance.travel,
+            predictor="HP-MSI",
+        )
+        assert guide.matched_pairs > 0
+
+    def test_unknown_predictor_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            forecast_guide(
+                small_instance.arrival_stream(),
+                small_instance.grid,
+                small_instance.timeline,
+                small_instance.travel,
+                predictor="nope",
+            )
+
+    def test_single_sided_history_rejected(self, small_instance):
+        workers_only = [e for e in small_instance.arrival_stream() if e.is_worker]
+        with pytest.raises(SimulationError):
+            forecast_guide(
+                workers_only,
+                small_instance.grid,
+                small_instance.timeline,
+                small_instance.travel,
+            )

@@ -1,0 +1,565 @@
+"""Tests for repro.serving.shard and repro.serving.gateway."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.engine import GreedyMatcher, PolarMatcher
+from repro.errors import ConfigurationError, GatewayError
+from repro.model.entities import Task, Worker
+from repro.model.events import TASK, WORKER, Arrival
+from repro.serving.gateway import Gateway, render_prometheus
+from repro.serving.replay import arrival_to_record
+from repro.serving.session import MatchingSession
+from repro.serving.shard import Shard, ShardRouter, SpatialHashRing
+from repro.spatial.geometry import Point
+
+
+def _greedy_factory(instance):
+    return lambda shard: GreedyMatcher(instance.travel, indexed=False)
+
+
+async def _start_queue_gateway(instance, **kwargs):
+    gateway = Gateway(instance.grid, _greedy_factory(instance), **kwargs)
+    await gateway.start()
+    return gateway
+
+
+def _offline_outcome(instance):
+    session = MatchingSession(GreedyMatcher(instance.travel, indexed=False))
+    session.begin()
+    for event in instance.arrival_stream():
+        session.push(event)
+    return session.finish()
+
+
+def _arrival(ident, kind, x, y, start, duration=200.0):
+    cls = Worker if kind == WORKER else Task
+    entity = cls(id=ident, location=Point(x, y), start=start, duration=duration)
+    return Arrival(time=start, seq=ident, kind=kind, entity=entity)
+
+
+class TestSpatialHashRing:
+    def test_deterministic_across_instances(self):
+        a = SpatialHashRing(4)
+        b = SpatialHashRing(4)
+        assert [a.shard_of(k) for k in range(500)] == [
+            b.shard_of(k) for k in range(500)
+        ]
+
+    def test_covers_all_shards(self):
+        ring = SpatialHashRing(4)
+        owners = {ring.shard_of(k) for k in range(1000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_consistent_remap_is_partial(self):
+        """Growing 4 -> 5 shards must remap only a minority of keys —
+        the consistent-hashing property that makes live resharding a
+        migration, not a reshuffle."""
+        before = SpatialHashRing(4)
+        after = SpatialHashRing(5)
+        keys = range(2000)
+        moved = sum(1 for k in keys if before.shard_of(k) != after.shard_of(k))
+        assert 0 < moved < len(list(keys)) // 2
+
+    def test_single_shard_routes_everything_to_zero(self):
+        ring = SpatialHashRing(1)
+        assert {ring.shard_of(k) for k in range(100)} == {0}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SpatialHashRing(0)
+        with pytest.raises(ConfigurationError):
+            SpatialHashRing(2, replicas=0)
+
+
+class TestShardRouter:
+    def test_routes_by_cell(self, small_instance):
+        router = ShardRouter(small_instance.grid, 3)
+        for event in small_instance.arrival_stream()[:50]:
+            area = small_instance.grid.area_of(event.entity.location)
+            assert router.shard_of(event) == router.shard_of_cell(area)
+            assert 0 <= router.shard_of(event) < 3
+
+    def test_cell_cache_is_stable(self, small_instance):
+        router = ShardRouter(small_instance.grid, 3)
+        first = router.shard_of_cell(7)
+        assert router.shard_of_cell(7) == first
+
+
+class TestShard:
+    def test_empty_shard_finishes_cleanly(self, small_instance):
+        shard = Shard(0, GreedyMatcher(small_instance.travel))
+        outcome = shard.finish()
+        assert outcome.matching.size == 0
+        assert shard.arrivals == 0
+
+    def test_finish_is_idempotent(self, small_instance):
+        shard = Shard(0, GreedyMatcher(small_instance.travel))
+        shard.push(small_instance.arrival_stream()[0])
+        first = shard.finish()
+        assert shard.finish() is first
+        assert shard.finished
+
+
+class TestGatewayQueueIngest:
+    def test_single_shard_bit_identical_to_offline_session(self, small_instance):
+        """Acceptance: one shard == the offline MatchingSession, bit for
+        bit (matchings, decisions, counters)."""
+
+        async def run():
+            gateway = await _start_queue_gateway(small_instance, n_shards=1)
+            for event in small_instance.arrival_stream():
+                await gateway.submit(event)
+            await gateway.drain()
+            return gateway.shard_outcomes()[0]
+
+        outcome = asyncio.run(run())
+        offline = _offline_outcome(small_instance)
+        assert outcome.matching.pairs() == offline.matching.pairs()
+        assert outcome.worker_decisions == offline.worker_decisions
+        assert outcome.task_decisions == offline.task_decisions
+        assert outcome.ignored_workers == offline.ignored_workers
+        assert outcome.ignored_tasks == offline.ignored_tasks
+
+    def test_multi_shard_partitions_the_stream(self, small_instance):
+        async def run():
+            gateway = await _start_queue_gateway(small_instance, n_shards=4)
+            for event in small_instance.arrival_stream():
+                await gateway.submit(event)
+            snapshot = await gateway.drain()
+            return gateway, snapshot
+
+        gateway, snapshot = asyncio.run(run())
+        n = len(small_instance.arrival_stream())
+        assert snapshot.arrivals == n
+        assert sum(row["arrivals"] for row in snapshot.shards) == n
+        assert snapshot.matched == sum(row["matched"] for row in snapshot.shards)
+        # Every pair matched within one shard: ids never repeat across shards.
+        worker_ids = [
+            w for o in gateway.shard_outcomes() for w, _t in o.matching.pairs()
+        ]
+        assert len(worker_ids) == len(set(worker_ids))
+
+    def test_push_after_drain_raises(self, small_instance):
+        async def run():
+            gateway = await _start_queue_gateway(small_instance)
+            event = small_instance.arrival_stream()[0]
+            await gateway.submit(event)
+            await gateway.drain()
+            with pytest.raises(GatewayError):
+                await gateway.submit(event)
+            with pytest.raises(GatewayError):
+                gateway.offer(event)
+            return gateway
+
+        gateway = asyncio.run(run())
+        assert gateway.rejected == 2
+        assert gateway.snapshot().state == "closed"
+
+    def test_empty_gateway_drains_cleanly(self, small_instance):
+        async def run():
+            gateway = await _start_queue_gateway(small_instance, n_shards=3)
+            return await gateway.drain()
+
+        snapshot = asyncio.run(run())
+        assert snapshot.arrivals == 0
+        assert snapshot.matched == 0
+        assert len(snapshot.shards) == 3
+
+    def test_drain_is_idempotent(self, small_instance):
+        async def run():
+            gateway = await _start_queue_gateway(small_instance)
+            first = await gateway.drain()
+            second = await gateway.drain()
+            third = await gateway.close()
+            return first, second, third
+
+        first, second, third = asyncio.run(run())
+        assert first is second is third
+
+    def test_offer_hits_backpressure_limit(self, small_instance):
+        """offer() refuses once the bounded queue is full (the dispatcher
+        cannot run between synchronous offers)."""
+
+        async def run():
+            gateway = await _start_queue_gateway(small_instance, queue_size=4)
+            events = small_instance.arrival_stream()
+            accepted = [gateway.offer(event) for event in events[:10]]
+            refused_at = accepted.index(False)
+            rejected = gateway.backpressure_rejected
+            await gateway.drain()
+            return refused_at, rejected
+
+        refused_at, rejected = asyncio.run(run())
+        assert refused_at == 4
+        assert rejected == 6
+
+    def test_refused_offer_does_not_stamp_stream_order(self, small_instance):
+        """A rejected offer must leave the out_of_order/_last_time
+        accounting untouched — only ingested arrivals count."""
+
+        async def run():
+            gateway = await _start_queue_gateway(small_instance, queue_size=1)
+            late = _arrival(0, WORKER, 1.0, 1.0, start=500.0)
+            early = _arrival(1, TASK, 1.0, 1.0, start=100.0)
+            assert gateway.offer(late)          # fills the queue
+            assert not gateway.offer(_arrival(2, WORKER, 1.0, 1.0, start=900.0))
+            # The refused t=900 arrival must not make t=100 out of order
+            # relative to it; only the accepted t=500 one does.
+            await gateway.submit(early)
+            return await gateway.drain()
+
+        snapshot = asyncio.run(run())
+        assert snapshot.out_of_order == 1
+        assert snapshot.arrivals == 2
+
+    def test_start_rolls_back_on_partial_bind_failure(self, small_instance):
+        """A failed listener bind must leak neither the dispatcher task
+        nor already-bound listeners, and the gateway stays startable."""
+
+        async def run():
+            blocker = await _start_queue_gateway(small_instance)
+            # no sockets on blocker; grab a port with a plain server
+            probe = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await probe.start(port=0)
+            taken = probe.tcp_port
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            with pytest.raises(OSError):
+                await gateway.start(port=taken)
+            assert gateway.tcp_port is None
+            await gateway.start(port=0)  # retry succeeds after rollback
+            snapshot = await gateway.close()
+            await probe.close()
+            await blocker.close()
+            return snapshot
+
+        assert asyncio.run(run()).state == "closed"
+
+    def test_submit_before_start_raises(self, small_instance):
+        gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+        with pytest.raises(GatewayError):
+            gateway.offer(small_instance.arrival_stream()[0])
+
+    def test_out_of_order_arrivals_are_counted(self, small_instance):
+        async def run():
+            gateway = await _start_queue_gateway(small_instance)
+            await gateway.submit(_arrival(0, WORKER, 1.0, 1.0, start=100.0))
+            await gateway.submit(_arrival(0, TASK, 1.0, 1.0, start=50.0))
+            return await gateway.drain()
+
+        snapshot = asyncio.run(run())
+        assert snapshot.out_of_order == 1
+        assert snapshot.arrivals == 2
+
+    def test_rejects_bad_queue_size(self, small_instance):
+        with pytest.raises(GatewayError):
+            Gateway(small_instance.grid, _greedy_factory(small_instance),
+                    queue_size=0)
+
+
+async def _send_lines(port, lines):
+    """Send raw lines to the ingest socket; one response line each."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    replies = []
+    for line in lines:
+        writer.write(line.rstrip(b"\n") + b"\n")
+        await writer.drain()
+        replies.append(json.loads(await reader.readline()))
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return replies
+
+
+class TestGatewaySocketIngest:
+    def test_socket_stream_matches_offline_totals(self, small_instance):
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=0)
+            lines = [
+                json.dumps(arrival_to_record(event)).encode()
+                for event in small_instance.arrival_stream()
+            ]
+            replies = await _send_lines(gateway.tcp_port, lines)
+            snapshot = await gateway.close()
+            return replies, snapshot
+
+        replies, snapshot = asyncio.run(scenario())
+        offline = _offline_outcome(small_instance)
+        assert snapshot.arrivals == len(small_instance.arrival_stream())
+        assert snapshot.matched == offline.matching.size
+        assert all("error" not in reply for reply in replies)
+        assert {reply["decision"] for reply in replies} <= {
+            "assigned", "stay", "wait", "dispatched", "ignored"
+        }
+
+    def test_malformed_lines_are_counted_and_survive(self, small_instance):
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=0)
+            good = json.dumps(
+                arrival_to_record(small_instance.arrival_stream()[0])
+            ).encode()
+            replies = await _send_lines(
+                gateway.tcp_port,
+                [
+                    b"{not json",                        # invalid JSON
+                    b'["not", "an", "object"]',          # not a dict
+                    b'{"kind": "drone", "id": 1}',       # unknown kind
+                    b'{"kind": "task", "id": 1}',        # missing fields
+                    json.dumps(
+                        {"kind": "worker", "id": 9, "x": 1e9, "y": 1e9,
+                         "start": 0.0, "duration": 5.0}
+                    ).encode(),                          # off-grid location
+                    good,                                # still serving
+                ],
+            )
+            snapshot = await gateway.close()
+            return replies, snapshot
+
+        replies, snapshot = asyncio.run(scenario())
+        assert all("error" in reply for reply in replies[:5])
+        assert "error" not in replies[5]
+        assert snapshot.malformed == 5
+        assert snapshot.arrivals == 1
+
+    def test_config_and_snapshot_and_drain_records(self, small_instance):
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=0)
+            event = small_instance.arrival_stream()[0]
+            replies = await _send_lines(
+                gateway.tcp_port,
+                [
+                    b'{"kind": "config", "nx": 10}',
+                    json.dumps(arrival_to_record(event)).encode(),
+                    b'{"kind": "snapshot"}',
+                    b'{"kind": "drain"}',
+                    json.dumps(arrival_to_record(event)).encode(),
+                ],
+            )
+            await gateway.close()
+            return replies
+
+        replies = asyncio.run(scenario())
+        assert replies[0] == {"kind": "config", "ok": True}
+        assert replies[1]["kind"] == "worker" or replies[1]["kind"] == "task"
+        assert replies[2]["kind"] == "snapshot"
+        assert replies[2]["state"] == "serving"
+        assert replies[3]["kind"] == "snapshot"
+        assert replies[3]["state"] == "closed"
+        assert replies[3]["arrivals"] == 1
+        assert "error" in replies[4]  # arrival after drain is refused
+
+    def test_poisoned_arrival_does_not_kill_the_dispatcher(
+        self, small_instance, small_guide
+    ):
+        """An in-bounds location with an out-of-horizon timestamp passes
+        ingest validation but blows up inside a typed matcher
+        (Timeline.slot_of).  The dispatcher must answer with an error
+        line and keep serving — one poisoned event hanging every
+        connection is the failure mode this guards."""
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid, lambda shard: PolarMatcher(small_guide)
+            )
+            await gateway.start(port=0)
+            poisoned = json.dumps(
+                {"kind": "worker", "id": 77, "x": 1.0, "y": 1.0,
+                 "start": 1e9, "duration": 5.0}
+            ).encode()
+            good = json.dumps(
+                arrival_to_record(small_instance.arrival_stream()[0])
+            ).encode()
+            replies = await _send_lines(gateway.tcp_port, [poisoned, good])
+            snapshot = await gateway.close()
+            return replies, snapshot
+
+        replies, snapshot = asyncio.run(scenario())
+        assert "error" in replies[0]
+        assert "rejected by shard" in replies[0]["error"]
+        assert "error" not in replies[1]  # the gateway is still serving
+        assert snapshot.malformed == 1
+        assert snapshot.arrivals == 1
+        assert snapshot.state == "closed"  # drain still completes
+
+    def test_replies_keep_send_order_around_errors(self, small_instance):
+        """Error lines travel through the dispatcher queue, so reply k
+        always answers send k even when malformed lines interleave with
+        queued arrivals (the loadgen pairs latencies by position)."""
+
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=0)
+            events = small_instance.arrival_stream()[:6]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.tcp_port
+            )
+            # One burst: valid, valid, malformed, valid — no reads between
+            # sends, so the acks are still queued when the bad line lands.
+            for index, event in enumerate(events):
+                writer.write(json.dumps(arrival_to_record(event)).encode() + b"\n")
+                if index == 3:
+                    writer.write(b"{broken\n")
+            await writer.drain()
+            replies = [json.loads(await reader.readline()) for _ in range(7)]
+            writer.close()
+            await gateway.close()
+            return events, replies
+
+        events, replies = asyncio.run(scenario())
+        # Replies 0..3 answer the first four arrivals, reply 4 is the
+        # malformed line's error, replies 5..6 the remaining arrivals.
+        for position, event in list(enumerate(events[:4])) + [
+            (5, events[4]), (6, events[5])
+        ]:
+            assert replies[position].get("id") == event.entity.id, replies
+            assert replies[position].get("kind") == event.kind
+        assert "error" in replies[4]
+
+    def test_close_completes_with_lingering_connection(self, small_instance):
+        """close() must not wait for idle clients to hang up: Python
+        3.12's Server.wait_closed() blocks on live connection handlers,
+        so the gateway closes their transports itself."""
+
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=0)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.tcp_port
+            )
+            event = small_instance.arrival_stream()[0]
+            writer.write(json.dumps(arrival_to_record(event)).encode() + b"\n")
+            await writer.drain()
+            await reader.readline()  # its ack
+            # The client stays connected; close() must still return.
+            snapshot = await asyncio.wait_for(gateway.close(), timeout=5.0)
+            remainder = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            return snapshot, remainder
+
+        snapshot, remainder = asyncio.run(scenario())
+        assert snapshot.state == "closed"
+        assert remainder == b""  # the server hung up on us, not vice versa
+
+    def test_stale_unix_socket_does_not_block_restart(self, small_instance, tmp_path):
+        """A socket file left by a crashed run must not block restart
+        (asyncio unlinks pre-existing socket paths before binding)."""
+        import socket as socket_module
+
+        socket_path = str(tmp_path / "crashed.sock")
+        # Simulate a crash: bind a socket and abandon the file.
+        stale = socket_module.socket(socket_module.AF_UNIX)
+        stale.bind(socket_path)
+        stale.close()  # closed without unlink — the path remains
+
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=None, unix_path=socket_path)
+            return await gateway.close()
+
+        assert asyncio.run(scenario()).state == "closed"
+
+    def test_unix_socket_is_unlinked_on_close(self, small_instance, tmp_path):
+        socket_path = str(tmp_path / "stale.sock")
+
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=None, unix_path=socket_path)
+            await gateway.close()
+            # A second gateway must be able to reuse the same path.
+            rebound = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await rebound.start(port=None, unix_path=socket_path)
+            await rebound.close()
+
+        asyncio.run(scenario())
+        import os
+
+        assert not os.path.exists(socket_path)
+
+    def test_unix_socket_ingest(self, small_instance, tmp_path):
+        socket_path = str(tmp_path / "gw.sock")
+
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=None, unix_path=socket_path)
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+            event = small_instance.arrival_stream()[0]
+            writer.write(json.dumps(arrival_to_record(event)).encode() + b"\n")
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            writer.close()
+            snapshot = await gateway.close()
+            return reply, snapshot
+
+        reply, snapshot = asyncio.run(scenario())
+        assert "error" not in reply
+        assert snapshot.arrivals == 1
+
+
+async def _http_get(port, path, method="GET"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _sep, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, body.decode()
+
+
+class TestMetricsEndpoint:
+    def test_metrics_and_snapshot_and_healthz(self, small_instance):
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid, _greedy_factory(small_instance), n_shards=2
+            )
+            await gateway.start(metrics_port=0)
+            for event in small_instance.arrival_stream()[:40]:
+                await gateway.submit(event)
+            # Let the dispatcher catch up before scraping.
+            while gateway.processed < 40:
+                await asyncio.sleep(0.01)
+            metrics = await _http_get(gateway.metrics_port, "/metrics")
+            snapshot = await _http_get(gateway.metrics_port, "/snapshot")
+            health = await _http_get(gateway.metrics_port, "/healthz")
+            missing = await _http_get(gateway.metrics_port, "/nope")
+            post = await _http_get(gateway.metrics_port, "/metrics", method="POST")
+            await gateway.close()
+            return metrics, snapshot, health, missing, post
+
+        metrics, snapshot, health, missing, post = asyncio.run(scenario())
+        assert metrics[0] == 200
+        assert "ftoa_gateway_arrivals_total 40" in metrics[1]
+        assert 'ftoa_shard_arrivals_total{shard="0"}' in metrics[1]
+        assert snapshot[0] == 200
+        payload = json.loads(snapshot[1])
+        assert payload["arrivals"] == 40
+        assert payload["n_shards"] == 2
+        assert health == (200, "serving\n")
+        assert missing[0] == 404
+        assert post[0] == 405
+
+    def test_render_prometheus_shape(self, small_instance):
+        async def scenario():
+            gateway = await _start_queue_gateway(small_instance)
+            return await gateway.drain()
+
+        text = render_prometheus(asyncio.run(scenario()))
+        assert text.endswith("\n")
+        assert "# TYPE ftoa_gateway_matched_total counter" in text
+        assert "ftoa_gateway_up 0" in text  # closed after drain
+
+    def test_snapshot_as_dict_roundtrips_json(self, small_instance):
+        async def scenario():
+            gateway = await _start_queue_gateway(small_instance)
+            return await gateway.drain()
+
+        payload = asyncio.run(scenario()).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["kind"] == "snapshot"

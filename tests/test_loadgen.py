@@ -1,0 +1,102 @@
+"""Tests for repro.serving.loadgen — the async load generator."""
+
+import asyncio
+
+import pytest
+
+from repro.core.engine import GreedyMatcher
+from repro.errors import GatewayError
+from repro.serving.gateway import Gateway
+from repro.serving.loadgen import LoadgenReport, _percentile, run_loadgen
+
+
+def _factory(instance):
+    return lambda shard: GreedyMatcher(instance.travel, indexed=False)
+
+
+def _run_against_gateway(instance, events, **loadgen_kwargs):
+    async def scenario():
+        gateway = Gateway(instance.grid, _factory(instance), n_shards=2)
+        await gateway.start(port=0)
+        report = await run_loadgen(
+            events, port=gateway.tcp_port, **loadgen_kwargs
+        )
+        snapshot = await gateway.close()
+        return report, snapshot
+
+    return asyncio.run(scenario())
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert _percentile([7.0], 0.5) == 7.0
+        assert _percentile([7.0], 0.99) == 7.0
+
+    def test_orders(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 0.99) == 99.0
+        assert _percentile(values, 1.0) == 100.0
+
+
+class TestRunLoadgen:
+    def test_unthrottled_replay(self, small_instance):
+        events = small_instance.arrival_stream()[:200]
+        report, snapshot = _run_against_gateway(small_instance, events)
+        assert report.sent == 200
+        assert report.acked == 200
+        assert report.errors == 0
+        assert report.arrivals_per_sec > 0
+        assert set(report.latency_ms) == {"p50", "p90", "p99", "mean", "max"}
+        assert report.latency_ms["p50"] <= report.latency_ms["p99"]
+        assert snapshot.arrivals == 200
+
+    def test_rate_pacing_slows_the_stream(self, small_instance):
+        events = small_instance.arrival_stream()[:50]
+        report, _snapshot = _run_against_gateway(
+            small_instance, events, rate=500.0
+        )
+        # 50 sends at 500/s are paced over >= ~0.098s.
+        assert report.seconds >= 0.09
+        assert report.target_rate == 500.0
+
+    def test_drain_returns_final_snapshot(self, small_instance):
+        events = small_instance.arrival_stream()[:100]
+        report, _snapshot = _run_against_gateway(
+            small_instance, events, drain=True
+        )
+        assert report.snapshot is not None
+        assert report.snapshot["state"] == "closed"
+        assert report.snapshot["arrivals"] == 100
+
+    def test_report_as_dict_and_summary(self, small_instance):
+        events = small_instance.arrival_stream()[:20]
+        report, _snapshot = _run_against_gateway(small_instance, events)
+        payload = report.as_dict()
+        assert payload["sent"] == 20
+        assert isinstance(report, LoadgenReport)
+        assert "arrivals/s" in report.summary()
+
+    def test_requires_exactly_one_endpoint(self, small_instance):
+        with pytest.raises(GatewayError):
+            asyncio.run(run_loadgen([]))
+        with pytest.raises(GatewayError):
+            asyncio.run(run_loadgen([], port=1, unix_path="/tmp/x.sock"))
+
+    def test_unix_socket_roundtrip(self, small_instance, tmp_path):
+        socket_path = str(tmp_path / "lg.sock")
+        events = small_instance.arrival_stream()[:30]
+
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _factory(small_instance))
+            await gateway.start(port=None, unix_path=socket_path)
+            report = await run_loadgen(events, unix_path=socket_path, drain=True)
+            await gateway.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.acked == 30
+        assert report.snapshot["arrivals"] == 30
