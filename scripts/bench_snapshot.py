@@ -23,7 +23,11 @@ shrinks everything ~10× for smoke runs):
   async load generator (JSON parse, bounded queue, shard routing,
   matcher decision and ack per arrival), with single-shard parity
   against the offline session; records sustained arrivals/s and
-  end-to-end latency percentiles.
+  end-to-end latency percentiles;
+* churn — matcher throughput at 10% departure churn against the
+  churn-free stream (same matcher, same stepwise session), plus a
+  matched-count degradation curve over a churn-rate sweep for
+  SimpleGreedy and POLAR.
 
 Wall-clock parallel gains require real cores; the snapshot records the
 host's ``cpu_count`` so numbers are interpretable (on a single-core
@@ -283,6 +287,78 @@ def _bench_gateway(n_per_side: int):
     }
 
 
+def _bench_churn(n_per_side: int):
+    """Churn-rate axis: throughput at 10% churn and a degradation curve.
+
+    Stepwise sessions (the serving path) over one synthetic instance:
+    SimpleGreedy (indexed) and POLAR replay the same stream at
+    *departure* rates 0 / 0.05 / 0.1 / 0.2, recording matched counts;
+    the 10%-vs-0% wall-clock ratio is the churn overhead the event
+    handlers add.  The curve samples departures only: uniformly-placed
+    moves give objects second chances and can *raise* greedy matching,
+    so the clean monotone axis is departures.
+    """
+    from repro.core.engine import GreedyMatcher, PolarMatcher
+    from repro.serving.session import IteratorSource, MatchingSession
+    from repro.streams.churn import ChurnConfig
+
+    instance, guide = _polar_setup(n_per_side)
+    rates = (0.0, 0.05, 0.1, 0.2)
+    streams = {
+        rate: (
+            instance.arrival_stream()
+            if rate == 0.0
+            else instance.churn_stream(
+                ChurnConfig(departure_rate=rate, seed=1)
+            )
+        )
+        for rate in rates
+    }
+
+    def matchers():
+        return {
+            "SimpleGreedy": lambda: GreedyMatcher(
+                instance.travel, grid=instance.grid, indexed=True
+            ),
+            "POLAR": lambda: PolarMatcher(guide),
+        }
+
+    curves = {}
+    timings = {}
+    for name, factory in matchers().items():
+        matched = {}
+        for rate in rates:
+            session = MatchingSession(factory(), IteratorSource(streams[rate]))
+            # The overhead ratio is reported from the 0% and 10% runs,
+            # so those take best-of-3 like the sibling probes; the
+            # other curve points only record matched counts.
+            rounds = 3 if rate in (0.0, 0.1) else 1
+            seconds, outcome = _best_of(session.run, rounds=rounds)
+            matched[f"{rate:g}"] = outcome.matching.size
+            if rate in (0.0, 0.1):
+                timings[(name, rate)] = seconds
+        # Monotone-ish degradation: churn must never help.
+        assert matched["0.2"] <= matched["0"], (name, matched)
+        curves[name] = matched
+    events_10 = len(streams[0.1])
+    return {
+        "arrivals": 2 * n_per_side,
+        "events_at_10pct": events_10,
+        "rates": [f"{rate:g}" for rate in rates],
+        "matched_by_rate": curves,
+        "greedy_seconds_0pct": round(timings[("SimpleGreedy", 0.0)], 4),
+        "greedy_seconds_10pct": round(timings[("SimpleGreedy", 0.1)], 4),
+        "polar_seconds_0pct": round(timings[("POLAR", 0.0)], 4),
+        "polar_seconds_10pct": round(timings[("POLAR", 0.1)], 4),
+        "greedy_churn_overhead": round(
+            timings[("SimpleGreedy", 0.1)] / timings[("SimpleGreedy", 0.0)], 3
+        ),
+        "polar_churn_overhead": round(
+            timings[("POLAR", 0.1)] / timings[("POLAR", 0.0)], 3
+        ),
+    }
+
+
 def _bench_sweep(scale: float, jobs: int):
     algorithms = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
     start = time.perf_counter()
@@ -356,6 +432,13 @@ def main(argv=None) -> int:
     print(f"  {gateway['arrivals_per_sec']} arrivals/s sustained; paced@5k/s "
           f"p50 {gateway['paced_latency_ms_p50']}ms, "
           f"p99 {gateway['paced_latency_ms_p99']}ms")
+    churn_n = polar_n // 5
+    print(f"[churn sweep: {2 * churn_n} arrivals, rates 0/0.05/0.1/0.2]")
+    churn = _bench_churn(churn_n)
+    print(f"  greedy matched {churn['matched_by_rate']['SimpleGreedy']}; "
+          f"10% churn overhead {churn['greedy_churn_overhead']}x")
+    print(f"  polar matched {churn['matched_by_rate']['POLAR']}; "
+          f"10% churn overhead {churn['polar_churn_overhead']}x")
     print(f"[fig4 sweep at scale {sweep_scale}, jobs={args.jobs}]")
     sweep = _bench_sweep(sweep_scale, args.jobs)
     print(f"  serial {sweep['serial_seconds']}s -> parallel "
@@ -382,6 +465,7 @@ def main(argv=None) -> int:
         "tgoa_indexed": tgoa,
         "session_layer": session,
         "gateway": gateway,
+        "churn": churn,
         "parallel_sweep": sweep,
     }
     if args.jobs > cpu_count:

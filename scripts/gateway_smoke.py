@@ -4,18 +4,22 @@ Run from the repo root::
 
     PYTHONPATH=src python scripts/gateway_smoke.py [--workers N] [--tasks N]
                                                    [--shards K] [--rate R]
+                                                   [--churn P] [--move-rate P]
 
-Builds a small synthetic arrival stream, starts the serving gateway on
+Builds a small synthetic event stream (``--churn`` / ``--move-rate``
+sample departure and move events into it), starts the serving gateway on
 an ephemeral TCP port (metrics endpoint included), replays the stream
 through the async load generator, scrapes ``/snapshot`` and ``/metrics``
 over HTTP, drains, and asserts:
 
 * the ``/snapshot`` totals equal an offline
   :class:`~repro.serving.session.MatchingSession` run of the same stream
-  (arrivals, workers, tasks and — for one shard — matches);
+  (arrivals, workers, tasks, churn counters and — for one shard —
+  matches);
 * with one shard, the drained shard outcome is **bit-identical** to the
   offline session (same pairs, same per-object decisions);
-* with several shards, the per-shard rows sum to the totals.
+* with several shards, the per-shard rows sum to the totals;
+* under churn, every churn record is acked (no error lines).
 
 Exits non-zero on any mismatch, so CI can gate on it.
 """
@@ -52,7 +56,22 @@ async def smoke(args) -> int:
         seed=args.seed,
     )
     instance = SyntheticGenerator(config).generate()
-    events = instance.arrival_stream()
+    if args.churn or args.move_rate:
+        from repro.model.events import Arrival
+        from repro.streams.churn import ChurnConfig
+
+        events = instance.churn_stream(
+            ChurnConfig(
+                departure_rate=args.churn, move_rate=args.move_rate, seed=args.seed
+            )
+        )
+        n_arrivals = sum(isinstance(event, Arrival) for event in events)
+        n_churn = len(events) - n_arrivals
+        print(f"[churn stream: {n_arrivals} arrivals + {n_churn} churn events]")
+    else:
+        events = instance.arrival_stream()
+        n_arrivals = len(events)
+        n_churn = 0
 
     offline = MatchingSession(GreedyMatcher(instance.travel, indexed=False))
     offline.begin()
@@ -73,21 +92,34 @@ async def smoke(args) -> int:
     )
     report = await run_loadgen(events, port=gateway.tcp_port, rate=args.rate)
     print(report.summary())
+    assert report.errors == 0, f"loadgen saw {report.errors} error acks"
     assert report.acked == len(events), (
-        f"loadgen acked {report.acked} of {len(events)} arrivals"
+        f"loadgen acked {report.acked} of {len(events)} events"
     )
 
     snapshot = json.loads(await _http_get(gateway.metrics_port, "/snapshot"))
     metrics = await _http_get(gateway.metrics_port, "/metrics")
     await gateway.close()
 
-    assert snapshot["arrivals"] == len(events), snapshot
+    assert snapshot["arrivals"] == n_arrivals, snapshot
     assert snapshot["workers"] == instance.n_workers, snapshot
     assert snapshot["tasks"] == instance.n_tasks, snapshot
     assert snapshot["malformed"] == 0, snapshot
-    assert sum(row["arrivals"] for row in snapshot["shards"]) == len(events)
+    assert snapshot["ingested"] == len(events), snapshot
+    assert sum(row["arrivals"] for row in snapshot["shards"]) == n_arrivals
     assert sum(row["matched"] for row in snapshot["shards"]) == snapshot["matched"]
-    assert f'ftoa_gateway_arrivals_total {len(events)}' in metrics, "/metrics stale"
+    assert f'ftoa_gateway_arrivals_total {n_arrivals}' in metrics, "/metrics stale"
+    if n_churn:
+        if args.shards == 1:
+            # Sharded matchers make different matches, so who counts as
+            # "departed waiting" only lines up shard-for-shard at k=1.
+            expected = reference.departed_workers + reference.departed_tasks
+            assert snapshot["departed"] == expected, snapshot
+            assert snapshot["moves"] == reference.moves, snapshot
+        print(
+            f"[churn acked: departed={snapshot['departed']} "
+            f"moves={snapshot['moves']}]"
+        )
 
     if args.shards == 1:
         assert snapshot["matched"] == reference.matching.size, (
@@ -120,6 +152,14 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=1)
     parser.add_argument(
         "--rate", type=float, default=None, help="target arrivals/s (default: flat out)"
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.0,
+        help="departure rate to sample into the stream (default 0)",
+    )
+    parser.add_argument(
+        "--move-rate", type=float, default=0.0,
+        help="move rate to sample into the stream (default 0)",
     )
     args = parser.parse_args(argv)
     return asyncio.run(smoke(args))

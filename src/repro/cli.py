@@ -8,18 +8,23 @@ drive the streaming session and serving layers.
     python -m repro run table5_prediction --scale 0.5
     python -m repro report results/fig4_workers.json
     python -m repro dump --workers 2000 --tasks 2000 --out events.jsonl
+    python -m repro dump --churn 0.1 --move-rate 0.05 --out churny.jsonl
     python -m repro replay events.jsonl --algorithm polar --snapshot-every 500
+    python -m repro replay events.jsonl --algorithm tgoa \\
+        --halfway from-forecast --history yesterday.jsonl --predictor hp-msi
     python -m repro replay today.jsonl --algorithm polar \\
         --guide from-forecast --history yesterday.jsonl --predictor hp-msi
     python -m repro serve events.jsonl --algorithm greedy --shards 4 \\
         --port 7654 --metrics-port 7655
     python -m repro loadgen events.jsonl --port 7654 --rate 5000 --drain
+    python -m repro loadgen --churn 0.1 --port 7654 --drain
 
 ``run`` prints the same rows/series the paper's figure or table reports
 and optionally archives the JSON; ``report`` re-renders archived JSON.
-``dump`` writes a synthetic arrival stream as JSONL (with a config
-header recording its discretisation) and ``replay`` feeds a JSONL
-stream — from a file or stdin (``-``) — arrival-by-arrival through a
+``dump`` writes a synthetic event stream as JSONL (with a config header
+recording its discretisation; ``--churn`` / ``--move-rate`` sample
+departure and move events into it) and ``replay`` feeds a JSONL stream
+— from a file or stdin (``-``) — event-by-event through a
 :class:`~repro.serving.session.MatchingSession`, printing mid-stream
 snapshots and the final outcome.  ``serve`` runs the asyncio serving
 gateway (sharded sessions, JSONL socket ingest, ``/metrics`` +
@@ -94,7 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("paths", nargs="+", type=Path, help="result JSON files")
 
     dump = commands.add_parser(
-        "dump", help="write a synthetic arrival stream as JSONL"
+        "dump",
+        help="write a synthetic event stream as JSONL (--churn/--move-rate "
+        "sample departure and move events into it)",
     )
     dump.add_argument("--workers", type=int, default=2_000, help="|W| (default 2000)")
     dump.add_argument("--tasks", type=int, default=2_000, help="|R| (default 2000)")
@@ -105,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-slots", type=int, default=48, help="time slots per day (default 48)"
     )
     dump.add_argument("--seed", type=int, default=0, help="generator seed")
+    _add_churn_arguments(dump)
     dump.add_argument(
         "--out",
         type=Path,
@@ -139,9 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--halfway",
-        type=int,
         default=None,
-        help="TGOA phase boundary (default: half the stream)",
+        help="TGOA phase boundary: an arrival count, or 'from-forecast' "
+        "to derive it from a volume forecast fit on --history with "
+        "--predictor (default: half the stream)",
     )
     replay.add_argument(
         "--seed", type=int, default=0, help="POLAR node-choice seed"
@@ -208,9 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--halfway",
-        type=int,
         default=None,
-        help="TGOA phase boundary (default: half the config stream)",
+        help="TGOA phase boundary: an arrival count, or 'from-forecast' "
+        "to derive it from a volume forecast fit on --history with "
+        "--predictor (default: half the config stream)",
     )
     serve.add_argument(
         "--seed", type=int, default=0, help="POLAR node-choice seed"
@@ -273,7 +283,33 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--seed", type=int, default=0, help="synthetic generator seed"
     )
+    _add_churn_arguments(loadgen)
     return parser
+
+
+def _add_churn_arguments(subparser) -> None:
+    """Churn sampling options shared by dump and loadgen."""
+    subparser.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability an entity departs before its deadline "
+        "(default 0 — no churn events)",
+    )
+    subparser.add_argument(
+        "--move-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability an entity relocates once mid-window (default 0)",
+    )
+    subparser.add_argument(
+        "--churn-seed",
+        type=int,
+        default=0,
+        help="churn sampling seed (default 0)",
+    )
 
 
 def _add_guide_arguments(subparser) -> None:
@@ -349,6 +385,20 @@ def _cmd_report(paths) -> int:
     return status
 
 
+def _churn_config(args):
+    """The :class:`~repro.streams.churn.ChurnConfig` of a CLI run, or
+    None when both rates are zero."""
+    from repro.streams.churn import ChurnConfig
+
+    if args.churn == 0.0 and args.move_rate == 0.0:
+        return None
+    return ChurnConfig(
+        departure_rate=args.churn,
+        move_rate=args.move_rate,
+        seed=args.churn_seed,
+    )
+
+
 def _cmd_dump(args) -> int:
     from repro.serving.replay import dump_stream, stream_config
     from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
@@ -362,13 +412,17 @@ def _cmd_dump(args) -> int:
     )
     generator = SyntheticGenerator(config)
     instance = generator.generate()
+    churn = _churn_config(args)
+    events = (
+        instance.arrival_stream() if churn is None else instance.churn_stream(churn)
+    )
     header = stream_config(instance.grid, instance.timeline, instance.travel)
     if args.out is None:
-        count = dump_stream(instance.arrival_stream(), sys.stdout, config=header)
+        count = dump_stream(events, sys.stdout, config=header)
     else:
         with open(args.out, "w") as fp:
-            count = dump_stream(instance.arrival_stream(), fp, config=header)
-        print(f"[{count} arrivals written to {args.out}]")
+            count = dump_stream(events, fp, config=header)
+        print(f"[{count} events written to {args.out}]")
     return 0
 
 
@@ -459,6 +513,55 @@ def _resolve_guide(args, events, grid, timeline, travel):
     return guide
 
 
+def _resolve_halfway(args, events, grid, timeline) -> int:
+    """TGOA's phase boundary for a replay/serve run.
+
+    ``--halfway N`` pins it; ``--halfway from-forecast`` derives it from
+    a volume forecast fit on ``--history`` with ``--predictor`` (the
+    online deployment's answer — the stream length is unknowable up
+    front); the default is half the config stream's arrival count.
+    """
+    if args.halfway == "from-forecast":
+        from repro.prediction import make_predictor
+        from repro.serving.forecast import forecast_halfway
+
+        if args.history is None:
+            raise ConfigurationError(
+                "--halfway from-forecast requires --history <stream.jsonl>"
+            )
+        try:
+            # Validate the name before the (possibly large) history is
+            # read; predictor-internal errors later stay unwrapped.
+            make_predictor(args.predictor, seed=args.seed)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        _config, history = _load_jsonl(args.history)
+        halfway = forecast_halfway(
+            history, grid, timeline, predictor=args.predictor, seed=args.seed
+        )
+        print(
+            f"[{args.predictor} volume forecast from {len(history)} history "
+            f"events: halfway={halfway}]"
+        )
+        return halfway
+    if args.halfway is not None:
+        try:
+            return int(args.halfway)
+        except ValueError:
+            raise ConfigurationError(
+                f"--halfway must be an integer or 'from-forecast', "
+                f"got {args.halfway!r}"
+            ) from None
+    from repro.model.events import Arrival
+
+    arrivals = sum(1 for event in events if isinstance(event, Arrival))
+    if arrivals == 0:
+        raise ConfigurationError(
+            "tgoa needs --halfway when the config stream has no arrivals"
+        )
+    return arrivals // 2
+
+
 def _matcher_factory(args, events, grid, timeline, travel):
     """A per-shard matcher builder for ``--algorithm``.
 
@@ -487,14 +590,7 @@ def _matcher_factory(args, events, grid, timeline, travel):
         )
         return lambda shard: BatchMatcher(travel, grid, window)
     if algorithm == "tgoa":
-        if args.halfway is not None:
-            halfway = args.halfway
-        elif events:
-            halfway = len(events) // 2
-        else:
-            raise ConfigurationError(
-                "tgoa needs --halfway when the config stream has no events"
-            )
+        halfway = _resolve_halfway(args, events, grid, timeline)
         # TGOA's phase boundary is an arrival *count*; a shard only sees
         # its share of the stream, so a sharded gateway splits the
         # boundary evenly (consistent hashing spreads cells uniformly).
@@ -591,10 +687,24 @@ async def _serve_async(gateway, args) -> int:
 
 
 def _loadgen_events(args):
-    """The arrival stream a loadgen run replays (file or synthetic)."""
+    """The event stream a loadgen run replays (file or synthetic,
+    optionally with sampled churn merged in)."""
+    churn = _churn_config(args)
     if args.path is not None:
-        _config, events = _load_jsonl(args.path)
-        return events
+        stream_config, events = _load_jsonl(args.path)
+        if churn is None:
+            return events
+        from repro.model.events import Arrival
+        from repro.streams.churn import with_churn
+
+        arrivals = [event for event in events if isinstance(event, Arrival)]
+        if len(arrivals) != len(events):
+            raise ConfigurationError(
+                "--churn/--move-rate cannot be applied to a stream that "
+                "already contains churn events"
+            )
+        grid, _timeline, _travel = _replay_context(stream_config, None)
+        return with_churn(arrivals, grid.bounds, churn)
     from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
 
     config = SyntheticConfig(
@@ -604,7 +714,10 @@ def _loadgen_events(args):
         n_slots=args.n_slots,
         seed=args.seed,
     )
-    return SyntheticGenerator(config).generate().arrival_stream()
+    instance = SyntheticGenerator(config).generate()
+    if churn is None:
+        return instance.arrival_stream()
+    return instance.churn_stream(churn)
 
 
 def _cmd_loadgen(args) -> int:

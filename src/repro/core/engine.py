@@ -5,9 +5,31 @@ FTOA's online algorithms consume "a single totally-ordered stream of
 arrivals" (Definition 4), so the engine models each of them as a stateful
 :class:`Matcher` with a stepwise lifecycle::
 
-    matcher.begin()                      # start a run (matchers are reusable)
-    decision = matcher.observe(arrival)  # one Decision per arrival, O(arrival)
-    outcome = matcher.finish()           # the final AssignmentOutcome
+    matcher.begin()                    # start a run (matchers are reusable)
+    decision = matcher.observe(event)  # one Decision per event, O(event)
+    outcome = matcher.finish()         # the final AssignmentOutcome
+
+:meth:`Matcher.observe` accepts the full
+:data:`~repro.model.events.StreamEvent` union.  Arrivals are the paper's
+event; the churn events generalise the model to real platforms:
+
+* ``Departure`` — the object leaves early.  All matchers free its state
+  *eagerly*: POLAR returns the object's guide node to the free pool,
+  POLAR-OP vacates its association slot, and the pool-based matchers
+  (SimpleGreedy, GR, TGOA) purge it from their waiting pools and cell
+  indexes instead of waiting for lazy deadline expiry.  Departures of
+  matched objects are no-ops (the pair stands); departures of objects
+  never seen are rejected with :class:`~repro.errors.SimulationError`.
+* ``Move`` — the object relocates with its deadline preserved.  Pool
+  matchers reindex it under the new location and immediately re-attempt
+  a match at the move's instant; POLAR / POLAR-OP free the old node and
+  re-admit the object under its new (slot, area) type.  Churn for an
+  already-expired object is a no-op (the object is gone, whether or not
+  lazy expiry has swept its pool entry yet).
+
+Churn-free streams never enter these paths, so every existing stream
+stays bit-identical (matchings, decisions, counters, RNG draws) — the
+parity tests enforce it.
 
 Five matchers implement the protocol — :class:`PolarMatcher` (Algorithm
 2), :class:`PolarOpMatcher` (Algorithm 3), :class:`GreedyMatcher`
@@ -46,15 +68,25 @@ Performance notes (preserving PR 1's hot paths):
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.cellindex import CellIndex
 from repro.core.guide import OfflineGuide
-from repro.core.outcome import IGNORED, STAY, WAIT, AssignmentOutcome, Decision
-from repro.errors import ConfigurationError
+from repro.core.outcome import DEPARTED, IGNORED, STAY, WAIT, AssignmentOutcome, Decision
+from repro.errors import ConfigurationError, SimulationError
 from repro.graph.bipartite import BipartiteGraph, hopcroft_karp
 from repro.model.entities import Task, Worker
-from repro.model.events import WORKER, Arrival
+from repro.model.events import (
+    ARRIVAL,
+    DEPARTURE,
+    MOVE,
+    WORKER,
+    Arrival,
+    Departure,
+    Move,
+    StreamEvent,
+)
 from repro.model.instance import Instance
 from repro.model.matching import Matching
 from repro.seeding import derive_random
@@ -117,6 +149,42 @@ def typed_events(
 # ---------------------------------------------------------------------- #
 
 
+class _ObjectRef:
+    """A minimal stand-in entity carrying only an id.
+
+    POLAR / POLAR-OP never store entity records (their per-arrival state
+    is a node offset), so a churn re-entry only knows the object's id —
+    which is all ``consume_typed`` reads.
+    """
+
+    __slots__ = ("id",)
+
+    def __init__(self, object_id: int) -> None:
+        self.id = object_id
+
+
+class _Relocation:
+    """A pseudo-arrival feeding a moved object back through the arrival
+    logic: same id/start/duration, new location, served at the move's
+    own instant (``time`` is the move time, not the entity's start)."""
+
+    __slots__ = ("time", "seq", "kind", "entity")
+
+    def __init__(self, time: float, seq: int, kind: str, entity) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.entity = entity
+
+    @property
+    def is_worker(self) -> bool:
+        return self.kind == WORKER
+
+    @property
+    def is_task(self) -> bool:
+        return self.kind != WORKER
+
+
 class Matcher:
     """A stateful incremental assignment algorithm.
 
@@ -148,14 +216,31 @@ class Matcher:
         )
         self._reset(self._outcome)
 
-    def observe(self, arrival: Arrival) -> Decision:
-        """Process one arrival; returns the immediate decision for it.
+    def observe(self, event: StreamEvent) -> Decision:
+        """Process one stream event; returns the immediate decision.
 
+        Arrivals flow through the algorithm's arrival logic; churn
+        events (``Departure`` / ``Move``) flow through the shared churn
+        protocol (see the module docstring for per-matcher reactions).
         Decisions may be superseded later in the stream (a parked worker
         that eventually matches reports ``stay`` now and ``assigned`` in
         the final outcome).
+
+        Raises:
+            SimulationError: for a churn event referencing an object the
+                matcher never saw arrive (depart/move-before-arrive).
+            ConfigurationError: for an unknown event type.
         """
-        raise NotImplementedError
+        event_kind = getattr(event, "event_kind", None)
+        if event_kind is ARRIVAL:
+            return self._observe_arrival(event)
+        if event_kind is DEPARTURE:
+            return self._handle_departure(event)
+        if event_kind is MOVE:
+            return self._handle_move(event)
+        raise ConfigurationError(
+            f"{self.algorithm}: cannot observe event {event!r}"
+        )
 
     def finish(self) -> AssignmentOutcome:
         """Close the stream and return the run's outcome.
@@ -168,7 +253,112 @@ class Matcher:
         self._outcome = None
         return outcome
 
+    # -- churn protocol ------------------------------------------------ #
+
+    def _handle_departure(self, event: Departure) -> Decision:
+        """Shared departure protocol: reject-unknown, no-op-settled,
+        eagerly purge waiting objects (per-matcher ``_purge_object``)."""
+        outcome = self._require_run()
+        self._before_churn(event, outcome)
+        decisions = (
+            outcome.worker_decisions if event.is_worker else outcome.task_decisions
+        )
+        current = decisions.get(event.object_id)
+        if current is None:
+            raise SimulationError(
+                f"{self.algorithm}: departure of {event.kind} "
+                f"{event.object_id} before its arrival"
+            )
+        if not self._is_waiting(event.kind, event.object_id, event.time):
+            # Matched, ignored, expired, or already departed: nothing to
+            # free — the recorded decision stands.
+            return current
+        self._mark_departed(event.kind, event.object_id, outcome)
+        return DEPARTED
+
+    def _handle_move(self, event: Move) -> Decision:
+        """Shared move protocol: reject-unknown, no-op-settled, then the
+        per-matcher ``_relocate`` (reindex + immediate re-match)."""
+        outcome = self._require_run()
+        self._before_churn(event, outcome)
+        decisions = (
+            outcome.worker_decisions if event.is_worker else outcome.task_decisions
+        )
+        current = decisions.get(event.object_id)
+        if current is None:
+            raise SimulationError(
+                f"{self.algorithm}: move of {event.kind} "
+                f"{event.object_id} before its arrival"
+            )
+        if not self._is_waiting(event.kind, event.object_id, event.time):
+            return current
+        return self._relocate(event, outcome)
+
+    @staticmethod
+    def _expired_at(kind: str, entity, now: float) -> bool:
+        """The pool matchers' shared expiry convention at instant ``now``
+        (workers need strictly positive remaining time, ``<=``; tasks
+        survive through their deadline instant, ``<``)."""
+        if kind == WORKER:
+            return entity.deadline <= now
+        return entity.deadline < now
+
+    def _take_for_move(self, event: Move, pool, outcome: AssignmentOutcome):
+        """The pool matchers' shared move preamble.
+
+        The object (guaranteed live and waiting — the deadline-aware
+        ``_is_waiting`` gate filtered expired ones into no-ops) is
+        purged from all matcher state, the move counter ticks, and the
+        relocated entity (deadline preserved, new location) is returned
+        for the matcher-specific re-entry.  Callers validate the
+        destination *before* this — no state may change if the location
+        is rejected.
+        """
+        entity = pool[event.object_id]
+        self._purge_object(event.kind, event.object_id)
+        outcome.moves += 1
+        return replace(entity, location=event.location)
+
+    def _mark_departed(
+        self, kind: str, object_id: int, outcome: AssignmentOutcome
+    ) -> None:
+        """Purge a waiting object and record its ``departed`` decision."""
+        self._purge_object(kind, object_id)
+        if kind == WORKER:
+            outcome.departed_workers += 1
+            outcome.worker_decisions[object_id] = DEPARTED
+        else:
+            outcome.departed_tasks += 1
+            outcome.task_decisions[object_id] = DEPARTED
+
     # -- subclass hooks ------------------------------------------------ #
+
+    def _observe_arrival(self, arrival: Arrival) -> Decision:
+        """The algorithm's arrival logic (one decision per arrival)."""
+        raise NotImplementedError
+
+    def _before_churn(self, event: StreamEvent, outcome: AssignmentOutcome) -> None:
+        """Pre-churn hook (GR advances its batch windows here)."""
+
+    def _is_waiting(self, kind: str, object_id: int, now: float) -> bool:
+        """Whether the object is live, unmatched state the matcher holds
+        at instant ``now``.
+
+        Pool matchers treat an expired entry as *not* waiting even when
+        lazy expiry has not swept it yet — indexed and dense variants
+        must answer identically regardless of their internal cleanup
+        cadence.  POLAR / POLAR-OP never consult deadlines and ignore
+        ``now``.
+        """
+        raise NotImplementedError
+
+    def _purge_object(self, kind: str, object_id: int) -> None:
+        """Eagerly drop one *waiting* object from all matcher state."""
+        raise NotImplementedError
+
+    def _relocate(self, event: Move, outcome: AssignmentOutcome) -> Decision:
+        """Reindex one *waiting* object under ``event.location``."""
+        raise NotImplementedError
 
     def _reset(self, outcome: AssignmentOutcome) -> None:
         """Rebuild per-run state (called by :meth:`begin`)."""
@@ -211,6 +401,21 @@ class Matcher:
         """Tasks ignored so far."""
         return self._require_run().ignored_tasks
 
+    @property
+    def departed_workers(self) -> int:
+        """Workers that left unmatched via churn departures so far."""
+        return self._require_run().departed_workers
+
+    @property
+    def departed_tasks(self) -> int:
+        """Tasks withdrawn unmatched via churn departures so far."""
+        return self._require_run().departed_tasks
+
+    @property
+    def moves(self) -> int:
+        """Effective churn relocations (moves of waiting objects) so far."""
+        return self._require_run().moves
+
 
 # ---------------------------------------------------------------------- #
 # POLAR / POLAR-OP (guide-driven, typed arrivals)
@@ -224,7 +429,10 @@ class TypedMatcher(Matcher):
     over ``(arrival, flat type)`` pairs; :meth:`observe` computes one
     arrival's type with the scalar ``slot_of``/``area_of`` path and
     funnels it through the same loop, so stepwise serving and bulk
-    replays share one implementation.
+    replays share one implementation.  Churn re-entries (a moved object
+    re-admitted under its new area) funnel through the same loop too,
+    keeping the object's original arrival *slot* and retyping only the
+    area.
     """
 
     def __init__(self, guide: OfflineGuide) -> None:
@@ -250,13 +458,34 @@ class TypedMatcher(Matcher):
         """Consume ``(arrival, flat type)`` pairs through the event loop."""
         raise NotImplementedError
 
-    def observe(self, arrival: Arrival) -> Decision:
+    def _observe_arrival(self, arrival: Arrival) -> Decision:
         self._require_run()
         self.consume_typed(((arrival, self.type_of(arrival)),))
         outcome = self._outcome
         if arrival.kind == WORKER:
             return outcome.worker_decisions[arrival.entity.id]
         return outcome.task_decisions[arrival.entity.id]
+
+    def _readmit(self, event: Move, node_type: int, new_area: int, outcome) -> Decision:
+        """Feed a moved object back through the typed event loop.
+
+        The new flat type keeps the node's original *slot* and swaps in
+        ``new_area`` (validated by the caller *before* any state was
+        touched); re-entry may match immediately, be re-parked, or —
+        when the new type has no free node — be ignored.  A re-ignored
+        object counts in ``ignored_*`` like an ignored arrival: either
+        way the platform turned it away for lack of a node of the type
+        it showed up at.
+        """
+        slot = node_type // self._n_areas
+        new_type = slot * self._n_areas + new_area
+        outcome.moves += 1
+        shim = _Relocation(event.time, event.seq, event.kind, _ObjectRef(event.object_id))
+        self.consume_typed(((shim, new_type),))
+        decisions = (
+            outcome.worker_decisions if event.is_worker else outcome.task_decisions
+        )
+        return decisions[event.object_id]
 
     def _reset(self, outcome: AssignmentOutcome) -> None:
         outcome.extras["guide_size"] = float(self.guide.matched_pairs)
@@ -301,6 +530,11 @@ class PolarMatcher(TypedMatcher):
         self._task_free: Dict[int, List[int]] = {}
         self._worker_occupant: Dict[int, Dict[int, int]] = {}
         self._task_occupant: Dict[int, Dict[int, int]] = {}
+        # Waiting-object index for churn: id -> (type, offset) of the
+        # node an unmatched occupant holds.  Entries are dropped the
+        # moment the object matches, so membership == "waiting".
+        self._worker_node: Dict[int, Tuple[int, int]] = {}
+        self._task_node: Dict[int, Tuple[int, int]] = {}
 
     def consume_typed(self, pairs: Iterable[Tuple[Arrival, int]]) -> None:
         outcome = self._require_run()
@@ -315,6 +549,8 @@ class PolarMatcher(TypedMatcher):
         task_free = self._task_free
         worker_occupant = self._worker_occupant
         task_occupant = self._task_occupant
+        worker_node = self._worker_node
+        task_node = self._task_node
         assign = outcome.matching.assign
         worker_decisions = outcome.worker_decisions
         task_decisions = outcome.task_decisions
@@ -342,12 +578,14 @@ class PolarMatcher(TypedMatcher):
                 partners = worker_partners.get(type_index)
                 partner = partners[offset] if partners is not None else None
                 if partner is None:
+                    worker_node[object_id] = (type_index, offset)
                     worker_decisions[object_id] = STAY
                     continue
                 task_type, task_offset = partner
                 paired = task_occupant.get(task_type)
                 occupant = paired.get(task_offset) if paired is not None else None
                 if occupant is not None:
+                    del task_node[occupant]  # the task stops waiting
                     assign(object_id, occupant)
                     worker_decisions[object_id] = Decision(
                         Decision.ASSIGNED, partner_id=occupant
@@ -356,6 +594,7 @@ class PolarMatcher(TypedMatcher):
                         Decision.ASSIGNED, partner_id=object_id
                     )
                 else:
+                    worker_node[object_id] = (type_index, offset)
                     worker_decisions[object_id] = Decision(
                         Decision.DISPATCHED, target_area=task_type % n_areas
                     )
@@ -380,6 +619,7 @@ class PolarMatcher(TypedMatcher):
                 partners = task_partners.get(type_index)
                 partner = partners[offset] if partners is not None else None
                 if partner is None:
+                    task_node[object_id] = (type_index, offset)
                     task_decisions[object_id] = WAIT
                     continue
                 worker_type, worker_offset = partner
@@ -390,6 +630,7 @@ class PolarMatcher(TypedMatcher):
                 # is necessarily unmatched; Matching.assign would raise if
                 # that invariant broke.
                 if occupant is not None:
+                    del worker_node[occupant]  # the worker stops waiting
                     assign(occupant, object_id)
                     task_decisions[object_id] = Decision(
                         Decision.ASSIGNED, partner_id=occupant
@@ -403,7 +644,39 @@ class PolarMatcher(TypedMatcher):
                         Decision.ASSIGNED, target_area=target, partner_id=object_id
                     )
                 else:
+                    task_node[object_id] = (type_index, offset)
                     task_decisions[object_id] = WAIT
+
+    # -- churn hooks --------------------------------------------------- #
+
+    def _is_waiting(self, kind: str, object_id: int, now: float) -> bool:
+        node_map = self._worker_node if kind == WORKER else self._task_node
+        return object_id in node_map
+
+    def _purge_object(self, kind: str, object_id: int) -> None:
+        """Vacate the object's node: the occupancy slot is freed and the
+        offset returns to the free pool for the next arrival of the
+        type, restoring the node count Algorithm 2 budgeted."""
+        if kind == WORKER:
+            type_index, offset = self._worker_node.pop(object_id)
+            del self._worker_occupant[type_index][offset]
+            self._worker_free[type_index].append(offset)
+        else:
+            type_index, offset = self._task_node.pop(object_id)
+            del self._task_occupant[type_index][offset]
+            self._task_free[type_index].append(offset)
+
+    def _relocate(self, event: Move, outcome: AssignmentOutcome) -> Decision:
+        # POLAR is guide-driven and never consults deadlines, so every
+        # move of a waiting object is a reindex: vacate the old node and
+        # re-admit under the (original slot, new area) type.  The new
+        # area is resolved first — an out-of-grid location must raise
+        # before any state is touched, not strand a half-purged object.
+        new_area = self.grid.area_of(event.location)
+        node_map = self._worker_node if event.is_worker else self._task_node
+        node_type, _offset = node_map[event.object_id]
+        self._purge_object(event.kind, event.object_id)
+        return self._readmit(event, node_type, new_area, outcome)
 
 
 _NodeKey = Tuple[int, int]
@@ -413,24 +686,44 @@ class _AssociationSide:
     """Association bookkeeping for one side of the guide (POLAR-OP).
 
     Each node keeps a FIFO of associated-but-unmatched object ids; nodes
-    are reusable so there is no free pool, just the queues.
+    are reusable so there is no free pool, just the queues.  A reverse
+    ``id -> node`` map (maintained exactly: set on park, dropped on pop)
+    lets churn events find and vacate an object's association slot.
     """
 
-    __slots__ = ("_queues",)
+    __slots__ = ("_queues", "_node_of")
 
     def __init__(self) -> None:
         self._queues: Dict[_NodeKey, Deque[int]] = {}
+        self._node_of: Dict[int, _NodeKey] = {}
 
     def park(self, node: _NodeKey, object_id: int) -> None:
         """Record ``object_id`` as waiting on ``node``."""
         self._queues.setdefault(node, deque()).append(object_id)
+        self._node_of[object_id] = node
 
     def pop_waiting(self, node: _NodeKey) -> Optional[int]:
         """Pop the oldest unmatched object on ``node``, or None."""
         queue = self._queues.get(node)
         if queue:
-            return queue.popleft()
+            object_id = queue.popleft()
+            del self._node_of[object_id]
+            return object_id
         return None
+
+    def contains(self, object_id: int) -> bool:
+        """Whether ``object_id`` is currently parked (waiting)."""
+        return object_id in self._node_of
+
+    def remove(self, object_id: int) -> _NodeKey:
+        """Vacate a parked object's association slot; returns its node.
+
+        Raises:
+            KeyError: if the object is not parked.
+        """
+        node = self._node_of.pop(object_id)
+        self._queues[node].remove(object_id)
+        return node
 
 
 class PolarOpMatcher(TypedMatcher):
@@ -505,6 +798,12 @@ class PolarOpMatcher(TypedMatcher):
                 partners = worker_partners.get(type_index)
                 partner = partners[offset] if partners is not None else None
                 if partner is None:
+                    # Guide edges form a matching, so a partnerless node
+                    # is nobody's partner: parking here can never be
+                    # popped by the matching path, but it keeps the
+                    # object visible to churn (a departure counts, a
+                    # move can re-admit it at a partnered type).
+                    park_worker((type_index, offset), object_id)
                     worker_decisions[object_id] = STAY
                     continue
                 waiting_task = pop_waiting_task(partner)
@@ -536,6 +835,7 @@ class PolarOpMatcher(TypedMatcher):
                 partners = task_partners.get(type_index)
                 partner = partners[offset] if partners is not None else None
                 if partner is None:
+                    park_task((type_index, offset), object_id)  # churn visibility
                     task_decisions[object_id] = WAIT
                     continue
                 waiting_worker = pop_waiting_worker(partner)
@@ -554,6 +854,25 @@ class PolarOpMatcher(TypedMatcher):
                 else:
                     park_task((type_index, offset), object_id)
                     task_decisions[object_id] = WAIT
+
+    # -- churn hooks --------------------------------------------------- #
+
+    def _is_waiting(self, kind: str, object_id: int, now: float) -> bool:
+        side = self._worker_parked if kind == WORKER else self._task_parked
+        return side.contains(object_id)
+
+    def _purge_object(self, kind: str, object_id: int) -> None:
+        side = self._worker_parked if kind == WORKER else self._task_parked
+        side.remove(object_id)
+
+    def _relocate(self, event: Move, outcome: AssignmentOutcome) -> Decision:
+        # Like POLAR: deadline-free reindex — vacate the association
+        # slot and re-associate under the (original slot, new area)
+        # type.  Validate the new location before vacating anything.
+        new_area = self.grid.area_of(event.location)
+        side = self._worker_parked if event.is_worker else self._task_parked
+        node = side.remove(event.object_id)
+        return self._readmit(event, node[0], new_area, outcome)
 
 
 # ---------------------------------------------------------------------- #
@@ -641,7 +960,7 @@ class GreedyMatcher(Matcher):
         )
         return outcome.worker_decisions[worker_id]
 
-    def observe(self, arrival: Arrival) -> Decision:
+    def _observe_arrival(self, arrival: Arrival) -> Decision:
         outcome = self._require_run()
         if arrival.is_task:
             duration = arrival.entity.duration
@@ -650,6 +969,43 @@ class GreedyMatcher(Matcher):
         if self.indexed:
             return self._observe_indexed(arrival, outcome)
         return self._observe_naive(arrival, outcome)
+
+    # -- churn hooks --------------------------------------------------- #
+
+    def _is_waiting(self, kind: str, object_id: int, now: float) -> bool:
+        # Deadline-aware: naive mode drops expired entries during pool
+        # scans while indexed mode lazily removes only visited index
+        # entries, so pool membership alone would make churn decisions
+        # depend on the `indexed` flag.
+        pool = self._waiting_workers if kind == WORKER else self._waiting_tasks
+        entity = pool.get(object_id)
+        return entity is not None and not self._expired_at(kind, entity, now)
+
+    def _purge_object(self, kind: str, object_id: int) -> None:
+        if kind == WORKER:
+            del self._waiting_workers[object_id]
+            if self.indexed:
+                self._worker_index.remove(object_id)  # missing ids ignored
+        else:
+            del self._waiting_tasks[object_id]
+            if self.indexed:
+                self._task_index.remove(object_id)
+
+    def _relocate(self, event: Move, outcome: AssignmentOutcome) -> Decision:
+        now = event.time
+        if self.indexed:
+            # An out-of-grid destination must raise before any state is
+            # touched (the cell index cannot hold it); the naive variant
+            # is grid-free and accepts any location.
+            self.grid.area_of(event.location)
+        pool = self._waiting_workers if event.is_worker else self._waiting_tasks
+        moved = self._take_for_move(event, pool, outcome)
+        shim = _Relocation(now, event.seq, event.kind, moved)
+        # The relocated object re-enters the arrival logic at the move's
+        # instant: it may match immediately or re-park at its new spot.
+        if self.indexed:
+            return self._observe_indexed(shim, outcome)
+        return self._observe_naive(shim, outcome)
 
     def _observe_naive(self, arrival: Arrival, outcome) -> Decision:
         travel = self.travel
@@ -735,6 +1091,9 @@ class GreedyMatcher(Matcher):
             )
             if best is not None:
                 task_index.remove(best)
+                # Drop the matched task from the waiting pool too, so the
+                # churn protocol's "is waiting" view never sees it.
+                tasks.pop(best, None)
                 return self._assign(outcome, worker.id, best)
             workers[worker.id] = worker
             worker_index.add(worker.id, worker.location)
@@ -757,6 +1116,7 @@ class GreedyMatcher(Matcher):
         )
         if best is not None:
             worker_index.remove(best)
+            workers.pop(best, None)  # see the worker branch
             self._assign(outcome, best, task.id)
             return outcome.task_decisions[task.id]
         tasks[task.id] = task
@@ -808,7 +1168,7 @@ class BatchMatcher(Matcher):
         self._batches = 0
         self._boundary: Optional[float] = None
 
-    def observe(self, arrival: Arrival) -> Decision:
+    def _observe_arrival(self, arrival: Arrival) -> Decision:
         outcome = self._require_run()
         window = self.window_minutes
         if self._boundary is None:
@@ -825,6 +1185,52 @@ class BatchMatcher(Matcher):
         self._pool_tasks[entity.id] = entity
         self._task_index.add(entity.id, entity.location)
         outcome.task_decisions[entity.id] = WAIT
+        return WAIT
+
+    # -- churn hooks --------------------------------------------------- #
+
+    def _before_churn(self, event, outcome: AssignmentOutcome) -> None:
+        # Churn events advance the platform clock like arrivals do: any
+        # window boundary the event time crosses is flushed first, so a
+        # departing object still participates in batches the platform
+        # would have run before it left.
+        if self._boundary is not None:
+            window = self.window_minutes
+            while event.time >= self._boundary:
+                self._flush(self._boundary, outcome)
+                self._boundary += window
+
+    def _is_waiting(self, kind: str, object_id: int, now: float) -> bool:
+        # Deadline-aware like the other pool matchers: entries expired
+        # since the last boundary _expire() sweep are already gone.
+        pool = self._pool_workers if kind == WORKER else self._pool_tasks
+        entity = pool.get(object_id)
+        return entity is not None and not self._expired_at(kind, entity, now)
+
+    def _purge_object(self, kind: str, object_id: int) -> None:
+        if kind == WORKER:
+            del self._pool_workers[object_id]
+            self._worker_index.remove(object_id)
+        else:
+            del self._pool_tasks[object_id]
+            self._task_index.remove(object_id)
+
+    def _relocate(self, event: Move, outcome: AssignmentOutcome) -> Decision:
+        now = event.time
+        # Validate before mutating: a GridError here must leave the pool
+        # and index consistent.
+        self.grid.area_of(event.location)
+        pool = self._pool_workers if event.is_worker else self._pool_tasks
+        moved = self._take_for_move(event, pool, outcome)
+        # GR matches only at window boundaries, so a move is a pure
+        # reindex: the relocated object re-pools and waits for the next
+        # flush.
+        if event.is_worker:
+            self._pool_workers[event.object_id] = moved
+            self._worker_index.add(event.object_id, moved.location)
+            return STAY
+        self._pool_tasks[event.object_id] = moved
+        self._task_index.add(event.object_id, moved.location)
         return WAIT
 
     def _finalize(self, outcome: AssignmentOutcome) -> None:
@@ -1005,12 +1411,16 @@ class TgoaMatcher(Matcher):
         # Insertion ranks replay the dense scan's dict order when sorting
         # ring-query candidates — the augmenting-path search then visits
         # edges identically, keeping indexed matchings bit-identical.
+        # Monotone counters (not len()) so a churn re-park always gets a
+        # fresh, collision-free rank.
         self._worker_rank: Dict[int, int] = {}
         self._task_rank: Dict[int, int] = {}
+        self._worker_rank_next = 0
+        self._task_rank_next = 0
         self._max_task_duration = self._initial_max_task_duration
         self._arrival_index = 0
 
-    def observe(self, arrival: Arrival) -> Decision:
+    def _observe_arrival(self, arrival: Arrival) -> Decision:
         outcome = self._require_run()
         if arrival.is_task:
             duration = arrival.entity.duration
@@ -1051,18 +1461,71 @@ class TgoaMatcher(Matcher):
         outcome.task_decisions[arrival.entity.id] = WAIT
         return WAIT
 
+    # -- churn hooks --------------------------------------------------- #
+
+    def _is_waiting(self, kind: str, object_id: int, now: float) -> bool:
+        # Deadline-aware — see GreedyMatcher._is_waiting.
+        pool = self._waiting_workers if kind == WORKER else self._waiting_tasks
+        entity = pool.get(object_id)
+        return entity is not None and not self._expired_at(kind, entity, now)
+
+    def _purge_object(self, kind: str, object_id: int) -> None:
+        if kind == WORKER:
+            del self._waiting_workers[object_id]
+            if self.indexed:
+                self._worker_index.remove(object_id)
+        else:
+            del self._waiting_tasks[object_id]
+            if self.indexed:
+                self._task_index.remove(object_id)
+
+    def _relocate(self, event: Move, outcome: AssignmentOutcome) -> Decision:
+        now = event.time
+        if self.indexed:
+            # See GreedyMatcher._relocate: validate before mutating.
+            self.grid.area_of(event.location)
+        pool = self._waiting_workers if event.is_worker else self._waiting_tasks
+        moved = self._take_for_move(event, pool, outcome)
+        shim = _Relocation(now, event.seq, event.kind, moved)
+        self._purge(now)
+        # Serve the relocated object under the phase active right now —
+        # a move is not an arrival, so the phase counter does not tick.
+        if self._arrival_index < self.halfway:
+            if self.indexed:
+                partner = self._nearest_indexed(shim, now)
+            elif event.is_worker:
+                partner = _nearest_feasible(
+                    moved, self._waiting_tasks, self.travel, now, task_side=True
+                )
+            else:
+                partner = _nearest_feasible(
+                    moved, self._waiting_workers, self.travel, now, task_side=False
+                )
+        else:
+            partner = self._optimal_partner(shim, now)
+        if partner is not None:
+            if event.is_worker:
+                self._commit(event.object_id, partner, outcome)
+                return outcome.worker_decisions[event.object_id]
+            self._commit(partner, event.object_id, outcome)
+            return outcome.task_decisions[event.object_id]
+        self._park(shim)
+        return STAY if event.is_worker else WAIT
+
     # -- pool maintenance ---------------------------------------------- #
 
-    def _park(self, arrival: Arrival) -> None:
+    def _park(self, arrival) -> None:
         entity = arrival.entity
         if arrival.is_worker:
             self._waiting_workers[entity.id] = entity
-            self._worker_rank[entity.id] = len(self._worker_rank)
+            self._worker_rank[entity.id] = self._worker_rank_next
+            self._worker_rank_next += 1
             if self.indexed:
                 self._worker_index.add(entity.id, entity.location)
         else:
             self._waiting_tasks[entity.id] = entity
-            self._task_rank[entity.id] = len(self._task_rank)
+            self._task_rank[entity.id] = self._task_rank_next
+            self._task_rank_next += 1
             if self.indexed:
                 self._task_index.add(entity.id, entity.location)
 

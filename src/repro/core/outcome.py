@@ -14,7 +14,7 @@ from typing import Dict, Optional
 
 from repro.model.matching import Matching
 
-__all__ = ["Decision", "AssignmentOutcome", "STAY", "WAIT", "IGNORED"]
+__all__ = ["Decision", "AssignmentOutcome", "STAY", "WAIT", "IGNORED", "DEPARTED"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,7 +26,10 @@ class Decision:
             ``"dispatched"`` (worker sent toward another area per the
             guide), ``"stay"`` (worker waits at its own location),
             ``"wait"`` (task waits for a future worker), ``"ignored"``
-            (no guide node of this type — Algorithm 2 line 3 failure).
+            (no guide node of this type — Algorithm 2 line 3 failure),
+            ``"departed"`` (left unmatched via a churn
+            :class:`~repro.model.events.Departure` while still live and
+            waiting — churn on an already-expired object is a no-op).
         target_area: the destination area for ``"dispatched"`` workers
             (Algorithm 2 line 11: "dispatch o to go to the area of r"),
             else None.
@@ -43,6 +46,7 @@ class Decision:
     STAY = "stay"
     WAIT = "wait"
     IGNORED = "ignored"
+    DEPARTED = "departed"
 
 
 # Shared immutable decisions for the pathways that carry no payload.
@@ -53,6 +57,7 @@ class Decision:
 STAY = Decision(Decision.STAY)
 WAIT = Decision(Decision.WAIT)
 IGNORED = Decision(Decision.IGNORED)
+DEPARTED = Decision(Decision.DEPARTED)
 
 
 @dataclass
@@ -64,7 +69,13 @@ class AssignmentOutcome:
         matching: the committed worker–task pairs.
         worker_decisions: worker id → final :class:`Decision`.
         task_decisions: task id → final :class:`Decision`.
-        ignored_workers / ignored_tasks: objects with no guide node.
+        ignored_workers / ignored_tasks: admissions turned away for lack
+            of a free guide node of their type — arrivals, plus churn
+            ``Move`` re-admissions that found their new type full.
+        departed_workers / departed_tasks: live waiting objects that
+            left unmatched via churn
+            :class:`~repro.model.events.Departure` events.
+        moves: effective churn relocations (moves of waiting objects).
         extras: free-form counters (guide size, batch count, …).
     """
 
@@ -74,6 +85,9 @@ class AssignmentOutcome:
     task_decisions: Dict[int, Decision] = field(default_factory=dict)
     ignored_workers: int = 0
     ignored_tasks: int = 0
+    departed_workers: int = 0
+    departed_tasks: int = 0
+    moves: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -99,7 +113,14 @@ class AssignmentOutcome:
 
     def summary(self) -> str:
         """One human-readable line for logs and examples."""
+        churn = ""
+        if self.departed_workers or self.departed_tasks or self.moves:
+            churn = (
+                f" departed={self.departed_workers}/{self.departed_tasks}"
+                f" moves={self.moves}"
+            )
         return (
             f"{self.algorithm}: matched={self.size} "
             f"(ignored workers={self.ignored_workers}, tasks={self.ignored_tasks})"
+            f"{churn}"
         )

@@ -11,7 +11,20 @@
 """
 
 from repro.model.entities import Task, Worker
-from repro.model.events import TASK, WORKER, Arrival, build_stream, resample_order
+from repro.model.events import (
+    ARRIVAL,
+    DEPARTURE,
+    MOVE,
+    TASK,
+    WORKER,
+    Arrival,
+    Departure,
+    Move,
+    StreamEvent,
+    build_stream,
+    merge_churn,
+    resample_order,
+)
 from repro.model.feasibility import (
     deadline_feasible,
     latest_departure,
@@ -24,9 +37,16 @@ __all__ = [
     "Worker",
     "Task",
     "Arrival",
+    "Departure",
+    "Move",
+    "StreamEvent",
     "WORKER",
     "TASK",
+    "ARRIVAL",
+    "DEPARTURE",
+    "MOVE",
     "build_stream",
+    "merge_churn",
     "resample_order",
     "deadline_feasible",
     "wait_in_place_feasible",

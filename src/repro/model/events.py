@@ -1,27 +1,68 @@
-"""Arrival events and the online arrival order.
+"""Stream events: arrivals plus the churn events (departures, moves).
 
 In FTOA "workers and tasks can dynamically appear on the platform one by
 one at any time" (Definition 4).  The online algorithms therefore consume
-a single totally-ordered stream of :class:`Arrival` events.  Ties in
-arrival time are broken by a sequence number so every instance has one
-canonical order; generators may also shuffle tie groups to produce the
-alternative orders quantified over by the competitive ratio
-(Definition 5).
+a single totally-ordered stream of events.  The canonical paper model is
+arrival-only; real platforms also see *churn* — workers logging off and
+objects relocating mid-stream — so the stream element is the
+:data:`StreamEvent` union:
+
+* :class:`Arrival` — a worker or task appearing (the paper's event);
+* :class:`Departure` — a previously-arrived object leaving the platform
+  early (a worker logs off, a requester cancels);
+* :class:`Move` — a previously-arrived object relocating while keeping
+  its deadline (``start`` and ``duration`` are unchanged; only the
+  location differs).
+
+Churn events carry the *object identity* (side + id), not the entity
+record: the platform already holds the entity from its arrival, and the
+wire protocol (:mod:`repro.serving.replay`) only ships ``{kind, side,
+id, time}``.  Ties in event time are broken by a sequence number so
+every instance has one canonical order; within a tie group arrivals
+precede moves precede departures (an object that arrives, moves, and
+departs in the same instant does so in that order).  A churn-free
+stream built here is bit-identical to the historical arrival-only
+stream — the parity gate every matcher is tested against.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Sequence, Union
 
 from repro.errors import SimulationError
 from repro.model.entities import Task, Worker
+from repro.spatial.geometry import Point
 
-__all__ = ["Arrival", "WORKER", "TASK", "build_stream", "resample_order"]
+__all__ = [
+    "Arrival",
+    "Departure",
+    "Move",
+    "StreamEvent",
+    "WORKER",
+    "TASK",
+    "ARRIVAL",
+    "DEPARTURE",
+    "MOVE",
+    "build_stream",
+    "merge_churn",
+    "resample_order",
+]
 
 WORKER = "worker"
 TASK = "task"
+
+# Event-kind tags (the JSONL codec's ``kind`` values for churn records;
+# arrivals keep their historical per-side kinds ``worker`` / ``task``).
+ARRIVAL = "arrival"
+DEPARTURE = "departure"
+MOVE = "move"
+
+
+def _validate_side(kind: str) -> None:
+    if kind not in (WORKER, TASK):
+        raise SimulationError(f"unknown arrival kind {kind!r}")
 
 
 @dataclass(frozen=True, order=False)
@@ -40,9 +81,10 @@ class Arrival:
     kind: str
     entity: Union[Worker, Task]
 
+    event_kind = ARRIVAL
+
     def __post_init__(self) -> None:
-        if self.kind not in (WORKER, TASK):
-            raise SimulationError(f"unknown arrival kind {self.kind!r}")
+        _validate_side(self.kind)
         if self.time != self.entity.start:
             raise SimulationError(
                 f"arrival time {self.time} disagrees with entity start {self.entity.start}"
@@ -58,13 +100,160 @@ class Arrival:
         """Whether this arrival is a task."""
         return self.kind == TASK
 
+    @property
+    def object_id(self) -> int:
+        """The arriving object's id (uniform accessor across events)."""
+        return self.entity.id
 
-def build_stream(workers: Iterable[Worker], tasks: Iterable[Task]) -> List[Arrival]:
-    """Merge workers and tasks into one time-ordered arrival stream.
+
+@dataclass(frozen=True, order=False)
+class Departure:
+    """A previously-arrived object leaving the platform at ``time``.
+
+    Departures reference the object by (side, id); the platform resolves
+    the entity from its own state.  Matchers *reject* a departure for an
+    object they never saw arrive (depart-before-arrive) and treat a
+    departure of an already-matched object as a no-op (the pair stands —
+    the worker leaves to serve it).
+
+    Attributes:
+        time: departure instant.
+        seq: tie-breaking sequence number, unique within a stream.
+        kind: :data:`WORKER` or :data:`TASK` — the departing side.
+        object_id: the departing object's id.
+    """
+
+    time: float
+    seq: int
+    kind: str
+    object_id: int
+
+    event_kind = DEPARTURE
+
+    def __post_init__(self) -> None:
+        _validate_side(self.kind)
+
+    @property
+    def is_worker(self) -> bool:
+        """Whether the departing object is a worker."""
+        return self.kind == WORKER
+
+    @property
+    def is_task(self) -> bool:
+        """Whether the departing object is a task."""
+        return self.kind == TASK
+
+
+@dataclass(frozen=True, order=False)
+class Move:
+    """A previously-arrived object relocating to ``location`` at ``time``.
+
+    The object's deadline is preserved: ``start`` and ``duration`` are
+    unchanged, only the location differs, so a moved task is still due by
+    its original ``Sr + Dr`` and a moved worker still leaves at
+    ``Sw + Dw``.  Matchers reindex the object under its new location (and
+    may match it immediately if the move makes a pairing feasible);
+    moves of unknown objects are rejected and moves of matched objects
+    are no-ops.
+
+    Attributes:
+        time: relocation instant.
+        seq: tie-breaking sequence number, unique within a stream.
+        kind: :data:`WORKER` or :data:`TASK` — the moving side.
+        object_id: the moving object's id.
+        location: the new location.
+    """
+
+    time: float
+    seq: int
+    kind: str
+    object_id: int
+    location: Point
+
+    event_kind = MOVE
+
+    def __post_init__(self) -> None:
+        _validate_side(self.kind)
+
+    @property
+    def is_worker(self) -> bool:
+        """Whether the moving object is a worker."""
+        return self.kind == WORKER
+
+    @property
+    def is_task(self) -> bool:
+        """Whether the moving object is a task."""
+        return self.kind == TASK
+
+
+StreamEvent = Union[Arrival, Departure, Move]
+
+# Within a tie group (same event time) the stream orders arrivals, then
+# moves, then departures: an object may arrive, relocate, and leave in a
+# single instant, in that order.
+_CHURN_RANK = {MOVE: 0, DEPARTURE: 1}
+
+
+def merge_churn(
+    stream: Sequence[Arrival], churn: Iterable[StreamEvent]
+) -> List[StreamEvent]:
+    """Interleave churn events into an arrival stream, reassigning seq.
+
+    The arrival stream's own (time-ordered) order is preserved exactly;
+    churn events slot in by time, *after* any arrival sharing their
+    instant (and moves before departures on churn-only ties).  With an
+    empty ``churn`` the result is the input arrivals with their original
+    sequence numbers — bit-identical, so churn-free callers pay nothing.
+
+    Raises:
+        SimulationError: if the arrival stream is not time-ordered, or
+            if ``churn`` contains a non-churn event.
+    """
+    churn = list(churn)
+    for event in churn:
+        if event.event_kind not in _CHURN_RANK:
+            raise SimulationError(
+                f"churn events must be Departure or Move, got {event!r}"
+            )
+    churn_sorted = sorted(
+        churn, key=lambda e: (e.time, _CHURN_RANK[e.event_kind], e.kind, e.object_id)
+    )
+    if not churn_sorted:
+        return list(stream)
+    merged: List[StreamEvent] = []
+    pending = iter(churn_sorted)
+    next_churn = next(pending, None)
+    last_time = None
+    for arrival in stream:
+        if last_time is not None and arrival.time < last_time:
+            raise SimulationError(
+                f"arrival at t={arrival.time} after t={last_time} "
+                "(streams must be time-ordered)"
+            )
+        last_time = arrival.time
+        while next_churn is not None and next_churn.time < arrival.time:
+            merged.append(next_churn)
+            next_churn = next(pending, None)
+        merged.append(arrival)
+    while next_churn is not None:
+        merged.append(next_churn)
+        next_churn = next(pending, None)
+    return [replace(event, seq=seq) for seq, event in enumerate(merged)]
+
+
+def build_stream(
+    workers: Iterable[Worker],
+    tasks: Iterable[Task],
+    churn: Iterable[StreamEvent] = (),
+) -> List[StreamEvent]:
+    """Merge workers, tasks (and churn events) into one ordered stream.
 
     Ties are broken deterministically: by time, then by kind (workers
     before tasks, matching the toy example's Table 1 where ``w1`` precedes
-    ``r1`` at 9:00), then by entity id.
+    ``r1`` at 9:00), then by entity id.  Churn events (from
+    :func:`repro.streams.churn.sample_churn` or hand-built) are merged in
+    by :func:`merge_churn` — after arrivals sharing their instant.  With
+    no churn the result is exactly the historical arrival-only stream.
     """
     events: List[Arrival] = []
     ordered = sorted(
@@ -73,19 +262,29 @@ def build_stream(workers: Iterable[Worker], tasks: Iterable[Task]) -> List[Arriv
     )
     for seq, (time, _kind_rank, _ident, kind, entity) in enumerate(ordered):
         events.append(Arrival(time=time, seq=seq, kind=kind, entity=entity))
-    return events
+    churn = list(churn)
+    if not churn:
+        return events
+    return merge_churn(events, churn)
 
 
-def resample_order(stream: Sequence[Arrival], rng: random.Random) -> List[Arrival]:
-    """A new stream with arrival *times kept* but same-time ties reshuffled.
+def resample_order(stream: Sequence[StreamEvent], rng: random.Random) -> List[StreamEvent]:
+    """A new stream with event *times kept* but same-time ties reshuffled.
 
     The i.i.d. competitive ratio (Definition 5) minimises over "all
     possible input orders"; resampling tie groups (and, for generators
     that quantise times to slots, whole slots) explores that order space
     without changing any entity's spatiotemporal attributes.
+
+    Churn events participate in the shuffle like any other event, except
+    that a tie group is shuffled *per event kind* (arrivals among
+    arrivals, moves among moves, departures among departures) so the
+    arrive → move → depart invariant for any single object survives the
+    reshuffle — a departure can never overtake its object's same-instant
+    arrival or move.
     """
-    groups: List[List[Arrival]] = []
-    current: List[Arrival] = []
+    groups: List[List[StreamEvent]] = []
+    current: List[StreamEvent] = []
     for event in sorted(stream, key=lambda e: (e.time, e.seq)):
         if current and current[-1].time != event.time:
             groups.append(current)
@@ -94,11 +293,18 @@ def resample_order(stream: Sequence[Arrival], rng: random.Random) -> List[Arriva
     if current:
         groups.append(current)
 
-    reordered: List[Arrival] = []
+    reordered: List[StreamEvent] = []
     seq = 0
     for group in groups:
-        rng.shuffle(group)
-        for event in group:
-            reordered.append(Arrival(time=event.time, seq=seq, kind=event.kind, entity=event.entity))
+        arrivals = [e for e in group if e.event_kind == ARRIVAL]
+        moves = [e for e in group if e.event_kind == MOVE]
+        departures = [e for e in group if e.event_kind == DEPARTURE]
+        rng.shuffle(arrivals)
+        if moves:
+            rng.shuffle(moves)
+        if departures:
+            rng.shuffle(departures)
+        for event in arrivals + moves + departures:
+            reordered.append(replace(event, seq=seq))
             seq += 1
     return reordered

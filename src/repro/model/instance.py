@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import GridError, InvalidEntityError, TimelineError
 from repro.model.entities import Task, Worker
-from repro.model.events import Arrival, build_stream
+from repro.model.events import Arrival, StreamEvent, build_stream
 from repro.spatial.grid import Grid
 from repro.spatial.timeslots import Timeline
 from repro.spatial.travel import TravelModel
@@ -158,6 +158,19 @@ class Instance:
         if self._stream is None:
             self._stream = build_stream(self.workers, self.tasks)
         return self._stream
+
+    def churn_stream(self, config) -> List[StreamEvent]:
+        """The canonical stream with sampled churn events merged in.
+
+        ``config`` is a :class:`repro.streams.churn.ChurnConfig`;
+        sampling is deterministic in it, and a zero-rate config returns
+        the canonical arrival-only stream (shared cache — do not
+        mutate).  Unlike :meth:`arrival_stream` the churned stream is
+        not cached: each call re-samples from the config.
+        """
+        from repro.streams.churn import with_churn
+
+        return with_churn(self.arrival_stream(), self.grid.bounds, config)
 
     def typed_arrivals(self) -> Tuple[List[Arrival], List[int]]:
         """The canonical stream plus each event's flat (slot, area) type.

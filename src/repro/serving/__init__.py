@@ -3,10 +3,11 @@
 * :mod:`repro.serving.session` — :class:`MatchingSession`, the driver
   that feeds one :class:`repro.core.engine.Matcher` from an event source
   (a pregenerated :class:`~repro.model.instance.Instance`, a live
-  generator, or any iterator of arrivals) with mid-stream metric
-  snapshots.
-* :mod:`repro.serving.replay` — JSONL arrival-stream codec and the
-  ``repro replay`` / ``repro dump`` CLI drivers.
+  generator, or any iterator of stream events — arrivals plus
+  ``Departure`` / ``Move`` churn) with mid-stream metric snapshots.
+* :mod:`repro.serving.replay` — JSONL event-stream codec (arrival,
+  departure and move records) and the ``repro replay`` / ``repro dump``
+  CLI drivers.
 * :mod:`repro.serving.forecast` — forecast-driven guides: fit a
   :mod:`repro.prediction` model on a history JSONL instead of the
   perfect-hindsight self-guide (``repro replay --guide from-forecast``).
@@ -28,7 +29,12 @@ reproduction and stepwise serving can never drift apart.
 
 from repro.serving.gateway import Gateway, GatewaySnapshot, render_prometheus
 from repro.serving.loadgen import LoadgenReport, loadgen, run_loadgen
-from repro.serving.replay import dump_stream, load_stream
+from repro.serving.replay import (
+    dump_stream,
+    event_to_record,
+    load_stream,
+    record_to_event,
+)
 from repro.serving.session import (
     EventSource,
     InstanceSource,
@@ -39,7 +45,12 @@ from repro.serving.session import (
 )
 from repro.serving.shard import Shard, ShardRouter, SpatialHashRing, build_shards
 
-_LAZY_FORECAST = ("forecast_guide", "history_from_stream")
+_LAZY_FORECAST = (
+    "forecast_guide",
+    "history_from_stream",
+    "forecast_volume",
+    "forecast_halfway",
+)
 
 
 def __getattr__(name):
@@ -65,8 +76,12 @@ __all__ = [
     "as_source",
     "dump_stream",
     "load_stream",
+    "event_to_record",
+    "record_to_event",
     "forecast_guide",
     "history_from_stream",
+    "forecast_volume",
+    "forecast_halfway",
     "Gateway",
     "GatewaySnapshot",
     "render_prometheus",

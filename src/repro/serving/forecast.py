@@ -30,14 +30,19 @@ import numpy as np
 
 from repro.core.guide import OfflineGuide, build_guide
 from repro.errors import SimulationError
-from repro.model.events import Arrival
+from repro.model.events import Arrival, StreamEvent
 from repro.prediction import DayContext, DemandHistory, make_predictor
 from repro.spatial.grid import Grid
 from repro.spatial.timeslots import Timeline
 from repro.spatial.travel import TravelModel
 from repro.streams.oracle import rounded_counts
 
-__all__ = ["history_from_stream", "forecast_guide"]
+__all__ = [
+    "history_from_stream",
+    "forecast_guide",
+    "forecast_volume",
+    "forecast_halfway",
+]
 
 
 def _side_predictor(name: str, seed: int, n_days: int):
@@ -88,6 +93,8 @@ def history_from_stream(
     task_durations: List[float] = []
     n_events = 0
     for arrival in events:
+        if not isinstance(arrival, Arrival):
+            continue  # churn events carry no demand signal
         entity = arrival.entity
         offset = entity.start - t0
         if offset < 0:
@@ -168,25 +175,13 @@ def forecast_guide(
             durations — the guide needs positive ``Dw`` and ``Dr``.
         ValueError: for an unknown predictor name.
     """
-    worker_history, task_history, worker_duration, task_duration = (
-        history_from_stream(history_events, grid, timeline)
+    worker_counts, task_counts, worker_duration, task_duration = (
+        _forecast_counts(history_events, grid, timeline, predictor, seed)
     )
     if worker_duration <= 0 or task_duration <= 0:
         raise SimulationError(
             "history must contain both workers and tasks to estimate durations"
         )
-    context = DayContext(
-        day_of_week=worker_history.n_days % 7,
-        weather=np.zeros(timeline.n_slots, dtype=np.int64),
-        day_index=worker_history.n_days,
-    )
-    n_days = worker_history.n_days
-    worker_model = _side_predictor(predictor, seed, n_days)
-    worker_model.fit(worker_history)
-    worker_counts = rounded_counts(worker_model.predict(context))
-    task_model = _side_predictor(predictor, seed, n_days)
-    task_model.fit(task_history)
-    task_counts = rounded_counts(task_model.predict(context))
     return build_guide(
         worker_counts,
         task_counts,
@@ -196,3 +191,82 @@ def forecast_guide(
         worker_duration,
         task_duration,
     )
+
+
+def _forecast_counts(
+    history_events: Iterable[StreamEvent],
+    grid: Grid,
+    timeline: Timeline,
+    predictor: str,
+    seed: int,
+):
+    """Fit per-side predictors on a history and forecast the next day.
+
+    The shared recipe behind :func:`forecast_guide` and
+    :func:`forecast_volume`: bucket the history, fit one predictor per
+    side, forecast ``day_index = n_days`` and round mass-preservingly.
+    Returns ``(worker_counts, task_counts, worker_duration,
+    task_duration)``.
+    """
+    worker_history, task_history, worker_duration, task_duration = (
+        history_from_stream(history_events, grid, timeline)
+    )
+    n_days = worker_history.n_days
+    context = DayContext(
+        day_of_week=n_days % 7,
+        weather=np.zeros(timeline.n_slots, dtype=np.int64),
+        day_index=n_days,
+    )
+    worker_model = _side_predictor(predictor, seed, n_days)
+    worker_model.fit(worker_history)
+    worker_counts = rounded_counts(worker_model.predict(context))
+    task_model = _side_predictor(predictor, seed, n_days)
+    task_model.fit(task_history)
+    task_counts = rounded_counts(task_model.predict(context))
+    return worker_counts, task_counts, worker_duration, task_duration
+
+
+def forecast_volume(
+    history_events: Iterable[StreamEvent],
+    grid: Grid,
+    timeline: Timeline,
+    predictor: str = "HP-MSI",
+    seed: int = 0,
+) -> Tuple[int, int]:
+    """Forecast the serving day's total (worker, task) arrival volumes.
+
+    The same per-side predictors :func:`forecast_guide` fits, asked only
+    for their city-level totals: the forecast tensors are rounded
+    mass-preservingly and summed.  This is the volume signal streaming
+    TGOA needs for its phase boundary (the matcher's ``halfway`` is an
+    arrival *count*, which an online deployment cannot read off
+    ``len(stream)``).
+
+    Raises:
+        SimulationError: for an empty history.
+        ValueError: for an unknown predictor name.
+    """
+    worker_counts, task_counts, _wd, _td = _forecast_counts(
+        history_events, grid, timeline, predictor, seed
+    )
+    return int(worker_counts.sum()), int(task_counts.sum())
+
+
+def forecast_halfway(
+    history_events: Iterable[StreamEvent],
+    grid: Grid,
+    timeline: Timeline,
+    predictor: str = "HP-MSI",
+    seed: int = 0,
+) -> int:
+    """Streaming TGOA's phase boundary from a volume forecast.
+
+    ``halfway`` is half the forecast total arrival count — the online
+    replacement for the offline adapter's ``len(stream) // 2`` (ROADMAP
+    serving backlog).  ``repro serve`` / ``repro replay`` expose it as
+    ``--halfway from-forecast``.
+    """
+    workers, tasks = forecast_volume(
+        history_events, grid, timeline, predictor=predictor, seed=seed
+    )
+    return (workers + tasks) // 2

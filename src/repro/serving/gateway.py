@@ -18,15 +18,20 @@ Data path::
                                Shard 0         Shard 1         Shard k
                           (MatchingSession) (MatchingSession)   ...
 
-* **Ingest protocol** — one JSON object per line, the same arrival
-  schema :mod:`repro.serving.replay` dumps.  Each arrival is acknowledged
-  with a decision line (``{"kind", "id", "shard", "decision",
-  "partner"}``), so clients can measure end-to-end latency.  Control
-  records: ``{"kind": "snapshot"}`` returns the live snapshot,
-  ``{"kind": "drain"}`` triggers the graceful drain and returns the
-  final snapshot; ``config`` records are acknowledged and skipped.
-  Malformed lines get an ``{"error": ...}`` line, a counter bump, and
-  the connection stays open.
+* **Ingest protocol** — one JSON object per line, the same event schema
+  :mod:`repro.serving.replay` dumps: arrivals plus the churn records
+  (``{"kind": "departure", ...}`` / ``{"kind": "move", ...}``).  Each
+  event is acknowledged with a decision line (``{"kind", "id", "shard",
+  "decision", "partner"}``; churn acks add ``"side"``), so clients can
+  measure end-to-end latency.  Churn events are routed to the shard
+  that owns the object (recorded at its arrival — moves never migrate a
+  shard, the hyperlocal compromise); churn for an object the gateway
+  never saw is a malformed line.  Control records: ``{"kind":
+  "snapshot"}`` returns the live snapshot, ``{"kind": "drain"}``
+  triggers the graceful drain and returns the final snapshot;
+  ``config`` records are acknowledged and skipped.  Malformed lines get
+  an ``{"error": ...}`` line, a counter bump, and the connection stays
+  open.
 * **Ordering** — a single dispatcher consumes the queue FIFO, so the
   gateway's ingest order is the stream's total order (Definition 4) and
   a single-shard gateway is bit-identical to an offline
@@ -60,8 +65,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.engine import Matcher
 from repro.errors import GatewayError, ReproError
-from repro.model.events import Arrival
-from repro.serving.replay import record_to_arrival
+from repro.model.events import ARRIVAL, DEPARTURE, StreamEvent
+from repro.serving.replay import record_to_event
 from repro.serving.shard import Shard, ShardRouter, build_shards
 from repro.spatial.grid import Grid
 
@@ -69,16 +74,95 @@ __all__ = ["Gateway", "GatewaySnapshot", "render_prometheus"]
 
 _DRAIN = object()  # queue sentinel: everything before it is processed first
 
-# Per-connection ack backlog (bytes) above which a client that stopped
-# reading is dropped — caps memory per slow client while keeping the
-# happy path free of per-ack drain overhead, and keeps the single
-# dispatcher from ever waiting on one connection.
-_ACK_BUFFER_LIMIT = 64 * 1024
+# Per-connection ack queue bound (acks).  A client that stops reading
+# accumulates acks in its own queue — never in the dispatcher — and is
+# dropped when the queue fills.
+_ACK_QUEUE_LIMIT = 4096
 
 # Gateway lifecycle states.
 _SERVING = "serving"
 _DRAINING = "draining"
 _CLOSED = "closed"
+
+
+class _AckChannel:
+    """Per-connection buffered ack writer.
+
+    The single dispatcher serves every connection, so it must never
+    block on (or even notice) one client's socket.  Each ingest
+    connection owns a bounded ack queue drained by its own writer task:
+    the dispatcher enqueues non-blocking, the writer task serialises,
+    writes and ``drain()``\\ s — so a slow reader stalls only its own
+    drain task, and TCP flow control applies per connection instead of
+    head-of-line blocking the dispatcher's ack fan-out.  When the queue
+    overflows, the client is dropped (``on_drop`` counts it) rather
+    than stalling anybody.
+    """
+
+    __slots__ = ("_writer", "_queue", "_task", "_on_drop", "_writing", "dropped")
+
+    def __init__(self, writer: asyncio.StreamWriter, on_drop, limit: int) -> None:
+        self._writer = writer
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=limit)
+        self._on_drop = on_drop
+        self._writing = False
+        self.dropped = False
+        self._task = asyncio.create_task(self._drain_loop())
+
+    def send(self, payload: dict) -> None:
+        """Enqueue one reply; never blocks, drops the client on overflow."""
+        if self.dropped or self._writer.is_closing():
+            return
+        try:
+            self._queue.put_nowait(payload)
+        except asyncio.QueueFull:
+            # The client stopped reading its acks: cap its memory and
+            # cut it loose — dispatch for everyone else continues.
+            self.dropped = True
+            self._on_drop()
+            self._writer.close()
+
+    @property
+    def busy(self) -> bool:
+        """Whether acks are still queued or being written."""
+        return self._writing or not self._queue.empty()
+
+    async def _drain_loop(self) -> None:
+        writer = self._writer
+        queue = self._queue
+        dumps = json.dumps
+        try:
+            while True:
+                payload = await queue.get()
+                self._writing = True
+                # Batch every immediately-available ack into one write +
+                # one drain: under flat-out ingest the dispatcher lands
+                # many acks per event-loop tick, and per-ack drains
+                # would let the queue overflow needlessly.
+                chunks = [dumps(payload).encode(), b"\n"]
+                while not queue.empty():
+                    chunks.append(dumps(queue.get_nowait()).encode())
+                    chunks.append(b"\n")
+                writer.write(b"".join(chunks))
+                await writer.drain()
+                self._writing = False
+        except (ConnectionError, OSError):
+            self._writing = False
+        except asyncio.CancelledError:
+            self._writing = False
+            raise
+
+    async def aclose(self, flush_deadline: float = 2.0) -> None:
+        """Stop the writer task, giving queued acks a moment to land."""
+        if not self.dropped and not self._writer.is_closing():
+            deadline = time.perf_counter() + flush_deadline
+            while self.busy and time.perf_counter() < deadline:
+                await asyncio.sleep(0.01)
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
 
 
 @dataclass(frozen=True)
@@ -97,10 +181,13 @@ class GatewaySnapshot:
             in ingest order).
         backpressure_waits: times a socket reader stalled on a full queue.
         backpressure_rejected: times :meth:`Gateway.offer` refused.
-        queue_depth: arrivals queued but not yet dispatched.
+        slow_consumer_drops: connections dropped because their ack queue
+            overflowed (the client stopped reading).
+        queue_depth: events queued but not yet dispatched.
         connections: currently open ingest connections.
         arrivals / workers / tasks / matched / ignored_workers /
             ignored_tasks: totals over all shards.
+        departed / moves: churn totals over all shards.
         shards: per-shard ``(arrivals, workers, tasks, matched)`` rows.
         wall_seconds: seconds since the gateway was constructed.
     """
@@ -124,6 +211,9 @@ class GatewaySnapshot:
     ignored_tasks: int
     shards: Tuple[Dict[str, int], ...]
     wall_seconds: float
+    departed: int = 0
+    moves: int = 0
+    slow_consumer_drops: int = 0
 
     def as_dict(self) -> dict:
         """A JSON-ready dict (the ``/snapshot`` payload)."""
@@ -146,6 +236,9 @@ class GatewaySnapshot:
             "matched": self.matched,
             "ignored_workers": self.ignored_workers,
             "ignored_tasks": self.ignored_tasks,
+            "departed": self.departed,
+            "moves": self.moves,
+            "slow_consumer_drops": self.slow_consumer_drops,
             "shards": list(self.shards),
             "wall_seconds": round(self.wall_seconds, 3),
         }
@@ -185,6 +278,13 @@ def render_prometheus(snapshot: GatewaySnapshot) -> str:
           "workers with no guide node", "counter")
     gauge("ftoa_gateway_ignored_tasks_total", snapshot.ignored_tasks,
           "tasks with no guide node", "counter")
+    gauge("ftoa_gateway_departed_total", snapshot.departed,
+          "objects that left unmatched via churn departures", "counter")
+    gauge("ftoa_gateway_moves_total", snapshot.moves,
+          "churn relocations of waiting objects", "counter")
+    gauge("ftoa_gateway_slow_consumer_drops_total",
+          snapshot.slow_consumer_drops,
+          "connections dropped on ack-queue overflow", "counter")
     gauge("ftoa_gateway_malformed_total", snapshot.malformed,
           "rejected input lines", "counter")
     gauge("ftoa_gateway_rejected_total", snapshot.rejected,
@@ -228,6 +328,8 @@ class Gateway:
         n_shards: shard count (1 reproduces the offline session exactly).
         queue_size: bound of the ingest queue (the backpressure limit).
         replicas: virtual nodes per shard on the consistent-hash ring.
+        ack_queue_size: per-connection ack buffer bound; a client whose
+            queue overflows (it stopped reading) is dropped.
 
     Usage::
 
@@ -248,13 +350,19 @@ class Gateway:
         n_shards: int = 1,
         queue_size: int = 1024,
         replicas: int = 64,
+        ack_queue_size: int = _ACK_QUEUE_LIMIT,
     ) -> None:
         if queue_size <= 0:
             raise GatewayError(f"queue_size must be positive, got {queue_size}")
+        if ack_queue_size <= 0:
+            raise GatewayError(
+                f"ack_queue_size must be positive, got {ack_queue_size}"
+            )
         self.grid = grid
         self.router = ShardRouter(grid, n_shards, replicas=replicas)
         self.shards: List[Shard] = build_shards(n_shards, matcher_factory)
         self.queue_size = int(queue_size)
+        self.ack_queue_size = int(ack_queue_size)
         self._queue: Optional[asyncio.Queue] = None
         self._state = _SERVING
         self._seq = 0
@@ -268,7 +376,11 @@ class Gateway:
         self.out_of_order = 0
         self.backpressure_waits = 0
         self.backpressure_rejected = 0
+        self.slow_consumer_drops = 0
         self.connections = 0
+        # Object → shard registry: churn events name an object, not a
+        # location, so they are routed to the shard that admitted it.
+        self._object_shard: Dict[Tuple[str, int], int] = {}
         # Async plumbing, created by start().
         self._dispatcher: Optional[asyncio.Task] = None
         self._drained: Optional[asyncio.Event] = None
@@ -276,6 +388,7 @@ class Gateway:
         self._final_snapshot: Optional[GatewaySnapshot] = None
         self._servers: List[asyncio.AbstractServer] = []
         self._conn_writers: set = set()
+        self._channels: set = set()
         self._inflight_replies = 0
         self._tcp_port: Optional[int] = None
         self._metrics_port: Optional[int] = None
@@ -381,10 +494,13 @@ class Gateway:
         for server in self._servers:
             server.close()
         # Handlers woken by the same drain event may still owe their
-        # client a reply (the drain-record snapshot); give those writes
+        # client a reply (the drain-record snapshot), and the buffered
+        # ack channels may still be writing queued acks out; give both
         # a moment to land before cutting connections.
         deadline = time.perf_counter() + 2.0
-        while self._inflight_replies and time.perf_counter() < deadline:
+        while (
+            self._inflight_replies or any(c.busy for c in self._channels)
+        ) and time.perf_counter() < deadline:
             await asyncio.sleep(0.01)
         # Python 3.12's Server.wait_closed() waits for every connection
         # handler to finish, and idle ingest handlers sit in readline()
@@ -420,41 +536,73 @@ class Gateway:
 
     # -- in-process ingest --------------------------------------------- #
 
-    async def submit(self, arrival: Arrival) -> None:
-        """Enqueue one arrival, waiting for queue space (backpressure)."""
+    def _route(self, event: StreamEvent) -> int:
+        """The shard one event belongs to (no side effects).
+
+        Arrivals route by location (consistent spatial hashing); churn
+        events route to the shard that admitted the object — a ``Move``
+        reindexes *within* its shard, the hyperlocal compromise.
+        Callers register accepted arrivals via :meth:`_register` (like
+        stamping, registration must cover *accepted* events only, or a
+        refused offer would leave a phantom object behind).
+
+        Raises:
+            GatewayError: for a churn event naming an unknown object.
+        """
+        if event.event_kind is ARRIVAL:
+            return self.router.shard_of(event)
+        shard_id = self._object_shard.get((event.kind, event.object_id))
+        if shard_id is None:
+            raise GatewayError(
+                f"{event.event_kind} of unknown {event.kind} "
+                f"{event.object_id}: the gateway never saw it arrive"
+            )
+        return shard_id
+
+    def _register(self, event: StreamEvent, shard_id: int) -> None:
+        """Record an accepted arrival's owning shard for churn routing."""
+        if event.event_kind is ARRIVAL:
+            self._object_shard[(event.kind, event.entity.id)] = shard_id
+
+    async def submit(self, event: StreamEvent) -> None:
+        """Enqueue one event, waiting for queue space (backpressure)."""
         self._require_started()
         if self._state != _SERVING:
             self.rejected += 1
             raise GatewayError("gateway is draining; push refused")
-        shard_id = self.router.shard_of(arrival)
+        shard_id = self._route(event)
         if self._queue.full():
             self.backpressure_waits += 1
         # Count before the (possibly blocking) put: the dispatcher may
-        # process this very arrival while we park, and a metrics scrape
+        # process this very event while we park, and a metrics scrape
         # must never observe processed > ingested.
-        self._stamp(arrival)
+        self._stamp(event)
+        self._register(event, shard_id)
         self.ingested += 1
-        await self._queue.put(("event", arrival, shard_id, None))
+        await self._queue.put(("event", event, shard_id, None))
 
-    def offer(self, arrival: Arrival) -> bool:
+    def offer(self, event: StreamEvent) -> bool:
         """Non-blocking enqueue; False when the backpressure limit is hit.
 
         Raises:
-            GatewayError: when the gateway is draining or closed.
+            GatewayError: when the gateway is draining or closed, or for
+                a churn event naming an unknown object.
         """
         self._require_started()
         if self._state != _SERVING:
             self.rejected += 1
             raise GatewayError("gateway is draining; push refused")
-        shard_id = self.router.shard_of(arrival)
+        shard_id = self._route(event)
         try:
-            self._queue.put_nowait(("event", arrival, shard_id, None))
+            self._queue.put_nowait(("event", event, shard_id, None))
         except asyncio.QueueFull:
             self.backpressure_rejected += 1
             return False
-        # Stamp only accepted arrivals, or refused offers would corrupt
-        # the out_of_order accounting.
-        self._stamp(arrival)
+        # Stamp and register only accepted events, or refused offers
+        # would corrupt the out_of_order accounting and leave phantom
+        # objects in the churn-routing registry.
+        self._stamp(event)
+        self._register(event, shard_id)
         self.ingested += 1
         return True
 
@@ -469,7 +617,7 @@ class Gateway:
     def _snapshot_live(self) -> GatewaySnapshot:
         rows = []
         arrivals = workers = tasks = matched = 0
-        ignored_workers = ignored_tasks = 0
+        ignored_workers = ignored_tasks = departed = moves = 0
         for shard in self.shards:
             snap = shard.snapshot()
             arrivals += snap.arrivals
@@ -478,6 +626,8 @@ class Gateway:
             matched += snap.matched
             ignored_workers += snap.ignored_workers
             ignored_tasks += snap.ignored_tasks
+            departed += snap.departed
+            moves += snap.moves
             rows.append(
                 {
                     "shard": shard.shard_id,
@@ -507,6 +657,9 @@ class Gateway:
             ignored_tasks=ignored_tasks,
             shards=tuple(rows),
             wall_seconds=time.perf_counter() - self._started,
+            departed=departed,
+            moves=moves,
+            slow_consumer_drops=self.slow_consumer_drops,
         )
 
     # -- internals ----------------------------------------------------- #
@@ -515,13 +668,13 @@ class Gateway:
         if self._dispatcher is None:
             raise GatewayError("gateway not started; call await start() first")
 
-    def _stamp(self, arrival: Arrival) -> Arrival:
-        """Track stream-order metadata for one accepted arrival."""
-        if self._last_time is not None and arrival.time < self._last_time:
+    def _stamp(self, event: StreamEvent) -> StreamEvent:
+        """Track stream-order metadata for one accepted event."""
+        if self._last_time is not None and event.time < self._last_time:
             self.out_of_order += 1
         else:
-            self._last_time = arrival.time
-        return arrival
+            self._last_time = event.time
+        return event
 
     def _next_seq(self) -> int:
         seq = self._seq
@@ -534,10 +687,13 @@ class Gateway:
         Error replies for rejected lines travel through the same queue
         ("error" items), so a connection's reply order always equals its
         send order — clients may pair replies to sends by position.  A
-        matcher that rejects an accepted arrival (e.g. an out-of-horizon
-        timestamp hitting ``Timeline.slot_of``) yields an error reply
-        and a ``malformed`` bump; one poisoned event must never kill the
-        dispatcher and hang every connection.
+        matcher that rejects an accepted event (an out-of-horizon
+        timestamp hitting ``Timeline.slot_of``, a churn event for an
+        object its shard never admitted) yields an error reply and a
+        ``malformed`` bump; one poisoned event must never kill the
+        dispatcher and hang every connection.  Replies go through each
+        connection's buffered :class:`_AckChannel`, so the dispatcher
+        never blocks on (or drops acks for) a slow reader.
         """
         queue = self._queue
         shards = self.shards
@@ -545,32 +701,48 @@ class Gateway:
             item = await queue.get()
             if item is _DRAIN:
                 break
-            tag, payload, shard_id, writer = item
+            tag, payload, shard_id, channel = item
             if tag == "event":
                 try:
                     decision = shards[shard_id].push(payload)
                 except Exception as exc:  # noqa: BLE001 — serve loop survives
                     self.malformed += 1
-                    reply = {"error": f"arrival rejected by shard: {exc}"}
+                    reply = {"error": f"event rejected by shard: {exc}"}
                 else:
                     self.processed += 1
-                    reply = {
-                        "kind": payload.kind,
-                        "id": payload.entity.id,
-                        "shard": shard_id,
-                        "decision": decision.action,
-                        "partner": decision.partner_id,
-                    }
+                    if payload.event_kind is ARRIVAL:
+                        reply = {
+                            "kind": payload.kind,
+                            "id": payload.entity.id,
+                            "shard": shard_id,
+                            "decision": decision.action,
+                            "partner": decision.partner_id,
+                        }
+                    else:
+                        if payload.event_kind is DEPARTURE:
+                            # A departed object can never legally churn
+                            # again: drop its registry entry.  Matched
+                            # and expired objects keep theirs — a
+                            # departure *after* a match is a legal,
+                            # common record (the worker leaves to serve)
+                            # and must keep getting its no-op ack, so
+                            # the registry grows with non-departed
+                            # objects rather than strictly live ones.
+                            self._object_shard.pop(
+                                (payload.kind, payload.object_id), None
+                            )
+                        reply = {
+                            "kind": payload.event_kind,
+                            "side": payload.kind,
+                            "id": payload.object_id,
+                            "shard": shard_id,
+                            "decision": decision.action,
+                            "partner": decision.partner_id,
+                        }
             else:
                 reply = payload
-            if writer is not None and not writer.is_closing():
-                writer.write(json.dumps(reply).encode() + b"\n")
-                if writer.transport.get_write_buffer_size() > _ACK_BUFFER_LIMIT:
-                    # The client stopped reading its acks.  The single
-                    # dispatcher serves every connection, so it never
-                    # waits on one: the backlogged client is dropped on
-                    # the spot and dispatch continues.
-                    writer.close()
+            if channel is not None:
+                channel.send(reply)
         for shard in shards:
             shard.finish()
         self._state = _CLOSED
@@ -579,11 +751,18 @@ class Gateway:
 
     # -- socket ingest ------------------------------------------------- #
 
+    def _count_slow_consumer_drop(self) -> None:
+        self.slow_consumer_drops += 1
+
     async def _handle_ingest(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections += 1
         self._conn_writers.add(writer)
+        channel = _AckChannel(
+            writer, self._count_slow_consumer_drop, self.ack_queue_size
+        )
+        self._channels.add(channel)
         try:
             while True:
                 line = await reader.readline()
@@ -592,7 +771,7 @@ class Gateway:
                 line = line.strip()
                 if not line or line.startswith(b"#"):
                     continue
-                await self._ingest_line(line, writer)
+                await self._ingest_line(line, channel)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -601,6 +780,10 @@ class Gateway:
             pass
         finally:
             self.connections -= 1
+            # Flush the channel's owed acks (the client may half-close
+            # after sending and still read replies), then tear down.
+            await channel.aclose()
+            self._channels.discard(channel)
             self._conn_writers.discard(writer)
             writer.close()
             try:
@@ -608,34 +791,31 @@ class Gateway:
             except (ConnectionError, OSError):
                 pass
 
-    async def _ingest_line(
-        self, line: bytes, writer: asyncio.StreamWriter
-    ) -> None:
+    async def _ingest_line(self, line: bytes, channel: _AckChannel) -> None:
         """Parse one line; enqueue an event or reply.
 
         Replies to data lines (decision acks *and* error lines) travel
         through the dispatcher queue while serving, and wait for the
-        drain to complete afterwards — either way a connection's replies
-        come back in exactly its send order.  Control records
-        (``config`` / ``snapshot`` / ``drain``) are answered out of
-        band: clients pairing replies to sends by position must not
-        interleave them with unacknowledged data lines (the drain
-        record, sent last, is safe — its reply is sequenced after the
-        flushed queue).
+        drain to complete afterwards; every reply then funnels through
+        the connection's FIFO ack channel — so a connection's *data*
+        replies come back in exactly its send order.  ``config`` /
+        ``snapshot`` control records are still answered out of band
+        (their reply enters the channel immediately, ahead of acks the
+        dispatcher has not produced yet): clients pairing replies to
+        sends by position must not interleave them with unacknowledged
+        data lines.  The ``drain`` record, sent last, is safe — its
+        reply is sequenced after the flushed queue.
         """
-
-        def reply_now(payload: dict) -> None:
-            writer.write(json.dumps(payload).encode() + b"\n")
 
         async def reply_in_order(payload: dict) -> None:
             if self._state != _SERVING:
                 # The dispatcher is draining or gone; items enqueued now
                 # would sit behind the _DRAIN sentinel forever.
-                await self._reply_after_drain(writer, payload)
+                await self._reply_after_drain(channel, payload)
                 return
             if self._queue.full():
                 self.backpressure_waits += 1
-            await self._queue.put(("error", payload, None, writer))
+            await self._queue.put(("error", payload, None, channel))
 
         try:
             record = json.loads(line)
@@ -652,25 +832,23 @@ class Gateway:
             # Streams dumped by `repro dump` open with a config record;
             # the gateway's discretisation is fixed at startup, so the
             # record is acknowledged and skipped.
-            reply_now({"kind": "config", "ok": True})
-            await writer.drain()
+            channel.send({"kind": "config", "ok": True})
             return
         if kind == "snapshot":
-            reply_now(self.snapshot().as_dict())
-            await writer.drain()
+            channel.send(self.snapshot().as_dict())
             return
         if kind == "drain":
-            await self._reply_after_drain(writer, None, trigger=True)
+            await self._reply_after_drain(channel, None, trigger=True)
             return
         if self._state != _SERVING:
             self.rejected += 1
             await self._reply_after_drain(
-                writer, {"error": "gateway is draining; arrival refused"}
+                channel, {"error": "gateway is draining; arrival refused"}
             )
             return
         try:
-            arrival = record_to_arrival(record, seq=self._seq)
-            shard_id = self.router.shard_of(arrival)
+            event = record_to_event(record, seq=self._seq)
+            shard_id = self._route(event)
         except (ReproError, ValueError, TypeError) as exc:
             self.malformed += 1
             await reply_in_order({"error": str(exc)})
@@ -680,23 +858,27 @@ class Gateway:
             self.backpressure_waits += 1
         # Counters first — see submit(): a scrape during a blocking put
         # must never observe processed > ingested.
-        self._stamp(arrival)
+        self._stamp(event)
+        self._register(event, shard_id)
         self.ingested += 1
-        await self._queue.put(("event", arrival, shard_id, writer))
+        await self._queue.put(("event", event, shard_id, channel))
 
     async def _reply_after_drain(
         self,
-        writer: asyncio.StreamWriter,
+        channel: _AckChannel,
         payload: Optional[dict],
         trigger: bool = False,
     ) -> None:
-        """Write a reply sequenced *after* the drained queue's acks.
+        """Send a reply sequenced *after* the drained queue's acks.
 
         Waiting for the drain keeps the per-connection send-order reply
-        contract once the dispatcher is gone.  ``trigger=True`` starts
-        the drain itself and replies with the final snapshot (the
-        ``drain`` control record); the in-flight counter lets
-        :meth:`close` hold connection teardown until these writes land.
+        contract once the dispatcher is gone (the dispatcher has already
+        funnelled every owed ack into the channel by then, so the FIFO
+        channel preserves the order).  ``trigger=True`` starts the drain
+        itself and replies with the final snapshot (the ``drain``
+        control record); the in-flight counter lets :meth:`close` hold
+        connection teardown until these replies are enqueued and the
+        channels flushed.
         """
         self._inflight_replies += 1
         try:
@@ -706,8 +888,7 @@ class Gateway:
                 await self._drained.wait()
                 snapshot = self._final_snapshot
             reply = snapshot.as_dict() if payload is None else payload
-            writer.write(json.dumps(reply).encode() + b"\n")
-            await writer.drain()
+            channel.send(reply)
         finally:
             self._inflight_replies -= 1
 

@@ -1,15 +1,17 @@
 """Async load generator for the serving gateway.
 
-Replays a JSONL arrival stream (or a synthetic instance) against a
-running :class:`~repro.serving.gateway.Gateway` at a target rate, and
-reports the achieved ingest throughput plus end-to-end latency
-percentiles (send → decision-ack round trip, which includes queueing,
-shard routing and the matcher's decision).
+Replays a JSONL event stream (or a synthetic instance, optionally with
+sampled churn — ``repro loadgen --churn``) against a running
+:class:`~repro.serving.gateway.Gateway` at a target rate, and reports
+the achieved ingest throughput plus end-to-end latency percentiles
+(send → decision-ack round trip, which includes queueing, shard routing
+and the matcher's decision).
 
-The client speaks the gateway's line protocol: one arrival JSON object
-per line, one reply line back per arrival (a decision ack or an error
-line — the gateway routes both through its FIFO dispatcher, so replies
-come back in exactly the send order), plus an optional trailing
+The client speaks the gateway's line protocol: one event JSON object
+per line — arrivals and churn records alike — one reply line back per
+event (a decision ack or an error line — the gateway routes both
+through its FIFO dispatcher and the connection's ack channel, so
+replies come back in exactly the send order), plus an optional trailing
 ``{"kind": "drain"}`` control record answered with the final gateway
 snapshot.  The reader therefore matches reply ``k`` to send ``k`` by
 position.
@@ -25,8 +27,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import GatewayError
-from repro.model.events import Arrival
-from repro.serving.replay import arrival_to_record
+from repro.model.events import StreamEvent
+from repro.serving.replay import event_to_record
 
 __all__ = ["LoadgenReport", "run_loadgen", "loadgen"]
 
@@ -95,7 +97,7 @@ class LoadgenReport:
 
 
 async def run_loadgen(
-    events: Iterable[Arrival],
+    events: Iterable[StreamEvent],
     host: str = "127.0.0.1",
     port: Optional[int] = None,
     unix_path: Optional[str] = None,
@@ -125,7 +127,7 @@ async def run_loadgen(
     else:
         reader, writer = await asyncio.open_connection(host, port)
 
-    lines = [json.dumps(arrival_to_record(event)).encode() + b"\n" for event in events]
+    lines = [json.dumps(event_to_record(event)).encode() + b"\n" for event in events]
     send_times: List[float] = []
     latencies: List[float] = []
     acked = 0
@@ -211,7 +213,7 @@ async def run_loadgen(
 
 
 def loadgen(
-    events: Iterable[Arrival],
+    events: Iterable[StreamEvent],
     host: str = "127.0.0.1",
     port: Optional[int] = None,
     unix_path: Optional[str] = None,

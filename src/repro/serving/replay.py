@@ -1,9 +1,14 @@
-"""JSONL arrival streams: dump, load, and self-guided replay.
+"""JSONL event streams: dump, load, and self-guided replay.
 
-One platform arrival per line::
+One platform event per line.  Arrivals carry the full entity::
 
     {"kind": "worker", "id": 0, "x": 3.2, "y": 1.5, "start": 0.0, "duration": 240.0}
     {"kind": "task",   "id": 0, "x": 7.0, "y": 2.5, "start": 5.0, "duration": 120.0}
+
+Churn events reference a previously-arrived object by (side, id)::
+
+    {"kind": "departure", "side": "worker", "id": 0, "time": 90.0}
+    {"kind": "move", "side": "task", "id": 0, "time": 42.0, "x": 9.0, "y": 1.0}
 
 Lines must be time-ordered (FTOA's totally-ordered stream); blank lines
 and ``#`` comments are skipped.  An optional leading ``config`` record
@@ -32,13 +37,24 @@ import numpy as np
 from repro.core.guide import OfflineGuide, build_guide
 from repro.errors import SimulationError
 from repro.model.entities import Task, Worker
-from repro.model.events import TASK, WORKER, Arrival
+from repro.model.events import (
+    DEPARTURE,
+    MOVE,
+    TASK,
+    WORKER,
+    Arrival,
+    Departure,
+    Move,
+    StreamEvent,
+)
 from repro.spatial.geometry import Point
 from repro.spatial.grid import Grid
 from repro.spatial.timeslots import Timeline
 from repro.spatial.travel import TravelModel
 
 __all__ = [
+    "event_to_record",
+    "record_to_event",
     "arrival_to_record",
     "record_to_arrival",
     "dump_stream",
@@ -48,13 +64,31 @@ __all__ = [
 ]
 
 _REQUIRED_FIELDS = ("id", "x", "y", "start", "duration")
+_CHURN_REQUIRED = {DEPARTURE: ("side", "id", "time"), MOVE: ("side", "id", "time", "x", "y")}
 
 
-def arrival_to_record(arrival: Arrival) -> dict:
-    """One arrival as a JSON-serialisable record."""
-    entity = arrival.entity
+def event_to_record(event: StreamEvent) -> dict:
+    """One stream event as a JSON-serialisable record."""
+    kind = event.event_kind
+    if kind is DEPARTURE:
+        return {
+            "kind": DEPARTURE,
+            "side": event.kind,
+            "id": event.object_id,
+            "time": event.time,
+        }
+    if kind is MOVE:
+        return {
+            "kind": MOVE,
+            "side": event.kind,
+            "id": event.object_id,
+            "time": event.time,
+            "x": event.location.x,
+            "y": event.location.y,
+        }
+    entity = event.entity
     return {
-        "kind": arrival.kind,
+        "kind": event.kind,
         "id": entity.id,
         "x": entity.location.x,
         "y": entity.location.y,
@@ -63,13 +97,45 @@ def arrival_to_record(arrival: Arrival) -> dict:
     }
 
 
-def record_to_arrival(record: dict, seq: int) -> Arrival:
-    """Rebuild one arrival from its JSONL record.
+# Historical name, kept for callers that only ship arrivals.
+arrival_to_record = event_to_record
+
+
+def _record_to_churn(record: dict, seq: int) -> StreamEvent:
+    kind = record["kind"]
+    missing = [field for field in _CHURN_REQUIRED[kind] if field not in record]
+    if missing:
+        raise SimulationError(
+            f"stream record missing fields {missing} (record: {record!r})"
+        )
+    side = record["side"]
+    if side not in (WORKER, TASK):
+        raise SimulationError(f"unknown churn side {side!r} in stream record")
+    if kind == DEPARTURE:
+        return Departure(
+            time=float(record["time"]),
+            seq=seq,
+            kind=side,
+            object_id=int(record["id"]),
+        )
+    return Move(
+        time=float(record["time"]),
+        seq=seq,
+        kind=side,
+        object_id=int(record["id"]),
+        location=Point(float(record["x"]), float(record["y"])),
+    )
+
+
+def record_to_event(record: dict, seq: int) -> StreamEvent:
+    """Rebuild one stream event from its JSONL record.
 
     Raises:
         SimulationError: for unknown kinds or missing fields.
     """
     kind = record.get("kind")
+    if kind in (DEPARTURE, MOVE):
+        return _record_to_churn(record, seq)
     if kind not in (WORKER, TASK):
         raise SimulationError(f"unknown arrival kind {kind!r} in stream record")
     missing = [field for field in _REQUIRED_FIELDS if field not in record]
@@ -85,6 +151,10 @@ def record_to_arrival(record: dict, seq: int) -> Arrival:
         duration=float(record["duration"]),
     )
     return Arrival(time=entity.start, seq=seq, kind=kind, entity=entity)
+
+
+# Historical name, kept for arrival-only callers.
+record_to_arrival = record_to_event
 
 
 def stream_config(
@@ -109,37 +179,38 @@ def stream_config(
 
 
 def dump_stream(
-    events: Iterable[Arrival],
+    events: Iterable[StreamEvent],
     fp: IO[str],
     config: Optional[dict] = None,
 ) -> int:
     """Write a stream (optionally preceded by a config record) as JSONL.
 
-    Returns the number of arrival lines written.
+    Returns the number of event lines written (arrivals and churn).
     """
     if config is not None:
         fp.write(json.dumps(config) + "\n")
     count = 0
-    for arrival in events:
-        fp.write(json.dumps(arrival_to_record(arrival)) + "\n")
+    for event in events:
+        fp.write(json.dumps(event_to_record(event)) + "\n")
         count += 1
     return count
 
 
-def load_stream(fp: IO[str]) -> Tuple[Optional[dict], List[Arrival]]:
-    """Read a JSONL stream: ``(config record or None, arrivals)``.
+def load_stream(fp: IO[str]) -> Tuple[Optional[dict], List[StreamEvent]]:
+    """Read a JSONL stream: ``(config record or None, events)``.
 
-    Arrival order is validated (times must be non-decreasing — a
+    Event order is validated (times must be non-decreasing — a
     totally-ordered stream is the online model's contract); sequence
-    numbers are assigned in file order.
+    numbers are assigned in file order.  Churn records (``departure`` /
+    ``move``) load into their event classes alongside arrivals.
 
     Raises:
         SimulationError: for malformed JSON, unknown kinds, missing
-            fields, out-of-order arrivals, or a config record after the
+            fields, out-of-order events, or a config record after the
             first data line.
     """
     config: Optional[dict] = None
-    events: List[Arrival] = []
+    events: List[StreamEvent] = []
     last_time: Optional[float] = None
     for lineno, line in enumerate(fp, start=1):
         line = line.strip()
@@ -158,19 +229,19 @@ def load_stream(fp: IO[str]) -> Tuple[Optional[dict], List[Arrival]]:
                 )
             config = record
             continue
-        arrival = record_to_arrival(record, seq=len(events))
-        if last_time is not None and arrival.time < last_time:
+        event = record_to_event(record, seq=len(events))
+        if last_time is not None and event.time < last_time:
             raise SimulationError(
-                f"line {lineno}: arrival at t={arrival.time} after t={last_time} "
+                f"line {lineno}: event at t={event.time} after t={last_time} "
                 "(streams must be time-ordered)"
             )
-        last_time = arrival.time
-        events.append(arrival)
+        last_time = event.time
+        events.append(event)
     return config, events
 
 
 def build_self_guide(
-    events: Iterable[Arrival],
+    events: Iterable[StreamEvent],
     grid: Grid,
     timeline: Timeline,
     travel: TravelModel,
@@ -179,8 +250,10 @@ def build_self_guide(
 
     This is the perfect-prediction oracle for a replayed stream: the
     (slot, area) tensors are the exact arrival counts, and the guide's
-    representative durations are the per-side means.  Real deployments
-    substitute a forecast; the self-guide is the upper bound it chases.
+    representative durations are the per-side means.  Churn events are
+    skipped — the guide predicts *arrivals*, and Algorithm 1 has no
+    departure channel.  Real deployments substitute a forecast; the
+    self-guide is the upper bound it chases.
 
     Raises:
         SimulationError: for an empty stream (no counts to build from).
@@ -190,6 +263,8 @@ def build_self_guide(
     worker_durations: List[float] = []
     task_durations: List[float] = []
     for arrival in events:
+        if not isinstance(arrival, Arrival):
+            continue
         entity = arrival.entity
         slot = timeline.slot_of(entity.start)
         area = grid.area_of(entity.location)

@@ -6,12 +6,13 @@ platform loop, decoupled from where arrivals come from:
 
 * a pregenerated :class:`~repro.model.instance.Instance` (the experiment
   harness's case — :class:`InstanceSource`);
-* any iterator of :class:`~repro.model.events.Arrival` objects — a live
-  generator from :mod:`repro.streams`, a JSONL replay
-  (:mod:`repro.serving.replay`), a network feed (:class:`IteratorSource`);
+* any iterator of :data:`~repro.model.events.StreamEvent` objects —
+  arrivals plus churn (``Departure`` / ``Move``) — from a live generator
+  in :mod:`repro.streams`, a JSONL replay (:mod:`repro.serving.replay`),
+  or a network feed (:class:`IteratorSource`);
 * or no source at all: the push API (:meth:`MatchingSession.begin` /
   :meth:`~MatchingSession.push` / :meth:`~MatchingSession.finish`) lets a
-  caller hand arrivals over one by one as they happen.
+  caller hand events over one by one as they happen.
 
 Sessions sample :class:`SessionSnapshot` metrics mid-stream (every
 ``snapshot_every`` arrivals, plus a final end-of-stream sample when it
@@ -37,7 +38,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Union
 from repro.core.engine import Matcher, TypedMatcher
 from repro.core.outcome import AssignmentOutcome, Decision
 from repro.errors import ConfigurationError
-from repro.model.events import Arrival
+from repro.model.events import ARRIVAL, Arrival, StreamEvent
 from repro.model.instance import Instance
 
 __all__ = [
@@ -55,12 +56,14 @@ class SessionSnapshot:
     """Point-in-time metrics of a running (or finished) session.
 
     Attributes:
-        arrivals: arrivals observed so far.
+        arrivals: arrivals observed so far (churn events not included).
         workers / tasks: per-kind arrival counts.
         matched: committed pairs so far.
         ignored_workers / ignored_tasks: objects with no guide node.
-        stream_time: the last observed arrival's platform time (None
-            before the first arrival).
+        departed: objects that left unmatched via churn departures.
+        moves: effective churn relocations observed.
+        stream_time: the last observed event's platform time (None
+            before the first event).
         wall_seconds: wall-clock seconds since the session began.
     """
 
@@ -72,15 +75,22 @@ class SessionSnapshot:
     ignored_tasks: int
     stream_time: Optional[float]
     wall_seconds: float
+    departed: int = 0
+    moves: int = 0
 
     def summary(self) -> str:
         """One human-readable progress line."""
         when = "-" if self.stream_time is None else f"{self.stream_time:g}"
+        churn = (
+            f" departed={self.departed} moves={self.moves}"
+            if self.departed or self.moves
+            else ""
+        )
         return (
             f"[t={when} arrivals={self.arrivals} "
             f"(w={self.workers}, r={self.tasks}) matched={self.matched} "
-            f"ignored={self.ignored_workers}/{self.ignored_tasks} "
-            f"wall={self.wall_seconds:.2f}s]"
+            f"ignored={self.ignored_workers}/{self.ignored_tasks}"
+            f"{churn} wall={self.wall_seconds:.2f}s]"
         )
 
 
@@ -96,10 +106,10 @@ class IteratorSource:
     re-iterable (list) if the session will be run repeatedly.
     """
 
-    def __init__(self, events: Iterable[Arrival]) -> None:
+    def __init__(self, events: Iterable[StreamEvent]) -> None:
         self._events = events
 
-    def __iter__(self) -> Iterator[Arrival]:
+    def __iter__(self) -> Iterator[StreamEvent]:
         return iter(self._events)
 
 
@@ -145,6 +155,8 @@ def _progressed(last: SessionSnapshot, current: SessionSnapshot) -> bool:
         or current.tasks != last.tasks
         or current.ignored_workers != last.ignored_workers
         or current.ignored_tasks != last.ignored_tasks
+        or current.departed != last.departed
+        or current.moves != last.moves
     )
 
 
@@ -213,13 +225,25 @@ class MatchingSession:
         self._last_time = None
         self._started = time.perf_counter()
 
-    def push(self, arrival: Arrival) -> Decision:
-        """Feed one arrival; returns the matcher's immediate decision."""
-        decision = self.matcher.observe(arrival)
-        self._arrivals += 1
-        self._last_time = arrival.time
+    def push(self, event: StreamEvent) -> Decision:
+        """Feed one stream event; returns the matcher's decision.
+
+        Accepts the full event union — arrivals and churn
+        (``Departure`` / ``Move``).  Only arrivals advance the arrival
+        counter (and therefore the periodic snapshot cadence); churn
+        events still advance :attr:`SessionSnapshot.stream_time`.
+
+        Raises:
+            SimulationError: for a churn event referencing an object the
+                matcher never saw arrive.
+        """
+        decision = self.matcher.observe(event)
+        is_arrival = event.event_kind is ARRIVAL
+        if is_arrival:
+            self._arrivals += 1
+        self._last_time = event.time
         every = self.snapshot_every
-        if every is not None and self._arrivals % every == 0:
+        if every is not None and is_arrival and self._arrivals % every == 0:
             self._emit()
         return decision
 
@@ -307,6 +331,8 @@ class MatchingSession:
             tasks = len(outcome.task_decisions)
             ignored_workers = outcome.ignored_workers
             ignored_tasks = outcome.ignored_tasks
+            departed = outcome.departed_workers + outcome.departed_tasks
+            moves = outcome.moves
         else:
             matcher = self.matcher
             matched = matcher.matched
@@ -314,6 +340,8 @@ class MatchingSession:
             tasks = matcher.tasks_seen
             ignored_workers = matcher.ignored_workers
             ignored_tasks = matcher.ignored_tasks
+            departed = matcher.departed_workers + matcher.departed_tasks
+            moves = matcher.moves
         wall = 0.0 if self._started is None else time.perf_counter() - self._started
         return SessionSnapshot(
             arrivals=self._arrivals,
@@ -324,6 +352,8 @@ class MatchingSession:
             ignored_tasks=ignored_tasks,
             stream_time=self._last_time,
             wall_seconds=wall,
+            departed=departed,
+            moves=moves,
         )
 
     def _emit(self) -> None:

@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.engine import Matcher
 from repro.core.outcome import AssignmentOutcome, Decision
 from repro.errors import ConfigurationError
-from repro.model.events import Arrival
+from repro.model.events import ARRIVAL, Arrival, StreamEvent
 from repro.serving.session import MatchingSession, SessionSnapshot
 from repro.spatial.grid import Grid
 
@@ -147,10 +147,11 @@ class Shard:
         """Whether :meth:`finish` has run."""
         return self.outcome is not None
 
-    def push(self, arrival: Arrival) -> Decision:
-        """Feed one arrival to the shard's session."""
-        decision = self.session.push(arrival)
-        self.arrivals += 1
+    def push(self, event: StreamEvent) -> Decision:
+        """Feed one stream event (arrival or churn) to the session."""
+        decision = self.session.push(event)
+        if event.event_kind is ARRIVAL:
+            self.arrivals += 1
         return decision
 
     def finish(self) -> AssignmentOutcome:

@@ -11,8 +11,11 @@
   predictors and evaluation-day instances.
 * :mod:`repro.streams.oracle` — prediction oracles: exact expected counts
   and perturbed variants for the prediction-noise ablation.
+* :mod:`repro.streams.churn` — sampled availability windows: departures
+  and moves merged into any arrival stream at a configurable churn rate.
 """
 
+from repro.streams.churn import ChurnConfig, sample_churn, with_churn
 from repro.streams.distributions import TruncatedNormal
 from repro.streams.oracle import exact_oracle, perturbed_oracle, rounded_counts
 from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
@@ -20,6 +23,9 @@ from repro.streams.taxi import CityConfig, TaxiCity, beijing_config, hangzhou_co
 
 __all__ = [
     "TruncatedNormal",
+    "ChurnConfig",
+    "sample_churn",
+    "with_churn",
     "SyntheticConfig",
     "SyntheticGenerator",
     "CityConfig",

@@ -1,0 +1,128 @@
+"""Churn generation: sampled availability windows over any stream.
+
+DATA-WA-style dynamic worker availability and the hyperlocal serving
+frameworks treat churn — workers logging off, objects relocating — as
+first-class stream events.  This module samples churn for an existing
+arrival stream so experiments can sweep a *churn rate* the same way they
+sweep radius or population scale:
+
+* with probability ``departure_rate`` an entity's availability window is
+  truncated: it departs at a uniform instant inside ``(start,
+  deadline)`` instead of surviving to its deadline;
+* with probability ``move_rate`` an entity relocates once, at a uniform
+  instant inside its (possibly truncated) window, to a uniform location
+  in the grid bounds.
+
+Sampling is deterministic in ``(stream, config)`` — the RNG is derived
+from the config seed and consumed in stream order — and a zero-rate
+config yields no events, so churn-free pipelines are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.model.events import Arrival, Departure, Move, StreamEvent, merge_churn
+from repro.seeding import derive_random
+from repro.spatial.geometry import BoundingBox, Point
+
+__all__ = ["ChurnConfig", "sample_churn", "with_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of one churn setting.
+
+    Attributes:
+        departure_rate: probability an entity departs before its
+            deadline (its availability window is truncated).
+        move_rate: probability an entity relocates once mid-window.
+        seed: RNG seed; sampling is deterministic in it.
+    """
+
+    departure_rate: float = 0.0
+    move_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("departure_rate", "move_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+
+    @property
+    def any_churn(self) -> bool:
+        """Whether this config can produce any churn events."""
+        return self.departure_rate > 0.0 or self.move_rate > 0.0
+
+
+def sample_churn(
+    stream: Sequence[Arrival],
+    bounds: BoundingBox,
+    config: ChurnConfig,
+) -> List[StreamEvent]:
+    """Sample departures and moves for every arrival in ``stream``.
+
+    For each entity the departure is sampled first (truncating the
+    availability window), then the move inside the surviving window —
+    so a moved-and-departing entity always moves before it departs.
+    Move destinations are uniform in ``bounds``.
+
+    Returns the churn events alone (time-unsorted);
+    :func:`repro.model.events.merge_churn` or
+    :func:`with_churn` interleaves them into the stream.
+    """
+    if not config.any_churn:
+        return []
+    rng = derive_random(config.seed, "churn")
+    random = rng.random
+    uniform = rng.uniform
+    events: List[StreamEvent] = []
+    for arrival in stream:
+        entity = arrival.entity
+        end = entity.deadline
+        departs = random() < config.departure_rate
+        if departs:
+            end = entity.start + random() * entity.duration
+        if random() < config.move_rate:
+            move_time = entity.start + random() * (end - entity.start)
+            location = Point(
+                uniform(bounds.x_min, bounds.x_max),
+                uniform(bounds.y_min, bounds.y_max),
+            )
+            events.append(
+                Move(
+                    time=move_time,
+                    seq=0,
+                    kind=arrival.kind,
+                    object_id=entity.id,
+                    location=location,
+                )
+            )
+        if departs:
+            events.append(
+                Departure(
+                    time=end, seq=0, kind=arrival.kind, object_id=entity.id
+                )
+            )
+    return events
+
+
+def with_churn(
+    stream: Sequence[Arrival],
+    bounds: BoundingBox,
+    config: ChurnConfig,
+) -> List[StreamEvent]:
+    """An event stream: ``stream`` with sampled churn merged in.
+
+    A zero-rate config returns the input arrivals unchanged (same
+    objects, same order) — the churn-free parity guarantee.
+    """
+    churn = sample_churn(stream, bounds, config)
+    if not churn:
+        return list(stream)
+    return merge_churn(stream, churn)

@@ -1,0 +1,690 @@
+"""Tests for the churn event model: Departure/Move through every layer.
+
+Covers the event dataclasses and stream merging, the churn generator,
+every matcher's churn reactions (depart-before-arrive rejection,
+depart-after-match no-op, move-past-deadline, node/slot/pool freeing),
+the JSONL codec roundtrip of all three event kinds, the session layer's
+churn counters, and the churn-free parity gate (zero-rate configs leave
+every stream and matcher bit-identical).
+"""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.core.engine import (
+    STREAM_ALGORITHMS,
+    BatchMatcher,
+    GreedyMatcher,
+    PolarMatcher,
+    PolarOpMatcher,
+    TgoaMatcher,
+    create_matcher,
+)
+from repro.core.outcome import DEPARTED, Decision
+from repro.errors import ConfigurationError, SimulationError
+from repro.model.entities import Task, Worker
+from repro.model.events import (
+    TASK,
+    WORKER,
+    Arrival,
+    Departure,
+    Move,
+    build_stream,
+    merge_churn,
+    resample_order,
+)
+from repro.serving.replay import (
+    build_self_guide,
+    dump_stream,
+    event_to_record,
+    load_stream,
+    record_to_event,
+)
+from repro.serving.session import IteratorSource, MatchingSession
+from repro.spatial.geometry import Point
+from repro.spatial.grid import Grid
+from repro.spatial.timeslots import Timeline
+from repro.spatial.travel import TravelModel
+from repro.streams.churn import ChurnConfig, sample_churn, with_churn
+
+
+def _worker(ident, start, duration=10.0, x=0.0, y=0.0):
+    return Worker(id=ident, location=Point(x, y), start=start, duration=duration)
+
+
+def _task(ident, start, duration=10.0, x=0.0, y=0.0):
+    return Task(id=ident, location=Point(x, y), start=start, duration=duration)
+
+
+def _arrival(entity, kind):
+    return Arrival(time=entity.start, seq=0, kind=kind, entity=entity)
+
+
+# ---------------------------------------------------------------------- #
+# Event dataclasses and stream merging
+# ---------------------------------------------------------------------- #
+
+
+class TestEvents:
+    def test_departure_rejects_bad_side(self):
+        with pytest.raises(SimulationError):
+            Departure(time=1.0, seq=0, kind="drone", object_id=0)
+
+    def test_move_rejects_bad_side(self):
+        with pytest.raises(SimulationError):
+            Move(time=1.0, seq=0, kind="drone", object_id=0, location=Point(0, 0))
+
+    def test_event_kind_tags(self):
+        departure = Departure(time=1.0, seq=0, kind=WORKER, object_id=0)
+        move = Move(time=1.0, seq=0, kind=TASK, object_id=0, location=Point(1, 1))
+        arrival = _arrival(_worker(0, 1.0), WORKER)
+        assert arrival.event_kind == "arrival"
+        assert departure.event_kind == "departure"
+        assert move.event_kind == "move"
+        assert departure.is_worker and not departure.is_task
+        assert move.is_task and not move.is_worker
+        assert arrival.object_id == 0
+
+    def test_merge_orders_churn_after_same_time_arrivals(self):
+        stream = build_stream([_worker(0, 2.0)], [_task(0, 2.0)])
+        churn = [
+            Departure(time=2.0, seq=0, kind=WORKER, object_id=0),
+            Move(time=2.0, seq=0, kind=TASK, object_id=0, location=Point(1, 1)),
+        ]
+        merged = merge_churn(stream, churn)
+        kinds = [event.event_kind for event in merged]
+        assert kinds == ["arrival", "arrival", "move", "departure"]
+        assert [event.seq for event in merged] == [0, 1, 2, 3]
+
+    def test_build_stream_without_churn_is_bit_identical(self):
+        workers = [_worker(i, float(i)) for i in range(4)]
+        tasks = [_task(i, float(i) + 0.5) for i in range(4)]
+        assert build_stream(workers, tasks) == build_stream(workers, tasks, churn=())
+
+    def test_build_stream_merges_churn_by_time(self):
+        workers = [_worker(0, 1.0, duration=20.0)]
+        tasks = [_task(0, 5.0)]
+        churn = [Departure(time=3.0, seq=0, kind=WORKER, object_id=0)]
+        merged = build_stream(workers, tasks, churn=churn)
+        assert [event.time for event in merged] == [1.0, 3.0, 5.0]
+        assert merged[1].event_kind == "departure"
+
+    def test_resample_keeps_churn_after_arrivals_in_tie_groups(self):
+        workers = [_worker(i, 2.0) for i in range(3)]
+        stream = build_stream(workers, [])
+        churn = [Departure(time=2.0, seq=0, kind=WORKER, object_id=1)]
+        merged = merge_churn(stream, churn)
+        shuffled = resample_order(merged, random.Random(3))
+        assert shuffled[-1].event_kind == "departure"
+        assert [event.seq for event in shuffled] == list(range(4))
+
+    def test_resample_never_reorders_a_move_behind_its_departure(self):
+        """Same-instant move+departure of one object must keep the
+        move-before-depart order through any reshuffle."""
+        workers = [_worker(i, 2.0, duration=10.0) for i in range(4)]
+        stream = build_stream(workers, [])
+        churn = [
+            Move(time=5.0, seq=0, kind=WORKER, object_id=0, location=Point(1, 1)),
+            Departure(time=5.0, seq=0, kind=WORKER, object_id=0),
+            Move(time=5.0, seq=0, kind=WORKER, object_id=2, location=Point(2, 2)),
+            Departure(time=5.0, seq=0, kind=WORKER, object_id=2),
+        ]
+        merged = merge_churn(stream, churn)
+        for seed in range(20):
+            shuffled = resample_order(merged, random.Random(seed))
+            kinds = [event.event_kind for event in shuffled[-4:]]
+            assert kinds == ["move", "move", "departure", "departure"], kinds
+
+    def test_resample_matches_seed_behaviour_on_churn_free_streams(self):
+        workers = [_worker(i, float(i // 2)) for i in range(6)]
+        stream = build_stream(workers, [])
+        a = resample_order(stream, random.Random(5))
+        b = resample_order(stream, random.Random(5))
+        assert a == b
+
+
+# ---------------------------------------------------------------------- #
+# The churn generator
+# ---------------------------------------------------------------------- #
+
+
+class TestChurnGenerator:
+    def test_zero_rates_sample_nothing(self, small_instance):
+        config = ChurnConfig()
+        assert not config.any_churn
+        assert sample_churn(
+            small_instance.arrival_stream(), small_instance.grid.bounds, config
+        ) == []
+
+    def test_zero_rate_stream_is_the_arrival_stream(self, small_instance):
+        stream = small_instance.churn_stream(ChurnConfig())
+        assert stream == small_instance.arrival_stream()
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(departure_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(move_rate=-0.1)
+
+    def test_sampling_is_deterministic(self, small_instance):
+        config = ChurnConfig(departure_rate=0.3, move_rate=0.2, seed=9)
+        a = small_instance.churn_stream(config)
+        b = small_instance.churn_stream(config)
+        assert a == b
+
+    def test_churn_events_stay_inside_windows_and_bounds(self, small_instance):
+        config = ChurnConfig(departure_rate=0.5, move_rate=0.5, seed=2)
+        stream = small_instance.churn_stream(config)
+        departures = [e for e in stream if isinstance(e, Departure)]
+        moves = [e for e in stream if isinstance(e, Move)]
+        assert departures and moves
+        entities = {
+            (WORKER, w.id): w for w in small_instance.workers
+        } | {(TASK, t.id): t for t in small_instance.tasks}
+        bounds = small_instance.grid.bounds
+        for event in departures + moves:
+            entity = entities[(event.kind, event.object_id)]
+            assert entity.start <= event.time <= entity.deadline
+        for event in moves:
+            assert bounds.contains(event.location)
+        times = [event.time for event in stream]
+        assert times == sorted(times)
+
+    def test_move_precedes_departure_per_entity(self, small_instance):
+        config = ChurnConfig(departure_rate=1.0, move_rate=1.0, seed=4)
+        stream = small_instance.churn_stream(config)
+        seen_departed = set()
+        for event in stream:
+            key = (event.kind, getattr(event, "object_id", None))
+            if isinstance(event, Departure):
+                seen_departed.add(key)
+            elif isinstance(event, Move):
+                assert key not in seen_departed
+
+
+# ---------------------------------------------------------------------- #
+# Matcher churn edge cases
+# ---------------------------------------------------------------------- #
+
+
+def _matchers(small_instance, small_guide):
+    travel = small_instance.travel
+    grid = small_instance.grid
+    return [
+        GreedyMatcher(travel, indexed=False),
+        GreedyMatcher(travel, grid=grid, indexed=True),
+        BatchMatcher(travel, grid, window_minutes=5.0),
+        TgoaMatcher(travel, grid=grid, halfway=0, indexed=True),
+        TgoaMatcher(travel, grid=grid, halfway=10**9, indexed=False),
+        PolarMatcher(small_guide),
+        PolarOpMatcher(small_guide),
+    ]
+
+
+class TestMatcherChurnEdges:
+    def test_depart_before_arrive_rejected(self, small_instance, small_guide):
+        for matcher in _matchers(small_instance, small_guide):
+            matcher.begin()
+            with pytest.raises(SimulationError):
+                matcher.observe(Departure(time=0.0, seq=0, kind=WORKER, object_id=99))
+
+    def test_move_before_arrive_rejected(self, small_instance, small_guide):
+        for matcher in _matchers(small_instance, small_guide):
+            matcher.begin()
+            with pytest.raises(SimulationError):
+                matcher.observe(
+                    Move(time=0.0, seq=0, kind=TASK, object_id=99,
+                         location=Point(1, 1))
+                )
+
+    def test_depart_after_match_is_a_noop(self):
+        # Co-located worker and task match immediately under greedy.
+        travel = TravelModel(velocity=1.0)
+        matcher = GreedyMatcher(travel, indexed=False)
+        matcher.begin()
+        matcher.observe(_arrival(_worker(0, 1.0), WORKER))
+        decision = matcher.observe(_arrival(_task(0, 2.0), TASK))
+        assert decision.action == Decision.ASSIGNED
+        reply = matcher.observe(Departure(time=3.0, seq=2, kind=WORKER, object_id=0))
+        assert reply.action == Decision.ASSIGNED  # the pair stands
+        outcome = matcher.finish()
+        assert outcome.matching.size == 1
+        assert outcome.departed_workers == 0
+
+    def test_departure_of_waiting_worker_frees_it(self):
+        travel = TravelModel(velocity=1.0)
+        matcher = GreedyMatcher(travel, indexed=False)
+        matcher.begin()
+        matcher.observe(_arrival(_worker(0, 1.0, duration=100.0), WORKER))
+        reply = matcher.observe(Departure(time=2.0, seq=1, kind=WORKER, object_id=0))
+        assert reply is DEPARTED
+        # The departed worker can no longer serve the co-located task.
+        decision = matcher.observe(_arrival(_task(0, 3.0), TASK))
+        assert decision.action == Decision.WAIT
+        outcome = matcher.finish()
+        assert outcome.matching.size == 0
+        assert outcome.departed_workers == 1
+        assert outcome.worker_decisions[0] is DEPARTED
+
+    def test_double_departure_is_a_noop(self):
+        travel = TravelModel(velocity=1.0)
+        matcher = GreedyMatcher(travel, indexed=False)
+        matcher.begin()
+        matcher.observe(_arrival(_worker(0, 1.0, duration=100.0), WORKER))
+        matcher.observe(Departure(time=2.0, seq=1, kind=WORKER, object_id=0))
+        reply = matcher.observe(Departure(time=3.0, seq=2, kind=WORKER, object_id=0))
+        assert reply is DEPARTED
+        assert matcher.finish().departed_workers == 1
+
+    def test_churn_on_expired_object_is_a_noop(self, small_instance, small_guide):
+        """Move or Departure past the object's deadline: the object is
+        already gone, so nothing changes — and indexed/dense variants
+        must agree even though their lazy-expiry sweeps differ."""
+        travel = TravelModel(velocity=1.0)
+        grid = Grid.square(10)
+        for matcher in (
+            GreedyMatcher(travel, indexed=False),
+            GreedyMatcher(travel, grid=grid, indexed=True),
+            BatchMatcher(travel, grid, window_minutes=1000.0),
+            TgoaMatcher(travel, grid=grid, halfway=0, indexed=True),
+        ):
+            matcher.begin()
+            matcher.observe(_arrival(_task(0, 1.0, duration=5.0, x=2.0, y=2.0), TASK))
+            move_reply = matcher.observe(
+                Move(time=100.0, seq=1, kind=TASK, object_id=0, location=Point(3, 3))
+            )
+            assert move_reply.action == Decision.WAIT, matcher.algorithm
+            depart_reply = matcher.observe(
+                Departure(time=101.0, seq=2, kind=TASK, object_id=0)
+            )
+            assert depart_reply.action == Decision.WAIT, matcher.algorithm
+            outcome = matcher.finish()
+            assert outcome.departed_tasks == 0, matcher.algorithm
+            assert outcome.moves == 0, matcher.algorithm
+
+    def test_indexed_and_naive_greedy_agree_on_churn_of_expired_partner(self):
+        """The regression the deadline-aware waiting check fixes: a task
+        expires, a later worker scan lazily cleans it up differently per
+        variant, then its Departure must still be the same no-op."""
+        travel = TravelModel(velocity=1.0)
+        grid = Grid.square(10)
+        outcomes = []
+        for indexed in (False, True):
+            matcher = GreedyMatcher(
+                travel, grid=grid if indexed else None, indexed=indexed
+            )
+            matcher.begin()
+            matcher.observe(_arrival(_task(1, 0.5, duration=5.0, x=2.0, y=2.0), TASK))
+            # A worker arrives long after the task expired: each variant
+            # runs its own lazy-expiry path here.
+            matcher.observe(
+                _arrival(_worker(7, 20.0, duration=50.0, x=2.5, y=2.0), WORKER)
+            )
+            reply = matcher.observe(
+                Departure(time=25.0, seq=2, kind=TASK, object_id=1)
+            )
+            outcomes.append((reply, matcher.finish()))
+        (naive_reply, naive), (indexed_reply, indexed_outcome) = outcomes
+        assert naive_reply == indexed_reply
+        assert naive.task_decisions == indexed_outcome.task_decisions
+        assert naive.departed_tasks == indexed_outcome.departed_tasks == 0
+
+    def test_move_can_create_an_immediate_match(self):
+        travel = TravelModel(velocity=1.0)
+        matcher = GreedyMatcher(travel, indexed=False)
+        matcher.begin()
+        # Far-apart worker and task cannot match on arrival.
+        matcher.observe(_arrival(_worker(0, 1.0, duration=500.0, x=0.0), WORKER))
+        decision = matcher.observe(_arrival(_task(0, 2.0, duration=5.0, x=400.0), TASK))
+        assert decision.action == Decision.WAIT
+        # Moving the worker next to the task matches at the move instant.
+        reply = matcher.observe(
+            Move(time=3.0, seq=2, kind=WORKER, object_id=0, location=Point(399.0, 0.0))
+        )
+        assert reply.action == Decision.ASSIGNED
+        assert reply.partner_id == 0
+        outcome = matcher.finish()
+        assert outcome.matching.size == 1
+        assert outcome.moves == 1
+
+    def test_polar_departure_frees_the_node(self, small_guide):
+        """A departed occupant's node returns to the free pool: the next
+        same-type arrival occupies it instead of being ignored."""
+        matcher = PolarMatcher(small_guide, node_choice="first")
+        matcher.begin()
+        grid = small_guide.grid
+        # Find a type with exactly capacity >= 1 on the worker side.
+        capacity = small_guide.worker_capacity_list()
+        type_index = next(i for i, c in enumerate(capacity) if c >= 1)
+        slot = type_index // grid.n_areas
+        area = type_index % grid.n_areas
+        cell_x = (area % grid.nx) + 0.5
+        cell_y = (area // grid.nx) + 0.5
+        start = small_guide.timeline.slot_start(slot) + 0.1
+        cap = capacity[type_index]
+        # Fill every node of the type.
+        for ident in range(cap):
+            matcher.observe(
+                _arrival(_worker(ident, start, x=cell_x, y=cell_y), WORKER)
+            )
+        overflow = matcher.observe(
+            _arrival(_worker(cap, start, x=cell_x, y=cell_y), WORKER)
+        )
+        assert overflow.action == Decision.IGNORED
+        # Depart one waiting occupant -> its node frees -> a further
+        # arrival is admitted again.
+        victim = next(
+            ident for ident in range(cap)
+            if matcher._outcome.worker_decisions[ident].action != Decision.ASSIGNED
+        )
+        reply = matcher.observe(
+            Departure(time=start + 0.1, seq=0, kind=WORKER, object_id=victim)
+        )
+        assert reply is DEPARTED
+        readmitted = matcher.observe(
+            _arrival(_worker(cap + 1, start, x=cell_x, y=cell_y), WORKER)
+        )
+        assert readmitted.action != Decision.IGNORED
+
+    def test_polar_op_departed_object_cannot_match(self, small_instance, small_guide):
+        """A departed parked object's association slot is vacated, so it
+        never appears in the final matching."""
+        stream = small_instance.arrival_stream()
+        matcher = PolarOpMatcher(small_guide)
+        matcher.begin()
+        # Park the first few arrivals, then depart every still-waiting
+        # worker among them and replay the rest of the stream.
+        head, tail = stream[:50], stream[50:]
+        for event in head:
+            matcher.observe(event)
+        when = head[-1].time
+        departed_ids = [
+            event.entity.id
+            for event in head
+            if event.is_worker and matcher._is_waiting(WORKER, event.entity.id, when)
+        ]
+        assert departed_ids, "expected at least one parked worker"
+        for seq, ident in enumerate(departed_ids):
+            reply = matcher.observe(
+                Departure(time=when, seq=seq, kind=WORKER, object_id=ident)
+            )
+            assert reply is DEPARTED
+            assert not matcher._is_waiting(WORKER, ident, when)
+        for event in tail:
+            matcher.observe(event)
+        outcome = matcher.finish()
+        assert outcome.departed_workers == len(departed_ids)
+        matched_workers = {worker for worker, _task in outcome.matching.pairs()}
+        for ident in departed_ids:
+            assert ident not in matched_workers
+            assert outcome.worker_decisions[ident] is DEPARTED
+
+    def test_polar_op_partnerless_object_visible_to_churn(self):
+        """An object whose node has no guide partner can never match, but
+        it is still on the platform: its departure must count (symmetric
+        with POLAR, whose partnerless occupants hold real nodes)."""
+        import numpy as np
+
+        from repro.core.guide import build_guide
+
+        grid = Grid.square(4)
+        timeline = Timeline(4, 60.0)
+        travel = TravelModel(velocity=0.001)  # immobile: no feasible edges
+        worker_counts = np.zeros((4, grid.n_areas), dtype=np.int64)
+        task_counts = np.zeros_like(worker_counts)
+        worker_counts[0, 0] = 3   # early corner workers ...
+        task_counts[3, 15] = 3    # ... late opposite-corner tasks
+        guide = build_guide(
+            worker_counts, task_counts, grid, timeline, travel, 60.0, 60.0
+        )
+        assert guide.matched_pairs == 0  # every node is partnerless
+        matcher = PolarOpMatcher(guide, node_choice="round_robin")
+        matcher.begin()
+        decision = matcher.observe(
+            _arrival(_worker(0, 1.0, duration=100.0, x=0.5, y=0.5), WORKER)
+        )
+        assert decision.action == Decision.STAY
+        assert matcher._is_waiting(WORKER, 0, 2.0)
+        reply = matcher.observe(
+            Departure(time=2.0, seq=1, kind=WORKER, object_id=0)
+        )
+        assert reply is DEPARTED
+        assert matcher.finish().departed_workers == 1
+
+    def test_gr_departure_purges_pool_before_next_flush(self):
+        travel = TravelModel(velocity=1.0)
+        grid = Grid.square(10)
+        matcher = BatchMatcher(travel, grid, window_minutes=10.0)
+        matcher.begin()
+        matcher.observe(_arrival(_worker(0, 1.0, duration=100.0), WORKER))
+        matcher.observe(Departure(time=2.0, seq=1, kind=WORKER, object_id=0))
+        matcher.observe(_arrival(_task(0, 3.0, duration=100.0), TASK))
+        outcome = matcher.finish()
+        assert outcome.matching.size == 0
+        assert outcome.departed_workers == 1
+
+    def test_gr_churn_event_advances_windows(self):
+        """A departure after a window boundary flushes the window first,
+        so pairs the platform would have committed still commit."""
+        travel = TravelModel(velocity=1.0)
+        grid = Grid.square(10)
+        matcher = BatchMatcher(travel, grid, window_minutes=5.0)
+        matcher.begin()
+        matcher.observe(_arrival(_worker(0, 1.0, duration=100.0), WORKER))
+        matcher.observe(_arrival(_task(0, 1.5, duration=100.0), TASK))
+        # The first boundary (t=6.0) passes before the departure at t=8.
+        reply = matcher.observe(
+            Departure(time=8.0, seq=2, kind=WORKER, object_id=0)
+        )
+        # The worker matched in the flushed window -> departure is a noop.
+        assert reply.action == Decision.ASSIGNED
+        assert matcher.finish().matching.size == 1
+
+    def test_out_of_grid_move_raises_without_corrupting_state(
+        self, small_instance, small_guide
+    ):
+        """A Move to a location outside the grid must raise *before* any
+        state is touched — the object stays waiting and can still match
+        afterwards."""
+        from repro.errors import GridError
+
+        travel = small_instance.travel
+        grid = small_instance.grid
+        grid_matchers = [
+            GreedyMatcher(travel, grid=grid, indexed=True),
+            BatchMatcher(travel, grid, window_minutes=5.0),
+            TgoaMatcher(travel, grid=grid, halfway=0, indexed=True),
+            PolarMatcher(small_guide),
+            PolarOpMatcher(small_guide),
+        ]
+        bad = Point(1e9, 1e9)
+        for matcher in grid_matchers:
+            matcher.begin()
+            matcher.observe(_arrival(_worker(0, 1.0, duration=1e6, x=0.5, y=0.5), WORKER))
+            if not matcher._is_waiting(WORKER, 0, 2.0):
+                continue  # matched/ignored immediately — nothing to corrupt
+            with pytest.raises(GridError):
+                matcher.observe(
+                    Move(time=2.0, seq=1, kind=WORKER, object_id=0, location=bad)
+                )
+            # Still waiting, counters untouched, and a legal move works.
+            assert matcher._is_waiting(WORKER, 0, 2.0), matcher.algorithm
+            assert matcher.moves == 0 and matcher.departed_workers == 0
+            matcher.observe(
+                Move(time=2.0, seq=2, kind=WORKER, object_id=0,
+                     location=Point(1.5, 1.5))
+            )
+
+    def test_tgoa_departed_worker_unavailable_in_phase2(self):
+        travel = TravelModel(velocity=1.0)
+        grid = Grid.square(10)
+        matcher = TgoaMatcher(travel, grid=grid, halfway=0, indexed=True)
+        matcher.begin()
+        matcher.observe(_arrival(_worker(0, 1.0, duration=100.0), WORKER))
+        matcher.observe(Departure(time=2.0, seq=1, kind=WORKER, object_id=0))
+        decision = matcher.observe(_arrival(_task(0, 3.0, duration=50.0), TASK))
+        assert decision.action == Decision.WAIT
+        assert matcher.finish().matching.size == 0
+
+
+# ---------------------------------------------------------------------- #
+# Codec roundtrip
+# ---------------------------------------------------------------------- #
+
+
+class TestCodec:
+    def test_roundtrip_all_three_kinds(self):
+        events = [
+            _arrival(_worker(0, 1.0, duration=50.0, x=2.0, y=3.0), WORKER),
+            _arrival(_task(0, 2.0, duration=30.0, x=4.0, y=5.0), TASK),
+            Move(time=3.0, seq=2, kind=WORKER, object_id=0, location=Point(6.0, 7.0)),
+            Departure(time=4.0, seq=3, kind=TASK, object_id=0),
+        ]
+        buffer = io.StringIO()
+        count = dump_stream(events, buffer)
+        assert count == 4
+        buffer.seek(0)
+        config, loaded = load_stream(buffer)
+        assert config is None
+        assert loaded == [
+            Arrival(time=1.0, seq=0, kind=WORKER, entity=events[0].entity),
+            Arrival(time=2.0, seq=1, kind=TASK, entity=events[1].entity),
+            Move(time=3.0, seq=2, kind=WORKER, object_id=0, location=Point(6.0, 7.0)),
+            Departure(time=4.0, seq=3, kind=TASK, object_id=0),
+        ]
+
+    def test_record_shapes(self):
+        move = Move(time=3.0, seq=0, kind=WORKER, object_id=7, location=Point(1, 2))
+        record = event_to_record(move)
+        assert record == {
+            "kind": "move", "side": "worker", "id": 7, "time": 3.0,
+            "x": 1.0, "y": 2.0,
+        }
+        departure = Departure(time=4.0, seq=0, kind=TASK, object_id=9)
+        assert event_to_record(departure) == {
+            "kind": "departure", "side": "task", "id": 9, "time": 4.0,
+        }
+
+    def test_churn_record_missing_fields_rejected(self):
+        with pytest.raises(SimulationError):
+            record_to_event({"kind": "departure", "id": 1}, seq=0)
+        with pytest.raises(SimulationError):
+            record_to_event(
+                {"kind": "move", "side": "worker", "id": 1, "time": 2.0}, seq=0
+            )
+
+    def test_churn_record_bad_side_rejected(self):
+        with pytest.raises(SimulationError):
+            record_to_event(
+                {"kind": "departure", "side": "drone", "id": 1, "time": 2.0}, seq=0
+            )
+
+    def test_out_of_order_churn_rejected_by_loader(self):
+        text = (
+            '{"kind": "worker", "id": 0, "x": 1, "y": 1, "start": 5.0, "duration": 9}\n'
+            '{"kind": "departure", "side": "worker", "id": 0, "time": 2.0}\n'
+        )
+        with pytest.raises(SimulationError):
+            load_stream(io.StringIO(text))
+
+    def test_self_guide_skips_churn_events(self, small_instance):
+        clean = build_self_guide(
+            small_instance.arrival_stream(),
+            small_instance.grid,
+            small_instance.timeline,
+            small_instance.travel,
+        )
+        churny = build_self_guide(
+            small_instance.churn_stream(
+                ChurnConfig(departure_rate=0.3, move_rate=0.2, seed=5)
+            ),
+            small_instance.grid,
+            small_instance.timeline,
+            small_instance.travel,
+        )
+        assert churny.matched_pairs == clean.matched_pairs
+
+
+# ---------------------------------------------------------------------- #
+# Session layer + churn-free parity gate
+# ---------------------------------------------------------------------- #
+
+
+class TestSessionChurn:
+    def test_session_counts_churn_separately(self, small_instance, small_guide):
+        config = ChurnConfig(departure_rate=0.2, move_rate=0.1, seed=1)
+        stream = small_instance.churn_stream(config)
+        arrivals = sum(1 for e in stream if isinstance(e, Arrival))
+        session = MatchingSession(PolarMatcher(small_guide), IteratorSource(stream))
+        outcome = session.run()
+        snapshot = session.snapshot()
+        assert snapshot.arrivals == arrivals
+        assert snapshot.departed == outcome.departed_workers + outcome.departed_tasks
+        assert snapshot.moves == outcome.moves
+        assert snapshot.departed > 0
+        assert "departed=" in snapshot.summary()
+
+    def test_churn_free_summary_has_no_churn_fields(self, small_instance):
+        session = MatchingSession(
+            GreedyMatcher(small_instance.travel), IteratorSource(small_instance.arrival_stream())
+        )
+        session.run()
+        assert "departed=" not in session.snapshot().summary()
+
+    @pytest.mark.parametrize("algorithm", STREAM_ALGORITHMS)
+    def test_churn_free_parity_gate(self, small_instance, small_guide, algorithm):
+        """Zero-rate churn configs leave every matcher bit-identical:
+        matchings, decisions, counters."""
+        stream = small_instance.churn_stream(ChurnConfig())
+        reference = MatchingSession(
+            create_matcher(algorithm, small_instance, guide=small_guide),
+            IteratorSource(small_instance.arrival_stream()),
+        ).run()
+        outcome = MatchingSession(
+            create_matcher(algorithm, small_instance, guide=small_guide),
+            IteratorSource(stream),
+        ).run()
+        assert outcome.matching.pairs() == reference.matching.pairs()
+        assert outcome.worker_decisions == reference.worker_decisions
+        assert outcome.task_decisions == reference.task_decisions
+        assert outcome.ignored_workers == reference.ignored_workers
+        assert outcome.ignored_tasks == reference.ignored_tasks
+        assert outcome.departed_workers == outcome.departed_tasks == 0
+        assert outcome.moves == 0
+
+    @pytest.mark.parametrize("algorithm", STREAM_ALGORITHMS)
+    def test_churn_degrades_or_preserves_matching(
+        self, small_instance, small_guide, algorithm
+    ):
+        """The new experiment axis: higher departure rates cannot invent
+        matches that the churn-free run lacks by more than noise; the
+        run completes and reports churn counters."""
+        config = ChurnConfig(departure_rate=0.3, move_rate=0.0, seed=7)
+        stream = small_instance.churn_stream(config)
+        clean = MatchingSession(
+            create_matcher(algorithm, small_instance, guide=small_guide),
+            IteratorSource(small_instance.arrival_stream()),
+        ).run()
+        churned = MatchingSession(
+            create_matcher(algorithm, small_instance, guide=small_guide),
+            IteratorSource(stream),
+        ).run()
+        assert churned.departed_workers + churned.departed_tasks > 0
+        assert churned.matching.size <= clean.matching.size
+
+    def test_with_churn_requires_time_ordered_stream(self):
+        events = [
+            _arrival(_worker(0, 5.0), WORKER),
+            _arrival(_worker(1, 1.0), WORKER),
+        ]
+        churn = [Departure(time=6.0, seq=0, kind=WORKER, object_id=0)]
+        with pytest.raises(SimulationError):
+            merge_churn(events, churn)
+
+    def test_with_churn_zero_rate_returns_input(self, small_instance):
+        stream = small_instance.arrival_stream()
+        assert with_churn(stream, small_instance.grid.bounds, ChurnConfig()) == stream

@@ -263,3 +263,130 @@ class TestGatewaySmokeScript:
         assert result.returncode == 0, result.stdout + result.stderr
         assert "bit-identical" in result.stdout
         assert "gateway smoke OK" in result.stdout
+
+
+class TestChurnCli:
+    """The churn flags: dump --churn, replay of churny streams, loadgen."""
+
+    def test_dump_with_churn_writes_churn_records(self, tmp_path, capsys):
+        stream = tmp_path / "churny.jsonl"
+        code = main(
+            ["dump", "--workers", "80", "--tasks", "80", "--grid-side", "8",
+             "--n-slots", "6", "--churn", "0.3", "--move-rate", "0.2",
+             "--out", str(stream)]
+        )
+        assert code == 0
+        text = stream.read_text()
+        assert '"kind": "departure"' in text
+        assert '"kind": "move"' in text
+        # More lines than the 160 arrivals + 1 config header.
+        assert len(text.strip().splitlines()) > 161
+
+    def test_replay_consumes_churny_stream(self, tmp_path, capsys):
+        stream = tmp_path / "churny.jsonl"
+        assert main(
+            ["dump", "--workers", "80", "--tasks", "80", "--grid-side", "8",
+             "--n-slots", "6", "--churn", "0.3", "--out", str(stream)]
+        ) == 0
+        capsys.readouterr()
+        for algorithm in ("greedy", "gr", "tgoa", "polar", "polar-op"):
+            assert main(["replay", str(stream), "--algorithm", algorithm]) == 0
+            assert "matched=" in capsys.readouterr().out
+
+    def test_dump_rejects_bad_churn_rate(self, tmp_path, capsys):
+        assert main(
+            ["dump", "--workers", "10", "--tasks", "10", "--churn", "1.5",
+             "--out", str(tmp_path / "x.jsonl")]
+        ) == 2
+        assert "departure_rate" in capsys.readouterr().err
+
+    def test_loadgen_churn_on_churny_file_rejected(self, tmp_path, capsys):
+        stream = tmp_path / "churny.jsonl"
+        assert main(
+            ["dump", "--workers", "20", "--tasks", "20", "--churn", "0.5",
+             "--out", str(stream)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["loadgen", str(stream), "--churn", "0.1", "--port", "1"]
+        ) == 2
+        assert "already contains churn" in capsys.readouterr().err
+
+
+class TestHalfwayFromForecast:
+    def test_requires_history(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        assert main(
+            ["dump", "--workers", "60", "--tasks", "60", "--grid-side", "8",
+             "--n-slots", "6", "--out", str(stream)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["replay", str(stream), "--algorithm", "tgoa",
+                     "--halfway", "from-forecast"]) == 2
+        assert "--history" in capsys.readouterr().err
+
+    def test_rejects_garbage_halfway(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        assert main(
+            ["dump", "--workers", "40", "--tasks", "40", "--grid-side", "8",
+             "--n-slots", "6", "--out", str(stream)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["replay", str(stream), "--algorithm", "tgoa",
+                     "--halfway", "soon"]) == 2
+        assert "--halfway" in capsys.readouterr().err
+
+    def test_unknown_predictor_is_a_clean_error(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        assert main(
+            ["dump", "--workers", "40", "--tasks", "40", "--grid-side", "8",
+             "--n-slots", "6", "--out", str(stream)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["replay", str(stream), "--algorithm", "tgoa",
+                     "--halfway", "from-forecast", "--history", str(stream),
+                     "--predictor", "bogus"]) == 2
+        assert "unknown predictor" in capsys.readouterr().err
+
+    def test_replay_with_forecast_halfway(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        history = tmp_path / "history.jsonl"
+        for seed, path in ((1, stream), (9, history)):
+            assert main(
+                ["dump", "--workers", "80", "--tasks", "80", "--grid-side",
+                 "8", "--n-slots", "6", "--seed", str(seed), "--out",
+                 str(path)]
+            ) == 0
+        capsys.readouterr()
+        code = main(
+            ["replay", str(stream), "--algorithm", "tgoa",
+             "--halfway", "from-forecast", "--history", str(history),
+             "--predictor", "HA"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "volume forecast" in out
+        assert "halfway=" in out
+        assert "matched=" in out
+
+    def test_forecast_halfway_tracks_history_volume(self, tmp_path, capsys):
+        """The HA forecast of a one-day history is that day's own counts,
+        so halfway == half the history's arrival count."""
+        history = tmp_path / "history.jsonl"
+        assert main(
+            ["dump", "--workers", "70", "--tasks", "70", "--grid-side", "8",
+             "--n-slots", "6", "--out", str(history)]
+        ) == 0
+        capsys.readouterr()
+        stream = tmp_path / "events.jsonl"
+        assert main(
+            ["dump", "--workers", "50", "--tasks", "50", "--grid-side", "8",
+             "--n-slots", "6", "--seed", "4", "--out", str(stream)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["replay", str(stream), "--algorithm", "tgoa",
+             "--halfway", "from-forecast", "--history", str(history)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "halfway=70" in out

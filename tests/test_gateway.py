@@ -563,3 +563,246 @@ class TestMetricsEndpoint:
         payload = asyncio.run(scenario()).as_dict()
         assert json.loads(json.dumps(payload)) == payload
         assert payload["kind"] == "snapshot"
+
+
+class TestGatewayChurn:
+    """Churn records through the gateway: routing, acks, counters."""
+
+    def test_churn_events_route_to_owning_shard_and_ack(self, small_instance):
+        from repro.streams.churn import ChurnConfig
+
+        stream = small_instance.churn_stream(
+            ChurnConfig(departure_rate=0.2, move_rate=0.1, seed=1)
+        )
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid, _greedy_factory(small_instance), n_shards=3
+            )
+            await gateway.start(port=0)
+            from repro.serving.replay import event_to_record
+
+            lines = [json.dumps(event_to_record(event)).encode() for event in stream]
+            replies = await _send_lines(gateway.tcp_port, lines)
+            snapshot = await gateway.close()
+            return replies, snapshot
+
+        replies, snapshot = asyncio.run(scenario())
+        churn_replies = [r for r in replies if r.get("kind") in ("departure", "move")]
+        assert churn_replies, "expected churn acks"
+        assert all("error" not in reply for reply in replies)
+        for reply in churn_replies:
+            assert reply["side"] in (WORKER, TASK)
+            assert "decision" in reply and "shard" in reply
+        from repro.model.events import Arrival as _Arrival
+
+        n_arrivals = sum(isinstance(e, _Arrival) for e in stream)
+        assert snapshot.arrivals == n_arrivals
+        assert snapshot.ingested == len(stream)
+        assert snapshot.departed > 0
+
+    def test_single_shard_churn_gateway_matches_offline_session(self, small_instance):
+        from repro.streams.churn import ChurnConfig
+
+        stream = small_instance.churn_stream(
+            ChurnConfig(departure_rate=0.25, move_rate=0.1, seed=3)
+        )
+        offline = MatchingSession(GreedyMatcher(small_instance.travel, indexed=False))
+        offline.begin()
+        for event in stream:
+            offline.push(event)
+        reference = offline.finish()
+
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start()
+            for event in stream:
+                await gateway.submit(event)
+            snapshot = await gateway.drain()
+            return gateway.shard_outcomes()[0], snapshot
+
+        outcome, snapshot = asyncio.run(scenario())
+        assert outcome.matching.pairs() == reference.matching.pairs()
+        assert outcome.worker_decisions == reference.worker_decisions
+        assert outcome.task_decisions == reference.task_decisions
+        assert outcome.departed_workers == reference.departed_workers
+        assert outcome.departed_tasks == reference.departed_tasks
+        assert outcome.moves == reference.moves
+        assert snapshot.departed == reference.departed_workers + reference.departed_tasks
+        assert snapshot.moves == reference.moves
+
+    def test_churn_for_unknown_object_is_malformed(self, small_instance):
+        async def scenario():
+            gateway = Gateway(small_instance.grid, _greedy_factory(small_instance))
+            await gateway.start(port=0)
+            replies = await _send_lines(
+                gateway.tcp_port,
+                [b'{"kind": "departure", "side": "worker", "id": 424242, "time": 1.0}'],
+            )
+            snapshot = await gateway.close()
+            return replies, snapshot
+
+        replies, snapshot = asyncio.run(scenario())
+        assert "error" in replies[0]
+        assert "never saw it arrive" in replies[0]["error"]
+        assert snapshot.malformed == 1
+
+    def test_submit_rejects_unknown_churn_object(self, small_instance):
+        from repro.model.events import Departure
+
+        async def scenario():
+            gateway = await _start_queue_gateway(small_instance)
+            with pytest.raises(GatewayError):
+                await gateway.submit(
+                    Departure(time=1.0, seq=0, kind=WORKER, object_id=999999)
+                )
+            await gateway.drain()
+
+        asyncio.run(scenario())
+
+    def test_snapshot_dict_carries_churn_counters(self, small_instance):
+        async def scenario():
+            gateway = await _start_queue_gateway(small_instance)
+            return await gateway.drain()
+
+        payload = asyncio.run(scenario()).as_dict()
+        assert payload["departed"] == 0
+        assert payload["moves"] == 0
+        assert payload["slow_consumer_drops"] == 0
+
+    def test_prometheus_renders_churn_gauges(self, small_instance):
+        async def scenario():
+            gateway = await _start_queue_gateway(small_instance)
+            return await gateway.drain()
+
+        text = render_prometheus(asyncio.run(scenario()))
+        assert "ftoa_gateway_departed_total" in text
+        assert "ftoa_gateway_moves_total" in text
+        assert "ftoa_gateway_slow_consumer_drops_total" in text
+
+
+class TestAckChannel:
+    """The per-connection buffered ack writer (gateway hardening)."""
+
+    def test_slow_reader_does_not_block_other_connections(self, small_instance):
+        """A client that never reads its acks must not stall acks for a
+        well-behaved client on another connection."""
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                ack_queue_size=8,
+            )
+            await gateway.start(port=0)
+            events = small_instance.arrival_stream()
+            # The slow reader: sends many events, never reads a byte.
+            slow_reader, slow_writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.tcp_port
+            )
+            for event in events[:200]:
+                slow_writer.write(
+                    json.dumps(arrival_to_record(event)).encode() + b"\n"
+                )
+            await slow_writer.drain()
+            # The good citizen on its own connection still gets acks.
+            replies = await _send_lines(
+                gateway.tcp_port,
+                [json.dumps(arrival_to_record(events[200])).encode()],
+            )
+            # Wait for the dispatcher to work through the backlog.
+            while gateway.processed + gateway.malformed < 201:
+                await asyncio.sleep(0.01)
+            snapshot_live = gateway.snapshot()
+            slow_writer.close()
+            await gateway.close()
+            return replies, snapshot_live
+
+        replies, snapshot = asyncio.run(scenario())
+        assert "error" not in replies[0]
+        assert snapshot.slow_consumer_drops >= 1
+
+    def test_fast_clients_never_dropped(self, small_instance):
+        """Loadgen-style read-as-you-go clients keep every ack."""
+
+        async def scenario():
+            from repro.serving.loadgen import run_loadgen
+
+            gateway = Gateway(
+                small_instance.grid, _greedy_factory(small_instance)
+            )
+            await gateway.start(port=0)
+            report = await run_loadgen(
+                small_instance.arrival_stream(), port=gateway.tcp_port
+            )
+            snapshot = await gateway.close()
+            return report, snapshot
+
+        report, snapshot = asyncio.run(scenario())
+        assert report.acked == len(small_instance.arrival_stream())
+        assert snapshot.slow_consumer_drops == 0
+
+    def test_rejects_bad_ack_queue_size(self, small_instance):
+        with pytest.raises(GatewayError):
+            Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                ack_queue_size=0,
+            )
+
+
+class TestObjectShardRegistry:
+    """The churn-routing registry tracks accepted, live objects only."""
+
+    def test_refused_offer_leaves_no_phantom_registration(self, small_instance):
+        from repro.model.events import Departure
+
+        events = small_instance.arrival_stream()
+
+        async def scenario():
+            gateway = await _start_queue_gateway(small_instance, queue_size=1)
+            assert gateway.offer(events[0]) is True
+            refused = events[1]
+            assert gateway.offer(refused) is False  # queue full
+            # Churn for the never-admitted object must be unknown.
+            with pytest.raises(GatewayError, match="never saw it arrive"):
+                await gateway.submit(
+                    Departure(
+                        time=refused.time + 1.0,
+                        seq=0,
+                        kind=refused.kind,
+                        object_id=refused.entity.id,
+                    )
+                )
+            await gateway.drain()
+
+        asyncio.run(scenario())
+
+    def test_departure_prunes_the_registry(self, small_instance):
+        from repro.model.events import Departure
+
+        event = small_instance.arrival_stream()[0]
+
+        async def scenario():
+            gateway = await _start_queue_gateway(small_instance)
+            await gateway.submit(event)
+            departure = Departure(
+                time=event.time + 1.0, seq=1, kind=event.kind,
+                object_id=event.entity.id,
+            )
+            await gateway.submit(departure)
+            # Let the dispatcher process both events.
+            while gateway.processed + gateway.malformed < 2:
+                await asyncio.sleep(0.01)
+            # The departed object is gone from the registry: further
+            # churn for it is rejected as unknown.
+            with pytest.raises(GatewayError, match="never saw it arrive"):
+                await gateway.submit(
+                    Departure(
+                        time=event.time + 2.0, seq=2, kind=event.kind,
+                        object_id=event.entity.id,
+                    )
+                )
+            await gateway.drain()
+
+        asyncio.run(scenario())
