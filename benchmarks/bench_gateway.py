@@ -26,12 +26,14 @@ from repro.serving.session import IteratorSource, MatchingSession
 from bench_engine import _polar_setup
 
 
-async def _drive_gateway(instance, events, matcher_factory, n_shards):
+async def _drive_gateway(instance, events, matcher_factory, n_shards,
+                         backend="inline"):
     gateway = Gateway(
         instance.grid,
         matcher_factory,
         n_shards=n_shards,
         queue_size=4096,
+        backend=backend,
     )
     await gateway.start(port=0)
     report = await run_loadgen(events, port=gateway.tcp_port)
@@ -94,4 +96,44 @@ def test_gateway_sharded_ingest(benchmark, bench_scale):
     print(
         f"\n[sharded ingest x4: {report.arrivals_per_sec:.0f} arrivals/s, "
         f"matched {snapshot.matched}]"
+    )
+
+
+def test_gateway_worker_pool_ingest(benchmark, bench_scale):
+    """Two dense-greedy shards in forked worker processes versus the
+    same two shards in-process: the worker pool must stay bit-identical
+    (the parity gate) while buying real cores for the heavy matchers."""
+    n = max(400, int(12_000 * bench_scale))
+    instance, _guide = _polar_setup(n)
+    events = instance.arrival_stream()
+
+    def factory(shard):
+        return GreedyMatcher(instance.travel, indexed=False)
+
+    inline_gateway, inline_report, inline_snapshot = asyncio.run(
+        _drive_gateway(instance, events, factory, 2, backend="inline")
+    )
+
+    result = benchmark.pedantic(
+        lambda: asyncio.run(
+            _drive_gateway(instance, events, factory, 2, backend="process")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    gateway, report, snapshot = result
+    assert report.acked == len(events)
+    assert snapshot.worker_crashes == 0
+    assert snapshot.matched == inline_snapshot.matched
+    for pool_out, inline_out in zip(
+        gateway.shard_outcomes(), inline_gateway.shard_outcomes()
+    ):
+        assert pool_out.matching.pairs() == inline_out.matching.pairs()
+        assert pool_out.worker_decisions == inline_out.worker_decisions
+        assert pool_out.task_decisions == inline_out.task_decisions
+    speedup = report.arrivals_per_sec / inline_report.arrivals_per_sec
+    print(
+        f"\n[worker pool x2: {report.arrivals_per_sec:.0f} arrivals/s vs "
+        f"{inline_report.arrivals_per_sec:.0f} in-process "
+        f"({speedup:.2f}x), matched {snapshot.matched}, parity OK]"
     )

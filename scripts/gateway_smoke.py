@@ -2,8 +2,9 @@
 
 Run from the repo root::
 
-    PYTHONPATH=src python scripts/gateway_smoke.py [--workers N] [--tasks N]
-                                                   [--shards K] [--rate R]
+    PYTHONPATH=src python scripts/gateway_smoke.py [--n-workers N] [--n-tasks N]
+                                                   [--shards K] [--workers P]
+                                                   [--rate R]
                                                    [--churn P] [--move-rate P]
 
 Builds a small synthetic event stream (``--churn`` / ``--move-rate``
@@ -19,7 +20,11 @@ over HTTP, drains, and asserts:
 * with one shard, the drained shard outcome is **bit-identical** to the
   offline session (same pairs, same per-object decisions);
 * with several shards, the per-shard rows sum to the totals;
-* under churn, every churn record is acked (no error lines).
+* under churn, every churn record is acked (no error lines);
+* with ``--workers P`` (one forked worker process per shard), the
+  worker-pool gateway is **bit-identical** to the in-process gateway at
+  the same shard count — pairs, per-object decisions and churn counters
+  shard for shard.
 
 Exits non-zero on any mismatch, so CI can gate on it.
 """
@@ -47,10 +52,32 @@ async def _http_get(port: int, path: str) -> str:
     return raw.partition(b"\r\n\r\n")[2].decode()
 
 
+async def _inline_reference(instance, events, n_shards):
+    """The same stream through an in-process gateway (submit-driven),
+    for the worker-pool parity gate."""
+    gateway = Gateway(
+        instance.grid,
+        lambda shard: GreedyMatcher(instance.travel, indexed=False),
+        n_shards=n_shards,
+    )
+    await gateway.start()
+    for event in events:
+        await gateway.submit(event)
+    snapshot = await gateway.drain()
+    outcomes = gateway.shard_outcomes()
+    await gateway.close()
+    return snapshot, outcomes
+
+
 async def smoke(args) -> int:
+    if args.workers and args.shards not in (1, args.workers):
+        raise SystemExit("--workers P runs one process per shard; "
+                         "pass --shards P or omit --shards")
+    n_shards = args.workers if args.workers else args.shards
+    backend = "process" if args.workers else "inline"
     config = SyntheticConfig(
-        n_workers=args.workers,
-        n_tasks=args.tasks,
+        n_workers=args.n_workers,
+        n_tasks=args.n_tasks,
         grid_side=args.grid_side,
         n_slots=args.n_slots,
         seed=args.seed,
@@ -83,11 +110,13 @@ async def smoke(args) -> int:
     gateway = Gateway(
         instance.grid,
         lambda shard: GreedyMatcher(instance.travel, indexed=False),
-        n_shards=args.shards,
+        n_shards=n_shards,
+        backend=backend,
     )
     await gateway.start(port=0, metrics_port=0)
     print(
-        f"[gateway up: ingest 127.0.0.1:{gateway.tcp_port}, metrics "
+        f"[gateway up ({backend}, {n_shards} shard(s)): ingest "
+        f"127.0.0.1:{gateway.tcp_port}, metrics "
         f"http://127.0.0.1:{gateway.metrics_port}]"
     )
     report = await run_loadgen(events, port=gateway.tcp_port, rate=args.rate)
@@ -100,17 +129,26 @@ async def smoke(args) -> int:
     snapshot = json.loads(await _http_get(gateway.metrics_port, "/snapshot"))
     metrics = await _http_get(gateway.metrics_port, "/metrics")
     await gateway.close()
+    outcomes = gateway.shard_outcomes()
 
-    assert snapshot["arrivals"] == n_arrivals, snapshot
-    assert snapshot["workers"] == instance.n_workers, snapshot
-    assert snapshot["tasks"] == instance.n_tasks, snapshot
+    # Cross-shard moves migrate (departure + re-arrival), so shard
+    # arrival totals count a migrated object once per hosting shard.
+    migrations = snapshot.get("migrations", 0)
+    assert snapshot["arrivals"] == n_arrivals + migrations, snapshot
+    assert (
+        snapshot["workers"] + snapshot["tasks"]
+        == instance.n_workers + instance.n_tasks + migrations
+    ), snapshot
     assert snapshot["malformed"] == 0, snapshot
     assert snapshot["ingested"] == len(events), snapshot
-    assert sum(row["arrivals"] for row in snapshot["shards"]) == n_arrivals
+    assert snapshot["worker_crashes"] == 0, snapshot
+    assert sum(row["arrivals"] for row in snapshot["shards"]) == n_arrivals + migrations
     assert sum(row["matched"] for row in snapshot["shards"]) == snapshot["matched"]
-    assert f'ftoa_gateway_arrivals_total {n_arrivals}' in metrics, "/metrics stale"
+    assert f'ftoa_gateway_arrivals_total {n_arrivals + migrations}' in metrics, (
+        "/metrics stale"
+    )
     if n_churn:
-        if args.shards == 1:
+        if n_shards == 1:
             # Sharded matchers make different matches, so who counts as
             # "departed waiting" only lines up shard-for-shard at k=1.
             expected = reference.departed_workers + reference.departed_tasks
@@ -118,15 +156,15 @@ async def smoke(args) -> int:
             assert snapshot["moves"] == reference.moves, snapshot
         print(
             f"[churn acked: departed={snapshot['departed']} "
-            f"moves={snapshot['moves']}]"
+            f"moves={snapshot['moves']} migrations={migrations}]"
         )
 
-    if args.shards == 1:
+    if n_shards == 1:
         assert snapshot["matched"] == reference.matching.size, (
             f"/snapshot matched={snapshot['matched']} but offline session "
             f"matched={reference.matching.size}"
         )
-        outcome = gateway.shard_outcomes()[0]
+        outcome = outcomes[0]
         assert outcome.matching.pairs() == reference.matching.pairs(), (
             "single-shard gateway diverged from the offline session"
         )
@@ -136,7 +174,31 @@ async def smoke(args) -> int:
     else:
         print(
             f"[sharded run: {snapshot['matched']} matched across "
-            f"{args.shards} shards vs {reference.matching.size} offline]"
+            f"{n_shards} shards vs {reference.matching.size} offline]"
+        )
+
+    if args.workers:
+        # The worker-pool acceptance gate: same shard count in-process
+        # must produce bit-identical shard outcomes.
+        inline_snapshot, inline_outcomes = await _inline_reference(
+            instance, events, n_shards
+        )
+        assert inline_snapshot.matched == snapshot["matched"]
+        assert inline_snapshot.migrations == migrations
+        for shard_id, (pool_out, inline_out) in enumerate(
+            zip(outcomes, inline_outcomes)
+        ):
+            assert pool_out.matching.pairs() == inline_out.matching.pairs(), (
+                f"shard {shard_id}: worker-pool pairs diverged from in-process"
+            )
+            assert pool_out.worker_decisions == inline_out.worker_decisions
+            assert pool_out.task_decisions == inline_out.task_decisions
+            assert pool_out.departed_workers == inline_out.departed_workers
+            assert pool_out.departed_tasks == inline_out.departed_tasks
+            assert pool_out.moves == inline_out.moves
+        print(
+            f"[parity: {args.workers}-process worker pool == in-process "
+            f"{n_shards}-shard gateway, bit-identical]"
         )
     print("[gateway smoke OK]")
     return 0
@@ -144,12 +206,19 @@ async def smoke(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--workers", type=int, default=400)
-    parser.add_argument("--tasks", type=int, default=400)
+    parser.add_argument("--n-workers", type=int, default=400,
+                        help="synthetic |W| (entity count)")
+    parser.add_argument("--n-tasks", type=int, default=400,
+                        help="synthetic |R| (entity count)")
     parser.add_argument("--grid-side", type=int, default=10)
     parser.add_argument("--n-slots", type=int, default=8)
     parser.add_argument("--seed", type=int, default=3)
     parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="run P forked shard-worker processes (implies --shards P) "
+        "and assert bit-identical parity with the in-process gateway",
+    )
     parser.add_argument(
         "--rate", type=float, default=None, help="target arrivals/s (default: flat out)"
     )

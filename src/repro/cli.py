@@ -16,6 +16,8 @@ drive the streaming session and serving layers.
         --guide from-forecast --history yesterday.jsonl --predictor hp-msi
     python -m repro serve events.jsonl --algorithm greedy --shards 4 \\
         --port 7654 --metrics-port 7655
+    python -m repro serve events.jsonl --algorithm greedy --workers 4 \\
+        --port 7654 --metrics-port 7655
     python -m repro loadgen events.jsonl --port 7654 --rate 5000 --drain
     python -m repro loadgen --churn 0.1 --port 7654 --drain
 
@@ -28,7 +30,9 @@ departure and move events into it) and ``replay`` feeds a JSONL stream
 :class:`~repro.serving.session.MatchingSession`, printing mid-stream
 snapshots and the final outcome.  ``serve`` runs the asyncio serving
 gateway (sharded sessions, JSONL socket ingest, ``/metrics`` +
-``/snapshot`` HTTP endpoint) and ``loadgen`` replays a dumped or
+``/snapshot`` HTTP endpoint; ``--workers N`` forks one worker process
+per shard — bit-identical to the in-process gateway, with real cores
+behind the matchers) and ``loadgen`` replays a dumped or
 synthetic stream against it at a target rate, reporting throughput and
 latency percentiles.
 """
@@ -186,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="shard count for the consistent spatial hash (default 1 — "
         "bit-identical to an offline session)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run each shard's matcher in its own forked worker process: "
+        "0 (default) keeps every shard on the gateway event loop; N > 0 "
+        "forks N shard workers (implies --shards N; bit-identical to the "
+        "in-process N-shard gateway)",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -471,16 +484,25 @@ def _load_jsonl(path):
         return load_stream(fp)
 
 
-def _resolve_guide(args, events, grid, timeline, travel):
-    """The POLAR guide a replay/serve run should use.
+def _resolve_guides(args, events, grid, timeline, travel, n_shards: int):
+    """The POLAR guide(s) a replay/serve run should use.
 
     ``--guide self`` builds the perfect-hindsight self-guide from the
     stream's own counts; ``--guide from-forecast`` fits ``--predictor``
-    on the ``--history`` JSONL and forecasts the serving day.
+    on the ``--history`` JSONL and forecasts the serving day.  With
+    ``n_shards > 1`` the count tensors are split by the gateway's
+    consistent-hash cell ownership and one guide is built *per shard* —
+    a global guide pairs predicted nodes across region shards, and
+    those partners can never meet inside one shard's matcher.
+
+    Returns a list: one guide for an unsharded run, ``n_shards`` guides
+    (indexed by shard id) otherwise.
     """
+    from repro.errors import SimulationError
+
     if args.guide == "from-forecast":
         from repro.prediction import make_predictor
-        from repro.serving.forecast import forecast_guide
+        from repro.serving.forecast import forecast_counts
 
         if args.history is None:
             raise ConfigurationError(
@@ -493,24 +515,47 @@ def _resolve_guide(args, events, grid, timeline, travel):
         except ValueError as exc:
             raise ConfigurationError(str(exc)) from exc
         _config, history = _load_jsonl(args.history)
-        guide = forecast_guide(
-            history,
-            grid,
-            timeline,
-            travel,
-            predictor=args.predictor,
-            seed=args.seed,
+        worker_counts, task_counts, worker_duration, task_duration = (
+            forecast_counts(
+                history, grid, timeline, predictor=args.predictor,
+                seed=args.seed,
+            )
         )
-        print(
-            f"[{args.predictor} forecast guide built from {len(history)} "
-            f"history arrivals: {guide.matched_pairs} matched node pairs]"
-        )
-        return guide
-    from repro.serving.replay import build_self_guide
+        source = f"{args.predictor} forecast guide built from {len(history)} history events"
+    else:
+        from repro.serving.replay import stream_counts
 
-    guide = build_self_guide(events, grid, timeline, travel)
-    print(f"[self-guide built: {guide.matched_pairs} matched node pairs]")
-    return guide
+        worker_counts, task_counts, worker_duration, task_duration = (
+            stream_counts(events, grid, timeline)
+        )
+        source = "self-guide built"
+    if worker_duration <= 0 or task_duration <= 0:
+        raise SimulationError(
+            "the guide stream must contain both workers and tasks to "
+            "estimate durations"
+        )
+    if n_shards > 1:
+        from repro.serving.shard import ShardRouter, build_shard_guides
+
+        router = ShardRouter(grid, n_shards)
+        guides = build_shard_guides(
+            worker_counts, task_counts, router, timeline, travel,
+            worker_duration, task_duration,
+        )
+        pairs = sum(guide.matched_pairs for guide in guides)
+        print(
+            f"[{source}: {len(guides)} per-shard guides, "
+            f"{pairs} matched node pairs total]"
+        )
+        return guides
+    from repro.core.guide import build_guide
+
+    guide = build_guide(
+        worker_counts, task_counts, grid, timeline, travel,
+        worker_duration, task_duration,
+    )
+    print(f"[{source}: {guide.matched_pairs} matched node pairs]")
+    return [guide]
 
 
 def _resolve_halfway(args, events, grid, timeline) -> int:
@@ -599,10 +644,15 @@ def _matcher_factory(args, events, grid, timeline, travel):
         n_shards = max(1, getattr(args, "shards", 1))
         per_shard = max(1, halfway // n_shards) if halfway else 0
         return lambda shard: TgoaMatcher(travel, grid=grid, halfway=per_shard)
-    guide = _resolve_guide(args, events, grid, timeline, travel)
+    n_shards = max(1, getattr(args, "shards", 1))
+    guides = _resolve_guides(args, events, grid, timeline, travel, n_shards)
     if algorithm == "polar":
-        return lambda shard: PolarMatcher(guide, seed=args.seed)
-    return lambda shard: PolarOpMatcher(guide, seed=args.seed)
+        return lambda shard: PolarMatcher(
+            guides[shard % len(guides)], seed=args.seed
+        )
+    return lambda shard: PolarOpMatcher(
+        guides[shard % len(guides)], seed=args.seed
+    )
 
 
 def _cmd_replay(args) -> int:
@@ -635,6 +685,20 @@ def _cmd_serve(args) -> int:
 
     _check_port(args.port, "--port")
     _check_port(args.metrics_port, "--metrics-port")
+    backend = "inline"
+    if args.workers < 0:
+        raise ConfigurationError(f"--workers must be >= 0, got {args.workers}")
+    if args.workers:
+        # One forked worker process per shard: --workers N is the
+        # N-shard gateway with real cores behind it, so the two flags
+        # must agree when both are given.
+        if args.shards not in (1, args.workers):
+            raise ConfigurationError(
+                f"--workers {args.workers} runs one process per shard; "
+                f"pass --shards {args.workers} or omit --shards"
+            )
+        args.shards = args.workers
+        backend = "process"
     config, events = _load_jsonl(args.config)
     grid, timeline, travel = _replay_context(config, args.speed)
     factory = _matcher_factory(args, events, grid, timeline, travel)
@@ -643,6 +707,7 @@ def _cmd_serve(args) -> int:
         factory,
         n_shards=args.shards,
         queue_size=args.backpressure,
+        backend=backend,
     )
     return asyncio.run(_serve_async(gateway, args))
 
@@ -663,13 +728,8 @@ async def _serve_async(gateway, args) -> int:
         )
     except OSError as exc:
         raise GatewayError(f"cannot bind gateway sockets: {exc}") from exc
-    print(
-        f"[gateway serving {args.algorithm} x{args.shards} shard(s) on "
-        f"{args.host}:{gateway.tcp_port}"
-        + (f" and {args.unix}" if args.unix else "")
-        + f"; metrics on http://{args.host}:{gateway.metrics_port}/metrics]"
-    )
-    print("[send {\"kind\": \"drain\"} or SIGINT/SIGTERM for a graceful drain]")
+    # Handlers before the banner: anyone scripting `serve` treats the
+    # banner as "ready", and ready must include graceful-drain signals.
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:
@@ -678,11 +738,30 @@ async def _serve_async(gateway, args) -> int:
             )
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass
+    where = (
+        f"{args.workers} worker process(es)"
+        if getattr(args, "workers", 0)
+        else "in-process"
+    )
+    print(
+        f"[gateway serving {args.algorithm} x{args.shards} shard(s) "
+        f"({where}) on {args.host}:{gateway.tcp_port}"
+        + (f" and {args.unix}" if args.unix else "")
+        + f"; metrics on http://{args.host}:{gateway.metrics_port}/metrics]",
+        flush=True,
+    )
+    print(
+        "[send {\"kind\": \"drain\"} or SIGINT/SIGTERM for a graceful drain]",
+        flush=True,
+    )
     snapshot = await gateway.wait_drained()
     await gateway.close()
     print(snapshot.summary())
-    for outcome in gateway.shard_outcomes():
-        print(f"  shard: {outcome.summary()}")
+    for shard_id, outcome in enumerate(gateway.shard_outcomes()):
+        if outcome is None:
+            print(f"  shard {shard_id}: worker crashed, no outcome")
+        else:
+            print(f"  shard: {outcome.summary()}")
     return 0
 
 

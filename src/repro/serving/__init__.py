@@ -12,11 +12,17 @@
   :mod:`repro.prediction` model on a history JSONL instead of the
   perfect-hindsight self-guide (``repro replay --guide from-forecast``).
 * :mod:`repro.serving.shard` — consistent spatial hashing of grid cells
-  to per-shard sessions.
+  to per-shard sessions, the :class:`ShardBackend` execution protocol
+  (inline vs worker-pool shards), and per-shard guide construction
+  (:func:`build_shard_guides`).
 * :mod:`repro.serving.gateway` — the asyncio serving gateway: JSONL
   ingest over TCP/unix sockets and an in-process queue, sharded
   sessions, bounded backpressure, graceful drain, and the
   ``/metrics`` + ``/snapshot`` HTTP endpoint (``repro serve``).
+* :mod:`repro.serving.workers` + :mod:`repro.serving.ipc` — the
+  multi-process shard backend: one forked worker process per shard
+  behind length-prefixed pickle pipes (``repro serve --workers N``),
+  bit-identical to the inline backend at equal shard counts.
 * :mod:`repro.serving.loadgen` — the async load generator that replays
   JSONL or synthetic streams against a gateway and reports throughput
   and latency percentiles (``repro loadgen``).
@@ -43,10 +49,21 @@ from repro.serving.session import (
     SessionSnapshot,
     as_source,
 )
-from repro.serving.shard import Shard, ShardRouter, SpatialHashRing, build_shards
+from repro.serving.shard import (
+    InlineShardBackend,
+    Shard,
+    ShardBackend,
+    ShardRouter,
+    SpatialHashRing,
+    build_shard_guides,
+    build_shards,
+    split_counts_by_shard,
+)
+from repro.serving.workers import WorkerPool
 
 _LAZY_FORECAST = (
     "forecast_guide",
+    "forecast_counts",
     "history_from_stream",
     "forecast_volume",
     "forecast_halfway",
@@ -79,6 +96,7 @@ __all__ = [
     "event_to_record",
     "record_to_event",
     "forecast_guide",
+    "forecast_counts",
     "history_from_stream",
     "forecast_volume",
     "forecast_halfway",
@@ -89,7 +107,12 @@ __all__ = [
     "loadgen",
     "run_loadgen",
     "Shard",
+    "ShardBackend",
+    "InlineShardBackend",
     "ShardRouter",
     "SpatialHashRing",
+    "WorkerPool",
     "build_shards",
+    "build_shard_guides",
+    "split_counts_by_shard",
 ]

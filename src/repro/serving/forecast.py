@@ -39,6 +39,7 @@ from repro.streams.oracle import rounded_counts
 
 __all__ = [
     "history_from_stream",
+    "forecast_counts",
     "forecast_guide",
     "forecast_volume",
     "forecast_halfway",
@@ -176,7 +177,7 @@ def forecast_guide(
         ValueError: for an unknown predictor name.
     """
     worker_counts, task_counts, worker_duration, task_duration = (
-        _forecast_counts(history_events, grid, timeline, predictor, seed)
+        forecast_counts(history_events, grid, timeline, predictor, seed)
     )
     if worker_duration <= 0 or task_duration <= 0:
         raise SimulationError(
@@ -193,12 +194,12 @@ def forecast_guide(
     )
 
 
-def _forecast_counts(
+def forecast_counts(
     history_events: Iterable[StreamEvent],
     grid: Grid,
     timeline: Timeline,
-    predictor: str,
-    seed: int,
+    predictor: str = "HA",
+    seed: int = 0,
 ):
     """Fit per-side predictors on a history and forecast the next day.
 
@@ -206,7 +207,10 @@ def _forecast_counts(
     :func:`forecast_volume`: bucket the history, fit one predictor per
     side, forecast ``day_index = n_days`` and round mass-preservingly.
     Returns ``(worker_counts, task_counts, worker_duration,
-    task_duration)``.
+    task_duration)`` — public because sharded serving splits the count
+    tensors by :class:`~repro.serving.shard.ShardRouter` cell ownership
+    before guide construction
+    (:func:`repro.serving.shard.build_shard_guides`).
     """
     worker_history, task_history, worker_duration, task_duration = (
         history_from_stream(history_events, grid, timeline)
@@ -246,7 +250,7 @@ def forecast_volume(
         SimulationError: for an empty history.
         ValueError: for an unknown predictor name.
     """
-    worker_counts, task_counts, _wd, _td = _forecast_counts(
+    worker_counts, task_counts, _wd, _td = forecast_counts(
         history_events, grid, timeline, predictor, seed
     )
     return int(worker_counts.sum()), int(task_counts.sum())

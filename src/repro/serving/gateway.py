@@ -13,10 +13,29 @@ Data path::
                                        ShardRouter (consistent spatial
                                        hashing over grid cells)
                                                                   │
+                                       ShardBackend.submit(shard, event)
+                                                                  │
                                   ┌───────────────┬───────────────┤
                                   ▼               ▼               ▼
                                Shard 0         Shard 1         Shard k
                           (MatchingSession) (MatchingSession)   ...
+                                  │               │               │
+                                  └──── futures, awaited FIFO ────┘
+                                                  ▼
+                                       collector ──> per-connection
+                                                     ack channels
+
+* **Execution backends** — the dispatcher routes events through a
+  :class:`~repro.serving.shard.ShardBackend`: ``backend="inline"``
+  (default) keeps every shard's session on this event loop, exactly the
+  classic single-process gateway; ``backend="process"`` runs each shard
+  in its own forked worker process
+  (:class:`~repro.serving.workers.WorkerPool`) over length-prefixed
+  pickle pipes, buying one core per shard.  A **collector** task awaits
+  the per-event decision futures in dispatch order, so replies keep the
+  send order on every connection and the two backends are bit-identical
+  (pairs, decisions, counters) at equal shard counts — the parity gate
+  tests and CI enforce.
 
 * **Ingest protocol** — one JSON object per line, the same event schema
   :mod:`repro.serving.replay` dumps: arrivals plus the churn records
@@ -24,9 +43,15 @@ Data path::
   event is acknowledged with a decision line (``{"kind", "id", "shard",
   "decision", "partner"}``; churn acks add ``"side"``), so clients can
   measure end-to-end latency.  Churn events are routed to the shard
-  that owns the object (recorded at its arrival — moves never migrate a
-  shard, the hyperlocal compromise); churn for an object the gateway
-  never saw is a malformed line.  Control records: ``{"kind":
+  that owns the object (recorded at its arrival); a ``Move`` whose new
+  location hashes to a *different* shard migrates: the old shard gets a
+  departure, the new one a deadline-preserving arrival at the new
+  location stamped at the move instant (start = move time, duration =
+  the remaining window), and the object→shard registry flips atomically
+  (the ack carries ``"migrated": true`` and the new shard).  Churn for an object
+  the gateway never saw — including one whose registry entry was
+  expiry-swept after its deadline — is a malformed line.  Control
+  records: ``{"kind":
   "snapshot"}`` returns the live snapshot, ``{"kind": "drain"}``
   triggers the graceful drain and returns the final snapshot;
   ``config`` records are acknowledged and skipped.  Malformed lines get
@@ -57,17 +82,26 @@ Data path::
 from __future__ import annotations
 
 import asyncio
+import heapq
 import json
 import os
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import Matcher
+from repro.core.outcome import Decision
 from repro.errors import GatewayError, ReproError
-from repro.model.events import ARRIVAL, DEPARTURE, StreamEvent
+from repro.model.entities import Task, Worker
+from repro.model.events import ARRIVAL, DEPARTURE, MOVE, Arrival, Departure, Move, StreamEvent
 from repro.serving.replay import record_to_event
-from repro.serving.shard import Shard, ShardRouter, build_shards
+from repro.serving.shard import (
+    InlineShardBackend,
+    Shard,
+    ShardBackend,
+    ShardRouter,
+    build_shards,
+)
 from repro.spatial.grid import Grid
 
 __all__ = ["Gateway", "GatewaySnapshot", "render_prometheus"]
@@ -83,6 +117,19 @@ _ACK_QUEUE_LIMIT = 4096
 _SERVING = "serving"
 _DRAINING = "draining"
 _CLOSED = "closed"
+
+
+@dataclass
+class _TrackedObject:
+    """One churn-registry entry: which shard owns an admitted object.
+
+    The entity is retained so a cross-shard ``Move`` can re-admit the
+    object at its new location with its original deadline (``start`` and
+    ``duration`` are immutable; only the location changes).
+    """
+
+    shard_id: int
+    entity: Union[Worker, Task]
 
 
 class _AckChannel:
@@ -187,9 +234,18 @@ class GatewaySnapshot:
         connections: currently open ingest connections.
         arrivals / workers / tasks / matched / ignored_workers /
             ignored_tasks: totals over all shards.
-        departed / moves: churn totals over all shards.
+        departed / moves: churn totals over all shards (migration
+            departures included — ``arrivals`` similarly counts a
+            migrated object once per hosting shard, so ``arrivals ==
+            unique arrivals + migrations``).
         shards: per-shard ``(arrivals, workers, tasks, matched)`` rows.
         wall_seconds: seconds since the gateway was constructed.
+        backend: shard execution backend (``inline`` or ``process``).
+        migrations: cross-shard ``Move`` migrations performed.
+        worker_crashes: shard worker processes lost mid-run (always 0
+            for the inline backend).
+        registry_size: live entries in the object→shard churn registry
+            (bounded by live objects via the deadline expiry sweep).
     """
 
     state: str
@@ -214,6 +270,10 @@ class GatewaySnapshot:
     departed: int = 0
     moves: int = 0
     slow_consumer_drops: int = 0
+    backend: str = "inline"
+    migrations: int = 0
+    worker_crashes: int = 0
+    registry_size: int = 0
 
     def as_dict(self) -> dict:
         """A JSON-ready dict (the ``/snapshot`` payload)."""
@@ -239,6 +299,10 @@ class GatewaySnapshot:
             "departed": self.departed,
             "moves": self.moves,
             "slow_consumer_drops": self.slow_consumer_drops,
+            "backend": self.backend,
+            "migrations": self.migrations,
+            "worker_crashes": self.worker_crashes,
+            "registry_size": self.registry_size,
             "shards": list(self.shards),
             "wall_seconds": round(self.wall_seconds, 3),
         }
@@ -285,6 +349,12 @@ def render_prometheus(snapshot: GatewaySnapshot) -> str:
     gauge("ftoa_gateway_slow_consumer_drops_total",
           snapshot.slow_consumer_drops,
           "connections dropped on ack-queue overflow", "counter")
+    gauge("ftoa_gateway_migrations_total", snapshot.migrations,
+          "cross-shard move migrations", "counter")
+    gauge("ftoa_gateway_worker_crashes_total", snapshot.worker_crashes,
+          "shard worker processes lost mid-run", "counter")
+    gauge("ftoa_gateway_registry_size", snapshot.registry_size,
+          "live object->shard churn-registry entries")
     gauge("ftoa_gateway_malformed_total", snapshot.malformed,
           "rejected input lines", "counter")
     gauge("ftoa_gateway_rejected_total", snapshot.rejected,
@@ -330,6 +400,12 @@ class Gateway:
         replicas: virtual nodes per shard on the consistent-hash ring.
         ack_queue_size: per-connection ack buffer bound; a client whose
             queue overflows (it stopped reading) is dropped.
+        backend: shard execution backend — ``"inline"`` (every shard on
+            this event loop) or ``"process"`` (one forked worker process
+            per shard, :class:`~repro.serving.workers.WorkerPool`).
+            Same shard count ⇒ bit-identical results either way.
+        worker_outbox_size: per-worker IPC outbox bound (``process``
+            backend only).
 
     Usage::
 
@@ -351,6 +427,8 @@ class Gateway:
         queue_size: int = 1024,
         replicas: int = 64,
         ack_queue_size: int = _ACK_QUEUE_LIMIT,
+        backend: str = "inline",
+        worker_outbox_size: int = 512,
     ) -> None:
         if queue_size <= 0:
             raise GatewayError(f"queue_size must be positive, got {queue_size}")
@@ -360,13 +438,28 @@ class Gateway:
             )
         self.grid = grid
         self.router = ShardRouter(grid, n_shards, replicas=replicas)
-        self.shards: List[Shard] = build_shards(n_shards, matcher_factory)
+        if backend == "inline":
+            self._backend: ShardBackend = InlineShardBackend(
+                build_shards(n_shards, matcher_factory)
+            )
+        elif backend == "process":
+            from repro.serving.workers import WorkerPool
+
+            self._backend = WorkerPool(
+                n_shards, matcher_factory, outbox_size=worker_outbox_size
+            )
+        else:
+            raise GatewayError(
+                f"unknown backend {backend!r}; use 'inline' or 'process'"
+            )
         self.queue_size = int(queue_size)
         self.ack_queue_size = int(ack_queue_size)
         self._queue: Optional[asyncio.Queue] = None
+        self._replies: Optional[asyncio.Queue] = None
         self._state = _SERVING
         self._seq = 0
         self._last_time: Optional[float] = None
+        self._dispatch_time: Optional[float] = None
         self._started = time.perf_counter()
         # Counters (names match GatewaySnapshot fields).
         self.ingested = 0
@@ -377,12 +470,20 @@ class Gateway:
         self.backpressure_waits = 0
         self.backpressure_rejected = 0
         self.slow_consumer_drops = 0
+        self.migrations = 0
         self.connections = 0
         # Object → shard registry: churn events name an object, not a
         # location, so they are routed to the shard that admitted it.
-        self._object_shard: Dict[Tuple[str, int], int] = {}
+        # The entry keeps the arrival entity (cross-shard Move migration
+        # rebuilds a deadline-preserving arrival from it) and is bounded
+        # by *live* objects: a deadline-indexed heap sweeps entries once
+        # stream time passes their deadline, when no legal churn can
+        # reference them any more.
+        self._objects: Dict[Tuple[str, int], _TrackedObject] = {}
+        self._expiry: List[Tuple[float, str, int]] = []
         # Async plumbing, created by start().
         self._dispatcher: Optional[asyncio.Task] = None
+        self._collector: Optional[asyncio.Task] = None
         self._drained: Optional[asyncio.Event] = None
         self._drain_requested = False
         self._final_snapshot: Optional[GatewaySnapshot] = None
@@ -393,6 +494,22 @@ class Gateway:
         self._tcp_port: Optional[int] = None
         self._metrics_port: Optional[int] = None
         self._unix_path: Optional[str] = None
+
+    @property
+    def shards(self) -> List[Shard]:
+        """The in-process shard list (inline backend only)."""
+        shards = getattr(self._backend, "shards", None)
+        if shards is None:
+            raise GatewayError(
+                "the worker-pool backend has no in-process shards; use "
+                "shard_outcomes() and snapshot() instead"
+            )
+        return shards
+
+    @property
+    def backend_name(self) -> str:
+        """``inline`` or ``process``."""
+        return self._backend.name
 
     # -- lifecycle ----------------------------------------------------- #
 
@@ -414,9 +531,15 @@ class Gateway:
         """
         if self._dispatcher is not None:
             raise GatewayError("gateway already started")
+        # The backend forks worker processes (when backend="process"),
+        # so it must start before any listening socket exists — children
+        # must never inherit server fds and pin ports open.
+        await self._backend.start()
         self._queue = asyncio.Queue(maxsize=self.queue_size)
+        self._replies = asyncio.Queue(maxsize=self.queue_size)
         self._drained = asyncio.Event()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._collector = asyncio.create_task(self._collect_loop())
         try:
             if port is not None:
                 server = await asyncio.start_server(
@@ -440,18 +563,24 @@ class Gateway:
                 self._servers.append(server)
                 self._metrics_port = server.sockets[0].getsockname()[1]
         except Exception:
-            # Roll back a partial start: no leaked listeners or pending
-            # dispatcher task, and the gateway stays startable.
+            # Roll back a partial start: no leaked listeners, pending
+            # loop tasks or orphaned workers — the gateway stays
+            # startable.
             for server in self._servers:
                 server.close()
             self._servers = []
-            self._dispatcher.cancel()
-            try:
-                await self._dispatcher
-            except asyncio.CancelledError:
-                pass
+            for task in (self._dispatcher, self._collector):
+                if task is not None:
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+            await self._backend.aclose()
             self._dispatcher = None
+            self._collector = None
             self._queue = None
+            self._replies = None
             self._drained = None
             self._tcp_port = None
             self._metrics_port = None
@@ -511,6 +640,9 @@ class Gateway:
         for server in self._servers:
             await server.wait_closed()
         self._servers = []
+        # The drain barrier already collected every worker's outcome;
+        # now reap the processes themselves (no-op for inline shards).
+        await self._backend.aclose()
         if self._unix_path is not None:
             # asyncio does not unlink unix sockets on close; a stale
             # path would make the next `repro serve --unix` fail with
@@ -529,40 +661,78 @@ class Gateway:
         return self._final_snapshot
 
     def shard_outcomes(self):
-        """Per-shard :class:`AssignmentOutcome`s (after the drain)."""
+        """Per-shard :class:`AssignmentOutcome`\\ s (after the drain).
+
+        A shard whose worker process crashed contributes ``None``.
+        """
         if self._state != _CLOSED:
             raise GatewayError("shard outcomes are available after drain()")
-        return [shard.outcome for shard in self.shards]
+        return list(self._backend.outcomes)
 
     # -- in-process ingest --------------------------------------------- #
 
     def _route(self, event: StreamEvent) -> int:
-        """The shard one event belongs to (no side effects).
+        """The shard one event belongs to at ingest time (no side effects).
 
         Arrivals route by location (consistent spatial hashing); churn
-        events route to the shard that admitted the object — a ``Move``
-        reindexes *within* its shard, the hyperlocal compromise.
-        Callers register accepted arrivals via :meth:`_register` (like
-        stamping, registration must cover *accepted* events only, or a
-        refused offer would leave a phantom object behind).
+        events route to the shard that admitted the object.  The
+        dispatcher re-resolves churn ownership at dispatch time, because
+        an in-flight cross-shard migration may have moved the object
+        between ingest and dispatch.  Callers register accepted arrivals
+        via :meth:`_register` (like stamping, registration must cover
+        *accepted* events only, or a refused offer would leave a phantom
+        object behind).
 
         Raises:
             GatewayError: for a churn event naming an unknown object.
         """
         if event.event_kind is ARRIVAL:
             return self.router.shard_of(event)
-        shard_id = self._object_shard.get((event.kind, event.object_id))
-        if shard_id is None:
+        entry = self._objects.get((event.kind, event.object_id))
+        if entry is None:
             raise GatewayError(
                 f"{event.event_kind} of unknown {event.kind} "
                 f"{event.object_id}: the gateway never saw it arrive"
             )
-        return shard_id
+        return entry.shard_id
 
     def _register(self, event: StreamEvent, shard_id: int) -> None:
         """Record an accepted arrival's owning shard for churn routing."""
         if event.event_kind is ARRIVAL:
-            self._object_shard[(event.kind, event.entity.id)] = shard_id
+            entity = event.entity
+            self._objects[(event.kind, entity.id)] = _TrackedObject(
+                shard_id, entity
+            )
+            heapq.heappush(
+                self._expiry, (entity.deadline, event.kind, entity.id)
+            )
+
+    def _trim_registry(self) -> None:
+        """Expiry sweep: drop registry entries whose deadline has passed.
+
+        Once stream time moves strictly past an object's deadline, no
+        legal churn can reference it (churn is sampled inside the
+        availability window), so matched/expired entries stop pinning
+        memory and the registry is bounded by *live* objects.
+
+        The clock is the **dispatcher's** running max of dispatched
+        event times, not the ingest side's: every registry read that
+        *behaves* on the entry (migration targeting, ownership) happens
+        at dispatch, and the ingest side can run thousands of events
+        ahead of a worker-pool backend — sweeping on ingest time would
+        make registry contents (and therefore migrations) depend on
+        queue depth instead of stream order.
+        """
+        now = self._dispatch_time
+        if now is None:
+            return
+        expiry = self._expiry
+        objects = self._objects
+        while expiry and expiry[0][0] < now:
+            _deadline, kind, object_id = heapq.heappop(expiry)
+            entry = objects.get((kind, object_id))
+            if entry is not None and entry.entity.deadline < now:
+                del objects[(kind, object_id)]
 
     async def submit(self, event: StreamEvent) -> None:
         """Enqueue one event, waiting for queue space (backpressure)."""
@@ -609,17 +779,29 @@ class Gateway:
     # -- metrics ------------------------------------------------------- #
 
     def snapshot(self) -> GatewaySnapshot:
-        """Aggregate the shard sessions plus the gateway counters."""
+        """Aggregate the shard sessions plus the gateway counters.
+
+        Synchronous: with the worker-pool backend the per-shard rows are
+        the *latest known* worker snapshots, which may lag the live
+        sessions — :meth:`snapshot_refreshed` performs the round trip.
+        """
         if self._final_snapshot is not None:
             return self._final_snapshot
+        return self._snapshot_live()
+
+    async def snapshot_refreshed(self) -> GatewaySnapshot:
+        """Like :meth:`snapshot`, but round-trips out-of-process shards
+        first (a no-op for the inline backend)."""
+        if self._final_snapshot is not None:
+            return self._final_snapshot
+        await self._backend.refresh_snapshots()
         return self._snapshot_live()
 
     def _snapshot_live(self) -> GatewaySnapshot:
         rows = []
         arrivals = workers = tasks = matched = 0
         ignored_workers = ignored_tasks = departed = moves = 0
-        for shard in self.shards:
-            snap = shard.snapshot()
+        for shard_id, snap in enumerate(self._backend.snapshots()):
             arrivals += snap.arrivals
             workers += snap.workers
             tasks += snap.tasks
@@ -630,7 +812,7 @@ class Gateway:
             moves += snap.moves
             rows.append(
                 {
-                    "shard": shard.shard_id,
+                    "shard": shard_id,
                     "arrivals": snap.arrivals,
                     "workers": snap.workers,
                     "tasks": snap.tasks,
@@ -639,7 +821,7 @@ class Gateway:
             )
         return GatewaySnapshot(
             state=self._state,
-            n_shards=len(self.shards),
+            n_shards=self._backend.n_shards,
             ingested=self.ingested,
             processed=self.processed,
             malformed=self.malformed,
@@ -660,6 +842,10 @@ class Gateway:
             departed=departed,
             moves=moves,
             slow_consumer_drops=self.slow_consumer_drops,
+            backend=self._backend.name,
+            migrations=self.migrations,
+            worker_crashes=self._backend.crashes,
+            registry_size=len(self._objects),
         )
 
     # -- internals ----------------------------------------------------- #
@@ -682,69 +868,261 @@ class Gateway:
         return seq
 
     async def _dispatch_loop(self) -> None:
-        """The single consumer: queue order is the stream's total order.
+        """The single router: queue order is the stream's total order.
 
-        Error replies for rejected lines travel through the same queue
-        ("error" items), so a connection's reply order always equals its
-        send order — clients may pair replies to sends by position.  A
-        matcher that rejects an accepted event (an out-of-horizon
-        timestamp hitting ``Timeline.slot_of``, a churn event for an
-        object its shard never admitted) yields an error reply and a
-        ``malformed`` bump; one poisoned event must never kill the
-        dispatcher and hang every connection.  Replies go through each
-        connection's buffered :class:`_AckChannel`, so the dispatcher
-        never blocks on (or drops acks for) a slow reader.
+        The dispatcher never waits for decisions — it routes each event
+        to its shard through the backend (which may park on a bounded
+        worker outbox: the backpressure path) and forwards the decision
+        *future* to the collector.  Per-shard submission order therefore
+        equals ingest order, which is all Definition 4 needs, while
+        worker processes execute their shards' streams concurrently.
+
+        Churn ownership is re-resolved here (not at ingest) because a
+        cross-shard migration ahead in the queue may have moved the
+        object; a ``Move`` whose new location hashes to a foreign shard
+        takes the migration path (:meth:`_migrate`), which is the one
+        place dispatch synchronises on a decision.
+
+        Inline fast path: with the inline backend every future resolves
+        synchronously, so the dispatcher builds and sends the reply
+        itself — no reply-queue hop, no collector wake-up — making the
+        backend abstraction free for the classic single-process
+        gateway.  Reply order is trivially dispatch order either way.
         """
         queue = self._queue
-        shards = self.shards
+        replies = self._replies
+        backend = self._backend
+        fast = isinstance(backend, InlineShardBackend)
         while True:
             item = await queue.get()
             if item is _DRAIN:
                 break
             tag, payload, shard_id, channel = item
-            if tag == "event":
-                try:
-                    decision = shards[shard_id].push(payload)
-                except Exception as exc:  # noqa: BLE001 — serve loop survives
-                    self.malformed += 1
-                    reply = {"error": f"event rejected by shard: {exc}"}
+            if tag != "event":
+                if fast:
+                    if channel is not None:
+                        channel.send(payload)
                 else:
-                    self.processed += 1
-                    if payload.event_kind is ARRIVAL:
-                        reply = {
-                            "kind": payload.kind,
-                            "id": payload.entity.id,
-                            "shard": shard_id,
-                            "decision": decision.action,
-                            "partner": decision.partner_id,
-                        }
-                    else:
-                        if payload.event_kind is DEPARTURE:
-                            # A departed object can never legally churn
-                            # again: drop its registry entry.  Matched
-                            # and expired objects keep theirs — a
-                            # departure *after* a match is a legal,
-                            # common record (the worker leaves to serve)
-                            # and must keep getting its no-op ack, so
-                            # the registry grows with non-departed
-                            # objects rather than strictly live ones.
-                            self._object_shard.pop(
-                                (payload.kind, payload.object_id), None
-                            )
-                        reply = {
-                            "kind": payload.event_kind,
-                            "side": payload.kind,
-                            "id": payload.object_id,
-                            "shard": shard_id,
-                            "decision": decision.action,
-                            "partner": decision.partner_id,
-                        }
+                    await replies.put(
+                        ("reply", payload, shard_id, channel, None)
+                    )
+                continue
+            # Advance the dispatch clock and expiry-sweep the registry
+            # *before* resolving churn ownership: both are functions of
+            # queue order alone, so every backend sees identical routing.
+            if self._dispatch_time is None or payload.time > self._dispatch_time:
+                self._dispatch_time = payload.time
+                self._trim_registry()
+            migrated = None
+            if payload.event_kind is not ARRIVAL:
+                key = (payload.kind, payload.object_id)
+                entry = self._objects.get(key)
+                if entry is not None:
+                    shard_id = entry.shard_id
+                if payload.event_kind is MOVE and entry is not None:
+                    target = self._move_target(payload)
+                    if (
+                        target is not None
+                        and target != shard_id
+                        # Re-admission stamps the remaining window
+                        # (below); an object at/past its deadline has
+                        # none, so its move falls through to the owning
+                        # shard's deadline-aware no-op instead.
+                        and entry.entity.deadline > payload.time
+                    ):
+                        migrated = await self._migrate(
+                            payload, entry, shard_id, target
+                        )
+                if migrated is None and payload.event_kind is DEPARTURE:
+                    # A departed object can never legally churn again:
+                    # drop its registry entry now, in dispatch order, so
+                    # later lookups are deterministic regardless of how
+                    # far acks lag.  Matched and expired objects keep
+                    # theirs until the deadline sweep — a departure
+                    # *after* a match is a legal, common record (the
+                    # worker leaves to serve) and keeps getting its
+                    # no-op ack while the object's window is open.
+                    # Deliberate trade-off: the pop happens before the
+                    # shard's verdict, so a departure the matcher then
+                    # *rejects* (a poisoned timestamp) still erases the
+                    # entry and later churn for that object errors at
+                    # ingest.  Gating the pop on the ack would reopen
+                    # the ingest-lag nondeterminism between backends;
+                    # degraded-but-deterministic wins for a client that
+                    # already sent a malformed departure.
+                    self._objects.pop(key, None)
+            if migrated is not None:
+                tag, payload, shard_id, future = migrated
             else:
+                tag = "event"
+                future = await backend.submit(shard_id, payload)
+            if fast:
+                reply = await self._resolve_reply(tag, payload, shard_id, future)
+                if channel is not None:
+                    channel.send(reply)
+            else:
+                await replies.put((tag, payload, shard_id, channel, future))
+        await replies.put(_DRAIN)
+
+    def _move_target(self, move: Move) -> Optional[int]:
+        """The shard owning a move's destination, or None off-grid.
+
+        An out-of-bounds destination is left for the owning shard's
+        matcher to reject, so the error ack matches the inline,
+        pre-migration behaviour exactly.
+        """
+        try:
+            return self.router.shard_of_cell(self.grid.area_of(move.location))
+        except ReproError:
+            return None
+
+    async def _migrate(
+        self,
+        move: Move,
+        entry: _TrackedObject,
+        owner: int,
+        target: int,
+    ) -> Tuple[str, StreamEvent, int, "asyncio.Future"]:
+        """Cross-shard ``Move``: departure from the old shard, then a
+        deadline-preserving arrival at the new one.
+
+        The dispatcher blocks on the old shard's departure ack — the
+        only way to learn, deterministically and in stream order,
+        whether the object was still waiting (migrate) or already
+        settled (the move is a no-op, exactly as within-shard churn
+        treats settled objects).  Cross-shard moves are rare; the brief
+        pipeline stall is the price of both backends staying
+        bit-identical.  The registry entry flips to the new shard before
+        any later event is routed — single dispatcher, so the update is
+        atomic with respect to routing.
+
+        Returns the reply-pipeline item ``(tag, event, shard, future)``
+        for the move's ack slot.
+        """
+        departure = Departure(
+            time=move.time, seq=move.seq, kind=move.kind,
+            object_id=move.object_id,
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            decision = await (await self._backend.submit(owner, departure))
+        except Exception as exc:  # noqa: BLE001 — serve loop survives
+            resolved = loop.create_future()
+            resolved.set_exception(exc)
+            return ("event", move, owner, resolved)
+        if decision.action != Decision.DEPARTED:
+            # Matched, ignored or expired: nothing to migrate — ack the
+            # standing decision, the same no-op a within-shard move gets.
+            resolved = loop.create_future()
+            resolved.set_result(decision)
+            return ("event", move, owner, resolved)
+        # The re-admission is stamped at the move instant with the
+        # *remaining* window: start' = move time, duration' = deadline −
+        # move time, so the deadline is preserved exactly while the new
+        # shard's matcher evaluates expiry and feasibility at the move
+        # time — not at the original (stale) arrival instant, which
+        # could pair the migrant with partners that expired long before
+        # the move.  The caller guaranteed deadline > move.time.  The
+        # seq is the triggering move's, so reruns are deterministic on
+        # every ingest path.
+        entity = replace(
+            entry.entity,
+            location=move.location,
+            start=move.time,
+            duration=entry.entity.deadline - move.time,
+        )
+        arrival = Arrival(
+            time=move.time, seq=move.seq, kind=move.kind, entity=entity
+        )
+        self._objects[(move.kind, move.object_id)] = _TrackedObject(
+            target, entity
+        )
+        self.migrations += 1
+        future = await self._backend.submit(target, arrival)
+        return ("migrate", move, target, future)
+
+    async def _resolve_reply(
+        self,
+        tag: str,
+        payload: StreamEvent,
+        shard_id: int,
+        future: "asyncio.Future",
+    ) -> dict:
+        """Await one decision future and build its ack line.
+
+        Shared by the collector (worker-pool backend) and the
+        dispatcher's inline fast path; a rejected event — including one
+        whose worker crashed — becomes an error reply and a
+        ``malformed`` bump, never a hang.
+        """
+        try:
+            decision = await future
+        except Exception as exc:  # noqa: BLE001 — serve loop survives
+            self.malformed += 1
+            return {"error": f"event rejected by shard: {exc}"}
+        self.processed += 1
+        if tag == "migrate":
+            return {
+                "kind": MOVE,
+                "side": payload.kind,
+                "id": payload.object_id,
+                "shard": shard_id,
+                "decision": decision.action,
+                "partner": decision.partner_id,
+                "migrated": True,
+            }
+        if payload.event_kind is ARRIVAL:
+            return {
+                "kind": payload.kind,
+                "id": payload.entity.id,
+                "shard": shard_id,
+                "decision": decision.action,
+                "partner": decision.partner_id,
+            }
+        return {
+            "kind": payload.event_kind,
+            "side": payload.kind,
+            "id": payload.object_id,
+            "shard": shard_id,
+            "decision": decision.action,
+            "partner": decision.partner_id,
+        }
+
+    async def _collect_loop(self) -> None:
+        """Ordered ack collection: award replies in dispatch order.
+
+        Futures resolve as workers ack, possibly out of global order;
+        awaiting them FIFO restores it, so a connection's reply order
+        always equals its send order — clients may pair replies to
+        sends by position.  Error replies for rejected lines travel
+        through the same pipeline ("reply" items).  A matcher that
+        rejects an accepted event (an out-of-horizon timestamp hitting
+        ``Timeline.slot_of``, a churn event for an object its shard
+        never admitted) — or a crashed worker failing its in-flight
+        futures — yields an error reply and a ``malformed`` bump; one
+        poisoned event or dead worker must never hang a connection.
+        Replies go through each connection's buffered
+        :class:`_AckChannel`, so the collector never blocks on a slow
+        reader.  On the drain sentinel the collector runs the backend's
+        ``finish()`` barrier and freezes the final snapshot.
+        """
+        replies = self._replies
+        while True:
+            item = await replies.get()
+            if item is _DRAIN:
+                break
+            tag, payload, shard_id, channel, future = item
+            if tag == "reply":
                 reply = payload
+            else:
+                # Registry upkeep (departure pops, expiry sweep) already
+                # happened in dispatch order.
+                reply = await self._resolve_reply(tag, payload, shard_id, future)
             if channel is not None:
                 channel.send(reply)
-        for shard in shards:
-            shard.finish()
+        # Drain barrier: every shard's stream closes (idempotently) and
+        # the final snapshot freezes for late /snapshot readers.
+        await self._backend.finish()
         self._state = _CLOSED
         self._final_snapshot = self._snapshot_live()
         self._drained.set()
@@ -788,7 +1166,11 @@ class Gateway:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Loop teardown may cancel the handler while it waits
+                # for the transport close; ending the task cancelled
+                # would make the protocol's completion callback log a
+                # spurious error.
                 pass
 
     async def _ingest_line(self, line: bytes, channel: _AckChannel) -> None:
@@ -835,7 +1217,7 @@ class Gateway:
             channel.send({"kind": "config", "ok": True})
             return
         if kind == "snapshot":
-            channel.send(self.snapshot().as_dict())
+            channel.send((await self.snapshot_refreshed()).as_dict())
             return
         if kind == "drain":
             await self._reply_after_drain(channel, None, trigger=True)
@@ -917,14 +1299,17 @@ class Gateway:
                         writer,
                         200,
                         "text/plain; version=0.0.4; charset=utf-8",
-                        render_prometheus(self.snapshot()),
+                        render_prometheus(await self.snapshot_refreshed()),
                     )
                 elif path == "/snapshot":
                     self._http_reply(
                         writer,
                         200,
                         "application/json",
-                        json.dumps(self.snapshot().as_dict()) + "\n",
+                        json.dumps(
+                            (await self.snapshot_refreshed()).as_dict()
+                        )
+                        + "\n",
                     )
                 elif path == "/healthz":
                     self._http_reply(writer, 200, "text/plain", self._state + "\n")

@@ -1,0 +1,183 @@
+"""Length-prefixed pickle framing for gateway ↔ shard-worker pipes.
+
+The worker-pool backend (:mod:`repro.serving.workers`) runs each shard's
+:class:`~repro.serving.session.MatchingSession` in its own OS process and
+talks to it over a pair of anonymous pipes.  This module is the wire
+layer both sides share:
+
+* **Framing** — every message is ``!I`` big-endian length prefix +
+  pickle payload (:func:`encode_frame`).  Pickle, not JSON, because the
+  payloads are the library's own event/decision/outcome objects and the
+  two endpoints are the same interpreter build forked from one process —
+  the classic trusted-duplex-pipe case.  The frame length is bounded
+  (:data:`MAX_FRAME`) so a corrupted prefix fails loudly instead of
+  allocating gigabytes.
+* **Blocking endpoint** — :class:`BlockingEndpoint` is the worker
+  child's side: plain buffered file objects over the raw pipe fds, one
+  ``recv``/``send`` per message, EOF surfaced as :class:`EOFError` (the
+  gateway hanging up is the worker's shutdown signal).
+* **Async side** — :func:`read_frame` decodes one frame from an
+  :class:`asyncio.StreamReader`; writers just ``write(encode_frame(m))``
+  and ``drain()``.
+
+Message schema (tuples, not classes, to keep frames small):
+
+* requests (gateway → worker): ``(tag, seq, payload)`` where ``tag`` is
+  :data:`EVENT` (payload: a stream event), :data:`SNAPSHOT` /
+  :data:`FINISH` (payload ``None``), or :data:`STOP` (no reply).
+* replies (worker → gateway): ``(ACK, seq, decision)``,
+  ``(NACK, seq, error text)``, ``(SNAP, seq, session snapshot)``,
+  ``(DONE, seq, (outcome, final snapshot))``.
+
+``seq`` echoes the request's sequence number; since a worker serves its
+pipe strictly FIFO, the gateway correlates replies by order and uses the
+echoed ``seq`` purely as a protocol-corruption check.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import Any
+
+import asyncio
+
+from repro.errors import GatewayError
+
+__all__ = [
+    "EVENT",
+    "SNAPSHOT",
+    "FINISH",
+    "STOP",
+    "ACK",
+    "NACK",
+    "SNAP",
+    "DONE",
+    "MAX_FRAME",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "BlockingEndpoint",
+]
+
+# Request tags (gateway → worker).
+EVENT = "event"
+SNAPSHOT = "snapshot"
+FINISH = "finish"
+STOP = "stop"
+
+# Reply tags (worker → gateway).
+ACK = "ack"
+NACK = "nack"
+SNAP = "snap"
+DONE = "done"
+
+_HEADER = struct.Struct("!I")
+
+# Upper bound on one frame.  Events are a few hundred bytes; the big
+# frame is a DONE reply carrying a whole AssignmentOutcome (decision
+# dicts over every object a shard saw) — 256 MiB leaves paper-scale
+# outcomes room while still catching a garbage length prefix.
+MAX_FRAME = 256 * 1024 * 1024
+
+
+def encode_frame(message: Any) -> bytes:
+    """One message as a length-prefixed pickle frame.
+
+    Raises:
+        GatewayError: if the pickled message exceeds :data:`MAX_FRAME`.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise GatewayError(
+            f"IPC frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Any:
+    """Inverse of :func:`encode_frame`'s payload part."""
+    return pickle.loads(payload)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any:
+    """Read one frame from an async pipe reader.
+
+    Raises:
+        EOFError: when the pipe closes (cleanly or mid-frame — a frame
+            torn in half means the peer died, which callers treat the
+            same as a close).
+        GatewayError: for a length prefix beyond :data:`MAX_FRAME`.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        raise EOFError("pipe closed") from None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise GatewayError(
+            f"IPC frame announces {length} bytes (limit {MAX_FRAME}); "
+            "stream is corrupt"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        raise EOFError("pipe closed mid-frame") from None
+    return decode_frame(payload)
+
+
+class BlockingEndpoint:
+    """The worker child's blocking side of the duplex pipe pair.
+
+    Args:
+        recv_fd: fd the worker reads requests from.
+        send_fd: fd the worker writes replies to.
+
+    Both fds are owned (and closed) by the endpoint.
+    """
+
+    def __init__(self, recv_fd: int, send_fd: int) -> None:
+        self._recv = os.fdopen(recv_fd, "rb")
+        self._send = os.fdopen(send_fd, "wb")
+
+    def recv(self) -> Any:
+        """Block for one request frame.
+
+        Raises:
+            EOFError: when the gateway side closed the pipe.
+            GatewayError: for an over-limit length prefix.
+        """
+        header = self._read_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise GatewayError(
+                f"IPC frame announces {length} bytes (limit {MAX_FRAME}); "
+                "stream is corrupt"
+            )
+        return decode_frame(self._read_exact(length))
+
+    def send(self, message: Any) -> None:
+        """Write one reply frame and flush it to the pipe."""
+        self._send.write(encode_frame(message))
+        self._send.flush()
+
+    def close(self) -> None:
+        """Close both pipe ends (idempotent)."""
+        for stream in (self._recv, self._send):
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._recv.read(remaining)
+            if not chunk:
+                raise EOFError("pipe closed")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)

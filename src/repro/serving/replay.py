@@ -60,6 +60,7 @@ __all__ = [
     "dump_stream",
     "load_stream",
     "stream_config",
+    "stream_counts",
     "build_self_guide",
 ]
 
@@ -240,20 +241,18 @@ def load_stream(fp: IO[str]) -> Tuple[Optional[dict], List[StreamEvent]]:
     return config, events
 
 
-def build_self_guide(
+def stream_counts(
     events: Iterable[StreamEvent],
     grid: Grid,
     timeline: Timeline,
-    travel: TravelModel,
-) -> OfflineGuide:
-    """Algorithm 1 fed with the stream's own empirical counts.
+) -> Tuple[np.ndarray, np.ndarray, float, float]:
+    """A stream's empirical per-(slot, area) counts and mean durations.
 
-    This is the perfect-prediction oracle for a replayed stream: the
-    (slot, area) tensors are the exact arrival counts, and the guide's
-    representative durations are the per-side means.  Churn events are
-    skipped — the guide predicts *arrivals*, and Algorithm 1 has no
-    departure channel.  Real deployments substitute a forecast; the
-    self-guide is the upper bound it chases.
+    Returns ``(worker_counts, task_counts, worker_duration,
+    task_duration)`` — the raw material of the self-guide, exposed so
+    callers can reshape it first (e.g. split the tensors by shard
+    ownership for per-shard guides).  Churn events carry no demand
+    signal and are skipped.
 
     Raises:
         SimulationError: for an empty stream (no counts to build from).
@@ -281,6 +280,30 @@ def build_self_guide(
     )
     task_duration = (
         sum(task_durations) / len(task_durations) if task_durations else 0.0
+    )
+    return worker_counts, task_counts, worker_duration, task_duration
+
+
+def build_self_guide(
+    events: Iterable[StreamEvent],
+    grid: Grid,
+    timeline: Timeline,
+    travel: TravelModel,
+) -> OfflineGuide:
+    """Algorithm 1 fed with the stream's own empirical counts.
+
+    This is the perfect-prediction oracle for a replayed stream: the
+    (slot, area) tensors are the exact arrival counts, and the guide's
+    representative durations are the per-side means.  Churn events are
+    skipped — the guide predicts *arrivals*, and Algorithm 1 has no
+    departure channel.  Real deployments substitute a forecast; the
+    self-guide is the upper bound it chases.
+
+    Raises:
+        SimulationError: for an empty stream (no counts to build from).
+    """
+    worker_counts, task_counts, worker_duration, task_duration = stream_counts(
+        events, grid, timeline
     )
     return build_guide(
         worker_counts,

@@ -25,9 +25,12 @@ the standard hyperlocal-serving compromise.
 
 from __future__ import annotations
 
+import asyncio
 import bisect
 import hashlib
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
 
 from repro.core.engine import Matcher
 from repro.core.outcome import AssignmentOutcome, Decision
@@ -36,7 +39,16 @@ from repro.model.events import ARRIVAL, Arrival, StreamEvent
 from repro.serving.session import MatchingSession, SessionSnapshot
 from repro.spatial.grid import Grid
 
-__all__ = ["SpatialHashRing", "ShardRouter", "Shard", "build_shards"]
+__all__ = [
+    "SpatialHashRing",
+    "ShardRouter",
+    "Shard",
+    "ShardBackend",
+    "InlineShardBackend",
+    "build_shards",
+    "split_counts_by_shard",
+    "build_shard_guides",
+]
 
 # Virtual nodes per shard.  Enough for an even spread over a few dozen
 # shards; cheap to build (shards × replicas blake2b digests, once).
@@ -170,3 +182,192 @@ def build_shards(
 ) -> List[Shard]:
     """Construct ``n_shards`` shards from a per-shard matcher factory."""
     return [Shard(i, matcher_factory(i)) for i in range(n_shards)]
+
+
+# ---------------------------------------------------------------------- #
+# Shard execution backends
+# ---------------------------------------------------------------------- #
+
+
+class ShardBackend(Protocol):
+    """Where a gateway's shards execute: one interface, two homes.
+
+    The gateway's dispatcher speaks this protocol only, so the shard
+    fleet can live in-process (:class:`InlineShardBackend`) or across a
+    pool of worker processes (:class:`repro.serving.workers.WorkerPool`)
+    without the gateway caring.  The contract the dispatcher relies on:
+
+    * :meth:`submit` returns an :class:`asyncio.Future` resolving to the
+      shard's :class:`~repro.core.outcome.Decision` (or raising the
+      shard's rejection).  Submission order per shard **is** that
+      shard's stream order — backends must process a shard's events
+      strictly FIFO (Definition 4's per-shard total order).  ``submit``
+      may await internal backpressure (a bounded per-worker outbox)
+      before returning.
+    * :meth:`snapshots` is a cheap, synchronous read of the latest known
+      per-shard :class:`~repro.serving.session.SessionSnapshot` rows
+      (possibly stale for out-of-process shards);
+      :meth:`refresh_snapshots` performs the round trip.
+    * :meth:`finish` is the drain barrier: every shard's stream closes
+      and the per-shard outcomes come back (``None`` for a shard whose
+      worker crashed).
+    * :attr:`crashes` counts shard executors lost mid-run (always 0
+      in-process).
+    """
+
+    name: str
+
+    @property
+    def n_shards(self) -> int: ...
+
+    @property
+    def crashes(self) -> int: ...
+
+    @property
+    def outcomes(self) -> Optional[List[Optional[AssignmentOutcome]]]: ...
+
+    async def start(self) -> None: ...
+
+    async def submit(
+        self, shard_id: int, event: StreamEvent
+    ) -> "asyncio.Future[Decision]": ...
+
+    def snapshots(self) -> List[SessionSnapshot]: ...
+
+    async def refresh_snapshots(self) -> List[SessionSnapshot]: ...
+
+    async def finish(self) -> List[Optional[AssignmentOutcome]]: ...
+
+    async def aclose(self) -> None: ...
+
+
+class InlineShardBackend:
+    """All shards on the caller's event loop — the single-process home.
+
+    ``submit`` executes the shard's push synchronously and hands back an
+    already-resolved future, so the dispatcher's awaits never suspend:
+    a single-shard inline gateway stays bit-identical to (and about as
+    fast as) the pre-backend dispatcher.
+    """
+
+    name = "inline"
+
+    def __init__(self, shards: List[Shard]) -> None:
+        self.shards = shards
+        self._outcomes: Optional[List[Optional[AssignmentOutcome]]] = None
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def crashes(self) -> int:
+        """In-process shards cannot crash independently of the gateway."""
+        return 0
+
+    @property
+    def outcomes(self) -> Optional[List[Optional[AssignmentOutcome]]]:
+        return self._outcomes
+
+    async def start(self) -> None:  # pragma: no cover - trivial
+        return None
+
+    async def submit(
+        self, shard_id: int, event: StreamEvent
+    ) -> "asyncio.Future[Decision]":
+        future = asyncio.get_running_loop().create_future()
+        try:
+            future.set_result(self.shards[shard_id].push(event))
+        except Exception as exc:  # noqa: BLE001 — the caller unwraps
+            future.set_exception(exc)
+        return future
+
+    def snapshots(self) -> List[SessionSnapshot]:
+        return [shard.snapshot() for shard in self.shards]
+
+    async def refresh_snapshots(self) -> List[SessionSnapshot]:
+        return self.snapshots()
+
+    async def finish(self) -> List[Optional[AssignmentOutcome]]:
+        self._outcomes = [shard.finish() for shard in self.shards]
+        return self._outcomes
+
+    async def aclose(self) -> None:  # pragma: no cover - trivial
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# Sharded guides
+# ---------------------------------------------------------------------- #
+
+
+def split_counts_by_shard(
+    counts: np.ndarray, router: ShardRouter
+) -> List[np.ndarray]:
+    """Per-shard copies of a ``(slot, area)`` count tensor.
+
+    Shard ``k`` keeps the columns of the grid cells it owns on the
+    router's ring and zeros everywhere else, so the shard slices
+    partition the original mass exactly (every cell has one owner).
+    This is the serving fix for guided sharding: a *global* guide pairs
+    predicted nodes across region shards, and those cross-shard partners
+    can never meet inside one shard's matcher — per-shard guides keep
+    every guide pair servable by the shard that will see both arrivals.
+    """
+    counts = np.asarray(counts)
+    flat = counts.reshape(-1, router.grid.n_areas)
+    owners = np.fromiter(
+        (router.shard_of_cell(area) for area in range(router.grid.n_areas)),
+        dtype=np.int64,
+        count=router.grid.n_areas,
+    )
+    return [
+        np.where(owners[None, :] == shard, flat, 0).reshape(counts.shape)
+        for shard in range(router.n_shards)
+    ]
+
+
+def build_shard_guides(
+    worker_counts: np.ndarray,
+    task_counts: np.ndarray,
+    router: ShardRouter,
+    timeline,
+    travel,
+    worker_duration: float,
+    task_duration: float,
+    method: str = "auto",
+) -> List["object"]:
+    """One Algorithm-1 guide per shard from that shard's predicted counts.
+
+    Args:
+        worker_counts / task_counts: the full-city ``(slot, area)``
+            prediction tensors (a forecast or a stream's own counts).
+        router: the gateway's cell → shard map; its grid is the guide
+            grid.
+        timeline / travel: the serving discretisation.
+        worker_duration / task_duration: representative ``Dw`` / ``Dr``
+            (global means — durations are a per-side property, not a
+            per-region one).
+        method: forwarded to :func:`repro.core.guide.build_guide`.
+
+    Returns:
+        ``router.n_shards`` :class:`~repro.core.guide.OfflineGuide`\\ s,
+        indexed by shard id.
+    """
+    from repro.core.guide import build_guide
+
+    worker_splits = split_counts_by_shard(worker_counts, router)
+    task_splits = split_counts_by_shard(task_counts, router)
+    return [
+        build_guide(
+            worker_splits[shard],
+            task_splits[shard],
+            router.grid,
+            timeline,
+            travel,
+            worker_duration,
+            task_duration,
+            method=method,
+        )
+        for shard in range(router.n_shards)
+    ]

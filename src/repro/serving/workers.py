@@ -1,0 +1,561 @@
+"""Multi-process shard workers: the gateway's process-pool backend.
+
+The inline backend runs every shard's matcher on one event loop — one
+core.  :class:`WorkerPool` is the multi-core home: each shard's
+:class:`~repro.serving.shard.Shard` (and therefore its
+:class:`~repro.serving.session.MatchingSession`) lives in a dedicated
+**forked worker process**, and the gateway becomes a front router that
+fans events out over the deterministic
+:class:`~repro.serving.shard.ShardRouter` map.
+
+Topology and wire format::
+
+    gateway (asyncio)                          worker i (blocking)
+    ─────────────────                          ──────────────────
+    submit(shard, event)                       Shard(i, factory(i))
+      │  bounded outbox ──writer task──▶ pipe ──▶ recv loop
+      │  pending FIFO  ◀──reader task◀── pipe ◀── push → ACK/NACK
+      ▼
+    future per event (resolved strictly in a worker's send order)
+
+* **IPC** — length-prefixed pickle frames (:mod:`repro.serving.ipc`)
+  over two anonymous pipes per worker.  Workers are *forked*, so the
+  per-shard matcher factory (closures, prebuilt guides and all) is
+  inherited — nothing needs to be picklable except events, decisions,
+  snapshots and outcomes, which all are.
+* **Ordering** — one bounded outbox and one writer task per worker;
+  the single writer assigns sequence numbers at write time, so pending
+  futures resolve in exactly pipe order and each shard consumes its
+  events in the gateway's dispatch order (Definition 4's per-shard
+  total order).  Same shard count ⇒ bit-identical pairs, decisions and
+  counters versus the inline backend (test- and CI-enforced).
+* **Backpressure** — a full outbox parks :meth:`WorkerPool.submit`,
+  which parks the gateway dispatcher, which parks socket readers on the
+  bounded ingest queue: the stall propagates to the sender end-to-end.
+* **Crashes** — a worker dying closes its pipes; the reader task fails
+  every in-flight future with a clean :class:`~repro.errors.GatewayError`
+  (the gateway turns those into error acks — no hang), later submissions
+  to the dead shard fail fast, and :attr:`WorkerPool.crashes` surfaces
+  in ``/metrics``.
+* **Drain** — :meth:`WorkerPool.finish` is the barrier: a ``FINISH``
+  frame per worker (sequenced after all of its events), one
+  ``DONE(outcome, final snapshot)`` back, worker exits.  Crashed workers
+  contribute ``None`` outcomes; the drain still completes.
+
+Forking requires a POSIX host (the ``fork`` start method); the gateway
+raises a clean error elsewhere.  Workers are daemonic, ignore SIGINT
+(the gateway coordinates shutdown) and exit on pipe EOF, so a dying
+gateway — even SIGKILLed — never strands a worker fleet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.core.engine import Matcher
+from repro.core.outcome import AssignmentOutcome, Decision
+from repro.errors import GatewayError
+from repro.model.events import StreamEvent
+from repro.serving import ipc
+from repro.serving.session import SessionSnapshot
+from repro.serving.shard import Shard
+
+__all__ = ["WorkerPool", "shard_worker_main"]
+
+# Per-worker outbox bound (messages).  Deep enough to keep a worker fed
+# between event-loop ticks, shallow enough that one slow shard stalls
+# ingest instead of buffering the whole stream in parent memory.
+_DEFAULT_OUTBOX = 512
+
+# An idle per-shard session snapshot: what a worker that has not
+# reported yet (or died before reporting) contributes to aggregates.
+_EMPTY_SNAPSHOT = SessionSnapshot(
+    arrivals=0, workers=0, tasks=0, matched=0,
+    ignored_workers=0, ignored_tasks=0, stream_time=None, wall_seconds=0.0,
+)
+
+
+class _ShardRejection(GatewayError):
+    """A worker-side matcher rejected one event.
+
+    ``str()`` is exactly the worker-side exception text, so the
+    gateway's error ack (``event rejected by shard: {exc}``) is
+    bit-identical to the inline backend's.
+    """
+
+
+def shard_worker_main(
+    shard_id: int,
+    matcher_factory: Callable[[int], Matcher],
+    recv_fd: int,
+    send_fd: int,
+    close_fds: Tuple[int, ...] = (),
+) -> None:
+    """The worker child's entry point: one shard, one blocking loop.
+
+    Builds ``Shard(shard_id, matcher_factory(shard_id))`` locally (the
+    factory was inherited through fork) and serves the request pipe
+    FIFO until a ``FINISH``/``STOP`` frame or EOF.  Matcher-level
+    rejections become ``NACK`` replies — a poisoned event must never
+    kill the worker.
+
+    Args:
+        close_fds: parent-side pipe fds of *other* workers inherited
+            through fork; closed first so a sibling's EOF semantics
+            aren't held hostage by this process's fd table.
+    """
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    try:
+        # The gateway coordinates shutdown over the pipes; a terminal
+        # Ctrl+C must interrupt the *gateway*, not race it worker by
+        # worker.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - exotic hosts
+        pass
+    endpoint = ipc.BlockingEndpoint(recv_fd, send_fd)
+    shard = Shard(shard_id, matcher_factory(shard_id))
+    try:
+        while True:
+            try:
+                tag, seq, payload = endpoint.recv()
+            except EOFError:
+                break
+            if tag == ipc.EVENT:
+                try:
+                    decision = shard.push(payload)
+                except Exception as exc:  # noqa: BLE001 — serve loop survives
+                    endpoint.send((ipc.NACK, seq, str(exc)))
+                else:
+                    endpoint.send((ipc.ACK, seq, decision))
+            elif tag == ipc.SNAPSHOT:
+                endpoint.send((ipc.SNAP, seq, shard.snapshot()))
+            elif tag == ipc.FINISH:
+                outcome = shard.finish()
+                endpoint.send((ipc.DONE, seq, (outcome, shard.snapshot())))
+                break
+            elif tag == ipc.STOP:
+                break
+            else:  # pragma: no cover - protocol corruption
+                endpoint.send((ipc.NACK, seq, f"unknown request tag {tag!r}"))
+    finally:
+        endpoint.close()
+
+
+class _WorkerHandle:
+    """Parent-side state of one shard worker."""
+
+    __slots__ = (
+        "shard_id", "process", "reader", "writer", "read_transport",
+        "outbox", "pending", "seq", "alive", "closing", "reader_task",
+        "writer_task", "last_snapshot", "outcome", "failure",
+    )
+
+    def __init__(self, shard_id: int, outbox_size: int) -> None:
+        self.shard_id = shard_id
+        self.process = None
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.read_transport = None
+        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=outbox_size)
+        # (request tag, seq, future) in pipe-write order; replies come
+        # back strictly FIFO because the worker is single-threaded, and
+        # each must echo its request's seq (the corruption check).
+        self.pending: Deque[Tuple[str, int, Optional[asyncio.Future]]] = deque()
+        self.seq = 0
+        self.alive = True
+        self.closing = False
+        self.reader_task: Optional[asyncio.Task] = None
+        self.writer_task: Optional[asyncio.Task] = None
+        self.last_snapshot: SessionSnapshot = _EMPTY_SNAPSHOT
+        self.outcome: Optional[AssignmentOutcome] = None
+        self.failure: Optional[str] = None
+
+
+class WorkerPool:
+    """A :class:`~repro.serving.shard.ShardBackend` over forked processes.
+
+    Args:
+        n_shards: worker count — one process per shard.
+        matcher_factory: builds shard ``i``'s matcher *inside* worker
+            ``i`` (inherited through fork; needs no pickling).
+        outbox_size: per-worker outbox bound (the IPC backpressure
+            limit).
+
+    Raises:
+        GatewayError: for bad parameters, or at :meth:`start` on hosts
+            without the ``fork`` start method.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_shards: int,
+        matcher_factory: Callable[[int], Matcher],
+        outbox_size: int = _DEFAULT_OUTBOX,
+    ) -> None:
+        if n_shards <= 0:
+            raise GatewayError(f"n_shards must be positive, got {n_shards}")
+        if outbox_size <= 0:
+            raise GatewayError(
+                f"outbox_size must be positive, got {outbox_size}"
+            )
+        self._n_shards = int(n_shards)
+        self._factory = matcher_factory
+        self._outbox_size = int(outbox_size)
+        self.handles: List[_WorkerHandle] = []
+        self._crashes = 0
+        self._outcomes: Optional[List[Optional[AssignmentOutcome]]] = None
+
+    # -- ShardBackend surface ------------------------------------------ #
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def crashes(self) -> int:
+        """Workers lost mid-run (clean exits after FINISH don't count)."""
+        return self._crashes
+
+    @property
+    def outcomes(self) -> Optional[List[Optional[AssignmentOutcome]]]:
+        return self._outcomes
+
+    async def start(self) -> None:
+        """Fork the worker fleet and wire the async pipe plumbing.
+
+        Must run before the gateway binds any listening socket, so the
+        children never inherit (and therefore never pin open) the
+        gateway's server or connection fds.
+        """
+        if self.handles:
+            raise GatewayError("worker pool already started")
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise GatewayError(
+                "the worker-pool backend needs the 'fork' start method "
+                f"(POSIX only): {exc}"
+            ) from exc
+        loop = asyncio.get_running_loop()
+        parent_fds: List[int] = []  # parent-side fds of already-forked workers
+        try:
+            for shard_id in range(self._n_shards):
+                handle = _WorkerHandle(shard_id, self._outbox_size)
+                to_child_r, to_child_w = os.pipe()
+                to_parent_r, to_parent_w = os.pipe()
+                process = context.Process(
+                    target=shard_worker_main,
+                    args=(
+                        shard_id,
+                        self._factory,
+                        to_child_r,
+                        to_parent_w,
+                        # The child inherits every earlier worker's
+                        # parent-side fds plus its own pair's parent
+                        # ends: close them all or EOF-based shutdown
+                        # breaks (a sibling holding a dup keeps a pipe
+                        # "open" after the real owner closes it).
+                        tuple(parent_fds) + (to_child_w, to_parent_r),
+                    ),
+                    daemon=True,
+                    name=f"ftoa-shard-worker-{shard_id}",
+                )
+                process.start()
+                os.close(to_child_r)
+                os.close(to_parent_w)
+                parent_fds.extend((to_child_w, to_parent_r))
+                handle.process = process
+                # Track the handle *before* the async pipe wiring: if
+                # fdopen/connect_*_pipe fails mid-worker, the rollback
+                # aclose() below must still see (and reap) the child
+                # that already forked.
+                self.handles.append(handle)
+
+                reader = asyncio.StreamReader(loop=loop)
+                handle.read_transport, _ = await loop.connect_read_pipe(
+                    lambda: asyncio.StreamReaderProtocol(reader, loop=loop),
+                    os.fdopen(to_parent_r, "rb", 0),
+                )
+                handle.reader = reader
+                w_transport, w_protocol = await loop.connect_write_pipe(
+                    lambda: asyncio.streams.FlowControlMixin(loop=loop),
+                    os.fdopen(to_child_w, "wb", 0),
+                )
+                handle.writer = asyncio.StreamWriter(
+                    w_transport, w_protocol, None, loop
+                )
+                handle.reader_task = loop.create_task(self._reader_loop(handle))
+                handle.writer_task = loop.create_task(self._writer_loop(handle))
+        except Exception:
+            await self.aclose()
+            raise
+
+    async def submit(
+        self, shard_id: int, event: StreamEvent
+    ) -> "asyncio.Future[Decision]":
+        """Queue one event for a shard worker; future resolves on its ack.
+
+        Awaits outbox space (the backpressure path); a dead worker's
+        future fails immediately with the crash reason, so callers get a
+        clean error instead of a hang.
+        """
+        handle = self.handles[shard_id]
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        if not handle.alive:
+            future.set_exception(GatewayError(self._crash_reason(handle)))
+            return future
+        await handle.outbox.put((ipc.EVENT, event, future))
+        return future
+
+    def snapshots(self) -> List[SessionSnapshot]:
+        """Latest known per-shard snapshots (no round trip; may lag)."""
+        return [handle.last_snapshot for handle in self.handles]
+
+    async def refresh_snapshots(
+        self, timeout: float = 5.0
+    ) -> List[SessionSnapshot]:
+        """Round-trip a snapshot request to every live worker.
+
+        A worker deep in a backlog answers after the queued events ahead
+        of the request; past ``timeout`` the stale cache is returned and
+        the late reply still lands in it when it arrives.  A worker
+        whose outbox is *full* (the designed backpressure state) is
+        skipped outright — a metrics scrape must never queue behind, or
+        add load to, an overloaded shard; its cached row stands.
+        """
+        futures = []
+        for handle in self.handles:
+            if handle.alive and not handle.closing:
+                future = asyncio.get_running_loop().create_future()
+                # A crash may fail this future after the timeout window
+                # when nobody is awaiting it any more; mark the result
+                # retrieved so the loop doesn't log a phantom error.
+                future.add_done_callback(_swallow_result)
+                try:
+                    handle.outbox.put_nowait((ipc.SNAPSHOT, None, future))
+                except asyncio.QueueFull:
+                    continue
+                futures.append(future)
+        if futures:
+            await asyncio.wait(futures, timeout=timeout)
+        return self.snapshots()
+
+    async def finish(self) -> List[Optional[AssignmentOutcome]]:
+        """The drain barrier: close every worker's stream, collect outcomes.
+
+        Idempotent; crashed workers yield ``None`` without blocking the
+        barrier.
+        """
+        if self._outcomes is not None:
+            return self._outcomes
+        waits = []
+        for handle in self.handles:
+            if handle.alive and not handle.closing:
+                handle.closing = True
+                future = asyncio.get_running_loop().create_future()
+                future.add_done_callback(_swallow_result)
+                await handle.outbox.put((ipc.FINISH, None, future))
+                waits.append(future)
+        if waits:
+            # return_exceptions: a worker crashing mid-finish leaves its
+            # outcome None but must not break the other shards' barrier.
+            await asyncio.gather(*waits, return_exceptions=True)
+        self._outcomes = [handle.outcome for handle in self.handles]
+        return self._outcomes
+
+    async def aclose(self) -> None:
+        """Tear the fleet down: stop frames, closed pipes, reaped children.
+
+        Safe to call repeatedly and after crashes; escalates from a
+        polite ``STOP`` to ``terminate()`` to ``kill()``.
+        """
+        for handle in self.handles:
+            if handle.alive and not handle.closing:
+                try:
+                    handle.outbox.put_nowait((ipc.STOP, None, None))
+                except asyncio.QueueFull:
+                    pass  # terminate below
+        await asyncio.sleep(0)
+        for handle in self.handles:
+            for task in (handle.writer_task, handle.reader_task):
+                if task is not None and not task.done():
+                    task.cancel()
+            for task in (handle.writer_task, handle.reader_task):
+                if task is not None:
+                    try:
+                        await task
+                    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                        pass
+            if handle.writer is not None:
+                handle.writer.close()
+            if handle.read_transport is not None:
+                handle.read_transport.close()
+            self._fail_inflight(handle, "worker pool closed")
+            handle.alive = False
+        deadline = asyncio.get_running_loop().time() + 2.0
+        for handle in self.handles:
+            process = handle.process
+            if process is None:
+                continue
+            while process.is_alive():
+                if asyncio.get_running_loop().time() >= deadline:
+                    process.terminate()
+                    await asyncio.sleep(0.05)
+                    if process.is_alive():
+                        process.kill()
+                    break
+                await asyncio.sleep(0.02)
+            process.join(timeout=0.2)
+        self.handles = []
+
+    # -- internals ----------------------------------------------------- #
+
+    def _crash_reason(self, handle: _WorkerHandle) -> str:
+        if handle.failure is not None:
+            return handle.failure
+        exitcode = handle.process.exitcode if handle.process else None
+        suffix = f" (exit code {exitcode})" if exitcode is not None else ""
+        return f"shard worker {handle.shard_id} is not running{suffix}"
+
+    async def _writer_loop(self, handle: _WorkerHandle) -> None:
+        """Drain the outbox into the pipe, batching frames per tick.
+
+        The writer is the only sequencer: it assigns sequence numbers
+        and appends pending futures in the exact order frames hit the
+        pipe, so concurrent ``submit``/``refresh_snapshots`` callers can
+        never interleave a future out of reply order.
+        """
+        outbox = handle.outbox
+        writer = handle.writer
+        try:
+            while True:
+                batch = [await outbox.get()]
+                while not outbox.empty():
+                    batch.append(outbox.get_nowait())
+                chunks = []
+                for tag, payload, future in batch:
+                    seq = handle.seq
+                    handle.seq = seq + 1
+                    if tag != ipc.STOP:
+                        handle.pending.append((tag, seq, future))
+                    chunks.append(ipc.encode_frame((tag, seq, payload)))
+                writer.write(b"".join(chunks))
+                await writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            # Broken pipe: the reader loop's EOF owns crash accounting;
+            # this side just stops writing.
+            pass
+        except asyncio.CancelledError:
+            raise
+
+    async def _reader_loop(self, handle: _WorkerHandle) -> None:
+        """Resolve pending futures from the worker's FIFO reply stream."""
+        reader = handle.reader
+        try:
+            while True:
+                try:
+                    message = await ipc.read_frame(reader)
+                except (EOFError, GatewayError):
+                    self._on_disconnect(handle)
+                    return
+                tag, seq, payload = message
+                if not handle.pending:  # pragma: no cover - corruption
+                    self._on_disconnect(handle)
+                    return
+                expected, expected_seq, future = handle.pending.popleft()
+                if seq != expected_seq:
+                    # A reply out of sequence means the stream is
+                    # desynchronized: pairing it with any pending future
+                    # would ack the wrong event, so treat the worker as
+                    # lost rather than propagate corruption.
+                    _fail(
+                        future,
+                        GatewayError(
+                            f"shard worker {handle.shard_id} echoed seq "
+                            f"{seq} for request {expected_seq} ({expected})"
+                        ),
+                    )
+                    self._on_disconnect(handle)
+                    return
+                if tag == ipc.ACK:
+                    _resolve(future, payload)
+                elif tag == ipc.NACK:
+                    _fail(future, _ShardRejection(payload))
+                elif tag == ipc.SNAP:
+                    handle.last_snapshot = payload
+                    _resolve(future, payload)
+                elif tag == ipc.DONE:
+                    outcome, snapshot = payload
+                    handle.outcome = outcome
+                    handle.last_snapshot = snapshot
+                    handle.closing = True
+                    _resolve(future, outcome)
+                else:  # pragma: no cover - corruption
+                    _fail(
+                        future,
+                        GatewayError(
+                            f"unknown IPC reply tag {tag!r} (expected "
+                            f"a reply to {expected!r})"
+                        ),
+                    )
+        except asyncio.CancelledError:
+            raise
+
+    def _on_disconnect(self, handle: _WorkerHandle) -> None:
+        """Pipe EOF: clean after FINISH/STOP, a crash otherwise."""
+        if not handle.alive:
+            return
+        handle.alive = False
+        if handle.closing and not handle.pending:
+            return  # the worker exited exactly as told
+        exitcode = handle.process.exitcode if handle.process else None
+        suffix = f" (exit code {exitcode})" if exitcode is not None else ""
+        handle.failure = (
+            f"shard worker {handle.shard_id} crashed{suffix}; "
+            "its events cannot be served"
+        )
+        self._crashes += 1
+        self._fail_inflight(handle, handle.failure)
+        if handle.writer_task is not None:
+            handle.writer_task.cancel()
+
+    def _fail_inflight(self, handle: _WorkerHandle, reason: str) -> None:
+        """Fail every queued and in-flight future of one worker."""
+        while handle.pending:
+            _tag, _seq, future = handle.pending.popleft()
+            _fail(future, GatewayError(reason))
+        while not handle.outbox.empty():
+            try:
+                _tag, _payload, future = handle.outbox.get_nowait()
+            except asyncio.QueueEmpty:  # pragma: no cover - race-proofing
+                break
+            if future is not None:
+                _fail(future, GatewayError(reason))
+
+
+def _resolve(future: Optional[asyncio.Future], value) -> None:
+    if future is not None and not future.done():
+        future.set_result(value)
+
+
+def _fail(future: Optional[asyncio.Future], exc: Exception) -> None:
+    if future is not None and not future.done():
+        future.set_exception(exc)
+
+
+def _swallow_result(future: asyncio.Future) -> None:
+    """Mark an abandoned future's outcome retrieved (no loop warnings)."""
+    if not future.cancelled():
+        future.exception()

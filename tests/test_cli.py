@@ -254,7 +254,7 @@ class TestGatewaySmokeScript:
         session) passes on a tiny stream."""
         result = subprocess.run(
             [sys.executable, str(REPO_ROOT / "scripts" / "gateway_smoke.py"),
-             "--workers", "120", "--tasks", "120"],
+             "--n-workers", "120", "--n-tasks", "120"],
             capture_output=True,
             text=True,
             env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
@@ -262,6 +262,22 @@ class TestGatewaySmokeScript:
         )
         assert result.returncode == 0, result.stdout + result.stderr
         assert "bit-identical" in result.stdout
+        assert "gateway smoke OK" in result.stdout
+
+    def test_smoke_script_worker_pool_parity(self):
+        """The worker-pool smoke (--workers P forked shard processes)
+        passes its bit-identical parity gate against the in-process
+        gateway."""
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "gateway_smoke.py"),
+             "--n-workers", "120", "--n-tasks", "120", "--workers", "2"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "worker pool == in-process" in result.stdout
         assert "gateway smoke OK" in result.stdout
 
 
