@@ -31,6 +31,11 @@ shrinks everything ~10× for smoke runs):
   multi-core throughput ratio (≈0.5× on a single-core container — the
   IPC tax with no cores behind it; the wall-clock target needs real
   cores, like the sweep probe);
+* worker recovery — the self-healing tax: crash-free worker-pool runs
+  with checkpoints off vs on (the steady-state checkpoint overhead),
+  then a chaos run that SIGKILLs one shard mid-stream and recovers it
+  from checkpoint + journal replay, asserted bit-identical to the
+  crash-free run before any number is reported;
 * churn — matcher throughput at 10% departure churn against the
   churn-free stream (same matcher, same stepwise session), plus a
   matched-count degradation curve over a churn-rate sweep for
@@ -358,6 +363,88 @@ def _bench_worker_pool(n_per_side: int, n_workers: int):
     }
 
 
+def _bench_worker_recovery(n_per_side: int, n_workers: int):
+    """The self-healing tax: checkpoint overhead and recovery cost.
+
+    Three worker-pool runs over the same stream: crash-free with
+    checkpoints effectively off, crash-free with periodic checkpoints
+    (the steady-state overhead a production cadence pays), and a chaos
+    run that SIGKILLs one shard a quarter of the way in and recovers it
+    from checkpoint + journal replay.  The chaos run must end
+    bit-identical to the crash-free run — the headline invariant of the
+    supervisor — before any number is reported.
+    """
+    import asyncio
+
+    from repro.core.engine import GreedyMatcher
+    from repro.serving.faults import FaultPlan
+    from repro.serving.gateway import Gateway
+    from repro.serving.loadgen import run_loadgen
+
+    instance, _guide = _polar_setup(n_per_side)
+    events = instance.arrival_stream()
+    checkpoint_every = 256
+
+    async def drive(fault_plan, checkpoint):
+        gateway = Gateway(
+            instance.grid,
+            lambda shard: GreedyMatcher(instance.travel, indexed=False),
+            n_shards=n_workers,
+            queue_size=4096,
+            backend="process",
+            fault_plan=fault_plan,
+            worker_config={
+                "checkpoint_every": checkpoint,
+                "restart_backoff": 0.01,
+                "restart_backoff_cap": 0.05,
+            },
+        )
+        await gateway.start(port=0)
+        report = await run_loadgen(events, port=gateway.tcp_port)
+        snapshot = await gateway.close()
+        return gateway, report, snapshot
+
+    # Crash-free baselines: checkpoints off (one giant interval the
+    # stream never reaches) versus the periodic cadence.
+    plain_gw, plain_report, plain_snap = asyncio.run(drive(None, 10**9))
+    _chk_gw, chk_report, chk_snap = asyncio.run(drive(None, checkpoint_every))
+    assert chk_snap.matched == plain_snap.matched, "parity violated"
+    # The chaos run: SIGKILL one shard a quarter of the way in.
+    kill_at = max(2, len(events) // (4 * n_workers))
+    plan = FaultPlan.parse(f"kill:shard=0,at={kill_at}")
+    chaos_gw, chaos_report, chaos_snap = asyncio.run(
+        drive(plan, checkpoint_every)
+    )
+    assert chaos_report.acked == len(events), "recovery lost acks"
+    assert chaos_snap.worker_crashes == 1, "expected exactly one crash"
+    assert chaos_snap.worker_restarts == 1, "expected exactly one restart"
+    for chaos_out, plain_out in zip(
+        chaos_gw.shard_outcomes(), plain_gw.shard_outcomes()
+    ):
+        assert chaos_out.matching.pairs() == plain_out.matching.pairs(), (
+            "parity violated"
+        )
+        assert chaos_out.worker_decisions == plain_out.worker_decisions
+        assert chaos_out.task_decisions == plain_out.task_decisions
+    return {
+        "arrivals": len(events),
+        "matched": chaos_snap.matched,
+        "workers": n_workers,
+        "checkpoint_every": checkpoint_every,
+        "kill_at_event": kill_at,
+        "crash_free_seconds": round(plain_report.seconds, 4),
+        "checkpointed_seconds": round(chk_report.seconds, 4),
+        "checkpoint_overhead": round(
+            chk_report.seconds / plain_report.seconds, 3
+        ),
+        "recovery_seconds": round(chaos_report.seconds, 4),
+        "recovery_overhead": round(
+            chaos_report.seconds / chk_report.seconds, 3
+        ),
+        "parity": True,
+    }
+
+
 def _bench_churn(n_per_side: int):
     """Churn-rate axis: throughput at 10% churn and a degradation curve.
 
@@ -518,6 +605,14 @@ def main(argv=None) -> int:
           f" arrivals/s -> worker pool "
           f"{worker_pool['worker_pool_arrivals_per_sec']} arrivals/s "
           f"({worker_pool['speedup']}x)")
+    recovery_n = max(400, polar_n // 10)
+    print(f"[worker recovery: {2 * recovery_n} arrivals, {args.workers} shard "
+          f"processes, SIGKILL + checkpoint/journal replay]")
+    worker_recovery = _bench_worker_recovery(recovery_n, args.workers)
+    print(f"  checkpoint overhead {worker_recovery['checkpoint_overhead']}x; "
+          f"recovery run {worker_recovery['recovery_seconds']}s "
+          f"({worker_recovery['recovery_overhead']}x the checkpointed "
+          "crash-free run), bit-identical")
     churn_n = polar_n // 5
     print(f"[churn sweep: {2 * churn_n} arrivals, rates 0/0.05/0.1/0.2]")
     churn = _bench_churn(churn_n)
@@ -553,6 +648,7 @@ def main(argv=None) -> int:
         "session_layer": session,
         "gateway": gateway,
         "worker_pool": worker_pool,
+        "worker_recovery": worker_recovery,
         "churn": churn,
         "parallel_sweep": sweep,
     }

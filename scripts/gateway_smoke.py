@@ -24,7 +24,14 @@ over HTTP, drains, and asserts:
 * with ``--workers P`` (one forked worker process per shard), the
   worker-pool gateway is **bit-identical** to the in-process gateway at
   the same shard count — pairs, per-object decisions and churn counters
-  shard for shard.
+  shard for shard;
+* with ``--chaos kill-mid-stream``, one worker is SIGKILLed mid-stream
+  and the run must *still* be bit-identical to the in-process gateway
+  (checkpoint + journal replay), with zero error acks;
+* with ``--chaos restart-storm``, a sticky fault crashes one shard past
+  its restart cap: the shard must degrade to clean error acks (never a
+  hang), the survivors stay bit-identical shards, and the health rows /
+  Prometheus gauges must say so.
 
 Exits non-zero on any mismatch, so CI can gate on it.
 """
@@ -69,12 +76,24 @@ async def _inline_reference(instance, events, n_shards):
     return snapshot, outcomes
 
 
+# Chaos runs restart with tight backoff so the smoke stays interactive.
+_CHAOS_WORKER_CONFIG = {"restart_backoff": 0.01, "restart_backoff_cap": 0.05}
+_STORM_RESTART_CAP = 2
+
+
 async def smoke(args) -> int:
     if args.workers and args.shards not in (1, args.workers):
         raise SystemExit("--workers P runs one process per shard; "
                          "pass --shards P or omit --shards")
     n_shards = args.workers if args.workers else args.shards
     backend = "process" if args.workers else "inline"
+    chaos = args.chaos
+    if chaos and not args.workers:
+        raise SystemExit("--chaos injects faults into worker processes; "
+                         "pass --workers P")
+    if chaos == "restart-storm" and n_shards < 2:
+        raise SystemExit("--chaos restart-storm needs --workers >= 2 "
+                         "(a survivor must keep serving)")
     config = SyntheticConfig(
         n_workers=args.n_workers,
         n_tasks=args.n_tasks,
@@ -107,11 +126,39 @@ async def smoke(args) -> int:
     reference = offline.finish()
     print(f"[offline session: {reference.summary()}]")
 
+    gateway_kwargs = {}
+    chaos_target = 1 if n_shards > 1 else 0
+    if chaos == "kill-mid-stream":
+        from repro.serving.faults import FaultPlan
+
+        kill_at = max(2, n_arrivals // (4 * n_shards))
+        gateway_kwargs.update(
+            fault_plan=FaultPlan.parse(f"kill:shard={chaos_target},at={kill_at}"),
+            worker_config=dict(_CHAOS_WORKER_CONFIG),
+        )
+        print(
+            f"[chaos: SIGKILL shard {chaos_target} at its event #{kill_at}; "
+            "expecting bit-identical recovery]"
+        )
+    elif chaos == "restart-storm":
+        from repro.serving.faults import FaultPlan
+
+        gateway_kwargs.update(
+            fault_plan=FaultPlan.parse(f"kill:shard={chaos_target},at=5,sticky"),
+            max_worker_restarts=_STORM_RESTART_CAP,
+            worker_config=dict(_CHAOS_WORKER_CONFIG),
+        )
+        print(
+            f"[chaos: sticky SIGKILL on shard {chaos_target}, restart cap "
+            f"{_STORM_RESTART_CAP}; expecting degraded shard + error acks]"
+        )
+
     gateway = Gateway(
         instance.grid,
         lambda shard: GreedyMatcher(instance.travel, indexed=False),
         n_shards=n_shards,
         backend=backend,
+        **gateway_kwargs,
     )
     await gateway.start(port=0, metrics_port=0)
     print(
@@ -121,10 +168,19 @@ async def smoke(args) -> int:
     )
     report = await run_loadgen(events, port=gateway.tcp_port, rate=args.rate)
     print(report.summary())
-    assert report.errors == 0, f"loadgen saw {report.errors} error acks"
-    assert report.acked == len(events), (
-        f"loadgen acked {report.acked} of {len(events)} events"
-    )
+    if chaos == "restart-storm":
+        # The degraded shard answers with error acks — but it must
+        # answer: every event gets a reply line, the drain completes.
+        assert report.errors > 0, "restart-storm produced no error acks"
+        assert report.acked + report.errors == len(events), (
+            f"loadgen got {report.acked + report.errors} replies for "
+            f"{len(events)} events — the degraded shard hung"
+        )
+    else:
+        assert report.errors == 0, f"loadgen saw {report.errors} error acks"
+        assert report.acked == len(events), (
+            f"loadgen acked {report.acked} of {len(events)} events"
+        )
 
     snapshot = json.loads(await _http_get(gateway.metrics_port, "/snapshot"))
     metrics = await _http_get(gateway.metrics_port, "/metrics")
@@ -134,19 +190,47 @@ async def smoke(args) -> int:
     # Cross-shard moves migrate (departure + re-arrival), so shard
     # arrival totals count a migrated object once per hosting shard.
     migrations = snapshot.get("migrations", 0)
-    assert snapshot["arrivals"] == n_arrivals + migrations, snapshot
-    assert (
-        snapshot["workers"] + snapshot["tasks"]
-        == instance.n_workers + instance.n_tasks + migrations
-    ), snapshot
-    assert snapshot["malformed"] == 0, snapshot
-    assert snapshot["ingested"] == len(events), snapshot
-    assert snapshot["worker_crashes"] == 0, snapshot
-    assert sum(row["arrivals"] for row in snapshot["shards"]) == n_arrivals + migrations
-    assert sum(row["matched"] for row in snapshot["shards"]) == snapshot["matched"]
-    assert f'ftoa_gateway_arrivals_total {n_arrivals + migrations}' in metrics, (
-        "/metrics stale"
-    )
+    if chaos == "restart-storm":
+        health = [row["health"] for row in snapshot["shards"]]
+        assert health[chaos_target] == "degraded", snapshot
+        assert all(
+            h == "healthy" for i, h in enumerate(health) if i != chaos_target
+        ), snapshot
+        assert snapshot["worker_crashes"] == _STORM_RESTART_CAP + 1, snapshot
+        assert snapshot["worker_restarts"] == _STORM_RESTART_CAP, snapshot
+        assert snapshot["malformed"] == report.errors, snapshot
+        assert snapshot["ingested"] == len(events), snapshot
+        assert (
+            f"ftoa_gateway_worker_restarts_total {_STORM_RESTART_CAP}" in metrics
+        ), "/metrics stale"
+        assert f'ftoa_shard_up{{shard="{chaos_target}"}} 0' in metrics
+        survivor = 0 if chaos_target != 0 else 1
+        assert f'ftoa_shard_up{{shard="{survivor}"}} 1' in metrics
+        print(
+            f"[chaos: shard {chaos_target} degraded after "
+            f"{_STORM_RESTART_CAP} restart(s); {report.errors} clean error "
+            "acks, drain completed]"
+        )
+    else:
+        assert snapshot["arrivals"] == n_arrivals + migrations, snapshot
+        assert (
+            snapshot["workers"] + snapshot["tasks"]
+            == instance.n_workers + instance.n_tasks + migrations
+        ), snapshot
+        assert snapshot["malformed"] == 0, snapshot
+        assert snapshot["ingested"] == len(events), snapshot
+        expected_crashes = 1 if chaos == "kill-mid-stream" else 0
+        assert snapshot["worker_crashes"] == expected_crashes, snapshot
+        assert snapshot["worker_restarts"] == expected_crashes, snapshot
+        if chaos == "kill-mid-stream":
+            assert "ftoa_gateway_worker_restarts_total 1" in metrics, (
+                "/metrics stale"
+            )
+        assert sum(row["arrivals"] for row in snapshot["shards"]) == n_arrivals + migrations
+        assert sum(row["matched"] for row in snapshot["shards"]) == snapshot["matched"]
+        assert f'ftoa_gateway_arrivals_total {n_arrivals + migrations}' in metrics, (
+            "/metrics stale"
+        )
     if n_churn:
         if n_shards == 1:
             # Sharded matchers make different matches, so who counts as
@@ -177,9 +261,20 @@ async def smoke(args) -> int:
             f"{n_shards} shards vs {reference.matching.size} offline]"
         )
 
-    if args.workers:
+    if chaos == "restart-storm":
+        from repro.serving.workers import ShardOutcome
+
+        outcome = outcomes[chaos_target]
+        assert isinstance(outcome, ShardOutcome), (
+            f"degraded shard {chaos_target} returned {outcome!r} instead of "
+            "a structured ShardOutcome"
+        )
+        print(f"[chaos outcome: {outcome.summary()}]")
+    elif args.workers:
         # The worker-pool acceptance gate: same shard count in-process
-        # must produce bit-identical shard outcomes.
+        # must produce bit-identical shard outcomes.  With --chaos
+        # kill-mid-stream this is the headline invariant: the SIGKILLed
+        # worker's recovery must be invisible in the final matching.
         inline_snapshot, inline_outcomes = await _inline_reference(
             instance, events, n_shards
         )
@@ -196,9 +291,14 @@ async def smoke(args) -> int:
             assert pool_out.departed_workers == inline_out.departed_workers
             assert pool_out.departed_tasks == inline_out.departed_tasks
             assert pool_out.moves == inline_out.moves
+        suffix = (
+            " (with a SIGKILLed worker recovered mid-stream)"
+            if chaos == "kill-mid-stream"
+            else ""
+        )
         print(
             f"[parity: {args.workers}-process worker pool == in-process "
-            f"{n_shards}-shard gateway, bit-identical]"
+            f"{n_shards}-shard gateway, bit-identical{suffix}]"
         )
     print("[gateway smoke OK]")
     return 0
@@ -221,6 +321,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--rate", type=float, default=None, help="target arrivals/s (default: flat out)"
+    )
+    parser.add_argument(
+        "--chaos", choices=("kill-mid-stream", "restart-storm"), default=None,
+        help="inject faults into the worker pool: kill-mid-stream SIGKILLs "
+        "one worker and gates on bit-identical recovery; restart-storm "
+        "crashes one shard past its restart cap and gates on clean "
+        "degraded-mode error acks (requires --workers)",
     )
     parser.add_argument(
         "--churn", type=float, default=0.0,

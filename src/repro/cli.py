@@ -223,6 +223,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingest queue bound (default 1024)",
     )
     serve.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=None,
+        help="crash recoveries per shard worker before it degrades "
+        "(default: the pool's default of 3; 0 disables recovery)",
+    )
+    serve.add_argument(
+        "--degraded-mode",
+        choices=("reject", "reroute"),
+        default="reject",
+        help="a shard out of restarts rejects its events with error "
+        "acks (default) or retires from the hash ring so new arrivals "
+        "reroute to surviving shards",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject scripted worker faults (needs --workers), e.g. "
+        "'kill:shard=0,at=50' or 'kill:shard=0,at=5,sticky' — see "
+        "repro.serving.faults for the grammar",
+    )
+    serve.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared secret for ingest sockets: clients must open with "
+        '{"kind": "auth", "token": ...} or are disconnected',
+    )
+    serve.add_argument(
         "--window-minutes",
         type=float,
         default=None,
@@ -264,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--unix", default=None, help="gateway unix-socket path (overrides TCP)"
+    )
+    loadgen.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared secret for a gateway started with --auth-token",
     )
     loadgen.add_argument(
         "--rate",
@@ -699,6 +732,16 @@ def _cmd_serve(args) -> int:
             )
         args.shards = args.workers
         backend = "process"
+    fault_plan = None
+    if args.fault_plan:
+        from repro.serving.faults import FaultPlan
+
+        if backend != "process":
+            raise ConfigurationError(
+                "--fault-plan injects faults into worker processes; "
+                "pass --workers N"
+            )
+        fault_plan = FaultPlan.parse(args.fault_plan)
     config, events = _load_jsonl(args.config)
     grid, timeline, travel = _replay_context(config, args.speed)
     factory = _matcher_factory(args, events, grid, timeline, travel)
@@ -708,6 +751,10 @@ def _cmd_serve(args) -> int:
         n_shards=args.shards,
         queue_size=args.backpressure,
         backend=backend,
+        max_worker_restarts=args.max_worker_restarts,
+        degraded_mode=args.degraded_mode,
+        fault_plan=fault_plan,
+        auth_token=args.auth_token,
     )
     return asyncio.run(_serve_async(gateway, args))
 
@@ -750,6 +797,13 @@ async def _serve_async(gateway, args) -> int:
         + f"; metrics on http://{args.host}:{gateway.metrics_port}/metrics]",
         flush=True,
     )
+    if getattr(args, "fault_plan", None):
+        from repro.serving.faults import FaultPlan
+
+        print(
+            f"[fault plan armed: {FaultPlan.parse(args.fault_plan).describe()}]",
+            flush=True,
+        )
     print(
         "[send {\"kind\": \"drain\"} or SIGINT/SIGTERM for a graceful drain]",
         flush=True,
@@ -757,9 +811,13 @@ async def _serve_async(gateway, args) -> int:
     snapshot = await gateway.wait_drained()
     await gateway.close()
     print(snapshot.summary())
+    from repro.serving.workers import ShardOutcome
+
     for shard_id, outcome in enumerate(gateway.shard_outcomes()):
-        if outcome is None:
+        if outcome is None:  # pragma: no cover - legacy backends
             print(f"  shard {shard_id}: worker crashed, no outcome")
+        elif isinstance(outcome, ShardOutcome):
+            print(f"  {outcome.summary()}")
         else:
             print(f"  shard: {outcome.summary()}")
     return 0
@@ -814,6 +872,7 @@ def _cmd_loadgen(args) -> int:
             unix_path=args.unix,
             rate=args.rate,
             drain=args.drain,
+            auth_token=args.auth_token,
         )
     except OSError as exc:
         from repro.errors import GatewayError

@@ -22,7 +22,12 @@
 * :mod:`repro.serving.workers` + :mod:`repro.serving.ipc` — the
   multi-process shard backend: one forked worker process per shard
   behind length-prefixed pickle pipes (``repro serve --workers N``),
-  bit-identical to the inline backend at equal shard counts.
+  bit-identical to the inline backend at equal shard counts; a
+  :class:`WorkerSupervisor` restores crashed/hung workers from
+  checkpoints + journal replay (still bit-identical) and degrades
+  cleanly past the restart cap.
+* :mod:`repro.serving.faults` — declarative fault injection for chaos
+  runs (``repro serve --fault-plan``, ``gateway_smoke.py --chaos``).
 * :mod:`repro.serving.loadgen` — the async load generator that replays
   JSONL or synthetic streams against a gateway and reports throughput
   and latency percentiles (``repro loadgen``).
@@ -59,7 +64,8 @@ from repro.serving.shard import (
     build_shards,
     split_counts_by_shard,
 )
-from repro.serving.workers import WorkerPool
+from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.serving.workers import ShardOutcome, WorkerPool, WorkerSupervisor
 
 _LAZY_FORECAST = (
     "forecast_guide",
@@ -112,6 +118,11 @@ __all__ = [
     "ShardRouter",
     "SpatialHashRing",
     "WorkerPool",
+    "WorkerSupervisor",
+    "ShardOutcome",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
     "build_shards",
     "build_shard_guides",
     "split_counts_by_shard",

@@ -1,0 +1,195 @@
+"""Fault injection for the worker-pool backend: declarative chaos.
+
+Self-healing code that has never watched a worker die is a hypothesis,
+not a property.  This module is the declarative half of the chaos
+harness: a :class:`FaultPlan` describes *what* should go wrong inside
+which shard worker and when, and :func:`~repro.serving.workers.shard_worker_main`
+applies it (the imperative half — kills, sleeps, torn writes — lives
+with the worker loop, next to the I/O it corrupts).  Plans ride into
+the children through ``fork``, so nothing here needs to be picklable
+or to exist on the wire.
+
+Actions (all fire on the Nth ``EVENT`` frame a worker *incarnation*
+receives, counted from 1):
+
+* ``kill`` — ``SIGKILL`` self before processing the event: the classic
+  crash, the event unacked and unprocessed.
+* ``torn`` — process the event, write *half* of its ack frame, then
+  ``SIGKILL`` self: a crash mid-frame-write, the parent sees a frame
+  torn at an arbitrary byte boundary.
+* ``hang`` — sleep ``seconds`` (default: effectively forever) before
+  processing: the worker is alive but unresponsive, the shape a
+  ``SIGSTOP`` or a deadlock takes; only the supervisor's heartbeat
+  timeout can clear it.
+* ``delay`` — sleep ``seconds`` then continue normally: transient
+  slowness that must *not* trigger recovery.
+* ``drop`` — discard the event frame (no processing, no ack): the next
+  reply's sequence number exposes the desync.
+* ``corrupt`` — process the event but reply with an undecodable frame:
+  the parent's unpickle guard treats the stream as lost.
+
+Sticky specs (``sticky=True``) are inherited by replacement workers
+after a restart, so a restart-storm (crash → restart → crash …) can be
+scripted to prove the restart cap and degraded mode; non-sticky specs
+fire once, in the first incarnation only, which is what bit-identical
+recovery tests want.
+
+The CLI / smoke-script grammar (:meth:`FaultPlan.parse`)::
+
+    kill:shard=0,at=50
+    kill:shard=0,at=5,sticky;delay:shard=1,at=10,seconds=0.2
+
+— ``;``-separated specs, each ``action[:key=value,...]`` with keys
+``at`` (event ordinal, default 1), ``shard`` (default: every shard),
+``seconds`` and the bare ``sticky`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import GatewayError
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjector"]
+
+ACTIONS = ("kill", "torn", "hang", "delay", "drop", "corrupt")
+
+# "hang" means "until the supervisor loses patience", so the default
+# sleep only has to outlast any plausible heartbeat timeout.
+_HANG_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault inside one worker incarnation.
+
+    Attributes:
+        action: one of :data:`ACTIONS`.
+        at: the 1-based ordinal of the ``EVENT`` frame that triggers it,
+            counted per incarnation (a replayed stream re-counts from 1).
+        shard: restrict to one shard id (None = every shard).
+        seconds: sleep length for ``hang`` / ``delay``.
+        sticky: replacement workers inherit the spec after a restart.
+    """
+
+    action: str
+    at: int = 1
+    shard: Optional[int] = None
+    seconds: float = _HANG_SECONDS
+    sticky: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise GatewayError(
+                f"unknown fault action {self.action!r}; "
+                f"use one of {', '.join(ACTIONS)}"
+            )
+        if self.at < 1:
+            raise GatewayError(f"fault 'at' must be >= 1, got {self.at}")
+        if self.seconds < 0:
+            raise GatewayError(
+                f"fault 'seconds' must be >= 0, got {self.seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of :class:`FaultSpec`\\ s for one serving run."""
+
+    specs: Tuple[FaultSpec, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the CLI grammar (see the module docstring).
+
+        Raises:
+            GatewayError: for an empty plan, an unknown action or key,
+                or an unparsable value.
+        """
+        specs: List[FaultSpec] = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            action, _, rest = chunk.partition(":")
+            kwargs = {}
+            for pair in (p.strip() for p in rest.split(",") if p.strip()):
+                key, sep, value = pair.partition("=")
+                key = key.strip()
+                value = value.strip()
+                try:
+                    if key == "at":
+                        kwargs["at"] = int(value)
+                    elif key == "shard":
+                        kwargs["shard"] = int(value)
+                    elif key == "seconds":
+                        kwargs["seconds"] = float(value)
+                    elif key == "sticky":
+                        kwargs["sticky"] = (
+                            True
+                            if not sep
+                            else value.lower() in ("1", "true", "yes")
+                        )
+                    else:
+                        raise GatewayError(
+                            f"unknown fault key {key!r} in {chunk!r}"
+                        )
+                except ValueError as exc:
+                    raise GatewayError(
+                        f"bad fault value {pair!r} in {chunk!r}: {exc}"
+                    ) from exc
+            specs.append(FaultSpec(action=action.strip(), **kwargs))
+        if not specs:
+            raise GatewayError(f"empty fault plan: {text!r}")
+        return cls(tuple(specs))
+
+    def for_shard(
+        self, shard_id: int, incarnation: int = 0
+    ) -> Tuple[FaultSpec, ...]:
+        """The specs one worker incarnation should apply.
+
+        The first incarnation (``incarnation=0``) gets every spec aimed
+        at its shard; replacements get only the sticky ones.
+        """
+        return tuple(
+            spec
+            for spec in self.specs
+            if (spec.shard is None or spec.shard == shard_id)
+            and (incarnation == 0 or spec.sticky)
+        )
+
+    def describe(self) -> str:
+        """One human-readable line (the serve banner)."""
+        parts = []
+        for spec in self.specs:
+            where = "all shards" if spec.shard is None else f"shard {spec.shard}"
+            sticky = ", sticky" if spec.sticky else ""
+            parts.append(f"{spec.action}@{spec.at} ({where}{sticky})")
+        return "; ".join(parts)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+
+class FaultInjector:
+    """Worker-side trigger: counts ``EVENT`` frames, pops firing specs.
+
+    Each spec fires at most once per incarnation; when several specs
+    share an ordinal, the first in plan order wins for that event and
+    the rest keep waiting (they can never fire again at that ordinal,
+    by construction — plans should use distinct ordinals).
+    """
+
+    def __init__(self, specs: Tuple[FaultSpec, ...]) -> None:
+        self._specs = list(specs)
+        self._count = 0
+
+    def next_event_fault(self) -> Optional[FaultSpec]:
+        """Advance the event counter; return the spec firing now, if any."""
+        self._count += 1
+        for index, spec in enumerate(self._specs):
+            if spec.at == self._count:
+                del self._specs[index]
+                return spec
+        return None

@@ -76,13 +76,26 @@ Data path::
 * **Metrics** — a stdlib-only HTTP endpoint serves ``/metrics``
   (Prometheus text), ``/snapshot`` (JSON) and ``/healthz``, aggregating
   :class:`~repro.serving.session.SessionSnapshot` counters across
-  shards.
+  shards, including per-shard health and the supervisor's
+  crash/restart counters.
+* **Self-healing** — with the process backend, a
+  :class:`~repro.serving.workers.WorkerSupervisor` restores crashed or
+  hung workers from checkpoints and journal replay (bit-identical to a
+  crash-free run — see :mod:`repro.serving.workers`); a shard out of
+  restarts degrades to clean error acks, or — with
+  ``degraded_mode="reroute"`` — retires from the consistent-hash ring
+  so new arrivals remap to the survivors.  ``fault_plan`` injects
+  scripted chaos (:mod:`repro.serving.faults`) to prove all of it.
+* **Auth** — an optional shared-secret handshake (``auth_token``): the
+  first line of every ingest connection must present the token or the
+  connection gets one error line and closes.
 """
 
 from __future__ import annotations
 
 import asyncio
 import heapq
+import hmac
 import json
 import os
 import time
@@ -244,8 +257,15 @@ class GatewaySnapshot:
         migrations: cross-shard ``Move`` migrations performed.
         worker_crashes: shard worker processes lost mid-run (always 0
             for the inline backend).
+        worker_restarts: replacement workers forked by the supervisor
+            (always 0 for the inline backend).
+        auth_failures: connections refused by the shared-secret
+            handshake (0 when ``--auth-token`` is unset).
         registry_size: live entries in the object→shard churn registry
             (bounded by live objects via the deadline expiry sweep).
+
+    Per-shard rows carry a ``health`` field
+    (``healthy`` / ``restarting`` / ``degraded``) alongside counters.
     """
 
     state: str
@@ -273,6 +293,8 @@ class GatewaySnapshot:
     backend: str = "inline"
     migrations: int = 0
     worker_crashes: int = 0
+    worker_restarts: int = 0
+    auth_failures: int = 0
     registry_size: int = 0
 
     def as_dict(self) -> dict:
@@ -302,6 +324,8 @@ class GatewaySnapshot:
             "backend": self.backend,
             "migrations": self.migrations,
             "worker_crashes": self.worker_crashes,
+            "worker_restarts": self.worker_restarts,
+            "auth_failures": self.auth_failures,
             "registry_size": self.registry_size,
             "shards": list(self.shards),
             "wall_seconds": round(self.wall_seconds, 3),
@@ -353,6 +377,10 @@ def render_prometheus(snapshot: GatewaySnapshot) -> str:
           "cross-shard move migrations", "counter")
     gauge("ftoa_gateway_worker_crashes_total", snapshot.worker_crashes,
           "shard worker processes lost mid-run", "counter")
+    gauge("ftoa_gateway_worker_restarts_total", snapshot.worker_restarts,
+          "replacement shard workers forked by the supervisor", "counter")
+    gauge("ftoa_gateway_auth_failures_total", snapshot.auth_failures,
+          "connections refused by the auth handshake", "counter")
     gauge("ftoa_gateway_registry_size", snapshot.registry_size,
           "live object->shard churn-registry entries")
     gauge("ftoa_gateway_malformed_total", snapshot.malformed,
@@ -385,6 +413,13 @@ def render_prometheus(snapshot: GatewaySnapshot) -> str:
             f'ftoa_shard_matched_total{{shard="{row["shard"]}"}} '
             f'{row["matched"]}'
         )
+    lines.append(
+        "# HELP ftoa_shard_up 1 while the shard's worker is healthy"
+    )
+    lines.append("# TYPE ftoa_shard_up gauge")
+    for row in snapshot.shards:
+        up = 1 if row.get("health", "healthy") == "healthy" else 0
+        lines.append(f'ftoa_shard_up{{shard="{row["shard"]}"}} {up}')
     return "\n".join(lines) + "\n"
 
 
@@ -406,6 +441,27 @@ class Gateway:
             Same shard count ⇒ bit-identical results either way.
         worker_outbox_size: per-worker IPC outbox bound (``process``
             backend only).
+        max_worker_restarts: crash recoveries per shard before it
+            degrades (``process`` only; ``None`` = the pool's default,
+            ``0`` = the pre-recovery behaviour where the first crash
+            degrades).
+        degraded_mode: what happens to a shard that is out of restarts —
+            ``"reject"`` (default: every event for it gets a clean error
+            ack) or ``"reroute"`` (its ring tokens retire, so *new*
+            arrivals remap to surviving shards; objects the dead shard
+            owned are still lost).
+        fault_plan: scripted chaos for the worker fleet
+            (:class:`~repro.serving.faults.FaultPlan`; ``process``
+            backend only).
+        auth_token: shared secret for ingest sockets.  When set, a
+            connection's first line must be ``{"kind": "auth", "token":
+            <secret>}``; a wrong or missing token gets one error line
+            and the connection closes.  In-process :meth:`submit` /
+            :meth:`offer` and the metrics endpoint are unaffected.
+        worker_config: extra :class:`~repro.serving.workers.WorkerPool`
+            keyword overrides (``checkpoint_every``,
+            ``heartbeat_interval``, ``restart_backoff`` …) for tests and
+            tuning.
 
     Usage::
 
@@ -429,6 +485,11 @@ class Gateway:
         ack_queue_size: int = _ACK_QUEUE_LIMIT,
         backend: str = "inline",
         worker_outbox_size: int = 512,
+        max_worker_restarts: Optional[int] = None,
+        degraded_mode: str = "reject",
+        fault_plan=None,
+        auth_token: Optional[str] = None,
+        worker_config: Optional[dict] = None,
     ) -> None:
         if queue_size <= 0:
             raise GatewayError(f"queue_size must be positive, got {queue_size}")
@@ -436,17 +497,40 @@ class Gateway:
             raise GatewayError(
                 f"ack_queue_size must be positive, got {ack_queue_size}"
             )
+        if degraded_mode not in ("reject", "reroute"):
+            raise GatewayError(
+                f"unknown degraded_mode {degraded_mode!r}; "
+                "use 'reject' or 'reroute'"
+            )
         self.grid = grid
         self.router = ShardRouter(grid, n_shards, replicas=replicas)
+        self.degraded_mode = degraded_mode
+        self.auth_token = auth_token
+        self.auth_failures = 0
+        self._degraded_shards: set = set()
         if backend == "inline":
+            if fault_plan:
+                raise GatewayError(
+                    "fault plans need worker processes to hurt; "
+                    "use backend='process'"
+                )
             self._backend: ShardBackend = InlineShardBackend(
                 build_shards(n_shards, matcher_factory)
             )
         elif backend == "process":
             from repro.serving.workers import WorkerPool
 
+            pool_kwargs = dict(worker_config or {})
+            if max_worker_restarts is not None:
+                pool_kwargs["max_restarts"] = max_worker_restarts
             self._backend = WorkerPool(
-                n_shards, matcher_factory, outbox_size=worker_outbox_size
+                n_shards,
+                matcher_factory,
+                outbox_size=worker_outbox_size,
+                fault_plan=fault_plan,
+                on_degraded=self._on_shard_degraded,
+                extra_close_fds=self._child_close_fds,
+                **pool_kwargs,
             )
         else:
             raise GatewayError(
@@ -510,6 +594,54 @@ class Gateway:
     def backend_name(self) -> str:
         """``inline`` or ``process``."""
         return self._backend.name
+
+    @property
+    def degraded_shards(self) -> frozenset:
+        """Shard ids the supervisor has given up on."""
+        return frozenset(self._degraded_shards)
+
+    def _on_shard_degraded(self, shard_id: int) -> None:
+        """Worker-pool callback: one shard is out of restarts.
+
+        ``reject`` mode leaves routing alone — events for the shard keep
+        failing fast into clean error acks.  ``reroute`` retires the
+        shard's ring tokens so *new* arrivals remap to the survivors
+        (the consistent-hashing arc takeover); churn for objects the
+        dead shard owned still errors, because their state died with it.
+        """
+        self._degraded_shards.add(shard_id)
+        if self.degraded_mode == "reroute":
+            try:
+                self.router.retire_shard(shard_id)
+            except ReproError:
+                # The last live shard: nowhere to reroute to — reject
+                # semantics apply by default.
+                pass
+
+    def _child_close_fds(self) -> List[int]:
+        """Fds a *re-forked* worker must close (best-effort, fork-time).
+
+        The initial fork happens before any listener exists, but
+        replacement workers fork from a gateway with live server and
+        connection sockets; a child holding a dup of those would pin
+        ports open (and hold peers' EOF hostage) past the gateway's own
+        close.
+        """
+        fds: List[int] = []
+        for server in self._servers:
+            for sock in getattr(server, "sockets", None) or ():
+                try:
+                    fds.append(sock.fileno())
+                except (OSError, ValueError):  # pragma: no cover - closing
+                    pass
+        for writer in list(self._conn_writers):
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                try:
+                    fds.append(sock.fileno())
+                except (OSError, ValueError):  # pragma: no cover - closing
+                    pass
+        return [fd for fd in fds if fd >= 0]
 
     # -- lifecycle ----------------------------------------------------- #
 
@@ -663,7 +795,9 @@ class Gateway:
     def shard_outcomes(self):
         """Per-shard :class:`AssignmentOutcome`\\ s (after the drain).
 
-        A shard whose worker process crashed contributes ``None``.
+        A shard whose worker was lost for good contributes a structured
+        :class:`~repro.serving.workers.ShardOutcome` carrying the
+        failure, restart count and final health state.
         """
         if self._state != _CLOSED:
             raise GatewayError("shard outcomes are available after drain()")
@@ -801,6 +935,7 @@ class Gateway:
         rows = []
         arrivals = workers = tasks = matched = 0
         ignored_workers = ignored_tasks = departed = moves = 0
+        health = self._backend.health()
         for shard_id, snap in enumerate(self._backend.snapshots()):
             arrivals += snap.arrivals
             workers += snap.workers
@@ -817,6 +952,9 @@ class Gateway:
                     "workers": snap.workers,
                     "tasks": snap.tasks,
                     "matched": snap.matched,
+                    "health": health[shard_id]
+                    if shard_id < len(health)
+                    else "healthy",
                 }
             )
         return GatewaySnapshot(
@@ -845,6 +983,8 @@ class Gateway:
             backend=self._backend.name,
             migrations=self.migrations,
             worker_crashes=self._backend.crashes,
+            worker_restarts=self._backend.restarts,
+            auth_failures=self.auth_failures,
             registry_size=len(self._objects),
         )
 
@@ -1142,6 +1282,10 @@ class Gateway:
         )
         self._channels.add(channel)
         try:
+            if self.auth_token is not None and not await self._authenticate(
+                reader, channel
+            ):
+                return  # finally flushes the error line, then closes
             while True:
                 line = await reader.readline()
                 if not line:
@@ -1172,6 +1316,41 @@ class Gateway:
                 # would make the protocol's completion callback log a
                 # spurious error.
                 pass
+
+    async def _authenticate(
+        self, reader: asyncio.StreamReader, channel: _AckChannel
+    ) -> bool:
+        """First-line shared-secret handshake (``auth_token`` is set).
+
+        The connection's first line must be ``{"kind": "auth", "token":
+        <secret>}``; the reply is ``{"kind": "auth", "ok": true}``.
+        Anything else — wrong token, missing token, malformed JSON, a
+        data line sent first, EOF — earns one clean error line and the
+        connection closes.  The error never discloses whether the token
+        was wrong or missing.
+        """
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            line = b""
+        token = None
+        if line:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                record = None
+            if isinstance(record, dict) and record.get("kind") == "auth":
+                token = record.get("token")
+        if not isinstance(token, str) or not hmac.compare_digest(
+            token, self.auth_token
+        ):
+            self.auth_failures += 1
+            channel.send(
+                {"error": "authentication failed: bad or missing token"}
+            )
+            return False
+        channel.send({"kind": "auth", "ok": True})
+        return True
 
     async def _ingest_line(self, line: bytes, channel: _AckChannel) -> None:
         """Parse one line; enqueue an event or reply.

@@ -24,14 +24,24 @@ Message schema (tuples, not classes, to keep frames small):
 
 * requests (gateway → worker): ``(tag, seq, payload)`` where ``tag`` is
   :data:`EVENT` (payload: a stream event), :data:`SNAPSHOT` /
-  :data:`FINISH` (payload ``None``), or :data:`STOP` (no reply).
+  :data:`FINISH` / :data:`CHECKPOINT` / :data:`PING` (payload ``None``),
+  or :data:`STOP` (no reply).
 * replies (worker → gateway): ``(ACK, seq, decision)``,
   ``(NACK, seq, error text)``, ``(SNAP, seq, session snapshot)``,
+  ``(CHKPT, seq, shard state or None)``, ``(PONG, seq, None)``,
   ``(DONE, seq, (outcome, final snapshot))``.
 
 ``seq`` echoes the request's sequence number; since a worker serves its
 pipe strictly FIFO, the gateway correlates replies by order and uses the
 echoed ``seq`` purely as a protocol-corruption check.
+
+The recovery layer (:mod:`repro.serving.workers`) leans on this module's
+failure semantics: a pipe closed mid-frame is :class:`EOFError` (a torn
+ack is indistinguishable from a crash, by design), an over-limit length
+prefix or an *undecodable* payload is
+:class:`~repro.errors.GatewayError` (the stream is desynchronized or
+corrupt — the only safe response is to drop the worker and replay), and
+both are recoverable without poisoning any other worker's stream.
 """
 
 from __future__ import annotations
@@ -49,14 +59,19 @@ __all__ = [
     "EVENT",
     "SNAPSHOT",
     "FINISH",
+    "CHECKPOINT",
+    "PING",
     "STOP",
     "ACK",
     "NACK",
     "SNAP",
+    "CHKPT",
+    "PONG",
     "DONE",
     "MAX_FRAME",
     "encode_frame",
     "decode_frame",
+    "raw_frame",
     "read_frame",
     "BlockingEndpoint",
 ]
@@ -65,12 +80,16 @@ __all__ = [
 EVENT = "event"
 SNAPSHOT = "snapshot"
 FINISH = "finish"
+CHECKPOINT = "checkpoint"  # ship your full shard state back (CHKPT)
+PING = "ping"              # liveness probe (PONG)
 STOP = "stop"
 
 # Reply tags (worker → gateway).
 ACK = "ack"
 NACK = "nack"
 SNAP = "snap"
+CHKPT = "chkpt"
+PONG = "pong"
 DONE = "done"
 
 _HEADER = struct.Struct("!I")
@@ -98,8 +117,30 @@ def encode_frame(message: Any) -> bytes:
 
 
 def decode_frame(payload: bytes) -> Any:
-    """Inverse of :func:`encode_frame`'s payload part."""
-    return pickle.loads(payload)
+    """Inverse of :func:`encode_frame`'s payload part.
+
+    Raises:
+        GatewayError: when the payload does not unpickle.  A corrupt
+            frame means the byte stream can no longer be trusted — the
+            reader must treat the peer as lost, never crash its own
+            loop on an arbitrary unpickling exception.
+    """
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 — any unpickle failure
+        raise GatewayError(
+            f"undecodable IPC frame ({type(exc).__name__}: {exc}); "
+            "stream is corrupt"
+        ) from exc
+
+
+def raw_frame(payload: bytes) -> bytes:
+    """A frame around pre-encoded (or deliberately garbage) bytes.
+
+    The fault injector and the IPC edge-case tests use this to place
+    arbitrary payloads on the wire with a valid length prefix.
+    """
+    return _HEADER.pack(len(payload)) + payload
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Any:
@@ -161,6 +202,11 @@ class BlockingEndpoint:
     def send(self, message: Any) -> None:
         """Write one reply frame and flush it to the pipe."""
         self._send.write(encode_frame(message))
+        self._send.flush()
+
+    def send_raw(self, data: bytes) -> None:
+        """Write arbitrary bytes (fault injection: torn/garbage frames)."""
+        self._send.write(data)
         self._send.flush()
 
     def close(self) -> None:

@@ -103,6 +103,7 @@ async def run_loadgen(
     unix_path: Optional[str] = None,
     rate: Optional[float] = None,
     drain: bool = False,
+    auth_token: Optional[str] = None,
 ) -> LoadgenReport:
     """Replay ``events`` against a gateway and measure the round trips.
 
@@ -115,10 +116,13 @@ async def run_loadgen(
             socket accepts).
         drain: send a ``drain`` control record after the stream and wait
             for the final gateway snapshot.
+        auth_token: shared secret for a gateway started with
+            ``--auth-token``; sent as the handshake line before the
+            stream.
 
     Raises:
-        GatewayError: when no endpoint is given or the server closes
-            the connection mid-run.
+        GatewayError: when no endpoint is given, the server closes the
+            connection mid-run, or the auth handshake is refused.
     """
     if (port is None) == (unix_path is None):
         raise GatewayError("pass exactly one of port= or unix_path=")
@@ -126,6 +130,24 @@ async def run_loadgen(
         reader, writer = await asyncio.open_unix_connection(unix_path)
     else:
         reader, writer = await asyncio.open_connection(host, port)
+
+    if auth_token is not None:
+        writer.write(
+            json.dumps({"kind": "auth", "token": auth_token}).encode() + b"\n"
+        )
+        await writer.drain()
+        line = await reader.readline()
+        greeting = json.loads(line) if line else {}
+        if not greeting.get("ok"):
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            raise GatewayError(
+                "gateway refused the auth handshake: "
+                f"{greeting.get('error', 'connection closed')}"
+            )
 
     lines = [json.dumps(event_to_record(event)).encode() + b"\n" for event in events]
     send_times: List[float] = []
@@ -219,6 +241,7 @@ def loadgen(
     unix_path: Optional[str] = None,
     rate: Optional[float] = None,
     drain: bool = False,
+    auth_token: Optional[str] = None,
 ) -> LoadgenReport:
     """Synchronous wrapper: ``asyncio.run(run_loadgen(...))``."""
     return asyncio.run(
@@ -229,5 +252,6 @@ def loadgen(
             unix_path=unix_path,
             rate=rate,
             drain=drain,
+            auth_token=auth_token,
         )
     )

@@ -86,6 +86,7 @@ class SpatialHashRing:
         tokens.sort()
         self._tokens = [token for token, _shard in tokens]
         self._owners = [shard for _token, shard in tokens]
+        self._retired: set = set()
 
     def shard_of(self, key: int) -> int:
         """The shard owning ``key``: first token clockwise of its hash."""
@@ -94,6 +95,38 @@ class SpatialHashRing:
         if index == len(self._tokens):
             index = 0  # wrap around the ring
         return self._owners[index]
+
+    def retire(self, shard_id: int) -> None:
+        """Drop one shard's tokens from the ring (degraded-mode remap).
+
+        Keys the retired shard owned fall through to the next surviving
+        token clockwise — exactly the consistent-hashing arc-takeover
+        property, so only the retired shard's cells move.  Idempotent.
+
+        Raises:
+            ConfigurationError: when retiring would empty the ring (a
+                gateway with no live shard cannot reroute anywhere).
+        """
+        if shard_id in self._retired:
+            return
+        if len(self._retired) + 1 >= self.n_shards:
+            raise ConfigurationError(
+                f"cannot retire shard {shard_id}: it is the last live "
+                "shard on the ring"
+            )
+        self._retired.add(shard_id)
+        kept = [
+            (token, owner)
+            for token, owner in zip(self._tokens, self._owners)
+            if owner != shard_id
+        ]
+        self._tokens = [token for token, _owner in kept]
+        self._owners = [owner for _token, owner in kept]
+
+    @property
+    def retired(self) -> frozenset:
+        """Shard ids removed from the ring."""
+        return frozenset(self._retired)
 
 
 class ShardRouter:
@@ -131,6 +164,22 @@ class ShardRouter:
     def shard_of(self, arrival: Arrival) -> int:
         """The shard owning an arrival's location."""
         return self.shard_of_cell(self.grid.area_of(arrival.entity.location))
+
+    def retire_shard(self, shard_id: int) -> None:
+        """Remap a degraded shard's cells to the survivors.
+
+        Delegates to :meth:`SpatialHashRing.retire` and invalidates the
+        memoised cell map, so *new* arrivals in the retired shard's
+        cells route to the next live shard on the ring.  Objects already
+        inside the dead shard are lost with it — reroute bounds the
+        blast radius, it does not resurrect state (that is the
+        supervisor's checkpoint/replay job, which runs first).
+
+        Raises:
+            ConfigurationError: when this is the last live shard.
+        """
+        self.ring.retire(shard_id)
+        self._cell_cache.clear()
 
 
 class Shard:
@@ -209,10 +258,13 @@ class ShardBackend(Protocol):
       (possibly stale for out-of-process shards);
       :meth:`refresh_snapshots` performs the round trip.
     * :meth:`finish` is the drain barrier: every shard's stream closes
-      and the per-shard outcomes come back (``None`` for a shard whose
-      worker crashed).
-    * :attr:`crashes` counts shard executors lost mid-run (always 0
-      in-process).
+      and the per-shard outcomes come back (a structured
+      :class:`~repro.serving.workers.ShardOutcome` for a shard whose
+      executor was lost for good).
+    * :attr:`crashes` counts shard executors lost mid-run and
+      :attr:`restarts` the replacements forked by a supervisor (both
+      always 0 in-process); :meth:`health` reports each shard as
+      ``healthy`` / ``restarting`` / ``degraded``.
     """
 
     name: str
@@ -222,6 +274,11 @@ class ShardBackend(Protocol):
 
     @property
     def crashes(self) -> int: ...
+
+    @property
+    def restarts(self) -> int: ...
+
+    def health(self) -> List[str]: ...
 
     @property
     def outcomes(self) -> Optional[List[Optional[AssignmentOutcome]]]: ...
@@ -264,6 +321,15 @@ class InlineShardBackend:
     def crashes(self) -> int:
         """In-process shards cannot crash independently of the gateway."""
         return 0
+
+    @property
+    def restarts(self) -> int:
+        """Nothing to supervise in-process."""
+        return 0
+
+    def health(self) -> List[str]:
+        """In-process shards are healthy for exactly the gateway's life."""
+        return ["healthy"] * len(self.shards)
 
     @property
     def outcomes(self) -> Optional[List[Optional[AssignmentOutcome]]]:

@@ -1,4 +1,4 @@
-"""Multi-process shard workers: the gateway's process-pool backend.
+"""Multi-process shard workers: the gateway's self-healing process pool.
 
 The inline backend runs every shard's matcher on one event loop — one
 core.  :class:`WorkerPool` is the multi-core home: each shard's
@@ -15,14 +15,14 @@ Topology and wire format::
     submit(shard, event)                       Shard(i, factory(i))
       │  bounded outbox ──writer task──▶ pipe ──▶ recv loop
       │  pending FIFO  ◀──reader task◀── pipe ◀── push → ACK/NACK
-      ▼
-    future per event (resolved strictly in a worker's send order)
+      ▼                       │
+    future per event          └── WorkerSupervisor (heartbeat, restart)
 
 * **IPC** — length-prefixed pickle frames (:mod:`repro.serving.ipc`)
   over two anonymous pipes per worker.  Workers are *forked*, so the
   per-shard matcher factory (closures, prebuilt guides and all) is
   inherited — nothing needs to be picklable except events, decisions,
-  snapshots and outcomes, which all are.
+  snapshots, outcomes and checkpointed shard state, which all are.
 * **Ordering** — one bounded outbox and one writer task per worker;
   the single writer assigns sequence numbers at write time, so pending
   futures resolve in exactly pipe order and each shard consumes its
@@ -32,15 +32,54 @@ Topology and wire format::
 * **Backpressure** — a full outbox parks :meth:`WorkerPool.submit`,
   which parks the gateway dispatcher, which parks socket readers on the
   bounded ingest queue: the stall propagates to the sender end-to-end.
-* **Crashes** — a worker dying closes its pipes; the reader task fails
-  every in-flight future with a clean :class:`~repro.errors.GatewayError`
-  (the gateway turns those into error acks — no hang), later submissions
-  to the dead shard fail fast, and :attr:`WorkerPool.crashes` surfaces
-  in ``/metrics``.
 * **Drain** — :meth:`WorkerPool.finish` is the barrier: a ``FINISH``
   frame per worker (sequenced after all of its events), one
-  ``DONE(outcome, final snapshot)`` back, worker exits.  Crashed workers
-  contribute ``None`` outcomes; the drain still completes.
+  ``DONE(outcome, final snapshot)`` back, worker exits.
+
+Failure & recovery (the self-healing layer)::
+
+    checkpoint + journal          supervision                 degraded
+    ───────────────────           ───────────                 ────────
+    CHECKPOINT every K events     pipe EOF / torn frame       restart cap
+    worker ships its Shard back   corrupt frame / seq desync  exhausted ⇒
+    journal of events since       heartbeat timeout (hung)    reject acks or
+    the last accepted CHKPT           │                       ring remap
+          │                           ▼
+          └────────▶ fork replacement from the checkpoint,
+                     replay the journal in order, re-dispatch
+                     in-flight requests exactly once
+
+* **Checkpoint + journal** — the writer task appends every ``EVENT``
+  frame to an in-memory journal and injects a ``CHECKPOINT`` request
+  every ``checkpoint_every`` events; the worker answers with its whole
+  pickled :class:`~repro.serving.shard.Shard` and the journal truncates
+  to the frames the checkpoint cannot cover.  Shard state is therefore
+  always reconstructible as a pure function of the shard's event order:
+  checkpoint (a prefix of that order) + journal (the rest).  Below the
+  first checkpoint the journal simply reaches back to the stream start.
+* **Supervision** — :class:`WorkerSupervisor` watches every failure
+  signal the IPC layer can emit (EOF, a frame torn mid-write, an
+  undecodable frame, an out-of-sequence reply) plus a heartbeat timeout
+  for workers that are alive but unresponsive (``SIGSTOP``, deadlock —
+  the supervisor ``SIGKILL``\\ s them, which lands even on a stopped
+  process).  Recovery forks a replacement from the last checkpoint,
+  replays the journal in the original order — deadline handling is
+  stream-clock driven, so a late replay expires exactly what the
+  crash-free run expires — and re-dispatches in-flight requests
+  **exactly once**: a replayed event whose ack already went out replays
+  with a suppressed future (state rebuild only), one still awaiting its
+  ack keeps its original future.  Deterministic matchers ⇒ a recovered
+  shard is bit-identical to a crash-free one (test- and CI-enforced).
+* **Degraded mode** — restarts back off exponentially (capped) and stop
+  at ``max_restarts``; the shard then flips to ``degraded``: every
+  queued and future event fails with a clean error (the gateway turns
+  those into error acks — never a hang), and an optional
+  ``on_degraded`` callback lets the gateway remap the shard's cells to
+  the survivors (``degraded_mode="reroute"``).
+* **Fault injection** — :mod:`repro.serving.faults` plans ride into the
+  children through fork; replacements inherit only the sticky specs, so
+  a single scripted ``kill`` proves bit-identical recovery while a
+  sticky one proves the restart cap.
 
 Forking requires a POSIX host (the ``fork`` start method); the gateway
 raises a clean error elsewhere.  Workers are daemonic, ignore SIGINT
@@ -54,23 +93,47 @@ import asyncio
 import multiprocessing
 import os
 import signal
+import time
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple, Union
 
 from repro.core.engine import Matcher
 from repro.core.outcome import AssignmentOutcome, Decision
 from repro.errors import GatewayError
 from repro.model.events import StreamEvent
 from repro.serving import ipc
+from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.serving.session import SessionSnapshot
 from repro.serving.shard import Shard
 
-__all__ = ["WorkerPool", "shard_worker_main"]
+__all__ = ["WorkerPool", "WorkerSupervisor", "ShardOutcome", "shard_worker_main"]
 
 # Per-worker outbox bound (messages).  Deep enough to keep a worker fed
 # between event-loop ticks, shallow enough that one slow shard stalls
 # ingest instead of buffering the whole stream in parent memory.
 _DEFAULT_OUTBOX = 512
+
+# Events between checkpoint requests.  The journal holds at most about
+# one checkpoint interval plus the in-flight window, so this is also the
+# replay bound after a crash.  0 disables checkpoints: the journal then
+# reaches back to the stream start (fine for short streams; recovery
+# replays everything).
+_DEFAULT_CHECKPOINT_EVERY = 512
+
+# Supervision defaults: restart up to 3 times with 50ms → 2s exponential
+# backoff; declare a worker hung after 10s without a reply while work is
+# outstanding (heartbeat pings keep idle workers observable).
+_DEFAULT_MAX_RESTARTS = 3
+_DEFAULT_BACKOFF = 0.05
+_DEFAULT_BACKOFF_CAP = 2.0
+_DEFAULT_HEARTBEAT_INTERVAL = 1.0
+_DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+
+# Per-shard health states (surfaced in /snapshot and Prometheus).
+HEALTHY = "healthy"
+RESTARTING = "restarting"
+DEGRADED = "degraded"
 
 # An idle per-shard session snapshot: what a worker that has not
 # reported yet (or died before reporting) contributes to aggregates.
@@ -89,25 +152,70 @@ class _ShardRejection(GatewayError):
     """
 
 
+@dataclass(frozen=True)
+class ShardOutcome:
+    """The structured result of a shard that produced no outcome.
+
+    :meth:`WorkerPool.finish` returns one of these — instead of a bare
+    ``None`` — for a shard whose worker was lost for good (degraded, or
+    recovery disabled), so callers see *why* a shard is missing and how
+    hard the supervisor tried.
+    """
+
+    shard_id: int
+    error: str
+    restarts: int = 0
+    state: str = DEGRADED
+
+    def summary(self) -> str:
+        """One human-readable line."""
+        return (
+            f"shard {self.shard_id} {self.state} after "
+            f"{self.restarts} restart(s): {self.error}"
+        )
+
+
+def _send_reply(endpoint: ipc.BlockingEndpoint, tag: str, seq: int, payload) -> None:
+    """Send one reply; an over-limit frame degrades to a NACK.
+
+    A reply too large to frame (a pathological outcome behind a tiny
+    ``MAX_FRAME``) must not kill the worker — the event *was* served,
+    only its payload cannot ship, so the requester gets a clean
+    rejection instead of a torn pipe.
+    """
+    try:
+        endpoint.send((tag, seq, payload))
+    except GatewayError as exc:
+        endpoint.send((ipc.NACK, seq, f"reply exceeds the frame limit: {exc}"))
+
+
 def shard_worker_main(
     shard_id: int,
     matcher_factory: Callable[[int], Matcher],
     recv_fd: int,
     send_fd: int,
     close_fds: Tuple[int, ...] = (),
+    initial_shard: Optional[Shard] = None,
+    fault_specs: Tuple[FaultSpec, ...] = (),
 ) -> None:
     """The worker child's entry point: one shard, one blocking loop.
 
     Builds ``Shard(shard_id, matcher_factory(shard_id))`` locally (the
-    factory was inherited through fork) and serves the request pipe
-    FIFO until a ``FINISH``/``STOP`` frame or EOF.  Matcher-level
-    rejections become ``NACK`` replies — a poisoned event must never
-    kill the worker.
+    factory was inherited through fork) — or resumes from
+    ``initial_shard``, a checkpointed shard the supervisor passed
+    through fork when restarting — and serves the request pipe FIFO
+    until a ``FINISH``/``STOP`` frame or EOF.  Matcher-level rejections
+    become ``NACK`` replies — a poisoned event must never kill the
+    worker.
 
     Args:
-        close_fds: parent-side pipe fds of *other* workers inherited
+        close_fds: parent-side pipe fds of *other* workers (plus any
+            gateway listener/connection fds at restart time) inherited
             through fork; closed first so a sibling's EOF semantics
             aren't held hostage by this process's fd table.
+        initial_shard: checkpointed state to resume from (restart path).
+        fault_specs: scripted faults for this incarnation
+            (:mod:`repro.serving.faults`).
     """
     for fd in close_fds:
         try:
@@ -122,7 +230,11 @@ def shard_worker_main(
     except (OSError, ValueError):  # pragma: no cover - exotic hosts
         pass
     endpoint = ipc.BlockingEndpoint(recv_fd, send_fd)
-    shard = Shard(shard_id, matcher_factory(shard_id))
+    if initial_shard is not None:
+        shard = initial_shard
+    else:
+        shard = Shard(shard_id, matcher_factory(shard_id))
+    injector = FaultInjector(tuple(fault_specs)) if fault_specs else None
     try:
         while True:
             try:
@@ -130,17 +242,43 @@ def shard_worker_main(
             except EOFError:
                 break
             if tag == ipc.EVENT:
+                spec = injector.next_event_fault() if injector else None
+                if spec is not None:
+                    if spec.action == "kill":
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    if spec.action in ("hang", "delay"):
+                        # "hang" relies on the supervisor's SIGKILL to
+                        # end the sleep; "delay" just resumes normally.
+                        time.sleep(spec.seconds)
+                    if spec.action == "drop":
+                        continue  # frame falls on the floor, no ack
                 try:
                     decision = shard.push(payload)
                 except Exception as exc:  # noqa: BLE001 — serve loop survives
                     endpoint.send((ipc.NACK, seq, str(exc)))
+                    continue
+                if spec is not None and spec.action == "corrupt":
+                    endpoint.send_raw(ipc.raw_frame(b"\xffnot a pickle\xff"))
+                elif spec is not None and spec.action == "torn":
+                    frame = ipc.encode_frame((ipc.ACK, seq, decision))
+                    endpoint.send_raw(frame[: max(1, len(frame) // 2)])
+                    os.kill(os.getpid(), signal.SIGKILL)
                 else:
-                    endpoint.send((ipc.ACK, seq, decision))
+                    _send_reply(endpoint, ipc.ACK, seq, decision)
             elif tag == ipc.SNAPSHOT:
-                endpoint.send((ipc.SNAP, seq, shard.snapshot()))
+                _send_reply(endpoint, ipc.SNAP, seq, shard.snapshot())
+            elif tag == ipc.CHECKPOINT:
+                try:
+                    endpoint.send((ipc.CHKPT, seq, shard))
+                except Exception:  # noqa: BLE001 — unpicklable/oversized
+                    # Declining is safe: the parent keeps its journal
+                    # intact and replay just reaches further back.
+                    endpoint.send((ipc.CHKPT, seq, None))
+            elif tag == ipc.PING:
+                endpoint.send((ipc.PONG, seq, None))
             elif tag == ipc.FINISH:
                 outcome = shard.finish()
-                endpoint.send((ipc.DONE, seq, (outcome, shard.snapshot())))
+                _send_reply(endpoint, ipc.DONE, seq, (outcome, shard.snapshot()))
                 break
             elif tag == ipc.STOP:
                 break
@@ -151,12 +289,14 @@ def shard_worker_main(
 
 
 class _WorkerHandle:
-    """Parent-side state of one shard worker."""
+    """Parent-side state of one shard worker (across incarnations)."""
 
     __slots__ = (
         "shard_id", "process", "reader", "writer", "read_transport",
         "outbox", "pending", "seq", "alive", "closing", "reader_task",
         "writer_task", "last_snapshot", "outcome", "failure",
+        "journal", "checkpoint", "events_since_checkpoint", "state",
+        "restarts", "last_activity", "parent_fds", "recovery_task",
     )
 
     def __init__(self, shard_id: int, outbox_size: int) -> None:
@@ -178,10 +318,288 @@ class _WorkerHandle:
         self.last_snapshot: SessionSnapshot = _EMPTY_SNAPSHOT
         self.outcome: Optional[AssignmentOutcome] = None
         self.failure: Optional[str] = None
+        # Recovery state: (seq, event) journal since the last accepted
+        # checkpoint, the checkpointed Shard itself, and bookkeeping for
+        # the supervisor.
+        self.journal: Deque[Tuple[int, StreamEvent]] = deque()
+        self.checkpoint: Optional[Shard] = None
+        self.events_since_checkpoint = 0
+        self.state = HEALTHY
+        self.restarts = 0
+        self.last_activity = 0.0
+        self.parent_fds: Tuple[int, ...] = ()
+        self.recovery_task: Optional[asyncio.Task] = None
+
+
+class WorkerSupervisor:
+    """Crash/hang detection and recovery for one :class:`WorkerPool`.
+
+    The supervisor owns the heartbeat monitor and the per-shard recovery
+    tasks; the pool routes every failure signal (pipe EOF, torn frame,
+    corrupt frame, sequence desync) through :meth:`on_crash`, which
+    decides between **restart** (fork a replacement from the last
+    checkpoint, replay the journal, re-dispatch in-flight requests
+    exactly once) and **degrade** (fail everything cleanly, notify the
+    gateway).  Restarts back off exponentially and are capped.
+    """
+
+    def __init__(
+        self,
+        pool: "WorkerPool",
+        max_restarts: int,
+        backoff: float,
+        backoff_cap: float,
+        heartbeat_interval: float,
+        heartbeat_timeout: float,
+    ) -> None:
+        self.pool = pool
+        self.max_restarts = max_restarts
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._monitor_task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        """Start the heartbeat monitor (``heartbeat_interval=0`` disables)."""
+        if self.heartbeat_interval > 0 and self._monitor_task is None:
+            self._monitor_task = asyncio.get_running_loop().create_task(
+                self._monitor_loop()
+            )
+
+    async def aclose(self) -> None:
+        """Cancel the monitor and any in-flight recoveries."""
+        tasks: List[asyncio.Task] = []
+        if self._monitor_task is not None:
+            tasks.append(self._monitor_task)
+            self._monitor_task = None
+        for handle in self.pool.handles:
+            if handle.recovery_task is not None:
+                tasks.append(handle.recovery_task)
+                handle.recovery_task = None
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- failure entry points ------------------------------------------ #
+
+    def on_crash(self, handle: _WorkerHandle, failure: str) -> None:
+        """One worker is gone (EOF/corruption): restart or degrade.
+
+        Called by the pool with ``handle.alive`` already False and the
+        writer task about to be cancelled; pending futures are left
+        untouched on the restart path (replay resolves them) and failed
+        on the degrade path.
+        """
+        if (
+            not self.pool.closing
+            and self.max_restarts > 0
+            and handle.restarts < self.max_restarts
+        ):
+            handle.state = RESTARTING
+            handle.recovery_task = asyncio.get_running_loop().create_task(
+                self._recover(handle)
+            )
+        else:
+            self.degrade(handle, failure)
+
+    def degrade(self, handle: _WorkerHandle, reason: str) -> None:
+        """Give up on one shard: fail everything cleanly, tell the gateway.
+
+        Every queued and in-flight future fails with ``reason`` (the
+        gateway turns those into error acks — degraded shards answer,
+        they never hang), later submits fail fast, and the pool's
+        ``on_degraded`` callback (the gateway's ring-remap hook) fires
+        once.
+        """
+        handle.state = DEGRADED
+        handle.alive = False
+        handle.failure = reason
+        if handle.writer_task is not None and not handle.writer_task.done():
+            handle.writer_task.cancel()
+        self.pool._fail_inflight(handle, reason)
+        on_degraded = self.pool.on_degraded
+        if on_degraded is not None:
+            try:
+                on_degraded(handle.shard_id)
+            except Exception:  # noqa: BLE001 — monitoring must not cascade
+                pass
+
+    # -- recovery ------------------------------------------------------ #
+
+    async def _recover(self, handle: _WorkerHandle) -> None:
+        """Restart loop: reap → backoff → fork from checkpoint → replay.
+
+        A replacement that itself dies before its reader task is wired
+        (a sticky fault, a broken host) raises out of the spawn/replay
+        step and retries here, so every incarnation — however short —
+        counts against the cap.
+        """
+        pool = self.pool
+        loop = asyncio.get_running_loop()
+        while True:
+            handle.restarts += 1
+            pool._restarts += 1
+            attempt = handle.restarts
+            try:
+                await self._reap(handle)
+                delay = min(
+                    self.backoff * (2 ** (attempt - 1)), self.backoff_cap
+                )
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                await pool._spawn(handle)
+                await self._replay(handle)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — retry or degrade
+                if pool.closing or attempt >= self.max_restarts:
+                    self.degrade(
+                        handle,
+                        f"shard worker {handle.shard_id} could not be "
+                        f"revived after {attempt} restart(s): {exc}",
+                    )
+                    return
+                continue
+            handle.state = HEALTHY
+            handle.alive = True
+            handle.failure = None
+            handle.reader_task = loop.create_task(pool._reader_loop(handle))
+            handle.writer_task = loop.create_task(pool._writer_loop(handle))
+            return
+
+    async def _reap(self, handle: _WorkerHandle) -> None:
+        """Tear down the dead incarnation: tasks, transports, process."""
+        tasks = [
+            task
+            for task in (handle.reader_task, handle.writer_task)
+            if task is not None
+        ]
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        handle.reader_task = None
+        handle.writer_task = None
+        if handle.writer is not None:
+            handle.writer.close()
+            handle.writer = None
+        if handle.read_transport is not None:
+            handle.read_transport.close()
+            handle.read_transport = None
+        handle.reader = None
+        handle.parent_fds = ()
+        process = handle.process
+        if process is not None:
+            # SIGKILL is idempotent and lands even on a stopped process
+            # (the hung-worker path arrives here with the worker alive).
+            if process.is_alive():
+                process.kill()
+            for _ in range(500):
+                if not process.is_alive():
+                    break
+                await asyncio.sleep(0.01)
+            process.join(timeout=0.2)
+            handle.process = None
+
+    async def _replay(self, handle: _WorkerHandle) -> None:
+        """Rebuild the replacement's stream: journal, then in-flight rest.
+
+        The journal replays in its original order with fresh sequence
+        numbers.  A journaled event still awaiting its ack keeps its
+        original future; one the gateway already acked replays with a
+        suppressed (``None``) future — the replacement recomputes the
+        identical decision (deterministic matchers over an identical
+        prefix) but nobody is listening, so every event is acked
+        **exactly once** across incarnations.  In-flight ``SNAPSHOT`` /
+        ``FINISH`` requests re-dispatch after the events, preserving
+        their barrier semantics; ``CHECKPOINT``/``PING`` requests are
+        incarnation-local and simply resolve.
+        """
+        old_pending = handle.pending
+        old_journal = handle.journal
+        handle.pending = deque()
+        handle.journal = deque()
+        handle.seq = 0
+        inflight = {seq: future for _tag, seq, future in old_pending}
+        chunks: List[bytes] = []
+        for old_seq, event in old_journal:
+            future = inflight.pop(old_seq, None)
+            seq = handle.seq
+            handle.seq = seq + 1
+            handle.pending.append((ipc.EVENT, seq, future))
+            handle.journal.append((seq, event))
+            chunks.append(ipc.encode_frame((ipc.EVENT, seq, event)))
+        for tag, old_seq, future in old_pending:
+            if old_seq not in inflight:
+                continue  # a journaled event, already re-queued above
+            if tag in (ipc.CHECKPOINT, ipc.PING):
+                _resolve(future, None)
+                continue
+            if tag == ipc.EVENT:  # pragma: no cover - journal invariant
+                # Truncation only drops seqs the worker acked first, so
+                # an in-flight event always has a journal entry; losing
+                # one must fail loudly, never silently.
+                _fail(
+                    future,
+                    GatewayError(
+                        f"shard worker {handle.shard_id} lost event "
+                        f"seq {old_seq} from its journal"
+                    ),
+                )
+                continue
+            seq = handle.seq
+            handle.seq = seq + 1
+            handle.pending.append((tag, seq, future))
+            chunks.append(ipc.encode_frame((tag, seq, None)))
+        handle.events_since_checkpoint = len(handle.journal)
+        if chunks:
+            handle.writer.write(b"".join(chunks))
+            await handle.writer.drain()
+        handle.last_activity = asyncio.get_running_loop().time()
+
+    # -- heartbeat ----------------------------------------------------- #
+
+    async def _monitor_loop(self) -> None:
+        """Detect hung workers: pinged when idle, killed when silent.
+
+        A worker with outstanding requests and no reply for
+        ``heartbeat_timeout`` is hung, not dead (a dead one EOFs its
+        pipe immediately): ``SIGSTOP``, a deadlock, a runaway
+        computation.  SIGKILL clears all three — it is delivered even
+        to a stopped process — and the resulting EOF drives the normal
+        recovery path.  Idle workers get a ``PING`` each interval, so a
+        hung *idle* worker accumulates the ping as pending and trips the
+        same timeout.
+        """
+        pool = self.pool
+        interval = self.heartbeat_interval
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            now = loop.time()
+            for handle in pool.handles:
+                if not handle.alive or handle.closing or handle.state != HEALTHY:
+                    continue
+                idle = now - handle.last_activity
+                if handle.pending:
+                    if idle > self.heartbeat_timeout:
+                        process = handle.process
+                        if process is not None and process.is_alive():
+                            process.kill()
+                elif idle > interval:
+                    try:
+                        handle.outbox.put_nowait((ipc.PING, None, None))
+                    except asyncio.QueueFull:  # pragma: no cover - racing
+                        pass
 
 
 class WorkerPool:
-    """A :class:`~repro.serving.shard.ShardBackend` over forked processes.
+    """A self-healing :class:`~repro.serving.shard.ShardBackend` over
+    forked processes.
 
     Args:
         n_shards: worker count — one process per shard.
@@ -189,6 +607,21 @@ class WorkerPool:
             ``i`` (inherited through fork; needs no pickling).
         outbox_size: per-worker outbox bound (the IPC backpressure
             limit).
+        max_restarts: crash recoveries per shard before it degrades
+            (0 = the pre-recovery behaviour: first crash degrades).
+        restart_backoff / restart_backoff_cap: exponential backoff
+            between restarts, in seconds.
+        heartbeat_interval / heartbeat_timeout: hung-worker detection
+            (``heartbeat_interval=0`` disables the monitor).
+        checkpoint_every: events between state checkpoints (0 = never
+            checkpoint; the journal then spans the whole stream).
+        fault_plan: scripted faults for chaos runs
+            (:class:`~repro.serving.faults.FaultPlan`).
+        on_degraded: called once with the shard id when a shard flips to
+            degraded (the gateway's ring-remap hook).
+        extra_close_fds: callable returning fds a *restarted* child must
+            close (the gateway's live listener/connection sockets — the
+            initial fork happens before any socket exists).
 
     Raises:
         GatewayError: for bad parameters, or at :meth:`start` on hosts
@@ -202,6 +635,15 @@ class WorkerPool:
         n_shards: int,
         matcher_factory: Callable[[int], Matcher],
         outbox_size: int = _DEFAULT_OUTBOX,
+        max_restarts: int = _DEFAULT_MAX_RESTARTS,
+        restart_backoff: float = _DEFAULT_BACKOFF,
+        restart_backoff_cap: float = _DEFAULT_BACKOFF_CAP,
+        heartbeat_interval: float = _DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = _DEFAULT_HEARTBEAT_TIMEOUT,
+        checkpoint_every: int = _DEFAULT_CHECKPOINT_EVERY,
+        fault_plan: Optional[FaultPlan] = None,
+        on_degraded: Optional[Callable[[int], None]] = None,
+        extra_close_fds: Optional[Callable[[], List[int]]] = None,
     ) -> None:
         if n_shards <= 0:
             raise GatewayError(f"n_shards must be positive, got {n_shards}")
@@ -209,12 +651,37 @@ class WorkerPool:
             raise GatewayError(
                 f"outbox_size must be positive, got {outbox_size}"
             )
+        if max_restarts < 0:
+            raise GatewayError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if checkpoint_every < 0:
+            raise GatewayError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
         self._n_shards = int(n_shards)
         self._factory = matcher_factory
         self._outbox_size = int(outbox_size)
+        self._checkpoint_every = int(checkpoint_every)
+        self._fault_plan = fault_plan
+        self.on_degraded = on_degraded
+        self._extra_close_fds = extra_close_fds
         self.handles: List[_WorkerHandle] = []
         self._crashes = 0
-        self._outcomes: Optional[List[Optional[AssignmentOutcome]]] = None
+        self._restarts = 0
+        self._outcomes: Optional[
+            List[Optional[Union[AssignmentOutcome, ShardOutcome]]]
+        ] = None
+        self._context = None
+        self.closing = False
+        self.supervisor = WorkerSupervisor(
+            self,
+            max_restarts=int(max_restarts),
+            backoff=float(restart_backoff),
+            backoff_cap=float(restart_backoff_cap),
+            heartbeat_interval=float(heartbeat_interval),
+            heartbeat_timeout=float(heartbeat_timeout),
+        )
 
     # -- ShardBackend surface ------------------------------------------ #
 
@@ -228,7 +695,20 @@ class WorkerPool:
         return self._crashes
 
     @property
-    def outcomes(self) -> Optional[List[Optional[AssignmentOutcome]]]:
+    def restarts(self) -> int:
+        """Replacement workers forked by the supervisor."""
+        return self._restarts
+
+    def health(self) -> List[str]:
+        """Per-shard ``healthy`` / ``restarting`` / ``degraded`` states."""
+        if not self.handles:
+            return [HEALTHY] * self._n_shards
+        return [handle.state for handle in self.handles]
+
+    @property
+    def outcomes(
+        self,
+    ) -> Optional[List[Optional[Union[AssignmentOutcome, ShardOutcome]]]]:
         return self._outcomes
 
     async def start(self) -> None:
@@ -241,62 +721,25 @@ class WorkerPool:
         if self.handles:
             raise GatewayError("worker pool already started")
         try:
-            context = multiprocessing.get_context("fork")
+            self._context = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX hosts
             raise GatewayError(
                 "the worker-pool backend needs the 'fork' start method "
                 f"(POSIX only): {exc}"
             ) from exc
         loop = asyncio.get_running_loop()
-        parent_fds: List[int] = []  # parent-side fds of already-forked workers
         try:
             for shard_id in range(self._n_shards):
                 handle = _WorkerHandle(shard_id, self._outbox_size)
-                to_child_r, to_child_w = os.pipe()
-                to_parent_r, to_parent_w = os.pipe()
-                process = context.Process(
-                    target=shard_worker_main,
-                    args=(
-                        shard_id,
-                        self._factory,
-                        to_child_r,
-                        to_parent_w,
-                        # The child inherits every earlier worker's
-                        # parent-side fds plus its own pair's parent
-                        # ends: close them all or EOF-based shutdown
-                        # breaks (a sibling holding a dup keeps a pipe
-                        # "open" after the real owner closes it).
-                        tuple(parent_fds) + (to_child_w, to_parent_r),
-                    ),
-                    daemon=True,
-                    name=f"ftoa-shard-worker-{shard_id}",
-                )
-                process.start()
-                os.close(to_child_r)
-                os.close(to_parent_w)
-                parent_fds.extend((to_child_w, to_parent_r))
-                handle.process = process
-                # Track the handle *before* the async pipe wiring: if
-                # fdopen/connect_*_pipe fails mid-worker, the rollback
+                # Track the handle *before* the fork + async pipe
+                # wiring: if anything fails mid-worker, the rollback
                 # aclose() below must still see (and reap) the child
                 # that already forked.
                 self.handles.append(handle)
-
-                reader = asyncio.StreamReader(loop=loop)
-                handle.read_transport, _ = await loop.connect_read_pipe(
-                    lambda: asyncio.StreamReaderProtocol(reader, loop=loop),
-                    os.fdopen(to_parent_r, "rb", 0),
-                )
-                handle.reader = reader
-                w_transport, w_protocol = await loop.connect_write_pipe(
-                    lambda: asyncio.streams.FlowControlMixin(loop=loop),
-                    os.fdopen(to_child_w, "wb", 0),
-                )
-                handle.writer = asyncio.StreamWriter(
-                    w_transport, w_protocol, None, loop
-                )
+                await self._spawn(handle)
                 handle.reader_task = loop.create_task(self._reader_loop(handle))
                 handle.writer_task = loop.create_task(self._writer_loop(handle))
+            self.supervisor.start()
         except Exception:
             await self.aclose()
             raise
@@ -306,17 +749,26 @@ class WorkerPool:
     ) -> "asyncio.Future[Decision]":
         """Queue one event for a shard worker; future resolves on its ack.
 
-        Awaits outbox space (the backpressure path); a dead worker's
-        future fails immediately with the crash reason, so callers get a
-        clean error instead of a hang.
+        Awaits outbox space (the backpressure path).  A shard mid-restart
+        still accepts — its outbox simply buffers until the replacement
+        finishes replaying (a full outbox parks the dispatcher, which is
+        the designed stall).  A *degraded* shard fails the future
+        immediately with the degrade reason, so callers get a clean
+        error instead of a hang.
         """
         handle = self.handles[shard_id]
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        if not handle.alive:
+        if handle.state == DEGRADED or (
+            not handle.alive and handle.state != RESTARTING
+        ):
             future.set_exception(GatewayError(self._crash_reason(handle)))
             return future
         await handle.outbox.put((ipc.EVENT, event, future))
+        if handle.state == DEGRADED and not future.done():
+            # The shard degraded while we were parked on a full outbox;
+            # sweep the entry the degrade pass couldn't have seen.
+            self._fail_inflight(handle, self._crash_reason(handle))
         return future
 
     def snapshots(self) -> List[SessionSnapshot]:
@@ -334,10 +786,12 @@ class WorkerPool:
         whose outbox is *full* (the designed backpressure state) is
         skipped outright — a metrics scrape must never queue behind, or
         add load to, an overloaded shard; its cached row stands.
+        Restarting and degraded workers are skipped too (their cached
+        rows stand until recovery finishes).
         """
         futures = []
         for handle in self.handles:
-            if handle.alive and not handle.closing:
+            if handle.alive and not handle.closing and handle.state == HEALTHY:
                 future = asyncio.get_running_loop().create_future()
                 # A crash may fail this future after the timeout window
                 # when nobody is awaiting it any more; mark the result
@@ -352,35 +806,64 @@ class WorkerPool:
             await asyncio.wait(futures, timeout=timeout)
         return self.snapshots()
 
-    async def finish(self) -> List[Optional[AssignmentOutcome]]:
+    async def finish(
+        self,
+    ) -> List[Optional[Union[AssignmentOutcome, ShardOutcome]]]:
         """The drain barrier: close every worker's stream, collect outcomes.
 
-        Idempotent; crashed workers yield ``None`` without blocking the
-        barrier.
+        Idempotent.  A shard mid-restart gets its ``FINISH`` after the
+        replay (the outbox preserves order across incarnations); a
+        shard that stays lost contributes a structured
+        :class:`ShardOutcome` carrying the failure — never a hang, and
+        never a bare ``None``.
         """
         if self._outcomes is not None:
             return self._outcomes
         waits = []
         for handle in self.handles:
-            if handle.alive and not handle.closing:
+            active = handle.alive or handle.state == RESTARTING
+            if active and not handle.closing and handle.state != DEGRADED:
                 handle.closing = True
                 future = asyncio.get_running_loop().create_future()
                 future.add_done_callback(_swallow_result)
                 await handle.outbox.put((ipc.FINISH, None, future))
+                if handle.state == DEGRADED and not future.done():
+                    _fail(future, GatewayError(self._crash_reason(handle)))
                 waits.append(future)
         if waits:
-            # return_exceptions: a worker crashing mid-finish leaves its
-            # outcome None but must not break the other shards' barrier.
+            # return_exceptions: a worker degrading mid-finish leaves a
+            # ShardOutcome but must not break the other shards' barrier.
             await asyncio.gather(*waits, return_exceptions=True)
-        self._outcomes = [handle.outcome for handle in self.handles]
+        outcomes: List[Optional[Union[AssignmentOutcome, ShardOutcome]]] = []
+        for handle in self.handles:
+            if handle.outcome is not None:
+                outcomes.append(handle.outcome)
+            else:
+                outcomes.append(
+                    ShardOutcome(
+                        shard_id=handle.shard_id,
+                        error=handle.failure
+                        or (
+                            f"shard worker {handle.shard_id} produced "
+                            "no outcome"
+                        ),
+                        restarts=handle.restarts,
+                        state=handle.state,
+                    )
+                )
+        self._outcomes = outcomes
         return self._outcomes
 
     async def aclose(self) -> None:
         """Tear the fleet down: stop frames, closed pipes, reaped children.
 
         Safe to call repeatedly and after crashes; escalates from a
-        polite ``STOP`` to ``terminate()`` to ``kill()``.
+        polite ``STOP`` to ``terminate()`` to ``kill()``.  Recovery is
+        disarmed first so a worker exiting on STOP is never mistaken
+        for a crash to resurrect.
         """
+        self.closing = True
+        await self.supervisor.aclose()
         for handle in self.handles:
             if handle.alive and not handle.closing:
                 try:
@@ -422,6 +905,69 @@ class WorkerPool:
 
     # -- internals ----------------------------------------------------- #
 
+    async def _spawn(self, handle: _WorkerHandle) -> None:
+        """Fork one worker incarnation and wire its async pipe plumbing.
+
+        The replacement path resumes from ``handle.checkpoint`` (fork
+        inherits the unpickled shard — no serialisation round trip) and
+        inherits only the fault plan's sticky specs.
+        """
+        loop = asyncio.get_running_loop()
+        to_child_r, to_child_w = os.pipe()
+        to_parent_r, to_parent_w = os.pipe()
+        # The child inherits every live worker's parent-side fds plus
+        # its own pair's parent ends: close them all or EOF-based
+        # shutdown breaks (a sibling holding a dup keeps a pipe "open"
+        # after the real owner closes it).  Restarted children also
+        # inherit the gateway's listener/connection fds — the provider
+        # enumerates those at fork time, best-effort.
+        close_fds: List[int] = []
+        for other in self.handles:
+            if other is not handle:
+                close_fds.extend(other.parent_fds)
+        close_fds.extend((to_child_w, to_parent_r))
+        if self._extra_close_fds is not None:
+            try:
+                close_fds.extend(self._extra_close_fds())
+            except Exception:  # noqa: BLE001 — fd hygiene is best-effort
+                pass
+        specs: Tuple[FaultSpec, ...] = ()
+        if self._fault_plan is not None:
+            specs = self._fault_plan.for_shard(
+                handle.shard_id, incarnation=handle.restarts
+            )
+        process = self._context.Process(
+            target=shard_worker_main,
+            args=(
+                handle.shard_id,
+                self._factory,
+                to_child_r,
+                to_parent_w,
+                tuple(close_fds),
+                handle.checkpoint,
+                specs,
+            ),
+            daemon=True,
+            name=f"ftoa-shard-worker-{handle.shard_id}",
+        )
+        process.start()
+        os.close(to_child_r)
+        os.close(to_parent_w)
+        handle.process = process
+        handle.parent_fds = (to_child_w, to_parent_r)
+        reader = asyncio.StreamReader(loop=loop)
+        handle.read_transport, _ = await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader, loop=loop),
+            os.fdopen(to_parent_r, "rb", 0),
+        )
+        handle.reader = reader
+        w_transport, w_protocol = await loop.connect_write_pipe(
+            lambda: asyncio.streams.FlowControlMixin(loop=loop),
+            os.fdopen(to_child_w, "wb", 0),
+        )
+        handle.writer = asyncio.StreamWriter(w_transport, w_protocol, None, loop)
+        handle.last_activity = loop.time()
+
     def _crash_reason(self, handle: _WorkerHandle) -> str:
         if handle.failure is not None:
             return handle.failure
@@ -435,10 +981,15 @@ class WorkerPool:
         The writer is the only sequencer: it assigns sequence numbers
         and appends pending futures in the exact order frames hit the
         pipe, so concurrent ``submit``/``refresh_snapshots`` callers can
-        never interleave a future out of reply order.
+        never interleave a future out of reply order.  It also owns the
+        recovery bookkeeping on the request side: every ``EVENT`` frame
+        lands in the journal, and every ``checkpoint_every`` events a
+        ``CHECKPOINT`` request rides along so the journal can truncate
+        when the worker's state ships back.
         """
         outbox = handle.outbox
         writer = handle.writer
+        checkpoint_every = self._checkpoint_every
         try:
             while True:
                 batch = [await outbox.get()]
@@ -451,6 +1002,21 @@ class WorkerPool:
                     if tag != ipc.STOP:
                         handle.pending.append((tag, seq, future))
                     chunks.append(ipc.encode_frame((tag, seq, payload)))
+                    if tag == ipc.EVENT:
+                        handle.journal.append((seq, payload))
+                        handle.events_since_checkpoint += 1
+                        if (
+                            checkpoint_every
+                            and handle.events_since_checkpoint
+                            >= checkpoint_every
+                        ):
+                            handle.events_since_checkpoint = 0
+                            cseq = handle.seq
+                            handle.seq = cseq + 1
+                            handle.pending.append((ipc.CHECKPOINT, cseq, None))
+                            chunks.append(
+                                ipc.encode_frame((ipc.CHECKPOINT, cseq, None))
+                            )
                 writer.write(b"".join(chunks))
                 await writer.drain()
         except (ConnectionError, OSError, RuntimeError):
@@ -461,8 +1027,15 @@ class WorkerPool:
             raise
 
     async def _reader_loop(self, handle: _WorkerHandle) -> None:
-        """Resolve pending futures from the worker's FIFO reply stream."""
+        """Resolve pending futures from the worker's FIFO reply stream.
+
+        Every way the stream can die — EOF, a frame torn mid-write, an
+        undecodable payload, an out-of-sequence reply — funnels into
+        :meth:`_on_disconnect`, which hands the handle to the
+        supervisor with its pending queue intact for replay.
+        """
         reader = handle.reader
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 try:
@@ -470,6 +1043,7 @@ class WorkerPool:
                 except (EOFError, GatewayError):
                     self._on_disconnect(handle)
                     return
+                handle.last_activity = loop.time()
                 tag, seq, payload = message
                 if not handle.pending:  # pragma: no cover - corruption
                     self._on_disconnect(handle)
@@ -478,15 +1052,9 @@ class WorkerPool:
                 if seq != expected_seq:
                     # A reply out of sequence means the stream is
                     # desynchronized: pairing it with any pending future
-                    # would ack the wrong event, so treat the worker as
-                    # lost rather than propagate corruption.
-                    _fail(
-                        future,
-                        GatewayError(
-                            f"shard worker {handle.shard_id} echoed seq "
-                            f"{seq} for request {expected_seq} ({expected})"
-                        ),
-                    )
+                    # would ack the wrong event.  Put the request back
+                    # for the supervisor's replay and drop the worker.
+                    handle.pending.appendleft((expected, expected_seq, future))
                     self._on_disconnect(handle)
                     return
                 if tag == ipc.ACK:
@@ -496,6 +1064,19 @@ class WorkerPool:
                 elif tag == ipc.SNAP:
                     handle.last_snapshot = payload
                     _resolve(future, payload)
+                elif tag == ipc.CHKPT:
+                    if payload is not None:
+                        # Everything the worker processed before this
+                        # reply (FIFO ⇒ every seq below the request's)
+                        # is inside the checkpoint: the journal only
+                        # needs the frames after it.
+                        handle.checkpoint = payload
+                        journal = handle.journal
+                        while journal and journal[0][0] < expected_seq:
+                            journal.popleft()
+                    _resolve(future, payload)
+                elif tag == ipc.PONG:
+                    _resolve(future, None)
                 elif tag == ipc.DONE:
                     outcome, snapshot = payload
                     handle.outcome = outcome
@@ -514,7 +1095,12 @@ class WorkerPool:
             raise
 
     def _on_disconnect(self, handle: _WorkerHandle) -> None:
-        """Pipe EOF: clean after FINISH/STOP, a crash otherwise."""
+        """Pipe EOF/corruption: clean after FINISH/STOP, else supervised.
+
+        The crash path leaves ``handle.pending`` (and the outbox)
+        untouched — the supervisor's replay resolves them — and lets
+        :class:`WorkerSupervisor` choose restart or degrade.
+        """
         if not handle.alive:
             return
         handle.alive = False
@@ -522,14 +1108,14 @@ class WorkerPool:
             return  # the worker exited exactly as told
         exitcode = handle.process.exitcode if handle.process else None
         suffix = f" (exit code {exitcode})" if exitcode is not None else ""
-        handle.failure = (
-            f"shard worker {handle.shard_id} crashed{suffix}; "
-            "its events cannot be served"
-        )
         self._crashes += 1
-        self._fail_inflight(handle, handle.failure)
         if handle.writer_task is not None:
             handle.writer_task.cancel()
+        self.supervisor.on_crash(
+            handle,
+            f"shard worker {handle.shard_id} crashed{suffix}; "
+            "its events cannot be served",
+        )
 
     def _fail_inflight(self, handle: _WorkerHandle, reason: str) -> None:
         """Fail every queued and in-flight future of one worker."""

@@ -1,0 +1,625 @@
+"""Tests for the self-healing worker pool.
+
+Covers the fault-plan grammar (repro.serving.faults), checkpointed
+crash recovery and its headline invariant (a worker SIGKILLed
+mid-stream yields a final matching bit-identical to the crash-free
+run), torn/corrupt/dropped-frame recovery, heartbeat-driven hang
+detection, restart-cap exhaustion into degraded mode (reject and
+reroute), the recovery metrics surfaced through /snapshot and
+Prometheus, the shared-secret auth handshake, and the IPC edge cases
+the recovery path leans on.
+"""
+
+import asyncio
+import json
+import os
+import signal
+
+import pytest
+
+from repro.core.engine import GreedyMatcher
+from repro.errors import ConfigurationError, GatewayError
+from repro.serving import ipc, workers
+from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.serving.gateway import Gateway, render_prometheus
+from repro.serving.loadgen import run_loadgen
+from repro.serving.replay import event_to_record
+from repro.serving.shard import SpatialHashRing
+from repro.serving.workers import ShardOutcome
+from repro.streams.churn import ChurnConfig
+
+# Recovery should be exercised, not waited for: restart with tight
+# backoff so every test completes in interactive time.
+_FAST_RESTART = {"restart_backoff": 0.01, "restart_backoff_cap": 0.05}
+
+
+def _greedy_factory(instance):
+    return lambda shard: GreedyMatcher(instance.travel, indexed=False)
+
+
+async def _drive(instance, events, backend, n_shards, **kwargs):
+    gateway = Gateway(
+        instance.grid,
+        _greedy_factory(instance),
+        n_shards=n_shards,
+        backend=backend,
+        **kwargs,
+    )
+    await gateway.start()
+    for event in events:
+        await gateway.submit(event)
+    snapshot = await gateway.drain()
+    outcomes = gateway.shard_outcomes()
+    await gateway.close()
+    return snapshot, outcomes
+
+
+def _assert_bit_identical(outcomes_a, outcomes_b):
+    assert len(outcomes_a) == len(outcomes_b)
+    for a, b in zip(outcomes_a, outcomes_b):
+        assert a.matching.pairs() == b.matching.pairs()
+        assert a.worker_decisions == b.worker_decisions
+        assert a.task_decisions == b.task_decisions
+        assert a.ignored_workers == b.ignored_workers
+        assert a.ignored_tasks == b.ignored_tasks
+        assert a.departed_workers == b.departed_workers
+        assert a.departed_tasks == b.departed_tasks
+        assert a.moves == b.moves
+
+
+class TestFaultPlanGrammar:
+    def test_parse_single_spec(self):
+        plan = FaultPlan.parse("kill:shard=0,at=50")
+        assert len(plan.specs) == 1
+        spec = plan.specs[0]
+        assert spec.action == "kill"
+        assert spec.shard == 0
+        assert spec.at == 50
+        assert spec.sticky is False
+
+    def test_parse_multiple_specs_and_sticky(self):
+        plan = FaultPlan.parse("kill:shard=1,at=5,sticky; delay:at=3,seconds=0.2")
+        assert len(plan.specs) == 2
+        assert plan.specs[0].sticky is True
+        assert plan.specs[1].action == "delay"
+        assert plan.specs[1].seconds == pytest.approx(0.2)
+        assert plan.specs[1].shard is None
+        assert bool(plan)
+        assert "kill" in plan.describe() and "delay" in plan.describe()
+
+    def test_parse_rejects_unknown_action(self):
+        with pytest.raises(GatewayError, match="unknown fault action"):
+            FaultPlan.parse("explode:at=1")
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(GatewayError):
+            FaultPlan.parse("kill:when=1")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(GatewayError):
+            FaultPlan.parse("kill:at=banana")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(GatewayError):
+            FaultPlan.parse("  ")
+        assert not FaultPlan(())
+
+    def test_spec_validation(self):
+        with pytest.raises(GatewayError):
+            FaultSpec(action="kill", at=0)
+        with pytest.raises(GatewayError):
+            FaultSpec(action="hang", seconds=-1.0)
+
+    def test_for_shard_filters_and_incarnations(self):
+        plan = FaultPlan.parse("kill:shard=1,at=5,sticky; hang:shard=1,at=9; kill:shard=0,at=2")
+        assert [s.action for s in plan.for_shard(0)] == ["kill"]
+        # Incarnation 0 gets every matching spec; replacements only the
+        # sticky ones (a one-shot fault must not re-fire after restart).
+        assert [s.action for s in plan.for_shard(1, incarnation=0)] == ["kill", "hang"]
+        assert [s.action for s in plan.for_shard(1, incarnation=1)] == ["kill"]
+        assert plan.for_shard(2) == ()
+
+    def test_injector_fires_at_event_count(self):
+        injector = FaultInjector(FaultPlan.parse("drop:at=3").specs)
+        assert injector.next_event_fault() is None
+        assert injector.next_event_fault() is None
+        fired = injector.next_event_fault()
+        assert fired is not None and fired.action == "drop"
+        assert injector.next_event_fault() is None
+
+
+class TestCrashRecovery:
+    """The headline invariant: SIGKILL mid-stream, bit-identical drain."""
+
+    def test_kill_mid_stream_bit_identical(self, small_instance):
+        events = small_instance.arrival_stream()
+        snap_ref, out_ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance,
+                events,
+                "process",
+                3,
+                fault_plan=FaultPlan.parse("kill:shard=1,at=25"),
+                worker_config=dict(_FAST_RESTART),
+            )
+        )
+        _assert_bit_identical(out_ref, out)
+        assert snap.worker_crashes == 1
+        assert snap.worker_restarts == 1
+        assert snap.malformed == 0
+        assert snap.matched == snap_ref.matched
+
+    def test_kill_mid_churned_stream_bit_identical(self, small_instance):
+        stream = small_instance.churn_stream(
+            ChurnConfig(departure_rate=0.2, move_rate=0.1, seed=1)
+        )
+        snap_ref, out_ref = asyncio.run(_drive(small_instance, stream, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance,
+                stream,
+                "process",
+                3,
+                fault_plan=FaultPlan.parse("kill:shard=1,at=20"),
+                worker_config=dict(_FAST_RESTART, checkpoint_every=16),
+            )
+        )
+        _assert_bit_identical(out_ref, out)
+        assert snap.worker_crashes == 1
+        assert snap.worker_restarts == 1
+        assert snap.malformed == 0
+        assert snap.departed == snap_ref.departed
+        assert snap.moves == snap_ref.moves
+
+    @pytest.mark.parametrize("action", ["torn", "corrupt", "drop"])
+    def test_stream_corruption_recovers_bit_identical(self, small_instance, action):
+        """A torn, corrupt or silently dropped reply frame is detected
+        (EOF, undecodable payload, or seq desync) and healed the same
+        way a crash is."""
+        events = small_instance.arrival_stream()
+        _snap_ref, out_ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance,
+                events,
+                "process",
+                3,
+                fault_plan=FaultPlan.parse(f"{action}:shard=1,at=10"),
+                worker_config=dict(_FAST_RESTART, checkpoint_every=16),
+            )
+        )
+        _assert_bit_identical(out_ref, out)
+        assert snap.worker_crashes == 1
+        assert snap.worker_restarts == 1
+        assert snap.malformed == 0
+
+    def test_checkpoint_truncation_parity(self, small_instance):
+        """A late kill with a small checkpoint interval replays from the
+        last checkpoint (a short journal), not from scratch — and still
+        lands bit-identical."""
+        events = small_instance.arrival_stream()
+        _snap_ref, out_ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance,
+                events,
+                "process",
+                3,
+                fault_plan=FaultPlan.parse("kill:shard=1,at=60"),
+                worker_config=dict(_FAST_RESTART, checkpoint_every=8),
+            )
+        )
+        _assert_bit_identical(out_ref, out)
+        assert snap.worker_crashes == 1
+        assert snap.worker_restarts == 1
+
+    def test_kill_every_shard_once(self, small_instance):
+        events = small_instance.arrival_stream()
+        _snap_ref, out_ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance,
+                events,
+                "process",
+                3,
+                fault_plan=FaultPlan.parse(
+                    "kill:shard=0,at=15; kill:shard=1,at=25; kill:shard=2,at=35"
+                ),
+                worker_config=dict(_FAST_RESTART),
+            )
+        )
+        _assert_bit_identical(out_ref, out)
+        assert snap.worker_crashes == 3
+        assert snap.worker_restarts == 3
+        assert snap.malformed == 0
+
+
+class TestHangRecovery:
+    def test_hung_worker_heartbeat_recovery(self, small_instance):
+        """A hang fault stalls the worker without killing it; the
+        heartbeat monitor must diagnose the stall and recover it."""
+        events = small_instance.arrival_stream()
+        _snap_ref, out_ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance,
+                events,
+                "process",
+                3,
+                fault_plan=FaultPlan.parse("hang:shard=1,at=10"),
+                worker_config=dict(
+                    _FAST_RESTART,
+                    heartbeat_interval=0.05,
+                    heartbeat_timeout=0.5,
+                ),
+            )
+        )
+        _assert_bit_identical(out_ref, out)
+        # On a starved host the monitor may diagnose a busy-but-slow
+        # worker too, costing a benign extra restart — the invariants
+        # are "recovered" and "bit-identical", not an exact count.
+        assert snap.worker_crashes >= 1
+        assert snap.worker_restarts == snap.worker_crashes
+        assert snap.malformed == 0
+
+    def test_sigstopped_worker_heartbeat_recovery(self, small_instance):
+        """An externally SIGSTOPped worker (no fault plan involved) is
+        indistinguishable from a hang: pending requests plus a silent
+        pipe.  The monitor's SIGKILL lands even on a stopped process."""
+        events = small_instance.arrival_stream()
+        _snap_ref, out_ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=3,
+                backend="process",
+                worker_config=dict(
+                    _FAST_RESTART,
+                    heartbeat_interval=0.05,
+                    heartbeat_timeout=0.5,
+                ),
+            )
+            await gateway.start()
+            for event in events[:50]:
+                await gateway.submit(event)
+            os.kill(gateway._backend.handles[1].process.pid, signal.SIGSTOP)
+            for event in events[50:]:
+                await gateway.submit(event)
+            snapshot = await gateway.drain()
+            outcomes = gateway.shard_outcomes()
+            await gateway.close()
+            return snapshot, outcomes
+
+        snap, out = asyncio.run(asyncio.wait_for(scenario(), 60))
+        _assert_bit_identical(out_ref, out)
+        # See test_hung_worker_heartbeat_recovery on the >= — a starved
+        # host can add a benign extra restart.
+        assert snap.worker_crashes >= 1
+        assert snap.worker_restarts == snap.worker_crashes
+        assert snap.malformed == 0
+
+    def test_delay_fault_does_not_trigger_recovery(self, small_instance):
+        """A transient slowdown shorter than the heartbeat timeout must
+        ride out without a restart — supervision reacts to silence, not
+        to latency."""
+        events = small_instance.arrival_stream()
+        _snap_ref, out_ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance,
+                events,
+                "process",
+                3,
+                fault_plan=FaultPlan.parse("delay:shard=1,at=10,seconds=0.2"),
+                worker_config=dict(
+                    heartbeat_interval=0.1,
+                    heartbeat_timeout=5.0,
+                ),
+            )
+        )
+        _assert_bit_identical(out_ref, out)
+        assert snap.worker_crashes == 0
+        assert snap.worker_restarts == 0
+
+
+class TestDegradedModes:
+    def test_restart_cap_exhaustion_degrades_cleanly(self, small_instance):
+        """A restart storm past the cap flips the shard to degraded:
+        error acks (never a hang), a structured ShardOutcome, health
+        rows and recovery counters in the snapshot and Prometheus."""
+        events = small_instance.arrival_stream()
+
+        async def scenario():
+            return await _drive(
+                small_instance,
+                events,
+                "process",
+                3,
+                fault_plan=FaultPlan.parse("kill:shard=1,at=5,sticky"),
+                max_worker_restarts=2,
+                worker_config=dict(_FAST_RESTART),
+            )
+
+        snap, out = asyncio.run(asyncio.wait_for(scenario(), 60))
+        assert snap.worker_crashes == 3  # initial + 2 doomed replacements
+        assert snap.worker_restarts == 2
+        assert snap.malformed > 0  # shard 1's events got error acks
+        assert [row["health"] for row in snap.shards] == [
+            "healthy", "degraded", "healthy",
+        ]
+        outcome = out[1]
+        assert isinstance(outcome, ShardOutcome)
+        assert outcome.state == "degraded"
+        assert outcome.restarts == 2
+        assert "crashed" in outcome.error
+        assert "degraded" in outcome.summary()
+        # The healthy shards still produce real outcomes.
+        assert not isinstance(out[0], ShardOutcome)
+        assert not isinstance(out[2], ShardOutcome)
+        # Snapshot dict + Prometheus exposition carry the new counters.
+        as_dict = snap.as_dict()
+        assert as_dict["worker_restarts"] == 2
+        assert "auth_failures" in as_dict
+        text = render_prometheus(snap)
+        assert "ftoa_gateway_worker_restarts_total 2" in text
+        assert 'ftoa_shard_up{shard="1"} 0' in text
+        assert 'ftoa_shard_up{shard="0"} 1' in text
+
+    def test_zero_restart_budget_degrades_immediately(self, small_instance):
+        events = small_instance.arrival_stream()
+        snap, out = asyncio.run(
+            asyncio.wait_for(
+                _drive(
+                    small_instance,
+                    events,
+                    "process",
+                    3,
+                    fault_plan=FaultPlan.parse("kill:shard=1,at=5"),
+                    max_worker_restarts=0,
+                ),
+                60,
+            )
+        )
+        assert snap.worker_crashes == 1
+        assert snap.worker_restarts == 0
+        assert isinstance(out[1], ShardOutcome)
+        assert out[1].restarts == 0
+
+    def test_reroute_serves_new_arrivals_after_degrade(self, small_instance):
+        """In reroute mode a degraded shard retires from the ring, so
+        arrivals submitted *after* the degrade remap to survivors and
+        ack cleanly."""
+        events = small_instance.arrival_stream()
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=3,
+                backend="process",
+                fault_plan=FaultPlan.parse("kill:shard=1,at=3,sticky"),
+                max_worker_restarts=1,
+                degraded_mode="reroute",
+                worker_config=dict(_FAST_RESTART),
+            )
+            await gateway.start()
+            for event in events[:100]:
+                await gateway.submit(event)
+            while not gateway.degraded_shards:
+                await asyncio.sleep(0.02)
+            while gateway.processed + gateway.malformed < gateway.ingested:
+                await asyncio.sleep(0.02)
+            errors_at_degrade = gateway.malformed
+            for event in events[100:]:
+                await gateway.submit(event)
+            snapshot = await gateway.drain()
+            await gateway.close()
+            return errors_at_degrade, snapshot
+
+        errors_at_degrade, snap = asyncio.run(asyncio.wait_for(scenario(), 60))
+        assert snap.shards[1]["health"] == "degraded"
+        # Everything after the retire remapped — no new error acks.
+        assert snap.malformed == errors_at_degrade
+        assert snap.shards[1]["arrivals"] == 0
+        assert snap.shards[0]["arrivals"] + snap.shards[2]["arrivals"] > 0
+
+    def test_ring_refuses_to_retire_last_shard(self):
+        ring = SpatialHashRing(2)
+        ring.retire(0)
+        ring.retire(0)  # idempotent
+        assert ring.retired == frozenset({0})
+        with pytest.raises(ConfigurationError, match="last live shard"):
+            ring.retire(1)
+
+    def test_invalid_degraded_mode_rejected(self, small_instance):
+        with pytest.raises(GatewayError, match="degraded_mode"):
+            Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                backend="process",
+                degraded_mode="panic",
+            )
+
+    def test_fault_plan_requires_process_backend(self, small_instance):
+        with pytest.raises(GatewayError):
+            Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                backend="inline",
+                fault_plan=FaultPlan.parse("kill:at=1"),
+            )
+
+
+class TestAuthHandshake:
+    def test_loadgen_happy_path(self, small_instance):
+        events = small_instance.arrival_stream()[:50]
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                auth_token="sesame",
+            )
+            await gateway.start(port=0)
+            report = await run_loadgen(
+                events, port=gateway.tcp_port, auth_token="sesame", drain=True
+            )
+            failures = gateway.auth_failures
+            await gateway.close()
+            return report, failures
+
+        report, failures = asyncio.run(scenario())
+        assert report.errors == 0
+        assert report.acked == len(events)
+        assert failures == 0
+        assert report.snapshot["auth_failures"] == 0
+
+    def test_wrong_token_gets_error_line_and_close(self, small_instance):
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                auth_token="sesame",
+            )
+            await gateway.start(port=0)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.tcp_port
+            )
+            writer.write(b'{"kind": "auth", "token": "wrong"}\n')
+            await writer.drain()
+            error_line = json.loads(await asyncio.wait_for(reader.readline(), 10))
+            eof = await asyncio.wait_for(reader.readline(), 10)
+            writer.close()
+            snapshot = await gateway.drain()
+            await gateway.close()
+            return error_line, eof, snapshot
+
+        error_line, eof, snapshot = asyncio.run(scenario())
+        assert "authentication failed" in error_line["error"]
+        assert eof == b""  # gateway closed the connection
+        assert snapshot.auth_failures == 1
+        assert snapshot.as_dict()["auth_failures"] == 1
+
+    def test_data_line_before_auth_is_rejected(self, small_instance):
+        """A client that skips the handshake and streams events must be
+        turned away before any event is ingested."""
+        event = small_instance.arrival_stream()[0]
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                auth_token="sesame",
+            )
+            await gateway.start(port=0)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.tcp_port
+            )
+            writer.write(json.dumps(event_to_record(event)).encode() + b"\n")
+            await writer.drain()
+            error_line = json.loads(await asyncio.wait_for(reader.readline(), 10))
+            eof = await asyncio.wait_for(reader.readline(), 10)
+            writer.close()
+            ingested = gateway.ingested
+            failures = gateway.auth_failures
+            await gateway.close()
+            return error_line, eof, ingested, failures
+
+        error_line, eof, ingested, failures = asyncio.run(scenario())
+        assert "authentication failed" in error_line["error"]
+        assert eof == b""
+        assert ingested == 0
+        assert failures == 1
+
+    def test_loadgen_raises_on_refused_handshake(self, small_instance):
+        events = small_instance.arrival_stream()[:5]
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                auth_token="sesame",
+            )
+            await gateway.start(port=0)
+            try:
+                with pytest.raises(GatewayError, match="auth handshake"):
+                    await run_loadgen(
+                        events, port=gateway.tcp_port, auth_token="wrong"
+                    )
+            finally:
+                await gateway.close()
+
+        asyncio.run(scenario())
+
+    def test_unauthenticated_gateway_ignores_handshake_config(self, small_instance):
+        """No --auth-token, no handshake: the seed protocol is intact."""
+        events = small_instance.arrival_stream()[:20]
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid, _greedy_factory(small_instance), n_shards=2
+            )
+            await gateway.start(port=0)
+            report = await run_loadgen(events, port=gateway.tcp_port)
+            await gateway.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.acked == len(events)
+
+
+class TestIpcEdgeCases:
+    def test_partial_frame_then_eof(self):
+        """A frame torn mid-write (the producer died) surfaces as EOF,
+        which the supervisor treats as a crash — never a parse of the
+        half frame."""
+        frame = ipc.encode_frame((ipc.ACK, 3, {"decision": "assigned"}))
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame[: len(frame) - 3])
+            reader.feed_eof()
+            with pytest.raises(EOFError):
+                await ipc.read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_decode_frame_rejects_garbage(self):
+        with pytest.raises(GatewayError, match="corrupt"):
+            ipc.decode_frame(b"\xffnot a pickle\xff")
+
+    def test_oversized_reply_degrades_to_nack(self):
+        """A reply too large to frame must not kill the worker: the
+        requester gets a NACK naming the limit instead of a torn pipe."""
+
+        class StubEndpoint:
+            def __init__(self):
+                self.sent = []
+
+            def send(self, message):
+                tag, _seq, _payload = message
+                if tag == ipc.ACK:
+                    raise GatewayError("frame of 999 bytes exceeds the limit")
+                self.sent.append(message)
+
+        stub = StubEndpoint()
+        workers._send_reply(stub, ipc.ACK, 7, "enormous payload")
+        assert len(stub.sent) == 1
+        tag, seq, payload = stub.sent[0]
+        assert tag == ipc.NACK
+        assert seq == 7
+        assert "frame limit" in payload
+
+    def test_raw_frame_roundtrip(self):
+        framed = ipc.raw_frame(b"abc")
+        assert int.from_bytes(framed[:4], "big") == 3
+        assert framed[4:] == b"abc"

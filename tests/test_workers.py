@@ -32,7 +32,7 @@ from repro.serving.shard import (
     build_shard_guides,
     split_counts_by_shard,
 )
-from repro.serving.workers import WorkerPool
+from repro.serving.workers import ShardOutcome, WorkerPool
 from repro.spatial.geometry import Point
 from repro.streams.churn import ChurnConfig
 
@@ -217,9 +217,11 @@ class TestWorkerPoolParity:
 
 class TestWorkerLifecycle:
     def test_worker_crash_surfaces_clean_error_ack(self, small_instance):
-        """Killing a worker mid-stream must yield error acks for its
-        shard (no hang), keep the sibling shard serving, and leave the
-        drain idempotent with a None outcome for the dead shard."""
+        """With recovery disabled, killing a worker mid-stream must
+        yield error acks for its shard (no hang), keep the sibling shard
+        serving, and leave the drain idempotent with a structured
+        ShardOutcome for the dead shard (recovery itself is covered in
+        test_recovery.py)."""
         events = small_instance.arrival_stream()
 
         async def scenario():
@@ -228,6 +230,7 @@ class TestWorkerLifecycle:
                 _greedy_factory(small_instance),
                 n_shards=2,
                 backend="process",
+                max_worker_restarts=0,
             )
             await gateway.start(port=0)
             for event in events[:40]:
@@ -273,7 +276,11 @@ class TestWorkerLifecycle:
         assert "error" not in live_reply
         assert first is second
         assert first.worker_crashes == 1
-        assert outcomes[0] is None
+        assert first.worker_restarts == 0
+        assert isinstance(outcomes[0], ShardOutcome)
+        assert "crashed" in outcomes[0].error
+        assert outcomes[0].state == "degraded"
+        assert not isinstance(outcomes[1], ShardOutcome)
         assert outcomes[1] is not None
 
     def test_submit_to_dead_worker_fails_fast(self, small_instance):
@@ -285,6 +292,7 @@ class TestWorkerLifecycle:
                 _greedy_factory(small_instance),
                 n_shards=1,
                 backend="process",
+                max_worker_restarts=0,
             )
             await gateway.start()
             gateway._backend.handles[0].process.kill()
