@@ -4,6 +4,7 @@ Run from the repo root::
 
     PYTHONPATH=src python scripts/gateway_smoke.py [--n-workers N] [--n-tasks N]
                                                    [--shards K] [--workers P]
+                                                   [--transport pipe|shm]
                                                    [--rate R]
                                                    [--churn P] [--move-rate P]
 
@@ -24,7 +25,13 @@ over HTTP, drains, and asserts:
 * with ``--workers P`` (one forked worker process per shard), the
   worker-pool gateway is **bit-identical** to the in-process gateway at
   the same shard count — pairs, per-object decisions and churn counters
-  shard for shard;
+  shard for shard; an approximate per-event IPC overhead (pool run time
+  minus the in-process reference, per event) is printed so transport
+  wins are attributable;
+* ``--transport shm`` runs the worker pool over the shared-memory ring
+  transport instead of the pickle pipe — same parity and chaos gates,
+  same bit-identical bar; skipped cleanly (exit 0) on hosts without
+  POSIX shared memory so CI matrices can include the leg everywhere;
 * with ``--chaos kill-mid-stream``, one worker is SIGKILLed mid-stream
   and the run must *still* be bit-identical to the in-process gateway
   (checkpoint + journal replay), with zero error acks;
@@ -42,6 +49,7 @@ import argparse
 import asyncio
 import json
 import sys
+import time
 
 from repro.core.engine import GreedyMatcher
 from repro.serving.gateway import Gateway
@@ -87,6 +95,16 @@ async def smoke(args) -> int:
                          "pass --shards P or omit --shards")
     n_shards = args.workers if args.workers else args.shards
     backend = "process" if args.workers else "inline"
+    if args.transport == "shm":
+        if not args.workers:
+            raise SystemExit("--transport shm needs worker processes; "
+                             "pass --workers P")
+        from repro.serving import shmring
+
+        if not shmring.shm_available():
+            print("[gateway smoke SKIPPED: host has no POSIX shared "
+                  "memory (/dev/shm), --transport shm cannot run]")
+            return 0
     chaos = args.chaos
     if chaos and not args.workers:
         raise SystemExit("--chaos injects faults into worker processes; "
@@ -158,11 +176,17 @@ async def smoke(args) -> int:
         lambda shard: GreedyMatcher(instance.travel, indexed=False),
         n_shards=n_shards,
         backend=backend,
+        transport=args.transport,
         **gateway_kwargs,
     )
     await gateway.start(port=0, metrics_port=0)
+    where = (
+        f"{backend}, {n_shards} shard(s), {args.transport} transport"
+        if backend == "process"
+        else f"{backend}, {n_shards} shard(s)"
+    )
     print(
-        f"[gateway up ({backend}, {n_shards} shard(s)): ingest "
+        f"[gateway up ({where}): ingest "
         f"127.0.0.1:{gateway.tcp_port}, metrics "
         f"http://127.0.0.1:{gateway.metrics_port}]"
     )
@@ -186,6 +210,16 @@ async def smoke(args) -> int:
     metrics = await _http_get(gateway.metrics_port, "/metrics")
     await gateway.close()
     outcomes = gateway.shard_outcomes()
+
+    if backend == "process":
+        assert (
+            f'ftoa_gateway_transport{{transport="{args.transport}"}} 1'
+            in metrics
+        ), "/metrics missing the transport info label"
+        if args.transport == "shm":
+            assert 'ftoa_shard_ring_depth{shard="0",ring="request"}' in metrics, (
+                "/metrics missing the shm ring depth gauges"
+            )
 
     # Cross-shard moves migrate (departure + re-arrival), so shard
     # arrival totals count a migrated object once per hosting shard.
@@ -275,9 +309,11 @@ async def smoke(args) -> int:
         # must produce bit-identical shard outcomes.  With --chaos
         # kill-mid-stream this is the headline invariant: the SIGKILLed
         # worker's recovery must be invisible in the final matching.
+        inline_start = time.perf_counter()
         inline_snapshot, inline_outcomes = await _inline_reference(
             instance, events, n_shards
         )
+        inline_seconds = time.perf_counter() - inline_start
         assert inline_snapshot.matched == snapshot["matched"]
         assert inline_snapshot.migrations == migrations
         for shard_id, (pool_out, inline_out) in enumerate(
@@ -300,6 +336,18 @@ async def smoke(args) -> int:
             f"[parity: {args.workers}-process worker pool == in-process "
             f"{n_shards}-shard gateway, bit-identical{suffix}]"
         )
+        # Dispatch-to-ack minus shard compute, per event.  The inline
+        # reference is submit-driven (no socket), so this also folds in
+        # the TCP path — an upper bound, printed for attribution, never
+        # gated (single-core CI hosts make it wildly noisy).
+        ipc_overhead_us = (
+            (report.seconds - inline_seconds) / len(events) * 1e6
+        )
+        print(
+            f"[ipc overhead ({args.transport}): ~{ipc_overhead_us:.1f}"
+            f"us/event (pool {report.seconds:.3f}s vs in-process "
+            f"{inline_seconds:.3f}s over {len(events)} events)]"
+        )
     print("[gateway smoke OK]")
     return 0
 
@@ -318,6 +366,12 @@ def main(argv=None) -> int:
         "--workers", type=int, default=0,
         help="run P forked shard-worker processes (implies --shards P) "
         "and assert bit-identical parity with the in-process gateway",
+    )
+    parser.add_argument(
+        "--transport", choices=("pipe", "shm"), default="pipe",
+        help="worker-pool transport: pickle pipes (default) or "
+        "shared-memory event rings (needs --workers; skips cleanly "
+        "when the host has no /dev/shm)",
     )
     parser.add_argument(
         "--rate", type=float, default=None, help="target arrivals/s (default: flat out)"

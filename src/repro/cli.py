@@ -18,6 +18,8 @@ drive the streaming session and serving layers.
         --port 7654 --metrics-port 7655
     python -m repro serve events.jsonl --algorithm greedy --workers 4 \\
         --port 7654 --metrics-port 7655
+    python -m repro serve events.jsonl --algorithm greedy --workers 4 \\
+        --transport shm --port 7654 --metrics-port 7655
     python -m repro loadgen events.jsonl --port 7654 --rate 5000 --drain
     python -m repro loadgen --churn 0.1 --port 7654 --drain
 
@@ -32,7 +34,8 @@ snapshots and the final outcome.  ``serve`` runs the asyncio serving
 gateway (sharded sessions, JSONL socket ingest, ``/metrics`` +
 ``/snapshot`` HTTP endpoint; ``--workers N`` forks one worker process
 per shard — bit-identical to the in-process gateway, with real cores
-behind the matchers) and ``loadgen`` replays a dumped or
+behind the matchers; ``--transport shm`` moves the worker IPC onto
+shared-memory event rings) and ``loadgen`` replays a dumped or
 synthetic stream against it at a target rate, reporting throughput and
 latency percentiles.
 """
@@ -199,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
         "0 (default) keeps every shard on the gateway event loop; N > 0 "
         "forks N shard workers (implies --shards N; bit-identical to the "
         "in-process N-shard gateway)",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("pipe", "shm"),
+        default="pipe",
+        help="worker IPC transport (needs --workers): 'pipe' "
+        "(length-prefixed pickle frames, default) or 'shm' "
+        "(shared-memory rings of fixed-width event records; "
+        "bit-identical, lower per-event overhead)",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -732,6 +744,10 @@ def _cmd_serve(args) -> int:
             )
         args.shards = args.workers
         backend = "process"
+    if args.transport == "shm" and backend != "process":
+        raise ConfigurationError(
+            "--transport shm needs worker processes; pass --workers N"
+        )
     fault_plan = None
     if args.fault_plan:
         from repro.serving.faults import FaultPlan
@@ -755,6 +771,7 @@ def _cmd_serve(args) -> int:
         degraded_mode=args.degraded_mode,
         fault_plan=fault_plan,
         auth_token=args.auth_token,
+        transport=args.transport,
     )
     return asyncio.run(_serve_async(gateway, args))
 
@@ -786,7 +803,8 @@ async def _serve_async(gateway, args) -> int:
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass
     where = (
-        f"{args.workers} worker process(es)"
+        f"{args.workers} worker process(es), "
+        f"{getattr(args, 'transport', 'pipe')} transport"
         if getattr(args, "workers", 0)
         else "in-process"
     )

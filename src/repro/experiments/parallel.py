@@ -16,6 +16,16 @@ guide) and, for the taxi cities, the fitted HP-MSI forecast, so the five
 algorithm cells of one sweep point amortise a single rebuild per
 process.
 
+On ``fork`` hosts the pool goes further: the parent materialises every
+sweep point once — instance, guide, and the warmed
+``Instance.typed_arrivals()`` numpy arrays — into a module-level map
+*before* forking, so workers inherit the built points through
+copy-on-write pages and regenerate nothing (``_point_context`` hits the
+shared map first; the per-process LRU is the fallback for platforms
+whose pools spawn instead of fork).  The sweep result's
+``worker_rebuilds`` note counts how many pool cells had to rebuild —
+``0`` on a fork host.
+
 Cell execution itself goes through the serving layer: ``_execute_cell``
 delegates to :func:`repro.experiments.runner.run_algorithm_cell`, which
 drives each stream algorithm's incremental matcher through a
@@ -26,8 +36,10 @@ replay.
 
 from __future__ import annotations
 
+import multiprocessing
+
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExperimentError
@@ -86,10 +98,16 @@ class CellSpec:
 
 @dataclass
 class _CellOutput:
-    """What travels back from a worker: the cell plus point provenance."""
+    """What travels back from a worker: the cell plus point provenance.
+
+    ``rebuilt`` records whether this cell had to materialise its point
+    locally instead of finding it prebuilt (fork-CoW) or LRU-cached —
+    the counter behind the sweep's ``worker_rebuilds`` note.
+    """
 
     cell: AlgoCell
     point_notes: Dict[str, str]
+    rebuilt: bool = field(default=False)
 
 
 # ---------------------------------------------------------------------- #
@@ -101,6 +119,12 @@ class _CellOutput:
 # instance of a sweep in memory.
 _POINT_CACHE: Dict[Point, Tuple[object, object, Dict[str, str]]] = {}
 _POINT_CACHE_LIMIT = 2
+
+# Points the *parent* prebuilt before forking a pool: children inherit
+# this map (instances, guides, and their warmed typed_arrivals arrays)
+# through copy-on-write pages and never rebuild.  Read-only in workers;
+# populated and cleared around each pooled run on fork hosts.
+_SHARED_POINTS: Dict[Point, Tuple[object, object, Dict[str, str]]] = {}
 
 # (city, scale, history_days, eval_day_offset) -> fitted city context;
 # the HP-MSI fit is shared by all Dr points of one city sweep.
@@ -188,19 +212,26 @@ def _build_point(point: Point):
     return instance, guide, notes
 
 
-def _point_context(point: Point):
-    """Process-local LRU lookup of a built point."""
+def _point_context(point: Point) -> Tuple[Tuple[object, object, Dict[str, str]], bool]:
+    """A built point, plus whether this process had to build it.
+
+    Lookup order: the fork-inherited shared map (zero-copy, never
+    evicted), then the process-local LRU, then a local build.
+    """
+    shared = _SHARED_POINTS.get(point)
+    if shared is not None:
+        return shared, False
     cached = _POINT_CACHE.get(point)
     if cached is not None:
         # Touch: reinsertion moves the point to the back of the
         # eviction order (plain-dict LRU).
         _POINT_CACHE[point] = _POINT_CACHE.pop(point)
-        return cached
+        return cached, False
     built = _build_point(point)
     while len(_POINT_CACHE) >= _POINT_CACHE_LIMIT:
         _POINT_CACHE.pop(next(iter(_POINT_CACHE)))
     _POINT_CACHE[point] = built
-    return built
+    return built, True
 
 
 def _clear_caches() -> None:
@@ -213,11 +244,12 @@ def _clear_caches() -> None:
     """
     _POINT_CACHE.clear()
     _FORECAST_CACHE.clear()
+    _SHARED_POINTS.clear()
 
 
 def _execute_cell(spec: CellSpec) -> _CellOutput:
     """Run one cell (in the current process — worker or main)."""
-    instance, guide, notes = _point_context(spec.point)
+    (instance, guide, notes), rebuilt = _point_context(spec.point)
     cell = run_algorithm_cell(
         instance,
         guide,
@@ -226,7 +258,7 @@ def _execute_cell(spec: CellSpec) -> _CellOutput:
         opt_method=spec.opt_method,
         seed=spec.seed,
     )
-    return _CellOutput(cell=cell, point_notes=notes)
+    return _CellOutput(cell=cell, point_notes=notes, rebuilt=rebuilt)
 
 
 # ---------------------------------------------------------------------- #
@@ -288,6 +320,7 @@ class SweepExecutor:
             for point in points
             for algorithm in algorithms
         ]
+        worker_rebuilds: Optional[int] = None
         if self.jobs == 1 or len(specs) <= 1:
             try:
                 outputs = [_execute_cell(spec) for spec in specs]
@@ -295,12 +328,35 @@ class SweepExecutor:
                 _clear_caches()
         else:
             max_workers = min(self.jobs, len(specs))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                outputs = list(pool.map(_execute_cell, specs, chunksize=1))
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                context = None
+            try:
+                if context is not None:
+                    # Fork-CoW: build every point once, up front, in the
+                    # parent — the forked workers inherit the instances,
+                    # guides, and warmed typed_arrivals() arrays as
+                    # copy-on-write pages and regenerate nothing.
+                    for point in points:
+                        if point not in _SHARED_POINTS:
+                            _SHARED_POINTS[point] = _build_point(point)
+                    pool_kwargs = dict(mp_context=context)
+                else:
+                    pool_kwargs = {}
+                with ProcessPoolExecutor(
+                    max_workers=max_workers, **pool_kwargs
+                ) as pool:
+                    outputs = list(pool.map(_execute_cell, specs, chunksize=1))
+            finally:
+                _clear_caches()
+            worker_rebuilds = sum(1 for output in outputs if output.rebuilt)
 
         result = SweepResult(experiment_id=experiment_id, x_label=x_label)
         result.notes["algorithms"] = ",".join(algorithms)
         result.notes["jobs"] = str(self.jobs)
+        if worker_rebuilds is not None:
+            result.notes["worker_rebuilds"] = str(worker_rebuilds)
         if notes:
             result.notes.update(notes)
         for p_index, point in enumerate(points):

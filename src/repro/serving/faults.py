@@ -28,6 +28,16 @@ receives, counted from 1):
 * ``corrupt`` — process the event but reply with an undecodable frame:
   the parent's unpickle guard treats the stream as lost.
 
+Every action fires on both transports.  On the shared-memory transport
+(``transport="shm"``) the two wire-corruption actions change shape but
+not meaning: an unpublished ring slot is invisible to the parent, so
+``torn`` publishes a *poisoned* slot (a reserved kind byte standing in
+for a record scribbled over mid-write) and then ``SIGKILL``\\ s, and
+``corrupt`` publishes the same poisoned slot and keeps running.  The
+parent's codec rejects the slot with the same
+:class:`~repro.errors.GatewayError` the pipe path raises for an
+undecodable frame, so recovery is transport-blind.
+
 Sticky specs (``sticky=True``) are inherited by replacement workers
 after a restart, so a restart-storm (crash → restart → crash …) can be
 scripted to prove the restart cap and degraded mode; non-sticky specs

@@ -254,6 +254,11 @@ class GatewaySnapshot:
         shards: per-shard ``(arrivals, workers, tasks, matched)`` rows.
         wall_seconds: seconds since the gateway was constructed.
         backend: shard execution backend (``inline`` or ``process``).
+        transport: how events reach the shards — ``inline`` (same
+            process), ``pipe`` (pickle frames), or ``shm``
+            (shared-memory rings).  Process-backend shard rows with the
+            shm transport also carry ``ring_request_depth`` /
+            ``ring_reply_depth`` occupancy gauges.
         migrations: cross-shard ``Move`` migrations performed.
         worker_crashes: shard worker processes lost mid-run (always 0
             for the inline backend).
@@ -291,6 +296,7 @@ class GatewaySnapshot:
     moves: int = 0
     slow_consumer_drops: int = 0
     backend: str = "inline"
+    transport: str = "inline"
     migrations: int = 0
     worker_crashes: int = 0
     worker_restarts: int = 0
@@ -322,6 +328,7 @@ class GatewaySnapshot:
             "moves": self.moves,
             "slow_consumer_drops": self.slow_consumer_drops,
             "backend": self.backend,
+            "transport": self.transport,
             "migrations": self.migrations,
             "worker_crashes": self.worker_crashes,
             "worker_restarts": self.worker_restarts,
@@ -353,6 +360,14 @@ def render_prometheus(snapshot: GatewaySnapshot) -> str:
 
     gauge("ftoa_gateway_up", 1 if snapshot.state != _CLOSED else 0,
           "1 while the gateway accepts arrivals")
+    lines.append(
+        "# HELP ftoa_gateway_transport active shard transport "
+        "(info label: inline, pipe, or shm)"
+    )
+    lines.append("# TYPE ftoa_gateway_transport gauge")
+    lines.append(
+        f'ftoa_gateway_transport{{transport="{snapshot.transport}"}} 1'
+    )
     gauge("ftoa_gateway_shards", snapshot.n_shards, "configured shard count")
     gauge("ftoa_gateway_arrivals_total", snapshot.arrivals,
           "arrivals observed by all shards", "counter")
@@ -420,6 +435,22 @@ def render_prometheus(snapshot: GatewaySnapshot) -> str:
     for row in snapshot.shards:
         up = 1 if row.get("health", "healthy") == "healthy" else 0
         lines.append(f'ftoa_shard_up{{shard="{row["shard"]}"}} {up}')
+    if any("ring_request_depth" in row for row in snapshot.shards):
+        lines.append(
+            "# HELP ftoa_shard_ring_depth occupied slots per shm ring"
+        )
+        lines.append("# TYPE ftoa_shard_ring_depth gauge")
+        for row in snapshot.shards:
+            if "ring_request_depth" not in row:
+                continue
+            lines.append(
+                f'ftoa_shard_ring_depth{{shard="{row["shard"]}",'
+                f'ring="request"}} {row["ring_request_depth"]}'
+            )
+            lines.append(
+                f'ftoa_shard_ring_depth{{shard="{row["shard"]}",'
+                f'ring="reply"}} {row["ring_reply_depth"]}'
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -460,8 +491,14 @@ class Gateway:
             :meth:`offer` and the metrics endpoint are unaffected.
         worker_config: extra :class:`~repro.serving.workers.WorkerPool`
             keyword overrides (``checkpoint_every``,
-            ``heartbeat_interval``, ``restart_backoff`` …) for tests and
-            tuning.
+            ``heartbeat_interval``, ``restart_backoff``,
+            ``ring_slots`` …) for tests and tuning.
+        transport: how events reach ``process``-backend workers —
+            ``"pipe"`` (length-prefixed pickle frames, the default) or
+            ``"shm"`` (shared-memory rings of fixed-width records; see
+            :mod:`repro.serving.shmring`).  Ignored by the inline
+            backend except that ``"shm"`` there is an error.  Same
+            shard count ⇒ bit-identical results on every transport.
 
     Usage::
 
@@ -490,6 +527,7 @@ class Gateway:
         fault_plan=None,
         auth_token: Optional[str] = None,
         worker_config: Optional[dict] = None,
+        transport: str = "pipe",
     ) -> None:
         if queue_size <= 0:
             raise GatewayError(f"queue_size must be positive, got {queue_size}")
@@ -508,10 +546,19 @@ class Gateway:
         self.auth_token = auth_token
         self.auth_failures = 0
         self._degraded_shards: set = set()
+        if transport not in ("pipe", "shm"):
+            raise GatewayError(
+                f"unknown transport {transport!r}; use 'pipe' or 'shm'"
+            )
         if backend == "inline":
             if fault_plan:
                 raise GatewayError(
                     "fault plans need worker processes to hurt; "
+                    "use backend='process'"
+                )
+            if transport == "shm":
+                raise GatewayError(
+                    "the shm transport needs worker processes; "
                     "use backend='process'"
                 )
             self._backend: ShardBackend = InlineShardBackend(
@@ -523,6 +570,7 @@ class Gateway:
             pool_kwargs = dict(worker_config or {})
             if max_worker_restarts is not None:
                 pool_kwargs["max_restarts"] = max_worker_restarts
+            pool_kwargs.setdefault("transport", transport)
             self._backend = WorkerPool(
                 n_shards,
                 matcher_factory,
@@ -936,6 +984,10 @@ class Gateway:
         arrivals = workers = tasks = matched = 0
         ignored_workers = ignored_tasks = departed = moves = 0
         health = self._backend.health()
+        ring_depths = None
+        depths_probe = getattr(self._backend, "ring_depths", None)
+        if depths_probe is not None:
+            ring_depths = depths_probe()
         for shard_id, snap in enumerate(self._backend.snapshots()):
             arrivals += snap.arrivals
             workers += snap.workers
@@ -945,18 +997,21 @@ class Gateway:
             ignored_tasks += snap.ignored_tasks
             departed += snap.departed
             moves += snap.moves
-            rows.append(
-                {
-                    "shard": shard_id,
-                    "arrivals": snap.arrivals,
-                    "workers": snap.workers,
-                    "tasks": snap.tasks,
-                    "matched": snap.matched,
-                    "health": health[shard_id]
-                    if shard_id < len(health)
-                    else "healthy",
-                }
-            )
+            row = {
+                "shard": shard_id,
+                "arrivals": snap.arrivals,
+                "workers": snap.workers,
+                "tasks": snap.tasks,
+                "matched": snap.matched,
+                "health": health[shard_id]
+                if shard_id < len(health)
+                else "healthy",
+            }
+            if ring_depths is not None and shard_id < len(ring_depths):
+                req_depth, rep_depth = ring_depths[shard_id]
+                row["ring_request_depth"] = req_depth
+                row["ring_reply_depth"] = rep_depth
+            rows.append(row)
         return GatewaySnapshot(
             state=self._state,
             n_shards=self._backend.n_shards,
@@ -981,6 +1036,7 @@ class Gateway:
             moves=moves,
             slow_consumer_drops=self.slow_consumer_drops,
             backend=self._backend.name,
+            transport=self._backend.transport,
             migrations=self.migrations,
             worker_crashes=self._backend.crashes,
             worker_restarts=self._backend.restarts,

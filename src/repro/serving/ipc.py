@@ -42,6 +42,13 @@ prefix or an *undecodable* payload is
 :class:`~repro.errors.GatewayError` (the stream is desynchronized or
 corrupt — the only safe response is to drop the worker and replay), and
 both are recoverable without poisoning any other worker's stream.
+
+The shared-memory transport (:mod:`repro.serving.shmring`) reuses these
+same frames as its *escape hatch*: messages too large or too variable
+for a fixed ring slot (checkpoints, snapshots, FINISH outcomes) still
+travel as pickle frames over the pipe, announced in-order by an escape
+marker in the ring, so this module stays the single source of truth for
+the variable-payload wire format on both transports.
 """
 
 from __future__ import annotations

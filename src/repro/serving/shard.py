@@ -265,9 +265,14 @@ class ShardBackend(Protocol):
       :attr:`restarts` the replacements forked by a supervisor (both
       always 0 in-process); :meth:`health` reports each shard as
       ``healthy`` / ``restarting`` / ``degraded``.
+    * :attr:`transport` names how events reach the shards:
+      ``"inline"`` (same process), ``"pipe"`` (pickle frames), or
+      ``"shm"`` (shared-memory rings — see
+      :mod:`repro.serving.shmring`).
     """
 
     name: str
+    transport: str
 
     @property
     def n_shards(self) -> int: ...
@@ -308,6 +313,7 @@ class InlineShardBackend:
     """
 
     name = "inline"
+    transport = "inline"
 
     def __init__(self, shards: List[Shard]) -> None:
         self.shards = shards

@@ -1,0 +1,878 @@
+"""Zero-copy worker transport: shared-memory SPSC rings of fixed records.
+
+The pipe transport (:mod:`repro.serving.ipc`) pays a pickle + syscall
+tax on every event hop; ``BENCH_engine.json``'s ``worker_pool`` probe
+measured that tax at roughly half the single-process throughput.  This
+module is the zero-copy replacement: each worker gets one
+:mod:`multiprocessing.shared_memory` segment holding two lock-light
+**SPSC rings** (requests gateway → worker, replies worker → gateway) of
+fixed-width packed records, so the steady-state event hop is a
+``struct.pack_into`` into a shared page instead of a pickle, a write
+syscall, a read syscall and an unpickle.
+
+Segment layout (one per worker incarnation)::
+
+    ┌──────────────── header (32 B) ────────────────┐
+    │ req produced u64 │ req consumed u64           │   depth gauges
+    │ rep produced u64 │ rep consumed u64           │   (single-writer)
+    ├──────────── request ring (capacity slots) ────┤
+    │ slot 0 │ slot 1 │ … │ slot capacity-1         │   gateway → worker
+    ├──────────── reply ring (capacity slots) ──────┤
+    │ slot 0 │ slot 1 │ … │ slot capacity-1         │   worker → gateway
+    └───────────────────────────────────────────────┘
+
+    slot (88 B) = seq word u64 │ record (80 B)
+    record      = kind u8 │ side u8 │ pad │ ipc-seq u64 │
+                  a i64 │ b i64 │ t f64 │ x f64 │ y f64 │ s f64 │ u f64
+
+**Slot protocol** (Vyukov-style SPSC, one 8-byte sequence word per
+slot; ``pos`` is the endpoint's monotonic position, ``cap`` the ring
+capacity, slot index ``pos % cap``):
+
+* producer at ``pos``: waits for ``seq == pos`` (free), writes the
+  record, publishes ``seq = pos + 1``;
+* consumer at ``pos``: waits for ``seq == pos + 1`` (ready), reads the
+  record, frees with ``seq = pos + cap``.
+
+Any *other* value of the sequence word is proof of corruption — a torn
+write, a scribble, a desynchronized peer — and raises
+:class:`~repro.errors.GatewayError`, which funnels into the same
+recovery path as a corrupt pipe frame.  The payload write
+happens-before the sequence-word publish in program order, which the
+x86-TSO store order (and CPython's per-op memcpy granularity) carries
+across the shared mapping; a producer that dies mid-record never
+publishes, so the consumer sees "not ready", not garbage.
+
+**Record codec** — the flat :data:`~repro.model.events.StreamEvent`
+union packs into one slot: arrivals (worker/task entity: id, location,
+start, duration), departures and moves (side, object id, location),
+plus every ``None``-payload control request (SNAPSHOT / FINISH /
+CHECKPOINT / PING / STOP).  Replies pack ``ACK`` decisions (action
+code, partner id, target area) and ``PONG``.  ``pack_request`` /
+``pack_reply`` return ``False`` for anything that does not fit the
+fixed shape — an arrival carrying ``tags`` metadata, an id outside
+i64, an unknown decision action — and the transport then takes the
+**escape hatch**: the full message is written to the existing pickle
+pipe *first*, and an ``ESC`` record is published in the ring *after*.
+The consumer, seeing ``ESC``, reads exactly one pipe frame — so the
+two channels merge into a single total order and PR 6's recovery
+machinery (``CHKPT`` shard state, ``SNAP``/``DONE``/``NACK`` replies)
+rides the pipe unchanged.
+
+**Wakeup** is adaptive spin-then-sleep on both sides: a short spin for
+the loaded case (the ring is hot, no syscall at all), then an
+exponentially backed-off sleep bounded at ~1 ms for the idle case.
+The blocking worker side folds parent-death detection into the sleep
+phase (``getppid`` flips when the gateway dies — the pipe cannot be
+peeked safely while escaped frames may be in flight); the asyncio
+parent side polls ``process.is_alive()`` and drains any replies
+published before the death before surfacing :class:`EOFError`.
+
+Crash semantics mirror the pipe transport's: a dead worker is
+``EOFError`` (after the ring drains), a scribbled sequence word or a
+poisoned record is :class:`~repro.errors.GatewayError`, and both drive
+:class:`~repro.serving.workers.WorkerSupervisor` recovery.  Each
+incarnation gets a **fresh segment** (positions restart at 0 exactly
+like the pipe transport's sequence numbers), and the parent owns the
+segment lifecycle: create + init before fork, close + unlink at reap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+from repro.core import outcome
+from repro.core.outcome import Decision
+from repro.errors import GatewayError
+from repro.model.entities import Task, Worker
+from repro.model.events import (
+    ARRIVAL,
+    DEPARTURE,
+    MOVE,
+    TASK,
+    WORKER,
+    Arrival,
+    Departure,
+    Move,
+)
+from repro.serving import ipc
+from repro.spatial.geometry import Point
+
+__all__ = [
+    "ESC",
+    "SLOT_SIZE",
+    "HEADER_SIZE",
+    "DEFAULT_RING_SLOTS",
+    "segment_size",
+    "create_segment",
+    "request_ring",
+    "reply_ring",
+    "shm_available",
+    "pack_request",
+    "unpack_request",
+    "pack_reply",
+    "unpack_reply",
+    "pack_escape",
+    "pack_poison",
+    "ShmRing",
+    "ShmWorkerEndpoint",
+    "ShmParentTransport",
+]
+
+# The in-band tag a consumer sees for an escaped message: "the real
+# message is the next frame on the pickle pipe".
+ESC = "esc"
+
+# One record: kind, side/action-code, padding, ipc sequence number, two
+# signed ids, five doubles.  72 bytes packed; slots pad to 80 so the
+# record area keeps 8-byte alignment and headroom for future fields.
+_RECORD = struct.Struct("<BBHIQqqddddd")
+_WORD = struct.Struct("<Q")
+
+SLOT_SIZE = 8 + 80           # seq word + record area
+HEADER_SIZE = 32             # four u64 depth counters
+DEFAULT_RING_SLOTS = 1024
+
+# Request record kinds (gateway → worker).
+_REQ_ARRIVAL = 0x01
+_REQ_DEPARTURE = 0x02
+_REQ_MOVE = 0x03
+_REQ_SNAPSHOT = 0x04
+_REQ_FINISH = 0x05
+_REQ_CHECKPOINT = 0x06
+_REQ_PING = 0x07
+_REQ_STOP = 0x08
+_REQ_ESC = 0x0F
+
+# Reply record kinds (worker → gateway).
+_REP_ACK = 0x11
+_REP_PONG = 0x12
+_REP_ESC = 0x1F
+
+# A kind byte that is valid in neither direction: what the fault
+# injector publishes for shm-path "torn"/"corrupt" faults (a sequence
+# word that advanced over a record that never finished writing).
+_POISON = 0xEE
+
+_REQ_CONTROL = {
+    ipc.SNAPSHOT: _REQ_SNAPSHOT,
+    ipc.FINISH: _REQ_FINISH,
+    ipc.CHECKPOINT: _REQ_CHECKPOINT,
+    ipc.PING: _REQ_PING,
+    ipc.STOP: _REQ_STOP,
+}
+_REQ_CONTROL_INV = {code: tag for tag, code in _REQ_CONTROL.items()}
+
+_ACTION_CODES = {
+    Decision.ASSIGNED: 0,
+    Decision.DISPATCHED: 1,
+    Decision.STAY: 2,
+    Decision.WAIT: 3,
+    Decision.IGNORED: 4,
+    Decision.DEPARTED: 5,
+}
+_ACTION_NAMES = {code: action for action, code in _ACTION_CODES.items()}
+
+# Shared payload-free decisions (see repro.core.outcome): the ack fast
+# path returns these instead of allocating an equal Decision per event.
+_PLAIN_DECISIONS = {
+    _ACTION_CODES[decision.action]: decision
+    for decision in (outcome.STAY, outcome.WAIT, outcome.IGNORED,
+                     outcome.DEPARTED)
+}
+
+_NEW = object.__new__
+
+_I64_MIN = -(2 ** 63)
+_I64_MAX = 2 ** 63 - 1
+_U64_MAX = 2 ** 64 - 1
+
+# Spin-then-sleep tuning.  The spin keeps a loaded ring syscall-free;
+# the sleep backs off to _SLEEP_CAP so an idle endpoint costs ~1k
+# wakeups/s, and the blocking side re-checks parent liveness on every
+# sleep (the asyncio side checks the child every _LIVENESS_EVERY s).
+# Spinning only pays when the peer can run concurrently: on a
+# single-core host every spin iteration steals the quantum the peer
+# needs to fill the slot, so the spin collapses to a token few probes
+# and the wait goes straight to yielding sleeps.
+_SPIN = 400
+_SLEEP_MIN = 2e-5
+_SLEEP_CAP = 1e-3
+_LIVENESS_EVERY = 0.05
+
+
+def _fits_i64(value) -> bool:
+    return isinstance(value, int) and _I64_MIN <= value <= _I64_MAX
+
+
+def _fits_seq(value) -> bool:
+    return isinstance(value, int) and 0 <= value <= _U64_MAX
+
+
+# ---------------------------------------------------------------------- #
+# Record codec
+# ---------------------------------------------------------------------- #
+
+
+def pack_request(buf, offset: int, tag: str, seq: int, payload) -> bool:
+    """Pack one gateway → worker message into a slot record.
+
+    Returns ``False`` — without touching the buffer — when the message
+    does not fit the fixed record shape and must escape over the pipe:
+    an arrival whose entity carries ``tags``, an id/seq outside the
+    packed integer ranges, an event type outside the stream union, or
+    an unknown request tag.
+    """
+    if not _fits_seq(seq):
+        return False
+    if tag == ipc.EVENT:
+        kind = getattr(payload, "event_kind", None)
+        if kind is ARRIVAL:
+            entity = payload.entity
+            if entity.tags is not None or not _fits_i64(entity.id):
+                return False
+            if not _fits_i64(payload.seq):
+                return False
+            if payload.kind == WORKER:
+                side = 0
+                if type(entity) is not Worker:
+                    return False
+            else:
+                side = 1
+                if type(entity) is not Task:
+                    return False
+            x, y = entity.location
+            _RECORD.pack_into(
+                buf, offset, _REQ_ARRIVAL, side, 0, 0, seq,
+                entity.id, payload.seq, payload.time,
+                x, y, entity.start, entity.duration,
+            )
+            return True
+        if kind is DEPARTURE:
+            if not (_fits_i64(payload.object_id) and _fits_i64(payload.seq)):
+                return False
+            side = 0 if payload.kind == WORKER else 1
+            _RECORD.pack_into(
+                buf, offset, _REQ_DEPARTURE, side, 0, 0, seq,
+                payload.object_id, payload.seq, payload.time,
+                0.0, 0.0, 0.0, 0.0,
+            )
+            return True
+        if kind is MOVE:
+            if not (_fits_i64(payload.object_id) and _fits_i64(payload.seq)):
+                return False
+            side = 0 if payload.kind == WORKER else 1
+            x, y = payload.location
+            _RECORD.pack_into(
+                buf, offset, _REQ_MOVE, side, 0, 0, seq,
+                payload.object_id, payload.seq, payload.time,
+                x, y, 0.0, 0.0,
+            )
+            return True
+        return False
+    code = _REQ_CONTROL.get(tag)
+    if code is None or payload is not None:
+        return False
+    _RECORD.pack_into(buf, offset, code, 0, 0, 0, seq,
+                      0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return True
+
+
+def unpack_request(buf, offset: int):
+    """Inverse of :func:`pack_request`: ``(tag, seq, payload)``.
+
+    An ``ESC`` record decodes to ``(ESC, seq, None)`` — the caller must
+    read the real message from the pipe.
+
+    Events are rebuilt the way unpickling rebuilds them — state
+    restored straight into ``__dict__``, no ``__init__`` or
+    ``__post_init__`` — both because the pipe transport has the same
+    semantics and because it is ~3× faster on the per-event hot path;
+    every record was range-checked by :func:`pack_request` on state
+    the gateway had already validated.
+
+    Raises:
+        GatewayError: for a record whose kind byte is not a valid
+            request kind (a torn or scribbled slot).
+    """
+    (kind, side, _pad16, _pad32, seq, a, b, t, x, y, s, u
+     ) = _RECORD.unpack_from(buf, offset)
+    if kind == _REQ_ARRIVAL:
+        if side == 0:
+            entity = _NEW(Worker)
+            side_name = WORKER
+        else:
+            entity = _NEW(Task)
+            side_name = TASK
+        entity.__dict__.update(
+            id=a, location=Point(x, y), start=s, duration=u, tags=None,
+        )
+        event = _NEW(Arrival)
+        event.__dict__.update(time=t, seq=b, kind=side_name, entity=entity)
+        return ipc.EVENT, seq, event
+    if kind == _REQ_DEPARTURE:
+        event = _NEW(Departure)
+        event.__dict__.update(
+            time=t, seq=b, kind=WORKER if side == 0 else TASK, object_id=a,
+        )
+        return ipc.EVENT, seq, event
+    if kind == _REQ_MOVE:
+        event = _NEW(Move)
+        event.__dict__.update(
+            time=t, seq=b, kind=WORKER if side == 0 else TASK, object_id=a,
+            location=Point(x, y),
+        )
+        return ipc.EVENT, seq, event
+    if kind == _REQ_ESC:
+        return ESC, seq, None
+    tag = _REQ_CONTROL_INV.get(kind)
+    if tag is None:
+        raise GatewayError(
+            f"corrupt shm request record (kind 0x{kind:02x}); "
+            "the ring can no longer be trusted"
+        )
+    return tag, seq, None
+
+
+def pack_reply(buf, offset: int, tag: str, seq: int, payload) -> bool:
+    """Pack one worker → gateway reply into a slot record.
+
+    Only ``ACK`` (with a plain :class:`~repro.core.outcome.Decision`)
+    and ``PONG`` fit; everything else — ``NACK`` error text, ``SNAP``
+    snapshots, ``CHKPT`` shard state, ``DONE`` outcomes — returns
+    ``False`` and escapes over the pipe.
+    """
+    if not _fits_seq(seq):
+        return False
+    if tag == ipc.ACK and type(payload) is Decision:
+        code = _ACTION_CODES.get(payload.action)
+        if code is None:
+            return False
+        partner = payload.partner_id
+        area = payload.target_area
+        if partner is None:
+            partner = -1
+        elif not (_fits_i64(partner) and partner >= 0):
+            return False
+        if area is None:
+            area = -1
+        elif not (_fits_i64(area) and area >= 0):
+            return False
+        _RECORD.pack_into(buf, offset, _REP_ACK, code, 0, 0, seq,
+                          partner, area, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return True
+    if tag == ipc.PONG and payload is None:
+        _RECORD.pack_into(buf, offset, _REP_PONG, 0, 0, 0, seq,
+                          0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return True
+    return False
+
+
+def unpack_reply(buf, offset: int):
+    """Inverse of :func:`pack_reply`: ``(tag, seq, payload)``.
+
+    Raises:
+        GatewayError: for an invalid reply kind byte.
+    """
+    (kind, code, _pad16, _pad32, seq, a, b, _t, _x, _y, _s, _u
+     ) = _RECORD.unpack_from(buf, offset)
+    if kind == _REP_ACK:
+        if a < 0 and b < 0:
+            # Payload-free decisions reuse the same frozen singletons
+            # the inline matchers hand out (equal by value either way;
+            # this skips an allocation per ack).
+            decision = _PLAIN_DECISIONS.get(code)
+            if decision is not None:
+                return ipc.ACK, seq, decision
+        action = _ACTION_NAMES.get(code)
+        if action is None:
+            raise GatewayError(
+                f"corrupt shm ack record (action code {code}); "
+                "the ring can no longer be trusted"
+            )
+        return ipc.ACK, seq, Decision(
+            action,
+            target_area=None if b < 0 else b,
+            partner_id=None if a < 0 else a,
+        )
+    if kind == _REP_PONG:
+        return ipc.PONG, seq, None
+    if kind == _REP_ESC:
+        return ESC, seq, None
+    raise GatewayError(
+        f"corrupt shm reply record (kind 0x{kind:02x}); "
+        "the ring can no longer be trusted"
+    )
+
+
+def pack_escape(buf, offset: int, seq: int, reply: bool) -> None:
+    """Write an ``ESC`` record: "the real message is on the pipe".
+
+    The pipe frame must already be written (and, on the blocking side,
+    flushed) *before* this record is published — the consumer blocks on
+    the pipe as soon as it sees ``ESC``, and the ordering guarantee is
+    exactly "frame first, escape record second".
+    """
+    kind = _REP_ESC if reply else _REQ_ESC
+    _RECORD.pack_into(buf, offset, kind, 0, 0, 0, seq,
+                      0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def pack_poison(buf, offset: int, seq: int) -> None:
+    """Write a deliberately invalid record (fault injection only).
+
+    Models a sequence word that advanced over a half-written payload:
+    the consumer's decode raises :class:`~repro.errors.GatewayError`,
+    driving the same lost-worker path as a corrupt pipe frame.
+    """
+    _RECORD.pack_into(buf, offset, _POISON, 0, 0, 0, seq,
+                      0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+# ---------------------------------------------------------------------- #
+# The ring
+# ---------------------------------------------------------------------- #
+
+
+class ShmRing:
+    """One SPSC ring of fixed slots inside a shared buffer.
+
+    Non-blocking by design: :meth:`try_reserve` / :meth:`try_consume`
+    return a payload offset or ``None``; the wait policy (spin, sleep,
+    liveness) lives with the endpoint that owns the position.
+
+    Args:
+        buf: the shared buffer (``SharedMemory.buf``).
+        base: byte offset of slot 0.
+        capacity: slot count.
+        produced_off / consumed_off: byte offsets of this ring's depth
+            counters (each written by exactly one side).
+    """
+
+    __slots__ = ("buf", "base", "capacity", "produced_off", "consumed_off")
+
+    def __init__(self, buf, base: int, capacity: int,
+                 produced_off: int, consumed_off: int) -> None:
+        self.buf = buf
+        self.base = base
+        self.capacity = capacity
+        self.produced_off = produced_off
+        self.consumed_off = consumed_off
+
+    def init_slots(self) -> None:
+        """Creator-side init: slot ``k``'s sequence word starts at ``k``."""
+        for index in range(self.capacity):
+            _WORD.pack_into(self.buf, self.base + index * SLOT_SIZE, index)
+        _WORD.pack_into(self.buf, self.produced_off, 0)
+        _WORD.pack_into(self.buf, self.consumed_off, 0)
+
+    def _slot(self, pos: int) -> int:
+        return self.base + (pos % self.capacity) * SLOT_SIZE
+
+    def try_reserve(self, pos: int) -> Optional[int]:
+        """Producer probe at ``pos``: payload offset, or ``None`` (full).
+
+        Raises:
+            GatewayError: when the sequence word is neither "free" nor
+                "still occupied" — the ring is corrupt.
+        """
+        slot = self._slot(pos)
+        (word,) = _WORD.unpack_from(self.buf, slot)
+        if word == pos:
+            return slot + 8
+        if word == pos - self.capacity + 1:
+            return None  # the consumer has not freed this slot yet
+        raise GatewayError(
+            f"shm ring corruption: slot sequence word {word} at producer "
+            f"position {pos} (expected {pos} or {pos - self.capacity + 1})"
+        )
+
+    def publish(self, pos: int) -> None:
+        """Make the record at ``pos`` visible to the consumer."""
+        _WORD.pack_into(self.buf, self._slot(pos), pos + 1)
+        (produced,) = _WORD.unpack_from(self.buf, self.produced_off)
+        _WORD.pack_into(self.buf, self.produced_off, produced + 1)
+
+    def try_consume(self, pos: int) -> Optional[int]:
+        """Consumer probe at ``pos``: payload offset, or ``None`` (empty).
+
+        Raises:
+            GatewayError: when the sequence word is neither "ready" nor
+                "not yet published" — a torn write or a scribble.
+        """
+        slot = self._slot(pos)
+        (word,) = _WORD.unpack_from(self.buf, slot)
+        if word == pos + 1:
+            return slot + 8
+        if word == pos:
+            return None  # the producer has not published this entry yet
+        raise GatewayError(
+            f"shm ring corruption: slot sequence word {word} at consumer "
+            f"position {pos} (expected {pos} or {pos + 1})"
+        )
+
+    def free(self, pos: int) -> None:
+        """Hand the slot at ``pos`` back to the producer."""
+        _WORD.pack_into(self.buf, self._slot(pos), pos + self.capacity)
+        (consumed,) = _WORD.unpack_from(self.buf, self.consumed_off)
+        _WORD.pack_into(self.buf, self.consumed_off, consumed + 1)
+
+    def depth(self) -> int:
+        """Published-but-unconsumed records (the gauge the snapshot shows)."""
+        (produced,) = _WORD.unpack_from(self.buf, self.produced_off)
+        (consumed,) = _WORD.unpack_from(self.buf, self.consumed_off)
+        return max(0, produced - consumed)
+
+
+# ---------------------------------------------------------------------- #
+# Segment plumbing
+# ---------------------------------------------------------------------- #
+
+
+def segment_size(capacity: int) -> int:
+    """Bytes one worker's duplex segment needs."""
+    return HEADER_SIZE + 2 * capacity * SLOT_SIZE
+
+
+def request_ring(segment: shared_memory.SharedMemory, capacity: int) -> ShmRing:
+    """The gateway → worker ring of one segment."""
+    return ShmRing(segment.buf, HEADER_SIZE, capacity,
+                   produced_off=0, consumed_off=8)
+
+
+def reply_ring(segment: shared_memory.SharedMemory, capacity: int) -> ShmRing:
+    """The worker → gateway ring of one segment."""
+    return ShmRing(segment.buf, HEADER_SIZE + capacity * SLOT_SIZE, capacity,
+                   produced_off=16, consumed_off=24)
+
+
+def create_segment(capacity: int) -> shared_memory.SharedMemory:
+    """Create and initialise one worker's duplex ring segment.
+
+    The caller (the pool's ``_spawn``) owns the lifecycle: the segment
+    is created before the fork so the child inherits the mapped object
+    directly, and the parent must ``close()`` + ``unlink()`` it at reap.
+
+    Raises:
+        GatewayError: for a capacity below 2 (the protocol needs at
+            least one free and one in-flight slot).
+    """
+    if capacity < 2:
+        raise GatewayError(f"ring capacity must be >= 2, got {capacity}")
+    segment = shared_memory.SharedMemory(create=True, size=segment_size(capacity))
+    request_ring(segment, capacity).init_slots()
+    reply_ring(segment, capacity).init_slots()
+    return segment
+
+
+def shm_available() -> bool:
+    """Whether this host can serve shared-memory segments at all."""
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=64)
+    except (OSError, ValueError, FileNotFoundError):  # pragma: no cover
+        return False
+    probe.close()
+    try:
+        probe.unlink()
+    except OSError:  # pragma: no cover - already reclaimed
+        pass
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# Endpoints
+# ---------------------------------------------------------------------- #
+
+
+class ShmWorkerEndpoint:
+    """The worker child's blocking side of the duplex ring pair.
+
+    Mirrors the pipe channel's ``recv`` / ``send`` surface so
+    :func:`~repro.serving.workers.shard_worker_main` serves both
+    transports with one loop.  The pickle pipe stays attached as the
+    escape hatch for oversized or variable payloads.
+
+    Parent death is detected in the sleep phase of every wait: the
+    worker was forked by the gateway, so ``getppid`` flipping (to init
+    or a subreaper) means the gateway is gone and the worker must exit
+    — the pipe cannot be peeked for EOF instead, because escaped
+    frames may legitimately be queued on it.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        capacity: int,
+        pipe: ipc.BlockingEndpoint,
+    ) -> None:
+        self._segment = segment
+        self._requests = request_ring(segment, capacity)
+        self._replies = reply_ring(segment, capacity)
+        self._pipe = pipe
+        self._recv_pos = 0
+        self._send_pos = 0
+        self._ppid = os.getppid()
+
+    def _wait(self, probe, pos: int) -> int:
+        """Spin-then-sleep until ``probe(pos)`` yields a slot offset."""
+        for _ in range(_SPIN):
+            offset = probe(pos)
+            if offset is not None:
+                return offset
+        delay = _SLEEP_MIN
+        while True:
+            offset = probe(pos)
+            if offset is not None:
+                return offset
+            if os.getppid() != self._ppid:
+                raise EOFError("gateway process died")
+            time.sleep(delay)
+            delay = min(delay * 2, _SLEEP_CAP)
+
+    def recv(self):
+        """Block for one request: ``(tag, seq, payload)``.
+
+        Raises:
+            EOFError: when the parent gateway died.
+            GatewayError: for a corrupt slot (never sent by a healthy
+                gateway — this worker is then desynchronized and dies,
+                which the parent treats as a crash).
+        """
+        pos = self._recv_pos
+        offset = self._wait(self._requests.try_consume, pos)
+        message = unpack_request(self._segment.buf, offset)
+        self._requests.free(pos)
+        self._recv_pos = pos + 1
+        if message[0] is ESC:
+            return self._pipe.recv()
+        return message
+
+    def send(self, tag: str, seq: int, payload) -> None:
+        """Publish one reply, escaping to the pipe when it cannot pack.
+
+        Raises:
+            GatewayError: when an escaped reply exceeds the pipe frame
+                limit (nothing is published; the caller may retry with
+                a NACK exactly as on the pipe transport).
+        """
+        pos = self._send_pos
+        offset = self._wait(self._replies.try_reserve, pos)
+        if not pack_reply(self._segment.buf, offset, tag, seq, payload):
+            # Frame first, escape record second: the parent blocks on
+            # the pipe the moment it consumes the ESC slot, so the
+            # frame must already be flushed.  A frame-limit failure
+            # raises here with the slot still unpublished.
+            self._pipe.send((tag, seq, payload))
+            pack_escape(self._segment.buf, offset, seq, reply=True)
+        self._replies.publish(pos)
+        self._send_pos = pos + 1
+
+    def send_corrupt(self, seq: int, _decision) -> None:
+        """Fault injection: publish a poisoned record (worker survives)."""
+        pos = self._send_pos
+        offset = self._wait(self._replies.try_reserve, pos)
+        pack_poison(self._segment.buf, offset, seq)
+        self._replies.publish(pos)
+        self._send_pos = pos + 1
+
+    def send_torn(self, seq: int, decision) -> None:
+        """Fault injection: a write torn by death.
+
+        On shm a crash *before* publish is invisible (the slot stays
+        "not ready" and the parent sees only the process exit), so the
+        injected torn write is the nastier variant: the sequence word
+        advanced but the record did not finish — a poisoned slot, after
+        which the caller SIGKILLs the worker mid-protocol.
+        """
+        self.send_corrupt(seq, decision)
+
+    def close(self) -> None:
+        """Close the escape-hatch pipe; the mapping dies with the process."""
+        self._pipe.close()
+
+
+class ShmParentTransport:
+    """The gateway's asyncio side of one worker's duplex ring pair.
+
+    Presents the same ``send_batch`` / ``recv`` surface as the pipe
+    transport, so the pool's writer/reader loops and the supervisor's
+    replay are transport-blind.  Waits are spin-then-yield then
+    backed-off ``asyncio.sleep``; child liveness is polled during the
+    sleep phase and the ring is drained before ``EOFError`` surfaces,
+    so replies published moments before a death are never lost.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        capacity: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        process,
+    ) -> None:
+        self._segment = segment
+        self._capacity = capacity
+        self._requests = request_ring(segment, capacity)
+        self._replies = reply_ring(segment, capacity)
+        self._reader = reader
+        self._writer = writer
+        self._process = process
+        self._send_pos = 0
+        self._recv_pos = 0
+        self._closed = False
+
+    name = "shm"
+
+    def _child_alive(self) -> bool:
+        process = self._process
+        return process is not None and process.is_alive()
+
+    async def send_batch(self, messages) -> None:
+        """Publish a batch of ``(tag, seq, payload)`` requests in order.
+
+        Parks on a full ring (the IPC backpressure path — the writer
+        loop, the outbox and the dispatcher stall behind it).  Escaped
+        messages hit the pipe buffer *before* their ESC record is
+        published; one drain at the end flushes them.
+
+        Raises:
+            ConnectionError: when the worker died while the ring was
+                full (the reader loop owns the crash accounting).
+        """
+        buf = self._segment.buf
+        ring = self._requests
+        escaped = False
+        for tag, seq, payload in messages:
+            pos = self._send_pos
+            offset = ring.try_reserve(pos)
+            if offset is None:
+                delay = _SLEEP_MIN
+                waited = 0.0
+                while offset is None:
+                    await asyncio.sleep(delay)
+                    waited += delay
+                    delay = min(delay * 2, _SLEEP_CAP)
+                    offset = ring.try_reserve(pos)
+                    if offset is None and waited >= _LIVENESS_EVERY:
+                        waited = 0.0
+                        if not self._child_alive():
+                            raise ConnectionError(
+                                "shard worker exited with its request "
+                                "ring full"
+                            )
+            if not pack_request(buf, offset, tag, seq, payload):
+                self._writer.write(ipc.encode_frame((tag, seq, payload)))
+                escaped = True
+                pack_escape(buf, offset, seq, reply=False)
+            ring.publish(pos)
+            self._send_pos = pos + 1
+        if escaped:
+            await self._writer.drain()
+
+    async def recv(self):
+        """One reply ``(tag, seq, payload)`` in ring order.
+
+        Raises:
+            EOFError: the worker is gone and the ring is drained (the
+                same signal a closed pipe gives the pipe transport).
+            GatewayError: a corrupt slot — sequence-word desync or a
+                poisoned record.
+        """
+        ring = self._replies
+        pos = self._recv_pos
+        spin = _SPIN
+        delay = 0.0
+        waited = 0.0
+        while True:
+            offset = ring.try_consume(pos)
+            if offset is not None:
+                message = unpack_reply(self._segment.buf, offset)
+                ring.free(pos)
+                self._recv_pos = pos + 1
+                if message[0] is ESC:
+                    return await ipc.read_frame(self._reader)
+                return message
+            if spin > 0:
+                spin -= 1
+                await asyncio.sleep(0)
+                continue
+            delay = min(max(delay * 2, _SLEEP_MIN), _SLEEP_CAP)
+            waited += delay
+            await asyncio.sleep(delay)
+            if waited >= _LIVENESS_EVERY:
+                waited = 0.0
+                if not self._child_alive():
+                    # Drain race: the worker may have published its
+                    # last replies just before exiting.
+                    if ring.try_consume(pos) is None:
+                        raise EOFError("shard worker exited")
+
+    def recv_ready(self) -> List[Tuple[str, int, object]]:
+        """Drain every already-published in-ring reply, without awaiting.
+
+        The reader loop calls this after each awaited :meth:`recv` to
+        consume reply bursts at plain-function cost instead of one
+        coroutine round trip per message.  Stops (leaving the slot
+        unconsumed for the next :meth:`recv`) at an ``ESC`` record,
+        which needs an awaited pipe read.
+
+        Raises:
+            GatewayError: for a corrupt slot, exactly like :meth:`recv`.
+        """
+        ring = self._replies
+        buf = self._segment.buf
+        messages: List[Tuple[str, int, object]] = []
+        while True:
+            pos = self._recv_pos
+            offset = ring.try_consume(pos)
+            if offset is None:
+                return messages
+            message = unpack_reply(buf, offset)
+            if message[0] is ESC:
+                return messages
+            ring.free(pos)
+            self._recv_pos = pos + 1
+            messages.append(message)
+
+    def depths(self) -> Tuple[int, int]:
+        """(request ring depth, reply ring depth) — the /snapshot gauges."""
+        if self._closed:
+            return (0, 0)
+        return (self._requests.depth(), self._replies.depth())
+
+    def close(self) -> None:
+        """Release the parent's mapping and unlink the segment (idempotent).
+
+        Safe while the child still maps it — ``unlink`` removes the
+        name, not live mappings — but callers reap the child first so
+        a replacement can never race a dying sibling's segment.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Drop ring views of the mapped buffer before closing it, or
+        # SharedMemory.close() raises BufferError on exported views.
+        self._requests = None
+        self._replies = None
+        try:
+            self._segment.close()
+        except (OSError, BufferError):  # pragma: no cover - best effort
+            pass
+        try:
+            self._segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
+
+
+def ring_depth_rows(transports) -> List[Tuple[int, int]]:
+    """Depth pairs for a list of parent transports (``None``-safe)."""
+    rows: List[Tuple[int, int]] = []
+    for transport in transports:
+        depths = getattr(transport, "depths", None)
+        rows.append(depths() if callable(depths) else (0, 0))
+    return rows

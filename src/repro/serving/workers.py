@@ -18,10 +18,18 @@ Topology and wire format::
       ▼                       │
     future per event          └── WorkerSupervisor (heartbeat, restart)
 
-* **IPC** — length-prefixed pickle frames (:mod:`repro.serving.ipc`)
-  over two anonymous pipes per worker.  Workers are *forked*, so the
-  per-shard matcher factory (closures, prebuilt guides and all) is
-  inherited — nothing needs to be picklable except events, decisions,
+* **IPC** — two transports behind one seam (``transport="pipe"|"shm"``):
+  length-prefixed pickle frames (:mod:`repro.serving.ipc`) over two
+  anonymous pipes per worker, or zero-copy shared-memory SPSC rings of
+  fixed-width packed records (:mod:`repro.serving.shmring`) with the
+  pipe kept attached as the escape hatch for oversized/variable
+  payloads (checkpoints, snapshots, FINISH outcomes, NACK text, tagged
+  arrivals) — an in-ring ``ESC`` record hands the consumer to the pipe
+  for exactly one frame, so both channels merge into a single total
+  order and the recovery machinery works unchanged on either
+  transport.  Workers are *forked*, so the per-shard matcher factory
+  (closures, prebuilt guides and all) — and the shm segment mapping —
+  is inherited; nothing needs to be picklable except events, decisions,
   snapshots, outcomes and checkpointed shard state, which all are.
 * **Ordering** — one bounded outbox and one writer task per worker;
   the single writer assigns sequence numbers at write time, so pending
@@ -102,7 +110,7 @@ from repro.core.engine import Matcher
 from repro.core.outcome import AssignmentOutcome, Decision
 from repro.errors import GatewayError
 from repro.model.events import StreamEvent
-from repro.serving import ipc
+from repro.serving import ipc, shmring
 from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.serving.session import SessionSnapshot
 from repro.serving.shard import Shard
@@ -175,18 +183,52 @@ class ShardOutcome:
         )
 
 
-def _send_reply(endpoint: ipc.BlockingEndpoint, tag: str, seq: int, payload) -> None:
+class _PipeWorkerChannel:
+    """The worker child's pipe transport behind the channel seam.
+
+    A thin adapter over :class:`~repro.serving.ipc.BlockingEndpoint`
+    presenting the same surface as
+    :class:`~repro.serving.shmring.ShmWorkerEndpoint`, so the worker
+    loop (and the fault injector's torn/corrupt writes) is
+    transport-blind.
+    """
+
+    def __init__(self, endpoint: ipc.BlockingEndpoint) -> None:
+        self._endpoint = endpoint
+
+    def recv(self):
+        return self._endpoint.recv()
+
+    def send(self, tag: str, seq: int, payload) -> None:
+        self._endpoint.send((tag, seq, payload))
+
+    def send_corrupt(self, seq: int, _decision) -> None:
+        """Fault injection: a framed payload that will never unpickle."""
+        self._endpoint.send_raw(ipc.raw_frame(b"\xffnot a pickle\xff"))
+
+    def send_torn(self, seq: int, decision) -> None:
+        """Fault injection: half an ack frame (the caller then dies)."""
+        frame = ipc.encode_frame((ipc.ACK, seq, decision))
+        self._endpoint.send_raw(frame[: max(1, len(frame) // 2)])
+
+    def close(self) -> None:
+        self._endpoint.close()
+
+
+def _send_reply(channel, tag: str, seq: int, payload) -> None:
     """Send one reply; an over-limit frame degrades to a NACK.
 
     A reply too large to frame (a pathological outcome behind a tiny
     ``MAX_FRAME``) must not kill the worker — the event *was* served,
     only its payload cannot ship, so the requester gets a clean
-    rejection instead of a torn pipe.
+    rejection instead of a torn pipe.  Transport-agnostic: on shm the
+    limit can only trip on the escape-hatch pipe, and the NACK retries
+    with the ring slot still unpublished.
     """
     try:
-        endpoint.send((tag, seq, payload))
+        channel.send(tag, seq, payload)
     except GatewayError as exc:
-        endpoint.send((ipc.NACK, seq, f"reply exceeds the frame limit: {exc}"))
+        channel.send(ipc.NACK, seq, f"reply exceeds the frame limit: {exc}")
 
 
 def shard_worker_main(
@@ -197,13 +239,15 @@ def shard_worker_main(
     close_fds: Tuple[int, ...] = (),
     initial_shard: Optional[Shard] = None,
     fault_specs: Tuple[FaultSpec, ...] = (),
+    shm_segment=None,
+    ring_slots: int = 0,
 ) -> None:
     """The worker child's entry point: one shard, one blocking loop.
 
     Builds ``Shard(shard_id, matcher_factory(shard_id))`` locally (the
     factory was inherited through fork) — or resumes from
     ``initial_shard``, a checkpointed shard the supervisor passed
-    through fork when restarting — and serves the request pipe FIFO
+    through fork when restarting — and serves the request channel FIFO
     until a ``FINISH``/``STOP`` frame or EOF.  Matcher-level rejections
     become ``NACK`` replies — a poisoned event must never kill the
     worker.
@@ -216,6 +260,9 @@ def shard_worker_main(
         initial_shard: checkpointed state to resume from (restart path).
         fault_specs: scripted faults for this incarnation
             (:mod:`repro.serving.faults`).
+        shm_segment: the shared-memory ring segment inherited through
+            fork (``transport="shm"``), or ``None`` for pure pipes.
+        ring_slots: the segment's per-ring slot count.
     """
     for fd in close_fds:
         try:
@@ -230,6 +277,10 @@ def shard_worker_main(
     except (OSError, ValueError):  # pragma: no cover - exotic hosts
         pass
     endpoint = ipc.BlockingEndpoint(recv_fd, send_fd)
+    if shm_segment is not None:
+        channel = shmring.ShmWorkerEndpoint(shm_segment, ring_slots, endpoint)
+    else:
+        channel = _PipeWorkerChannel(endpoint)
     if initial_shard is not None:
         shard = initial_shard
     else:
@@ -238,7 +289,7 @@ def shard_worker_main(
     try:
         while True:
             try:
-                tag, seq, payload = endpoint.recv()
+                tag, seq, payload = channel.recv()
             except EOFError:
                 break
             if tag == ipc.EVENT:
@@ -255,37 +306,76 @@ def shard_worker_main(
                 try:
                     decision = shard.push(payload)
                 except Exception as exc:  # noqa: BLE001 — serve loop survives
-                    endpoint.send((ipc.NACK, seq, str(exc)))
+                    channel.send(ipc.NACK, seq, str(exc))
                     continue
                 if spec is not None and spec.action == "corrupt":
-                    endpoint.send_raw(ipc.raw_frame(b"\xffnot a pickle\xff"))
+                    channel.send_corrupt(seq, decision)
                 elif spec is not None and spec.action == "torn":
-                    frame = ipc.encode_frame((ipc.ACK, seq, decision))
-                    endpoint.send_raw(frame[: max(1, len(frame) // 2)])
+                    channel.send_torn(seq, decision)
                     os.kill(os.getpid(), signal.SIGKILL)
                 else:
-                    _send_reply(endpoint, ipc.ACK, seq, decision)
+                    _send_reply(channel, ipc.ACK, seq, decision)
             elif tag == ipc.SNAPSHOT:
-                _send_reply(endpoint, ipc.SNAP, seq, shard.snapshot())
+                _send_reply(channel, ipc.SNAP, seq, shard.snapshot())
             elif tag == ipc.CHECKPOINT:
                 try:
-                    endpoint.send((ipc.CHKPT, seq, shard))
+                    channel.send(ipc.CHKPT, seq, shard)
                 except Exception:  # noqa: BLE001 — unpicklable/oversized
                     # Declining is safe: the parent keeps its journal
                     # intact and replay just reaches further back.
-                    endpoint.send((ipc.CHKPT, seq, None))
+                    channel.send(ipc.CHKPT, seq, None)
             elif tag == ipc.PING:
-                endpoint.send((ipc.PONG, seq, None))
+                channel.send(ipc.PONG, seq, None)
             elif tag == ipc.FINISH:
                 outcome = shard.finish()
-                _send_reply(endpoint, ipc.DONE, seq, (outcome, shard.snapshot()))
+                _send_reply(channel, ipc.DONE, seq, (outcome, shard.snapshot()))
                 break
             elif tag == ipc.STOP:
                 break
             else:  # pragma: no cover - protocol corruption
-                endpoint.send((ipc.NACK, seq, f"unknown request tag {tag!r}"))
+                channel.send(ipc.NACK, seq, f"unknown request tag {tag!r}")
     finally:
-        endpoint.close()
+        channel.close()
+
+
+class _PipeParentTransport:
+    """The gateway's pipe transport behind the parent channel seam.
+
+    Same ``send_batch`` / ``recv`` surface as
+    :class:`~repro.serving.shmring.ShmParentTransport`, so the pool's
+    writer/reader loops and the supervisor's replay never branch on
+    the transport.
+    """
+
+    name = "pipe"
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    async def send_batch(self, messages) -> None:
+        """Frame and flush a batch of ``(tag, seq, payload)`` requests."""
+        self._writer.write(
+            b"".join(ipc.encode_frame(message) for message in messages)
+        )
+        await self._writer.drain()
+
+    async def recv(self):
+        """One reply frame (EOFError / GatewayError exactly as before)."""
+        return await ipc.read_frame(self._reader)
+
+    def recv_ready(self):
+        """Pipes have no sync fast path — every frame needs an await."""
+        return ()
+
+    def depths(self) -> Tuple[int, int]:
+        """Pipes have no observable in-flight depth; report empty."""
+        return (0, 0)
+
+    def close(self) -> None:
+        """Nothing to release: the pool owns the pipe fds directly."""
 
 
 class _WorkerHandle:
@@ -293,8 +383,8 @@ class _WorkerHandle:
 
     __slots__ = (
         "shard_id", "process", "reader", "writer", "read_transport",
-        "outbox", "pending", "seq", "alive", "closing", "reader_task",
-        "writer_task", "last_snapshot", "outcome", "failure",
+        "transport", "outbox", "pending", "seq", "alive", "closing",
+        "reader_task", "writer_task", "last_snapshot", "outcome", "failure",
         "journal", "checkpoint", "events_since_checkpoint", "state",
         "restarts", "last_activity", "parent_fds", "recovery_task",
     )
@@ -305,6 +395,9 @@ class _WorkerHandle:
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
         self.read_transport = None
+        # The IPC transport seam: _PipeParentTransport or
+        # shmring.ShmParentTransport, rebuilt per incarnation.
+        self.transport = None
         self.outbox: asyncio.Queue = asyncio.Queue(maxsize=outbox_size)
         # (request tag, seq, future) in pipe-write order; replies come
         # back strictly FIFO because the worker is single-threaded, and
@@ -504,6 +597,12 @@ class WorkerSupervisor:
                 await asyncio.sleep(0.01)
             process.join(timeout=0.2)
             handle.process = None
+        if handle.transport is not None:
+            # After the child is reaped: closing an shm transport
+            # unlinks the incarnation's segment (the replacement gets a
+            # fresh one); the pipe transport's close is a no-op.
+            handle.transport.close()
+            handle.transport = None
 
     async def _replay(self, handle: _WorkerHandle) -> None:
         """Rebuild the replacement's stream: journal, then in-flight rest.
@@ -525,14 +624,14 @@ class WorkerSupervisor:
         handle.journal = deque()
         handle.seq = 0
         inflight = {seq: future for _tag, seq, future in old_pending}
-        chunks: List[bytes] = []
+        messages: List[Tuple[str, int, object]] = []
         for old_seq, event in old_journal:
             future = inflight.pop(old_seq, None)
             seq = handle.seq
             handle.seq = seq + 1
             handle.pending.append((ipc.EVENT, seq, future))
             handle.journal.append((seq, event))
-            chunks.append(ipc.encode_frame((ipc.EVENT, seq, event)))
+            messages.append((ipc.EVENT, seq, event))
         for tag, old_seq, future in old_pending:
             if old_seq not in inflight:
                 continue  # a journaled event, already re-queued above
@@ -554,11 +653,13 @@ class WorkerSupervisor:
             seq = handle.seq
             handle.seq = seq + 1
             handle.pending.append((tag, seq, future))
-            chunks.append(ipc.encode_frame((tag, seq, None)))
+            messages.append((tag, seq, None))
         handle.events_since_checkpoint = len(handle.journal)
-        if chunks:
-            handle.writer.write(b"".join(chunks))
-            await handle.writer.drain()
+        if messages:
+            # Through the transport seam: on shm the replacement's
+            # fresh rings start at position 0 exactly as ``handle.seq``
+            # restarted at 0, so replay packs into the new segment.
+            await handle.transport.send_batch(messages)
         handle.last_activity = asyncio.get_running_loop().time()
 
     # -- heartbeat ----------------------------------------------------- #
@@ -622,6 +723,12 @@ class WorkerPool:
         extra_close_fds: callable returning fds a *restarted* child must
             close (the gateway's live listener/connection sockets — the
             initial fork happens before any socket exists).
+        transport: ``"pipe"`` (length-prefixed pickle frames, the
+            default) or ``"shm"`` (shared-memory rings of fixed-width
+            packed records, with the pipe kept as the oversize escape
+            hatch — see :mod:`repro.serving.shmring`).
+        ring_slots: per-ring slot count for the shm transport (ignored
+            on pipes).
 
     Raises:
         GatewayError: for bad parameters, or at :meth:`start` on hosts
@@ -644,7 +751,17 @@ class WorkerPool:
         fault_plan: Optional[FaultPlan] = None,
         on_degraded: Optional[Callable[[int], None]] = None,
         extra_close_fds: Optional[Callable[[], List[int]]] = None,
+        transport: str = "pipe",
+        ring_slots: int = shmring.DEFAULT_RING_SLOTS,
     ) -> None:
+        if transport not in ("pipe", "shm"):
+            raise GatewayError(
+                f"transport must be 'pipe' or 'shm', got {transport!r}"
+            )
+        if ring_slots < 2:
+            raise GatewayError(
+                f"ring_slots must be >= 2, got {ring_slots}"
+            )
         if n_shards <= 0:
             raise GatewayError(f"n_shards must be positive, got {n_shards}")
         if outbox_size <= 0:
@@ -662,6 +779,8 @@ class WorkerPool:
         self._n_shards = int(n_shards)
         self._factory = matcher_factory
         self._outbox_size = int(outbox_size)
+        self._transport = transport
+        self._ring_slots = int(ring_slots)
         self._checkpoint_every = int(checkpoint_every)
         self._fault_plan = fault_plan
         self.on_degraded = on_degraded
@@ -688,6 +807,28 @@ class WorkerPool:
     @property
     def n_shards(self) -> int:
         return self._n_shards
+
+    @property
+    def transport(self) -> str:
+        """The active event transport: ``"pipe"`` or ``"shm"``."""
+        return self._transport
+
+    def ring_depths(self) -> Optional[List[Tuple[int, int]]]:
+        """Per-shard ``(request, reply)`` ring occupancy, shm only.
+
+        ``None`` on the pipe transport (the kernel buffers are opaque).
+        Gauge-quality reads: the counters are sampled without
+        synchronising against the worker, so momentary skew is fine.
+        """
+        if self._transport != "shm":
+            return None
+        depths: List[Tuple[int, int]] = []
+        for handle in self.handles:
+            if handle.transport is not None and handle.transport.name == "shm":
+                depths.append(handle.transport.depths())
+            else:
+                depths.append((0, 0))
+        return depths
 
     @property
     def crashes(self) -> int:
@@ -901,6 +1042,12 @@ class WorkerPool:
                     break
                 await asyncio.sleep(0.02)
             process.join(timeout=0.2)
+        for handle in self.handles:
+            if handle.transport is not None:
+                # After every child is dead: an shm close unlinks the
+                # segment (pipe transports no-op).
+                handle.transport.close()
+                handle.transport = None
         self.handles = []
 
     # -- internals ----------------------------------------------------- #
@@ -936,36 +1083,71 @@ class WorkerPool:
             specs = self._fault_plan.for_shard(
                 handle.shard_id, incarnation=handle.restarts
             )
-        process = self._context.Process(
-            target=shard_worker_main,
-            args=(
-                handle.shard_id,
-                self._factory,
-                to_child_r,
-                to_parent_w,
-                tuple(close_fds),
-                handle.checkpoint,
-                specs,
-            ),
-            daemon=True,
-            name=f"ftoa-shard-worker-{handle.shard_id}",
-        )
-        process.start()
-        os.close(to_child_r)
-        os.close(to_parent_w)
-        handle.process = process
-        handle.parent_fds = (to_child_w, to_parent_r)
-        reader = asyncio.StreamReader(loop=loop)
-        handle.read_transport, _ = await loop.connect_read_pipe(
-            lambda: asyncio.StreamReaderProtocol(reader, loop=loop),
-            os.fdopen(to_parent_r, "rb", 0),
-        )
-        handle.reader = reader
-        w_transport, w_protocol = await loop.connect_write_pipe(
-            lambda: asyncio.streams.FlowControlMixin(loop=loop),
-            os.fdopen(to_child_w, "wb", 0),
-        )
-        handle.writer = asyncio.StreamWriter(w_transport, w_protocol, None, loop)
+        segment = None
+        if self._transport == "shm":
+            # One fresh segment per incarnation: the replacement's ring
+            # positions restart at 0, matching the supervisor's replay
+            # re-sequencing — a half-consumed old ring can't leak state.
+            try:
+                segment = shmring.create_segment(self._ring_slots)
+            except (OSError, ValueError) as exc:
+                os.close(to_child_r)
+                os.close(to_parent_w)
+                os.close(to_child_w)
+                os.close(to_parent_r)
+                raise GatewayError(
+                    "the shm transport is unavailable on this host: "
+                    f"{exc}"
+                ) from exc
+        try:
+            process = self._context.Process(
+                target=shard_worker_main,
+                args=(
+                    handle.shard_id,
+                    self._factory,
+                    to_child_r,
+                    to_parent_w,
+                    tuple(close_fds),
+                    handle.checkpoint,
+                    specs,
+                    segment,
+                    self._ring_slots if segment is not None else 0,
+                ),
+                daemon=True,
+                name=f"ftoa-shard-worker-{handle.shard_id}",
+            )
+            process.start()
+            os.close(to_child_r)
+            os.close(to_parent_w)
+            handle.process = process
+            handle.parent_fds = (to_child_w, to_parent_r)
+            reader = asyncio.StreamReader(loop=loop)
+            handle.read_transport, _ = await loop.connect_read_pipe(
+                lambda: asyncio.StreamReaderProtocol(reader, loop=loop),
+                os.fdopen(to_parent_r, "rb", 0),
+            )
+            handle.reader = reader
+            w_transport, w_protocol = await loop.connect_write_pipe(
+                lambda: asyncio.streams.FlowControlMixin(loop=loop),
+                os.fdopen(to_child_w, "wb", 0),
+            )
+            handle.writer = asyncio.StreamWriter(
+                w_transport, w_protocol, None, loop
+            )
+        except Exception:
+            if segment is not None:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except OSError:  # pragma: no cover - cleanup best-effort
+                    pass
+            raise
+        if segment is not None:
+            handle.transport = shmring.ShmParentTransport(
+                segment, self._ring_slots, reader, handle.writer, process
+            )
+        else:
+            handle.transport = _PipeParentTransport(reader, handle.writer)
         handle.last_activity = loop.time()
 
     def _crash_reason(self, handle: _WorkerHandle) -> str:
@@ -988,20 +1170,19 @@ class WorkerPool:
         when the worker's state ships back.
         """
         outbox = handle.outbox
-        writer = handle.writer
         checkpoint_every = self._checkpoint_every
         try:
             while True:
                 batch = [await outbox.get()]
                 while not outbox.empty():
                     batch.append(outbox.get_nowait())
-                chunks = []
+                messages: List[Tuple[str, int, object]] = []
                 for tag, payload, future in batch:
                     seq = handle.seq
                     handle.seq = seq + 1
                     if tag != ipc.STOP:
                         handle.pending.append((tag, seq, future))
-                    chunks.append(ipc.encode_frame((tag, seq, payload)))
+                    messages.append((tag, seq, payload))
                     if tag == ipc.EVENT:
                         handle.journal.append((seq, payload))
                         handle.events_since_checkpoint += 1
@@ -1014,15 +1195,17 @@ class WorkerPool:
                             cseq = handle.seq
                             handle.seq = cseq + 1
                             handle.pending.append((ipc.CHECKPOINT, cseq, None))
-                            chunks.append(
-                                ipc.encode_frame((ipc.CHECKPOINT, cseq, None))
-                            )
-                writer.write(b"".join(chunks))
-                await writer.drain()
+                            messages.append((ipc.CHECKPOINT, cseq, None))
+                await handle.transport.send_batch(messages)
         except (ConnectionError, OSError, RuntimeError):
             # Broken pipe: the reader loop's EOF owns crash accounting;
             # this side just stops writing.
             pass
+        except GatewayError:
+            # A corrupted request ring (shm): the reader may never see
+            # an EOF for this, so the writer funnels it into the same
+            # disconnect path the reader uses.
+            self._on_disconnect(handle)
         except asyncio.CancelledError:
             raise
 
@@ -1034,65 +1217,81 @@ class WorkerPool:
         :meth:`_on_disconnect`, which hands the handle to the
         supervisor with its pending queue intact for replay.
         """
-        reader = handle.reader
         loop = asyncio.get_running_loop()
         try:
             while True:
                 try:
-                    message = await ipc.read_frame(reader)
+                    message = await handle.transport.recv()
                 except (EOFError, GatewayError):
                     self._on_disconnect(handle)
                     return
                 handle.last_activity = loop.time()
-                tag, seq, payload = message
-                if not handle.pending:  # pragma: no cover - corruption
+                if not self._dispatch_reply(handle, message):
+                    return
+                # Burst drain: pop every reply the worker already
+                # published without paying an awaited round trip per
+                # message (pipes return () — every frame needs an await).
+                try:
+                    ready = handle.transport.recv_ready()
+                except GatewayError:
                     self._on_disconnect(handle)
                     return
-                expected, expected_seq, future = handle.pending.popleft()
-                if seq != expected_seq:
-                    # A reply out of sequence means the stream is
-                    # desynchronized: pairing it with any pending future
-                    # would ack the wrong event.  Put the request back
-                    # for the supervisor's replay and drop the worker.
-                    handle.pending.appendleft((expected, expected_seq, future))
-                    self._on_disconnect(handle)
-                    return
-                if tag == ipc.ACK:
-                    _resolve(future, payload)
-                elif tag == ipc.NACK:
-                    _fail(future, _ShardRejection(payload))
-                elif tag == ipc.SNAP:
-                    handle.last_snapshot = payload
-                    _resolve(future, payload)
-                elif tag == ipc.CHKPT:
-                    if payload is not None:
-                        # Everything the worker processed before this
-                        # reply (FIFO ⇒ every seq below the request's)
-                        # is inside the checkpoint: the journal only
-                        # needs the frames after it.
-                        handle.checkpoint = payload
-                        journal = handle.journal
-                        while journal and journal[0][0] < expected_seq:
-                            journal.popleft()
-                    _resolve(future, payload)
-                elif tag == ipc.PONG:
-                    _resolve(future, None)
-                elif tag == ipc.DONE:
-                    outcome, snapshot = payload
-                    handle.outcome = outcome
-                    handle.last_snapshot = snapshot
-                    handle.closing = True
-                    _resolve(future, outcome)
-                else:  # pragma: no cover - corruption
-                    _fail(
-                        future,
-                        GatewayError(
-                            f"unknown IPC reply tag {tag!r} (expected "
-                            f"a reply to {expected!r})"
-                        ),
-                    )
+                for message in ready:
+                    if not self._dispatch_reply(handle, message):
+                        return
         except asyncio.CancelledError:
             raise
+
+    def _dispatch_reply(self, handle: _WorkerHandle, message) -> bool:
+        """Pair one reply with its pending future; False = worker dropped."""
+        tag, seq, payload = message
+        if not handle.pending:  # pragma: no cover - corruption
+            self._on_disconnect(handle)
+            return False
+        expected, expected_seq, future = handle.pending.popleft()
+        if seq != expected_seq:
+            # A reply out of sequence means the stream is
+            # desynchronized: pairing it with any pending future
+            # would ack the wrong event.  Put the request back
+            # for the supervisor's replay and drop the worker.
+            handle.pending.appendleft((expected, expected_seq, future))
+            self._on_disconnect(handle)
+            return False
+        if tag == ipc.ACK:
+            _resolve(future, payload)
+        elif tag == ipc.NACK:
+            _fail(future, _ShardRejection(payload))
+        elif tag == ipc.SNAP:
+            handle.last_snapshot = payload
+            _resolve(future, payload)
+        elif tag == ipc.CHKPT:
+            if payload is not None:
+                # Everything the worker processed before this
+                # reply (FIFO ⇒ every seq below the request's)
+                # is inside the checkpoint: the journal only
+                # needs the frames after it.
+                handle.checkpoint = payload
+                journal = handle.journal
+                while journal and journal[0][0] < expected_seq:
+                    journal.popleft()
+            _resolve(future, payload)
+        elif tag == ipc.PONG:
+            _resolve(future, None)
+        elif tag == ipc.DONE:
+            outcome, snapshot = payload
+            handle.outcome = outcome
+            handle.last_snapshot = snapshot
+            handle.closing = True
+            _resolve(future, outcome)
+        else:  # pragma: no cover - corruption
+            _fail(
+                future,
+                GatewayError(
+                    f"unknown IPC reply tag {tag!r} (expected "
+                    f"a reply to {expected!r})"
+                ),
+            )
+        return True
 
     def _on_disconnect(self, handle: _WorkerHandle) -> None:
         """Pipe EOF/corruption: clean after FINISH/STOP, else supervised.

@@ -1,5 +1,6 @@
 """Tests for the parallel sweep engine (parity, determinism, specs)."""
 
+import multiprocessing
 import pickle
 
 import pytest
@@ -14,11 +15,14 @@ from repro.experiments.parallel import (
     SweepExecutor,
     SyntheticPoint,
     _execute_cell,
+    _point_context,
+    _SHARED_POINTS,
 )
 from repro.streams.synthetic import SyntheticConfig
 
 TINY = 0.01
 ALGOS = ("SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
 
 class TestExecutor:
@@ -135,6 +139,37 @@ class TestParallelParity:
         )
         cpu = result.series("POLAR", "cpu_seconds")
         assert all(value is not None and value >= 0 for value in cpu)
+
+
+class TestForkCoW:
+    @pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+    def test_pool_workers_never_rebuild_points(self):
+        """Forked pool workers inherit the parent's prebuilt points via
+        copy-on-write, so no cell regenerates an instance or guide."""
+        result = run_fig4_workers(
+            scale=TINY, measure_memory=False, algorithms=("POLAR",), jobs=2
+        )
+        assert result.notes["worker_rebuilds"] == "0"
+
+    def test_serial_runs_have_no_worker_rebuilds_note(self):
+        """The note counts *pool* rebuilds; the serial path has none."""
+        result = run_fig4_workers(
+            scale=TINY, measure_memory=False, algorithms=("POLAR",), jobs=1
+        )
+        assert "worker_rebuilds" not in result.notes
+
+    def test_point_context_prefers_the_shared_map(self):
+        """A point found in the fork-inherited map is returned as-is,
+        with no rebuild and no LRU churn."""
+        point = SyntheticPoint(1.0, SyntheticConfig(n_workers=5, n_tasks=5))
+        sentinel = (object(), object(), {"prebuilt": "yes"})
+        _SHARED_POINTS[point] = sentinel
+        try:
+            built, rebuilt = _point_context(point)
+            assert built is sentinel
+            assert rebuilt is False
+        finally:
+            _SHARED_POINTS.clear()
 
 
 class TestTypedArrivals:

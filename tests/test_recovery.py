@@ -601,17 +601,16 @@ class TestIpcEdgeCases:
         """A reply too large to frame must not kill the worker: the
         requester gets a NACK naming the limit instead of a torn pipe."""
 
-        class StubEndpoint:
+        class StubChannel:
             def __init__(self):
                 self.sent = []
 
-            def send(self, message):
-                tag, _seq, _payload = message
+            def send(self, tag, seq, payload):
                 if tag == ipc.ACK:
                     raise GatewayError("frame of 999 bytes exceeds the limit")
-                self.sent.append(message)
+                self.sent.append((tag, seq, payload))
 
-        stub = StubEndpoint()
+        stub = StubChannel()
         workers._send_reply(stub, ipc.ACK, 7, "enormous payload")
         assert len(stub.sent) == 1
         tag, seq, payload = stub.sent[0]

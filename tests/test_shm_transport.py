@@ -1,0 +1,609 @@
+"""Tests for the shared-memory worker transport (repro.serving.shmring).
+
+Covers the record codec (pack/unpack roundtrips across all three event
+kinds and both ack shapes, extreme coordinate/id/deadline values, the
+escape conditions), the SPSC ring protocol (wraparound, full-ring
+backpressure, torn-write detection via the sequence word, poisoned
+records), the transport seam's validation, and the headline gates: an
+shm-transport worker pool bit-identical to the pipe transport and the
+in-process gateway on churn-free AND churned streams, including
+kill-mid-stream recovery and fault injection on the shm path.
+"""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.core.engine import GreedyMatcher
+from repro.core.outcome import Decision
+from repro.errors import ConfigurationError, GatewayError
+from repro.model.entities import Task, Worker
+from repro.model.events import TASK, WORKER, Arrival, Departure, Move
+from repro.serving import ipc, shmring
+from repro.serving.faults import FaultPlan
+from repro.serving.gateway import Gateway, render_prometheus
+from repro.serving.workers import WorkerPool
+from repro.spatial.geometry import Point
+from repro.streams.churn import ChurnConfig
+
+needs_shm = pytest.mark.skipif(
+    not shmring.shm_available(),
+    reason="no shared-memory segments on this host",
+)
+
+_FAST_RESTART = {"restart_backoff": 0.01, "restart_backoff_cap": 0.05}
+
+I64_MAX = 2**63 - 1
+
+
+def _slot() -> bytearray:
+    return bytearray(shmring.SLOT_SIZE)
+
+
+def _request_roundtrip(tag, seq, payload):
+    buf = _slot()
+    assert shmring.pack_request(buf, 0, tag, seq, payload) is True
+    return shmring.unpack_request(buf, 0)
+
+
+def _reply_roundtrip(tag, seq, payload):
+    buf = _slot()
+    assert shmring.pack_reply(buf, 0, tag, seq, payload) is True
+    return shmring.unpack_reply(buf, 0)
+
+
+class TestRequestCodec:
+    @pytest.mark.parametrize("side, cls", [(WORKER, Worker), (TASK, Task)])
+    def test_arrival_roundtrip(self, side, cls):
+        entity = cls(id=7, location=Point(3.25, -4.5), start=10.0, duration=5.0)
+        event = Arrival(time=10.0, seq=42, kind=side, entity=entity)
+        tag, seq, decoded = _request_roundtrip(ipc.EVENT, 9, event)
+        assert tag == ipc.EVENT
+        assert seq == 9
+        assert decoded == event
+        assert type(decoded.entity) is cls
+
+    def test_arrival_extreme_values(self):
+        """Max-width ids, huge/negative-zero coordinates, and deadline
+        edge values all survive the fixed-width slot bit-exactly."""
+        entity = Worker(
+            id=I64_MAX,
+            location=Point(1e308, -0.0),
+            start=1e15,
+            duration=1e-12,
+        )
+        event = Arrival(time=1e15, seq=I64_MAX, kind=WORKER, entity=entity)
+        _tag, _seq, decoded = _request_roundtrip(ipc.EVENT, 2**64 - 1, event)
+        assert decoded.entity.id == I64_MAX
+        assert decoded.entity.location.x == 1e308
+        assert math.copysign(1.0, decoded.entity.location.y) == -1.0
+        assert decoded.entity.duration == 1e-12
+        assert decoded.entity.deadline == entity.deadline
+        assert decoded.seq == I64_MAX
+
+    @pytest.mark.parametrize("side", [WORKER, TASK])
+    def test_departure_roundtrip(self, side):
+        event = Departure(time=3.5, seq=11, kind=side, object_id=I64_MAX)
+        tag, seq, decoded = _request_roundtrip(ipc.EVENT, 4, event)
+        assert tag == ipc.EVENT
+        assert seq == 4
+        assert decoded == event
+
+    @pytest.mark.parametrize("side", [WORKER, TASK])
+    def test_move_roundtrip(self, side):
+        event = Move(
+            time=6.0, seq=13, kind=side, object_id=5,
+            location=Point(-1e308, 2.5),
+        )
+        tag, seq, decoded = _request_roundtrip(ipc.EVENT, 5, event)
+        assert tag == ipc.EVENT
+        assert seq == 5
+        assert decoded == event
+
+    @pytest.mark.parametrize(
+        "tag",
+        [ipc.SNAPSHOT, ipc.FINISH, ipc.CHECKPOINT, ipc.PING, ipc.STOP],
+    )
+    def test_control_roundtrip(self, tag):
+        assert _request_roundtrip(tag, 77, None) == (tag, 77, None)
+
+    def test_tagged_arrival_escapes_without_touching_the_buffer(self):
+        entity = Worker(
+            id=1, location=Point(1.0, 1.0), start=0.0, duration=1.0,
+            tags=("vip",),
+        )
+        event = Arrival(time=0.0, seq=0, kind=WORKER, entity=entity)
+        buf = _slot()
+        assert shmring.pack_request(buf, 0, ipc.EVENT, 0, event) is False
+        assert bytes(buf) == bytes(shmring.SLOT_SIZE)
+
+    def test_oversized_ids_escape(self):
+        entity = Worker(
+            id=2**63, location=Point(1.0, 1.0), start=0.0, duration=1.0
+        )
+        event = Arrival(time=0.0, seq=0, kind=WORKER, entity=entity)
+        assert shmring.pack_request(_slot(), 0, ipc.EVENT, 0, event) is False
+        big_seq = Departure(time=0.0, seq=2**63, kind=TASK, object_id=1)
+        assert shmring.pack_request(_slot(), 0, ipc.EVENT, 0, big_seq) is False
+
+    def test_bad_ipc_seq_escapes(self):
+        event = Departure(time=0.0, seq=0, kind=WORKER, object_id=1)
+        assert shmring.pack_request(_slot(), 0, ipc.EVENT, -1, event) is False
+        assert shmring.pack_request(_slot(), 0, ipc.EVENT, 2**64, event) is False
+
+    def test_unknown_payloads_escape(self):
+        assert shmring.pack_request(_slot(), 0, ipc.EVENT, 0, object()) is False
+        assert shmring.pack_request(_slot(), 0, ipc.SNAPSHOT, 0, "x") is False
+        assert shmring.pack_request(_slot(), 0, "mystery", 0, None) is False
+
+    def test_escape_record_decodes_to_esc(self):
+        buf = _slot()
+        shmring.pack_escape(buf, 0, 12, reply=False)
+        assert shmring.unpack_request(buf, 0) == (shmring.ESC, 12, None)
+
+    def test_poisoned_record_raises(self):
+        buf = _slot()
+        shmring.pack_poison(buf, 0, 3)
+        with pytest.raises(GatewayError, match="corrupt shm request"):
+            shmring.unpack_request(buf, 0)
+
+
+class TestReplyCodec:
+    @pytest.mark.parametrize(
+        "decision",
+        [
+            Decision(Decision.ASSIGNED, target_area=3, partner_id=9),
+            Decision(Decision.DISPATCHED, target_area=0, partner_id=I64_MAX),
+            Decision(Decision.STAY),
+            Decision(Decision.WAIT, target_area=17),
+            Decision(Decision.IGNORED),
+            Decision(Decision.DEPARTED),
+        ],
+    )
+    def test_ack_roundtrip(self, decision):
+        tag, seq, decoded = _reply_roundtrip(ipc.ACK, 21, decision)
+        assert tag == ipc.ACK
+        assert seq == 21
+        assert decoded == decision
+        assert decoded.partner_id == decision.partner_id
+        assert decoded.target_area == decision.target_area
+
+    def test_pong_roundtrip(self):
+        assert _reply_roundtrip(ipc.PONG, 8, None) == (ipc.PONG, 8, None)
+
+    def test_variable_replies_escape(self):
+        assert shmring.pack_reply(_slot(), 0, ipc.NACK, 0, "boom") is False
+        assert shmring.pack_reply(_slot(), 0, ipc.SNAP, 0, object()) is False
+        assert shmring.pack_reply(_slot(), 0, ipc.CHKPT, 0, object()) is False
+        assert shmring.pack_reply(_slot(), 0, ipc.DONE, 0, (None, None)) is False
+
+    def test_exotic_decisions_escape(self):
+        unknown = Decision("levitate")
+        assert shmring.pack_reply(_slot(), 0, ipc.ACK, 0, unknown) is False
+        huge = Decision(Decision.ASSIGNED, partner_id=2**63)
+        assert shmring.pack_reply(_slot(), 0, ipc.ACK, 0, huge) is False
+
+    def test_escape_record_decodes_to_esc(self):
+        buf = _slot()
+        shmring.pack_escape(buf, 0, 30, reply=True)
+        assert shmring.unpack_reply(buf, 0) == (shmring.ESC, 30, None)
+
+    def test_corrupt_kind_and_action_raise(self):
+        buf = _slot()
+        shmring.pack_poison(buf, 0, 1)
+        with pytest.raises(GatewayError, match="corrupt shm reply"):
+            shmring.unpack_reply(buf, 0)
+
+
+def _bare_ring(capacity: int):
+    buf = bytearray(shmring.HEADER_SIZE + capacity * shmring.SLOT_SIZE)
+    ring = shmring.ShmRing(
+        buf, shmring.HEADER_SIZE, capacity, produced_off=0, consumed_off=8
+    )
+    ring.init_slots()
+    return ring, buf
+
+
+class TestRingProtocol:
+    def test_wraparound_preserves_order(self):
+        """Ten records through a four-slot ring come out FIFO."""
+        ring, buf = _bare_ring(4)
+        produced = consumed = 0
+        seen = []
+        for _ in range(10):
+            offset = ring.try_reserve(produced)
+            assert offset is not None
+            assert shmring.pack_request(buf, offset, ipc.PING, produced, None)
+            ring.publish(produced)
+            produced += 1
+            offset = ring.try_consume(consumed)
+            assert offset is not None
+            seen.append(shmring.unpack_request(buf, offset)[1])
+            ring.free(consumed)
+            consumed += 1
+        assert seen == list(range(10))
+        assert ring.depth() == 0
+
+    def test_full_ring_backpressure(self):
+        ring, buf = _bare_ring(4)
+        for pos in range(4):
+            offset = ring.try_reserve(pos)
+            assert offset is not None
+            shmring.pack_request(buf, offset, ipc.PING, pos, None)
+            ring.publish(pos)
+        assert ring.try_reserve(4) is None  # full: producer must wait
+        assert ring.depth() == 4
+        offset = ring.try_consume(0)
+        assert offset is not None
+        ring.free(0)
+        assert ring.try_reserve(4) is not None  # one slot came back
+
+    def test_empty_ring_consumer_waits(self):
+        ring, _buf = _bare_ring(4)
+        assert ring.try_consume(0) is None
+
+    def test_torn_write_detected_by_sequence_word(self):
+        """A scribbled sequence word — neither free, occupied, ready
+        nor pending — is corruption on both sides."""
+        import struct
+
+        ring, buf = _bare_ring(4)
+        struct.pack_into("<Q", buf, ring.base, 12345)
+        with pytest.raises(GatewayError, match="ring corruption"):
+            ring.try_consume(0)
+        with pytest.raises(GatewayError, match="ring corruption"):
+            ring.try_reserve(0)
+
+    def test_depth_tracks_published_minus_consumed(self):
+        ring, buf = _bare_ring(8)
+        for pos in range(3):
+            offset = ring.try_reserve(pos)
+            shmring.pack_request(buf, offset, ipc.PING, pos, None)
+            ring.publish(pos)
+        assert ring.depth() == 3
+        ring.try_consume(0)
+        ring.free(0)
+        assert ring.depth() == 2
+
+
+class TestRecvReadyDrain:
+    """The reader loop's synchronous burst drain over the reply ring."""
+
+    def _transport(self, capacity=8):
+        import types
+
+        segment = types.SimpleNamespace(
+            buf=bytearray(shmring.segment_size(capacity))
+        )
+        shmring.request_ring(segment, capacity).init_slots()
+        replies = shmring.reply_ring(segment, capacity)
+        replies.init_slots()
+        transport = shmring.ShmParentTransport(
+            segment, capacity, reader=None, writer=None, process=None
+        )
+        return transport, replies, segment.buf
+
+    def _publish_ack(self, replies, buf, pos):
+        offset = replies.try_reserve(pos)
+        assert offset is not None
+        decision = Decision(Decision.ASSIGNED, partner_id=pos)
+        assert shmring.pack_reply(buf, offset, ipc.ACK, pos, decision)
+        replies.publish(pos)
+
+    def test_drains_a_published_burst_without_awaiting(self):
+        transport, replies, buf = self._transport()
+        for pos in range(3):
+            self._publish_ack(replies, buf, pos)
+        messages = transport.recv_ready()
+        assert [seq for _tag, seq, _payload in messages] == [0, 1, 2]
+        assert all(tag == ipc.ACK for tag, _seq, _payload in messages)
+        assert [payload.partner_id for _t, _s, payload in messages] == [0, 1, 2]
+        assert transport.recv_ready() == []  # empty ring: nothing to pop
+        assert replies.depth() == 0
+
+    def test_stops_short_of_an_escape_slot(self):
+        """ESC needs an awaited pipe read: the drain must leave it (and
+        everything after it) for the next recv()."""
+        transport, replies, buf = self._transport()
+        self._publish_ack(replies, buf, 0)
+        offset = replies.try_reserve(1)
+        shmring.pack_escape(buf, offset, 1, reply=True)
+        replies.publish(1)
+        self._publish_ack(replies, buf, 2)
+        messages = transport.recv_ready()
+        assert [seq for _tag, seq, _payload in messages] == [0]
+        assert replies.depth() == 2  # ESC slot and its successor untouched
+        assert transport.recv_ready() == []  # still parked before the ESC
+
+    def test_wraparound_burst_drains_in_order(self):
+        transport, replies, buf = self._transport(capacity=4)
+        produced = 0
+        seen = []
+        for _round in range(3):
+            for _ in range(3):
+                self._publish_ack(replies, buf, produced)
+                produced += 1
+            seen.extend(
+                seq for _tag, seq, _payload in transport.recv_ready()
+            )
+        assert seen == list(range(9))
+
+    def test_pipe_transport_has_no_sync_fast_path(self):
+        from repro.serving.workers import _PipeParentTransport
+
+        assert _PipeParentTransport(None, None).recv_ready() == ()
+
+
+@needs_shm
+class TestSegment:
+    def test_segment_rings_are_disjoint(self):
+        segment = shmring.create_segment(4)
+        try:
+            requests = shmring.request_ring(segment, 4)
+            replies = shmring.reply_ring(segment, 4)
+            offset = requests.try_reserve(0)
+            shmring.pack_request(segment.buf, offset, ipc.PING, 1, None)
+            requests.publish(0)
+            assert requests.depth() == 1
+            assert replies.depth() == 0
+            assert replies.try_consume(0) is None
+            requests = replies = None
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_capacity_floor(self):
+        with pytest.raises(GatewayError, match="capacity"):
+            shmring.create_segment(1)
+
+
+class TestTransportValidation:
+    def test_pool_rejects_unknown_transport(self):
+        with pytest.raises(GatewayError, match="transport"):
+            WorkerPool(1, lambda shard: None, transport="carrier-pigeon")
+
+    def test_pool_rejects_tiny_rings(self):
+        with pytest.raises(GatewayError, match="ring_slots"):
+            WorkerPool(1, lambda shard: None, transport="shm", ring_slots=1)
+
+    def test_inline_gateway_rejects_shm(self, small_instance):
+        with pytest.raises(GatewayError, match="worker processes"):
+            Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                backend="inline",
+                transport="shm",
+            )
+
+    def test_gateway_rejects_unknown_transport(self, small_instance):
+        with pytest.raises(GatewayError, match="unknown transport"):
+            Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                backend="process",
+                transport="telepathy",
+            )
+
+
+def _greedy_factory(instance):
+    return lambda shard: GreedyMatcher(instance.travel, indexed=False)
+
+
+async def _drive(instance, events, backend, n_shards, **kwargs):
+    gateway = Gateway(
+        instance.grid,
+        _greedy_factory(instance),
+        n_shards=n_shards,
+        backend=backend,
+        **kwargs,
+    )
+    await gateway.start()
+    for event in events:
+        await gateway.submit(event)
+    snapshot = await gateway.drain()
+    outcomes = gateway.shard_outcomes()
+    await gateway.close()
+    return snapshot, outcomes
+
+
+def _assert_bit_identical(outcomes_a, outcomes_b):
+    assert len(outcomes_a) == len(outcomes_b)
+    for a, b in zip(outcomes_a, outcomes_b):
+        assert a.matching.pairs() == b.matching.pairs()
+        assert a.worker_decisions == b.worker_decisions
+        assert a.task_decisions == b.task_decisions
+        assert a.ignored_workers == b.ignored_workers
+        assert a.ignored_tasks == b.ignored_tasks
+        assert a.departed_workers == b.departed_workers
+        assert a.departed_tasks == b.departed_tasks
+        assert a.moves == b.moves
+
+
+@needs_shm
+class TestShmParity:
+    """The acceptance gate: shm ≡ pipe ≡ inline at equal shard counts."""
+
+    def test_churn_free_parity_across_all_transports(self, small_instance):
+        events = small_instance.arrival_stream()
+        _s, inline = asyncio.run(_drive(small_instance, events, "inline", 3))
+        _s, pipe = asyncio.run(
+            _drive(small_instance, events, "process", 3, transport="pipe")
+        )
+        snap, shm = asyncio.run(
+            _drive(small_instance, events, "process", 3, transport="shm")
+        )
+        _assert_bit_identical(inline, pipe)
+        _assert_bit_identical(inline, shm)
+        assert snap.transport == "shm"
+        assert snap.malformed == 0
+
+    def test_churned_parity_across_all_transports(self, small_instance):
+        stream = small_instance.churn_stream(
+            ChurnConfig(departure_rate=0.2, move_rate=0.1, seed=1)
+        )
+        _s, inline = asyncio.run(_drive(small_instance, stream, "inline", 3))
+        _s, pipe = asyncio.run(
+            _drive(small_instance, stream, "process", 3, transport="pipe")
+        )
+        snap, shm = asyncio.run(
+            _drive(small_instance, stream, "process", 3, transport="shm")
+        )
+        _assert_bit_identical(inline, pipe)
+        _assert_bit_identical(inline, shm)
+        assert snap.moves > 0 or snap.departed > 0
+
+    def test_tiny_ring_backpressure_parity(self, small_instance):
+        """A 4-slot ring forces constant full-ring stalls; the stream
+        still lands bit-identical (the backpressure path is lossless)."""
+        events = small_instance.arrival_stream()
+        _s, inline = asyncio.run(_drive(small_instance, events, "inline", 2))
+        _s, shm = asyncio.run(
+            _drive(
+                small_instance, events, "process", 2, transport="shm",
+                worker_config={"ring_slots": 4},
+            )
+        )
+        _assert_bit_identical(inline, shm)
+
+
+@needs_shm
+class TestShmRecovery:
+    """PR 6's recovery machinery must be transport-blind."""
+
+    def test_kill_mid_stream_bit_identical_on_shm(self, small_instance):
+        events = small_instance.arrival_stream()
+        _s, ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance, events, "process", 3, transport="shm",
+                fault_plan=FaultPlan.parse("kill:shard=1,at=25"),
+                worker_config=dict(_FAST_RESTART, checkpoint_every=16),
+            )
+        )
+        _assert_bit_identical(ref, out)
+        assert snap.worker_crashes == 1
+        assert snap.worker_restarts == 1
+        assert snap.transport == "shm"
+
+    def test_kill_mid_churned_stream_bit_identical_on_shm(self, small_instance):
+        stream = small_instance.churn_stream(
+            ChurnConfig(departure_rate=0.2, move_rate=0.1, seed=1)
+        )
+        _s, ref = asyncio.run(_drive(small_instance, stream, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance, stream, "process", 3, transport="shm",
+                fault_plan=FaultPlan.parse("kill:shard=1,at=20"),
+                worker_config=dict(_FAST_RESTART, checkpoint_every=16),
+            )
+        )
+        _assert_bit_identical(ref, out)
+        assert snap.worker_crashes == 1
+        assert snap.worker_restarts == 1
+
+    @pytest.mark.parametrize("action", ["torn", "corrupt", "drop"])
+    def test_shm_stream_corruption_recovers(self, small_instance, action):
+        """Poisoned slots (the shm shape of torn/corrupt) and dropped
+        events funnel into the same supervised recovery as on pipes."""
+        events = small_instance.arrival_stream()
+        _s, ref = asyncio.run(_drive(small_instance, events, "inline", 3))
+        snap, out = asyncio.run(
+            _drive(
+                small_instance, events, "process", 3, transport="shm",
+                fault_plan=FaultPlan.parse(f"{action}:shard=1,at=10"),
+                worker_config=dict(_FAST_RESTART, checkpoint_every=16),
+            )
+        )
+        _assert_bit_identical(ref, out)
+        assert snap.worker_crashes == 1
+        assert snap.worker_restarts == 1
+
+
+@needs_shm
+class TestShmObservability:
+    def test_snapshot_and_prometheus_surface_the_transport(
+        self, small_instance
+    ):
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                backend="process",
+                transport="shm",
+            )
+            await gateway.start()
+            for event in small_instance.arrival_stream()[:40]:
+                await gateway.submit(event)
+            snapshot = await gateway.snapshot_refreshed()
+            await gateway.drain()
+            await gateway.close()
+            return snapshot
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot.transport == "shm"
+        payload = snapshot.as_dict()
+        assert payload["transport"] == "shm"
+        for row in payload["shards"]:
+            assert row["ring_request_depth"] >= 0
+            assert row["ring_reply_depth"] >= 0
+        text = render_prometheus(snapshot)
+        assert 'ftoa_gateway_transport{transport="shm"} 1' in text
+        assert 'ftoa_shard_ring_depth{shard="0",ring="request"}' in text
+        assert 'ftoa_shard_ring_depth{shard="1",ring="reply"}' in text
+
+    def test_pipe_snapshot_has_no_ring_rows(self, small_instance):
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                backend="process",
+                transport="pipe",
+            )
+            await gateway.start()
+            snapshot = gateway.snapshot()
+            await gateway.drain()
+            await gateway.close()
+            return snapshot
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot.transport == "pipe"
+        for row in snapshot.as_dict()["shards"]:
+            assert "ring_request_depth" not in row
+        assert 'ftoa_gateway_transport{transport="pipe"} 1' in (
+            render_prometheus(snapshot)
+        )
+
+
+class TestServeCliTransport:
+    def test_parser_accepts_transport(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "x.jsonl", "--workers", "2", "--transport", "shm"]
+        )
+        assert args.transport == "shm"
+
+    def test_transport_defaults_to_pipe(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "x.jsonl"])
+        assert args.transport == "pipe"
+
+    def test_shm_without_workers_is_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream = tmp_path / "events.jsonl"
+        code = main(
+            ["dump", "--workers", "20", "--tasks", "20", "--out", str(stream)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", str(stream), "--transport", "shm", "--port", "0",
+             "--metrics-port", "0"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
