@@ -305,6 +305,69 @@ def _bench_gateway(n_per_side: int):
     }
 
 
+def _bench_telemetry_overhead(n_per_side: int):
+    """Flat-out ingest cost of stage telemetry at its default sampling.
+
+    The same POLAR socket path as the gateway probe, driven twice:
+    default :class:`Telemetry` (1-in-128 stamp sampling) versus
+    telemetry disabled (``sample_every=0``).  Best-of-3 per mode; the
+    relative throughput delta is the subsystem's whole per-event cost
+    (one counter decrement per unsampled event, one type check per hop,
+    plus the sampled 1/128's stamp carrier).  Parity between the two
+    modes is asserted before the overhead is reported.
+    """
+    import asyncio
+
+    from repro.core.engine import PolarMatcher
+    from repro.serving.gateway import Gateway
+    from repro.serving.loadgen import run_loadgen
+    from repro.serving.telemetry import DEFAULT_SAMPLE_EVERY, Telemetry
+
+    instance, guide = _polar_setup(n_per_side)
+    events = instance.arrival_stream()
+
+    async def drive(sample_every):
+        gateway = Gateway(
+            instance.grid,
+            lambda shard: PolarMatcher(guide),
+            n_shards=1,
+            queue_size=4096,
+            telemetry=Telemetry(sample_every=sample_every, n_shards=1),
+        )
+        await gateway.start(port=0)
+        report = await run_loadgen(events, port=gateway.tcp_port)
+        snapshot = await gateway.close()
+        return report, snapshot
+
+    def best_rate(sample_every, rounds=3):
+        best = None
+        for _ in range(rounds):
+            report, snapshot = asyncio.run(drive(sample_every))
+            assert report.acked == len(events), "loadgen lost acks"
+            if best is None or report.arrivals_per_sec > best[0].arrivals_per_sec:
+                best = (report, snapshot)
+        return best
+
+    off_report, off_snapshot = best_rate(0)
+    on_report, on_snapshot = best_rate(DEFAULT_SAMPLE_EVERY)
+    assert on_snapshot.matched == off_snapshot.matched, "parity violated"
+    assert off_report.stage_latency is None, "disabled telemetry leaked stamps"
+    assert on_report.stage_latency is not None, "no stage latency sampled"
+    off_rate = off_report.arrivals_per_sec
+    on_rate = on_report.arrivals_per_sec
+    return {
+        "arrivals": len(events),
+        "sample_every": DEFAULT_SAMPLE_EVERY,
+        "telemetry_off_arrivals_per_sec": round(off_rate, 1),
+        "telemetry_on_arrivals_per_sec": round(on_rate, 1),
+        # Relative throughput cost of default-rate telemetry; can go
+        # slightly negative on a noisy host (run-to-run jitter).
+        "overhead": round((off_rate - on_rate) / off_rate, 4),
+        "sampled_events": on_report.stage_latency["sampled"],
+        "parity": True,
+    }
+
+
 def _bench_worker_pool(n_per_side: int, n_workers: int):
     """Multi-process shard workers versus the in-process sharded gateway.
 
@@ -707,6 +770,14 @@ def main(argv=None) -> int:
     print(f"  {gateway['arrivals_per_sec']} arrivals/s sustained; paced@5k/s "
           f"p50 {gateway['paced_latency_ms_p50']}ms, "
           f"p99 {gateway['paced_latency_ms_p99']}ms")
+    telemetry_n = max(1_000, polar_n // 2)
+    print(f"[telemetry overhead: {2 * telemetry_n} arrivals, default "
+          f"1/128 sampling vs disabled]")
+    telemetry_overhead = _bench_telemetry_overhead(telemetry_n)
+    print(f"  disabled {telemetry_overhead['telemetry_off_arrivals_per_sec']}"
+          f" arrivals/s -> default sampling "
+          f"{telemetry_overhead['telemetry_on_arrivals_per_sec']} arrivals/s "
+          f"(overhead {telemetry_overhead['overhead']})")
     pool_n = max(400, polar_n // 4)
     print(f"[worker pool: {2 * pool_n} arrivals, {args.workers} shard "
           f"processes, dense greedy]")
@@ -768,12 +839,14 @@ def main(argv=None) -> int:
             "gateway_ingest_min_arrivals_per_sec": 10_000,
             "worker_pool_speedup_min_on_multi_core": 1.5,
             "transport_overhead_ratio_max": 0.5,
+            "telemetry_overhead_max": 0.02,
         },
         "polar_event_loop": polar,
         "cellindex_sparse_queries": cellindex,
         "tgoa_indexed": tgoa,
         "session_layer": session,
         "gateway": gateway,
+        "telemetry_overhead": telemetry_overhead,
         "worker_pool": worker_pool,
         "transport_comparison": transport_comparison,
         "worker_recovery": worker_recovery,
@@ -806,6 +879,14 @@ def main(argv=None) -> int:
             "for-multi-core convention as "
             "worker_pool_speedup_min_on_multi_core (parity is asserted "
             "regardless)"
+        )
+    if cpu_count == 1:
+        snapshot["telemetry_overhead"]["note"] = (
+            "host exposes 1 core: the loadgen and the gateway share it, "
+            "so the measured delta includes scheduler noise comparable "
+            "to the ~2% budget itself; the recorded value is best-of-3 "
+            "per mode — rerun on an idle multi-core host for a clean "
+            "number (parity is asserted regardless)"
         )
     args.out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"[written to {args.out}]")

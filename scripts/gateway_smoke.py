@@ -38,7 +38,14 @@ over HTTP, drains, and asserts:
 * with ``--chaos restart-storm``, a sticky fault crashes one shard past
   its restart cap: the shard must degrade to clean error acks (never a
   hang), the survivors stay bit-identical shards, and the health rows /
-  Prometheus gauges must say so.
+  Prometheus gauges must say so;
+* ``/metrics`` exposes the telemetry stage-duration histogram series
+  (``ftoa_gateway_stage_duration_seconds_bucket{stage=...,shard=...}``)
+  with a non-zero sampled count — asserted on every leg;
+* with ``--trace out.json``, the ``/trace`` endpoint must serve a
+  well-formed Chrome ``trace_event`` document whose spans cover **all
+  five pipeline stages** (ingest/dispatch/transport/match/ack); the
+  document is written to the given path.
 
 Exits non-zero on any mismatch, so CI can gate on it.
 """
@@ -208,8 +215,39 @@ async def smoke(args) -> int:
 
     snapshot = json.loads(await _http_get(gateway.metrics_port, "/snapshot"))
     metrics = await _http_get(gateway.metrics_port, "/metrics")
+    trace_doc = None
+    if args.trace:
+        trace_doc = json.loads(await _http_get(gateway.metrics_port, "/trace"))
     await gateway.close()
     outcomes = gateway.shard_outcomes()
+
+    assert "ftoa_gateway_stage_duration_seconds_bucket" in metrics, (
+        "/metrics missing the telemetry stage-duration histogram series"
+    )
+    assert f'stage="match",shard="{n_shards - 1}"' in metrics, (
+        "/metrics missing per-shard stage histogram labels"
+    )
+    assert "ftoa_gateway_telemetry_sampled_total 0" not in metrics, (
+        "telemetry sampled no events — the sampling gate is broken"
+    )
+    if trace_doc is not None:
+        from repro.serving.telemetry import STAGES
+
+        spans = [e for e in trace_doc["traceEvents"] if e.get("ph") == "X"]
+        names = {e["name"] for e in spans}
+        assert names == set(STAGES), (
+            f"trace is missing pipeline stages: {set(STAGES) - names}"
+        )
+        assert trace_doc["otherData"]["sampled_events"] > 0
+        for span in spans:
+            assert span["dur"] >= 0 and span["ts"] > 0, span
+        with open(args.trace, "w") as handle:
+            json.dump(trace_doc, handle)
+        print(
+            f"[trace: {len(spans)} spans covering all {len(names)} stages "
+            f"({trace_doc['otherData']['sampled_events']} sampled events) "
+            f"written to {args.trace}]"
+        )
 
     if backend == "process":
         assert (
@@ -390,6 +428,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--move-rate", type=float, default=0.0,
         help="move rate to sample into the stream (default 0)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="fetch /trace, validate the Chrome trace document covers "
+        "every pipeline stage, and write it to PATH",
     )
     args = parser.parse_args(argv)
     return asyncio.run(smoke(args))

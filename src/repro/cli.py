@@ -43,6 +43,7 @@ latency percentiles.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from pathlib import Path
@@ -283,6 +284,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="worker velocity override (default: the config record's)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the telemetry trace recorder as Chrome trace_event "
+        "JSON on shutdown (chrome://tracing / Perfetto; the live ring "
+        "is also at /trace on the metrics port)",
+    )
+    serve.add_argument(
+        "--sample-every",
+        type=int,
+        default=None,
+        help="telemetry sampling rate: stamp 1 in N ingested events "
+        "(default 128; 1 = every event, 0 = disable telemetry)",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="threshold for the structured per-shard loggers (default "
+        "info; the startup banner and drain summary always print)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines instead of plain text",
     )
     _add_guide_arguments(serve)
 
@@ -723,6 +751,44 @@ def _check_port(value: int, flag: str) -> int:
     return value
 
 
+class _JsonLogFormatter(logging.Formatter):
+    """One JSON object per log record (``--log-json``)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        import json
+
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def _configure_logging(args) -> None:
+    """Point the ``repro`` logger tree at stderr for a serve run.
+
+    The gateway logs through per-shard child loggers
+    (``repro.serving.gateway.shard.N``), so one handler here covers the
+    whole serving stack; repeated configuration (tests run ``serve``
+    many times in-process) replaces the handler instead of stacking.
+    """
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    if args.log_json:
+        handler.setFormatter(_JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+        )
+    logger.handlers = [handler]
+    logger.setLevel(getattr(logging, args.log_level.upper()))
+    logger.propagate = False
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -758,6 +824,18 @@ def _cmd_serve(args) -> int:
                 "pass --workers N"
             )
         fault_plan = FaultPlan.parse(args.fault_plan)
+    _configure_logging(args)
+    telemetry = None
+    if args.sample_every is not None:
+        from repro.serving.telemetry import Telemetry
+
+        if args.sample_every < 0:
+            raise ConfigurationError(
+                f"--sample-every must be >= 0, got {args.sample_every}"
+            )
+        telemetry = Telemetry(
+            sample_every=args.sample_every, n_shards=args.shards
+        )
     config, events = _load_jsonl(args.config)
     grid, timeline, travel = _replay_context(config, args.speed)
     factory = _matcher_factory(args, events, grid, timeline, travel)
@@ -772,6 +850,7 @@ def _cmd_serve(args) -> int:
         fault_plan=fault_plan,
         auth_token=args.auth_token,
         transport=args.transport,
+        telemetry=telemetry,
     )
     return asyncio.run(_serve_async(gateway, args))
 
@@ -828,12 +907,21 @@ async def _serve_async(gateway, args) -> int:
     )
     snapshot = await gateway.wait_drained()
     await gateway.close()
+    if getattr(args, "trace", None):
+        import json
+
+        with open(args.trace, "w") as handle:
+            json.dump(gateway.telemetry.chrome_trace(), handle)
+        print(f"[trace written to {args.trace}]", flush=True)
     print(snapshot.summary())
     from repro.serving.workers import ShardOutcome
 
+    logger = logging.getLogger("repro.cli.serve")
     for shard_id, outcome in enumerate(gateway.shard_outcomes()):
         if outcome is None:  # pragma: no cover - legacy backends
-            print(f"  shard {shard_id}: worker crashed, no outcome")
+            logger.getChild(f"shard.{shard_id}").error(
+                "worker crashed, no outcome"
+            )
         elif isinstance(outcome, ShardOutcome):
             print(f"  {outcome.summary()}")
         else:
@@ -900,6 +988,9 @@ def _cmd_loadgen(args) -> int:
         print(json_module.dumps(report.as_dict(), indent=2))
     else:
         print(report.summary())
+        table = report.stage_table()
+        if table is not None:
+            print(table)
         if report.snapshot is not None:
             print(
                 f"[gateway drained: arrivals={report.snapshot['arrivals']} "

@@ -40,13 +40,20 @@ class CellIndex:
     feasibility checks (the index never guesses about deadlines).
     """
 
-    __slots__ = ("grid", "_buckets", "_locations", "_count", "_bbox", "_bbox_dirty")
+    __slots__ = (
+        "grid", "_buckets", "_locations", "_count", "_bbox", "_bbox_dirty",
+        "profile",
+    )
 
     def __init__(self, grid: Grid) -> None:
         self.grid = grid
         self._buckets: Dict[int, Set[int]] = {}
         self._locations: Dict[int, Point] = {}
         self._count = 0
+        # Optional profiling sink (any object with ``index_queries`` /
+        # ``ring_expansions`` int attributes, e.g. a MatcherProfile);
+        # queries tick it when set, at the cost of one None check.
+        self.profile = None
         # (min_col, min_row, max_col, max_row) of occupied cells, or None
         # while empty; grown eagerly on add, recomputed lazily after a
         # boundary cell empties out.
@@ -217,9 +224,11 @@ class CellIndex:
         """
         best_id: Optional[int] = None
         best_distance = max_distance
+        rings = 0
         for lower_bound, ids in self._rings(origin):
             if lower_bound > best_distance:
                 break
+            rings += 1
             for object_id, distance in self._ring_distances(origin, ids):
                 if distance <= best_distance and feasible(object_id, distance):
                     if best_id is None or distance < best_distance or (
@@ -227,15 +236,25 @@ class CellIndex:
                     ):
                         best_id = object_id
                         best_distance = distance
+        profile = self.profile
+        if profile is not None:
+            profile.index_queries += 1
+            profile.ring_expansions += rings
         return best_id
 
     def within(self, origin: Point, radius: float) -> List[Tuple[int, float]]:
         """All ``(id, distance)`` pairs within ``radius`` of ``origin``."""
         found: List[Tuple[int, float]] = []
+        rings = 0
         for lower_bound, ids in self._rings(origin):
             if lower_bound > radius:
                 break
+            rings += 1
             for object_id, distance in self._ring_distances(origin, ids):
                 if distance <= radius:
                     found.append((object_id, distance))
+        profile = self.profile
+        if profile is not None:
+            profile.index_queries += 1
+            profile.ring_expansions += rings
         return found

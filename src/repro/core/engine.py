@@ -93,6 +93,7 @@ from repro.seeding import derive_random
 
 __all__ = [
     "Matcher",
+    "MatcherProfile",
     "TypedMatcher",
     "PolarMatcher",
     "PolarOpMatcher",
@@ -185,6 +186,47 @@ class _Relocation:
         return self.kind != WORKER
 
 
+class MatcherProfile:
+    """Cheap per-run profiling counters every matcher carries.
+
+    The serving stack surfaces these per shard (``/snapshot`` shard
+    rows), giving the live visibility the ROADMAP's autotuning arc
+    needs: how often the ring machinery vs. the dense scan runs, how
+    far rings expand, and how large the GR bipartite builds get.
+    Incrementing is plain integer arithmetic on hot paths that already
+    do orders of magnitude more work per call; counters reset on
+    :meth:`Matcher.begin`, like every other live counter.
+    """
+
+    __slots__ = ("ring_expansions", "index_queries", "pool_scans",
+                 "bipartite_builds", "bipartite_nodes", "bipartite_edges")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.ring_expansions = 0
+        self.index_queries = 0
+        self.pool_scans = 0
+        self.bipartite_builds = 0
+        self.bipartite_nodes = 0
+        self.bipartite_edges = 0
+
+    def as_dict(self) -> Optional[dict]:
+        """Counters as a JSON-ready dict, or None while all zero."""
+        payload = {
+            "ring_expansions": self.ring_expansions,
+            "index_queries": self.index_queries,
+            "pool_scans": self.pool_scans,
+            "bipartite_builds": self.bipartite_builds,
+            "bipartite_nodes": self.bipartite_nodes,
+            "bipartite_edges": self.bipartite_edges,
+        }
+        if not any(payload.values()):
+            return None
+        return payload
+
+
 class Matcher:
     """A stateful incremental assignment algorithm.
 
@@ -206,6 +248,7 @@ class Matcher:
 
     def __init__(self) -> None:
         self._outcome: Optional[AssignmentOutcome] = None
+        self.profile = MatcherProfile()
 
     # -- lifecycle ----------------------------------------------------- #
 
@@ -214,6 +257,7 @@ class Matcher:
         self._outcome = AssignmentOutcome(
             algorithm=self.algorithm, matching=Matching()
         )
+        self.profile.reset()
         self._reset(self._outcome)
 
     def observe(self, event: StreamEvent) -> Decision:
@@ -949,6 +993,8 @@ class GreedyMatcher(Matcher):
         if self.indexed:
             self._worker_index = CellIndex(self.grid)
             self._task_index = CellIndex(self.grid)
+            self._worker_index.profile = self.profile
+            self._task_index.profile = self.profile
 
     def _assign(self, outcome, worker_id: int, task_id: int) -> Decision:
         outcome.matching.assign(worker_id, task_id)
@@ -1008,6 +1054,7 @@ class GreedyMatcher(Matcher):
         return self._observe_naive(shim, outcome)
 
     def _observe_naive(self, arrival: Arrival, outcome) -> Decision:
+        self.profile.pool_scans += 1
         travel = self.travel
         now = arrival.time
         waiting_workers = self._waiting_workers
@@ -1165,6 +1212,8 @@ class BatchMatcher(Matcher):
         self._pool_tasks: Dict[int, Task] = {}
         self._worker_index = CellIndex(self.grid)
         self._task_index = CellIndex(self.grid)
+        self._worker_index.profile = self.profile
+        self._task_index.profile = self.profile
         self._batches = 0
         self._boundary: Optional[float] = None
 
@@ -1302,6 +1351,10 @@ class BatchMatcher(Matcher):
         w_pos = {worker_id: i for i, worker_id in enumerate(worker_ids)}
         t_pos = {task_id: i for i, task_id in enumerate(task_ids)}
         graph = BipartiteGraph(len(worker_ids), len(task_ids))
+        profile = self.profile
+        profile.bipartite_builds += 1
+        profile.bipartite_nodes += len(worker_ids) + len(task_ids)
+        profile.bipartite_edges += len(edges)
         for worker_id, task_id in edges:
             graph.add_edge(w_pos[worker_id], t_pos[task_id])
         result = hopcroft_karp(graph)
@@ -1408,6 +1461,9 @@ class TgoaMatcher(Matcher):
         self._waiting_tasks: Dict[int, Task] = {}
         self._worker_index = CellIndex(self.grid) if self.indexed else None
         self._task_index = CellIndex(self.grid) if self.indexed else None
+        if self.indexed:
+            self._worker_index.profile = self.profile
+            self._task_index.profile = self.profile
         # Insertion ranks replay the dense scan's dict order when sorting
         # ring-query candidates — the augmenting-path search then visits
         # edges identically, keeping indexed matchings bit-identical.
@@ -1568,6 +1624,7 @@ class TgoaMatcher(Matcher):
         if arrival.is_worker:
             waiting_tasks = self._waiting_tasks
             if len(waiting_tasks) <= _DENSE_POOL_CUTOFF:
+                self.profile.pool_scans += 1
                 return _nearest_feasible(
                     entity, waiting_tasks, travel, now, task_side=True
                 )
@@ -1584,6 +1641,7 @@ class TgoaMatcher(Matcher):
 
         waiting_workers = self._waiting_workers
         if len(waiting_workers) <= _DENSE_POOL_CUTOFF:
+            self.profile.pool_scans += 1
             return _nearest_feasible(
                 entity, waiting_workers, travel, now, task_side=False
             )
@@ -1604,6 +1662,7 @@ class TgoaMatcher(Matcher):
             waiting_tasks = self._waiting_tasks
             if len(waiting_tasks) <= _DENSE_POOL_CUTOFF:
                 # Dict scan in insertion order — already the dense order.
+                self.profile.pool_scans += 1
                 return [
                     task_id
                     for task_id, task in waiting_tasks.items()
@@ -1626,6 +1685,7 @@ class TgoaMatcher(Matcher):
         else:
             waiting_workers = self._waiting_workers
             if len(waiting_workers) <= _DENSE_POOL_CUTOFF:
+                self.profile.pool_scans += 1
                 return [
                     worker_id
                     for worker_id, worker in waiting_workers.items()

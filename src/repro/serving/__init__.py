@@ -31,6 +31,11 @@
 * :mod:`repro.serving.loadgen` — the async load generator that replays
   JSONL or synthetic streams against a gateway and reports throughput
   and latency percentiles (``repro loadgen``).
+* :mod:`repro.serving.telemetry` — stage-level pipeline tracing: sampled
+  monotonic-ns stamps carried across the process boundary, fixed
+  log2-bucket latency histograms (Prometheus ``histogram`` series +
+  ``/snapshot`` rollups), and a bounded trace recorder exported as
+  Chrome ``trace_event`` JSON (``repro serve --trace``, ``/trace``).
 
 This is the seam a traffic-serving deployment plugs into: the experiment
 harness (:mod:`repro.experiments.runner`) routes its per-cell algorithm
@@ -65,6 +70,14 @@ from repro.serving.shard import (
     split_counts_by_shard,
 )
 from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.serving.telemetry import (
+    STAGES,
+    LatencyHistogram,
+    Stamped,
+    Stamps,
+    Telemetry,
+    TraceRecorder,
+)
 from repro.serving.workers import ShardOutcome, WorkerPool, WorkerSupervisor
 
 _LAZY_FORECAST = (
@@ -123,6 +136,12 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultInjector",
+    "Telemetry",
+    "Stamps",
+    "Stamped",
+    "STAGES",
+    "LatencyHistogram",
+    "TraceRecorder",
     "build_shards",
     "build_shard_guides",
     "split_counts_by_shard",

@@ -74,10 +74,20 @@ Data path::
   arrivals after it are refused with an error line, and the final
   snapshot is frozen for late ``/snapshot`` readers.
 * **Metrics** — a stdlib-only HTTP endpoint serves ``/metrics``
-  (Prometheus text), ``/snapshot`` (JSON) and ``/healthz``, aggregating
+  (Prometheus text), ``/snapshot`` (JSON), ``/healthz`` and ``/trace``
+  (Chrome ``trace_event`` JSON), aggregating
   :class:`~repro.serving.session.SessionSnapshot` counters across
   shards, including per-shard health and the supervisor's
   crash/restart counters.
+* **Telemetry** — a sampled :class:`~repro.serving.telemetry.Telemetry`
+  hub stamps 1-in-N accepted events with monotonic-ns stage times
+  (ingest → dispatch → transport → match → ack), carried across the
+  process boundary as :class:`~repro.serving.telemetry.Stamped`
+  payloads: piggybacked on pipe frames, and on the shm transport via
+  the ring's ESC side channel (slot layout and parity untouched).
+  Stage durations feed per-``(stage, shard)`` log2 histograms exposed
+  as Prometheus ``histogram`` series plus p50/p90/p99 rollups in
+  ``/snapshot``; a bounded trace recorder backs ``/trace``.
 * **Self-healing** — with the process backend, a
   :class:`~repro.serving.workers.WorkerSupervisor` restores crashed or
   hung workers from checkpoints and journal replay (bit-identical to a
@@ -97,6 +107,7 @@ import asyncio
 import heapq
 import hmac
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass, replace
@@ -115,9 +126,17 @@ from repro.serving.shard import (
     ShardRouter,
     build_shards,
 )
+from repro.serving.telemetry import Stamped, Telemetry
 from repro.spatial.grid import Grid
 
 __all__ = ["Gateway", "GatewaySnapshot", "render_prometheus"]
+
+_LOGGER = logging.getLogger("repro.serving.gateway")
+
+
+def _shard_logger(shard_id: int) -> logging.Logger:
+    """The per-shard child logger (``repro.serving.gateway.shard.N``)."""
+    return _LOGGER.getChild(f"shard.{shard_id}")
 
 _DRAIN = object()  # queue sentinel: everything before it is processed first
 
@@ -268,9 +287,16 @@ class GatewaySnapshot:
             handshake (0 when ``--auth-token`` is unset).
         registry_size: live entries in the object→shard churn registry
             (bounded by live objects via the deadline expiry sweep).
+        stage_latency: per-stage latency rollups of telemetry-sampled
+            events (count, p50/p90/p99 ms, sparse log2 buckets — see
+            :mod:`repro.serving.telemetry`), or None with telemetry
+            disabled.
 
     Per-shard rows carry a ``health`` field
-    (``healthy`` / ``restarting`` / ``degraded``) alongside counters.
+    (``healthy`` / ``restarting`` / ``degraded``) alongside counters,
+    and a ``profile`` dict of matcher profiling counters (ring
+    expansions, pool scans, bipartite build sizes) once any are
+    non-zero.
     """
 
     state: str
@@ -302,6 +328,7 @@ class GatewaySnapshot:
     worker_restarts: int = 0
     auth_failures: int = 0
     registry_size: int = 0
+    stage_latency: Optional[dict] = None
 
     def as_dict(self) -> dict:
         """A JSON-ready dict (the ``/snapshot`` payload)."""
@@ -337,6 +364,8 @@ class GatewaySnapshot:
             "shards": list(self.shards),
             "wall_seconds": round(self.wall_seconds, 3),
         }
+        if self.stage_latency is not None:
+            payload["stage_latency"] = self.stage_latency
         return payload
 
     def summary(self) -> str:
@@ -349,8 +378,15 @@ class GatewaySnapshot:
         )
 
 
-def render_prometheus(snapshot: GatewaySnapshot) -> str:
-    """The snapshot as Prometheus exposition text (``/metrics``)."""
+def render_prometheus(
+    snapshot: GatewaySnapshot, telemetry: Optional[Telemetry] = None
+) -> str:
+    """The snapshot as Prometheus exposition text (``/metrics``).
+
+    With a ``telemetry`` hub attached (the gateway passes its own), the
+    per-stage duration histogram series
+    (``ftoa_gateway_stage_duration_seconds``) are appended.
+    """
     lines: List[str] = []
 
     def gauge(name: str, value, help_text: str, kind: str = "gauge") -> None:
@@ -451,6 +487,8 @@ def render_prometheus(snapshot: GatewaySnapshot) -> str:
                 f'ftoa_shard_ring_depth{{shard="{row["shard"]}",'
                 f'ring="reply"}} {row["ring_reply_depth"]}'
             )
+    if telemetry is not None and telemetry.enabled:
+        lines.extend(telemetry.prometheus_lines())
     return "\n".join(lines) + "\n"
 
 
@@ -499,6 +537,11 @@ class Gateway:
             :mod:`repro.serving.shmring`).  Ignored by the inline
             backend except that ``"shm"`` there is an error.  Same
             shard count ⇒ bit-identical results on every transport.
+        telemetry: the stage-latency telemetry hub
+            (:class:`~repro.serving.telemetry.Telemetry`).  ``None``
+            (default) builds one at the default sampling rate; pass
+            ``Telemetry(sample_every=0)`` to disable stamping, or a
+            configured hub to tune sampling and trace bounds.
 
     Usage::
 
@@ -528,6 +571,7 @@ class Gateway:
         auth_token: Optional[str] = None,
         worker_config: Optional[dict] = None,
         transport: str = "pipe",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if queue_size <= 0:
             raise GatewayError(f"queue_size must be positive, got {queue_size}")
@@ -542,6 +586,9 @@ class Gateway:
             )
         self.grid = grid
         self.router = ShardRouter(grid, n_shards, replicas=replicas)
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(n_shards=n_shards)
+        )
         self.degraded_mode = degraded_mode
         self.auth_token = auth_token
         self.auth_failures = 0
@@ -658,6 +705,10 @@ class Gateway:
         dead shard owned still errors, because their state died with it.
         """
         self._degraded_shards.add(shard_id)
+        _shard_logger(shard_id).error(
+            "shard %d degraded: worker out of restarts (%s mode)",
+            shard_id, self.degraded_mode,
+        )
         if self.degraded_mode == "reroute":
             try:
                 self.router.retire_shard(shard_id)
@@ -931,7 +982,8 @@ class Gateway:
         self._stamp(event)
         self._register(event, shard_id)
         self.ingested += 1
-        await self._queue.put(("event", event, shard_id, None))
+        stamps = self.telemetry.begin(event.seq)
+        await self._queue.put(("event", event, shard_id, None, stamps))
 
     def offer(self, event: StreamEvent) -> bool:
         """Non-blocking enqueue; False when the backpressure limit is hit.
@@ -945,8 +997,9 @@ class Gateway:
             self.rejected += 1
             raise GatewayError("gateway is draining; push refused")
         shard_id = self._route(event)
+        stamps = self.telemetry.begin(event.seq)
         try:
-            self._queue.put_nowait(("event", event, shard_id, None))
+            self._queue.put_nowait(("event", event, shard_id, None, stamps))
         except asyncio.QueueFull:
             self.backpressure_rejected += 1
             return False
@@ -1011,6 +1064,8 @@ class Gateway:
                 req_depth, rep_depth = ring_depths[shard_id]
                 row["ring_request_depth"] = req_depth
                 row["ring_reply_depth"] = rep_depth
+            if snap.profile is not None:
+                row["profile"] = snap.profile
             rows.append(row)
         return GatewaySnapshot(
             state=self._state,
@@ -1042,6 +1097,11 @@ class Gateway:
             worker_restarts=self._backend.restarts,
             auth_failures=self.auth_failures,
             registry_size=len(self._objects),
+            stage_latency=(
+                self.telemetry.stage_summary()
+                if self.telemetry.enabled
+                else None
+            ),
         )
 
     # -- internals ----------------------------------------------------- #
@@ -1093,16 +1153,18 @@ class Gateway:
             item = await queue.get()
             if item is _DRAIN:
                 break
-            tag, payload, shard_id, channel = item
+            tag, payload, shard_id, channel, stamps = item
             if tag != "event":
                 if fast:
                     if channel is not None:
                         channel.send(payload)
                 else:
                     await replies.put(
-                        ("reply", payload, shard_id, channel, None)
+                        ("reply", payload, shard_id, channel, None, None)
                     )
                 continue
+            if stamps is not None:
+                stamps.dispatch = time.monotonic_ns()
             # Advance the dispatch clock and expiry-sweep the registry
             # *before* resolving churn ownership: both are functions of
             # queue order alone, so every backend sees identical routing.
@@ -1148,16 +1210,45 @@ class Gateway:
                     # already sent a malformed departure.
                     self._objects.pop(key, None)
             if migrated is not None:
+                # A migration is two internal submissions; its stages
+                # don't map onto the single-event pipeline, so the
+                # move's sample is dropped rather than recorded skewed.
                 tag, payload, shard_id, future = migrated
+                stamps = None
+            elif fast:
+                tag = "event"
+                if stamps is not None:
+                    # Inline backend: no transport hop and the shard
+                    # runs right here — send/recv collapse to one stamp
+                    # and the synchronous submit bounds the match stage.
+                    now = time.monotonic_ns()
+                    stamps.send = now
+                    stamps.worker_recv = now
+                    future = await backend.submit(shard_id, payload)
+                    stamps.match_done = time.monotonic_ns()
+                else:
+                    future = await backend.submit(shard_id, payload)
             else:
                 tag = "event"
-                future = await backend.submit(shard_id, payload)
+                if stamps is None:
+                    future = await backend.submit(shard_id, payload)
+                else:
+                    # Sampled event: the Stamped carrier piggybacks on
+                    # the pipe frame (or takes the shm ESC side
+                    # channel); the worker unwraps and stamps.
+                    future = await backend.submit(
+                        shard_id, Stamped(payload, stamps)
+                    )
             if fast:
-                reply = await self._resolve_reply(tag, payload, shard_id, future)
+                reply = await self._resolve_reply(
+                    tag, payload, shard_id, future, stamps
+                )
                 if channel is not None:
                     channel.send(reply)
             else:
-                await replies.put((tag, payload, shard_id, channel, future))
+                await replies.put(
+                    (tag, payload, shard_id, channel, future, stamps)
+                )
         await replies.put(_DRAIN)
 
     def _move_target(self, move: Move) -> Optional[int]:
@@ -1243,19 +1334,36 @@ class Gateway:
         payload: StreamEvent,
         shard_id: int,
         future: "asyncio.Future",
+        stamps=None,
     ) -> dict:
         """Await one decision future and build its ack line.
 
         Shared by the collector (worker-pool backend) and the
         dispatcher's inline fast path; a rejected event — including one
         whose worker crashed — becomes an error reply and a
-        ``malformed`` bump, never a hang.
+        ``malformed`` bump, never a hang.  A sampled event's decision
+        comes back wrapped in :class:`Stamped` from the worker path;
+        this is the single unwrap point, where the ack-write stamp
+        closes the pipeline and the durations land in the telemetry
+        hub.
         """
         try:
             decision = await future
         except Exception as exc:  # noqa: BLE001 — serve loop survives
             self.malformed += 1
+            _shard_logger(shard_id).debug(
+                "event rejected by shard: %s", exc
+            )
             return {"error": f"event rejected by shard: {exc}"}
+        if type(decision) is Stamped:
+            # The worker's copy carries every stamp up to match_done;
+            # prefer it over the local reference (they diverge across
+            # the pickle boundary on the process backend).
+            stamps = decision.stamps
+            decision = decision.value
+        if stamps is not None:
+            stamps.ack_write = time.monotonic_ns()
+            self.telemetry.record(shard_id, stamps)
         self.processed += 1
         if tag == "migrate":
             return {
@@ -1307,13 +1415,15 @@ class Gateway:
             item = await replies.get()
             if item is _DRAIN:
                 break
-            tag, payload, shard_id, channel, future = item
+            tag, payload, shard_id, channel, future, stamps = item
             if tag == "reply":
                 reply = payload
             else:
                 # Registry upkeep (departure pops, expiry sweep) already
                 # happened in dispatch order.
-                reply = await self._resolve_reply(tag, payload, shard_id, future)
+                reply = await self._resolve_reply(
+                    tag, payload, shard_id, future, stamps
+                )
             if channel is not None:
                 channel.send(reply)
         # Drain barrier: every shard's stream closes (idempotently) and
@@ -1327,6 +1437,10 @@ class Gateway:
 
     def _count_slow_consumer_drop(self) -> None:
         self.slow_consumer_drops += 1
+        _LOGGER.warning(
+            "dropped a slow consumer: ack queue overflowed "
+            "(limit %d)", self.ack_queue_size,
+        )
 
     async def _handle_ingest(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -1401,6 +1515,7 @@ class Gateway:
             token, self.auth_token
         ):
             self.auth_failures += 1
+            _LOGGER.warning("ingest connection refused: auth handshake failed")
             channel.send(
                 {"error": "authentication failed: bad or missing token"}
             )
@@ -1432,7 +1547,7 @@ class Gateway:
                 return
             if self._queue.full():
                 self.backpressure_waits += 1
-            await self._queue.put(("error", payload, None, channel))
+            await self._queue.put(("error", payload, None, channel, None))
 
         try:
             record = json.loads(line)
@@ -1478,7 +1593,8 @@ class Gateway:
         self._stamp(event)
         self._register(event, shard_id)
         self.ingested += 1
-        await self._queue.put(("event", event, shard_id, channel))
+        stamps = self.telemetry.begin(event.seq)
+        await self._queue.put(("event", event, shard_id, channel, stamps))
 
     async def _reply_after_drain(
         self,
@@ -1534,7 +1650,17 @@ class Gateway:
                         writer,
                         200,
                         "text/plain; version=0.0.4; charset=utf-8",
-                        render_prometheus(await self.snapshot_refreshed()),
+                        render_prometheus(
+                            await self.snapshot_refreshed(),
+                            telemetry=self.telemetry,
+                        ),
+                    )
+                elif path == "/trace":
+                    self._http_reply(
+                        writer,
+                        200,
+                        "application/json",
+                        json.dumps(self.telemetry.chrome_trace()) + "\n",
                     )
                 elif path == "/snapshot":
                     self._http_reply(

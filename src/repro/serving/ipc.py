@@ -49,6 +49,13 @@ for a fixed ring slot (checkpoints, snapshots, FINISH outcomes) still
 travel as pickle frames over the pipe, announced in-order by an escape
 marker in the ring, so this module stays the single source of truth for
 the variable-payload wire format on both transports.
+
+Telemetry piggybacks on these frames with zero wire changes: a sampled
+event travels as ``(EVENT, seq, Stamped(event, stamps))`` and its ack as
+``(ACK, seq, Stamped(decision, stamps))`` — frames pickle anything, so
+the :class:`~repro.serving.telemetry.Stamped` carrier is just another
+payload (and on the shm transport it deliberately fails the fixed-slot
+packers, escaping onto this pipe as the sampled side channel).
 """
 
 from __future__ import annotations

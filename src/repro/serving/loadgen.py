@@ -15,6 +15,14 @@ replies come back in exactly the send order), plus an optional trailing
 ``{"kind": "drain"}`` control record answered with the final gateway
 snapshot.  The reader therefore matches reply ``k`` to send ``k`` by
 position.
+
+When the server runs with telemetry enabled (the default), the client
+also snapshots the gateway before and after the stream (in-band
+``{"kind": "snapshot"}`` control records at the two quiescent points)
+and differences the per-stage latency histograms, so the report can
+break the round trip down by pipeline stage — ingest wait, dispatch
+queue, transport hop, matcher, ack write — for exactly the events this
+run sent (:meth:`LoadgenReport.stage_table`).
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.errors import GatewayError
 from repro.model.events import StreamEvent
 from repro.serving.replay import event_to_record
+from repro.serving.telemetry import STAGES, LatencyHistogram
 
 __all__ = ["LoadgenReport", "run_loadgen", "loadgen"]
 
@@ -61,6 +70,11 @@ class LoadgenReport:
             send → ack round trip, in milliseconds.
         snapshot: the gateway's final snapshot dict when the run ended
             with a drain, else None.
+        stage_latency: per-pipeline-stage histogram rollups for the
+            events this run sent (the before/after ``/snapshot`` diff),
+            or None when the server has telemetry disabled.  Maps stage
+            name to :meth:`~repro.serving.telemetry.LatencyHistogram.
+            as_dict` output plus a ``"sampled"`` total.
     """
 
     sent: int
@@ -71,10 +85,11 @@ class LoadgenReport:
     target_rate: Optional[float]
     latency_ms: Dict[str, float] = field(default_factory=dict)
     snapshot: Optional[dict] = None
+    stage_latency: Optional[dict] = None
 
     def as_dict(self) -> dict:
         """A JSON-ready dict."""
-        return {
+        payload = {
             "sent": self.sent,
             "acked": self.acked,
             "errors": self.errors,
@@ -84,6 +99,33 @@ class LoadgenReport:
             "latency_ms": {k: round(v, 3) for k, v in self.latency_ms.items()},
             "snapshot": self.snapshot,
         }
+        if self.stage_latency is not None:
+            payload["stage_latency"] = self.stage_latency
+        return payload
+
+    def stage_table(self) -> Optional[str]:
+        """The per-stage latency breakdown as an aligned text table.
+
+        None when the server reported no stage telemetry for this run.
+        """
+        stages = self.stage_latency
+        if not stages:
+            return None
+        sampled = stages.get("sampled", 0)
+        header = (
+            f"{'stage':<10} {'count':>7} {'p50_ms':>9} "
+            f"{'p90_ms':>9} {'p99_ms':>9}"
+        )
+        rows = [f"[stage latency, {sampled} sampled events]", header]
+        for stage in STAGES:
+            entry = stages.get(stage)
+            if not entry:
+                continue
+            rows.append(
+                f"{stage:<10} {entry['count']:>7} {entry['p50_ms']:>9.3f} "
+                f"{entry['p90_ms']:>9.3f} {entry['p99_ms']:>9.3f}"
+            )
+        return "\n".join(rows)
 
     def summary(self) -> str:
         """One human-readable line."""
@@ -96,6 +138,45 @@ class LoadgenReport:
         )
 
 
+async def _fetch_snapshot(reader, writer) -> Optional[dict]:
+    """In-band ``{"kind": "snapshot"}`` round trip.
+
+    Only valid at a quiescent point (no acks in flight), because the
+    gateway answers control records immediately, out of ack order.
+    """
+    writer.write(b'{"kind": "snapshot"}\n')
+    await writer.drain()
+    line = await reader.readline()
+    if not line:
+        raise GatewayError("gateway closed the connection on a snapshot probe")
+    return json.loads(line)
+
+
+def _stage_diff(before: Optional[dict], after: Optional[dict]) -> Optional[dict]:
+    """Per-stage histograms of just this run: after minus before."""
+    after_stages = (after or {}).get("stage_latency")
+    if not after_stages:
+        return None
+    before_stages = (before or {}).get("stage_latency") or {}
+    diff: Dict[str, object] = {}
+    for stage in STAGES:
+        entry = after_stages.get(stage)
+        if not isinstance(entry, dict):
+            continue
+        histogram = LatencyHistogram.from_dict(entry)
+        earlier = before_stages.get(stage)
+        if isinstance(earlier, dict):
+            histogram = histogram.subtract(LatencyHistogram.from_dict(earlier))
+        if histogram.count:
+            diff[stage] = histogram.as_dict()
+    if not diff:
+        return None
+    diff["sampled"] = int(after_stages.get("sampled", 0)) - int(
+        before_stages.get("sampled", 0)
+    )
+    return diff
+
+
 async def run_loadgen(
     events: Iterable[StreamEvent],
     host: str = "127.0.0.1",
@@ -104,6 +185,7 @@ async def run_loadgen(
     rate: Optional[float] = None,
     drain: bool = False,
     auth_token: Optional[str] = None,
+    stage_latency: bool = True,
 ) -> LoadgenReport:
     """Replay ``events`` against a gateway and measure the round trips.
 
@@ -119,6 +201,9 @@ async def run_loadgen(
         auth_token: shared secret for a gateway started with
             ``--auth-token``; sent as the handshake line before the
             stream.
+        stage_latency: snapshot the gateway before and after the stream
+            and report the per-stage latency diff (a no-op table-wise
+            when the server has telemetry disabled).
 
     Raises:
         GatewayError: when no endpoint is given, the server closes the
@@ -149,6 +234,8 @@ async def run_loadgen(
                 f"{greeting.get('error', 'connection closed')}"
             )
 
+    before_snapshot: Optional[dict] = None
+    after_snapshot: Optional[dict] = None
     lines = [json.dumps(event_to_record(event)).encode() + b"\n" for event in events]
     send_times: List[float] = []
     latencies: List[float] = []
@@ -171,6 +258,9 @@ async def run_loadgen(
                 acked += 1
             latencies.append(arrived - send_times[index])
 
+    if stage_latency:
+        before_snapshot = await _fetch_snapshot(reader, writer)
+
     started = time.perf_counter()
     reader_task = asyncio.create_task(read_acks())
     snapshot = None
@@ -189,6 +279,8 @@ async def run_loadgen(
         await writer.drain()
         await reader_task
         elapsed = time.perf_counter() - started
+        if stage_latency:
+            after_snapshot = await _fetch_snapshot(reader, writer)
         if drain:
             writer.write(b'{"kind": "drain"}\n')
             await writer.drain()
@@ -231,6 +323,7 @@ async def run_loadgen(
         target_rate=rate or None,
         latency_ms=latency_ms,
         snapshot=snapshot,
+        stage_latency=_stage_diff(before_snapshot, after_snapshot),
     )
 
 
@@ -242,6 +335,7 @@ def loadgen(
     rate: Optional[float] = None,
     drain: bool = False,
     auth_token: Optional[str] = None,
+    stage_latency: bool = True,
 ) -> LoadgenReport:
     """Synchronous wrapper: ``asyncio.run(run_loadgen(...))``."""
     return asyncio.run(
@@ -253,5 +347,6 @@ def loadgen(
             rate=rate,
             drain=drain,
             auth_token=auth_token,
+            stage_latency=stage_latency,
         )
     )

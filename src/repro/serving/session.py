@@ -65,6 +65,10 @@ class SessionSnapshot:
         stream_time: the last observed event's platform time (None
             before the first event).
         wall_seconds: wall-clock seconds since the session began.
+        profile: the matcher's :class:`~repro.core.engine.
+            MatcherProfile` counters (ring expansions, pool scans,
+            bipartite build sizes) as a dict, or None while all zero —
+            the serving stack surfaces these per shard.
     """
 
     arrivals: int
@@ -77,6 +81,7 @@ class SessionSnapshot:
     wall_seconds: float
     departed: int = 0
     moves: int = 0
+    profile: Optional[dict] = None
 
     def summary(self) -> str:
         """One human-readable progress line."""
@@ -343,6 +348,7 @@ class MatchingSession:
             departed = matcher.departed_workers + matcher.departed_tasks
             moves = matcher.moves
         wall = 0.0 if self._started is None else time.perf_counter() - self._started
+        matcher_profile = getattr(self.matcher, "profile", None)
         return SessionSnapshot(
             arrivals=self._arrivals,
             workers=workers,
@@ -354,6 +360,7 @@ class MatchingSession:
             wall_seconds=wall,
             departed=departed,
             moves=moves,
+            profile=None if matcher_profile is None else matcher_profile.as_dict(),
         )
 
     def _emit(self) -> None:

@@ -21,6 +21,13 @@ therefore degenerates to exactly the offline session and is bit-identical
 to it (test-enforced).  With multiple shards, matching happens *within*
 a shard: cross-region pairs are traded away for parallel ingest, which is
 the standard hyperlocal-serving compromise.
+
+Telemetry contract: :class:`InlineShardBackend` always receives *raw*
+events — the gateway's dispatcher stamps sampled events around the
+synchronous ``submit`` call itself.  Only the process backend
+(:class:`~repro.serving.workers.WorkerPool` and the supervisor) sees
+:class:`~repro.serving.telemetry.Stamped` carriers, because there the
+transport hop is real and worth measuring.
 """
 
 from __future__ import annotations

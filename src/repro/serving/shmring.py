@@ -59,6 +59,17 @@ two channels merge into a single total order and PR 6's recovery
 machinery (``CHKPT`` shard state, ``SNAP``/``DONE``/``NACK`` replies)
 rides the pipe unchanged.
 
+The escape hatch doubles as the **telemetry side channel**: a sampled
+event travels as a :class:`~repro.serving.telemetry.Stamped` carrier,
+which by design fails both packers (no ``event_kind``, not a bare
+``Decision``) and escapes — request and ACK alike — onto the pipe with
+an in-ring ``ESC`` record preserving total order.  The 88-byte slot
+layout, the packed fast path for unsampled traffic and the
+bit-identical parity story are untouched; the cost is that the
+measured ``transport`` stage for shm-sampled events is the escape
+path's pipe latency, not the ring's (documented in
+``docs/OBSERVABILITY.md``).
+
 **Wakeup** is adaptive spin-then-sleep on both sides: a short spin for
 the loaded case (the ring is hot, no syscall at all), then an
 exponentially backed-off sleep bounded at ~1 ms for the idle case.
@@ -225,8 +236,9 @@ def pack_request(buf, offset: int, tag: str, seq: int, payload) -> bool:
     Returns ``False`` — without touching the buffer — when the message
     does not fit the fixed record shape and must escape over the pipe:
     an arrival whose entity carries ``tags``, an id/seq outside the
-    packed integer ranges, an event type outside the stream union, or
-    an unknown request tag.
+    packed integer ranges, an event type outside the stream union, an
+    unknown request tag, or a telemetry-``Stamped`` carrier (the
+    sampled side channel — see the module docstring).
     """
     if not _fits_seq(seq):
         return False
@@ -344,8 +356,9 @@ def pack_reply(buf, offset: int, tag: str, seq: int, payload) -> bool:
 
     Only ``ACK`` (with a plain :class:`~repro.core.outcome.Decision`)
     and ``PONG`` fit; everything else — ``NACK`` error text, ``SNAP``
-    snapshots, ``CHKPT`` shard state, ``DONE`` outcomes — returns
-    ``False`` and escapes over the pipe.
+    snapshots, ``CHKPT`` shard state, ``DONE`` outcomes, a sampled
+    event's ``Stamped(decision, stamps)`` ACK — returns ``False`` and
+    escapes over the pipe.
     """
     if not _fits_seq(seq):
         return False

@@ -1,0 +1,527 @@
+"""Stage-level pipeline telemetry: stamps, histograms, trace export.
+
+The gateway's counters say *how much* work flowed; this module says
+*where each event's microseconds went*.  A sampled event carries a
+:class:`Stamps` record of monotonic-ns timestamps through the pipeline::
+
+    ingest ──> dispatch-queue ──> transport-send ──> worker-recv
+                                                         │
+           ack-write <── collector <── ACK <── match ────┘
+
+Consecutive stamps bound the five pipeline **stages** (:data:`STAGES`):
+``ingest`` (queue wait), ``dispatch`` (dispatcher + outbox),
+``transport`` (the IPC hop), ``match`` (matcher compute) and ``ack``
+(reply hop + collector).  ``time.monotonic_ns`` is CLOCK_MONOTONIC,
+which is system-wide on Linux, so deltas spanning the fork boundary are
+valid.
+
+Sampling keeps the subsystem cheap: the gateway stamps every
+``sample_every``-th accepted event (default
+:data:`DEFAULT_SAMPLE_EVERY`); unsampled events pay one counter
+decrement at ingest and a ``type(...) is Stamped`` check per hop.  The
+``telemetry_overhead`` probe in ``scripts/bench_snapshot.py`` holds the
+flat-out ingest cost at default sampling to ≤ 2 %.
+
+Crossing the process boundary:
+
+* **pipe transport** — the sampled event is wrapped in a
+  :class:`Stamped` carrier and piggybacks on the ordinary pickle frame;
+  the worker unwraps, stamps ``worker_recv``/``match_done``, and ships
+  the decision back as ``Stamped(decision, stamps)`` on the ACK frame.
+* **shm transport** — the ring's fixed 88-byte slots cannot carry
+  stamps, and widening them would break the bit-parity story.  Instead a
+  ``Stamped`` payload deliberately fails ``pack_request``/``pack_reply``
+  and takes the ring's existing ESC escape hatch: the full pickled
+  carrier travels the side-channel pipe while an in-ring ESC record
+  preserves total order (see :mod:`repro.serving.shmring`).  The slot
+  layout and parity gates are untouched; the measured ``transport``
+  stage for shm-sampled events is the escape path's (pipe) latency,
+  which the docs call out.
+
+Per-stage durations feed fixed log2-bucket :class:`LatencyHistogram`\\ s
+(bucket *i* holds durations in ``(2^(i-1), 2^i]`` ns), rendered as real
+Prometheus ``histogram`` series
+(``ftoa_gateway_stage_duration_seconds_bucket{stage=...,shard=...}``)
+and rolled up as p50/p90/p99 in ``/snapshot``.  A bounded
+:class:`TraceRecorder` keeps the first *head* and last *tail* sampled
+events plus every event slower than a threshold, exported as Chrome
+``trace_event`` JSON (``chrome://tracing`` / Perfetto) via the
+gateway's ``/trace`` endpoint and ``repro serve --trace out.json``.
+
+The module is stdlib-only and import-free within the package, so the
+worker child, the shm ring and the gateway can all use it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "STAGES",
+    "DEFAULT_SAMPLE_EVERY",
+    "Stamps",
+    "Stamped",
+    "LatencyHistogram",
+    "TraceRecorder",
+    "Telemetry",
+    "bucket_index",
+    "bucket_edge_ns",
+]
+
+#: Pipeline stages, in flow order.  Each is bounded by two stamps.
+STAGES = ("ingest", "dispatch", "transport", "match", "ack")
+
+#: Stamp-field pairs bounding each stage (start, end).
+_STAGE_BOUNDS = (
+    ("ingest", "ingest", "dispatch"),
+    ("dispatch", "dispatch", "send"),
+    ("transport", "send", "worker_recv"),
+    ("match", "worker_recv", "match_done"),
+    ("ack", "match_done", "ack_write"),
+)
+
+#: Default sampling period: one stamped event per this many accepted.
+DEFAULT_SAMPLE_EVERY = 128
+
+# Log2 bucket count: 2^63 ns ≈ 292 years, enough for any duration.
+_NBUCKETS = 64
+
+# Prometheus exposition renders this contiguous bucket slice; counts
+# below fold into the first rendered bucket's cumulative value and
+# counts above land in +Inf.  2^12 ns ≈ 4.1 µs .. 2^34 ns ≈ 17.2 s.
+_PROM_MIN_BUCKET = 12
+_PROM_MAX_BUCKET = 34
+
+_HISTOGRAM_METRIC = "ftoa_gateway_stage_duration_seconds"
+
+
+def bucket_index(duration_ns: int) -> int:
+    """The log2 bucket of a duration: smallest ``i`` with ``ns <= 2^i``.
+
+    Durations ≤ 1 ns land in bucket 0; the index is clamped to the
+    top bucket so pathological values cannot index out of range.
+    """
+    if duration_ns <= 1:
+        return 0
+    index = (duration_ns - 1).bit_length()
+    return index if index < _NBUCKETS else _NBUCKETS - 1
+
+
+def bucket_edge_ns(index: int) -> int:
+    """The inclusive upper edge of bucket ``index`` in nanoseconds."""
+    return 1 << index
+
+
+class Stamps:
+    """Monotonic-ns stage stamps carried by one sampled event.
+
+    Fields are ``time.monotonic_ns()`` readings (or ``None`` while the
+    event has not reached that point):
+
+    * ``ingest`` — accepted into the gateway queue;
+    * ``dispatch`` — popped by the dispatcher;
+    * ``send`` — written to the worker transport (inline: = dispatch);
+    * ``worker_recv`` — received by the shard worker;
+    * ``match_done`` — the matcher's decision returned;
+    * ``ack_write`` — the ack line built for the client.
+
+    ``seq`` labels the event for trace output.  Instances pickle across
+    the fork boundary (``__slots__`` classes pickle natively under
+    protocol 2+).
+    """
+
+    __slots__ = ("seq", "ingest", "dispatch", "send", "worker_recv",
+                 "match_done", "ack_write")
+
+    def __init__(self, seq: int = 0, ingest: Optional[int] = None) -> None:
+        self.seq = seq
+        self.ingest = ingest
+        self.dispatch: Optional[int] = None
+        self.send: Optional[int] = None
+        self.worker_recv: Optional[int] = None
+        self.match_done: Optional[int] = None
+        self.ack_write: Optional[int] = None
+
+    def stage_durations(self) -> Iterator[Tuple[str, int]]:
+        """``(stage, duration_ns)`` for every stage with both stamps.
+
+        Durations are clamped at 0: a theoretical same-tick inversion
+        (two reads of the same clock) must not corrupt a histogram.
+        """
+        for stage, start_field, end_field in _STAGE_BOUNDS:
+            start = getattr(self, start_field)
+            end = getattr(self, end_field)
+            if start is not None and end is not None:
+                yield stage, max(end - start, 0)
+
+    def total_ns(self) -> Optional[int]:
+        """End-to-end ns (ingest → ack-write), or None if incomplete."""
+        if self.ingest is None or self.ack_write is None:
+            return None
+        return max(self.ack_write - self.ingest, 0)
+
+
+class Stamped:
+    """A telemetry carrier wrapping one pipeline payload.
+
+    ``Stamped(event, stamps)`` rides the worker transport in place of
+    the raw event; ``Stamped(decision, stamps)`` rides the ACK back.
+    On the shm transport the wrapper intentionally fails the fixed-slot
+    packers and takes the ESC side channel (module docstring).  Every
+    hop unwraps with an exact ``type(payload) is Stamped`` check — the
+    one branch unsampled traffic pays.
+    """
+
+    __slots__ = ("value", "stamps")
+
+    def __init__(self, value, stamps: Stamps) -> None:
+        self.value = value
+        self.stamps = stamps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stamped({self.value!r}, seq={self.stamps.seq})"
+
+
+class LatencyHistogram:
+    """A fixed log2-bucket duration histogram (nanosecond domain).
+
+    Bucket ``i`` counts durations in ``(2^(i-1), 2^i]`` ns (bucket 0:
+    ``<= 1`` ns).  Fixed edges make merge a vector add — worker and
+    gateway histograms, or before/after snapshots, combine exactly.
+    """
+
+    __slots__ = ("counts", "count", "sum_ns")
+
+    def __init__(self) -> None:
+        self.counts = [0] * _NBUCKETS
+        self.count = 0
+        self.sum_ns = 0
+
+    def record(self, duration_ns: int) -> None:
+        """Add one duration."""
+        self.counts[bucket_index(duration_ns)] += 1
+        self.count += 1
+        self.sum_ns += duration_ns
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one (same fixed edges)."""
+        counts = self.counts
+        for i, c in enumerate(other.counts):
+            if c:
+                counts[i] += c
+        self.count += other.count
+        self.sum_ns += other.sum_ns
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile in ns, linearly interpolated within a bucket.
+
+        Exact at the bucket granularity (a factor-of-2 band), which is
+        all a rollup needs; 0.0 while empty.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cumulative + c >= rank:
+                lower = 0.0 if i == 0 else float(1 << (i - 1))
+                upper = float(1 << i)
+                fraction = (rank - cumulative) / c
+                return lower + fraction * (upper - lower)
+            cumulative += c
+        return float(1 << (_NBUCKETS - 1))  # pragma: no cover - clamp
+
+    def as_dict(self) -> dict:
+        """JSON-ready rollup: count, sum, p50/p90/p99 (ms), buckets.
+
+        ``buckets`` maps bucket index → count (sparse, non-zero only),
+        so a client can reconstruct and difference histograms — the
+        loadgen's before/after stage table does exactly that via
+        :meth:`from_dict` and :meth:`subtract`.
+        """
+        return {
+            "count": self.count,
+            "sum_ms": round(self.sum_ns / 1e6, 6),
+            "p50_ms": round(self.percentile(0.50) / 1e6, 6),
+            "p90_ms": round(self.percentile(0.90) / 1e6, 6),
+            "p99_ms": round(self.percentile(0.99) / 1e6, 6),
+            "buckets": {
+                str(i): c for i, c in enumerate(self.counts) if c
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`as_dict` output."""
+        histogram = cls()
+        for key, c in (payload.get("buckets") or {}).items():
+            histogram.counts[int(key)] = int(c)
+        histogram.count = int(payload.get("count", 0))
+        histogram.sum_ns = int(round(float(payload.get("sum_ms", 0.0)) * 1e6))
+        return histogram
+
+    def subtract(self, earlier: "LatencyHistogram") -> "LatencyHistogram":
+        """The histogram of events recorded after ``earlier`` was taken.
+
+        Counts are clamped at 0 per bucket, so a snapshot pair from a
+        restarted or reset source degrades to the later snapshot
+        instead of going negative.
+        """
+        diff = LatencyHistogram()
+        for i in range(_NBUCKETS):
+            diff.counts[i] = max(self.counts[i] - earlier.counts[i], 0)
+        diff.count = sum(diff.counts)
+        diff.sum_ns = max(self.sum_ns - earlier.sum_ns, 0)
+        return diff
+
+    def prometheus_lines(self, labels: str) -> List[str]:
+        """Exposition lines for one series (no HELP/TYPE header).
+
+        Cumulative ``le`` buckets over the rendered slice
+        (``2^12``–``2^34`` ns as seconds), then ``+Inf``, ``_sum`` and
+        ``_count`` — a real Prometheus ``histogram``, quantile-able
+        with ``histogram_quantile()``.
+        """
+        lines: List[str] = []
+        cumulative = sum(self.counts[: _PROM_MIN_BUCKET])
+        for i in range(_PROM_MIN_BUCKET, _PROM_MAX_BUCKET + 1):
+            cumulative += self.counts[i]
+            le = f"{(1 << i) / 1e9:.9g}"
+            lines.append(
+                f'{_HISTOGRAM_METRIC}_bucket{{{labels},le="{le}"}} '
+                f"{cumulative}"
+            )
+        lines.append(
+            f'{_HISTOGRAM_METRIC}_bucket{{{labels},le="+Inf"}} {self.count}'
+        )
+        lines.append(
+            f"{_HISTOGRAM_METRIC}_sum{{{labels}}} {self.sum_ns / 1e9:.9g}"
+        )
+        lines.append(f"{_HISTOGRAM_METRIC}_count{{{labels}}} {self.count}")
+        return lines
+
+
+class TraceRecorder:
+    """A bounded recorder of sampled events for trace export.
+
+    Keeps three views so a long run stays exportable at fixed memory:
+
+    * **head** — the first ``head`` sampled events (startup behaviour);
+    * **tail** — a ring of the last ``tail`` sampled events;
+    * **slow** — a ring of the last ``slow`` events whose end-to-end
+      time crossed ``slow_threshold_ns`` (outliers survive even after
+      the tail ring has wrapped past them).
+    """
+
+    __slots__ = ("_head_capacity", "_head", "_tail", "_slow",
+                 "slow_threshold_ns", "seen", "slow_events")
+
+    def __init__(
+        self,
+        head: int = 64,
+        tail: int = 256,
+        slow: int = 64,
+        slow_threshold_ns: int = 50_000_000,
+    ) -> None:
+        self._head_capacity = int(head)
+        self._head: List[Tuple[int, Stamps]] = []
+        self._tail: deque = deque(maxlen=int(tail))
+        self._slow: deque = deque(maxlen=int(slow))
+        self.slow_threshold_ns = int(slow_threshold_ns)
+        self.seen = 0
+        self.slow_events = 0
+
+    def record(self, shard_id: int, stamps: Stamps) -> None:
+        """Admit one completed sampled event."""
+        entry = (shard_id, stamps)
+        self.seen += 1
+        if len(self._head) < self._head_capacity:
+            self._head.append(entry)
+        else:
+            self._tail.append(entry)
+        total = stamps.total_ns()
+        if total is not None and total >= self.slow_threshold_ns:
+            self.slow_events += 1
+            self._slow.append(entry)
+
+    def entries(self) -> List[Tuple[int, Stamps]]:
+        """Retained entries, oldest first, slow outliers deduplicated."""
+        kept = list(self._head) + list(self._tail)
+        seen_ids = {id(stamps) for _shard, stamps in kept}
+        for entry in self._slow:
+            if id(entry[1]) not in seen_ids:
+                kept.append(entry)
+        kept.sort(key=lambda e: e[1].ingest or 0)
+        return kept
+
+    def chrome_trace(self) -> dict:
+        """The retained entries as a Chrome ``trace_event`` document.
+
+        One complete ("X") event per stage per sampled event, ``ts`` /
+        ``dur`` in microseconds on the monotonic clock, ``tid`` = the
+        owning shard (named via thread metadata records).  Load in
+        ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        events: List[dict] = []
+        shards = set()
+        for shard_id, stamps in self.entries():
+            shards.add(shard_id)
+            cursor = stamps.ingest
+            for stage, duration_ns in stamps.stage_durations():
+                if cursor is None:  # pragma: no cover - defensive
+                    break
+                events.append({
+                    "name": stage,
+                    "cat": "pipeline",
+                    "ph": "X",
+                    "ts": cursor / 1e3,
+                    "dur": duration_ns / 1e3,
+                    "pid": 1,
+                    "tid": shard_id,
+                    "args": {"seq": stamps.seq},
+                })
+                cursor += duration_ns
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "args": {"name": "ftoa-gateway"},
+            }
+        ]
+        for shard_id in sorted(shards):
+            metadata.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": shard_id,
+                "args": {"name": f"shard {shard_id}"},
+            })
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "sampled_events": self.seen,
+                "slow_events": self.slow_events,
+                "slow_threshold_ms": self.slow_threshold_ns / 1e6,
+            },
+        }
+
+
+class Telemetry:
+    """The gateway's telemetry hub: sampling, histograms, recorder.
+
+    Single-threaded by construction (everything runs on the gateway's
+    event loop), so recording is plain integer arithmetic — no locks.
+
+    Args:
+        sample_every: stamp one event per this many accepted (0 or
+            ``None`` disables stamping entirely; the first accepted
+            event is always sampled so short runs still trace).
+        n_shards: pre-creates every ``(stage, shard)`` histogram so
+            ``/metrics`` exposes the full series grid from the first
+            scrape.
+        trace_head / trace_tail / trace_slow: recorder bounds.
+        slow_threshold_ms: end-to-end threshold for the slow ring.
+    """
+
+    __slots__ = ("sample_every", "enabled", "sampled", "_countdown",
+                 "histograms", "recorder", "_n_shards")
+
+    def __init__(
+        self,
+        sample_every: Optional[int] = DEFAULT_SAMPLE_EVERY,
+        n_shards: int = 1,
+        trace_head: int = 64,
+        trace_tail: int = 256,
+        trace_slow: int = 64,
+        slow_threshold_ms: float = 50.0,
+    ) -> None:
+        self.sample_every = int(sample_every or 0)
+        self.enabled = self.sample_every > 0
+        self.sampled = 0
+        self._countdown = 1  # sample the very first accepted event
+        self._n_shards = int(n_shards)
+        self.histograms: Dict[Tuple[str, int], LatencyHistogram] = {}
+        if self.enabled:
+            for shard_id in range(self._n_shards):
+                for stage in STAGES:
+                    self.histograms[(stage, shard_id)] = LatencyHistogram()
+        self.recorder = TraceRecorder(
+            head=trace_head,
+            tail=trace_tail,
+            slow=trace_slow,
+            slow_threshold_ns=int(slow_threshold_ms * 1e6),
+        )
+
+    def begin(self, seq: int) -> Optional[Stamps]:
+        """Sampling gate at ingest: stamps for 1-in-``sample_every``.
+
+        The per-event cost for unsampled traffic is one decrement and
+        one comparison.
+        """
+        if not self.enabled:
+            return None
+        self._countdown -= 1
+        if self._countdown > 0:
+            return None
+        self._countdown = self.sample_every
+        return Stamps(seq=seq, ingest=time.monotonic_ns())
+
+    def record(self, shard_id: int, stamps: Stamps) -> None:
+        """Fold one completed sampled event into histograms + recorder."""
+        self.sampled += 1
+        histograms = self.histograms
+        for stage, duration_ns in stamps.stage_durations():
+            histogram = histograms.get((stage, shard_id))
+            if histogram is None:
+                histogram = LatencyHistogram()
+                histograms[(stage, shard_id)] = histogram
+            histogram.record(duration_ns)
+        self.recorder.record(shard_id, stamps)
+
+    def stage_summary(self) -> dict:
+        """Per-stage rollups merged across shards (the ``/snapshot``
+        ``stage_latency`` payload)."""
+        merged: Dict[str, LatencyHistogram] = {}
+        for (stage, _shard_id), histogram in self.histograms.items():
+            into = merged.get(stage)
+            if into is None:
+                merged[stage] = into = LatencyHistogram()
+            into.merge(histogram)
+        summary = {
+            stage: merged[stage].as_dict() for stage in STAGES
+            if stage in merged
+        }
+        summary["sampled"] = self.sampled
+        summary["sample_every"] = self.sample_every
+        return summary
+
+    def prometheus_lines(self) -> List[str]:
+        """The stage-duration histogram series for ``/metrics``."""
+        lines = [
+            f"# HELP {_HISTOGRAM_METRIC} pipeline stage durations of "
+            f"sampled events (1 in {self.sample_every})",
+            f"# TYPE {_HISTOGRAM_METRIC} histogram",
+        ]
+        for (stage, shard_id) in sorted(self.histograms):
+            labels = f'stage="{stage}",shard="{shard_id}"'
+            lines.extend(
+                self.histograms[(stage, shard_id)].prometheus_lines(labels)
+            )
+        lines.append(
+            "# HELP ftoa_gateway_telemetry_sampled_total events stamped "
+            "by the telemetry sampler"
+        )
+        lines.append("# TYPE ftoa_gateway_telemetry_sampled_total counter")
+        lines.append(f"ftoa_gateway_telemetry_sampled_total {self.sampled}")
+        return lines
+
+    def chrome_trace(self) -> dict:
+        """The trace recorder's Chrome ``trace_event`` document."""
+        return self.recorder.chrome_trace()

@@ -114,6 +114,7 @@ from repro.serving import ipc, shmring
 from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.serving.session import SessionSnapshot
 from repro.serving.shard import Shard
+from repro.serving.telemetry import Stamped
 
 __all__ = ["WorkerPool", "WorkerSupervisor", "ShardOutcome", "shard_worker_main"]
 
@@ -293,6 +294,14 @@ def shard_worker_main(
             except EOFError:
                 break
             if tag == ipc.EVENT:
+                # A telemetry-sampled event arrives wrapped: unwrap,
+                # stamp the worker-side stages, and ship the stamps
+                # back on the ACK (see repro.serving.telemetry).
+                stamps = None
+                if type(payload) is Stamped:
+                    stamps = payload.stamps
+                    stamps.worker_recv = time.monotonic_ns()
+                    payload = payload.value
                 spec = injector.next_event_fault() if injector else None
                 if spec is not None:
                     if spec.action == "kill":
@@ -313,8 +322,13 @@ def shard_worker_main(
                 elif spec is not None and spec.action == "torn":
                     channel.send_torn(seq, decision)
                     os.kill(os.getpid(), signal.SIGKILL)
-                else:
+                elif stamps is None:
                     _send_reply(channel, ipc.ACK, seq, decision)
+                else:
+                    stamps.match_done = time.monotonic_ns()
+                    _send_reply(
+                        channel, ipc.ACK, seq, Stamped(decision, stamps)
+                    )
             elif tag == ipc.SNAPSHOT:
                 _send_reply(channel, ipc.SNAP, seq, shard.snapshot())
             elif tag == ipc.CHECKPOINT:
@@ -1184,6 +1198,10 @@ class WorkerPool:
                         handle.pending.append((tag, seq, future))
                     messages.append((tag, seq, payload))
                     if tag == ipc.EVENT:
+                        if type(payload) is Stamped:
+                            # Transport-send stamp: the frame is encoded
+                            # and written within this same loop tick.
+                            payload.stamps.send = time.monotonic_ns()
                         handle.journal.append((seq, payload))
                         handle.events_since_checkpoint += 1
                         if (

@@ -1,0 +1,449 @@
+"""Tests for repro.serving.telemetry — stage tracing and histograms.
+
+Covers the log2 bucket math (edges, merge, percentiles, Prometheus text
+rendering, the snapshot-diff roundtrip the loadgen uses), the bounded
+trace recorder (head/tail wraparound, slow-event retention, Chrome
+trace export), the sampling gate, and the headline gate: cross-process
+stamp monotonicity on both worker transports, end to end through a real
+gateway.
+"""
+
+import asyncio
+import json
+import pickle
+
+import pytest
+
+from repro.core.engine import GreedyMatcher
+from repro.core.outcome import Decision
+from repro.model.entities import Worker
+from repro.model.events import WORKER, Arrival
+from repro.serving import ipc, shmring
+from repro.serving.gateway import Gateway, render_prometheus
+from repro.serving.loadgen import LoadgenReport, _stage_diff
+from repro.serving.telemetry import (
+    DEFAULT_SAMPLE_EVERY,
+    STAGES,
+    LatencyHistogram,
+    Stamped,
+    Stamps,
+    Telemetry,
+    TraceRecorder,
+    bucket_edge_ns,
+    bucket_index,
+)
+from repro.spatial.geometry import Point
+
+needs_shm = pytest.mark.skipif(
+    not shmring.shm_available(),
+    reason="no shared-memory segments on this host",
+)
+
+
+def _stamps(seq=0, start=1_000, step=1_000):
+    """A fully-stamped record: each stage takes ``step`` ns."""
+    stamps = Stamps(seq=seq, ingest=start)
+    stamps.dispatch = start + step
+    stamps.send = start + 2 * step
+    stamps.worker_recv = start + 3 * step
+    stamps.match_done = start + 4 * step
+    stamps.ack_write = start + 5 * step
+    return stamps
+
+
+class TestBucketMath:
+    def test_log2_edges(self):
+        # Bucket i holds (2^(i-1), 2^i]: each edge is the last value of
+        # its own bucket and edge+1 starts the next.
+        assert bucket_index(0) == 0
+        assert bucket_index(1) == 0
+        assert bucket_index(2) == 1
+        assert bucket_index(3) == 2
+        assert bucket_index(4) == 2
+        assert bucket_index(5) == 3
+        for i in range(1, 40):
+            edge = bucket_edge_ns(i)
+            assert bucket_index(edge) == i
+            assert bucket_index(edge + 1) == i + 1
+
+    def test_pathological_duration_clamps_to_top_bucket(self):
+        assert bucket_index(2**200) == 63
+
+    def test_record_and_counts(self):
+        histogram = LatencyHistogram()
+        for ns in (1, 2, 3, 1024, 1025):
+            histogram.record(ns)
+        assert histogram.count == 5
+        assert histogram.sum_ns == 1 + 2 + 3 + 1024 + 1025
+        assert histogram.counts[0] == 1  # 1
+        assert histogram.counts[1] == 1  # 2
+        assert histogram.counts[2] == 1  # 3
+        assert histogram.counts[10] == 1  # 1024
+        assert histogram.counts[11] == 1  # 1025
+
+    def test_merge_is_a_vector_add(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(10)
+        a.record(10_000)
+        b.record(10)
+        b.record(1_000_000)
+        a.merge(b)
+        assert a.count == 4
+        assert a.counts[bucket_index(10)] == 2
+        assert a.counts[bucket_index(1_000_000)] == 1
+        assert a.sum_ns == 10 + 10_000 + 10 + 1_000_000
+
+    def test_percentile_empty_and_interpolated(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(0.5) == 0.0
+        for _ in range(100):
+            histogram.record(3_000)  # bucket 12: (2048, 4096]
+        p50 = histogram.percentile(0.50)
+        assert 2048.0 <= p50 <= 4096.0
+        # All mass in one bucket: quantiles are ordered within the band.
+        assert histogram.percentile(0.1) <= p50 <= histogram.percentile(0.99)
+
+    def test_as_dict_from_dict_roundtrip(self):
+        histogram = LatencyHistogram()
+        for ns in (500, 7_000, 7_000, 3_000_000):
+            histogram.record(ns)
+        rebuilt = LatencyHistogram.from_dict(
+            json.loads(json.dumps(histogram.as_dict()))
+        )
+        assert rebuilt.counts == histogram.counts
+        assert rebuilt.count == histogram.count
+
+    def test_subtract_diffs_and_clamps(self):
+        before, after = LatencyHistogram(), LatencyHistogram()
+        before.record(1_000)
+        after.record(1_000)
+        after.record(1_000)
+        after.record(64_000)
+        diff = after.subtract(before)
+        assert diff.count == 2
+        assert diff.counts[bucket_index(1_000)] == 1
+        assert diff.counts[bucket_index(64_000)] == 1
+        # A reset source (before > after) clamps instead of going negative.
+        clamped = before.subtract(after)
+        assert clamped.counts[bucket_index(1_000)] == 0
+        assert clamped.sum_ns == 0
+
+    def test_prometheus_rendering(self):
+        histogram = LatencyHistogram()
+        histogram.record(100)  # below the rendered slice
+        histogram.record(10_000)  # 2^14 bucket
+        histogram.record(2**40)  # above the rendered slice -> +Inf only
+        lines = histogram.prometheus_lines('stage="match",shard="0"')
+        assert all("ftoa_gateway_stage_duration_seconds" in l for l in lines)
+        bucket_lines = [l for l in lines if "_bucket" in l]
+        # Cumulative counts never decrease across increasing le edges.
+        counts = [int(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+        assert counts == sorted(counts)
+        # The sub-slice count folds into the first rendered bucket.
+        assert counts[0] == 1
+        assert bucket_lines[-1].endswith("3")  # +Inf sees all three
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert any(l.startswith("ftoa_gateway_stage_duration_seconds_sum{") for l in lines)
+        assert lines[-1] == (
+            'ftoa_gateway_stage_duration_seconds_count'
+            '{stage="match",shard="0"} 3'
+        )
+
+
+class TestStamps:
+    def test_stage_durations_cover_the_pipeline(self):
+        stamps = _stamps(step=1_000)
+        durations = dict(stamps.stage_durations())
+        assert set(durations) == set(STAGES)
+        assert all(d == 1_000 for d in durations.values())
+        assert stamps.total_ns() == 5_000
+
+    def test_partial_stamps_yield_partial_stages(self):
+        stamps = Stamps(seq=1, ingest=100)
+        stamps.dispatch = 250
+        assert dict(stamps.stage_durations()) == {"ingest": 150}
+        assert stamps.total_ns() is None
+
+    def test_same_tick_inversion_clamps_to_zero(self):
+        stamps = Stamps(seq=1, ingest=100)
+        stamps.dispatch = 99
+        assert dict(stamps.stage_durations()) == {"ingest": 0}
+
+    def test_stamped_pickles_across_the_fork_boundary(self):
+        carrier = Stamped({"payload": True}, _stamps(seq=9))
+        clone = pickle.loads(pickle.dumps(carrier))
+        assert type(clone) is Stamped
+        assert clone.value == {"payload": True}
+        assert clone.stamps.seq == 9
+        assert clone.stamps.ack_write == carrier.stamps.ack_write
+
+    def test_stamped_escapes_both_shm_packers(self):
+        """The shm side channel: a Stamped carrier must fail the
+        fixed-slot codec so it rides the ESC pipe, keeping the 88-byte
+        slot layout untouched."""
+        entity = Worker(id=1, location=Point(0.5, 0.5), start=0.0, duration=9.0)
+        event = Arrival(time=0.0, seq=1, kind=WORKER, entity=entity)
+        buf = bytearray(shmring.SLOT_SIZE)
+        assert shmring.pack_request(buf, 0, ipc.EVENT, 1, event) is True
+        stamped = Stamped(event, _stamps())
+        assert shmring.pack_request(buf, 0, ipc.EVENT, 1, stamped) is False
+        decision = Decision(action=Decision.WAIT)
+        assert shmring.pack_reply(buf, 0, ipc.ACK, 1, decision) is True
+        assert (
+            shmring.pack_reply(buf, 0, ipc.ACK, 1, Stamped(decision, _stamps()))
+            is False
+        )
+
+
+class TestTraceRecorder:
+    def test_head_then_tail_wraparound(self):
+        recorder = TraceRecorder(head=2, tail=3, slow_threshold_ns=10**12)
+        for i in range(10):
+            recorder.record(0, _stamps(seq=i, start=i * 10_000))
+        entries = recorder.entries()
+        assert recorder.seen == 10
+        # First 2 (head) plus last 3 (tail ring), oldest first.
+        assert [stamps.seq for _shard, stamps in entries] == [0, 1, 7, 8, 9]
+
+    def test_slow_events_survive_the_tail_wrap(self):
+        recorder = TraceRecorder(head=1, tail=2, slow_threshold_ns=1_000_000)
+        recorder.record(0, _stamps(seq=0, step=10))  # head, fast
+        recorder.record(0, _stamps(seq=1, step=300_000))  # slow: 1.5 ms
+        for i in range(2, 8):
+            recorder.record(0, _stamps(seq=i, start=i * 10_000_000, step=10))
+        assert recorder.slow_events == 1
+        seqs = [stamps.seq for _shard, stamps in recorder.entries()]
+        assert 1 in seqs  # retained although the tail wrapped past it
+        assert seqs == sorted(seqs)
+
+    def test_slow_entry_still_in_tail_is_not_duplicated(self):
+        recorder = TraceRecorder(head=1, tail=8, slow_threshold_ns=1_000_000)
+        recorder.record(0, _stamps(seq=0, step=10))
+        recorder.record(0, _stamps(seq=1, step=300_000))
+        assert [s.seq for _shard, s in recorder.entries()] == [0, 1]
+
+    def test_chrome_trace_shape(self):
+        recorder = TraceRecorder()
+        recorder.record(0, _stamps(seq=3, start=2_000_000, step=1_000))
+        recorder.record(1, _stamps(seq=4, start=9_000_000, step=2_000))
+        document = recorder.chrome_trace()
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in metadata} >= {
+            "ftoa-gateway", "shard 0", "shard 1",
+        }
+        assert {e["name"] for e in spans} == set(STAGES)
+        first = next(e for e in spans if e["args"]["seq"] == 3)
+        assert first["ts"] == 2_000_000 / 1e3  # monotonic ns -> µs
+        assert first["dur"] == 1.0
+        assert document["otherData"]["sampled_events"] == 2
+        # The document is what /trace serves: it must be JSON-clean.
+        json.dumps(document)
+
+
+class TestTelemetrySampling:
+    def test_first_event_always_sampled_then_one_in_n(self):
+        telemetry = Telemetry(sample_every=3)
+        picks = [telemetry.begin(seq) is not None for seq in range(7)]
+        assert picks == [True, False, False, True, False, False, True]
+
+    def test_sample_every_zero_disables(self):
+        telemetry = Telemetry(sample_every=0)
+        assert telemetry.enabled is False
+        assert telemetry.begin(1) is None
+        assert telemetry.histograms == {}
+
+    def test_default_rate(self):
+        assert Telemetry().sample_every == DEFAULT_SAMPLE_EVERY
+
+    def test_record_feeds_histograms_and_summary(self):
+        telemetry = Telemetry(sample_every=1, n_shards=2)
+        telemetry.record(0, _stamps(seq=0, step=1_000))
+        telemetry.record(1, _stamps(seq=1, step=2_000))
+        assert telemetry.sampled == 2
+        assert telemetry.histograms[("match", 0)].count == 1
+        assert telemetry.histograms[("match", 1)].count == 1
+        summary = telemetry.stage_summary()
+        assert summary["sampled"] == 2
+        assert summary["sample_every"] == 1
+        for stage in STAGES:
+            assert summary[stage]["count"] == 2
+
+    def test_prometheus_lines_expose_full_series_grid(self):
+        telemetry = Telemetry(sample_every=1, n_shards=2)
+        text = "\n".join(telemetry.prometheus_lines())
+        assert "# TYPE ftoa_gateway_stage_duration_seconds histogram" in text
+        for stage in STAGES:
+            for shard in (0, 1):
+                assert f'stage="{stage}",shard="{shard}"' in text
+        assert "ftoa_gateway_telemetry_sampled_total 0" in text
+
+
+class TestStageDiff:
+    def test_loadgen_diff_and_table(self):
+        before_t = Telemetry(sample_every=1)
+        after_t = Telemetry(sample_every=1)
+        after_t.record(0, _stamps(seq=0, step=5_000))
+        before = {"stage_latency": before_t.stage_summary()}
+        after = {"stage_latency": after_t.stage_summary()}
+        diff = _stage_diff(before, after)
+        assert diff is not None
+        assert diff["sampled"] == 1
+        assert diff["match"]["count"] == 1
+        report = LoadgenReport(
+            sent=1, acked=1, errors=0, seconds=0.1, arrivals_per_sec=10.0,
+            target_rate=None, stage_latency=diff,
+        )
+        table = report.stage_table()
+        assert "match" in table and "p99_ms" in table
+
+    def test_diff_is_none_without_server_telemetry(self):
+        assert _stage_diff({}, {}) is None
+        assert _stage_diff(None, {"stage_latency": None}) is None
+        report = LoadgenReport(
+            sent=0, acked=0, errors=0, seconds=0.0, arrivals_per_sec=0.0,
+            target_rate=None,
+        )
+        assert report.stage_table() is None
+        assert "stage_latency" not in report.as_dict()
+
+
+# ---------------------------------------------------------------------- #
+# End to end: cross-process stamps on both transports
+# ---------------------------------------------------------------------- #
+
+_STAMP_FIELDS = ("ingest", "dispatch", "send", "worker_recv",
+                 "match_done", "ack_write")
+
+
+def _greedy_factory(instance):
+    return lambda shard: GreedyMatcher(instance.travel, indexed=False)
+
+
+async def _drive_sampled(instance, events, backend, transport="pipe"):
+    telemetry = Telemetry(sample_every=1, n_shards=2)
+    gateway = Gateway(
+        instance.grid,
+        _greedy_factory(instance),
+        n_shards=2,
+        backend=backend,
+        transport=transport,
+        telemetry=telemetry,
+    )
+    await gateway.start()
+    for event in events:
+        await gateway.submit(event)
+    await gateway.drain()
+    await gateway.close()
+    return telemetry
+
+
+def _assert_monotone_complete(telemetry, n_events):
+    assert telemetry.sampled == n_events
+    entries = telemetry.recorder.entries()
+    assert entries
+    for _shard, stamps in entries:
+        values = [getattr(stamps, field) for field in _STAMP_FIELDS]
+        assert None not in values, f"incomplete stamps: seq={stamps.seq}"
+        assert values == sorted(values), (
+            f"non-monotone stamps for seq={stamps.seq}: {values}"
+        )
+        assert set(dict(stamps.stage_durations())) == set(STAGES)
+    for stage in STAGES:
+        per_stage = sum(
+            h.count for (s, _shard), h in telemetry.histograms.items()
+            if s == stage
+        )
+        assert per_stage == n_events
+
+
+class TestCrossProcessStamps:
+    def test_inline_backend_stamps_every_stage(self, small_instance):
+        events = small_instance.arrival_stream()[:80]
+        telemetry = asyncio.run(_drive_sampled(small_instance, events, "inline"))
+        _assert_monotone_complete(telemetry, len(events))
+        # Inline has no transport hop: send == worker_recv by definition.
+        for _shard, stamps in telemetry.recorder.entries():
+            assert stamps.send == stamps.worker_recv
+
+    def test_pipe_transport_stamps_are_monotone(self, small_instance):
+        events = small_instance.arrival_stream()[:120]
+        telemetry = asyncio.run(
+            _drive_sampled(small_instance, events, "process", "pipe")
+        )
+        _assert_monotone_complete(telemetry, len(events))
+
+    @needs_shm
+    def test_shm_transport_stamps_are_monotone(self, small_instance):
+        events = small_instance.arrival_stream()[:120]
+        telemetry = asyncio.run(
+            _drive_sampled(small_instance, events, "process", "shm")
+        )
+        _assert_monotone_complete(telemetry, len(events))
+
+    def test_metrics_and_trace_endpoints(self, small_instance):
+        """/metrics exposes the histogram series and /trace serves a
+        well-formed Chrome trace for a sampled run."""
+        events = small_instance.arrival_stream()[:60]
+
+        async def scenario():
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                telemetry=Telemetry(sample_every=1, n_shards=2),
+            )
+            await gateway.start(port=0, metrics_port=0)
+            for event in events:
+                await gateway.submit(event)
+            snapshot = await gateway.drain()
+            texts = {}
+            for path in ("/metrics", "/trace"):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.metrics_port
+                )
+                writer.write(
+                    f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode()
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                texts[path] = raw.partition(b"\r\n\r\n")[2].decode()
+            await gateway.close()
+            return snapshot, texts
+
+        snapshot, texts = asyncio.run(scenario())
+        assert "ftoa_gateway_stage_duration_seconds_bucket" in texts["/metrics"]
+        assert 'stage="match",shard="1"' in texts["/metrics"]
+        trace = json.loads(texts["/trace"])
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert names == set(STAGES)
+        assert snapshot.stage_latency is not None
+        assert snapshot.stage_latency["sampled"] == len(events)
+        assert snapshot.as_dict()["stage_latency"]["match"]["count"] == len(events)
+
+    def test_loadgen_reports_stage_breakdown(self, small_instance):
+        events = small_instance.arrival_stream()[:100]
+
+        async def scenario():
+            from repro.serving.loadgen import run_loadgen
+
+            gateway = Gateway(
+                small_instance.grid,
+                _greedy_factory(small_instance),
+                n_shards=2,
+                telemetry=Telemetry(sample_every=1, n_shards=2),
+            )
+            await gateway.start(port=0)
+            report = await run_loadgen(events, port=gateway.tcp_port)
+            await gateway.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.acked == len(events)
+        assert report.stage_latency is not None
+        assert report.stage_latency["sampled"] == len(events)
+        for stage in STAGES:
+            assert report.stage_latency[stage]["count"] == len(events)
+        assert "stage" in report.stage_table()
